@@ -1,0 +1,144 @@
+// Command bxsacat transcodes between textual XML and BXSA (paper §4.2):
+//
+//	bxsacat -to bxsa doc.xml > doc.bxsa
+//	bxsacat -to xml  doc.bxsa > doc.xml
+//	bxsacat -inspect doc.bxsa        # skip-scan frame summary
+//
+// The input format is auto-detected; -to picks the output. Typed values
+// travel through xsi:type / SOAP-ENC arrayType hints so XML→BXSA→XML and
+// BXSA→XML→BXSA both preserve the bXDM model.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"bxsoap/internal/bxdm"
+	"bxsoap/internal/bxsa"
+	"bxsoap/internal/transform"
+	"bxsoap/internal/xbs"
+	"bxsoap/internal/xmltext"
+)
+
+func main() {
+	to := flag.String("to", "", "output format: xml or bxsa (default: the opposite of the input)")
+	inspect := flag.Bool("inspect", false, "print a frame summary instead of transcoding")
+	bigEndian := flag.Bool("be", false, "emit BXSA frames big-endian")
+	upgrade := flag.Bool("upgrade", false, "retype numeric text content and pack repeated numeric elements into arrays before encoding")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	data, err := readInput(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	isBXSA := looksLikeBXSA(data)
+
+	if *inspect {
+		if !isBXSA {
+			fatal(fmt.Errorf("-inspect requires BXSA input"))
+		}
+		if err := printFrames(os.Stdout, data, 0); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	target := *to
+	if target == "" {
+		if isBXSA {
+			target = "xml"
+		} else {
+			target = "bxsa"
+		}
+	}
+
+	// Decode the input into the bXDM model, whichever serialization it
+	// arrived in — everything downstream works on the model.
+	var node bxdm.Node
+	if isBXSA {
+		node, err = bxsa.Parse(data)
+	} else {
+		var doc *bxdm.Document
+		doc, err = xmltext.Parse(data, xmltext.DecodeOptions{RecoverTypes: true})
+		node = doc
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *upgrade {
+		node = transform.PromoteArrays(transform.Retype(node), 4)
+	}
+
+	var result []byte
+	switch target {
+	case "xml":
+		result, err = xmltext.Marshal(node, xmltext.EncodeOptions{XMLDecl: true, TypeHints: true})
+	case "bxsa":
+		order := xbs.LittleEndian
+		if *bigEndian {
+			order = xbs.BigEndian
+		}
+		result, err = bxsa.Marshal(node, bxsa.EncodeOptions{Order: order})
+	default:
+		fatal(fmt.Errorf("unknown -to format %q", target))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if err := writeOutput(*out, result); err != nil {
+		fatal(err)
+	}
+}
+
+func looksLikeBXSA(data []byte) bool {
+	if len(data) == 0 {
+		return false
+	}
+	// A BXSA stream starts with a frame prefix whose low 6 bits are a
+	// small frame-type code; XML starts with '<' or whitespace/BOM.
+	_, err := bxsa.CountFrames(data)
+	return err == nil
+}
+
+func printFrames(w io.Writer, data []byte, depth int) error {
+	return printScanner(w, bxsa.NewScanner(data), depth)
+}
+
+func printScanner(w io.Writer, sc *bxsa.Scanner, depth int) error {
+	for sc.Next() {
+		fmt.Fprintf(w, "%*s%-14s %6d bytes  (%s)\n", depth*2, "", sc.Type(), sc.FrameSize(), sc.Order())
+		if sc.Type() == bxsa.FrameDocument || sc.Type() == bxsa.FrameElement {
+			inner, err := sc.Descend()
+			if err != nil {
+				return err
+			}
+			if err := printScanner(w, inner, depth+1); err != nil {
+				return err
+			}
+		}
+	}
+	return sc.Err()
+}
+
+func readInput(path string) ([]byte, error) {
+	if path == "" || path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}
+
+func writeOutput(path string, data []byte) error {
+	if path == "" || path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bxsacat:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+// Command soapclient invokes the verification service started by
+// cmd/soapserver and reports the result and response time:
+//
+//	soapclient -encoding bxsa -transport tcp -addr 127.0.0.1:8701 -n 1000 -calls 10
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"bxsoap/internal/core"
+	"bxsoap/internal/dataset"
+	"bxsoap/internal/httpbind"
+	"bxsoap/internal/tcpbind"
+)
+
+func main() {
+	encoding := flag.String("encoding", "bxsa", "message encoding: bxsa or xml")
+	transport := flag.String("transport", "tcp", "transport binding: tcp or http")
+	addr := flag.String("addr", "127.0.0.1:8701", "server address")
+	n := flag.Int("n", 1000, "model size (number of (double,int) pairs)")
+	calls := flag.Int("calls", 5, "number of invocations to time")
+	flag.Parse()
+
+	call, closeFn, err := buildEngine(*encoding, *transport, *addr)
+	if err != nil {
+		log.Fatalf("soapclient: %v", err)
+	}
+	defer closeFn()
+
+	m := dataset.Generate(*n)
+	req := core.NewEnvelope(m.Element())
+
+	var best time.Duration
+	for i := 0; i < *calls; i++ {
+		start := time.Now()
+		resp, err := call(context.Background(), req)
+		elapsed := time.Since(start)
+		if err != nil {
+			log.Fatalf("soapclient: call %d: %v", i, err)
+		}
+		if best == 0 || elapsed < best {
+			best = elapsed
+		}
+		if i == 0 {
+			fmt.Printf("response body: %s\n", summarize(resp))
+		}
+	}
+	fmt.Printf("%s/%s  model size %d  best of %d calls: %v (%.0f pairs/s)\n",
+		*encoding, *transport, *n, *calls, best, float64(*n)/best.Seconds())
+}
+
+type callFunc func(context.Context, *core.Envelope) (*core.Envelope, error)
+
+func buildEngine(encoding, transport, addr string) (callFunc, func() error, error) {
+	switch {
+	case encoding == "bxsa" && transport == "tcp":
+		eng := core.NewEngine(core.BXSAEncoding{}, tcpbind.New(tcpbind.NetDialer, addr))
+		return eng.Call, eng.Close, nil
+	case encoding == "xml" && transport == "tcp":
+		eng := core.NewEngine(core.XMLEncoding{}, tcpbind.New(tcpbind.NetDialer, addr))
+		return eng.Call, eng.Close, nil
+	case encoding == "bxsa" && transport == "http":
+		eng := core.NewEngine(core.BXSAEncoding{}, httpbind.New(nil, "http://"+addr+"/soap"))
+		return eng.Call, eng.Close, nil
+	case encoding == "xml" && transport == "http":
+		eng := core.NewEngine(core.XMLEncoding{}, httpbind.New(nil, "http://"+addr+"/soap"))
+		return eng.Call, eng.Close, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown combination %s/%s", encoding, transport)
+	}
+}
+
+func summarize(resp *core.Envelope) string {
+	body := resp.Body()
+	if body == nil {
+		return "(empty)"
+	}
+	return fmt.Sprintf("%v", body.ElemName())
+}

@@ -1,0 +1,135 @@
+// Command soapproxy runs a SOAP intermediary node (paper §5.1): it accepts
+// messages on one (encoding, transport) policy pair and relays them to a
+// backend over another, transcoding through the bXDM model. "Aided by the
+// generic SOAP library, the intermediary node can just simply deploy
+// multiple generic SOAP engines with different policy configurations to
+// serve the up-link and down-link message flows."
+//
+//	soapproxy -listen xml/http:127.0.0.1:8800 -backend bxsa/tcp:127.0.0.1:8701
+//
+// With -hmac-key the backend hop is authenticated (wssec.Secured), so
+// legacy plaintext clients can reach a signed-binary service unchanged.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+
+	"bxsoap/internal/core"
+	"bxsoap/internal/httpbind"
+	"bxsoap/internal/tcpbind"
+	"bxsoap/internal/wssec"
+)
+
+type endpoint struct {
+	encoding  string // "xml" or "bxsa"
+	transport string // "tcp" or "http"
+	addr      string
+}
+
+func parseEndpoint(s string) (endpoint, error) {
+	// Format: encoding/transport:addr
+	slash := strings.IndexByte(s, '/')
+	colon := strings.IndexByte(s, ':')
+	if slash < 0 || colon < slash {
+		return endpoint{}, fmt.Errorf("endpoint %q: want encoding/transport:addr", s)
+	}
+	ep := endpoint{
+		encoding:  strings.ToLower(s[:slash]),
+		transport: strings.ToLower(s[slash+1 : colon]),
+		addr:      s[colon+1:],
+	}
+	if ep.encoding != "xml" && ep.encoding != "bxsa" {
+		return endpoint{}, fmt.Errorf("endpoint %q: unknown encoding %q", s, ep.encoding)
+	}
+	if ep.transport != "tcp" && ep.transport != "http" {
+		return endpoint{}, fmt.Errorf("endpoint %q: unknown transport %q", s, ep.transport)
+	}
+	if ep.addr == "" {
+		return endpoint{}, fmt.Errorf("endpoint %q: missing address", s)
+	}
+	return ep, nil
+}
+
+// encodingFor returns the (possibly secured) encoding policy as an
+// interface; each engine composition below still binds concrete types.
+func encodingFor(name string, key []byte) core.Encoding {
+	switch {
+	case name == "bxsa" && key != nil:
+		return wssec.Secure(core.BXSAEncoding{}, key)
+	case name == "bxsa":
+		return core.BXSAEncoding{}
+	case key != nil:
+		return wssec.Secure(core.XMLEncoding{}, key)
+	default:
+		return core.XMLEncoding{}
+	}
+}
+
+func main() {
+	listenFlag := flag.String("listen", "xml/http:127.0.0.1:8800", "up-link endpoint as encoding/transport:addr")
+	backendFlag := flag.String("backend", "bxsa/tcp:127.0.0.1:8701", "down-link endpoint as encoding/transport:addr")
+	hmacKey := flag.String("hmac-key", "", "sign/verify the backend hop with this shared key")
+	flag.Parse()
+
+	up, err := parseEndpoint(*listenFlag)
+	if err != nil {
+		log.Fatalf("soapproxy: -listen: %v", err)
+	}
+	down, err := parseEndpoint(*backendFlag)
+	if err != nil {
+		log.Fatalf("soapproxy: -backend: %v", err)
+	}
+	var key []byte
+	if *hmacKey != "" {
+		key = []byte(*hmacKey)
+	}
+
+	downEnc := encodingFor(down.encoding, key)
+	relay := func(ctx context.Context, req *core.Envelope) (*core.Envelope, error) {
+		var call func(context.Context, *core.Envelope) (*core.Envelope, error)
+		var closer func() error
+		if down.transport == "tcp" {
+			eng := core.NewEngine(downEnc, tcpbind.New(tcpbind.NetDialer, down.addr))
+			call, closer = eng.Call, eng.Close
+		} else {
+			eng := core.NewEngine(downEnc, httpbind.New(nil, "http://"+down.addr+"/soap"))
+			call, closer = eng.Call, eng.Close
+		}
+		defer closer()
+		return call(ctx, req)
+	}
+
+	l, err := net.Listen("tcp", up.addr)
+	if err != nil {
+		log.Fatalf("soapproxy: %v", err)
+	}
+	upEnc := encodingFor(up.encoding, nil)
+	var srv interface {
+		Serve() error
+		Close() error
+	}
+	if up.transport == "tcp" {
+		srv = core.NewServer(upEnc, tcpbind.NewListener(l), relay)
+	} else {
+		srv = core.NewServer(upEnc, httpbind.NewListener(l), relay)
+	}
+
+	fmt.Printf("soapproxy: %s/%s on %s → %s/%s at %s (signed=%v)\n",
+		up.encoding, up.transport, l.Addr(), down.encoding, down.transport, down.addr, key != nil)
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	go func() {
+		<-stop
+		srv.Close()
+	}()
+	if err := srv.Serve(); err != nil {
+		log.Fatalf("soapproxy: %v", err)
+	}
+}

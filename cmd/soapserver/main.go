@@ -1,0 +1,84 @@
+// Command soapserver runs the paper's §6 verification web service on any
+// (encoding, transport) policy combination of the generic engine:
+//
+//	soapserver -encoding bxsa -transport tcp  -addr 127.0.0.1:8701
+//	soapserver -encoding xml  -transport http -addr 127.0.0.1:8702
+//
+// The service receives the LEAD-like data model inside the SOAP request,
+// verifies every value, and answers with the verification result — the
+// unified scheme's server half. A matching client is cmd/soapclient.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+
+	"bxsoap/internal/bxdm"
+	"bxsoap/internal/core"
+	"bxsoap/internal/dataset"
+	"bxsoap/internal/httpbind"
+	"bxsoap/internal/tcpbind"
+)
+
+func main() {
+	encoding := flag.String("encoding", "bxsa", "message encoding: bxsa or xml")
+	transport := flag.String("transport", "tcp", "transport binding: tcp or http")
+	addr := flag.String("addr", "127.0.0.1:8701", "listen address")
+	flag.Parse()
+
+	handler := func(_ context.Context, req *core.Envelope) (*core.Envelope, error) {
+		body := req.Body()
+		if body == nil {
+			return nil, &core.Fault{Code: core.FaultClient, String: "empty body"}
+		}
+		m, err := dataset.FromElement(body)
+		if err != nil {
+			return nil, &core.Fault{Code: core.FaultClient, String: err.Error()}
+		}
+		res := bxdm.NewElement(bxdm.PName(dataset.Namespace, "lead", "result"))
+		res.DeclareNamespace("lead", dataset.Namespace)
+		res.Append(
+			bxdm.NewLeaf(bxdm.Name(dataset.Namespace, "verified"), int32(m.Verify())),
+			bxdm.NewLeaf(bxdm.Name(dataset.Namespace, "total"), int32(m.Size())),
+		)
+		return core.NewEnvelope(res), nil
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("soapserver: %v", err)
+	}
+
+	var srv interface {
+		Serve() error
+		Close() error
+	}
+	switch {
+	case *encoding == "bxsa" && *transport == "tcp":
+		srv = core.NewServer(core.BXSAEncoding{}, tcpbind.NewListener(l), handler)
+	case *encoding == "xml" && *transport == "tcp":
+		srv = core.NewServer(core.XMLEncoding{}, tcpbind.NewListener(l), handler)
+	case *encoding == "bxsa" && *transport == "http":
+		srv = core.NewServer(core.BXSAEncoding{}, httpbind.NewListener(l), handler)
+	case *encoding == "xml" && *transport == "http":
+		srv = core.NewServer(core.XMLEncoding{}, httpbind.NewListener(l), handler)
+	default:
+		log.Fatalf("soapserver: unknown combination %s/%s", *encoding, *transport)
+	}
+
+	fmt.Printf("soapserver: %s over %s listening on %s\n", *encoding, *transport, l.Addr())
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	go func() {
+		<-stop
+		srv.Close()
+	}()
+	if err := srv.Serve(); err != nil {
+		log.Fatalf("soapserver: %v", err)
+	}
+}

@@ -1,0 +1,14 @@
+// Package bxsoap is a from-scratch Go reproduction of "Building a Generic
+// SOAP Framework over Binary XML" (Lu, Chiu, Gannon — HPDC 2006): a generic
+// SOAP engine whose encoding (textual XML 1.0 or BXSA binary XML) and
+// transport binding (HTTP or raw TCP) are compile-time policies, built on
+// the paper's bXDM typed data model and BXSA frame format, together with
+// the complete evaluation apparatus — netCDF, HTTP and simulated-GridFTP
+// data channels over a shaped LAN/WAN network simulator — that regenerates
+// the paper's Table 1 and Figures 4-6.
+//
+// Start with README.md for the layout, DESIGN.md for the system inventory
+// and substitutions, and EXPERIMENTS.md for paper-vs-measured results. The
+// benchmarks in bench_test.go regenerate each table and figure; the full
+// parameter sweeps live in cmd/benchharness.
+package bxsoap

@@ -1,0 +1,89 @@
+// Intermediary: the §5.1 hop-by-hop scenario. A legacy client speaks
+// textual XML over HTTP; the backend wants signed binary XML over TCP. An
+// intermediary SOAP node deploys two generic engines with different policy
+// configurations for its up-link and down-link — "aided by the generic SOAP
+// library, the intermediary node can just simply deploy multiple generic
+// SOAP engines with different policy configurations to serve the up-link
+// and down-link message flows" — and transcodability makes BXSA the
+// intermediate protocol even though both ends never see it.
+//
+//	go run ./examples/intermediary
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"bxsoap/internal/bxdm"
+	"bxsoap/internal/core"
+	"bxsoap/internal/dataset"
+	"bxsoap/internal/httpbind"
+	"bxsoap/internal/tcpbind"
+	"bxsoap/internal/wsa"
+	"bxsoap/internal/wssec"
+)
+
+func main() {
+	key := []byte("hop-shared-secret")
+
+	// --- Backend: Secured[BXSA] over TCP ------------------------------
+	backendL, err := tcpbind.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	backendEnc := wssec.Secure(core.BXSAEncoding{}, key)
+	backend := core.NewServer(backendEnc, backendL,
+		func(_ context.Context, req *core.Envelope) (*core.Envelope, error) {
+			m, err := dataset.FromElement(req.Body())
+			if err != nil {
+				return nil, &core.Fault{Code: core.FaultClient, String: err.Error()}
+			}
+			props := wsa.FromEnvelope(req)
+			fmt.Printf("backend: verified %d values (wsa:MessageID %s)\n", m.Verify(), props.MessageID)
+			reply := bxdm.NewElement(bxdm.PName(dataset.Namespace, "lead", "result"))
+			reply.DeclareNamespace("lead", dataset.Namespace)
+			reply.Append(bxdm.NewLeaf(bxdm.Name(dataset.Namespace, "verified"), int32(m.Verify())))
+			out := core.NewEnvelope(reply)
+			wsa.Reply(props, "urn:verify/ack").Attach(out)
+			return out, nil
+		})
+	go backend.Serve()
+	defer backend.Close()
+
+	// --- Intermediary: XML/HTTP up-link, Secured[BXSA]/TCP down-link --
+	upL, err := httpbind.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	relay := core.NewServer(core.XMLEncoding{}, upL,
+		func(ctx context.Context, req *core.Envelope) (*core.Envelope, error) {
+			down := core.NewEngine(backendEnc,
+				tcpbind.New(tcpbind.NetDialer, backendL.Addr().String()))
+			defer down.Close()
+			fmt.Println("intermediary: relaying XML/HTTP request as signed BXSA/TCP")
+			return down.Call(ctx, req)
+		})
+	go relay.Serve()
+	defer relay.Close()
+
+	// --- Legacy client: plain XML over HTTP ----------------------------
+	client := core.NewEngine(core.XMLEncoding{}, httpbind.New(nil, upL.URL()))
+	defer client.Close()
+
+	env := core.NewEnvelope(dataset.Generate(5_000).Element())
+	wsa.Properties{
+		To:        "urn:verify-service",
+		Action:    "urn:verify/run",
+		MessageID: wsa.NewMessageID(),
+	}.Attach(env)
+
+	resp, err := client.Call(context.Background(), env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	verified := resp.Body().(*bxdm.Element).
+		FirstChild(bxdm.Name(dataset.Namespace, "verified")).(*bxdm.LeafElement)
+	fmt.Printf("client: received result over plain XML — verified=%d, RelatesTo=%s\n",
+		verified.Value.Int64(), wsa.FromEnvelope(resp).RelatesTo)
+}

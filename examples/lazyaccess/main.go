@@ -1,0 +1,83 @@
+// Lazyaccess: the §4.1 "accelerated sequential access" property in action.
+// A BXSA document holding many large arrays is scanned frame-by-frame using
+// only the Size fields; a single target element at the end is decoded in
+// place, without parsing any of the bulk. The same extraction is then done
+// by full parsing, for comparison.
+//
+//	go run ./examples/lazyaccess
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"bxsoap/internal/bxdm"
+	"bxsoap/internal/bxsa"
+	"bxsoap/internal/dataset"
+	"bxsoap/internal/xpath"
+)
+
+func main() {
+	// A document shaped like an observation archive: 200 bulky arrays and
+	// one small status element at the end.
+	root := bxdm.NewElement(bxdm.PName(dataset.Namespace, "lead", "archive"))
+	root.DeclareNamespace("lead", dataset.Namespace)
+	for i := 0; i < 200; i++ {
+		m := dataset.Generate(2000)
+		root.Append(bxdm.NewArray(bxdm.Name(dataset.Namespace, "values"), m.Values))
+	}
+	root.Append(bxdm.NewLeaf(bxdm.Name(dataset.Namespace, "status"), "complete"))
+	data, err := bxsa.Marshal(bxdm.NewDocument(root), bxsa.EncodeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("archive: %d frames, %.1f MB encoded\n", 202, float64(len(data))/(1<<20))
+
+	// --- Lazy: skip-scan by frame size, decode only the status leaf. ----
+	start := time.Now()
+	sc := bxsa.NewScanner(data)
+	sc.Next()
+	docLevel, err := sc.Descend()
+	if err != nil {
+		log.Fatal(err)
+	}
+	docLevel.Next()
+	inner, err := docLevel.Descend()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var status string
+	skipped := 0
+	for inner.Next() {
+		if inner.Type() != bxsa.FrameLeaf {
+			skipped++
+			continue
+		}
+		n, err := inner.Decode()
+		if err != nil {
+			log.Fatal(err)
+		}
+		status = n.(*bxdm.LeafElement).Value.Text()
+	}
+	if err := inner.Err(); err != nil {
+		log.Fatal(err)
+	}
+	lazy := time.Since(start)
+	fmt.Printf("lazy:  status=%q, %d array frames skipped untouched, %v\n", status, skipped, lazy)
+
+	// --- Eager: parse everything, query with XPath. ---------------------
+	start = time.Now()
+	doc, err := bxsa.ParseDocument(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := xpath.MustCompile("//l:status", xpath.Namespaces{"l": dataset.Namespace})
+	item, ok := q.First(doc)
+	if !ok {
+		log.Fatal("status not found")
+	}
+	eager := time.Since(start)
+	fmt.Printf("eager: status=%q via XPath after full parse, %v\n", item.String(), eager)
+	fmt.Printf("speedup from skip-scanning: %.0fx\n", float64(eager)/float64(lazy))
+}

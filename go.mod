@@ -1,0 +1,3 @@
+module bxsoap
+
+go 1.22

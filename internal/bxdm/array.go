@@ -1,0 +1,294 @@
+package bxdm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"bxsoap/internal/xbs"
+)
+
+// ArrayData is the type-erased view of an ArrayElement's packed content.
+// The concrete implementation is the generic Array[T]; the interface exists
+// so heterogeneous trees can hold arrays of any primitive type, while
+// encoders still reach the packed representation without boxing items.
+type ArrayData interface {
+	// Type returns the element type code (always a numeric code).
+	Type() TypeCode
+	// Len returns the number of items.
+	Len() int
+	// ByteLen returns Len()*element size.
+	ByteLen() int
+	// Value boxes item i (slow path, for XPath/tests).
+	Value(i int) Value
+	// AppendLexical appends the XML lexical form of item i to dst.
+	AppendLexical(dst []byte, i int) []byte
+	// AppendAllLexical appends all items separated by sep (the textual-XML
+	// rendering of the array's string value).
+	AppendAllLexical(dst []byte, sep string) []byte
+	// WriteXBS writes the packed items (aligned) to an XBS stream.
+	WriteXBS(w *xbs.Writer) error
+	// EqualData reports deep equality with another ArrayData.
+	EqualData(o ArrayData) bool
+	// CloneData returns a deep copy.
+	CloneData() ArrayData
+}
+
+// Array is the packed array payload of an ArrayElement, generic over the
+// primitive item type — the direct analogue of the paper's ArrayElement<T>.
+type Array[T xbs.Primitive] struct {
+	Items []T
+}
+
+// ArrayTypeCode reports the TypeCode for the primitive type T.
+func ArrayTypeCode[T xbs.Primitive]() TypeCode {
+	var z T
+	switch any(z).(type) {
+	case int8:
+		return TInt8
+	case int16:
+		return TInt16
+	case int32:
+		return TInt32
+	case int64:
+		return TInt64
+	case uint8:
+		return TUint8
+	case uint16:
+		return TUint16
+	case uint32:
+		return TUint32
+	case uint64:
+		return TUint64
+	case float32:
+		return TFloat32
+	case float64:
+		return TFloat64
+	default:
+		panic(fmt.Sprintf("bxdm: unreachable primitive %T", z))
+	}
+}
+
+// Type implements ArrayData.
+func (a Array[T]) Type() TypeCode { return ArrayTypeCode[T]() }
+
+// Len implements ArrayData.
+func (a Array[T]) Len() int { return len(a.Items) }
+
+// ByteLen implements ArrayData.
+func (a Array[T]) ByteLen() int { return len(a.Items) * xbs.SizeOf[T]() }
+
+// Value implements ArrayData.
+func (a Array[T]) Value(i int) Value { return ValueOf(a.Items[i]) }
+
+// AppendLexical implements ArrayData.
+func (a Array[T]) AppendLexical(dst []byte, i int) []byte {
+	return appendPrimLexical(dst, a.Items[i])
+}
+
+// AppendAllLexical implements ArrayData.
+func (a Array[T]) AppendAllLexical(dst []byte, sep string) []byte {
+	for i, v := range a.Items {
+		if i > 0 {
+			dst = append(dst, sep...)
+		}
+		dst = appendPrimLexical(dst, v)
+	}
+	return dst
+}
+
+func appendPrimLexical[T xbs.Primitive](dst []byte, v T) []byte {
+	switch x := any(v).(type) {
+	case int8:
+		return strconv.AppendInt(dst, int64(x), 10)
+	case int16:
+		return strconv.AppendInt(dst, int64(x), 10)
+	case int32:
+		return strconv.AppendInt(dst, int64(x), 10)
+	case int64:
+		return strconv.AppendInt(dst, x, 10)
+	case uint8:
+		return strconv.AppendUint(dst, uint64(x), 10)
+	case uint16:
+		return strconv.AppendUint(dst, uint64(x), 10)
+	case uint32:
+		return strconv.AppendUint(dst, uint64(x), 10)
+	case uint64:
+		return strconv.AppendUint(dst, x, 10)
+	case float32:
+		return strconv.AppendFloat(dst, float64(x), 'g', -1, 32)
+	case float64:
+		return strconv.AppendFloat(dst, x, 'g', -1, 64)
+	default:
+		panic(fmt.Sprintf("bxdm: unreachable primitive %T", v))
+	}
+}
+
+// WriteXBS implements ArrayData.
+func (a Array[T]) WriteXBS(w *xbs.Writer) error { return xbs.WriteArray(w, a.Items) }
+
+// EqualData implements ArrayData. Float items compare by bit pattern so NaN
+// payloads survive round-trip checks.
+func (a Array[T]) EqualData(o ArrayData) bool {
+	b, ok := o.(Array[T])
+	if !ok || len(a.Items) != len(b.Items) {
+		return false
+	}
+	for i := range a.Items {
+		if !primEqual(a.Items[i], b.Items[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func primEqual[T xbs.Primitive](x, y T) bool {
+	switch a := any(x).(type) {
+	case float32:
+		return math.Float32bits(a) == math.Float32bits(any(y).(float32))
+	case float64:
+		return math.Float64bits(a) == math.Float64bits(any(y).(float64))
+	default:
+		return x == y
+	}
+}
+
+// CloneData implements ArrayData.
+func (a Array[T]) CloneData() ArrayData {
+	items := make([]T, len(a.Items))
+	copy(items, a.Items)
+	return Array[T]{Items: items}
+}
+
+// ReadArrayXBS reads n packed items of the given type code from an XBS
+// stream and returns them as type-erased ArrayData (the decode counterpart
+// of ArrayData.WriteXBS).
+func ReadArrayXBS(r *xbs.Reader, code TypeCode, n int) (ArrayData, error) {
+	switch code {
+	case TInt8:
+		items, err := xbs.ReadArray[int8](r, n)
+		return Array[int8]{Items: items}, err
+	case TInt16:
+		items, err := xbs.ReadArray[int16](r, n)
+		return Array[int16]{Items: items}, err
+	case TInt32:
+		items, err := xbs.ReadArray[int32](r, n)
+		return Array[int32]{Items: items}, err
+	case TInt64:
+		items, err := xbs.ReadArray[int64](r, n)
+		return Array[int64]{Items: items}, err
+	case TUint8:
+		items, err := xbs.ReadArray[uint8](r, n)
+		return Array[uint8]{Items: items}, err
+	case TUint16:
+		items, err := xbs.ReadArray[uint16](r, n)
+		return Array[uint16]{Items: items}, err
+	case TUint32:
+		items, err := xbs.ReadArray[uint32](r, n)
+		return Array[uint32]{Items: items}, err
+	case TUint64:
+		items, err := xbs.ReadArray[uint64](r, n)
+		return Array[uint64]{Items: items}, err
+	case TFloat32:
+		items, err := xbs.ReadArray[float32](r, n)
+		return Array[float32]{Items: items}, err
+	case TFloat64:
+		items, err := xbs.ReadArray[float64](r, n)
+		return Array[float64]{Items: items}, err
+	default:
+		return nil, fmt.Errorf("bxdm: type code %v is not an array item type", code)
+	}
+}
+
+// ArrayBuilder accumulates lexical items and produces packed ArrayData. It
+// is used by the textual-XML decoder when type hints identify an array, so
+// that XML→bXDM recovers the packed representation.
+type ArrayBuilder interface {
+	// AppendLexical parses and appends one item.
+	AppendLexical(s string) error
+	// Data returns the packed array built so far.
+	Data() ArrayData
+}
+
+type typedBuilder[T xbs.Primitive] struct {
+	items []T
+	parse func(string) (T, error)
+}
+
+func (b *typedBuilder[T]) AppendLexical(s string) error {
+	v, err := b.parse(s)
+	if err != nil {
+		return err
+	}
+	b.items = append(b.items, v)
+	return nil
+}
+
+func (b *typedBuilder[T]) Data() ArrayData { return Array[T]{Items: b.items} }
+
+// NewArrayBuilder returns a builder that accumulates lexical items of the
+// given type code and produces packed ArrayData. Used by the textual-XML
+// decoder when it recovers an array via type hints.
+func NewArrayBuilder(code TypeCode) (ArrayBuilder, error) {
+	switch code {
+	case TInt8:
+		return &typedBuilder[int8]{parse: func(s string) (int8, error) {
+			n, err := strconv.ParseInt(s, 10, 8)
+			return int8(n), err
+		}}, nil
+	case TInt16:
+		return &typedBuilder[int16]{parse: func(s string) (int16, error) {
+			n, err := strconv.ParseInt(s, 10, 16)
+			return int16(n), err
+		}}, nil
+	case TInt32:
+		return &typedBuilder[int32]{parse: func(s string) (int32, error) {
+			n, err := strconv.ParseInt(s, 10, 32)
+			return int32(n), err
+		}}, nil
+	case TInt64:
+		return &typedBuilder[int64]{parse: func(s string) (int64, error) {
+			return strconv.ParseInt(s, 10, 64)
+		}}, nil
+	case TUint8:
+		return &typedBuilder[uint8]{parse: func(s string) (uint8, error) {
+			n, err := strconv.ParseUint(s, 10, 8)
+			return uint8(n), err
+		}}, nil
+	case TUint16:
+		return &typedBuilder[uint16]{parse: func(s string) (uint16, error) {
+			n, err := strconv.ParseUint(s, 10, 16)
+			return uint16(n), err
+		}}, nil
+	case TUint32:
+		return &typedBuilder[uint32]{parse: func(s string) (uint32, error) {
+			n, err := strconv.ParseUint(s, 10, 32)
+			return uint32(n), err
+		}}, nil
+	case TUint64:
+		return &typedBuilder[uint64]{parse: func(s string) (uint64, error) {
+			return strconv.ParseUint(s, 10, 64)
+		}}, nil
+	case TFloat32:
+		return &typedBuilder[float32]{parse: func(s string) (float32, error) {
+			f, err := strconv.ParseFloat(s, 32)
+			return float32(f), err
+		}}, nil
+	case TFloat64:
+		return &typedBuilder[float64]{parse: func(s string) (float64, error) {
+			return strconv.ParseFloat(s, 64)
+		}}, nil
+	default:
+		return nil, fmt.Errorf("bxdm: type code %v is not an array item type", code)
+	}
+}
+
+// Items extracts the concrete slice from array data of a known type; ok is
+// false when the dynamic type differs.
+func Items[T xbs.Primitive](d ArrayData) ([]T, bool) {
+	a, ok := d.(Array[T])
+	if !ok {
+		return nil, false
+	}
+	return a.Items, true
+}

@@ -1,0 +1,72 @@
+package bxdm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dump renders a tree as an indented structural listing — a debugging aid
+// that shows exactly what the model contains (kinds, typed values, packed
+// array summaries), independent of any serialization.
+func Dump(n Node) string {
+	var b strings.Builder
+	dump(&b, n, 0)
+	return b.String()
+}
+
+func dump(b *strings.Builder, n Node, depth int) {
+	ind := strings.Repeat("  ", depth)
+	switch x := n.(type) {
+	case nil:
+		fmt.Fprintf(b, "%s<nil>\n", ind)
+	case *Document:
+		fmt.Fprintf(b, "%sdocument (%d children)\n", ind, len(x.Children))
+		for _, c := range x.Children {
+			dump(b, c, depth+1)
+		}
+	case *Element:
+		fmt.Fprintf(b, "%selement %s%s\n", ind, x.Name, commonSuffix(&x.ElemCommon))
+		for _, c := range x.Children {
+			dump(b, c, depth+1)
+		}
+	case *LeafElement:
+		fmt.Fprintf(b, "%sleaf %s%s = %s (%s)\n",
+			ind, x.Name, commonSuffix(&x.ElemCommon), x.Value.Lexical(), x.Value.Type())
+	case *ArrayElement:
+		fmt.Fprintf(b, "%sarray %s%s = %s[%d] (%d bytes packed)\n",
+			ind, x.Name, commonSuffix(&x.ElemCommon), x.Data.Type(), x.Data.Len(), x.Data.ByteLen())
+	case *Text:
+		fmt.Fprintf(b, "%stext %q\n", ind, clipString(x.Data))
+	case *Comment:
+		fmt.Fprintf(b, "%scomment %q\n", ind, clipString(x.Data))
+	case *PI:
+		fmt.Fprintf(b, "%spi %s %q\n", ind, x.Target, clipString(x.Data))
+	default:
+		fmt.Fprintf(b, "%s<unknown %T>\n", ind, n)
+	}
+}
+
+func commonSuffix(c *ElemCommon) string {
+	var parts []string
+	for _, d := range c.NamespaceDecls {
+		if d.Prefix == "" {
+			parts = append(parts, fmt.Sprintf("xmlns=%q", d.URI))
+		} else {
+			parts = append(parts, fmt.Sprintf("xmlns:%s=%q", d.Prefix, d.URI))
+		}
+	}
+	for _, a := range c.Attributes {
+		parts = append(parts, fmt.Sprintf("%s=%q", a.Name, a.Value.Lexical()))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return " [" + strings.Join(parts, " ") + "]"
+}
+
+func clipString(s string) string {
+	if len(s) > 60 {
+		return s[:57] + "..."
+	}
+	return s
+}

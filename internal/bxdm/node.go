@@ -1,0 +1,357 @@
+package bxdm
+
+import (
+	"fmt"
+
+	"bxsoap/internal/xbs"
+)
+
+// Kind discriminates the node kinds of bXDM: the seven XDM kinds plus the
+// two Element refinements the paper introduces (§3).
+type Kind uint8
+
+const (
+	KindDocument     Kind = iota + 1
+	KindElement           // general (component) element with child nodes
+	KindLeafElement       // element holding one typed atomic value
+	KindArrayElement      // element holding a packed array of a primitive type
+	KindAttribute
+	KindNamespace
+	KindText
+	KindComment
+	KindPI
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindDocument:
+		return "document"
+	case KindElement:
+		return "element"
+	case KindLeafElement:
+		return "leaf-element"
+	case KindArrayElement:
+		return "array-element"
+	case KindAttribute:
+		return "attribute"
+	case KindNamespace:
+		return "namespace"
+	case KindText:
+		return "text"
+	case KindComment:
+		return "comment"
+	case KindPI:
+		return "processing-instruction"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// IsElement reports whether k is one of the three element kinds.
+func (k Kind) IsElement() bool {
+	return k == KindElement || k == KindLeafElement || k == KindArrayElement
+}
+
+// QName is an expanded XML name: namespace URI, prefix hint, and local part.
+// Space=="" means no namespace. The prefix is only a serialization hint;
+// name identity is (Space, Local).
+type QName struct {
+	Space  string // namespace URI
+	Prefix string // preferred prefix, "" for default/none
+	Local  string
+}
+
+// Name constructs a QName in a namespace.
+func Name(space, local string) QName { return QName{Space: space, Local: local} }
+
+// PName constructs a QName with an explicit preferred prefix.
+func PName(space, prefix, local string) QName {
+	return QName{Space: space, Prefix: prefix, Local: local}
+}
+
+// LocalName constructs a QName with no namespace.
+func LocalName(local string) QName { return QName{Local: local} }
+
+// Matches reports name identity: same namespace URI and local part.
+func (q QName) Matches(o QName) bool { return q.Space == o.Space && q.Local == o.Local }
+
+func (q QName) String() string {
+	if q.Space == "" {
+		return q.Local
+	}
+	return "{" + q.Space + "}" + q.Local
+}
+
+// NamespaceDecl is one prefix→URI binding declared on an element. An empty
+// Prefix declares the default namespace.
+type NamespaceDecl struct {
+	Prefix string
+	URI    string
+}
+
+// Attribute is an attribute information item with a typed value.
+type Attribute struct {
+	Name  QName
+	Value Value
+}
+
+// Node is any bXDM node. Concrete types: *Document, *Element, *LeafElement,
+// *ArrayElement, *Text, *Comment, *PI. (Attributes and namespace
+// declarations are owned by their element, matching the paper's frame
+// granularity decision in §4.1.)
+type Node interface {
+	Kind() Kind
+}
+
+// Document is the document node; Children holds the document element plus
+// any top-level PIs and comments.
+type Document struct {
+	Children []Node
+}
+
+func (*Document) Kind() Kind { return KindDocument }
+
+// Root returns the document element, or nil if there is none.
+func (d *Document) Root() ElementNode {
+	for _, c := range d.Children {
+		if e, ok := c.(ElementNode); ok {
+			return e
+		}
+	}
+	return nil
+}
+
+// NewDocument wraps a root node into a document.
+func NewDocument(root Node) *Document { return &Document{Children: []Node{root}} }
+
+// ElemCommon carries the fields shared by the three element kinds: the
+// name, the namespace declarations made on this element, and its attributes.
+type ElemCommon struct {
+	Name           QName
+	NamespaceDecls []NamespaceDecl
+	Attributes     []Attribute
+}
+
+// ElemName returns the element's qualified name.
+func (e *ElemCommon) ElemName() QName { return e.Name }
+
+// Decls returns the namespace declarations on this element.
+func (e *ElemCommon) Decls() []NamespaceDecl { return e.NamespaceDecls }
+
+// Attrs returns the element's attributes.
+func (e *ElemCommon) Attrs() []Attribute { return e.Attributes }
+
+// Attr returns the value of the named attribute and whether it exists.
+func (e *ElemCommon) Attr(name QName) (Value, bool) {
+	for _, a := range e.Attributes {
+		if a.Name.Matches(name) {
+			return a.Value, true
+		}
+	}
+	return Value{}, false
+}
+
+// SetAttr adds or replaces an attribute.
+func (e *ElemCommon) SetAttr(name QName, v Value) {
+	for i, a := range e.Attributes {
+		if a.Name.Matches(name) {
+			e.Attributes[i].Value = v
+			return
+		}
+	}
+	e.Attributes = append(e.Attributes, Attribute{Name: name, Value: v})
+}
+
+// DeclareNamespace records a prefix→URI binding on this element.
+func (e *ElemCommon) DeclareNamespace(prefix, uri string) {
+	for i, d := range e.NamespaceDecls {
+		if d.Prefix == prefix {
+			e.NamespaceDecls[i].URI = uri
+			return
+		}
+	}
+	e.NamespaceDecls = append(e.NamespaceDecls, NamespaceDecl{Prefix: prefix, URI: uri})
+}
+
+// ElementNode is the common interface of the three element kinds.
+type ElementNode interface {
+	Node
+	ElemName() QName
+	Decls() []NamespaceDecl
+	Attrs() []Attribute
+	Attr(QName) (Value, bool)
+}
+
+// Element is a general (the paper's "component") element: its content is a
+// sequence of child nodes.
+type Element struct {
+	ElemCommon
+	Children []Node
+}
+
+func (*Element) Kind() Kind { return KindElement }
+
+// NewElement constructs a component element.
+func NewElement(name QName, children ...Node) *Element {
+	return &Element{ElemCommon: ElemCommon{Name: name}, Children: children}
+}
+
+// Append adds child nodes and returns the element for chaining.
+func (e *Element) Append(children ...Node) *Element {
+	e.Children = append(e.Children, children...)
+	return e
+}
+
+// ChildElements returns the element children in order.
+func (e *Element) ChildElements() []ElementNode {
+	var out []ElementNode
+	for _, c := range e.Children {
+		if el, ok := c.(ElementNode); ok {
+			out = append(out, el)
+		}
+	}
+	return out
+}
+
+// FirstChild returns the first child element with the given name, or nil.
+func (e *Element) FirstChild(name QName) ElementNode {
+	for _, c := range e.Children {
+		if el, ok := c.(ElementNode); ok && el.ElemName().Matches(name) {
+			return el
+		}
+	}
+	return nil
+}
+
+// TextContent concatenates the string value of all descendant text, leaf and
+// array content (the XPath string value of the element).
+func (e *Element) TextContent() string {
+	var b []byte
+	b = appendTextContent(b, e)
+	return string(b)
+}
+
+func appendTextContent(b []byte, n Node) []byte {
+	switch x := n.(type) {
+	case *Element:
+		for _, c := range x.Children {
+			b = appendTextContent(b, c)
+		}
+	case *LeafElement:
+		b = x.Value.AppendLexical(b)
+	case *ArrayElement:
+		b = x.Data.AppendAllLexical(b, " ")
+	case *Text:
+		b = append(b, x.Data...)
+	case *Document:
+		for _, c := range x.Children {
+			b = appendTextContent(b, c)
+		}
+	}
+	return b
+}
+
+// LeafElement is an element whose entire content is one typed atomic value
+// held in native machine form (the paper's LeafElement<T>).
+type LeafElement struct {
+	ElemCommon
+	Value Value
+}
+
+func (*LeafElement) Kind() Kind { return KindLeafElement }
+
+// NewLeaf constructs a typed leaf element generically, mirroring
+// LeafElement<T> in the paper's C++ implementation.
+func NewLeaf[T LeafValue](name QName, v T) *LeafElement {
+	return &LeafElement{ElemCommon: ElemCommon{Name: name}, Value: leafValueOf(v)}
+}
+
+// NewLeafValue constructs a leaf element from an already-boxed Value.
+func NewLeafValue(name QName, v Value) *LeafElement {
+	return &LeafElement{ElemCommon: ElemCommon{Name: name}, Value: v}
+}
+
+// LeafValue is the set of Go types a LeafElement can hold natively.
+type LeafValue interface {
+	~int8 | ~int16 | ~int32 | ~int64 |
+		~uint8 | ~uint16 | ~uint32 | ~uint64 |
+		~float32 | ~float64 | ~bool | ~string
+}
+
+func leafValueOf[T LeafValue](v T) Value {
+	switch x := any(v).(type) {
+	case bool:
+		return BoolValue(x)
+	case string:
+		return StringValue(x)
+	case int8:
+		return Int8Value(x)
+	case int16:
+		return Int16Value(x)
+	case int32:
+		return Int32Value(x)
+	case int64:
+		return Int64Value(x)
+	case uint8:
+		return Uint8Value(x)
+	case uint16:
+		return Uint16Value(x)
+	case uint32:
+		return Uint32Value(x)
+	case uint64:
+		return Uint64Value(x)
+	case float32:
+		return Float32Value(x)
+	case float64:
+		return Float64Value(x)
+	default:
+		panic(fmt.Sprintf("bxdm: unsupported leaf type %T", v))
+	}
+}
+
+// ArrayElement is an element whose content is a packed, aligned array of one
+// primitive type (the paper's ArrayElement<T>). Large arrays therefore cost
+// one allocation and can be block-copied on encode/decode.
+type ArrayElement struct {
+	ElemCommon
+	Data ArrayData
+}
+
+func (*ArrayElement) Kind() Kind { return KindArrayElement }
+
+// NewArray constructs an array element over the given items. The slice is
+// retained, not copied — ArrayElement is a view over the caller's packed
+// data, which is what makes zero-copy send possible.
+func NewArray[T xbs.Primitive](name QName, items []T) *ArrayElement {
+	return &ArrayElement{ElemCommon: ElemCommon{Name: name}, Data: Array[T]{Items: items}}
+}
+
+// NewArrayData constructs an array element from type-erased array data.
+func NewArrayData(name QName, data ArrayData) *ArrayElement {
+	return &ArrayElement{ElemCommon: ElemCommon{Name: name}, Data: data}
+}
+
+// Text is a character-data node.
+type Text struct {
+	Data string
+}
+
+func (*Text) Kind() Kind { return KindText }
+
+// NewText constructs a text node.
+func NewText(s string) *Text { return &Text{Data: s} }
+
+// Comment is a comment node.
+type Comment struct {
+	Data string
+}
+
+func (*Comment) Kind() Kind { return KindComment }
+
+// PI is a processing-instruction node.
+type PI struct {
+	Target string
+	Data   string
+}
+
+func (*PI) Kind() Kind { return KindPI }

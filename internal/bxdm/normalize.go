@@ -1,0 +1,91 @@
+package bxdm
+
+import "strconv"
+
+// Normalize makes a tree namespace-complete in place: every namespace URI
+// used by an element or attribute name gets a *usable* in-scope binding —
+// one reachable through an unshadowed prefix, and (for attributes) a
+// non-empty prefix — synthesizing declarations where missing, with the
+// QName's Prefix as a hint.
+//
+// Encoders auto-declare missing namespaces on the wire — a serialized
+// document must declare everything it uses — so decoding necessarily
+// reports those synthesized declarations as part of the model. The
+// round-trip guarantee (decode(encode(x)) ≡ x at the model level) therefore
+// holds exactly for namespace-complete trees; Normalize converts any tree
+// into one. Trees built by the parsers are already namespace-complete.
+func Normalize(n Node) {
+	var scope NSScope
+	auto := 0
+	normalize(n, &scope, &auto)
+}
+
+func normalize(n Node, scope *NSScope, auto *int) {
+	switch x := n.(type) {
+	case *Document:
+		for _, c := range x.Children {
+			normalize(c, scope, auto)
+		}
+	case *Element:
+		completeDecls(&x.ElemCommon, scope, auto)
+		scope.Push(x.NamespaceDecls)
+		for _, c := range x.Children {
+			normalize(c, scope, auto)
+		}
+		scope.Pop()
+	case *LeafElement:
+		completeDecls(&x.ElemCommon, scope, auto)
+	case *ArrayElement:
+		completeDecls(&x.ElemCommon, scope, auto)
+	}
+}
+
+func completeDecls(c *ElemCommon, scope *NSScope, auto *int) {
+	decls := c.NamespaceDecls
+	scope.Push(decls)
+	taken := func(prefix string) bool {
+		for _, d := range decls {
+			if d.Prefix == prefix {
+				return true
+			}
+		}
+		return false
+	}
+	ensure := func(space, hint string, forAttr bool) {
+		if space == "" || space == XMLNamespace {
+			return
+		}
+		if pfx, ok := scope.PrefixFor(space); ok && !(forAttr && pfx == "") {
+			return
+		}
+		prefix := hint
+		unusable := prefix == "" || taken(prefix)
+		if !unusable {
+			// Must not shadow an in-scope binding of this prefix to a
+			// different URI — other names may depend on it.
+			if uri, bound := scope.URIFor(prefix); bound && uri != "" && uri != space {
+				unusable = true
+			}
+		}
+		if unusable {
+			for {
+				*auto++
+				prefix = "ns" + strconv.Itoa(*auto)
+				if !taken(prefix) {
+					if _, bound := scope.URIFor(prefix); !bound {
+						break
+					}
+				}
+			}
+		}
+		decls = append(decls, NamespaceDecl{Prefix: prefix, URI: space})
+		scope.Pop()
+		scope.Push(decls)
+	}
+	ensure(c.Name.Space, c.Name.Prefix, false)
+	for _, a := range c.Attributes {
+		ensure(a.Name.Space, a.Name.Prefix, true)
+	}
+	scope.Pop()
+	c.NamespaceDecls = decls
+}

@@ -1,0 +1,107 @@
+package bxdm
+
+import "testing"
+
+func TestNormalizeAddsMissingDecls(t *testing.T) {
+	root := NewElement(Name("urn:a", "root"),
+		NewLeaf(Name("urn:b", "leaf"), int32(1)),
+	)
+	Normalize(root)
+	if len(root.NamespaceDecls) != 1 || root.NamespaceDecls[0].URI != "urn:a" {
+		t.Fatalf("root decls = %v", root.NamespaceDecls)
+	}
+	leaf := root.Children[0].(*LeafElement)
+	if len(leaf.NamespaceDecls) != 1 || leaf.NamespaceDecls[0].URI != "urn:b" {
+		t.Fatalf("leaf decls = %v", leaf.NamespaceDecls)
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	root := NewElement(Name("urn:a", "root"),
+		NewArray(Name("urn:b", "arr"), []int32{1}),
+	)
+	root.SetAttr(Name("urn:c", "attr"), StringValue("v"))
+	Normalize(root)
+	snapshot := Clone(root)
+	Normalize(root)
+	if !Equal(root, snapshot) {
+		t.Error("second Normalize changed the tree")
+	}
+}
+
+func TestNormalizeUsesPrefixHint(t *testing.T) {
+	root := NewElement(PName("urn:a", "pref", "root"))
+	Normalize(root)
+	if root.NamespaceDecls[0].Prefix != "pref" {
+		t.Errorf("prefix = %q, want hint", root.NamespaceDecls[0].Prefix)
+	}
+}
+
+func TestNormalizeRespectsExistingDecls(t *testing.T) {
+	root := NewElement(Name("urn:a", "root"))
+	root.DeclareNamespace("x", "urn:a")
+	child := NewElement(Name("urn:a", "child"))
+	root.Append(child)
+	Normalize(root)
+	if len(root.NamespaceDecls) != 1 {
+		t.Errorf("root decls = %v", root.NamespaceDecls)
+	}
+	if len(child.NamespaceDecls) != 0 {
+		t.Errorf("child redeclared inherited namespace: %v", child.NamespaceDecls)
+	}
+}
+
+func TestNormalizeAttrsNeedNonEmptyPrefix(t *testing.T) {
+	// urn:a is bound only as the default namespace — unusable for an
+	// attribute, so Normalize must add a prefixed declaration.
+	root := NewElement(Name("urn:a", "root"))
+	root.DeclareNamespace("", "urn:a")
+	root.SetAttr(Name("urn:a", "id"), StringValue("1"))
+	Normalize(root)
+	found := false
+	for _, d := range root.NamespaceDecls {
+		if d.URI == "urn:a" && d.Prefix != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no prefixed binding for attribute namespace: %v", root.NamespaceDecls)
+	}
+}
+
+func TestNormalizeAvoidsShadowingNeededPrefix(t *testing.T) {
+	// Outer binds p→urn:1; inner element uses urn:1 via the outer binding
+	// AND needs urn:2 whose hint prefix is also p. Normalize must not bind
+	// p→urn:2 on the inner element, which would orphan the urn:1 attribute.
+	root := NewElement(Name("urn:1", "root"))
+	root.DeclareNamespace("p", "urn:1")
+	inner := NewElement(LocalName("inner"))
+	inner.SetAttr(Name("urn:1", "a"), StringValue("x"))
+	inner.SetAttr(PName("urn:2", "p", "b"), StringValue("y"))
+	root.Append(inner)
+	Normalize(root)
+	for _, d := range inner.NamespaceDecls {
+		if d.Prefix == "p" && d.URI != "urn:1" {
+			t.Fatalf("Normalize shadowed prefix p: %v", inner.NamespaceDecls)
+		}
+	}
+	// urn:2 still got a (differently named) binding.
+	found := false
+	for _, d := range inner.NamespaceDecls {
+		if d.URI == "urn:2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("urn:2 not declared: %v", inner.NamespaceDecls)
+	}
+}
+
+func TestNormalizeSkipsXMLNamespace(t *testing.T) {
+	root := NewElement(LocalName("root"))
+	root.SetAttr(Name(XMLNamespace, "lang"), StringValue("en"))
+	Normalize(root)
+	if len(root.NamespaceDecls) != 0 {
+		t.Errorf("xml namespace needlessly declared: %v", root.NamespaceDecls)
+	}
+}

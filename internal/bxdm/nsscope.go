@@ -1,0 +1,122 @@
+package bxdm
+
+import "fmt"
+
+// NSScope tracks in-scope namespace bindings while walking a tree. Encoders
+// use it to resolve a QName to (scope depth, symbol-table index) — the
+// tokenized namespace reference BXSA stores instead of a prefix (paper §4.1)
+// — and decoders use it in reverse.
+//
+// Depth semantics follow the paper: "a count backwards to indicate where the
+// namespace was declared" — 0 means the current element's own table, 1 the
+// parent's, and so on. Only elements that declare at least one namespace
+// contribute a table, matching the frame layout (a frame with N1 == 0 has no
+// table to index into).
+type NSScope struct {
+	frames []nsFrame
+}
+
+type nsFrame struct {
+	decls    []NamespaceDecl
+	hasTable bool // whether this element contributed a symbol table
+}
+
+// XMLNamespace is the reserved namespace bound to the xml prefix.
+const XMLNamespace = "http://www.w3.org/XML/1998/namespace"
+
+// Push enters an element, recording its namespace declarations.
+func (s *NSScope) Push(decls []NamespaceDecl) {
+	s.frames = append(s.frames, nsFrame{decls: decls, hasTable: len(decls) > 0})
+}
+
+// Pop leaves the current element.
+func (s *NSScope) Pop() {
+	s.frames = s.frames[:len(s.frames)-1]
+}
+
+// Depth returns the current element nesting depth.
+func (s *NSScope) Depth() int { return len(s.frames) }
+
+// Resolve maps a namespace URI to its tokenized reference: how many
+// table-contributing ancestor frames back (0 = innermost table) and the
+// index within that frame's declaration list. The innermost (re)declaration
+// wins, matching XML namespace scoping.
+func (s *NSScope) Resolve(uri string) (depth, index int, err error) {
+	depth = 0
+	for i := len(s.frames) - 1; i >= 0; i-- {
+		f := s.frames[i]
+		if !f.hasTable {
+			continue
+		}
+		// Later declarations on one element shadow earlier ones of the same
+		// prefix, but URIs are looked up directly; first match in document
+		// order within the element is fine since duplicates are idempotent.
+		for j, d := range f.decls {
+			if d.URI == uri {
+				return depth, j, nil
+			}
+		}
+		depth++
+	}
+	return 0, 0, fmt.Errorf("bxdm: namespace %q not in scope", uri)
+}
+
+// Lookup maps a tokenized (depth, index) reference back to the declaration.
+func (s *NSScope) Lookup(depth, index int) (NamespaceDecl, error) {
+	d := depth
+	for i := len(s.frames) - 1; i >= 0; i-- {
+		f := s.frames[i]
+		if !f.hasTable {
+			continue
+		}
+		if d == 0 {
+			if index < 0 || index >= len(f.decls) {
+				return NamespaceDecl{}, fmt.Errorf("bxdm: namespace index %d out of range (table size %d)", index, len(f.decls))
+			}
+			return f.decls[index], nil
+		}
+		d--
+	}
+	return NamespaceDecl{}, fmt.Errorf("bxdm: namespace scope depth %d exceeds nesting", depth)
+}
+
+// PrefixFor resolves a namespace URI to the innermost in-scope prefix, for
+// textual serialization. ok is false when the URI is not bound.
+func (s *NSScope) PrefixFor(uri string) (string, bool) {
+	if uri == XMLNamespace {
+		return "xml", true
+	}
+	for i := len(s.frames) - 1; i >= 0; i-- {
+		for j := len(s.frames[i].decls) - 1; j >= 0; j-- {
+			d := s.frames[i].decls[j]
+			if d.URI == uri {
+				// The prefix must not be shadowed by an inner redeclaration.
+				if s.uriFor(d.Prefix, len(s.frames)-1) == uri {
+					return d.Prefix, true
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// URIFor resolves a prefix to its in-scope URI ("" prefix = default
+// namespace). ok is false when unbound.
+func (s *NSScope) URIFor(prefix string) (string, bool) {
+	if prefix == "xml" {
+		return XMLNamespace, true
+	}
+	uri := s.uriFor(prefix, len(s.frames)-1)
+	return uri, uri != "" || prefix == ""
+}
+
+func (s *NSScope) uriFor(prefix string, from int) string {
+	for i := from; i >= 0; i-- {
+		for j := len(s.frames[i].decls) - 1; j >= 0; j-- {
+			if s.frames[i].decls[j].Prefix == prefix {
+				return s.frames[i].decls[j].URI
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,101 @@
+package bxdm
+
+import "testing"
+
+func TestNSScopeResolveAndLookup(t *testing.T) {
+	var s NSScope
+	s.Push([]NamespaceDecl{{"soap", "urn:soap"}, {"a", "urn:app"}})
+	s.Push(nil) // element with no declarations — contributes no table
+	s.Push([]NamespaceDecl{{"b", "urn:inner"}})
+
+	// urn:inner is in the innermost table.
+	if d, i, err := s.Resolve("urn:inner"); err != nil || d != 0 || i != 0 {
+		t.Errorf("Resolve(urn:inner) = (%d,%d,%v)", d, i, err)
+	}
+	// urn:app is one *table* back (the middle frame has no table).
+	if d, i, err := s.Resolve("urn:app"); err != nil || d != 1 || i != 1 {
+		t.Errorf("Resolve(urn:app) = (%d,%d,%v)", d, i, err)
+	}
+	if d, i, err := s.Resolve("urn:soap"); err != nil || d != 1 || i != 0 {
+		t.Errorf("Resolve(urn:soap) = (%d,%d,%v)", d, i, err)
+	}
+	if _, _, err := s.Resolve("urn:absent"); err == nil {
+		t.Error("Resolve of unbound URI should fail")
+	}
+
+	// Lookup is the inverse.
+	for _, uri := range []string{"urn:inner", "urn:app", "urn:soap"} {
+		d, i, err := s.Resolve(uri)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decl, err := s.Lookup(d, i)
+		if err != nil || decl.URI != uri {
+			t.Errorf("Lookup(Resolve(%q)) = %v, %v", uri, decl, err)
+		}
+	}
+
+	if _, err := s.Lookup(5, 0); err == nil {
+		t.Error("Lookup beyond nesting should fail")
+	}
+	if _, err := s.Lookup(0, 9); err == nil {
+		t.Error("Lookup with bad index should fail")
+	}
+}
+
+func TestNSScopePushPop(t *testing.T) {
+	var s NSScope
+	s.Push([]NamespaceDecl{{"a", "urn:a"}})
+	s.Push([]NamespaceDecl{{"b", "urn:b"}})
+	if s.Depth() != 2 {
+		t.Fatalf("Depth = %d", s.Depth())
+	}
+	s.Pop()
+	if _, _, err := s.Resolve("urn:b"); err == nil {
+		t.Error("popped namespace still resolvable")
+	}
+	if _, _, err := s.Resolve("urn:a"); err != nil {
+		t.Error("outer namespace lost after pop")
+	}
+}
+
+func TestPrefixForShadowing(t *testing.T) {
+	var s NSScope
+	s.Push([]NamespaceDecl{{"p", "urn:outer"}})
+	s.Push([]NamespaceDecl{{"p", "urn:inner"}})
+	if pfx, ok := s.PrefixFor("urn:inner"); !ok || pfx != "p" {
+		t.Errorf("PrefixFor(urn:inner) = %q, %v", pfx, ok)
+	}
+	// urn:outer's only prefix is shadowed, so it is unreachable.
+	if _, ok := s.PrefixFor("urn:outer"); ok {
+		t.Error("shadowed URI should not resolve to a prefix")
+	}
+	s.Pop()
+	if pfx, ok := s.PrefixFor("urn:outer"); !ok || pfx != "p" {
+		t.Errorf("after pop PrefixFor(urn:outer) = %q, %v", pfx, ok)
+	}
+}
+
+func TestURIFor(t *testing.T) {
+	var s NSScope
+	s.Push([]NamespaceDecl{{"", "urn:default"}, {"x", "urn:x"}})
+	if uri, ok := s.URIFor(""); !ok || uri != "urn:default" {
+		t.Errorf("URIFor(default) = %q, %v", uri, ok)
+	}
+	if uri, ok := s.URIFor("x"); !ok || uri != "urn:x" {
+		t.Errorf("URIFor(x) = %q, %v", uri, ok)
+	}
+	if uri, ok := s.URIFor("xml"); !ok || uri != XMLNamespace {
+		t.Errorf("URIFor(xml) = %q, %v", uri, ok)
+	}
+	if _, ok := s.URIFor("nope"); ok {
+		t.Error("unbound prefix resolved")
+	}
+}
+
+func TestPrefixForXMLNamespace(t *testing.T) {
+	var s NSScope
+	if pfx, ok := s.PrefixFor(XMLNamespace); !ok || pfx != "xml" {
+		t.Errorf("PrefixFor(xml ns) = %q, %v", pfx, ok)
+	}
+}

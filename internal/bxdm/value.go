@@ -1,0 +1,365 @@
+// Package bxdm implements the paper's extended XQuery/XPath data model
+// (§3): the seven XDM node kinds plus two refinements of the Element node —
+// LeafElement, an element whose content is a single typed atomic value kept
+// in native machine form, and ArrayElement, an element whose content is a
+// packed one-dimensional array of a primitive type. Keeping numbers in
+// machine form is what lets BXSA skip the float↔ASCII conversions that
+// dominate textual-XML SOAP performance.
+package bxdm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"bxsoap/internal/xbs"
+)
+
+// TypeCode identifies the atomic type of a typed value. The codes are stable
+// and appear on the wire in BXSA frames ("value type code" in Figure 2).
+type TypeCode uint8
+
+const (
+	TInvalid TypeCode = iota
+	TInt8
+	TInt16
+	TInt32
+	TInt64
+	TUint8
+	TUint16
+	TUint32
+	TUint64
+	TFloat32
+	TFloat64
+	TBool
+	TString
+)
+
+// String returns the XML Schema built-in type name for the code (the name
+// emitted in xsi:type attributes when transcoding to textual XML).
+func (c TypeCode) String() string {
+	switch c {
+	case TInt8:
+		return "byte"
+	case TInt16:
+		return "short"
+	case TInt32:
+		return "int"
+	case TInt64:
+		return "long"
+	case TUint8:
+		return "unsignedByte"
+	case TUint16:
+		return "unsignedShort"
+	case TUint32:
+		return "unsignedInt"
+	case TUint64:
+		return "unsignedLong"
+	case TFloat32:
+		return "float"
+	case TFloat64:
+		return "double"
+	case TBool:
+		return "boolean"
+	case TString:
+		return "string"
+	default:
+		return fmt.Sprintf("invalid(%d)", uint8(c))
+	}
+}
+
+// TypeCodeForXSD maps an XML Schema built-in type name (no prefix) back to a
+// TypeCode; it returns TInvalid for unknown names.
+func TypeCodeForXSD(name string) TypeCode {
+	switch name {
+	case "byte":
+		return TInt8
+	case "short":
+		return TInt16
+	case "int":
+		return TInt32
+	case "long", "integer":
+		return TInt64
+	case "unsignedByte":
+		return TUint8
+	case "unsignedShort":
+		return TUint16
+	case "unsignedInt":
+		return TUint32
+	case "unsignedLong":
+		return TUint64
+	case "float":
+		return TFloat32
+	case "double", "decimal":
+		return TFloat64
+	case "boolean":
+		return TBool
+	case "string":
+		return TString
+	default:
+		return TInvalid
+	}
+}
+
+// Size returns the native encoded size in bytes of a numeric/bool code, or
+// -1 for TString (variable) and TInvalid.
+func (c TypeCode) Size() int {
+	switch c {
+	case TInt8, TUint8, TBool:
+		return 1
+	case TInt16, TUint16:
+		return 2
+	case TInt32, TUint32, TFloat32:
+		return 4
+	case TInt64, TUint64, TFloat64:
+		return 8
+	default:
+		return -1
+	}
+}
+
+// Valid reports whether the code names a real type.
+func (c TypeCode) Valid() bool { return c > TInvalid && c <= TString }
+
+// Value is a typed atomic value — the XDM feature the paper selects the data
+// model for. Numeric values are stored as raw bits, never as text, so no
+// conversion happens until (and unless) a textual encoding asks for one.
+type Value struct {
+	code TypeCode
+	bits uint64
+	str  string
+}
+
+// Type returns the value's type code.
+func (v Value) Type() TypeCode { return v.code }
+
+// IsZero reports whether v is the invalid zero Value.
+func (v Value) IsZero() bool { return v.code == TInvalid }
+
+// Int8Value and friends box a native value.
+func Int8Value(v int8) Value       { return Value{code: TInt8, bits: uint64(v)} }
+func Int16Value(v int16) Value     { return Value{code: TInt16, bits: uint64(v)} }
+func Int32Value(v int32) Value     { return Value{code: TInt32, bits: uint64(v)} }
+func Int64Value(v int64) Value     { return Value{code: TInt64, bits: uint64(v)} }
+func Uint8Value(v uint8) Value     { return Value{code: TUint8, bits: uint64(v)} }
+func Uint16Value(v uint16) Value   { return Value{code: TUint16, bits: uint64(v)} }
+func Uint32Value(v uint32) Value   { return Value{code: TUint32, bits: uint64(v)} }
+func Uint64Value(v uint64) Value   { return Value{code: TUint64, bits: v} }
+func Float32Value(v float32) Value { return Value{code: TFloat32, bits: uint64(math.Float32bits(v))} }
+func Float64Value(v float64) Value { return Value{code: TFloat64, bits: math.Float64bits(v)} }
+
+// BoolValue boxes a boolean.
+func BoolValue(v bool) Value {
+	var b uint64
+	if v {
+		b = 1
+	}
+	return Value{code: TBool, bits: b}
+}
+
+// StringValue boxes a string.
+func StringValue(s string) Value { return Value{code: TString, str: s} }
+
+// ValueOf boxes any XBS primitive generically (the Go analogue of the
+// paper's LeafElement<T> template parameter).
+func ValueOf[T xbs.Primitive](v T) Value {
+	switch x := any(v).(type) {
+	case int8:
+		return Int8Value(x)
+	case int16:
+		return Int16Value(x)
+	case int32:
+		return Int32Value(x)
+	case int64:
+		return Int64Value(x)
+	case uint8:
+		return Uint8Value(x)
+	case uint16:
+		return Uint16Value(x)
+	case uint32:
+		return Uint32Value(x)
+	case uint64:
+		return Uint64Value(x)
+	case float32:
+		return Float32Value(x)
+	case float64:
+		return Float64Value(x)
+	default:
+		panic(fmt.Sprintf("bxdm: unreachable primitive %T", v))
+	}
+}
+
+// Int64 returns the value widened to int64. Float values are truncated;
+// strings are parsed (0 on failure).
+func (v Value) Int64() int64 {
+	switch v.code {
+	case TInt8:
+		return int64(int8(v.bits))
+	case TInt16:
+		return int64(int16(v.bits))
+	case TInt32:
+		return int64(int32(v.bits))
+	case TInt64:
+		return int64(v.bits)
+	case TUint8, TUint16, TUint32, TUint64, TBool:
+		return int64(v.bits)
+	case TFloat32:
+		return int64(math.Float32frombits(uint32(v.bits)))
+	case TFloat64:
+		return int64(math.Float64frombits(v.bits))
+	case TString:
+		n, _ := strconv.ParseInt(strings.TrimSpace(v.str), 10, 64)
+		return n
+	default:
+		return 0
+	}
+}
+
+// Uint64 returns the value widened to uint64.
+func (v Value) Uint64() uint64 {
+	switch v.code {
+	case TInt8:
+		return uint64(int64(int8(v.bits)))
+	case TInt16:
+		return uint64(int64(int16(v.bits)))
+	case TInt32:
+		return uint64(int64(int32(v.bits)))
+	case TFloat32:
+		return uint64(math.Float32frombits(uint32(v.bits)))
+	case TFloat64:
+		return uint64(math.Float64frombits(v.bits))
+	case TString:
+		n, _ := strconv.ParseUint(strings.TrimSpace(v.str), 10, 64)
+		return n
+	default:
+		return v.bits
+	}
+}
+
+// Float64 returns the value as a float64.
+func (v Value) Float64() float64 {
+	switch v.code {
+	case TFloat32:
+		return float64(math.Float32frombits(uint32(v.bits)))
+	case TFloat64:
+		return math.Float64frombits(v.bits)
+	case TUint8, TUint16, TUint32, TUint64, TBool:
+		return float64(v.bits)
+	case TString:
+		f, _ := strconv.ParseFloat(strings.TrimSpace(v.str), 64)
+		return f
+	default:
+		return float64(v.Int64())
+	}
+}
+
+// Bool returns the value as a boolean.
+func (v Value) Bool() bool {
+	if v.code == TString {
+		s := strings.TrimSpace(v.str)
+		return s == "true" || s == "1"
+	}
+	return v.bits != 0
+}
+
+// Bits exposes the raw native bit pattern (used by BXSA encoding).
+func (v Value) Bits() uint64 { return v.bits }
+
+// Lexical returns the XML lexical form of the value — the text that a
+// textual encoder must produce. For floats this is the shortest string that
+// round-trips exactly (strconv 'g' with precision -1), so
+// XML→BXSA→XML transcoding preserves values bit-for-bit.
+func (v Value) Lexical() string {
+	return string(v.AppendLexical(nil))
+}
+
+// AppendLexical appends the lexical form to dst; this is the hot path the
+// paper identifies as the dominant cost of textual SOAP.
+func (v Value) AppendLexical(dst []byte) []byte {
+	switch v.code {
+	case TInt8, TInt16, TInt32, TInt64:
+		return strconv.AppendInt(dst, v.Int64(), 10)
+	case TUint8, TUint16, TUint32, TUint64:
+		return strconv.AppendUint(dst, v.bits, 10)
+	case TFloat32:
+		return strconv.AppendFloat(dst, float64(math.Float32frombits(uint32(v.bits))), 'g', -1, 32)
+	case TFloat64:
+		return strconv.AppendFloat(dst, math.Float64frombits(v.bits), 'g', -1, 64)
+	case TBool:
+		if v.bits != 0 {
+			return append(dst, "true"...)
+		}
+		return append(dst, "false"...)
+	case TString:
+		return append(dst, v.str...)
+	default:
+		return dst
+	}
+}
+
+// Text returns the string payload of a TString value, or the lexical form
+// otherwise.
+func (v Value) Text() string {
+	if v.code == TString {
+		return v.str
+	}
+	return v.Lexical()
+}
+
+// Equal reports type-and-bits equality. Two NaNs with the same payload are
+// equal (encoding round trips must preserve them).
+func (v Value) Equal(o Value) bool {
+	return v.code == o.code && v.bits == o.bits && v.str == o.str
+}
+
+// ParseValue parses the XML lexical form s into a typed value of the given
+// code (the inverse of Lexical; used when a textual decoder meets xsi:type).
+func ParseValue(code TypeCode, s string) (Value, error) {
+	t := strings.TrimSpace(s)
+	switch code {
+	case TInt8:
+		n, err := strconv.ParseInt(t, 10, 8)
+		return Int8Value(int8(n)), err
+	case TInt16:
+		n, err := strconv.ParseInt(t, 10, 16)
+		return Int16Value(int16(n)), err
+	case TInt32:
+		n, err := strconv.ParseInt(t, 10, 32)
+		return Int32Value(int32(n)), err
+	case TInt64:
+		n, err := strconv.ParseInt(t, 10, 64)
+		return Int64Value(n), err
+	case TUint8:
+		n, err := strconv.ParseUint(t, 10, 8)
+		return Uint8Value(uint8(n)), err
+	case TUint16:
+		n, err := strconv.ParseUint(t, 10, 16)
+		return Uint16Value(uint16(n)), err
+	case TUint32:
+		n, err := strconv.ParseUint(t, 10, 32)
+		return Uint32Value(uint32(n)), err
+	case TUint64:
+		n, err := strconv.ParseUint(t, 10, 64)
+		return Uint64Value(n), err
+	case TFloat32:
+		f, err := strconv.ParseFloat(t, 32)
+		return Float32Value(float32(f)), err
+	case TFloat64:
+		f, err := strconv.ParseFloat(t, 64)
+		return Float64Value(f), err
+	case TBool:
+		switch t {
+		case "true", "1":
+			return BoolValue(true), nil
+		case "false", "0":
+			return BoolValue(false), nil
+		default:
+			return Value{}, fmt.Errorf("bxdm: invalid boolean %q", s)
+		}
+	case TString:
+		return StringValue(s), nil
+	default:
+		return Value{}, fmt.Errorf("bxdm: cannot parse into type code %v", code)
+	}
+}

@@ -1,0 +1,175 @@
+package bxdm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	cases := []struct {
+		v    Value
+		code TypeCode
+		i64  int64
+		f64  float64
+		lex  string
+	}{
+		{Int8Value(-5), TInt8, -5, -5, "-5"},
+		{Int16Value(-300), TInt16, -300, -300, "-300"},
+		{Int32Value(1 << 20), TInt32, 1 << 20, 1 << 20, "1048576"},
+		{Int64Value(-1 << 40), TInt64, -1 << 40, -1 << 40, "-1099511627776"},
+		{Uint8Value(200), TUint8, 200, 200, "200"},
+		{Uint16Value(60000), TUint16, 60000, 60000, "60000"},
+		{Uint32Value(4000000000), TUint32, 4000000000, 4000000000, "4000000000"},
+		{Uint64Value(1 << 63), TUint64, -0x8000000000000000, float64(1 << 63), "9223372036854775808"},
+		{Float32Value(1.5), TFloat32, 1, 1.5, "1.5"},
+		{Float64Value(-2.25), TFloat64, -2, -2.25, "-2.25"},
+		{BoolValue(true), TBool, 1, 1, "true"},
+		{BoolValue(false), TBool, 0, 0, "false"},
+		{StringValue("hi"), TString, 0, 0, "hi"},
+	}
+	for _, c := range cases {
+		if c.v.Type() != c.code {
+			t.Errorf("%v: code = %v, want %v", c.lex, c.v.Type(), c.code)
+		}
+		if got := c.v.Lexical(); got != c.lex {
+			t.Errorf("Lexical = %q, want %q", got, c.lex)
+		}
+		if c.code != TString && c.v.Int64() != c.i64 {
+			t.Errorf("%v: Int64 = %d, want %d", c.lex, c.v.Int64(), c.i64)
+		}
+		if c.code != TString && c.v.Float64() != c.f64 {
+			t.Errorf("%v: Float64 = %g, want %g", c.lex, c.v.Float64(), c.f64)
+		}
+	}
+}
+
+func TestValueOfGeneric(t *testing.T) {
+	if v := ValueOf(int32(7)); v.Type() != TInt32 || v.Int64() != 7 {
+		t.Errorf("ValueOf(int32) = %v", v)
+	}
+	if v := ValueOf(float64(2.5)); v.Type() != TFloat64 || v.Float64() != 2.5 {
+		t.Errorf("ValueOf(float64) = %v", v)
+	}
+	if v := ValueOf(uint16(9)); v.Type() != TUint16 || v.Uint64() != 9 {
+		t.Errorf("ValueOf(uint16) = %v", v)
+	}
+}
+
+func TestParseValueRoundTrip(t *testing.T) {
+	values := []Value{
+		Int8Value(-128), Int16Value(32767), Int32Value(-42), Int64Value(1 << 50),
+		Uint8Value(255), Uint16Value(0), Uint32Value(7), Uint64Value(math.MaxUint64),
+		Float32Value(3.14159), Float64Value(-1e-300), Float64Value(math.MaxFloat64),
+		BoolValue(true), BoolValue(false), StringValue("hello world"),
+	}
+	for _, v := range values {
+		back, err := ParseValue(v.Type(), v.Lexical())
+		if err != nil {
+			t.Fatalf("ParseValue(%v, %q): %v", v.Type(), v.Lexical(), err)
+		}
+		if !back.Equal(v) {
+			t.Errorf("round trip %v %q → %v", v.Type(), v.Lexical(), back)
+		}
+	}
+}
+
+func TestParseValueErrors(t *testing.T) {
+	if _, err := ParseValue(TInt8, "300"); err == nil {
+		t.Error("int8 overflow accepted")
+	}
+	if _, err := ParseValue(TBool, "maybe"); err == nil {
+		t.Error("bad boolean accepted")
+	}
+	if _, err := ParseValue(TFloat64, "not-a-number"); err == nil {
+		t.Error("bad float accepted")
+	}
+	if _, err := ParseValue(TInvalid, "x"); err == nil {
+		t.Error("invalid code accepted")
+	}
+}
+
+func TestFloat64LexicalRoundTripProperty(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) {
+			return true // NaN lexical form is not round-trippable via ==
+		}
+		v := Float64Value(x)
+		back, err := ParseValue(TFloat64, v.Lexical())
+		return err == nil && back.Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInt64LexicalRoundTripProperty(t *testing.T) {
+	f := func(x int64) bool {
+		v := Int64Value(x)
+		back, err := ParseValue(TInt64, v.Lexical())
+		return err == nil && back.Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTypeCodeXSDMapping(t *testing.T) {
+	for c := TInt8; c <= TString; c++ {
+		if got := TypeCodeForXSD(c.String()); got != c {
+			t.Errorf("TypeCodeForXSD(%q) = %v, want %v", c.String(), got, c)
+		}
+	}
+	if TypeCodeForXSD("gYearMonth") != TInvalid {
+		t.Error("unknown XSD name should map to TInvalid")
+	}
+}
+
+func TestTypeCodeSize(t *testing.T) {
+	sizes := map[TypeCode]int{
+		TInt8: 1, TUint8: 1, TBool: 1,
+		TInt16: 2, TUint16: 2,
+		TInt32: 4, TUint32: 4, TFloat32: 4,
+		TInt64: 8, TUint64: 8, TFloat64: 8,
+		TString: -1, TInvalid: -1,
+	}
+	for c, want := range sizes {
+		if got := c.Size(); got != want {
+			t.Errorf("%v.Size() = %d, want %d", c, got, want)
+		}
+	}
+}
+
+func TestValueEqualDistinguishesTypes(t *testing.T) {
+	if Int32Value(1).Equal(Int64Value(1)) {
+		t.Error("int32(1) should not equal int64(1): typed values carry their type")
+	}
+	if Float64Value(0).Equal(Float64Value(math.Copysign(0, -1))) {
+		t.Error("+0.0 and -0.0 differ in bits and must not be Equal")
+	}
+}
+
+func TestBoolAccessor(t *testing.T) {
+	if !BoolValue(true).Bool() || BoolValue(false).Bool() {
+		t.Error("Bool() wrong for bool values")
+	}
+	if !StringValue("true").Bool() || !StringValue("1").Bool() || StringValue("false").Bool() {
+		t.Error("Bool() wrong for string values")
+	}
+	if !Int32Value(5).Bool() || Int32Value(0).Bool() {
+		t.Error("Bool() wrong for numeric values")
+	}
+}
+
+func TestStringValueCoercions(t *testing.T) {
+	v := StringValue(" 42 ")
+	if v.Int64() != 42 {
+		t.Errorf("Int64 of %q = %d", v.Text(), v.Int64())
+	}
+	if StringValue("2.5").Float64() != 2.5 {
+		t.Error("Float64 of string failed")
+	}
+	if StringValue("17").Uint64() != 17 {
+		t.Error("Uint64 of string failed")
+	}
+}

@@ -1,0 +1,204 @@
+package bxdm
+
+import "fmt"
+
+// Visitor is the traversal interface encoders implement (paper §5.2: "every
+// encoder behaves as a generic visitor of the bXDM data model and generates
+// the specific serialization during the visiting"). Container nodes get
+// Enter/Leave pairs so an encoder can emit open and close markup around the
+// children, which Accept visits in document order.
+type Visitor interface {
+	EnterDocument(*Document) error
+	LeaveDocument(*Document) error
+	EnterElement(*Element) error
+	LeaveElement(*Element) error
+	VisitLeaf(*LeafElement) error
+	VisitArray(*ArrayElement) error
+	VisitText(*Text) error
+	VisitComment(*Comment) error
+	VisitPI(*PI) error
+}
+
+// Accept drives a Visitor over the tree rooted at n in document order.
+func Accept(n Node, v Visitor) error {
+	switch x := n.(type) {
+	case *Document:
+		if err := v.EnterDocument(x); err != nil {
+			return err
+		}
+		for _, c := range x.Children {
+			if err := Accept(c, v); err != nil {
+				return err
+			}
+		}
+		return v.LeaveDocument(x)
+	case *Element:
+		if err := v.EnterElement(x); err != nil {
+			return err
+		}
+		for _, c := range x.Children {
+			if err := Accept(c, v); err != nil {
+				return err
+			}
+		}
+		return v.LeaveElement(x)
+	case *LeafElement:
+		return v.VisitLeaf(x)
+	case *ArrayElement:
+		return v.VisitArray(x)
+	case *Text:
+		return v.VisitText(x)
+	case *Comment:
+		return v.VisitComment(x)
+	case *PI:
+		return v.VisitPI(x)
+	case nil:
+		return nil
+	default:
+		return fmt.Errorf("bxdm: unknown node type %T", n)
+	}
+}
+
+// Walk calls fn for every node in the tree in document order, descending
+// into children unless fn returns SkipChildren.
+func Walk(n Node, fn func(Node) error) error {
+	if n == nil {
+		return nil
+	}
+	err := fn(n)
+	if err == SkipChildren {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	switch x := n.(type) {
+	case *Document:
+		for _, c := range x.Children {
+			if err := Walk(c, fn); err != nil {
+				return err
+			}
+		}
+	case *Element:
+		for _, c := range x.Children {
+			if err := Walk(c, fn); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SkipChildren can be returned by a Walk callback to prune the traversal.
+var SkipChildren = fmt.Errorf("bxdm: skip children")
+
+// Equal reports deep structural equality of two trees: kinds, names,
+// namespace declarations, attributes, typed values (bit-exact), packed array
+// contents, and child order must all match.
+func Equal(a, b Node) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	switch x := a.(type) {
+	case *Document:
+		y := b.(*Document)
+		return equalChildren(x.Children, y.Children)
+	case *Element:
+		y := b.(*Element)
+		return equalCommon(&x.ElemCommon, &y.ElemCommon) && equalChildren(x.Children, y.Children)
+	case *LeafElement:
+		y := b.(*LeafElement)
+		return equalCommon(&x.ElemCommon, &y.ElemCommon) && x.Value.Equal(y.Value)
+	case *ArrayElement:
+		y := b.(*ArrayElement)
+		return equalCommon(&x.ElemCommon, &y.ElemCommon) && x.Data.EqualData(y.Data)
+	case *Text:
+		return x.Data == b.(*Text).Data
+	case *Comment:
+		return x.Data == b.(*Comment).Data
+	case *PI:
+		y := b.(*PI)
+		return x.Target == y.Target && x.Data == y.Data
+	default:
+		return false
+	}
+}
+
+func equalChildren(a, b []Node) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func equalCommon(a, b *ElemCommon) bool {
+	if !a.Name.Matches(b.Name) {
+		return false
+	}
+	if len(a.NamespaceDecls) != len(b.NamespaceDecls) || len(a.Attributes) != len(b.Attributes) {
+		return false
+	}
+	for i := range a.NamespaceDecls {
+		if a.NamespaceDecls[i] != b.NamespaceDecls[i] {
+			return false
+		}
+	}
+	for i := range a.Attributes {
+		if !a.Attributes[i].Name.Matches(b.Attributes[i].Name) ||
+			!a.Attributes[i].Value.Equal(b.Attributes[i].Value) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the tree rooted at n.
+func Clone(n Node) Node {
+	switch x := n.(type) {
+	case nil:
+		return nil
+	case *Document:
+		d := &Document{Children: make([]Node, len(x.Children))}
+		for i, c := range x.Children {
+			d.Children[i] = Clone(c)
+		}
+		return d
+	case *Element:
+		e := &Element{ElemCommon: cloneCommon(&x.ElemCommon), Children: make([]Node, len(x.Children))}
+		for i, c := range x.Children {
+			e.Children[i] = Clone(c)
+		}
+		return e
+	case *LeafElement:
+		return &LeafElement{ElemCommon: cloneCommon(&x.ElemCommon), Value: x.Value}
+	case *ArrayElement:
+		return &ArrayElement{ElemCommon: cloneCommon(&x.ElemCommon), Data: x.Data.CloneData()}
+	case *Text:
+		return &Text{Data: x.Data}
+	case *Comment:
+		return &Comment{Data: x.Data}
+	case *PI:
+		return &PI{Target: x.Target, Data: x.Data}
+	default:
+		panic(fmt.Sprintf("bxdm: unknown node type %T", n))
+	}
+}
+
+func cloneCommon(c *ElemCommon) ElemCommon {
+	out := ElemCommon{Name: c.Name}
+	if len(c.NamespaceDecls) > 0 {
+		out.NamespaceDecls = append([]NamespaceDecl(nil), c.NamespaceDecls...)
+	}
+	if len(c.Attributes) > 0 {
+		out.Attributes = append([]Attribute(nil), c.Attributes...)
+	}
+	return out
+}

@@ -1,0 +1,400 @@
+package bxsa
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+
+	"bxsoap/internal/bxdm"
+	"bxsoap/internal/vls"
+	"bxsoap/internal/xbs"
+)
+
+// Parse decodes a BXSA document into a bXDM tree. The input must contain
+// exactly one top-level frame (normally a document frame; a bare element
+// frame is also accepted and returned as-is).
+func Parse(data []byte) (bxdm.Node, error) {
+	d := &decoder{data: data}
+	n, err := d.parseFrame()
+	if err != nil {
+		return nil, fmt.Errorf("bxsa: %w at byte %d", err, d.pos)
+	}
+	if d.pos != len(data) {
+		return nil, fmt.Errorf("bxsa: %d trailing bytes after document frame", len(data)-d.pos)
+	}
+	return n, nil
+}
+
+// ParseDocument decodes and requires a document frame.
+func ParseDocument(data []byte) (*bxdm.Document, error) {
+	n, err := Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	doc, ok := n.(*bxdm.Document)
+	if !ok {
+		return nil, fmt.Errorf("bxsa: top-level frame is %v, not a document", n.Kind())
+	}
+	return doc, nil
+}
+
+// Decode reads all of r and parses it as a BXSA document.
+func Decode(r io.Reader) (bxdm.Node, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data)
+}
+
+type decoder struct {
+	data  []byte
+	pos   int
+	scope bxdm.NSScope
+}
+
+func (d *decoder) errf(format string, args ...any) error {
+	return fmt.Errorf(format, args...)
+}
+
+func (d *decoder) remaining() int { return len(d.data) - d.pos }
+
+func (d *decoder) readByte() (byte, error) {
+	if d.remaining() < 1 {
+		return 0, d.errf("truncated frame")
+	}
+	b := d.data[d.pos]
+	d.pos++
+	return b, nil
+}
+
+func (d *decoder) readVLS() (uint64, error) {
+	v, n, err := vls.Uint(d.data[d.pos:])
+	if err != nil {
+		return 0, err
+	}
+	d.pos += n
+	return v, nil
+}
+
+// readLen reads a VLS length and validates it against what is left and a
+// hard cap, preventing hostile inputs from forcing huge allocations.
+func (d *decoder) readLen(cap int, what string) (int, error) {
+	v, err := d.readVLS()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(cap) {
+		return 0, d.errf("%s length %d exceeds limit %d", what, v, cap)
+	}
+	if v > uint64(d.remaining()) {
+		return 0, d.errf("%s length %d exceeds remaining input %d", what, v, d.remaining())
+	}
+	return int(v), nil
+}
+
+func (d *decoder) readString(cap int, what string) (string, error) {
+	n, err := d.readLen(cap, what)
+	if err != nil {
+		return "", err
+	}
+	s := string(d.data[d.pos : d.pos+n])
+	d.pos += n
+	return s, nil
+}
+
+// parseFrame decodes one complete frame at the current position.
+func (d *decoder) parseFrame() (bxdm.Node, error) {
+	pb, err := d.readByte()
+	if err != nil {
+		return nil, err
+	}
+	order, ft := splitPrefix(pb)
+	if order > xbs.BigEndian {
+		return nil, d.errf("invalid byte-order bits %d", order)
+	}
+	bodySize, err := d.readLen(d.remaining(), "frame body")
+	if err != nil {
+		return nil, err
+	}
+	end := d.pos + bodySize
+
+	var n bxdm.Node
+	switch ft {
+	case FrameDocument:
+		n, err = d.parseDocumentBody(order, end)
+	case FrameElement, FrameLeaf, FrameArray:
+		n, err = d.parseElementBody(ft, order, end)
+	case FrameCharData:
+		s, e2 := d.readString(maxStringLen, "chardata")
+		n, err = &bxdm.Text{Data: s}, e2
+	case FrameComment:
+		s, e2 := d.readString(maxStringLen, "comment")
+		n, err = &bxdm.Comment{Data: s}, e2
+	case FramePI:
+		var target, data string
+		if target, err = d.readString(maxNameLen, "pi target"); err == nil {
+			data, err = d.readString(maxStringLen, "pi data")
+		}
+		n = &bxdm.PI{Target: target, Data: data}
+	default:
+		return nil, d.errf("unknown frame type %d", ft)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if d.pos != end {
+		return nil, d.errf("frame type %v: body size %d does not match content (ended at offset %d, expected %d)", ft, bodySize, d.pos, end)
+	}
+	return n, nil
+}
+
+func (d *decoder) parseDocumentBody(_ xbs.ByteOrder, end int) (bxdm.Node, error) {
+	count, err := d.readLen(d.remaining(), "document child count")
+	if err != nil {
+		return nil, err
+	}
+	doc := &bxdm.Document{Children: make([]bxdm.Node, 0, min(count, 64))}
+	for i := 0; i < count; i++ {
+		if d.pos >= end {
+			return nil, d.errf("document children overflow frame body")
+		}
+		c, err := d.parseFrame()
+		if err != nil {
+			return nil, err
+		}
+		doc.Children = append(doc.Children, c)
+	}
+	return doc, nil
+}
+
+func (d *decoder) parseElementBody(ft FrameType, order xbs.ByteOrder, end int) (bxdm.Node, error) {
+	n1, err := d.readLen(d.remaining(), "namespace declaration count")
+	if err != nil {
+		return nil, err
+	}
+	var decls []bxdm.NamespaceDecl
+	for i := 0; i < n1; i++ {
+		prefix, err := d.readString(maxNameLen, "namespace prefix")
+		if err != nil {
+			return nil, err
+		}
+		uri, err := d.readString(maxURILen, "namespace URI")
+		if err != nil {
+			return nil, err
+		}
+		decls = append(decls, bxdm.NamespaceDecl{Prefix: prefix, URI: uri})
+	}
+	d.scope.Push(decls)
+	defer d.scope.Pop()
+
+	common := bxdm.ElemCommon{NamespaceDecls: decls}
+	common.Name, err = d.readQName("element")
+	if err != nil {
+		return nil, err
+	}
+
+	n2, err := d.readLen(d.remaining(), "attribute count")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n2; i++ {
+		name, err := d.readQName("attribute")
+		if err != nil {
+			return nil, err
+		}
+		v, err := d.readScalar(order)
+		if err != nil {
+			return nil, err
+		}
+		common.Attributes = append(common.Attributes, bxdm.Attribute{Name: name, Value: v})
+	}
+
+	switch ft {
+	case FrameLeaf:
+		v, err := d.readScalar(order)
+		if err != nil {
+			return nil, err
+		}
+		return &bxdm.LeafElement{ElemCommon: common, Value: v}, nil
+	case FrameArray:
+		data, err := d.readArrayData(order)
+		if err != nil {
+			return nil, err
+		}
+		return &bxdm.ArrayElement{ElemCommon: common, Data: data}, nil
+	default: // FrameElement
+		count, err := d.readLen(d.remaining(), "child count")
+		if err != nil {
+			return nil, err
+		}
+		el := &bxdm.Element{ElemCommon: common, Children: make([]bxdm.Node, 0, min(count, 64))}
+		for i := 0; i < count; i++ {
+			if d.pos >= end {
+				return nil, d.errf("element children overflow frame body")
+			}
+			c, err := d.parseFrame()
+			if err != nil {
+				return nil, err
+			}
+			el.Children = append(el.Children, c)
+		}
+		return el, nil
+	}
+}
+
+// readQName reads a tokenized namespace reference plus local name.
+func (d *decoder) readQName(what string) (bxdm.QName, error) {
+	depthPlus1, err := d.readVLS()
+	if err != nil {
+		return bxdm.QName{}, err
+	}
+	var q bxdm.QName
+	if depthPlus1 > 0 {
+		index, err := d.readVLS()
+		if err != nil {
+			return bxdm.QName{}, err
+		}
+		decl, err := d.scope.Lookup(int(depthPlus1-1), int(index))
+		if err != nil {
+			return bxdm.QName{}, d.errf("%s namespace reference: %v", what, err)
+		}
+		q.Space = decl.URI
+		q.Prefix = decl.Prefix
+	}
+	q.Local, err = d.readString(maxNameLen, what+" name")
+	if err != nil {
+		return bxdm.QName{}, err
+	}
+	if q.Local == "" {
+		return bxdm.QName{}, d.errf("empty %s name", what)
+	}
+	return q, nil
+}
+
+func (d *decoder) readScalar(order xbs.ByteOrder) (bxdm.Value, error) {
+	tb, err := d.readByte()
+	if err != nil {
+		return bxdm.Value{}, err
+	}
+	code := bxdm.TypeCode(tb)
+	switch code {
+	case bxdm.TString:
+		s, err := d.readString(maxStringLen, "string value")
+		return bxdm.StringValue(s), err
+	case bxdm.TBool:
+		b, err := d.readByte()
+		if err != nil {
+			return bxdm.Value{}, err
+		}
+		if b > 1 {
+			return bxdm.Value{}, d.errf("invalid boolean byte %d", b)
+		}
+		return bxdm.BoolValue(b == 1), nil
+	default:
+		size := code.Size()
+		if size <= 0 {
+			return bxdm.Value{}, d.errf("invalid value type code %d", tb)
+		}
+		if d.remaining() < size {
+			return bxdm.Value{}, d.errf("truncated %v value", code)
+		}
+		bits := readNative(d.data[d.pos:d.pos+size], order)
+		d.pos += size
+		return valueFromBits(code, bits), nil
+	}
+}
+
+func readNative(b []byte, order xbs.ByteOrder) uint64 {
+	var bits uint64
+	if order == xbs.LittleEndian {
+		for i := len(b) - 1; i >= 0; i-- {
+			bits = bits<<8 | uint64(b[i])
+		}
+	} else {
+		for _, c := range b {
+			bits = bits<<8 | uint64(c)
+		}
+	}
+	return bits
+}
+
+// valueFromBits reconstructs a typed value from its native bit pattern,
+// sign-extending signed integer types.
+func valueFromBits(code bxdm.TypeCode, bits uint64) bxdm.Value {
+	switch code {
+	case bxdm.TInt8:
+		return bxdm.Int8Value(int8(bits))
+	case bxdm.TInt16:
+		return bxdm.Int16Value(int16(bits))
+	case bxdm.TInt32:
+		return bxdm.Int32Value(int32(bits))
+	case bxdm.TInt64:
+		return bxdm.Int64Value(int64(bits))
+	case bxdm.TUint8:
+		return bxdm.Uint8Value(uint8(bits))
+	case bxdm.TUint16:
+		return bxdm.Uint16Value(uint16(bits))
+	case bxdm.TUint32:
+		return bxdm.Uint32Value(uint32(bits))
+	case bxdm.TUint64:
+		return bxdm.Uint64Value(bits)
+	case bxdm.TFloat32:
+		return bxdm.Float32Value(math.Float32frombits(uint32(bits)))
+	default: // TFloat64
+		return bxdm.Float64Value(math.Float64frombits(bits))
+	}
+}
+
+func (d *decoder) readArrayData(order xbs.ByteOrder) (bxdm.ArrayData, error) {
+	tb, err := d.readByte()
+	if err != nil {
+		return nil, err
+	}
+	code := bxdm.TypeCode(tb)
+	elem := code.Size()
+	if elem <= 0 || code == bxdm.TBool {
+		return nil, d.errf("invalid array item type code %d", tb)
+	}
+	count, err := d.readVLS()
+	if err != nil {
+		return nil, err
+	}
+	if count > uint64(d.remaining())/uint64(elem) {
+		return nil, d.errf("array count %d exceeds remaining input", count)
+	}
+	pad, err := d.readByte()
+	if err != nil {
+		return nil, err
+	}
+	if int(pad) >= slackBytes {
+		return nil, d.errf("invalid array pad %d", pad)
+	}
+	if d.remaining() < int(pad)+int(count)*elem+(slackBytes-1-int(pad)) {
+		return nil, d.errf("truncated array data")
+	}
+	for i := 0; i < int(pad); i++ {
+		if d.data[d.pos+i] != 0 {
+			return nil, d.errf("non-zero array padding")
+		}
+	}
+	d.pos += int(pad)
+	if elem > 1 && d.pos%elem != 0 {
+		return nil, d.errf("array data misaligned: offset %d for item size %d", d.pos, elem)
+	}
+	xr := xbs.NewReader(bytes.NewReader(d.data[d.pos:]), order, int64(d.pos))
+	data, err := bxdm.ReadArrayXBS(xr, code, int(count))
+	if err != nil {
+		return nil, err
+	}
+	d.pos += int(count) * elem
+	tail := slackBytes - 1 - int(pad)
+	for i := 0; i < tail; i++ {
+		if d.data[d.pos+i] != 0 {
+			return nil, d.errf("non-zero array slack")
+		}
+	}
+	d.pos += tail
+	return data, nil
+}

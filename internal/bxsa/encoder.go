@@ -1,0 +1,463 @@
+package bxsa
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"bxsoap/internal/bxdm"
+	"bxsoap/internal/vls"
+	"bxsoap/internal/xbs"
+)
+
+// EncodeOptions control BXSA serialization.
+type EncodeOptions struct {
+	// Order is the byte order stamped into every frame this encoder
+	// produces. The zero value is xbs.Native (little-endian).
+	Order xbs.ByteOrder
+}
+
+// Marshal serializes a bXDM tree to BXSA.
+func Marshal(n bxdm.Node, opts EncodeOptions) ([]byte, error) {
+	e, err := newEncoding(n, opts)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, e.totalSize())
+	w := &sliceSink{buf: buf}
+	if err := e.emit(w, n); err != nil {
+		return nil, err
+	}
+	return w.buf, nil
+}
+
+// Encode serializes a bXDM tree to w.
+func Encode(w io.Writer, n bxdm.Node, opts EncodeOptions) error {
+	data, err := Marshal(n, opts)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// EncodedSize reports the exact number of bytes Marshal will produce,
+// without encoding. Table 1 uses it, and senders use it for preallocation
+// and framing headers.
+func EncodedSize(n bxdm.Node, opts EncodeOptions) (int, error) {
+	e, err := newEncoding(n, opts)
+	if err != nil {
+		return 0, err
+	}
+	return e.totalSize(), nil
+}
+
+// sliceSink is an offset-tracked append sink for the emit pass.
+type sliceSink struct {
+	buf []byte
+}
+
+func (s *sliceSink) offset() int { return len(s.buf) }
+
+// layout is the resolved wire form of one element frame, computed in the
+// layout pass so namespace resolution happens exactly once.
+type layout struct {
+	decls    []bxdm.NamespaceDecl // effective decls (explicit + synthesized)
+	nameRef  nsref
+	attrRefs []nsref
+	bodySize int
+	size     int // full frame size: prefix + size VLS + body
+}
+
+// nsref is a tokenized namespace reference. depthPlus1 == 0 means "no
+// namespace"; otherwise depth = depthPlus1-1 tables back, index into it.
+type nsref struct {
+	depthPlus1 uint64
+	index      uint64
+}
+
+func (r nsref) encodedLen() int {
+	n := vls.EncodedLen(r.depthPlus1)
+	if r.depthPlus1 > 0 {
+		n += vls.EncodedLen(r.index)
+	}
+	return n
+}
+
+// encoding holds the per-document layout state shared by the two passes.
+type encoding struct {
+	opts    EncodeOptions
+	layouts map[bxdm.Node]*layout
+	sizes   map[bxdm.Node]int // full frame size per node
+	root    bxdm.Node
+	auto    int
+}
+
+func newEncoding(root bxdm.Node, opts EncodeOptions) (*encoding, error) {
+	e := &encoding{
+		opts:    opts,
+		layouts: make(map[bxdm.Node]*layout),
+		sizes:   make(map[bxdm.Node]int),
+		root:    root,
+	}
+	var scope bxdm.NSScope
+	if _, err := e.measure(root, &scope); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (e *encoding) totalSize() int { return e.sizes[e.root] }
+
+// measure computes the frame size of n (and all descendants), resolving
+// namespaces along the way.
+func (e *encoding) measure(n bxdm.Node, scope *bxdm.NSScope) (int, error) {
+	var body int
+	switch x := n.(type) {
+	case *bxdm.Document:
+		body = vls.EncodedLen(uint64(len(x.Children)))
+		for _, c := range x.Children {
+			s, err := e.measure(c, scope)
+			if err != nil {
+				return 0, err
+			}
+			body += s
+		}
+	case *bxdm.Element:
+		l, err := e.measureCommon(&x.ElemCommon, scope)
+		if err != nil {
+			return 0, err
+		}
+		body = l.bodySize + vls.EncodedLen(uint64(len(x.Children)))
+		for _, c := range x.Children {
+			s, err := e.measure(c, scope)
+			if err != nil {
+				scope.Pop()
+				return 0, err
+			}
+			body += s
+		}
+		scope.Pop()
+		e.finishLayout(n, l, body)
+	case *bxdm.LeafElement:
+		l, err := e.measureCommon(&x.ElemCommon, scope)
+		if err != nil {
+			return 0, err
+		}
+		scope.Pop()
+		sz, err := scalarSize(x.Value)
+		if err != nil {
+			return 0, err
+		}
+		body = l.bodySize + 1 + sz
+		e.finishLayout(n, l, body)
+	case *bxdm.ArrayElement:
+		l, err := e.measureCommon(&x.ElemCommon, scope)
+		if err != nil {
+			return 0, err
+		}
+		scope.Pop()
+		if !x.Data.Type().Valid() || x.Data.Type() == bxdm.TString || x.Data.Type() == bxdm.TBool {
+			return 0, fmt.Errorf("bxsa: array element %s has invalid item type %v", x.Name, x.Data.Type())
+		}
+		body = l.bodySize + 1 + vls.EncodedLen(uint64(x.Data.Len())) + slackBytes + x.Data.ByteLen()
+		e.finishLayout(n, l, body)
+	case *bxdm.Text:
+		body = vls.EncodedLen(uint64(len(x.Data))) + len(x.Data)
+	case *bxdm.Comment:
+		body = vls.EncodedLen(uint64(len(x.Data))) + len(x.Data)
+	case *bxdm.PI:
+		body = vls.EncodedLen(uint64(len(x.Target))) + len(x.Target) +
+			vls.EncodedLen(uint64(len(x.Data))) + len(x.Data)
+	default:
+		return 0, fmt.Errorf("bxsa: cannot encode node %T", n)
+	}
+	size := 1 + vls.EncodedLen(uint64(body)) + body
+	e.sizes[n] = size
+	return size, nil
+}
+
+func (e *encoding) finishLayout(n bxdm.Node, l *layout, body int) {
+	l.bodySize = body
+	l.size = 1 + vls.EncodedLen(uint64(body)) + body
+	e.layouts[n] = l
+}
+
+// measureCommon resolves the element's namespace table, name, and attributes
+// and returns a layout whose bodySize covers only the common section. It
+// leaves the element's scope PUSHED; the caller pops after measuring
+// children.
+func (e *encoding) measureCommon(c *bxdm.ElemCommon, scope *bxdm.NSScope) (*layout, error) {
+	decls := e.effectiveDecls(c, scope)
+	scope.Push(decls)
+	l := &layout{decls: decls}
+
+	size := vls.EncodedLen(uint64(len(decls)))
+	for _, d := range decls {
+		size += vls.EncodedLen(uint64(len(d.Prefix))) + len(d.Prefix)
+		size += vls.EncodedLen(uint64(len(d.URI))) + len(d.URI)
+	}
+
+	ref, err := resolveRef(scope, c.Name.Space)
+	if err != nil {
+		scope.Pop()
+		return nil, fmt.Errorf("bxsa: element %s: %w", c.Name, err)
+	}
+	l.nameRef = ref
+	size += ref.encodedLen()
+	size += vls.EncodedLen(uint64(len(c.Name.Local))) + len(c.Name.Local)
+
+	size += vls.EncodedLen(uint64(len(c.Attributes)))
+	l.attrRefs = make([]nsref, len(c.Attributes))
+	for i, a := range c.Attributes {
+		ar, err := resolveRef(scope, a.Name.Space)
+		if err != nil {
+			scope.Pop()
+			return nil, fmt.Errorf("bxsa: attribute %s: %w", a.Name, err)
+		}
+		l.attrRefs[i] = ar
+		size += ar.encodedLen()
+		size += vls.EncodedLen(uint64(len(a.Name.Local))) + len(a.Name.Local)
+		sz, err := scalarSize(a.Value)
+		if err != nil {
+			scope.Pop()
+			return nil, fmt.Errorf("bxsa: attribute %s: %w", a.Name, err)
+		}
+		size += 1 + sz
+	}
+	l.bodySize = size
+	return l, nil
+}
+
+// effectiveDecls returns the element's declarations plus synthesized ones
+// for any namespace used by the element or attribute names that is not in
+// scope (mirrors the XML writer's auto-declaration, so arbitrary trees are
+// encodable).
+func (e *encoding) effectiveDecls(c *bxdm.ElemCommon, scope *bxdm.NSScope) []bxdm.NamespaceDecl {
+	decls := append([]bxdm.NamespaceDecl(nil), c.NamespaceDecls...)
+	have := func(uri string) bool {
+		for _, d := range decls {
+			if d.URI == uri {
+				return true
+			}
+		}
+		if _, _, err := scope.Resolve(uri); err == nil {
+			return true
+		}
+		return false
+	}
+	taken := func(prefix string) bool {
+		for _, d := range decls {
+			if d.Prefix == prefix {
+				return true
+			}
+		}
+		return false
+	}
+	ensure := func(space, hint string) {
+		if space == "" || have(space) {
+			return
+		}
+		prefix := hint
+		if prefix == "" || taken(prefix) {
+			for {
+				e.auto++
+				prefix = "ns" + strconv.Itoa(e.auto)
+				if !taken(prefix) {
+					break
+				}
+			}
+		}
+		decls = append(decls, bxdm.NamespaceDecl{Prefix: prefix, URI: space})
+	}
+	ensure(c.Name.Space, c.Name.Prefix)
+	for _, a := range c.Attributes {
+		ensure(a.Name.Space, a.Name.Prefix)
+	}
+	return decls
+}
+
+func resolveRef(scope *bxdm.NSScope, space string) (nsref, error) {
+	if space == "" {
+		return nsref{}, nil
+	}
+	depth, index, err := scope.Resolve(space)
+	if err != nil {
+		return nsref{}, err
+	}
+	return nsref{depthPlus1: uint64(depth) + 1, index: uint64(index)}, nil
+}
+
+func scalarSize(v bxdm.Value) (int, error) {
+	switch v.Type() {
+	case bxdm.TString:
+		s := v.Text()
+		return vls.EncodedLen(uint64(len(s))) + len(s), nil
+	case bxdm.TBool:
+		return 1, nil
+	default:
+		if sz := v.Type().Size(); sz > 0 {
+			return sz, nil
+		}
+		return 0, fmt.Errorf("bxsa: cannot encode value of type %v", v.Type())
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Emit pass
+
+func (e *encoding) emit(w *sliceSink, n bxdm.Node) error {
+	ft, err := frameTypeFor(n)
+	if err != nil {
+		return err
+	}
+	bodySize := e.bodySizeOf(n)
+	w.buf = append(w.buf, prefixByte(e.opts.Order, ft))
+	w.buf = vls.AppendUint(w.buf, uint64(bodySize))
+
+	switch x := n.(type) {
+	case *bxdm.Document:
+		w.buf = vls.AppendUint(w.buf, uint64(len(x.Children)))
+		for _, c := range x.Children {
+			if err := e.emit(w, c); err != nil {
+				return err
+			}
+		}
+	case *bxdm.Element:
+		e.emitCommon(w, &x.ElemCommon, e.layouts[n])
+		w.buf = vls.AppendUint(w.buf, uint64(len(x.Children)))
+		for _, c := range x.Children {
+			if err := e.emit(w, c); err != nil {
+				return err
+			}
+		}
+	case *bxdm.LeafElement:
+		e.emitCommon(w, &x.ElemCommon, e.layouts[n])
+		e.emitScalar(w, x.Value)
+	case *bxdm.ArrayElement:
+		e.emitCommon(w, &x.ElemCommon, e.layouts[n])
+		w.buf = append(w.buf, byte(x.Data.Type()))
+		w.buf = vls.AppendUint(w.buf, uint64(x.Data.Len()))
+		if err := e.emitArrayData(w, x.Data); err != nil {
+			return err
+		}
+	case *bxdm.Text:
+		w.buf = vls.AppendUint(w.buf, uint64(len(x.Data)))
+		w.buf = append(w.buf, x.Data...)
+	case *bxdm.Comment:
+		w.buf = vls.AppendUint(w.buf, uint64(len(x.Data)))
+		w.buf = append(w.buf, x.Data...)
+	case *bxdm.PI:
+		w.buf = vls.AppendUint(w.buf, uint64(len(x.Target)))
+		w.buf = append(w.buf, x.Target...)
+		w.buf = vls.AppendUint(w.buf, uint64(len(x.Data)))
+		w.buf = append(w.buf, x.Data...)
+	}
+	return nil
+}
+
+func (e *encoding) bodySizeOf(n bxdm.Node) int {
+	if l, ok := e.layouts[n]; ok {
+		return l.bodySize
+	}
+	// Non-element frames: derive body from the stored full size.
+	// size = 1 + vlsLen(body) + body, so try each possible VLS length.
+	size := e.sizes[n]
+	for l := 1; l <= vls.MaxLen; l++ {
+		body := size - 1 - l
+		if body >= 0 && vls.EncodedLen(uint64(body)) == l {
+			return body
+		}
+	}
+	return 0
+}
+
+func (e *encoding) emitCommon(w *sliceSink, c *bxdm.ElemCommon, l *layout) {
+	w.buf = vls.AppendUint(w.buf, uint64(len(l.decls)))
+	for _, d := range l.decls {
+		w.buf = vls.AppendUint(w.buf, uint64(len(d.Prefix)))
+		w.buf = append(w.buf, d.Prefix...)
+		w.buf = vls.AppendUint(w.buf, uint64(len(d.URI)))
+		w.buf = append(w.buf, d.URI...)
+	}
+	emitRef(w, l.nameRef)
+	w.buf = vls.AppendUint(w.buf, uint64(len(c.Name.Local)))
+	w.buf = append(w.buf, c.Name.Local...)
+	w.buf = vls.AppendUint(w.buf, uint64(len(c.Attributes)))
+	for i, a := range c.Attributes {
+		emitRef(w, l.attrRefs[i])
+		w.buf = vls.AppendUint(w.buf, uint64(len(a.Name.Local)))
+		w.buf = append(w.buf, a.Name.Local...)
+		e.emitScalar(w, a.Value)
+	}
+}
+
+func emitRef(w *sliceSink, r nsref) {
+	w.buf = vls.AppendUint(w.buf, r.depthPlus1)
+	if r.depthPlus1 > 0 {
+		w.buf = vls.AppendUint(w.buf, r.index)
+	}
+}
+
+func (e *encoding) emitScalar(w *sliceSink, v bxdm.Value) {
+	w.buf = append(w.buf, byte(v.Type()))
+	switch v.Type() {
+	case bxdm.TString:
+		s := v.Text()
+		w.buf = vls.AppendUint(w.buf, uint64(len(s)))
+		w.buf = append(w.buf, s...)
+	case bxdm.TBool:
+		b := byte(0)
+		if v.Bool() {
+			b = 1
+		}
+		w.buf = append(w.buf, b)
+	default:
+		w.buf = appendNative(w.buf, v.Bits(), v.Type().Size(), e.opts.Order)
+	}
+}
+
+func appendNative(buf []byte, bits uint64, size int, order xbs.ByteOrder) []byte {
+	if order == xbs.LittleEndian {
+		for i := 0; i < size; i++ {
+			buf = append(buf, byte(bits>>(8*i)))
+		}
+	} else {
+		for i := size - 1; i >= 0; i-- {
+			buf = append(buf, byte(bits>>(8*i)))
+		}
+	}
+	return buf
+}
+
+func (e *encoding) emitArrayData(w *sliceSink, d bxdm.ArrayData) error {
+	elem := d.Type().Size()
+	off := w.offset() // offset of the pad-count byte
+	pad := 0
+	if elem > 1 {
+		pad = (elem - (off+1)%elem) % elem
+	}
+	w.buf = append(w.buf, byte(pad))
+	for i := 0; i < pad; i++ {
+		w.buf = append(w.buf, 0)
+	}
+	// The data region is now aligned document-absolute; stream it through
+	// XBS (whose own Align is a no-op here by construction) directly into
+	// the output buffer.
+	xw := xbs.NewWriter((*sinkWriter)(w), e.opts.Order, int64(w.offset()))
+	if err := d.WriteXBS(xw); err != nil {
+		return err
+	}
+	for i := 0; i < slackBytes-1-pad; i++ {
+		w.buf = append(w.buf, 0)
+	}
+	return nil
+}
+
+// sinkWriter adapts sliceSink to io.Writer for streaming array payloads.
+type sinkWriter sliceSink
+
+func (s *sinkWriter) Write(p []byte) (int, error) {
+	s.buf = append(s.buf, p...)
+	return len(p), nil
+}

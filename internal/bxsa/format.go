@@ -1,0 +1,125 @@
+// Package bxsa implements BXSA (Binary XML for Scientific Applications),
+// the paper's layered binary XML format (§4): a BXSA document is a sequence
+// of recursively embedded frames, each representing one bXDM node. Frames
+// start with a Common Frame Prefix carrying per-frame byte order and a
+// 6-bit frame type code, followed by a variable-length Size that lets a
+// scanner skip over frames without parsing them (§4.1 "accelerated
+// sequential access"). Namespaces inside frames are tokenized: QNames
+// reference a (scope depth, symbol-table index) pair instead of a prefix.
+//
+// Wire layout (deviations from the paper's sketch are documented in
+// DESIGN.md):
+//
+//	frame      := prefix size body
+//	prefix     := 1 byte: [2 bits byte-order | 6 bits frame type]
+//	size       := VLS count of body bytes (enables skip-scan)
+//
+//	document   := nChildren:VLS frame*
+//	element    := common  nChildren:VLS frame*            (component element)
+//	leaf       := common  typecode:1  scalar
+//	array      := common  typecode:1 count:VLS slack data (see below)
+//	chardata   := len:VLS bytes
+//	comment    := len:VLS bytes
+//	pi         := targetLen:VLS bytes dataLen:VLS bytes
+//
+//	common     := n1:VLS (prefixLen:VLS prefix uriLen:VLS uri)*   — ns table
+//	              nsref nameLen:VLS name
+//	              n2:VLS (nsref nameLen:VLS name typecode:1 scalar)*  — attrs
+//	nsref      := depthPlus1:VLS [index:VLS]   — 0 means "no namespace";
+//	              depth counts backwards over ancestor frames that HAVE a
+//	              namespace table (paper §4.1)
+//	scalar     := numeric: fixed-width native bytes in the frame's order;
+//	              bool: 1 byte; string: len:VLS bytes
+//	slack      := p:1 zero*p ... zero*(7-p)    — 8 fixed bytes arranging the
+//	              packed data on a document-absolute multiple of the item
+//	              size, so a memory-mapped reader can point straight at it
+//	data       := count items, packed, in the frame's byte order
+package bxsa
+
+import (
+	"fmt"
+
+	"bxsoap/internal/bxdm"
+	"bxsoap/internal/xbs"
+)
+
+// FrameType is the 6-bit frame kind in the Common Frame Prefix.
+type FrameType uint8
+
+const (
+	FrameInvalid FrameType = iota
+	FrameDocument
+	FrameElement // component element
+	FrameLeaf
+	FrameArray
+	FrameCharData
+	FrameComment
+	FramePI
+
+	frameTypeMask = 0x3f
+)
+
+func (t FrameType) String() string {
+	switch t {
+	case FrameDocument:
+		return "document"
+	case FrameElement:
+		return "element"
+	case FrameLeaf:
+		return "leaf-element"
+	case FrameArray:
+		return "array-element"
+	case FrameCharData:
+		return "chardata"
+	case FrameComment:
+		return "comment"
+	case FramePI:
+		return "pi"
+	default:
+		return fmt.Sprintf("frame(%d)", uint8(t))
+	}
+}
+
+// prefixByte packs byte order and frame type into the Common Frame Prefix.
+func prefixByte(order xbs.ByteOrder, t FrameType) byte {
+	return byte(order)<<6 | byte(t)
+}
+
+func splitPrefix(b byte) (xbs.ByteOrder, FrameType) {
+	return xbs.ByteOrder(b >> 6), FrameType(b & frameTypeMask)
+}
+
+// frameTypeFor maps a bXDM node to its frame type.
+func frameTypeFor(n bxdm.Node) (FrameType, error) {
+	switch n.(type) {
+	case *bxdm.Document:
+		return FrameDocument, nil
+	case *bxdm.Element:
+		return FrameElement, nil
+	case *bxdm.LeafElement:
+		return FrameLeaf, nil
+	case *bxdm.ArrayElement:
+		return FrameArray, nil
+	case *bxdm.Text:
+		return FrameCharData, nil
+	case *bxdm.Comment:
+		return FrameComment, nil
+	case *bxdm.PI:
+		return FramePI, nil
+	default:
+		return FrameInvalid, fmt.Errorf("bxsa: node %T has no frame type", n)
+	}
+}
+
+// slackBytes is the fixed-size region arranging array data on an absolute
+// alignment boundary: [p][p zeros][data][(7-p) zeros]. Making it fixed-width
+// keeps frame sizes independent of their position, which is what allows the
+// single-pass layout computation.
+const slackBytes = 8
+
+// Limits protecting the decoder from malformed inputs.
+const (
+	maxNameLen   = 1 << 16 // element/attribute names and ns prefixes
+	maxURILen    = 1 << 16
+	maxStringLen = 1 << 28 // string scalar payloads
+)

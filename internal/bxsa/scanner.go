@@ -1,0 +1,252 @@
+package bxsa
+
+import (
+	"fmt"
+
+	"bxsoap/internal/bxdm"
+	"bxsoap/internal/vls"
+	"bxsoap/internal/xbs"
+)
+
+// Scanner provides the "accelerated sequential access" of §4.1: the Size
+// field in every frame lets it hop from frame to frame without parsing frame
+// contents. A scanner walks the frames at one nesting level; Descend enters
+// a container frame's children.
+type Scanner struct {
+	data []byte
+	pos  int
+	end  int
+	err  error
+
+	// scopes holds the namespace declaration tables of the ancestor
+	// element frames, outermost first, so a frame decoded in place can
+	// resolve tokenized references into its ancestors' tables.
+	scopes [][]bxdm.NamespaceDecl
+
+	// Current frame, valid after Next returns true.
+	frameType  FrameType
+	order      xbs.ByteOrder
+	frameStart int
+	bodyStart  int
+	bodyEnd    int
+}
+
+// NewScanner scans the top-level frames of a BXSA byte stream.
+func NewScanner(data []byte) *Scanner {
+	return &Scanner{data: data, end: len(data)}
+}
+
+// Next advances to the next frame at this level, returning false at the end
+// of the level or on error (check Err).
+func (s *Scanner) Next() bool {
+	if s.err != nil || s.pos >= s.end {
+		return false
+	}
+	if s.pos >= len(s.data) {
+		s.err = fmt.Errorf("bxsa: scan past end of input")
+		return false
+	}
+	frameStart := s.pos
+	order, ft := splitPrefix(s.data[s.pos])
+	size, n, err := vls.Uint(s.data[s.pos+1:])
+	if err != nil {
+		s.err = fmt.Errorf("bxsa: bad frame size at %d: %w", s.pos, err)
+		return false
+	}
+	bodyStart := s.pos + 1 + n
+	bodyEnd := bodyStart + int(size)
+	if size > uint64(s.end) || bodyEnd > s.end {
+		s.err = fmt.Errorf("bxsa: frame at %d overruns input (size %d)", s.pos, size)
+		return false
+	}
+	s.frameType, s.order = ft, order
+	s.frameStart = frameStart
+	s.bodyStart, s.bodyEnd = bodyStart, bodyEnd
+	s.pos = bodyEnd // next frame starts right after this one
+	return true
+}
+
+// Err returns the first scan error, if any.
+func (s *Scanner) Err() error { return s.err }
+
+// Type returns the current frame's type.
+func (s *Scanner) Type() FrameType { return s.frameType }
+
+// Order returns the current frame's byte order.
+func (s *Scanner) Order() xbs.ByteOrder { return s.order }
+
+// Body returns the current frame's body bytes (shared, do not modify).
+func (s *Scanner) Body() []byte { return s.data[s.bodyStart:s.bodyEnd] }
+
+// FrameSize returns the current frame's total size including prefix and
+// size field.
+func (s *Scanner) FrameSize() int {
+	body := s.bodyEnd - s.bodyStart
+	return 1 + vls.EncodedLen(uint64(body)) + body
+}
+
+// Descend returns a Scanner over the current frame's child frames. Only
+// document and component-element frames contain child frames; for a
+// document the header is the child count, for an element it is the common
+// section plus the child count (which Descend must skip without full
+// parsing — it still avoids touching child frame contents).
+func (s *Scanner) Descend() (*Scanner, error) {
+	switch s.frameType {
+	case FrameDocument:
+		// Skip the child count.
+		_, n, err := vls.Uint(s.data[s.bodyStart:s.bodyEnd])
+		if err != nil {
+			return nil, fmt.Errorf("bxsa: descend: %w", err)
+		}
+		return &Scanner{data: s.data, pos: s.bodyStart + n, end: s.bodyEnd, scopes: s.scopes}, nil
+	case FrameElement:
+		off, decls, err := skipCommon(s.data, s.bodyStart, s.bodyEnd)
+		if err != nil {
+			return nil, err
+		}
+		_, n, err := vls.Uint(s.data[off:s.bodyEnd])
+		if err != nil {
+			return nil, fmt.Errorf("bxsa: descend: %w", err)
+		}
+		scopes := s.scopes
+		// Every element frame contributes a scope frame (even an empty
+		// one), matching the encoder's and decoder's NSScope behaviour.
+		scopes = append(scopes[:len(scopes):len(scopes)], decls)
+		return &Scanner{data: s.data, pos: off + n, end: s.bodyEnd, scopes: scopes}, nil
+	default:
+		return nil, fmt.Errorf("bxsa: cannot descend into %v frame", s.frameType)
+	}
+}
+
+// skipCommon advances past the common element section (namespace table,
+// name, attributes) without building any nodes, returning the element's
+// namespace declarations (needed for in-place decoding of child frames).
+func skipCommon(data []byte, pos, end int) (int, []bxdm.NamespaceDecl, error) {
+	rd := func() (uint64, error) {
+		v, n, err := vls.Uint(data[pos:end])
+		if err != nil {
+			return 0, err
+		}
+		pos += n
+		return v, nil
+	}
+	readStr := func() (string, error) {
+		l, err := rd()
+		if err != nil {
+			return "", err
+		}
+		if l > uint64(end-pos) {
+			return "", fmt.Errorf("bxsa: string overruns frame")
+		}
+		v := string(data[pos : pos+int(l)])
+		pos += int(l)
+		return v, nil
+	}
+	skipStr := func() error {
+		_, err := readStr()
+		return err
+	}
+	skipRef := func() error {
+		d, err := rd()
+		if err != nil {
+			return err
+		}
+		if d > 0 {
+			if _, err := rd(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	skipScalar := func() error {
+		if pos >= end {
+			return fmt.Errorf("bxsa: truncated scalar")
+		}
+		code := bxdm.TypeCode(data[pos])
+		pos++
+		switch code {
+		case bxdm.TString:
+			return skipStr()
+		case bxdm.TBool:
+			pos++
+			return nil
+		default:
+			sz := code.Size()
+			if sz <= 0 {
+				return fmt.Errorf("bxsa: bad scalar type %d", code)
+			}
+			pos += sz
+			return nil
+		}
+	}
+	n1, err := rd()
+	if err != nil {
+		return 0, nil, err
+	}
+	var decls []bxdm.NamespaceDecl
+	for i := uint64(0); i < n1; i++ {
+		prefix, err := readStr()
+		if err != nil {
+			return 0, nil, err
+		}
+		uri, err := readStr()
+		if err != nil {
+			return 0, nil, err
+		}
+		decls = append(decls, bxdm.NamespaceDecl{Prefix: prefix, URI: uri})
+	}
+	if err := skipRef(); err != nil {
+		return 0, nil, err
+	}
+	if err := skipStr(); err != nil {
+		return 0, nil, err
+	}
+	n2, err := rd()
+	if err != nil {
+		return 0, nil, err
+	}
+	for i := uint64(0); i < n2; i++ {
+		if err := skipRef(); err != nil {
+			return 0, nil, err
+		}
+		if err := skipStr(); err != nil {
+			return 0, nil, err
+		}
+		if err := skipScalar(); err != nil {
+			return 0, nil, err
+		}
+	}
+	if pos > end {
+		return 0, nil, fmt.Errorf("bxsa: common section overruns frame")
+	}
+	return pos, decls, nil
+}
+
+// CountFrames scans all frames at the top level (without parsing contents)
+// and returns how many there are. It is the cheapest possible integrity walk
+// over a BXSA stream.
+func CountFrames(data []byte) (int, error) {
+	sc := NewScanner(data)
+	n := 0
+	for sc.Next() {
+		n++
+	}
+	return n, sc.Err()
+}
+
+// Decode fully parses just the current frame, in place: sibling frames are
+// never touched, ancestor namespace tables gathered during Descend resolve
+// the frame's tokenized references, and array payloads keep their
+// document-absolute alignment because decoding happens at the frame's true
+// offset. Combined with Next/Descend this is the paper's "accelerated
+// sequential access": scan by Size, decode only what you need.
+func (s *Scanner) Decode() (bxdm.Node, error) {
+	if s.frameStart >= s.bodyEnd {
+		return nil, fmt.Errorf("bxsa: Decode before Next")
+	}
+	d := &decoder{data: s.data[:s.bodyEnd], pos: s.frameStart}
+	for _, decls := range s.scopes {
+		d.scope.Push(decls)
+	}
+	return d.parseFrame()
+}

@@ -1,0 +1,47 @@
+package bxsa
+
+import (
+	"bxsoap/internal/bxdm"
+	"bxsoap/internal/xmltext"
+)
+
+// Transcodability (paper §4.2): a BXSA document converts to textual XML and
+// back without change, and vice versa. The type information that textual XML
+// cannot represent natively travels in xsi:type / arrayType hints, "as
+// required by the SOAP encoding rule" when no schema is available.
+
+// ToXML transcodes a BXSA byte stream to textual XML with type hints.
+func ToXML(data []byte) ([]byte, error) {
+	n, err := Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	return xmltext.Marshal(n, xmltext.EncodeOptions{TypeHints: true})
+}
+
+// FromXML transcodes a textual XML document (honoring type hints) to BXSA.
+func FromXML(xml []byte, opts EncodeOptions) ([]byte, error) {
+	doc, err := xmltext.Parse(xml, xmltext.DecodeOptions{RecoverTypes: true})
+	if err != nil {
+		return nil, err
+	}
+	return Marshal(doc, opts)
+}
+
+// RoundTripsWithXML reports whether the tree survives BXSA→XML→BXSA
+// unchanged (a model-level check of the transcodability property).
+func RoundTripsWithXML(n bxdm.Node) (bool, error) {
+	xml, err := xmltext.Marshal(n, xmltext.EncodeOptions{TypeHints: true})
+	if err != nil {
+		return false, err
+	}
+	back, err := xmltext.Parse(xml, xmltext.DecodeOptions{RecoverTypes: true})
+	if err != nil {
+		return false, err
+	}
+	var cmp bxdm.Node = back
+	if n.Kind() != bxdm.KindDocument {
+		cmp = back.Root()
+	}
+	return bxdm.Equal(n, cmp), nil
+}

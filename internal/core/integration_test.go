@@ -1,0 +1,291 @@
+package core_test
+
+import (
+	"context"
+	"fmt"
+
+	"sync"
+	"testing"
+
+	"bxsoap/internal/bxdm"
+	"bxsoap/internal/core"
+	"bxsoap/internal/httpbind"
+	"bxsoap/internal/netsim"
+	"bxsoap/internal/tcpbind"
+)
+
+// verifyHandler implements the paper's §6 verification service: it checks
+// every value in the received model and reports the result.
+func verifyHandler(_ context.Context, req *core.Envelope) (*core.Envelope, error) {
+	body := req.Body()
+	if body == nil {
+		return nil, &core.Fault{Code: core.FaultClient, String: "empty body"}
+	}
+	el, ok := body.(*bxdm.Element)
+	if !ok {
+		return nil, &core.Fault{Code: core.FaultClient, String: "unexpected body shape"}
+	}
+	idxEl := el.FirstChild(bxdm.Name("urn:verify", "index"))
+	valEl := el.FirstChild(bxdm.Name("urn:verify", "vals"))
+	if idxEl == nil || valEl == nil {
+		return nil, &core.Fault{Code: core.FaultClient, String: "missing arrays"}
+	}
+	idx, ok1 := bxdm.Items[int32](idxEl.(*bxdm.ArrayElement).Data)
+	vals, ok2 := bxdm.Items[float64](valEl.(*bxdm.ArrayElement).Data)
+	if !ok1 || !ok2 || len(idx) != len(vals) {
+		return nil, &core.Fault{Code: core.FaultClient, String: "malformed arrays"}
+	}
+	verified := 0
+	for i := range idx {
+		if int(idx[i]) == i && vals[i] == float64(i)*0.5 {
+			verified++
+		}
+	}
+	resp := bxdm.NewElement(bxdm.Name("urn:verify", "result"),
+		bxdm.NewLeaf(bxdm.Name("urn:verify", "verified"), int32(verified)),
+		bxdm.NewLeaf(bxdm.Name("urn:verify", "total"), int32(len(idx))),
+	)
+	return core.NewEnvelope(resp), nil
+}
+
+func verifyRequest(n int) *core.Envelope {
+	idx := make([]int32, n)
+	vals := make([]float64, n)
+	for i := range idx {
+		idx[i] = int32(i)
+		vals[i] = float64(i) * 0.5
+	}
+	req := bxdm.NewElement(bxdm.PName("urn:verify", "v", "verify"))
+	req.DeclareNamespace("v", "urn:verify")
+	req.Append(
+		bxdm.NewArray(bxdm.Name("urn:verify", "index"), idx),
+		bxdm.NewArray(bxdm.Name("urn:verify", "vals"), vals),
+	)
+	return core.NewEnvelope(req)
+}
+
+func checkResponse(t *testing.T, resp *core.Envelope, want int) {
+	t.Helper()
+	body := resp.Body().(*bxdm.Element)
+	verified := body.FirstChild(bxdm.Name("urn:verify", "verified")).(*bxdm.LeafElement)
+	total := body.FirstChild(bxdm.Name("urn:verify", "total")).(*bxdm.LeafElement)
+	if verified.Value.Int64() != int64(want) || total.Value.Int64() != int64(want) {
+		t.Fatalf("verified %d/%d, want %d/%d",
+			verified.Value.Int64(), total.Value.Int64(), want, want)
+	}
+}
+
+// The four policy combinations of §5: XML/HTTP, XML/TCP, BXSA/HTTP,
+// BXSA/TCP — all through the same generic engine and server, over a shaped
+// loopback network.
+func TestAllFourPolicyCombinations(t *testing.T) {
+	nw := netsim.New(netsim.Profile{Name: "fast-lan", RTT: 0})
+
+	t.Run("BXSA-over-TCP", func(t *testing.T) {
+		l, err := nw.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := core.NewServer(core.BXSAEncoding{}, tcpbind.NewListener(l), verifyHandler)
+		go srv.Serve()
+		defer srv.Close()
+		eng := core.NewEngine(core.BXSAEncoding{}, tcpbind.New(nw.Dial, l.Addr().String()))
+		defer eng.Close()
+		resp, err := eng.Call(context.Background(), verifyRequest(100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkResponse(t, resp, 100)
+	})
+
+	t.Run("XML-over-TCP", func(t *testing.T) {
+		l, err := nw.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := core.NewServer(core.XMLEncoding{}, tcpbind.NewListener(l), verifyHandler)
+		go srv.Serve()
+		defer srv.Close()
+		eng := core.NewEngine(core.XMLEncoding{}, tcpbind.New(nw.Dial, l.Addr().String()))
+		defer eng.Close()
+		resp, err := eng.Call(context.Background(), verifyRequest(100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkResponse(t, resp, 100)
+	})
+
+	t.Run("XML-over-HTTP", func(t *testing.T) {
+		l, err := nw.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		hl := httpbind.NewListener(l)
+		srv := core.NewServer(core.XMLEncoding{}, hl, verifyHandler)
+		go srv.Serve()
+		defer srv.Close()
+		eng := core.NewEngine(core.XMLEncoding{}, httpbind.New(nw.Dial, hl.URL()))
+		defer eng.Close()
+		resp, err := eng.Call(context.Background(), verifyRequest(100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkResponse(t, resp, 100)
+	})
+
+	t.Run("BXSA-over-HTTP", func(t *testing.T) {
+		l, err := nw.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		hl := httpbind.NewListener(l)
+		srv := core.NewServer(core.BXSAEncoding{}, hl, verifyHandler)
+		go srv.Serve()
+		defer srv.Close()
+		eng := core.NewEngine(core.BXSAEncoding{}, httpbind.New(nw.Dial, hl.URL()))
+		defer eng.Close()
+		resp, err := eng.Call(context.Background(), verifyRequest(100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkResponse(t, resp, 100)
+	})
+}
+
+func TestSequentialCallsReuseTCPConnection(t *testing.T) {
+	l, err := tcpbind.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := core.NewServer(core.BXSAEncoding{}, l, verifyHandler)
+	go srv.Serve()
+	defer srv.Close()
+	eng := core.NewEngine(core.BXSAEncoding{}, tcpbind.New(tcpbind.NetDialer, l.Addr().String()))
+	defer eng.Close()
+	for i := 1; i <= 10; i++ {
+		resp, err := eng.Call(context.Background(), verifyRequest(i))
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		checkResponse(t, resp, i)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	l, err := tcpbind.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := core.NewServer(core.BXSAEncoding{}, l, verifyHandler)
+	go srv.Serve()
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			eng := core.NewEngine(core.BXSAEncoding{}, tcpbind.New(tcpbind.NetDialer, l.Addr().String()))
+			defer eng.Close()
+			for i := 0; i < 5; i++ {
+				resp, err := eng.Call(context.Background(), verifyRequest(50))
+				if err != nil {
+					errs <- err
+					return
+				}
+				body := resp.Body().(*bxdm.Element)
+				v := body.FirstChild(bxdm.Name("urn:verify", "verified")).(*bxdm.LeafElement)
+				if v.Value.Int64() != 50 {
+					errs <- fmt.Errorf("verified = %d", v.Value.Int64())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestFaultOverHTTPBinding(t *testing.T) {
+	hl, err := httpbind.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := core.NewServer(core.XMLEncoding{}, hl, func(_ context.Context, _ *core.Envelope) (*core.Envelope, error) {
+		return nil, &core.Fault{Code: core.FaultServer, String: "boom"}
+	})
+	go srv.Serve()
+	defer srv.Close()
+	eng := core.NewEngine(core.XMLEncoding{}, httpbind.New(nil, hl.URL()))
+	defer eng.Close()
+	_, err = eng.Call(context.Background(), verifyRequest(1))
+	f, ok := err.(*core.Fault)
+	if !ok || f.Code != core.FaultServer || f.String != "boom" {
+		t.Fatalf("err = %v, want server fault through HTTP 500", err)
+	}
+}
+
+// TestIntermediaryTranscoding reproduces §5.1's intermediary scenario: the
+// client speaks XML/HTTP to an intermediary node, which relays the message
+// over BXSA/TCP to the real server — "transcodability enables BXSA to be
+// the intermediate protocol over the message hops, even when the message
+// sender and receiver are communicating via textual XML."
+func TestIntermediaryTranscoding(t *testing.T) {
+	// Backend: BXSA over TCP.
+	bl, err := tcpbind.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend := core.NewServer(core.BXSAEncoding{}, bl, verifyHandler)
+	go backend.Serve()
+	defer backend.Close()
+
+	// Intermediary: XML/HTTP uplink, BXSA/TCP downlink — two generic
+	// engines with different policy configurations, as §5.1 prescribes.
+	hl, err := httpbind.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	relayHandler := func(ctx context.Context, req *core.Envelope) (*core.Envelope, error) {
+		down := core.NewEngine(core.BXSAEncoding{}, tcpbind.New(tcpbind.NetDialer, bl.Addr().String()))
+		defer down.Close()
+		return down.Call(ctx, req)
+	}
+	relay := core.NewServer(core.XMLEncoding{}, hl, relayHandler)
+	go relay.Serve()
+	defer relay.Close()
+
+	// Client: XML over HTTP, oblivious to the binary middle hop.
+	eng := core.NewEngine(core.XMLEncoding{}, httpbind.New(nil, hl.URL()))
+	defer eng.Close()
+	resp, err := eng.Call(context.Background(), verifyRequest(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResponse(t, resp, 64)
+}
+
+func TestServerCloseUnblocksServe(t *testing.T) {
+	l, err := tcpbind.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := core.NewServer(core.BXSAEncoding{}, l, verifyHandler)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	eng := core.NewEngine(core.BXSAEncoding{}, tcpbind.New(tcpbind.NetDialer, l.Addr().String()))
+	if _, err := eng.Call(context.Background(), verifyRequest(3)); err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Serve returned %v after Close", err)
+	}
+}

@@ -1,0 +1,112 @@
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"log"
+	"sync/atomic"
+	"testing"
+
+	"bxsoap/internal/bxdm"
+	"bxsoap/internal/core"
+	"bxsoap/internal/tcpbind"
+)
+
+// TestOneWayMEPKeepsConnectionInSync: alternating Send (one-way) and Call
+// (request-response) over one persistent TCP connection must not desync the
+// stream.
+func TestOneWayMEPKeepsConnectionInSync(t *testing.T) {
+	var received atomic.Int64
+	l, err := tcpbind.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := core.NewServer(core.BXSAEncoding{}, l,
+		func(_ context.Context, req *core.Envelope) (*core.Envelope, error) {
+			received.Add(1)
+			return core.NewEnvelope(bxdm.NewLeaf(bxdm.LocalName("n"), received.Load())), nil
+		})
+	go srv.Serve()
+	defer srv.Close()
+
+	eng := core.NewEngine(core.BXSAEncoding{}, tcpbind.New(tcpbind.NetDialer, l.Addr().String()))
+	defer eng.Close()
+
+	env := core.NewEnvelope(bxdm.NewLeaf(bxdm.LocalName("x"), int32(1)))
+	for i := 0; i < 3; i++ {
+		if err := eng.Send(context.Background(), env); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+		resp, err := eng.Call(context.Background(), env)
+		if err != nil {
+			t.Fatalf("Call %d: %v", i, err)
+		}
+		// The Call's reply must be the freshest counter value, proving the
+		// one-way exchange didn't leave a stale response in the stream.
+		leaf := resp.Body().(*bxdm.LeafElement)
+		if got, want := leaf.Value.Int64(), received.Load(); got != want {
+			t.Fatalf("iteration %d: reply %d, server count %d — stream desynced", i, got, want)
+		}
+	}
+	if received.Load() != 6 {
+		t.Errorf("server saw %d messages, want 6", received.Load())
+	}
+}
+
+// TestServerErrorLog: channel failures surface through ErrorLog.
+func TestServerErrorLog(t *testing.T) {
+	l, err := tcpbind.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := core.NewServer(core.BXSAEncoding{}, l,
+		func(_ context.Context, req *core.Envelope) (*core.Envelope, error) {
+			return core.NewEnvelope(), nil
+		})
+	var buf bytes.Buffer
+	srv.ErrorLog = log.New(&buf, "", 0)
+	go srv.Serve()
+	defer srv.Close()
+
+	// Write garbage that fails the frame magic check: the channel errors.
+	conn, err := tcpbind.NetDialer(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte("this is not a BX frame at all"))
+	conn.Close()
+
+	// Drive a healthy exchange to prove the server survived.
+	eng := core.NewEngine(core.BXSAEncoding{}, tcpbind.New(tcpbind.NetDialer, l.Addr().String()))
+	defer eng.Close()
+	if _, err := eng.Call(context.Background(), core.NewEnvelope()); err != nil {
+		t.Fatalf("server did not survive a bad channel: %v", err)
+	}
+	if buf.Len() == 0 {
+		t.Error("channel error not logged")
+	}
+}
+
+// TestHandlerNilResponse: a nil, nil handler return produces an empty
+// envelope, not a crash.
+func TestHandlerNilResponse(t *testing.T) {
+	l, err := tcpbind.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := core.NewServer(core.XMLEncoding{}, l,
+		func(_ context.Context, _ *core.Envelope) (*core.Envelope, error) {
+			return nil, nil
+		})
+	go srv.Serve()
+	defer srv.Close()
+	eng := core.NewEngine(core.XMLEncoding{}, tcpbind.New(tcpbind.NetDialer, l.Addr().String()))
+	defer eng.Close()
+	resp, err := eng.Call(context.Background(), core.NewEnvelope())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Body() != nil {
+		t.Error("expected empty body")
+	}
+}

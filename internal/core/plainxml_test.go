@@ -1,0 +1,65 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"bxsoap/internal/bxdm"
+)
+
+// XMLEncoding{PlainStrings: true} is the Table 1 configuration: minimal
+// textual XML without xsi:type/arrayType hints. Typed content degrades to
+// plain elements on decode — the information the paper's §4.2 says is
+// unrecoverable "if the schema of the document is unavailable".
+func TestPlainStringsEncodingDropsHints(t *testing.T) {
+	enc := XMLEncoding{PlainStrings: true}
+	env := NewEnvelope(
+		bxdm.NewElement(bxdm.LocalName("payload"),
+			bxdm.NewLeaf(bxdm.LocalName("n"), int32(7)),
+			bxdm.NewArray(bxdm.LocalName("v"), []float64{1.5, 2.5}),
+		),
+	)
+	data, err := EncodeToBytes(enc, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "xsi:type") || strings.Contains(string(data), "arrayType") {
+		t.Fatalf("PlainStrings output still carries hints: %s", data)
+	}
+	back, err := DecodeEnvelope(enc, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structure survives; typing does not.
+	payload := back.Body().(*bxdm.Element)
+	if payload.Name.Local != "payload" || len(payload.ChildElements()) != 2 {
+		t.Fatalf("structure lost: %+v", payload)
+	}
+	for _, c := range payload.ChildElements() {
+		if c.Kind() != bxdm.KindElement {
+			t.Errorf("%v decoded as %v; PlainStrings must yield generic elements", c.ElemName(), c.Kind())
+		}
+	}
+	// The lexical values are still there as text.
+	if got := payload.ChildElements()[0].(*bxdm.Element).TextContent(); got != "7" {
+		t.Errorf("n text = %q", got)
+	}
+	if got := payload.ChildElements()[1].(*bxdm.Element).TextContent(); got != "1.52.5" {
+		t.Errorf("v text = %q (item elements hold the values)", got)
+	}
+}
+
+func TestPlainStringsSmallerThanHinted(t *testing.T) {
+	env := NewEnvelope(bxdm.NewArray(bxdm.LocalName("v"), make([]float64, 200)))
+	plain, err := EncodeToBytes(XMLEncoding{PlainStrings: true}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hinted, err := EncodeToBytes(XMLEncoding{}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) >= len(hinted) {
+		t.Errorf("plain (%d B) not smaller than hinted (%d B)", len(plain), len(hinted))
+	}
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+
+	"bxsoap/internal/bxdm"
+	"bxsoap/internal/bxsa"
+	"bxsoap/internal/xbs"
+	"bxsoap/internal/xmltext"
+)
+
+// Encoding is the encoding policy concept (paper §5.2): a serializer and a
+// factory for the bXDM model. Two models ship by default — XMLEncoding and
+// BXSAEncoding — and any type satisfying the interface can be plugged in as
+// the E parameter of Engine/Server (wssec.Secured wraps one to add a
+// signature, demonstrating policy composition).
+type Encoding interface {
+	// Name identifies the policy in logs and the experiment tables.
+	Name() string
+	// ContentType is the MIME type the binding should advertise.
+	ContentType() string
+	// Encode serializes a bXDM document (the visitor direction).
+	Encode(w io.Writer, doc *bxdm.Document) error
+	// Decode parses an encoded document back into bXDM (the factory
+	// direction).
+	Decode(data []byte) (*bxdm.Document, error)
+}
+
+// XMLEncoding is the textual XML 1.0 encoding policy. Type hints are always
+// emitted so typed bXDM trees survive the lexical round trip (SOAP encoding
+// rules, paper §4.2).
+type XMLEncoding struct {
+	// PlainStrings disables xsi:type/arrayType emission; leaf and array
+	// nodes then serialize as plain elements. Used by the Table 1 scenario
+	// where the paper measures namespace-free minimal XML.
+	PlainStrings bool
+}
+
+// Name implements Encoding.
+func (XMLEncoding) Name() string { return "XML" }
+
+// ContentType implements Encoding.
+func (XMLEncoding) ContentType() string { return "text/xml; charset=utf-8" }
+
+// Encode implements Encoding.
+func (x XMLEncoding) Encode(w io.Writer, doc *bxdm.Document) error {
+	return xmltext.Encode(w, doc, xmltext.EncodeOptions{TypeHints: !x.PlainStrings})
+}
+
+// Decode implements Encoding.
+func (x XMLEncoding) Decode(data []byte) (*bxdm.Document, error) {
+	return xmltext.Parse(data, xmltext.DecodeOptions{
+		RecoverTypes:               !x.PlainStrings,
+		DropInterElementWhitespace: true,
+	})
+}
+
+// BXSAEncoding is the binary XML encoding policy.
+type BXSAEncoding struct {
+	Order xbs.ByteOrder
+}
+
+// Name implements Encoding.
+func (BXSAEncoding) Name() string { return "BXSA" }
+
+// ContentType implements Encoding.
+func (BXSAEncoding) ContentType() string { return "application/x-bxsa" }
+
+// Encode implements Encoding.
+func (b BXSAEncoding) Encode(w io.Writer, doc *bxdm.Document) error {
+	return bxsa.Encode(w, doc, bxsa.EncodeOptions{Order: b.Order})
+}
+
+// Decode implements Encoding.
+func (BXSAEncoding) Decode(data []byte) (*bxdm.Document, error) {
+	return bxsa.ParseDocument(data)
+}
+
+// EncodeToBytes serializes an envelope with the given policy.
+func EncodeToBytes(enc Encoding, e *Envelope) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := enc.Encode(&buf, e.Document()); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeEnvelope parses payload bytes into an envelope with the given
+// policy.
+func DecodeEnvelope(enc Encoding, data []byte) (*Envelope, error) {
+	doc, err := enc.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	return EnvelopeFromDocument(doc)
+}
+
+// Binding is the client-side binding policy concept (paper §5.3): it
+// carries serialized SOAP messages over an underlying protocol. The four
+// valid expressions match the paper's list — send_request,
+// receive_response on this interface; receive_request, send_response on the
+// server-side Channel.
+type Binding interface {
+	// SendRequest transmits one serialized SOAP message.
+	SendRequest(ctx context.Context, payload []byte, contentType string) error
+	// ReceiveResponse blocks for the reply to the last request. Bindings
+	// used for one-way MEPs never have ReceiveResponse called.
+	ReceiveResponse(ctx context.Context) (payload []byte, contentType string, err error)
+	// Close releases the underlying transport.
+	Close() error
+}
+
+// ServerBinding accepts transport channels on the server side.
+type ServerBinding interface {
+	// Accept blocks for the next transport channel (e.g. a TCP connection
+	// or an HTTP request slot).
+	Accept() (Channel, error)
+	// Addr reports the bound address for clients to dial.
+	Addr() net.Addr
+	// Close stops accepting.
+	Close() error
+}
+
+// Channel is one server-side message exchange sequence.
+type Channel interface {
+	// ReceiveRequest blocks for the next request on this channel; it
+	// returns io.EOF when the peer is done.
+	ReceiveRequest(ctx context.Context) (payload []byte, contentType string, err error)
+	// SendResponse replies to the request just received.
+	SendResponse(payload []byte, contentType string) error
+	// Close tears the channel down.
+	Close() error
+}
+
+// CheckContentType verifies that the peer's content type matches the
+// engine's encoding policy (a mismatch means the two sides were composed
+// with different policies).
+func CheckContentType(enc Encoding, got string) error {
+	want := enc.ContentType()
+	if got == "" || got == want {
+		return nil
+	}
+	// Tolerate parameter differences such as charset.
+	if base(got) == base(want) {
+		return nil
+	}
+	return fmt.Errorf("soap: content type %q does not match encoding %s (%q)", got, enc.Name(), want)
+}
+
+func base(ct string) string {
+	for i := 0; i < len(ct); i++ {
+		if ct[i] == ';' {
+			return ct[:i]
+		}
+	}
+	return ct
+}

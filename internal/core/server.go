@@ -1,0 +1,172 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"bxsoap/internal/bxdm"
+)
+
+// Handler processes one SOAP request envelope and produces the response.
+// Returning a *Fault (as the error) sends that fault; any other error is
+// wrapped into a soap:Server fault.
+type Handler func(ctx context.Context, req *Envelope) (*Envelope, error)
+
+// Server is the server side of the generic engine, composed from the same
+// two policy axes as Engine.
+type Server[E Encoding, B ServerBinding] struct {
+	enc     E
+	bind    B
+	handler Handler
+
+	// understood is the set of header QNames this node can process;
+	// mustUnderstand entries outside the set draw a MustUnderstand fault
+	// (SOAP 1.1 §4.2.3).
+	understood map[bxdm.QName]bool
+
+	mu     sync.Mutex
+	wg     sync.WaitGroup
+	closed bool
+	chans  map[Channel]struct{}
+	// ErrorLog receives per-channel failures; nil silences them.
+	ErrorLog *log.Logger
+}
+
+// NewServer composes a server from its policies and handler.
+func NewServer[E Encoding, B ServerBinding](enc E, bind B, h Handler) *Server[E, B] {
+	return &Server[E, B]{
+		enc:        enc,
+		bind:       bind,
+		handler:    h,
+		understood: make(map[bxdm.QName]bool),
+		chans:      make(map[Channel]struct{}),
+	}
+}
+
+// Understand registers header names this node processes, for
+// mustUnderstand enforcement.
+func (s *Server[E, B]) Understand(names ...bxdm.QName) {
+	for _, n := range names {
+		s.understood[bxdm.QName{Space: n.Space, Local: n.Local}] = true
+	}
+}
+
+// Addr reports the bound transport address.
+func (s *Server[E, B]) Addr() net.Addr { return s.bind.Addr() }
+
+// Serve accepts channels until the binding is closed, dispatching each on
+// its own goroutine. It returns nil after a clean Close.
+func (s *Server[E, B]) Serve() error {
+	for {
+		ch, err := s.bind.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) {
+				s.wg.Wait()
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			ch.Close()
+			s.wg.Wait()
+			return nil
+		}
+		s.chans[ch] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.chans, ch)
+				s.mu.Unlock()
+				ch.Close()
+			}()
+			if err := s.serveChannel(ch); err != nil && s.ErrorLog != nil {
+				s.ErrorLog.Printf("soap: channel error: %v", err)
+			}
+		}()
+	}
+}
+
+func (s *Server[E, B]) serveChannel(ch Channel) error {
+	ctx := context.Background()
+	for {
+		payload, ct, err := ch.ReceiveRequest(ctx)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		resp := s.dispatch(ctx, payload, ct)
+		out, err := EncodeToBytes(s.enc, resp)
+		if err != nil {
+			return fmt.Errorf("encode response: %w", err)
+		}
+		if err := ch.SendResponse(out, s.enc.ContentType()); err != nil {
+			return fmt.Errorf("send response: %w", err)
+		}
+	}
+}
+
+// dispatch decodes, enforces mustUnderstand, runs the handler, and converts
+// errors to faults. It never fails: protocol problems become fault
+// envelopes, which is what a SOAP node owes its peer.
+func (s *Server[E, B]) dispatch(ctx context.Context, payload []byte, ct string) *Envelope {
+	if err := CheckContentType(s.enc, ct); err != nil {
+		return (&Fault{Code: FaultClient, String: err.Error()}).Envelope()
+	}
+	req, err := DecodeEnvelope(s.enc, payload)
+	if err != nil {
+		return (&Fault{Code: FaultClient, String: fmt.Sprintf("cannot decode request: %v", err)}).Envelope()
+	}
+	for _, h := range req.HeaderEntries {
+		el, ok := h.(bxdm.ElementNode)
+		if !ok || !mustUnderstand(el) {
+			continue
+		}
+		name := el.ElemName()
+		if !s.understood[bxdm.QName{Space: name.Space, Local: name.Local}] {
+			return (&Fault{
+				Code:   FaultMustUnderstand,
+				String: fmt.Sprintf("header %v not understood", name),
+			}).Envelope()
+		}
+	}
+	resp, err := s.handler(ctx, req)
+	if err != nil {
+		var f *Fault
+		if errors.As(err, &f) {
+			return f.Envelope()
+		}
+		return (&Fault{Code: FaultServer, String: err.Error()}).Envelope()
+	}
+	if resp == nil {
+		resp = NewEnvelope()
+	}
+	return resp
+}
+
+// Close stops the server and closes all live channels.
+func (s *Server[E, B]) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for ch := range s.chans {
+		ch.Close()
+	}
+	s.mu.Unlock()
+	err := s.bind.Close()
+	s.wg.Wait()
+	return err
+}

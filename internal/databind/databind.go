@@ -1,0 +1,380 @@
+// Package databind maps Go structs to and from bXDM trees — the "XML
+// databinding" box in the paper's Figure 3. Because the target is bXDM
+// rather than text, numeric fields bind to typed LeafElements and numeric
+// slices bind to packed ArrayElements: a bound struct therefore serializes
+// through BXSA with zero float↔ASCII conversions, and through textual XML
+// with them — the application code is identical either way.
+//
+// Field mapping follows encoding/xml conventions:
+//
+//	Field int32  `xml:"count"`       → <count> leaf element
+//	Field string `xml:"id,attr"`     → id attribute
+//	Field []float64 `xml:"vals"`     → <vals> packed array element
+//	Field []Inner `xml:"item"`       → repeated <item> child elements
+//	Field Inner                      → nested element (field name)
+//	Field *T                         → optional (nil = omitted)
+//	Field T `xml:"-"`                → skipped
+package databind
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+
+	"bxsoap/internal/bxdm"
+)
+
+// Marshal converts a struct (or pointer to struct) into an element named
+// name.
+func Marshal(v any, name bxdm.QName) (*bxdm.Element, error) {
+	rv := reflect.ValueOf(v)
+	for rv.Kind() == reflect.Pointer {
+		if rv.IsNil() {
+			return nil, fmt.Errorf("databind: nil value")
+		}
+		rv = rv.Elem()
+	}
+	if rv.Kind() != reflect.Struct {
+		return nil, fmt.Errorf("databind: top-level value must be a struct, got %s", rv.Kind())
+	}
+	return marshalStruct(rv, name)
+}
+
+func marshalStruct(rv reflect.Value, name bxdm.QName) (*bxdm.Element, error) {
+	el := bxdm.NewElement(name)
+	t := rv.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		fname, attr, skip := fieldName(f)
+		if skip {
+			continue
+		}
+		fv := rv.Field(i)
+		if fv.Kind() == reflect.Pointer {
+			if fv.IsNil() {
+				continue
+			}
+			fv = fv.Elem()
+		}
+		if attr {
+			val, err := leafValue(fv)
+			if err != nil {
+				return nil, fmt.Errorf("databind: field %s: %w", f.Name, err)
+			}
+			el.SetAttr(bxdm.LocalName(fname), val)
+			continue
+		}
+		children, err := marshalField(fv, bxdm.LocalName(fname))
+		if err != nil {
+			return nil, fmt.Errorf("databind: field %s: %w", f.Name, err)
+		}
+		el.Append(children...)
+	}
+	return el, nil
+}
+
+func marshalField(fv reflect.Value, name bxdm.QName) ([]bxdm.Node, error) {
+	switch fv.Kind() {
+	case reflect.Struct:
+		child, err := marshalStruct(fv, name)
+		if err != nil {
+			return nil, err
+		}
+		return []bxdm.Node{child}, nil
+	case reflect.Slice:
+		if arr, ok := packedArray(fv, name); ok {
+			return []bxdm.Node{arr}, nil
+		}
+		var out []bxdm.Node
+		for i := 0; i < fv.Len(); i++ {
+			ev := fv.Index(i)
+			if ev.Kind() == reflect.Pointer {
+				if ev.IsNil() {
+					continue
+				}
+				ev = ev.Elem()
+			}
+			nodes, err := marshalField(ev, name)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, nodes...)
+		}
+		return out, nil
+	default:
+		val, err := leafValue(fv)
+		if err != nil {
+			return nil, err
+		}
+		return []bxdm.Node{bxdm.NewLeafValue(name, val)}, nil
+	}
+}
+
+// packedArray maps a numeric slice to an ArrayElement.
+func packedArray(fv reflect.Value, name bxdm.QName) (*bxdm.ArrayElement, bool) {
+	switch s := fv.Interface().(type) {
+	case []int8:
+		return bxdm.NewArray(name, s), true
+	case []int16:
+		return bxdm.NewArray(name, s), true
+	case []int32:
+		return bxdm.NewArray(name, s), true
+	case []int64:
+		return bxdm.NewArray(name, s), true
+	case []uint8:
+		return bxdm.NewArray(name, s), true
+	case []uint16:
+		return bxdm.NewArray(name, s), true
+	case []uint32:
+		return bxdm.NewArray(name, s), true
+	case []uint64:
+		return bxdm.NewArray(name, s), true
+	case []float32:
+		return bxdm.NewArray(name, s), true
+	case []float64:
+		return bxdm.NewArray(name, s), true
+	default:
+		return nil, false
+	}
+}
+
+func leafValue(fv reflect.Value) (bxdm.Value, error) {
+	switch fv.Kind() {
+	case reflect.Bool:
+		return bxdm.BoolValue(fv.Bool()), nil
+	case reflect.String:
+		return bxdm.StringValue(fv.String()), nil
+	case reflect.Int8:
+		return bxdm.Int8Value(int8(fv.Int())), nil
+	case reflect.Int16:
+		return bxdm.Int16Value(int16(fv.Int())), nil
+	case reflect.Int32:
+		return bxdm.Int32Value(int32(fv.Int())), nil
+	case reflect.Int, reflect.Int64:
+		return bxdm.Int64Value(fv.Int()), nil
+	case reflect.Uint8:
+		return bxdm.Uint8Value(uint8(fv.Uint())), nil
+	case reflect.Uint16:
+		return bxdm.Uint16Value(uint16(fv.Uint())), nil
+	case reflect.Uint32:
+		return bxdm.Uint32Value(uint32(fv.Uint())), nil
+	case reflect.Uint, reflect.Uint64:
+		return bxdm.Uint64Value(fv.Uint()), nil
+	case reflect.Float32:
+		return bxdm.Float32Value(float32(fv.Float())), nil
+	case reflect.Float64:
+		return bxdm.Float64Value(fv.Float()), nil
+	default:
+		return bxdm.Value{}, fmt.Errorf("unsupported kind %s", fv.Kind())
+	}
+}
+
+func fieldName(f reflect.StructField) (name string, attr, skip bool) {
+	tag := f.Tag.Get("xml")
+	if tag == "-" {
+		return "", false, true
+	}
+	name = f.Name
+	if tag != "" {
+		parts := strings.Split(tag, ",")
+		if parts[0] != "" {
+			name = parts[0]
+		}
+		for _, opt := range parts[1:] {
+			if opt == "attr" {
+				attr = true
+			}
+		}
+	}
+	return name, attr, false
+}
+
+// Unmarshal populates a struct pointer from an element produced by Marshal
+// (or decoded from either wire format).
+func Unmarshal(n bxdm.Node, v any) error {
+	rv := reflect.ValueOf(v)
+	if rv.Kind() != reflect.Pointer || rv.IsNil() {
+		return fmt.Errorf("databind: Unmarshal target must be a non-nil pointer")
+	}
+	rv = rv.Elem()
+	if rv.Kind() != reflect.Struct {
+		return fmt.Errorf("databind: Unmarshal target must point to a struct")
+	}
+	el, ok := n.(bxdm.ElementNode)
+	if !ok {
+		return fmt.Errorf("databind: node is %v, want element", n.Kind())
+	}
+	return unmarshalStruct(el, rv)
+}
+
+func unmarshalStruct(el bxdm.ElementNode, rv reflect.Value) error {
+	t := rv.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		fname, attr, skip := fieldName(f)
+		if skip {
+			continue
+		}
+		fv := rv.Field(i)
+		if attr {
+			val, ok := el.Attr(bxdm.LocalName(fname))
+			if !ok {
+				continue
+			}
+			if err := setLeaf(fv, val); err != nil {
+				return fmt.Errorf("databind: field %s: %w", f.Name, err)
+			}
+			continue
+		}
+		if err := unmarshalField(el, fv, fname); err != nil {
+			return fmt.Errorf("databind: field %s: %w", f.Name, err)
+		}
+	}
+	return nil
+}
+
+func childrenNamed(el bxdm.ElementNode, name string) []bxdm.ElementNode {
+	parent, ok := el.(*bxdm.Element)
+	if !ok {
+		return nil
+	}
+	var out []bxdm.ElementNode
+	for _, c := range parent.Children {
+		if ce, ok := c.(bxdm.ElementNode); ok && ce.ElemName().Local == name {
+			out = append(out, ce)
+		}
+	}
+	return out
+}
+
+func unmarshalField(parent bxdm.ElementNode, fv reflect.Value, name string) error {
+	matches := childrenNamed(parent, name)
+	if fv.Kind() == reflect.Pointer {
+		if len(matches) == 0 {
+			return nil
+		}
+		if fv.IsNil() {
+			fv.Set(reflect.New(fv.Type().Elem()))
+		}
+		fv = fv.Elem()
+	}
+	switch fv.Kind() {
+	case reflect.Struct:
+		if len(matches) == 0 {
+			return nil
+		}
+		return unmarshalStruct(matches[0], fv)
+	case reflect.Slice:
+		if len(matches) == 0 {
+			return nil
+		}
+		// Packed array?
+		if arr, ok := matches[0].(*bxdm.ArrayElement); ok {
+			return setPacked(fv, arr)
+		}
+		elemT := fv.Type().Elem()
+		out := reflect.MakeSlice(fv.Type(), 0, len(matches))
+		for _, m := range matches {
+			ev := reflect.New(elemT).Elem()
+			switch ev.Kind() {
+			case reflect.Struct:
+				if err := unmarshalStruct(m, ev); err != nil {
+					return err
+				}
+			default:
+				if err := setLeaf(ev, elementValue(m)); err != nil {
+					return err
+				}
+			}
+			out = reflect.Append(out, ev)
+		}
+		fv.Set(out)
+		return nil
+	default:
+		if len(matches) == 0 {
+			return nil
+		}
+		return setLeaf(fv, elementValue(matches[0]))
+	}
+}
+
+func elementValue(el bxdm.ElementNode) bxdm.Value {
+	switch x := el.(type) {
+	case *bxdm.LeafElement:
+		return x.Value
+	case *bxdm.Element:
+		return bxdm.StringValue(x.TextContent())
+	default:
+		return bxdm.Value{}
+	}
+}
+
+func setPacked(fv reflect.Value, arr *bxdm.ArrayElement) error {
+	set := func(v any) bool {
+		rv := reflect.ValueOf(v)
+		if rv.Type().AssignableTo(fv.Type()) {
+			fv.Set(rv)
+			return true
+		}
+		return false
+	}
+	d := arr.Data
+	if items, ok := bxdm.Items[int8](d); ok && set(items) {
+		return nil
+	}
+	if items, ok := bxdm.Items[int16](d); ok && set(items) {
+		return nil
+	}
+	if items, ok := bxdm.Items[int32](d); ok && set(items) {
+		return nil
+	}
+	if items, ok := bxdm.Items[int64](d); ok && set(items) {
+		return nil
+	}
+	if items, ok := bxdm.Items[uint8](d); ok && set(items) {
+		return nil
+	}
+	if items, ok := bxdm.Items[uint16](d); ok && set(items) {
+		return nil
+	}
+	if items, ok := bxdm.Items[uint32](d); ok && set(items) {
+		return nil
+	}
+	if items, ok := bxdm.Items[uint64](d); ok && set(items) {
+		return nil
+	}
+	if items, ok := bxdm.Items[float32](d); ok && set(items) {
+		return nil
+	}
+	if items, ok := bxdm.Items[float64](d); ok && set(items) {
+		return nil
+	}
+	return fmt.Errorf("array item type %v does not match field type %s", d.Type(), fv.Type())
+}
+
+func setLeaf(fv reflect.Value, val bxdm.Value) error {
+	if val.IsZero() {
+		return nil
+	}
+	switch fv.Kind() {
+	case reflect.Bool:
+		fv.SetBool(val.Bool())
+	case reflect.String:
+		fv.SetString(val.Text())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		fv.SetInt(val.Int64())
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		fv.SetUint(val.Uint64())
+	case reflect.Float32, reflect.Float64:
+		fv.SetFloat(val.Float64())
+	default:
+		return fmt.Errorf("unsupported kind %s", fv.Kind())
+	}
+	return nil
+}

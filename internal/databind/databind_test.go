@@ -1,0 +1,221 @@
+package databind
+
+import (
+	"reflect"
+	"testing"
+
+	"bxsoap/internal/bxdm"
+	"bxsoap/internal/bxsa"
+	"bxsoap/internal/xmltext"
+)
+
+type Reading struct {
+	ID       string    `xml:"id,attr"`
+	Station  string    `xml:"station"`
+	Seq      int32     `xml:"seq"`
+	Pressure float64   `xml:"pressure"`
+	OK       bool      `xml:"ok"`
+	Samples  []float64 `xml:"samples"`
+	Tags     []string  `xml:"tag"`
+	Meta     Meta      `xml:"meta"`
+	Extra    *Meta     `xml:"extra"`
+	Ignore   string    `xml:"-"`
+	hidden   int
+}
+
+type Meta struct {
+	Source string `xml:"source"`
+	Level  uint16 `xml:"level"`
+}
+
+func sample() Reading {
+	return Reading{
+		ID:       "r-17",
+		Station:  "KBMI",
+		Seq:      42,
+		Pressure: 991.125,
+		OK:       true,
+		Samples:  []float64{1.5, -2.25, 3},
+		Tags:     []string{"qc", "raw"},
+		Meta:     Meta{Source: "sim", Level: 3},
+		Ignore:   "should vanish",
+		hidden:   7,
+	}
+}
+
+func TestMarshalShape(t *testing.T) {
+	el, err := Marshal(sample(), bxdm.LocalName("reading"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := el.Attr(bxdm.LocalName("id")); !ok || v.Text() != "r-17" {
+		t.Error("attr id missing")
+	}
+	// Numeric slice became a packed array element.
+	s := el.FirstChild(bxdm.LocalName("samples"))
+	if s == nil || s.Kind() != bxdm.KindArrayElement {
+		t.Fatalf("samples = %v", s)
+	}
+	if items, ok := bxdm.Items[float64](s.(*bxdm.ArrayElement).Data); !ok || len(items) != 3 {
+		t.Error("samples not packed float64")
+	}
+	// Scalar fields became typed leaves.
+	if p := el.FirstChild(bxdm.LocalName("pressure")); p.(*bxdm.LeafElement).Value.Type() != bxdm.TFloat64 {
+		t.Error("pressure not a double leaf")
+	}
+	// String slice became repeated elements.
+	var tags int
+	for _, c := range el.Children {
+		if ce, ok := c.(bxdm.ElementNode); ok && ce.ElemName().Local == "tag" {
+			tags++
+		}
+	}
+	if tags != 2 {
+		t.Errorf("tag elements = %d", tags)
+	}
+	// Skipped fields.
+	if el.FirstChild(bxdm.LocalName("Ignore")) != nil || el.FirstChild(bxdm.LocalName("hidden")) != nil {
+		t.Error("skipped/unexported fields serialized")
+	}
+	// Nil pointer omitted.
+	if el.FirstChild(bxdm.LocalName("extra")) != nil {
+		t.Error("nil pointer field serialized")
+	}
+}
+
+func TestRoundTripInMemory(t *testing.T) {
+	in := sample()
+	el, err := Marshal(&in, bxdm.LocalName("reading"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Reading
+	if err := Unmarshal(el, &out); err != nil {
+		t.Fatal(err)
+	}
+	in.Ignore, in.hidden = "", 0 // not serialized by design
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip:\n in = %+v\nout = %+v", in, out)
+	}
+}
+
+func TestRoundTripThroughBXSA(t *testing.T) {
+	in := sample()
+	in.Extra = &Meta{Source: "ptr", Level: 9}
+	el, err := Marshal(in, bxdm.LocalName("reading"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := bxsa.Marshal(el, bxsa.EncodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := bxsa.Parse(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Reading
+	if err := Unmarshal(node, &out); err != nil {
+		t.Fatal(err)
+	}
+	in.Ignore, in.hidden = "", 0
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("BXSA round trip:\n in = %+v\nout = %+v", in, out)
+	}
+}
+
+func TestRoundTripThroughXML(t *testing.T) {
+	in := sample()
+	el, err := Marshal(in, bxdm.LocalName("reading"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := xmltext.Marshal(el, xmltext.EncodeOptions{TypeHints: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := xmltext.Parse(wire, xmltext.DecodeOptions{RecoverTypes: true, DropInterElementWhitespace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Reading
+	if err := Unmarshal(doc.Root(), &out); err != nil {
+		t.Fatal(err)
+	}
+	in.Ignore, in.hidden = "", 0
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("XML round trip:\n in = %+v\nout = %+v", in, out)
+	}
+}
+
+func TestStructSlices(t *testing.T) {
+	type Batch struct {
+		Items []Meta `xml:"item"`
+	}
+	in := Batch{Items: []Meta{{Source: "a", Level: 1}, {Source: "b", Level: 2}}}
+	el, err := Marshal(in, bxdm.LocalName("batch"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Batch
+	if err := Unmarshal(el, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("struct slice round trip: %+v", out)
+	}
+}
+
+func TestMarshalErrors(t *testing.T) {
+	if _, err := Marshal(42, bxdm.LocalName("x")); err == nil {
+		t.Error("non-struct accepted")
+	}
+	var nilPtr *Meta
+	if _, err := Marshal(nilPtr, bxdm.LocalName("x")); err == nil {
+		t.Error("nil pointer accepted")
+	}
+	type WithMap struct {
+		M map[string]int `xml:"m"`
+	}
+	if _, err := Marshal(WithMap{M: map[string]int{"a": 1}}, bxdm.LocalName("x")); err == nil {
+		t.Error("map field accepted")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	el := bxdm.NewElement(bxdm.LocalName("x"))
+	var notPtr Meta
+	if err := Unmarshal(el, notPtr); err == nil {
+		t.Error("non-pointer target accepted")
+	}
+	var i int
+	if err := Unmarshal(el, &i); err == nil {
+		t.Error("non-struct target accepted")
+	}
+	if err := Unmarshal(&bxdm.Text{Data: "x"}, &Meta{}); err == nil {
+		t.Error("text node accepted")
+	}
+}
+
+func TestUnmarshalMissingFieldsLeaveZeroValues(t *testing.T) {
+	el := bxdm.NewElement(bxdm.LocalName("reading"),
+		bxdm.NewLeaf(bxdm.LocalName("seq"), int32(7)),
+	)
+	var out Reading
+	if err := Unmarshal(el, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Seq != 7 || out.Station != "" || out.Samples != nil || out.Extra != nil {
+		t.Errorf("partial unmarshal wrong: %+v", out)
+	}
+}
+
+func TestPackedTypeMismatch(t *testing.T) {
+	el := bxdm.NewElement(bxdm.LocalName("reading"),
+		bxdm.NewArray(bxdm.LocalName("samples"), []int32{1, 2}),
+	)
+	var out Reading
+	if err := Unmarshal(el, &out); err == nil {
+		t.Error("int32 array accepted into []float64 field")
+	}
+}

@@ -1,0 +1,196 @@
+// Package dataset generates the experiments' workload: a LEAD-like
+// atmospheric data model (paper §6). The paper's binary data model "was
+// derived from a sample file used for LEAD project, and consists of
+// atmospheric information, which depends on four parameters, namely time,
+// y, x and height", and boils down to two equal-size arrays: 4-byte integer
+// indices and 8-byte double dimension values. The paper calls the array
+// length the "model size".
+//
+// The generator is deterministic (seeded xorshift) so every scheme in a
+// comparison serializes the identical payload. Values are quantized to
+// 1/8 hPa, giving them the short decimal renderings (≈7 characters) that
+// real observational data has — this is what makes the XML 1.0 serialization
+// overhead land near Table 1's 99% rather than the ~180% that full-precision
+// random doubles would produce.
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"bxsoap/internal/bxdm"
+	"bxsoap/internal/netcdf"
+)
+
+// Model is one instance of the experimental payload.
+type Model struct {
+	// Index is the 4-byte integer index array.
+	Index []int32
+	// Values is the 8-byte floating-point dimension-value array.
+	Values []float64
+}
+
+// NativeSize returns the bytes the model occupies in native memory:
+// modelSize * (4 + 8), the baseline for Table 1's overhead percentages.
+func (m Model) NativeSize() int { return len(m.Index)*4 + len(m.Values)*8 }
+
+// Size returns the model size (number of (double, int) pairs).
+func (m Model) Size() int { return len(m.Index) }
+
+// Generate produces a deterministic model of the given size. The values
+// follow a plausible surface-pressure profile over the (time, y, x, height)
+// grid: a base field plus smooth variation, quantized to 1/8.
+func Generate(n int) Model {
+	m := Model{
+		Index:  make([]int32, n),
+		Values: make([]float64, n),
+	}
+	var s rng
+	s.seed(uint64(n)*2654435761 + 88172645463325252)
+	for i := 0; i < n; i++ {
+		m.Index[i] = int32(i)
+		// Pressure-like values: 850..1050 hPa with smooth spatial variation
+		// and small noise, quantized to 1/8 (exactly representable, short
+		// decimal form).
+		base := 950.0 + 75.0*math.Sin(float64(i)*0.001) + 25.0*math.Cos(float64(i)*0.013)
+		noise := float64(s.next()%2048)/2048.0*4.0 - 2.0
+		v := math.Round((base+noise)*8) / 8
+		m.Values[i] = v
+	}
+	return m
+}
+
+// Verify checks every value in the model — the work the paper's §6 server
+// performs on each request — and returns the number of valid entries. An
+// entry is valid when its index matches its position and its value is a
+// finite quantized pressure in range.
+func (m Model) Verify() int {
+	ok := 0
+	for i := range m.Index {
+		if int(m.Index[i]) != i {
+			continue
+		}
+		v := m.Values[i]
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 800 || v > 1100 {
+			continue
+		}
+		if v*8 != math.Trunc(v*8) {
+			continue
+		}
+		ok++
+	}
+	return ok
+}
+
+// Equal reports bit-exact equality of two models.
+func (m Model) Equal(o Model) bool {
+	if len(m.Index) != len(o.Index) || len(m.Values) != len(o.Values) {
+		return false
+	}
+	for i := range m.Index {
+		if m.Index[i] != o.Index[i] {
+			return false
+		}
+	}
+	for i := range m.Values {
+		if math.Float64bits(m.Values[i]) != math.Float64bits(o.Values[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Namespace is the element namespace the harness uses for the payload.
+const Namespace = "urn:bxsoap:lead"
+
+// Element renders the model as a bXDM element using packed ArrayElements —
+// the unified scheme's payload.
+func (m Model) Element() *bxdm.Element {
+	e := bxdm.NewElement(bxdm.PName(Namespace, "lead", "data"))
+	e.DeclareNamespace("lead", Namespace)
+	e.Append(
+		bxdm.NewArray(bxdm.Name(Namespace, "index"), m.Index),
+		bxdm.NewArray(bxdm.Name(Namespace, "values"), m.Values),
+	)
+	return e
+}
+
+// FromElement reconstructs a model from its bXDM rendering.
+func FromElement(e bxdm.ElementNode) (Model, error) {
+	el, ok := e.(*bxdm.Element)
+	if !ok {
+		return Model{}, fmt.Errorf("dataset: payload is a %v, want component element", e.Kind())
+	}
+	idxEl := el.FirstChild(bxdm.Name(Namespace, "index"))
+	valEl := el.FirstChild(bxdm.Name(Namespace, "values"))
+	if idxEl == nil || valEl == nil {
+		return Model{}, fmt.Errorf("dataset: payload missing index/values arrays")
+	}
+	ia, ok1 := idxEl.(*bxdm.ArrayElement)
+	va, ok2 := valEl.(*bxdm.ArrayElement)
+	if !ok1 || !ok2 {
+		return Model{}, fmt.Errorf("dataset: index/values are not array elements")
+	}
+	idx, ok1 := bxdm.Items[int32](ia.Data)
+	vals, ok2 := bxdm.Items[float64](va.Data)
+	if !ok1 || !ok2 {
+		return Model{}, fmt.Errorf("dataset: arrays have wrong item types (%v, %v)",
+			ia.Data.Type(), va.Data.Type())
+	}
+	if len(idx) != len(vals) {
+		return Model{}, fmt.Errorf("dataset: array lengths differ (%d vs %d)", len(idx), len(vals))
+	}
+	return Model{Index: idx, Values: vals}, nil
+}
+
+// NetCDF renders the model as the netCDF dataset the separated scheme
+// ships.
+func (m Model) NetCDF() *netcdf.File {
+	return &netcdf.File{
+		Dims: []netcdf.Dimension{{Name: "model", Length: m.Size()}},
+		Attrs: []netcdf.Attribute{
+			netcdf.StringAttr("title", "LEAD-like atmospheric sample"),
+		},
+		Vars: []netcdf.Variable{
+			{Name: "index", Type: netcdf.Int, Dims: []string{"model"}, Data: m.Index},
+			{Name: "values", Type: netcdf.Double, Dims: []string{"model"}, Data: m.Values},
+		},
+	}
+}
+
+// FromNetCDF reconstructs a model from the netCDF rendering.
+func FromNetCDF(f *netcdf.File) (Model, error) {
+	iv, ok := f.Var("index")
+	if !ok {
+		return Model{}, fmt.Errorf("dataset: netCDF file missing index variable")
+	}
+	vv, ok := f.Var("values")
+	if !ok {
+		return Model{}, fmt.Errorf("dataset: netCDF file missing values variable")
+	}
+	idx, ok1 := iv.Data.([]int32)
+	vals, ok2 := vv.Data.([]float64)
+	if !ok1 || !ok2 || len(idx) != len(vals) {
+		return Model{}, fmt.Errorf("dataset: netCDF variables malformed")
+	}
+	return Model{Index: idx, Values: vals}, nil
+}
+
+// rng is a xorshift64* generator — deterministic, dependency-free.
+type rng struct{ state uint64 }
+
+func (r *rng) seed(s uint64) {
+	if s == 0 {
+		s = 1
+	}
+	r.state = s
+}
+
+func (r *rng) next() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 2685821657736338717
+}

@@ -1,0 +1,248 @@
+package gridftp
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+
+	"bxsoap/internal/netsim"
+)
+
+// Client is a simulated GridFTP client (the role of the GridFTP C client
+// library in the paper's testbed). Dial performs the control-channel
+// greeting and the full authentication handshake, so a freshly dialed
+// client has already paid GridFTP's fixed costs — which is exactly why the
+// separated GridFTP scheme loses badly on small messages (Figure 4).
+type Client struct {
+	nw   *netsim.Network
+	opts Options
+	conn net.Conn
+	c    *ctrl
+
+	mu sync.Mutex
+}
+
+// Dial connects and authenticates.
+func Dial(nw *netsim.Network, addr string, opts Options) (*Client, error) {
+	opts = opts.withDefaults()
+	conn, err := nw.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	cl := &Client{nw: nw, opts: opts, conn: conn, c: newCtrl(conn)}
+	if err := cl.handshake(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return cl, nil
+}
+
+func (cl *Client) handshake() error {
+	if _, err := cl.c.expect("220"); err != nil {
+		return err
+	}
+	if err := cl.c.sendf("AUTH GSSAPI"); err != nil {
+		return err
+	}
+	if _, err := cl.c.expect("334"); err != nil {
+		return err
+	}
+	rounds := cl.opts.HandshakeRounds
+	perRound := cl.opts.HandshakeWork / rounds
+	var prev []byte
+	for round := 0; round < rounds; round++ {
+		token := handshakeToken(prev, round, perRound)
+		prev = token
+		if err := cl.c.sendf("ADAT %s", encodeToken(token)); err != nil {
+			return err
+		}
+		if round == rounds-1 {
+			if _, err := cl.c.expect("235"); err != nil {
+				return err
+			}
+			break
+		}
+		line, err := cl.c.expect("335")
+		if err != nil {
+			return err
+		}
+		reply := strings.TrimPrefix(strings.TrimPrefix(line, "335 "), "ADAT=")
+		tok, err := decodeToken(reply)
+		if err != nil {
+			return fmt.Errorf("gridftp: malformed server token: %w", err)
+		}
+		// Verify the server's token with the same compute (mutual auth).
+		want := handshakeToken(prev, round+1000, perRound)
+		if encodeToken(tok) != encodeToken(want) {
+			return fmt.Errorf("gridftp: server token mismatch")
+		}
+		prev = tok
+	}
+	return nil
+}
+
+// setupTransfer negotiates SPAS + MODE E and returns the data address.
+func (cl *Client) setupTransfer() (string, error) {
+	if err := cl.c.sendf("SPAS %d", cl.opts.Streams); err != nil {
+		return "", err
+	}
+	line, err := cl.c.expect("229")
+	if err != nil {
+		return "", err
+	}
+	// "229 Entering Striped Passive Mode (host:port n)"
+	open := strings.IndexByte(line, '(')
+	closeIdx := strings.LastIndexByte(line, ')')
+	if open < 0 || closeIdx <= open {
+		return "", fmt.Errorf("gridftp: malformed SPAS reply %q", line)
+	}
+	fields := strings.Fields(line[open+1 : closeIdx])
+	if len(fields) != 2 {
+		return "", fmt.Errorf("gridftp: malformed SPAS reply %q", line)
+	}
+	if err := cl.c.sendf("MODE E"); err != nil {
+		return "", err
+	}
+	if _, err := cl.c.expect("200"); err != nil {
+		return "", err
+	}
+	return fields[0], nil
+}
+
+// dialStreams opens the parallel data connections (each pays the shaped
+// connection-establishment RTT, concurrently).
+func (cl *Client) dialStreams(addr string) ([]net.Conn, error) {
+	conns := make([]net.Conn, cl.opts.Streams)
+	errs := make([]error, cl.opts.Streams)
+	var wg sync.WaitGroup
+	for i := range conns {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conns[i], errs[i] = cl.nw.Dial(addr)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			closeAll(conns)
+			return nil, err
+		}
+	}
+	return conns, nil
+}
+
+// Retrieve downloads remotePath into localPath, returning the byte count.
+func (cl *Client) Retrieve(remotePath, localPath string) (int64, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	dataAddr, err := cl.setupTransfer()
+	if err != nil {
+		return 0, err
+	}
+	if err := cl.c.sendf("RETR %s", remotePath); err != nil {
+		return 0, err
+	}
+	line, err := cl.c.expect("150")
+	if err != nil {
+		return 0, err
+	}
+	size := parseSize(line)
+	conns, err := cl.dialStreams(dataAddr)
+	if err != nil {
+		return 0, err
+	}
+	out, err := os.Create(localPath)
+	if err != nil {
+		closeAll(conns)
+		return 0, err
+	}
+	n, rerr := receiveEBlocks(conns, out)
+	closeAll(conns)
+	if cerr := out.Close(); rerr == nil {
+		rerr = cerr
+	}
+	if rerr != nil {
+		return n, rerr
+	}
+	if size >= 0 && n != size {
+		return n, fmt.Errorf("gridftp: received %d bytes, server announced %d", n, size)
+	}
+	if _, err := cl.c.expect("226"); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// Store uploads localPath to remotePath.
+func (cl *Client) Store(localPath, remotePath string) (int64, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	in, err := os.Open(localPath)
+	if err != nil {
+		return 0, err
+	}
+	defer in.Close()
+	st, err := in.Stat()
+	if err != nil {
+		return 0, err
+	}
+	dataAddr, err := cl.setupTransfer()
+	if err != nil {
+		return 0, err
+	}
+	if err := cl.c.sendf("ALLO %d", st.Size()); err != nil {
+		return 0, err
+	}
+	if _, err := cl.c.expect("200"); err != nil {
+		return 0, err
+	}
+	if err := cl.c.sendf("STOR %s", remotePath); err != nil {
+		return 0, err
+	}
+	if _, err := cl.c.expect("150"); err != nil {
+		return 0, err
+	}
+	conns, err := cl.dialStreams(dataAddr)
+	if err != nil {
+		return 0, err
+	}
+	serr := sendEBlocks(conns, in, st.Size(), cl.opts.BlockSize)
+	closeAll(conns)
+	if serr != nil {
+		return 0, serr
+	}
+	if _, err := cl.c.expect("226"); err != nil {
+		return st.Size(), err
+	}
+	return st.Size(), nil
+}
+
+// Quit ends the session.
+func (cl *Client) Quit() error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	cl.c.sendf("QUIT")
+	cl.c.expect("221")
+	return cl.conn.Close()
+}
+
+func parseSize(line150 string) int64 {
+	open := strings.LastIndexByte(line150, '(')
+	if open < 0 {
+		return -1
+	}
+	rest := line150[open+1:]
+	end := strings.IndexByte(rest, ' ')
+	if end < 0 {
+		return -1
+	}
+	n, err := strconv.ParseInt(rest[:end], 10, 64)
+	if err != nil {
+		return -1
+	}
+	return n
+}

@@ -1,0 +1,259 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"bxsoap/internal/bxsa"
+	"bxsoap/internal/dataset"
+	"bxsoap/internal/netsim"
+	"bxsoap/internal/xmltext"
+)
+
+// Figure5Sizes are the paper's model sizes for the large-message sweeps:
+// 1365·4^k, chosen so the BXSA serialization runs from 16 KB to 64 MB.
+var Figure5Sizes = []int{1365, 5460, 21840, 87360, 349440, 1397760, 5591040}
+
+// Figure4Sizes are the small-message sweep sizes (0 to 1000 pairs).
+var Figure4Sizes = []int{0, 100, 200, 300, 400, 500, 600, 700, 800, 900, 1000}
+
+// SizeRow is one line of Table 1.
+type SizeRow struct {
+	Format   string
+	Bytes    int
+	Overhead float64 // fraction over native
+}
+
+// Table1 measures the serialization size of the binary data set in each
+// format at the given model size (paper: 1000).
+func Table1(modelSize int) ([]SizeRow, error) {
+	m := dataset.Generate(modelSize)
+	native := m.NativeSize()
+
+	bxsaBytes, err := bxsa.EncodedSize(m.Element(), bxsa.EncodeOptions{})
+	if err != nil {
+		return nil, err
+	}
+	ncBytes, err := m.NetCDF().Marshal()
+	if err != nil {
+		return nil, err
+	}
+	// Table 1's XML figure is namespace-free with the shortest tag names:
+	// serialize just the two arrays without hints, wrapped minimally.
+	xmlBytes, err := xmltext.Marshal(m.Element(), xmltext.EncodeOptions{})
+	if err != nil {
+		return nil, err
+	}
+	rows := []SizeRow{
+		{Format: "Native representation", Bytes: native},
+		{Format: "BXSA", Bytes: bxsaBytes},
+		{Format: "netCDF", Bytes: len(ncBytes)},
+		{Format: "XML 1.0", Bytes: len(xmlBytes)},
+	}
+	for i := range rows {
+		rows[i].Overhead = float64(rows[i].Bytes-native) / float64(native)
+	}
+	return rows, nil
+}
+
+// PrintTable1 renders the rows like the paper's Table 1.
+func PrintTable1(w io.Writer, rows []SizeRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Format\tSize (bytes)\tOverhead")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.1f%%\n", r.Format, r.Bytes, r.Overhead*100)
+	}
+	tw.Flush()
+}
+
+// Point is one measured (model size, response time) sample.
+type Point struct {
+	ModelSize int
+	Response  time.Duration
+	// Bandwidth in (double,int) pairs per second, the paper's Figure 5/6
+	// unit.
+	Bandwidth float64
+	Err       error
+}
+
+// Series is one scheme's curve.
+type Series struct {
+	Scheme string
+	Points []Point
+}
+
+// SweepConfig controls a response-time/bandwidth sweep.
+type SweepConfig struct {
+	Network *netsim.Network
+	Sizes   []int
+	// Iters per point; the minimum is reported (load-free response time).
+	Iters int
+	// MaxSizeFor optionally caps a scheme's sizes (e.g. XML at huge model
+	// sizes is pointlessly slow — the paper notes it "lost the game at the
+	// very beginning").
+	MaxSizeFor map[string]int
+	// Progress, when non-nil, receives human-readable progress lines.
+	Progress io.Writer
+}
+
+// Sweep measures every scheme at every size.
+func Sweep(schemes []Scheme, cfg SweepConfig) ([]Series, error) {
+	out := make([]Series, 0, len(schemes))
+	workdir, err := os.MkdirTemp("", "bxsoap-harness-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(workdir)
+	iters := cfg.Iters
+	if iters <= 0 {
+		iters = 3
+	}
+	for _, s := range schemes {
+		if err := s.Setup(cfg.Network, workdir); err != nil {
+			return nil, fmt.Errorf("%s: setup: %w", s.Name(), err)
+		}
+		ser := Series{Scheme: s.Name()}
+		for _, size := range cfg.Sizes {
+			if maxSize, ok := cfg.MaxSizeFor[s.Name()]; ok && size > maxSize {
+				continue
+			}
+			p := measurePoint(s, size, iters)
+			if cfg.Progress != nil {
+				if p.Err != nil {
+					fmt.Fprintf(cfg.Progress, "%-28s n=%-8d ERROR: %v\n", s.Name(), size, p.Err)
+				} else {
+					fmt.Fprintf(cfg.Progress, "%-28s n=%-8d response=%-12v bandwidth=%.0f pairs/s\n",
+						s.Name(), size, p.Response, p.Bandwidth)
+				}
+			}
+			ser.Points = append(ser.Points, p)
+		}
+		if err := s.Teardown(); err != nil {
+			return nil, fmt.Errorf("%s: teardown: %w", s.Name(), err)
+		}
+		out = append(out, ser)
+	}
+	return out, nil
+}
+
+func measurePoint(s Scheme, size, iters int) Point {
+	m := dataset.Generate(size)
+	// Warm-up (connection establishment, allocator, caches).
+	if _, err := s.Invoke(m); err != nil {
+		return Point{ModelSize: size, Err: err}
+	}
+	best := time.Duration(0)
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		verified, err := s.Invoke(m)
+		elapsed := time.Since(start)
+		if err != nil {
+			return Point{ModelSize: size, Err: err}
+		}
+		if verified != m.Verify() {
+			return Point{ModelSize: size, Err: fmt.Errorf("verified %d of %d", verified, size)}
+		}
+		if best == 0 || elapsed < best {
+			best = elapsed
+		}
+	}
+	p := Point{ModelSize: size, Response: best}
+	if best > 0 {
+		p.Bandwidth = float64(size) / best.Seconds()
+	}
+	return p
+}
+
+// PrintResponseSeries renders a Figure 4-style table: response time (µs)
+// per model size per scheme.
+func PrintResponseSeries(w io.Writer, series []Series) {
+	printSeries(w, series, "response (µs)", func(p Point) string {
+		return fmt.Sprintf("%d", p.Response.Microseconds())
+	})
+}
+
+// PrintBandwidthSeries renders a Figure 5/6-style table: bandwidth in
+// (double,int) pairs per second per model size per scheme.
+func PrintBandwidthSeries(w io.Writer, series []Series) {
+	printSeries(w, series, "bandwidth (pairs/s)", func(p Point) string {
+		return fmt.Sprintf("%.0f", p.Bandwidth)
+	})
+}
+
+func printSeries(w io.Writer, series []Series, unit string, cell func(Point) string) {
+	sizes := map[int]bool{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			sizes[p.ModelSize] = true
+		}
+	}
+	ordered := make([]int, 0, len(sizes))
+	for s := range sizes {
+		ordered = append(ordered, s)
+	}
+	sort.Ints(ordered)
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "# (double,int)")
+	for _, s := range series {
+		fmt.Fprintf(tw, "\t%s", s.Scheme)
+	}
+	fmt.Fprintf(tw, "\t[%s]\n", unit)
+	for _, size := range ordered {
+		fmt.Fprintf(tw, "%d", size)
+		for _, s := range series {
+			val := "-"
+			for _, p := range s.Points {
+				if p.ModelSize == size {
+					if p.Err != nil {
+						val = "err"
+					} else {
+						val = cell(p)
+					}
+					break
+				}
+			}
+			fmt.Fprintf(tw, "\t%s", val)
+		}
+		fmt.Fprintln(tw, "\t")
+	}
+	tw.Flush()
+}
+
+// Figure4Schemes returns the small-message comparison set.
+func Figure4Schemes() []Scheme {
+	return []Scheme{
+		NewUnified("BXSA", "tcp"),
+		NewUnified("XML", "http"),
+		NewSeparatedHTTP(),
+		NewSeparatedGridFTP(1),
+	}
+}
+
+// Figure5Schemes returns the LAN large-message comparison set.
+func Figure5Schemes() []Scheme {
+	return []Scheme{
+		NewUnified("BXSA", "tcp"),
+		NewSeparatedHTTP(),
+		NewSeparatedGridFTP(1),
+		NewSeparatedGridFTP(4),
+		NewSeparatedGridFTP(16),
+		NewUnified("XML", "http"),
+	}
+}
+
+// Figure6Schemes returns the WAN comparison set (the paper drops the
+// XML/HTTP line, already off the chart).
+func Figure6Schemes() []Scheme {
+	return []Scheme{
+		NewSeparatedGridFTP(16),
+		NewUnified("BXSA", "tcp"),
+		NewSeparatedGridFTP(4),
+		NewSeparatedHTTP(),
+		NewSeparatedGridFTP(1),
+	}
+}

@@ -1,0 +1,268 @@
+// Package httpbind implements the HttpBinding policy (paper §5.3): each
+// SOAP request rides as the payload of an HTTP/1.1 POST, the response comes
+// back in the HTTP response body — the prevailing SOAP-over-HTTP binding.
+// It runs on top of net/http with a pluggable dialer/listener so netsim-
+// shaped transports drop in.
+package httpbind
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"bxsoap/internal/core"
+)
+
+// Binding is the client-side HTTP binding.
+type Binding struct {
+	url    string
+	client *http.Client
+	action string
+
+	mu      sync.Mutex
+	pending *http.Response
+}
+
+// Dialer opens the underlying transport connection.
+type Dialer func(addr string) (net.Conn, error)
+
+// New creates a client binding POSTing to url ("http://host:port/path"),
+// dialing through dial (nil = plain TCP).
+func New(dial Dialer, url string) *Binding {
+	tr := &http.Transport{
+		MaxIdleConns:        16,
+		MaxIdleConnsPerHost: 16,
+		IdleConnTimeout:     time.Minute,
+	}
+	if dial != nil {
+		tr.DialContext = func(_ context.Context, _, addr string) (net.Conn, error) {
+			return dial(addr)
+		}
+	}
+	return &Binding{url: url, client: &http.Client{Transport: tr}}
+}
+
+// SetSOAPAction sets the SOAPAction header value sent with requests.
+func (b *Binding) SetSOAPAction(a string) { b.action = a }
+
+// SendRequest implements core.Binding.
+func (b *Binding) SendRequest(ctx context.Context, payload []byte, contentType string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", contentType)
+	req.Header.Set("SOAPAction", `"`+b.action+`"`)
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("httpbind: POST %s: %w", b.url, err)
+	}
+	b.mu.Lock()
+	if b.pending != nil {
+		b.pending.Body.Close()
+	}
+	b.pending = resp
+	b.mu.Unlock()
+	return nil
+}
+
+// ReceiveResponse implements core.Binding.
+func (b *Binding) ReceiveResponse(_ context.Context) ([]byte, string, error) {
+	b.mu.Lock()
+	resp := b.pending
+	b.pending = nil
+	b.mu.Unlock()
+	if resp == nil {
+		return nil, "", errors.New("httpbind: no request in flight")
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", err
+	}
+	// SOAP 1.1 over HTTP uses 500 for fault responses; both 200 and 500
+	// carry SOAP envelopes.
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusInternalServerError {
+		return nil, "", fmt.Errorf("httpbind: unexpected HTTP status %s", resp.Status)
+	}
+	return body, resp.Header.Get("Content-Type"), nil
+}
+
+// Close implements core.Binding.
+func (b *Binding) Close() error {
+	b.mu.Lock()
+	if b.pending != nil {
+		b.pending.Body.Close()
+		b.pending = nil
+	}
+	b.mu.Unlock()
+	b.client.CloseIdleConnections()
+	return nil
+}
+
+// Listener is the server-side HTTP binding: an http.Server bridged to the
+// core.ServerBinding accept loop.
+type Listener struct {
+	l      net.Listener
+	srv    *http.Server
+	accept chan *channel
+	done   chan struct{}
+	once   sync.Once
+	err    error
+}
+
+// NewListener wraps an already-bound listener (e.g. a netsim-shaped one)
+// and starts the HTTP machinery on it.
+func NewListener(l net.Listener) *Listener {
+	s := &Listener{
+		l:      l,
+		accept: make(chan *channel),
+		done:   make(chan struct{}),
+	}
+	s.srv = &http.Server{Handler: http.HandlerFunc(s.handle)}
+	go func() {
+		err := s.srv.Serve(l)
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.err = err
+		}
+		s.once.Do(func() { close(s.done) })
+	}()
+	return s
+}
+
+// Listen binds an unshaped HTTP listener on addr.
+func Listen(addr string) (*Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewListener(l), nil
+}
+
+type response struct {
+	payload     []byte
+	contentType string
+	status      int
+}
+
+// channel adapts one HTTP request to the core.Channel exchange sequence.
+type channel struct {
+	payload     []byte
+	contentType string
+	resp        chan response
+	received    bool
+}
+
+func (s *Listener) handle(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "SOAP endpoint: POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, "read error", http.StatusBadRequest)
+		return
+	}
+	ch := &channel{
+		payload:     body,
+		contentType: r.Header.Get("Content-Type"),
+		resp:        make(chan response, 1),
+	}
+	select {
+	case s.accept <- ch:
+	case <-s.done:
+		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	select {
+	case resp := <-ch.resp:
+		w.Header().Set("Content-Type", resp.contentType)
+		w.WriteHeader(resp.status)
+		w.Write(resp.payload)
+	case <-s.done:
+		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+	}
+}
+
+// Accept implements core.ServerBinding.
+func (s *Listener) Accept() (core.Channel, error) {
+	select {
+	case ch := <-s.accept:
+		return ch, nil
+	case <-s.done:
+		if s.err != nil {
+			return nil, s.err
+		}
+		return nil, net.ErrClosed
+	}
+}
+
+// Addr implements core.ServerBinding.
+func (s *Listener) Addr() net.Addr { return s.l.Addr() }
+
+// URL returns the endpoint URL clients should POST to.
+func (s *Listener) URL() string { return "http://" + s.l.Addr().String() + "/soap" }
+
+// Close implements core.ServerBinding.
+func (s *Listener) Close() error {
+	s.once.Do(func() { close(s.done) })
+	return s.srv.Close()
+}
+
+// ReceiveRequest implements core.Channel: the one buffered request, then
+// EOF (HTTP is one exchange per channel).
+func (c *channel) ReceiveRequest(_ context.Context) ([]byte, string, error) {
+	if c.received {
+		return nil, "", io.EOF
+	}
+	c.received = true
+	return c.payload, c.contentType, nil
+}
+
+// SendResponse implements core.Channel. Fault envelopes ride on HTTP 500
+// per the SOAP 1.1 HTTP binding; the dispatcher has already decided the
+// payload, so status is inferred from it cheaply (faults are rare and
+// small).
+func (c *channel) SendResponse(payload []byte, contentType string) error {
+	status := http.StatusOK
+	if looksLikeFault(payload) {
+		status = http.StatusInternalServerError
+	}
+	select {
+	case c.resp <- response{payload: payload, contentType: contentType, status: status}:
+		return nil
+	default:
+		return errors.New("httpbind: response already sent")
+	}
+}
+
+// Close implements core.Channel: answer the HTTP request with an error if
+// no response was produced.
+func (c *channel) Close() error {
+	select {
+	case c.resp <- response{
+		payload:     []byte("no response produced"),
+		contentType: "text/plain",
+		status:      http.StatusInternalServerError,
+	}:
+	default:
+	}
+	return nil
+}
+
+// looksLikeFault sniffs whether a serialized envelope carries a fault, for
+// choosing the HTTP status. Cheap containment check on the first KB; both
+// encodings spell the element name "Fault" literally.
+func looksLikeFault(payload []byte) bool {
+	head := payload
+	if len(head) > 1024 {
+		head = head[:1024]
+	}
+	return bytes.Contains(head, []byte("Fault"))
+}

@@ -1,0 +1,228 @@
+package httpbind
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startEcho runs a Listener whose accept loop echoes request payloads.
+func startEcho(t *testing.T) *Listener {
+	t.Helper()
+	s, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	go func() {
+		for {
+			ch, err := s.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer ch.Close()
+				payload, ct, err := ch.ReceiveRequest(context.Background())
+				if err != nil {
+					return
+				}
+				ch.SendResponse(append([]byte("echo:"), payload...), ct)
+			}()
+		}
+	}()
+	return s
+}
+
+func TestPostAndResponse(t *testing.T) {
+	s := startEcho(t)
+	b := New(nil, s.URL())
+	defer b.Close()
+	if err := b.SendRequest(context.Background(), []byte("ping"), "text/xml"); err != nil {
+		t.Fatal(err)
+	}
+	resp, ct, err := b.ReceiveResponse(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "echo:ping" || ct != "text/xml" {
+		t.Errorf("resp = %q / %q", resp, ct)
+	}
+}
+
+func TestReceiveWithoutSend(t *testing.T) {
+	b := New(nil, "http://127.0.0.1:1/soap")
+	if _, _, err := b.ReceiveResponse(context.Background()); err == nil {
+		t.Error("ReceiveResponse before SendRequest succeeded")
+	}
+}
+
+func TestNonPostRejected(t *testing.T) {
+	s := startEcho(t)
+	resp, err := http.Get(s.URL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d", resp.StatusCode)
+	}
+}
+
+func TestFaultRidesOn500(t *testing.T) {
+	s, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	go func() {
+		ch, err := s.Accept()
+		if err != nil {
+			return
+		}
+		defer ch.Close()
+		ch.ReceiveRequest(context.Background())
+		ch.SendResponse([]byte(`<soap:Fault>boom</soap:Fault>`), "text/xml")
+	}()
+	resp, err := http.Post(s.URL(), "text/xml", strings.NewReader("<x/>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("fault status = %d, want 500", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "Fault") {
+		t.Error("fault body lost")
+	}
+}
+
+func TestChannelSecondReceiveIsEOF(t *testing.T) {
+	s, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	got := make(chan error, 1)
+	go func() {
+		ch, err := s.Accept()
+		if err != nil {
+			got <- err
+			return
+		}
+		defer ch.Close()
+		if _, _, err := ch.ReceiveRequest(context.Background()); err != nil {
+			got <- err
+			return
+		}
+		_, _, err = ch.ReceiveRequest(context.Background())
+		ch.SendResponse([]byte("done"), "text/plain")
+		got <- err
+	}()
+	resp, err := http.Post(s.URL(), "text/plain", strings.NewReader("one"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if err := <-got; err != io.EOF {
+		t.Errorf("second ReceiveRequest = %v, want io.EOF", err)
+	}
+}
+
+func TestChannelCloseWithoutResponseAnswers500(t *testing.T) {
+	s, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	go func() {
+		ch, err := s.Accept()
+		if err != nil {
+			return
+		}
+		ch.ReceiveRequest(context.Background())
+		ch.Close() // never responds
+	}()
+	resp, err := http.Post(s.URL(), "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("status = %d, want 500", resp.StatusCode)
+	}
+}
+
+func TestListenerCloseUnblocksAccept(t *testing.T) {
+	s, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Accept()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	s.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("Accept returned nil after Close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Accept did not unblock")
+	}
+}
+
+func TestCustomDialerUsed(t *testing.T) {
+	s := startEcho(t)
+	var dialed bool
+	b := New(func(addr string) (net.Conn, error) {
+		dialed = true
+		return net.Dial("tcp", addr)
+	}, s.URL())
+	defer b.Close()
+	if err := b.SendRequest(context.Background(), []byte("x"), "t/t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.ReceiveResponse(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !dialed {
+		t.Error("custom dialer not used")
+	}
+}
+
+func TestSOAPActionHeaderSent(t *testing.T) {
+	var gotAction string
+	hs := &http.Server{}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	hs.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotAction = r.Header.Get("SOAPAction")
+		w.Write([]byte("ok"))
+	})
+	go hs.Serve(l)
+	defer hs.Close()
+
+	b := New(nil, "http://"+l.Addr().String()+"/soap")
+	defer b.Close()
+	b.SetSOAPAction("urn:op")
+	if err := b.SendRequest(context.Background(), []byte("x"), "t/t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.ReceiveResponse(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if gotAction != `"urn:op"` {
+		t.Errorf("SOAPAction = %q", gotAction)
+	}
+}

@@ -1,0 +1,260 @@
+// Package modeltest generates pseudo-random bXDM trees for property-based
+// testing of the codecs: any tree this package produces must survive
+// BXSA round trips bit-exactly and XML round trips modulo the documented
+// attribute-typing caveat. The generator is deterministic per seed.
+package modeltest
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"bxsoap/internal/bxdm"
+)
+
+// Options bound the generated trees.
+type Options struct {
+	MaxDepth    int // default 4
+	MaxChildren int // default 5
+	MaxArrayLen int // default 16
+	// XMLSafe restricts the tree to what survives an XML round trip with
+	// type hints: string-valued attributes, no NaN floats, XML-safe
+	// strings and names.
+	XMLSafe bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 4
+	}
+	if o.MaxChildren <= 0 {
+		o.MaxChildren = 5
+	}
+	if o.MaxArrayLen <= 0 {
+		o.MaxArrayLen = 16
+	}
+	return o
+}
+
+// Gen is a deterministic tree generator.
+type Gen struct {
+	rng  splitmix
+	opts Options
+	seq  int
+}
+
+// New creates a generator for the given seed.
+func New(seed uint64, opts Options) *Gen {
+	return &Gen{rng: splitmix{state: seed + 0x9e3779b97f4a7c15}, opts: opts.withDefaults()}
+}
+
+// Tree produces one random document. The tree is normalized to be
+// namespace-complete, since that is the precondition of the codecs'
+// model-level round-trip guarantee (see bxdm.Normalize).
+func (g *Gen) Tree() *bxdm.Document {
+	root := g.element(0)
+	doc := bxdm.NewDocument(root)
+	bxdm.Normalize(doc)
+	return doc
+}
+
+func (g *Gen) element(depth int) *bxdm.Element {
+	e := bxdm.NewElement(g.qname())
+	// Occasionally declare the namespace explicitly with a random prefix;
+	// otherwise rely on the encoders' auto-declaration.
+	if e.Name.Space != "" && g.rng.intn(2) == 0 {
+		e.DeclareNamespace(fmt.Sprintf("p%d", g.rng.intn(4)), e.Name.Space)
+	}
+	for i := g.rng.intn(3); i > 0; i-- {
+		e.SetAttr(g.attrName(), g.attrValue())
+	}
+	n := g.rng.intn(g.opts.MaxChildren + 1)
+	for i := 0; i < n; i++ {
+		e.Append(g.child(depth + 1))
+	}
+	if g.opts.XMLSafe {
+		e.Children = canonicalText(e.Children)
+	}
+	return e
+}
+
+// canonicalText drops empty text nodes and merges adjacent text siblings:
+// XML cannot represent either distinction, so the model-level XML
+// round-trip guarantee is stated over text-canonical trees.
+func canonicalText(children []bxdm.Node) []bxdm.Node {
+	var out []bxdm.Node
+	for _, c := range children {
+		t, ok := c.(*bxdm.Text)
+		if !ok {
+			out = append(out, c)
+			continue
+		}
+		if t.Data == "" {
+			continue
+		}
+		if len(out) > 0 {
+			if prev, ok := out[len(out)-1].(*bxdm.Text); ok {
+				prev.Data += t.Data
+				continue
+			}
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+func (g *Gen) child(depth int) bxdm.Node {
+	if depth >= g.opts.MaxDepth {
+		return g.leafish()
+	}
+	switch g.rng.intn(8) {
+	case 0, 1:
+		return g.element(depth)
+	case 2:
+		return bxdm.NewText(g.text())
+	case 3:
+		return &bxdm.Comment{Data: g.commentText()}
+	case 4:
+		data := g.text()
+		if g.opts.XMLSafe {
+			// XML's "<?target data?>" syntax cannot represent leading or
+			// trailing whitespace in PI data (the separator is ambiguous).
+			data = strings.TrimSpace(data)
+		}
+		return &bxdm.PI{Target: g.name("pi"), Data: data}
+	case 5:
+		return g.array()
+	default:
+		return g.leafish()
+	}
+}
+
+func (g *Gen) leafish() bxdm.Node {
+	switch g.rng.intn(6) {
+	case 0:
+		return bxdm.NewLeaf(g.qname(), int32(g.rng.next()))
+	case 1:
+		return bxdm.NewLeaf(g.qname(), g.float64())
+	case 2:
+		return bxdm.NewLeaf(g.qname(), g.rng.intn(2) == 0)
+	case 3:
+		return bxdm.NewLeaf(g.qname(), g.text())
+	case 4:
+		return bxdm.NewLeaf(g.qname(), uint16(g.rng.next()))
+	default:
+		return bxdm.NewLeaf(g.qname(), int64(g.rng.next()))
+	}
+}
+
+func (g *Gen) array() bxdm.Node {
+	n := g.rng.intn(g.opts.MaxArrayLen + 1)
+	switch g.rng.intn(4) {
+	case 0:
+		items := make([]int32, n)
+		for i := range items {
+			items[i] = int32(g.rng.next())
+		}
+		return bxdm.NewArray(g.qname(), items)
+	case 1:
+		items := make([]float64, n)
+		for i := range items {
+			items[i] = g.float64()
+		}
+		return bxdm.NewArray(g.qname(), items)
+	case 2:
+		items := make([]uint8, n)
+		for i := range items {
+			items[i] = uint8(g.rng.next())
+		}
+		return bxdm.NewArray(g.qname(), items)
+	default:
+		items := make([]int64, n)
+		for i := range items {
+			items[i] = int64(g.rng.next())
+		}
+		return bxdm.NewArray(g.qname(), items)
+	}
+}
+
+func (g *Gen) float64() float64 {
+	f := math.Float64frombits(g.rng.next())
+	if math.IsNaN(f) || (g.opts.XMLSafe && math.IsInf(f, 0)) {
+		return float64(int64(g.rng.next())) / 8
+	}
+	return f
+}
+
+func (g *Gen) qname() bxdm.QName {
+	g.seq++
+	local := g.name("e")
+	switch g.rng.intn(3) {
+	case 0:
+		return bxdm.LocalName(local)
+	default:
+		return bxdm.Name(fmt.Sprintf("urn:test:ns%d", g.rng.intn(3)), local)
+	}
+}
+
+func (g *Gen) attrName() bxdm.QName {
+	local := g.name("a")
+	if g.rng.intn(3) == 0 {
+		return bxdm.Name(fmt.Sprintf("urn:test:ns%d", g.rng.intn(3)), local)
+	}
+	return bxdm.LocalName(local)
+}
+
+func (g *Gen) attrValue() bxdm.Value {
+	if g.opts.XMLSafe {
+		return bxdm.StringValue(g.text())
+	}
+	switch g.rng.intn(4) {
+	case 0:
+		return bxdm.Int32Value(int32(g.rng.next()))
+	case 1:
+		return bxdm.Float64Value(g.float64())
+	case 2:
+		return bxdm.BoolValue(g.rng.intn(2) == 0)
+	default:
+		return bxdm.StringValue(g.text())
+	}
+}
+
+func (g *Gen) name(prefix string) string {
+	return fmt.Sprintf("%s%d", prefix, g.rng.intn(40))
+}
+
+var textAtoms = []string{
+	"alpha", "beta", "x < y", "a&b", "tail ]]> gone", "quoted \"text\"",
+	"unicode: héllo wörld", "tabs\tand spaces", "0.125", "",
+}
+
+func (g *Gen) text() string {
+	s := textAtoms[g.rng.intn(len(textAtoms))]
+	if g.rng.intn(4) == 0 {
+		s += " " + textAtoms[g.rng.intn(len(textAtoms))]
+	}
+	return s
+}
+
+func (g *Gen) commentText() string {
+	// Comments must not contain "--".
+	return fmt.Sprintf("comment %d", g.rng.intn(1000))
+}
+
+// splitmix is SplitMix64.
+type splitmix struct{ state uint64 }
+
+func (s *splitmix) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitmix) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(s.next() % uint64(n))
+}

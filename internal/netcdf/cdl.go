@@ -1,0 +1,69 @@
+package netcdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CDL renders the dataset's header in CDL, the textual notation ncdump
+// uses — handy for debugging separated-scheme payloads without the real
+// netCDF tooling the paper's testbed had.
+func (f *File) CDL(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "netcdf %s {\n", name)
+	if len(f.Dims) > 0 {
+		b.WriteString("dimensions:\n")
+		for _, d := range f.Dims {
+			if d.Length == 0 {
+				fmt.Fprintf(&b, "\t%s = UNLIMITED ;\n", d.Name)
+			} else {
+				fmt.Fprintf(&b, "\t%s = %d ;\n", d.Name, d.Length)
+			}
+		}
+	}
+	if len(f.Vars) > 0 {
+		b.WriteString("variables:\n")
+		for i := range f.Vars {
+			v := &f.Vars[i]
+			fmt.Fprintf(&b, "\t%s %s(%s) ;\n", v.Type, v.Name, strings.Join(v.Dims, ", "))
+			for _, a := range v.Attrs {
+				fmt.Fprintf(&b, "\t\t%s:%s = %s ;\n", v.Name, a.Name, cdlValue(a))
+			}
+		}
+	}
+	if len(f.Attrs) > 0 {
+		b.WriteString("// global attributes:\n")
+		for _, a := range f.Attrs {
+			fmt.Fprintf(&b, "\t:%s = %s ;\n", a.Name, cdlValue(a))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func cdlValue(a Attribute) string {
+	switch v := a.Values.(type) {
+	case string:
+		return fmt.Sprintf("%q", v)
+	case []int8:
+		return joinNums(v, "b")
+	case []int16:
+		return joinNums(v, "s")
+	case []int32:
+		return joinNums(v, "")
+	case []float32:
+		return joinNums(v, "f")
+	case []float64:
+		return joinNums(v, "")
+	default:
+		return fmt.Sprintf("%v", a.Values)
+	}
+}
+
+func joinNums[T int8 | int16 | int32 | float32 | float64](vals []T, suffix string) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = fmt.Sprintf("%v%s", v, suffix)
+	}
+	return strings.Join(parts, ", ")
+}

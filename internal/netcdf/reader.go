@@ -1,0 +1,373 @@
+package netcdf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+)
+
+// Parse decodes a netCDF classic (CDF-1 or CDF-2) byte stream.
+func Parse(data []byte) (*File, error) {
+	d := &ncDecoder{data: data}
+	f, err := d.parse()
+	if err != nil {
+		return nil, fmt.Errorf("netcdf: %w (at byte %d)", err, d.pos)
+	}
+	return f, nil
+}
+
+// ReadFile reads a dataset from disk (the only read path, mirroring the
+// paper's observation that the netCDF library cannot read from memory —
+// callers in the harness must stage through the filesystem).
+func ReadFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data)
+}
+
+type ncDecoder struct {
+	data []byte
+	pos  int
+}
+
+func (d *ncDecoder) need(n int) error {
+	if d.pos+n > len(d.data) {
+		return fmt.Errorf("truncated file (need %d bytes)", n)
+	}
+	return nil
+}
+
+func (d *ncDecoder) i32() (int32, error) {
+	if err := d.need(4); err != nil {
+		return 0, err
+	}
+	v := int32(binary.BigEndian.Uint32(d.data[d.pos:]))
+	d.pos += 4
+	return v, nil
+}
+
+func (d *ncDecoder) i64() (int64, error) {
+	if err := d.need(8); err != nil {
+		return 0, err
+	}
+	v := int64(binary.BigEndian.Uint64(d.data[d.pos:]))
+	d.pos += 8
+	return v, nil
+}
+
+func (d *ncDecoder) name() (string, error) {
+	n, err := d.i32()
+	if err != nil {
+		return "", err
+	}
+	if n < 0 || int(n) > len(d.data)-d.pos {
+		return "", fmt.Errorf("bad name length %d", n)
+	}
+	s := string(d.data[d.pos : d.pos+int(n)])
+	d.pos += pad4(int(n))
+	return s, nil
+}
+
+func (d *ncDecoder) list(wantTag int32) (int, error) {
+	tag, err := d.i32()
+	if err != nil {
+		return 0, err
+	}
+	n, err := d.i32()
+	if err != nil {
+		return 0, err
+	}
+	if tag == 0 && n == 0 {
+		return 0, nil // ABSENT
+	}
+	if tag != wantTag {
+		return 0, fmt.Errorf("list tag %#x, want %#x", tag, wantTag)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("negative list count %d", n)
+	}
+	return int(n), nil
+}
+
+func (d *ncDecoder) parse() (*File, error) {
+	if err := d.need(4); err != nil {
+		return nil, err
+	}
+	if d.data[0] != 'C' || d.data[1] != 'D' || d.data[2] != 'F' {
+		return nil, fmt.Errorf("bad magic %q", d.data[:3])
+	}
+	version := int(d.data[3])
+	if version != 1 && version != 2 {
+		return nil, fmt.Errorf("unsupported netCDF version %d", version)
+	}
+	d.pos = 4
+	numRecs, err := d.i32()
+	if err != nil {
+		return nil, err
+	}
+	f := &File{Version: version}
+
+	// Dimensions.
+	nd, err := d.list(tagDimension)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nd; i++ {
+		name, err := d.name()
+		if err != nil {
+			return nil, err
+		}
+		length, err := d.i32()
+		if err != nil {
+			return nil, err
+		}
+		if length < 0 {
+			return nil, fmt.Errorf("dimension %s has negative length", name)
+		}
+		f.Dims = append(f.Dims, Dimension{Name: name, Length: int(length)})
+	}
+
+	// Global attributes.
+	f.Attrs, err = d.attrs()
+	if err != nil {
+		return nil, err
+	}
+
+	// Variable metadata.
+	nv, err := d.list(tagVariable)
+	if err != nil {
+		return nil, err
+	}
+	type varMeta struct {
+		begin int64
+	}
+	metas := make([]varMeta, nv)
+	for i := 0; i < nv; i++ {
+		v := Variable{}
+		if v.Name, err = d.name(); err != nil {
+			return nil, err
+		}
+		ndims, err := d.i32()
+		if err != nil {
+			return nil, err
+		}
+		if ndims < 0 || int(ndims) > len(f.Dims) {
+			return nil, fmt.Errorf("variable %s has %d dimensions", v.Name, ndims)
+		}
+		for j := 0; j < int(ndims); j++ {
+			di, err := d.i32()
+			if err != nil {
+				return nil, err
+			}
+			if di < 0 || int(di) >= len(f.Dims) {
+				return nil, fmt.Errorf("variable %s references dimension %d", v.Name, di)
+			}
+			v.Dims = append(v.Dims, f.Dims[di].Name)
+		}
+		if v.Attrs, err = d.attrs(); err != nil {
+			return nil, err
+		}
+		t, err := d.i32()
+		if err != nil {
+			return nil, err
+		}
+		v.Type = Type(t)
+		if v.Type.Size() == 0 {
+			return nil, fmt.Errorf("variable %s has invalid type %d", v.Name, t)
+		}
+		if _, err := d.i32(); err != nil { // vsize (advisory)
+			return nil, err
+		}
+		var begin int64
+		if version == 2 {
+			begin, err = d.i64()
+		} else {
+			var b32 int32
+			b32, err = d.i32()
+			begin = int64(b32)
+		}
+		if err != nil {
+			return nil, err
+		}
+		metas[i].begin = begin
+		f.Vars = append(f.Vars, v)
+	}
+
+	// Data section.
+	for i := range f.Vars {
+		v := &f.Vars[i]
+		isRec, count, err := f.varShape(v)
+		if err != nil {
+			return nil, err
+		}
+		begin := metas[i].begin
+		if begin < 0 {
+			return nil, fmt.Errorf("variable %s begin offset %d out of range", v.Name, begin)
+		}
+		// Zero-byte variables (count 0, or record vars with no records) may
+		// legitimately point just past the end of the file; the bounds
+		// checks in readValues cover every non-empty read.
+		if !isRec {
+			v.Data, err = readValues(d.data, begin, count, v.Type)
+			if err != nil {
+				return nil, fmt.Errorf("variable %s: %w", v.Name, err)
+			}
+			continue
+		}
+		// Record variable: slices of count values every recSize bytes.
+		recSize, err := f.recordSize()
+		if err != nil {
+			return nil, err
+		}
+		total := count * int(numRecs)
+		v.Data, err = readRecordValues(d.data, begin, count, int(numRecs), recSize, v.Type, total)
+		if err != nil {
+			return nil, fmt.Errorf("variable %s: %w", v.Name, err)
+		}
+	}
+	return f, nil
+}
+
+// recordSize computes the stride between consecutive records.
+func (f *File) recordSize() (int64, error) {
+	var size int64
+	for i := range f.Vars {
+		v := &f.Vars[i]
+		isRec, count, err := f.varShape(v)
+		if err != nil {
+			return 0, err
+		}
+		if isRec {
+			size += int64(pad4(count * v.Type.Size()))
+		}
+	}
+	return size, nil
+}
+
+func (d *ncDecoder) attrs() ([]Attribute, error) {
+	n, err := d.list(tagAttribute)
+	if err != nil {
+		return nil, err
+	}
+	var out []Attribute
+	for i := 0; i < n; i++ {
+		a := Attribute{}
+		if a.Name, err = d.name(); err != nil {
+			return nil, err
+		}
+		t, err := d.i32()
+		if err != nil {
+			return nil, err
+		}
+		a.Type = Type(t)
+		if a.Type.Size() == 0 {
+			return nil, fmt.Errorf("attribute %s has invalid type %d", a.Name, t)
+		}
+		count, err := d.i32()
+		if err != nil {
+			return nil, err
+		}
+		if count < 0 {
+			return nil, fmt.Errorf("attribute %s has negative count", a.Name)
+		}
+		a.Values, err = readValues(d.data, int64(d.pos), int(count), a.Type)
+		if err != nil {
+			return nil, fmt.Errorf("attribute %s: %w", a.Name, err)
+		}
+		d.pos += pad4(int(count) * a.Type.Size())
+		if d.pos > len(d.data) {
+			return nil, fmt.Errorf("attribute %s overruns file", a.Name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func readValues(data []byte, begin int64, count int, t Type) (any, error) {
+	need := int64(count) * int64(t.Size())
+	if begin < 0 || begin+need > int64(len(data)) {
+		return nil, fmt.Errorf("data [%d,+%d) out of range", begin, need)
+	}
+	b := data[begin : begin+need]
+	switch t {
+	case Char:
+		return string(b), nil
+	case Byte:
+		out := make([]int8, count)
+		for i := range out {
+			out[i] = int8(b[i])
+		}
+		return out, nil
+	case Short:
+		out := make([]int16, count)
+		for i := range out {
+			out[i] = int16(binary.BigEndian.Uint16(b[2*i:]))
+		}
+		return out, nil
+	case Int:
+		out := make([]int32, count)
+		for i := range out {
+			out[i] = int32(binary.BigEndian.Uint32(b[4*i:]))
+		}
+		return out, nil
+	case Float:
+		out := make([]float32, count)
+		for i := range out {
+			out[i] = math.Float32frombits(binary.BigEndian.Uint32(b[4*i:]))
+		}
+		return out, nil
+	case Double:
+		out := make([]float64, count)
+		for i := range out {
+			out[i] = math.Float64frombits(binary.BigEndian.Uint64(b[8*i:]))
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("invalid type %d", t)
+	}
+}
+
+func readRecordValues(data []byte, begin int64, perRec, numRecs int, recSize int64, t Type, total int) (any, error) {
+	// Gather per-record chunks into one contiguous slice.
+	switch t {
+	case Char:
+		out := make([]byte, 0, total)
+		for r := 0; r < numRecs; r++ {
+			chunk, err := readValues(data, begin+int64(r)*recSize, perRec, t)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, chunk.(string)...)
+		}
+		return string(out), nil
+	case Byte:
+		return gatherRecords[int8](data, begin, perRec, numRecs, recSize, t, total)
+	case Short:
+		return gatherRecords[int16](data, begin, perRec, numRecs, recSize, t, total)
+	case Int:
+		return gatherRecords[int32](data, begin, perRec, numRecs, recSize, t, total)
+	case Float:
+		return gatherRecords[float32](data, begin, perRec, numRecs, recSize, t, total)
+	case Double:
+		return gatherRecords[float64](data, begin, perRec, numRecs, recSize, t, total)
+	default:
+		return nil, fmt.Errorf("invalid type %d", t)
+	}
+}
+
+func gatherRecords[T int8 | int16 | int32 | float32 | float64](
+	data []byte, begin int64, perRec, numRecs int, recSize int64, t Type, total int,
+) (any, error) {
+	out := make([]T, 0, total)
+	for r := 0; r < numRecs; r++ {
+		chunk, err := readValues(data, begin+int64(r)*recSize, perRec, t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, chunk.([]T)...)
+	}
+	return out, nil
+}

@@ -1,0 +1,247 @@
+// Package tcpbind implements the TCPBinding policy (paper §5.3): the
+// serialized SOAP message is "just dumped directly to a TCP connection",
+// with a minimal framing header so message boundaries and the content type
+// survive the stream. This is the binding behind the paper's fastest
+// scheme, SOAP over BXSA/TCP.
+//
+// Wire format per message:
+//
+//	magic   2 bytes  "BX"
+//	version 1 byte   0x01
+//	ctLen   VLS      content-type length
+//	ct      bytes
+//	len     VLS      payload length
+//	payload bytes
+package tcpbind
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"bxsoap/internal/core"
+	"bxsoap/internal/vls"
+)
+
+const (
+	magic0, magic1 = 'B', 'X'
+	version        = 0x01
+
+	// maxFrame guards against hostile or desynchronized peers.
+	maxFrame = 1 << 30
+)
+
+// Dialer opens the underlying transport connection; netsim-shaped dialers
+// plug in here.
+type Dialer func(addr string) (net.Conn, error)
+
+// NetDialer dials plain TCP (no shaping).
+func NetDialer(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+
+// Binding is the client-side TCP binding. It lazily dials on first use and
+// keeps the connection for subsequent exchanges (SOAP messages are
+// hop-by-hop on one transport channel).
+type Binding struct {
+	addr string
+	dial Dialer
+
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// New creates a client binding to addr using the given dialer.
+func New(dial Dialer, addr string) *Binding {
+	return &Binding{addr: addr, dial: dial}
+}
+
+func (b *Binding) ensure() error {
+	if b.conn != nil {
+		return nil
+	}
+	c, err := b.dial(b.addr)
+	if err != nil {
+		return fmt.Errorf("tcpbind: dial %s: %w", b.addr, err)
+	}
+	b.conn = c
+	b.br = bufio.NewReaderSize(c, 64<<10)
+	b.bw = bufio.NewWriterSize(c, 64<<10)
+	return nil
+}
+
+// SendRequest implements core.Binding. A context deadline maps onto the
+// connection's write deadline.
+func (b *Binding) SendRequest(ctx context.Context, payload []byte, contentType string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := b.ensure(); err != nil {
+		return err
+	}
+	if err := applyDeadline(ctx, b.conn.SetWriteDeadline); err != nil {
+		return err
+	}
+	return writeFrame(b.bw, payload, contentType)
+}
+
+// ReceiveResponse implements core.Binding. A context deadline maps onto the
+// connection's read deadline.
+func (b *Binding) ReceiveResponse(ctx context.Context) ([]byte, string, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, "", err
+	}
+	if b.conn == nil {
+		return nil, "", errors.New("tcpbind: no request in flight")
+	}
+	if err := applyDeadline(ctx, b.conn.SetReadDeadline); err != nil {
+		return nil, "", err
+	}
+	return readFrame(b.br)
+}
+
+// applyDeadline projects a context deadline onto a conn deadline setter,
+// clearing any previous deadline when the context has none.
+func applyDeadline(ctx context.Context, set func(time.Time) error) error {
+	if dl, ok := ctx.Deadline(); ok {
+		return set(dl)
+	}
+	return set(time.Time{})
+}
+
+// Close implements core.Binding.
+func (b *Binding) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.conn == nil {
+		return nil
+	}
+	err := b.conn.Close()
+	b.conn = nil
+	return err
+}
+
+func writeFrame(w *bufio.Writer, payload []byte, contentType string) error {
+	w.WriteByte(magic0)
+	w.WriteByte(magic1)
+	w.WriteByte(version)
+	if _, err := vls.WriteUint(w, uint64(len(contentType))); err != nil {
+		return err
+	}
+	w.WriteString(contentType)
+	if _, err := vls.WriteUint(w, uint64(len(payload))); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+func readFrame(r *bufio.Reader) ([]byte, string, error) {
+	var hdr [3]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, "", err
+	}
+	if hdr[0] != magic0 || hdr[1] != magic1 {
+		return nil, "", fmt.Errorf("tcpbind: bad frame magic %x", hdr[:2])
+	}
+	if hdr[2] != version {
+		return nil, "", fmt.Errorf("tcpbind: unsupported frame version %d", hdr[2])
+	}
+	ctLen, err := vls.ReadUint(r)
+	if err != nil {
+		return nil, "", err
+	}
+	if ctLen > 1024 {
+		return nil, "", fmt.Errorf("tcpbind: content-type length %d too large", ctLen)
+	}
+	ct := make([]byte, ctLen)
+	if _, err := io.ReadFull(r, ct); err != nil {
+		return nil, "", err
+	}
+	n, err := vls.ReadUint(r)
+	if err != nil {
+		return nil, "", err
+	}
+	if n > maxFrame {
+		return nil, "", fmt.Errorf("tcpbind: frame length %d exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, "", err
+	}
+	return payload, string(ct), nil
+}
+
+// Listener is the server-side TCP binding.
+type Listener struct {
+	l net.Listener
+}
+
+// NewListener wraps an already-bound listener (e.g. a netsim-shaped one).
+func NewListener(l net.Listener) *Listener { return &Listener{l: l} }
+
+// Listen binds an unshaped TCP listener on addr.
+func Listen(addr string) (*Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewListener(l), nil
+}
+
+// Accept implements core.ServerBinding.
+func (s *Listener) Accept() (core.Channel, error) {
+	c, err := s.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &channel{
+		conn: c,
+		br:   bufio.NewReaderSize(c, 64<<10),
+		bw:   bufio.NewWriterSize(c, 64<<10),
+	}, nil
+}
+
+// Addr implements core.ServerBinding.
+func (s *Listener) Addr() net.Addr { return s.l.Addr() }
+
+// Close implements core.ServerBinding.
+func (s *Listener) Close() error { return s.l.Close() }
+
+// channel serves the request/response sequence of one TCP connection.
+type channel struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// ReceiveRequest implements core.Channel.
+func (c *channel) ReceiveRequest(_ context.Context) ([]byte, string, error) {
+	payload, ct, err := readFrame(c.br)
+	if err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			err = io.EOF
+		}
+		return nil, "", err
+	}
+	return payload, ct, nil
+}
+
+// SendResponse implements core.Channel.
+func (c *channel) SendResponse(payload []byte, contentType string) error {
+	return writeFrame(c.bw, payload, contentType)
+}
+
+// Close implements core.Channel.
+func (c *channel) Close() error { return c.conn.Close() }

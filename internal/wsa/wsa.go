@@ -1,0 +1,131 @@
+// Package wsa implements WS-Addressing message-addressing properties over
+// the bXDM model. It sits in the layer the paper's Figure 3 labels "WS-*"
+// — code here manipulates header entries as bXDM nodes and is therefore
+// completely ignorant of whether the envelope will travel as textual XML or
+// BXSA (§5.1: "Those layers above SOAP are bXDM oriented, and thus are
+// ignorant of the underlying encoding and transport layers").
+package wsa
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+
+	"bxsoap/internal/bxdm"
+	"bxsoap/internal/core"
+)
+
+// Namespace is the WS-Addressing 1.0 namespace.
+const Namespace = "http://www.w3.org/2005/08/addressing"
+
+// AnonymousAddress is the anonymous reply-to endpoint.
+const AnonymousAddress = Namespace + "/anonymous"
+
+// Properties are the message-addressing properties.
+type Properties struct {
+	To        string
+	Action    string
+	MessageID string
+	RelatesTo string
+	ReplyTo   string // endpoint address; "" omits the header
+	From      string
+}
+
+// NewMessageID generates a urn:uuid message identifier.
+func NewMessageID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("wsa: entropy unavailable: %v", err))
+	}
+	b[6] = (b[6] & 0x0f) | 0x40 // version 4
+	b[8] = (b[8] & 0x3f) | 0x80 // variant 10
+	h := hex.EncodeToString(b[:])
+	return fmt.Sprintf("urn:uuid:%s-%s-%s-%s-%s", h[0:8], h[8:12], h[12:16], h[16:20], h[20:32])
+}
+
+func leaf(local, value string) *bxdm.LeafElement {
+	return bxdm.NewLeaf(bxdm.PName(Namespace, "wsa", local), value)
+}
+
+// Attach adds the non-empty properties as header entries.
+func (p Properties) Attach(env *core.Envelope) {
+	if p.To != "" {
+		env.AddHeader(leaf("To", p.To))
+	}
+	if p.Action != "" {
+		env.AddHeader(leaf("Action", p.Action))
+	}
+	if p.MessageID != "" {
+		env.AddHeader(leaf("MessageID", p.MessageID))
+	}
+	if p.RelatesTo != "" {
+		env.AddHeader(leaf("RelatesTo", p.RelatesTo))
+	}
+	if p.ReplyTo != "" {
+		ref := bxdm.NewElement(bxdm.PName(Namespace, "wsa", "ReplyTo"),
+			leaf("Address", p.ReplyTo))
+		env.AddHeader(ref)
+	}
+	if p.From != "" {
+		ref := bxdm.NewElement(bxdm.PName(Namespace, "wsa", "From"),
+			leaf("Address", p.From))
+		env.AddHeader(ref)
+	}
+}
+
+// FromEnvelope extracts the addressing properties present in the envelope.
+func FromEnvelope(env *core.Envelope) Properties {
+	get := func(local string) string {
+		h := env.Header(bxdm.Name(Namespace, local))
+		if h == nil {
+			return ""
+		}
+		return headerText(h)
+	}
+	addr := func(local string) string {
+		h := env.Header(bxdm.Name(Namespace, local))
+		el, ok := h.(*bxdm.Element)
+		if !ok {
+			return ""
+		}
+		a := el.FirstChild(bxdm.Name(Namespace, "Address"))
+		if a == nil {
+			return ""
+		}
+		return headerText(a)
+	}
+	return Properties{
+		To:        get("To"),
+		Action:    get("Action"),
+		MessageID: get("MessageID"),
+		RelatesTo: get("RelatesTo"),
+		ReplyTo:   addr("ReplyTo"),
+		From:      addr("From"),
+	}
+}
+
+func headerText(n bxdm.Node) string {
+	switch x := n.(type) {
+	case *bxdm.LeafElement:
+		return x.Value.Text()
+	case *bxdm.Element:
+		return x.TextContent()
+	default:
+		return ""
+	}
+}
+
+// Reply builds the reply properties for a received request: RelatesTo the
+// request's MessageID, addressed to its ReplyTo.
+func Reply(req Properties, action string) Properties {
+	to := req.ReplyTo
+	if to == "" {
+		to = AnonymousAddress
+	}
+	return Properties{
+		To:        to,
+		Action:    action,
+		MessageID: NewMessageID(),
+		RelatesTo: req.MessageID,
+	}
+}

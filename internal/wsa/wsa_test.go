@@ -1,0 +1,87 @@
+package wsa
+
+import (
+	"strings"
+	"testing"
+
+	"bxsoap/internal/bxdm"
+	"bxsoap/internal/core"
+)
+
+func TestAttachAndExtract(t *testing.T) {
+	env := core.NewEnvelope(bxdm.NewLeaf(bxdm.LocalName("payload"), int32(1)))
+	p := Properties{
+		To:        "urn:service",
+		Action:    "urn:service/do",
+		MessageID: NewMessageID(),
+		ReplyTo:   "tcp://client:9",
+		From:      "urn:me",
+	}
+	p.Attach(env)
+	got := FromEnvelope(env)
+	if got != p {
+		t.Errorf("extracted %+v, want %+v", got, p)
+	}
+}
+
+func TestPropertiesSurviveBothEncodings(t *testing.T) {
+	env := core.NewEnvelope(bxdm.NewLeaf(bxdm.LocalName("x"), int32(9)))
+	p := Properties{To: "urn:s", Action: "urn:s/op", MessageID: NewMessageID()}
+	p.Attach(env)
+	for _, enc := range []core.Encoding{core.XMLEncoding{}, core.BXSAEncoding{}} {
+		data, err := core.EncodeToBytes(enc, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := core.DecodeEnvelope(enc, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := FromEnvelope(back); got != p {
+			t.Errorf("%s: properties = %+v, want %+v", enc.Name(), got, p)
+		}
+	}
+}
+
+func TestEmptyPropertiesAddNoHeaders(t *testing.T) {
+	env := core.NewEnvelope()
+	Properties{}.Attach(env)
+	if len(env.HeaderEntries) != 0 {
+		t.Errorf("headers = %d, want 0", len(env.HeaderEntries))
+	}
+}
+
+func TestFromEnvelopeWithoutHeaders(t *testing.T) {
+	if got := FromEnvelope(core.NewEnvelope()); got != (Properties{}) {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestNewMessageIDFormatAndUniqueness(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewMessageID()
+		if !strings.HasPrefix(id, "urn:uuid:") || len(id) != len("urn:uuid:")+36 {
+			t.Fatalf("bad id %q", id)
+		}
+		if seen[id] {
+			t.Fatal("duplicate message id")
+		}
+		seen[id] = true
+	}
+}
+
+func TestReply(t *testing.T) {
+	req := Properties{MessageID: "urn:uuid:req", ReplyTo: "tcp://caller:1"}
+	r := Reply(req, "urn:ack")
+	if r.To != "tcp://caller:1" || r.RelatesTo != "urn:uuid:req" || r.Action != "urn:ack" {
+		t.Errorf("reply = %+v", r)
+	}
+	if r.MessageID == "" || r.MessageID == req.MessageID {
+		t.Error("reply needs a fresh MessageID")
+	}
+	anon := Reply(Properties{MessageID: "m"}, "a")
+	if anon.To != AnonymousAddress {
+		t.Errorf("anonymous reply-to = %q", anon.To)
+	}
+}

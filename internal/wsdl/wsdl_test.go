@@ -1,0 +1,196 @@
+package wsdl
+
+import (
+	"context"
+	"testing"
+
+	"bxsoap/internal/bxdm"
+	"bxsoap/internal/bxsa"
+	"bxsoap/internal/core"
+	"bxsoap/internal/httpbind"
+	"bxsoap/internal/tcpbind"
+	"bxsoap/internal/xmltext"
+)
+
+func sampleDesc() Description {
+	return Description{
+		Name:       "Verify",
+		TargetNS:   "urn:verify",
+		Operations: []string{"verify", "status"},
+		Encoding:   "BXSA",
+		Transport:  "tcp",
+		Address:    "127.0.0.1:9999",
+	}
+}
+
+func TestDocumentParseRoundTrip(t *testing.T) {
+	d := sampleDesc()
+	back, err := Parse(d.Document())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != d.Name || back.TargetNS != d.TargetNS ||
+		back.Encoding != d.Encoding || back.Transport != d.Transport ||
+		back.Address != d.Address {
+		t.Errorf("round trip = %+v", back)
+	}
+	if len(back.Operations) != 2 || back.Operations[0] != "verify" {
+		t.Errorf("operations = %v", back.Operations)
+	}
+}
+
+func TestWSDLTravelsAsXMLAndBXSA(t *testing.T) {
+	d := sampleDesc()
+	doc := d.Document()
+
+	xml, err := xmltext.Marshal(doc, xmltext.EncodeOptions{TypeHints: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xdoc, err := xmltext.Parse(xml, xmltext.DecodeOptions{RecoverTypes: true, DropInterElementWhitespace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back, err := Parse(xdoc); err != nil || back.Encoding != "BXSA" {
+		t.Errorf("via XML: %+v, %v", back, err)
+	}
+
+	bin, err := bxsa.Marshal(doc, bxsa.EncodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bdoc, err := bxsa.ParseDocument(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back, err := Parse(bdoc); err != nil || back.Transport != "tcp" {
+		t.Errorf("via BXSA: %+v, %v", back, err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Description{
+		{Encoding: "EXI", Transport: "tcp", Address: "x"},
+		{Encoding: "BXSA", Transport: "smtp", Address: "x"},
+		{Encoding: "BXSA", Transport: "tcp"},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, d)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	// Not a definitions document.
+	if _, err := Parse(bxdm.NewDocument(bxdm.NewElement(bxdm.LocalName("x")))); err == nil {
+		t.Error("non-WSDL accepted")
+	}
+	// Missing extension binding.
+	d := sampleDesc()
+	doc := d.Document()
+	defs := doc.Root().(*bxdm.Element)
+	for _, c := range defs.Children {
+		if el, ok := c.(*bxdm.Element); ok && el.Name.Local == "binding" {
+			el.Children = nil
+		}
+	}
+	if _, err := Parse(doc); err == nil {
+		t.Error("binding without extension accepted")
+	}
+}
+
+func TestConnectAndCallFromWSDL(t *testing.T) {
+	// Serve the echo service over BXSA/TCP, describe it in WSDL, then let
+	// a client compose its engine purely from the description.
+	l, err := tcpbind.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := core.NewServer(core.BXSAEncoding{}, l,
+		func(_ context.Context, req *core.Envelope) (*core.Envelope, error) {
+			return req, nil
+		})
+	go srv.Serve()
+	defer srv.Close()
+
+	d := sampleDesc()
+	d.Address = l.Addr().String()
+
+	// Ship the WSDL itself through XML, as a registry would.
+	wire, err := xmltext.Marshal(d.Document(), xmltext.EncodeOptions{TypeHints: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := xmltext.Parse(wire, xmltext.DecodeOptions{RecoverTypes: true, DropInterElementWhitespace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc, err := Parse(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Connect(desc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	env := core.NewEnvelope(bxdm.NewArray(bxdm.LocalName("v"), []float64{1, 2, 3}))
+	resp, err := cl.Call(context.Background(), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !env.Equal(resp) {
+		t.Error("echo through WSDL-composed engine changed the envelope")
+	}
+}
+
+func TestConnectRejectsInvalid(t *testing.T) {
+	if _, err := Connect(Description{Encoding: "PBX", Transport: "tcp", Address: "x"}, nil); err == nil {
+		t.Error("invalid description connected")
+	}
+}
+
+func TestEnsureURL(t *testing.T) {
+	if got := ensureURL("127.0.0.1:80"); got != "http://127.0.0.1:80/soap" {
+		t.Errorf("ensureURL = %q", got)
+	}
+	if got := ensureURL("http://x/y"); got != "http://x/y" {
+		t.Errorf("ensureURL = %q", got)
+	}
+}
+
+func TestConnectHTTPVariants(t *testing.T) {
+	hl, err := httpbind.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := core.NewServer(core.XMLEncoding{}, hl,
+		func(_ context.Context, req *core.Envelope) (*core.Envelope, error) {
+			return req, nil
+		})
+	go srv.Serve()
+	defer srv.Close()
+
+	d := Description{
+		Name: "Echo", TargetNS: "urn:echo", Operations: []string{"echo"},
+		Encoding: "XML", Transport: "http", Address: hl.Addr().String(),
+	}
+	cl, err := Connect(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	env := core.NewEnvelope(bxdm.NewLeaf(bxdm.LocalName("x"), int32(3)))
+	resp, err := cl.Call(context.Background(), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !env.Equal(resp) {
+		t.Error("HTTP echo changed the envelope")
+	}
+	if cl.Description().Name != "Echo" {
+		t.Error("Description accessor wrong")
+	}
+}

@@ -1,0 +1,119 @@
+package wssec
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"bxsoap/internal/bxdm"
+	"bxsoap/internal/core"
+	"bxsoap/internal/tcpbind"
+)
+
+var key = []byte("a-shared-test-key")
+
+func envelope() *core.Envelope {
+	return core.NewEnvelope(bxdm.NewArray(bxdm.LocalName("vals"), []float64{1, 2, 3}))
+}
+
+func TestSignVerifyRoundTripBothInnerEncodings(t *testing.T) {
+	env := envelope()
+	for _, enc := range []core.Encoding{
+		Secure(core.XMLEncoding{}, key),
+		Secure(core.BXSAEncoding{}, key),
+	} {
+		data, err := core.EncodeToBytes(enc, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := core.DecodeEnvelope(enc, data)
+		if err != nil {
+			t.Fatalf("%s: %v", enc.Name(), err)
+		}
+		if !env.Equal(back) {
+			t.Errorf("%s: envelope changed", enc.Name())
+		}
+	}
+}
+
+func TestTamperingDetected(t *testing.T) {
+	enc := Secure(core.BXSAEncoding{}, key)
+	data, err := core.EncodeToBytes(enc, envelope())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range []int{len(magic) + 2, len(data) - 1, len(magic) + 40} {
+		mut := append([]byte{}, data...)
+		mut[idx] ^= 0x01
+		if _, err := enc.Decode(mut); !errors.Is(err, ErrBadSignature) {
+			t.Errorf("flip at %d: err = %v, want ErrBadSignature", idx, err)
+		}
+	}
+}
+
+func TestWrongKeyRejected(t *testing.T) {
+	data, err := core.EncodeToBytes(Secure(core.BXSAEncoding{}, key), envelope())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := Secure(core.BXSAEncoding{}, []byte("other-key"))
+	if _, err := wrong.Decode(data); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestUnframedInputRejected(t *testing.T) {
+	enc := Secure(core.XMLEncoding{}, key)
+	if _, err := enc.Decode([]byte("<xml/>")); err == nil {
+		t.Error("plain XML accepted by secured decoder")
+	}
+	if _, err := enc.Decode([]byte("xx")); err == nil {
+		t.Error("tiny input accepted")
+	}
+}
+
+func TestNameAndContentType(t *testing.T) {
+	enc := Secure(core.BXSAEncoding{}, key)
+	if enc.Name() != "BXSA+HMAC" {
+		t.Errorf("Name = %q", enc.Name())
+	}
+	if !strings.Contains(enc.ContentType(), "signed=") {
+		t.Errorf("ContentType = %q", enc.ContentType())
+	}
+}
+
+// TestSecuredEngineEndToEnd composes Engine[Secured[BXSAEncoding], TCP] —
+// the paper's "XML signature applied over SMTP vs plain over HTTP" point:
+// security is one more policy, stacked at compile time.
+func TestSecuredEngineEndToEnd(t *testing.T) {
+	enc := Secure(core.BXSAEncoding{}, key)
+	l, err := tcpbind.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := core.NewServer(enc, l, func(_ context.Context, req *core.Envelope) (*core.Envelope, error) {
+		return req, nil // echo
+	})
+	go srv.Serve()
+	defer srv.Close()
+
+	eng := core.NewEngine(enc, tcpbind.New(tcpbind.NetDialer, l.Addr().String()))
+	defer eng.Close()
+	env := envelope()
+	resp, err := eng.Call(context.Background(), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !env.Equal(resp) {
+		t.Error("secured echo changed the envelope")
+	}
+
+	// A client with the wrong key cannot talk to the server.
+	bad := core.NewEngine(Secure(core.BXSAEncoding{}, []byte("evil")), tcpbind.New(tcpbind.NetDialer, l.Addr().String()))
+	defer bad.Close()
+	_, err = bad.Call(context.Background(), env)
+	if err == nil {
+		t.Fatal("wrong-key client succeeded")
+	}
+}

@@ -1,0 +1,139 @@
+package xbs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// failWriter errors after n bytes, exercising every writer error path.
+type failWriter struct {
+	n   int
+	err error
+}
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, w.err
+	}
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, w.err
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestWriterErrorPropagation(t *testing.T) {
+	sentinel := errors.New("disk full")
+	ops := []func(w *Writer) error{
+		func(w *Writer) error { return w.WriteUint8(1) },
+		func(w *Writer) error { return w.WriteUint16(1) },
+		func(w *Writer) error { return w.WriteUint32(1) },
+		func(w *Writer) error { return w.WriteUint64(1) },
+		func(w *Writer) error { return w.WriteFloat32(1) },
+		func(w *Writer) error { return w.WriteFloat64(1) },
+		func(w *Writer) error { return w.WriteBytes([]byte{1, 2, 3}) },
+		func(w *Writer) error { return WriteValue(w, int64(5)) },
+		func(w *Writer) error { return WriteArray(w, []float64{1, 2, 3}) },
+	}
+	for i, op := range ops {
+		w := NewWriter(&failWriter{n: 0, err: sentinel}, LittleEndian, 0)
+		if err := op(w); !errors.Is(err, sentinel) {
+			t.Errorf("op %d: err = %v, want sentinel", i, err)
+		}
+	}
+}
+
+func TestWriterErrorMidAlignment(t *testing.T) {
+	sentinel := errors.New("gone")
+	w := NewWriter(&failWriter{n: 1, err: sentinel}, LittleEndian, 0)
+	if err := w.WriteUint8(1); err != nil {
+		t.Fatal(err)
+	}
+	// Alignment padding write fails.
+	if err := w.WriteUint64(2); !errors.Is(err, sentinel) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestReaderTruncation(t *testing.T) {
+	ops := []func(r *Reader) error{
+		func(r *Reader) error { _, err := r.ReadUint8(); return err },
+		func(r *Reader) error { _, err := r.ReadUint16(); return err },
+		func(r *Reader) error { _, err := r.ReadUint32(); return err },
+		func(r *Reader) error { _, err := r.ReadUint64(); return err },
+		func(r *Reader) error { _, err := r.ReadFloat32(); return err },
+		func(r *Reader) error { _, err := r.ReadFloat64(); return err },
+		func(r *Reader) error { _, err := ReadValue[int16](r); return err },
+		func(r *Reader) error { _, err := ReadArray[float64](r, 4); return err },
+		func(r *Reader) error { return r.ReadBytes(make([]byte, 8)) },
+	}
+	for i, op := range ops {
+		r := NewReader(bytes.NewReader(nil), BigEndian, 0)
+		err := op(r)
+		if err == nil {
+			t.Errorf("op %d: no error on empty input", i)
+		}
+	}
+	// Partial input → unexpected EOF, not silence.
+	r := NewReader(bytes.NewReader([]byte{1, 2, 3}), LittleEndian, 0)
+	if _, err := r.ReadUint64(); !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+		t.Errorf("partial read err = %v", err)
+	}
+}
+
+func TestReaderSetOrderMidStream(t *testing.T) {
+	var buf bytes.Buffer
+	wle := NewWriter(&buf, LittleEndian, 0)
+	if err := wle.WriteUint32(0x01020304); err != nil {
+		t.Fatal(err)
+	}
+	wbe := NewWriter(&buf, BigEndian, int64(buf.Len()))
+	if err := wbe.WriteUint32(0x01020304); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(bytes.NewReader(buf.Bytes()), LittleEndian, 0)
+	v1, err := r.ReadUint32()
+	if err != nil || v1 != 0x01020304 {
+		t.Fatalf("LE read = %x, %v", v1, err)
+	}
+	r.SetOrder(BigEndian)
+	v2, err := r.ReadUint32()
+	if err != nil || v2 != 0x01020304 {
+		t.Fatalf("BE read after SetOrder = %x, %v", v2, err)
+	}
+	if r.Order() != BigEndian {
+		t.Error("Order not updated")
+	}
+}
+
+func TestOffsetsTracked(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, LittleEndian, 3)
+	if w.Offset() != 3 {
+		t.Error("base offset ignored")
+	}
+	w.WriteUint8(1) // off 4
+	w.WriteUint32(2)
+	if w.Offset() != 12 { // 4 → pad 0 (4%4==0) → 8... wait: off 4 is aligned → +4 = 8
+		// Recompute: base 3 +1 byte = 4; aligned for u32; +4 = 8.
+		if w.Offset() != 8 {
+			t.Errorf("writer offset = %d", w.Offset())
+		}
+	}
+	r := NewReader(bytes.NewReader(buf.Bytes()), LittleEndian, 3)
+	r.ReadUint8()
+	r.ReadUint32()
+	if r.Offset() != w.Offset() {
+		t.Errorf("reader offset %d != writer offset %d", r.Offset(), w.Offset())
+	}
+}
+
+func TestOrderString(t *testing.T) {
+	if LittleEndian.String() != "little-endian" || BigEndian.String() != "big-endian" {
+		t.Error("ByteOrder.String wrong")
+	}
+}

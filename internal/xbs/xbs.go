@@ -1,0 +1,556 @@
+// Package xbs implements the XBS streaming binary serializer that BXSA layers
+// on (paper §4). XBS is a minimalistic format supporting 1-, 2-, 4- and
+// 8-byte integers, 4- and 8-byte IEEE-754 floating-point numbers, and
+// one-dimensional arrays of those. Every number is aligned to a multiple of
+// its type's size, counted from the start of the stream, so that a large
+// array in a file can be accessed with memory-mapped I/O without copying.
+// Both little-endian and big-endian byte orders are supported.
+package xbs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// ByteOrder selects the wire byte order of an XBS stream.
+type ByteOrder uint8
+
+const (
+	LittleEndian ByteOrder = iota
+	BigEndian
+)
+
+// Native is the byte order used by default for newly produced streams. The
+// paper stores data in the producer's native order and records it per frame;
+// we fix little-endian as the canonical producer order (the common case on
+// x86/ARM servers) and let readers of either order decode it.
+const Native = LittleEndian
+
+func (o ByteOrder) String() string {
+	if o == LittleEndian {
+		return "little-endian"
+	}
+	return "big-endian"
+}
+
+// ErrBadAlignment is returned when a reader encounters non-zero padding
+// bytes, which indicates a desynchronized stream.
+var ErrBadAlignment = errors.New("xbs: non-zero padding byte")
+
+var zeroPad [8]byte
+
+// Writer serializes XBS values to an underlying io.Writer, tracking the
+// absolute stream offset to implement alignment.
+type Writer struct {
+	w       io.Writer
+	order   ByteOrder
+	off     int64
+	scratch [8]byte
+}
+
+// NewWriter returns a Writer emitting in the given byte order. The stream
+// offset starts at base; pass 0 when the writer owns the whole stream, or the
+// current container offset when embedding an XBS region inside another
+// format (alignment is computed relative to the true stream start).
+func NewWriter(w io.Writer, order ByteOrder, base int64) *Writer {
+	return &Writer{w: w, order: order, off: base}
+}
+
+// Offset returns the number of bytes written so far, including the base.
+func (w *Writer) Offset() int64 { return w.off }
+
+// Order returns the writer's byte order.
+func (w *Writer) Order() ByteOrder { return w.order }
+
+// Align pads the stream with zero bytes until the offset is a multiple of
+// size and returns the number of padding bytes written. size must be a power
+// of two no larger than 8.
+func (w *Writer) Align(size int) (int, error) {
+	pad := padFor(w.off, size)
+	if pad == 0 {
+		return 0, nil
+	}
+	if err := w.writeRaw(zeroPad[:pad]); err != nil {
+		return 0, err
+	}
+	return pad, nil
+}
+
+func padFor(off int64, size int) int {
+	if size <= 1 {
+		return 0
+	}
+	rem := int(off) & (size - 1)
+	if rem == 0 {
+		return 0
+	}
+	return size - rem
+}
+
+func (w *Writer) writeRaw(b []byte) error {
+	n, err := w.w.Write(b)
+	w.off += int64(n)
+	return err
+}
+
+// WriteBytes writes raw octets with no alignment (used for strings, frame
+// prefixes, and other byte-granular fields).
+func (w *Writer) WriteBytes(b []byte) error { return w.writeRaw(b) }
+
+// WriteUint8 writes a single byte.
+func (w *Writer) WriteUint8(v uint8) error {
+	w.scratch[0] = v
+	return w.writeRaw(w.scratch[:1])
+}
+
+// WriteUint16 writes an aligned 2-byte unsigned integer.
+func (w *Writer) WriteUint16(v uint16) error {
+	if _, err := w.Align(2); err != nil {
+		return err
+	}
+	if w.order == LittleEndian {
+		w.scratch[0], w.scratch[1] = byte(v), byte(v>>8)
+	} else {
+		w.scratch[0], w.scratch[1] = byte(v>>8), byte(v)
+	}
+	return w.writeRaw(w.scratch[:2])
+}
+
+// WriteUint32 writes an aligned 4-byte unsigned integer.
+func (w *Writer) WriteUint32(v uint32) error {
+	if _, err := w.Align(4); err != nil {
+		return err
+	}
+	putUint32(w.scratch[:4], v, w.order)
+	return w.writeRaw(w.scratch[:4])
+}
+
+// WriteUint64 writes an aligned 8-byte unsigned integer.
+func (w *Writer) WriteUint64(v uint64) error {
+	if _, err := w.Align(8); err != nil {
+		return err
+	}
+	putUint64(w.scratch[:8], v, w.order)
+	return w.writeRaw(w.scratch[:8])
+}
+
+// WriteInt8 writes a single signed byte.
+func (w *Writer) WriteInt8(v int8) error { return w.WriteUint8(uint8(v)) }
+
+// WriteInt16 writes an aligned 2-byte signed integer.
+func (w *Writer) WriteInt16(v int16) error { return w.WriteUint16(uint16(v)) }
+
+// WriteInt32 writes an aligned 4-byte signed integer.
+func (w *Writer) WriteInt32(v int32) error { return w.WriteUint32(uint32(v)) }
+
+// WriteInt64 writes an aligned 8-byte signed integer.
+func (w *Writer) WriteInt64(v int64) error { return w.WriteUint64(uint64(v)) }
+
+// WriteFloat32 writes an aligned IEEE-754 single.
+func (w *Writer) WriteFloat32(v float32) error { return w.WriteUint32(math.Float32bits(v)) }
+
+// WriteFloat64 writes an aligned IEEE-754 double.
+func (w *Writer) WriteFloat64(v float64) error { return w.WriteUint64(math.Float64bits(v)) }
+
+func putUint32(b []byte, v uint32, o ByteOrder) {
+	if o == LittleEndian {
+		b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	} else {
+		b[0], b[1], b[2], b[3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+	}
+}
+
+func putUint64(b []byte, v uint64, o ByteOrder) {
+	if o == LittleEndian {
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
+	} else {
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> (8 * (7 - i)))
+		}
+	}
+}
+
+func getUint32(b []byte, o ByteOrder) uint32 {
+	if o == LittleEndian {
+		return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	}
+	return uint32(b[3]) | uint32(b[2])<<8 | uint32(b[1])<<16 | uint32(b[0])<<24
+}
+
+func getUint64(b []byte, o ByteOrder) uint64 {
+	var v uint64
+	if o == LittleEndian {
+		for i := 7; i >= 0; i-- {
+			v = v<<8 | uint64(b[i])
+		}
+	} else {
+		for i := 0; i < 8; i++ {
+			v = v<<8 | uint64(b[i])
+		}
+	}
+	return v
+}
+
+// Reader deserializes XBS values, mirroring Writer's alignment rules.
+type Reader struct {
+	r       io.Reader
+	order   ByteOrder
+	off     int64
+	scratch [8]byte
+}
+
+// NewReader returns a Reader decoding the given byte order, with the stream
+// offset starting at base (see NewWriter).
+func NewReader(r io.Reader, order ByteOrder, base int64) *Reader {
+	return &Reader{r: r, order: order, off: base}
+}
+
+// Offset returns the number of bytes consumed so far, including the base.
+func (r *Reader) Offset() int64 { return r.off }
+
+// Order returns the reader's byte order.
+func (r *Reader) Order() ByteOrder { return r.order }
+
+// SetOrder switches the byte order mid-stream. BXSA records byte order per
+// frame, so a decoder may need to flip while reading one document.
+func (r *Reader) SetOrder(o ByteOrder) { r.order = o }
+
+func (r *Reader) readFull(b []byte) error {
+	n, err := io.ReadFull(r.r, b)
+	r.off += int64(n)
+	return err
+}
+
+// Align consumes padding up to the next multiple of size, verifying the
+// padding bytes are zero.
+func (r *Reader) Align(size int) error {
+	pad := padFor(r.off, size)
+	if pad == 0 {
+		return nil
+	}
+	if err := r.readFull(r.scratch[:pad]); err != nil {
+		return err
+	}
+	for _, b := range r.scratch[:pad] {
+		if b != 0 {
+			return ErrBadAlignment
+		}
+	}
+	return nil
+}
+
+// ReadBytes reads exactly len(b) raw octets.
+func (r *Reader) ReadBytes(b []byte) error { return r.readFull(b) }
+
+// ReadUint8 reads one byte.
+func (r *Reader) ReadUint8() (uint8, error) {
+	err := r.readFull(r.scratch[:1])
+	return r.scratch[0], err
+}
+
+// ReadUint16 reads an aligned 2-byte unsigned integer.
+func (r *Reader) ReadUint16() (uint16, error) {
+	if err := r.Align(2); err != nil {
+		return 0, err
+	}
+	if err := r.readFull(r.scratch[:2]); err != nil {
+		return 0, err
+	}
+	if r.order == LittleEndian {
+		return uint16(r.scratch[0]) | uint16(r.scratch[1])<<8, nil
+	}
+	return uint16(r.scratch[1]) | uint16(r.scratch[0])<<8, nil
+}
+
+// ReadUint32 reads an aligned 4-byte unsigned integer.
+func (r *Reader) ReadUint32() (uint32, error) {
+	if err := r.Align(4); err != nil {
+		return 0, err
+	}
+	if err := r.readFull(r.scratch[:4]); err != nil {
+		return 0, err
+	}
+	return getUint32(r.scratch[:4], r.order), nil
+}
+
+// ReadUint64 reads an aligned 8-byte unsigned integer.
+func (r *Reader) ReadUint64() (uint64, error) {
+	if err := r.Align(8); err != nil {
+		return 0, err
+	}
+	if err := r.readFull(r.scratch[:8]); err != nil {
+		return 0, err
+	}
+	return getUint64(r.scratch[:8], r.order), nil
+}
+
+// ReadInt8 reads one signed byte.
+func (r *Reader) ReadInt8() (int8, error) { v, err := r.ReadUint8(); return int8(v), err }
+
+// ReadInt16 reads an aligned 2-byte signed integer.
+func (r *Reader) ReadInt16() (int16, error) { v, err := r.ReadUint16(); return int16(v), err }
+
+// ReadInt32 reads an aligned 4-byte signed integer.
+func (r *Reader) ReadInt32() (int32, error) { v, err := r.ReadUint32(); return int32(v), err }
+
+// ReadInt64 reads an aligned 8-byte signed integer.
+func (r *Reader) ReadInt64() (int64, error) { v, err := r.ReadUint64(); return int64(v), err }
+
+// ReadFloat32 reads an aligned IEEE-754 single.
+func (r *Reader) ReadFloat32() (float32, error) {
+	v, err := r.ReadUint32()
+	return math.Float32frombits(v), err
+}
+
+// ReadFloat64 reads an aligned IEEE-754 double.
+func (r *Reader) ReadFloat64() (float64, error) {
+	v, err := r.ReadUint64()
+	return math.Float64frombits(v), err
+}
+
+// Primitive is the set of fundamental types XBS can pack: 1/2/4/8-byte
+// integers (signed and unsigned) and 4/8-byte floats. It mirrors the set of
+// types usable as the T in the paper's LeafElement<T> and ArrayElement<T>.
+type Primitive interface {
+	~int8 | ~int16 | ~int32 | ~int64 |
+		~uint8 | ~uint16 | ~uint32 | ~uint64 |
+		~float32 | ~float64
+}
+
+// SizeOf reports the encoded byte size of a primitive type.
+func SizeOf[T Primitive]() int {
+	var z T
+	switch any(z).(type) {
+	case int8, uint8:
+		return 1
+	case int16, uint16:
+		return 2
+	case int32, uint32, float32:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// WriteValue writes one aligned primitive value.
+func WriteValue[T Primitive](w *Writer, v T) error {
+	switch x := any(v).(type) {
+	case int8:
+		return w.WriteInt8(x)
+	case int16:
+		return w.WriteInt16(x)
+	case int32:
+		return w.WriteInt32(x)
+	case int64:
+		return w.WriteInt64(x)
+	case uint8:
+		return w.WriteUint8(x)
+	case uint16:
+		return w.WriteUint16(x)
+	case uint32:
+		return w.WriteUint32(x)
+	case uint64:
+		return w.WriteUint64(x)
+	case float32:
+		return w.WriteFloat32(x)
+	case float64:
+		return w.WriteFloat64(x)
+	default:
+		panic(fmt.Sprintf("xbs: unreachable primitive %T", v))
+	}
+}
+
+// ReadValue reads one aligned primitive value.
+func ReadValue[T Primitive](r *Reader) (T, error) {
+	var z T
+	switch any(z).(type) {
+	case int8:
+		v, err := r.ReadInt8()
+		return T(v), err
+	case int16:
+		v, err := r.ReadInt16()
+		return T(v), err
+	case int32:
+		v, err := r.ReadInt32()
+		return T(v), err
+	case int64:
+		v, err := r.ReadInt64()
+		return T(v), err
+	case uint8:
+		v, err := r.ReadUint8()
+		return T(v), err
+	case uint16:
+		v, err := r.ReadUint16()
+		return T(v), err
+	case uint32:
+		v, err := r.ReadUint32()
+		return T(v), err
+	case uint64:
+		v, err := r.ReadUint64()
+		return T(v), err
+	case float32:
+		v, err := r.ReadFloat32()
+		return T(v), err
+	case float64:
+		v, err := r.ReadFloat64()
+		return T(v), err
+	default:
+		panic(fmt.Sprintf("xbs: unreachable primitive %T", z))
+	}
+}
+
+// WriteArray writes a one-dimensional array: a single alignment to the
+// element size followed by the packed elements. The caller is responsible
+// for having recorded the element count (BXSA stores it in the frame).
+func WriteArray[T Primitive](w *Writer, a []T) error {
+	size := SizeOf[T]()
+	if _, err := w.Align(size); err != nil {
+		return err
+	}
+	// Fast path: bulk-encode into a reusable buffer rather than one syscall
+	// per element. This is what lets BXSA claim near-zero encoding overhead
+	// for large arrays.
+	const chunkElems = 4096
+	buf := make([]byte, 0, chunkElems*size)
+	for len(a) > 0 {
+		n := len(a)
+		if n > chunkElems {
+			n = chunkElems
+		}
+		buf = buf[:0]
+		for _, v := range a[:n] {
+			buf = appendValue(buf, v, w.order)
+		}
+		if err := w.writeRaw(buf); err != nil {
+			return err
+		}
+		a = a[n:]
+	}
+	return nil
+}
+
+func appendValue[T Primitive](buf []byte, v T, o ByteOrder) []byte {
+	switch x := any(v).(type) {
+	case int8:
+		return append(buf, byte(x))
+	case uint8:
+		return append(buf, x)
+	case int16:
+		return appendU16(buf, uint16(x), o)
+	case uint16:
+		return appendU16(buf, x, o)
+	case int32:
+		return appendU32(buf, uint32(x), o)
+	case uint32:
+		return appendU32(buf, x, o)
+	case float32:
+		return appendU32(buf, math.Float32bits(x), o)
+	case int64:
+		return appendU64(buf, uint64(x), o)
+	case uint64:
+		return appendU64(buf, x, o)
+	case float64:
+		return appendU64(buf, math.Float64bits(x), o)
+	default:
+		panic(fmt.Sprintf("xbs: unreachable primitive %T", v))
+	}
+}
+
+func appendU16(buf []byte, v uint16, o ByteOrder) []byte {
+	if o == LittleEndian {
+		return append(buf, byte(v), byte(v>>8))
+	}
+	return append(buf, byte(v>>8), byte(v))
+}
+
+func appendU32(buf []byte, v uint32, o ByteOrder) []byte {
+	var b [4]byte
+	putUint32(b[:], v, o)
+	return append(buf, b[:]...)
+}
+
+func appendU64(buf []byte, v uint64, o ByteOrder) []byte {
+	var b [8]byte
+	putUint64(b[:], v, o)
+	return append(buf, b[:]...)
+}
+
+// ReadArray reads n packed elements written by WriteArray into a new slice.
+func ReadArray[T Primitive](r *Reader, n int) ([]T, error) {
+	size := SizeOf[T]()
+	if err := r.Align(size); err != nil {
+		return nil, err
+	}
+	out := make([]T, n)
+	const chunkElems = 4096
+	buf := make([]byte, min(n, chunkElems)*size)
+	for i := 0; i < n; {
+		c := n - i
+		if c > chunkElems {
+			c = chunkElems
+		}
+		if err := r.readFull(buf[:c*size]); err != nil {
+			return nil, err
+		}
+		decodeInto(out[i:i+c], buf[:c*size], r.order)
+		i += c
+	}
+	return out, nil
+}
+
+func decodeInto[T Primitive](out []T, buf []byte, o ByteOrder) {
+	var z T
+	switch any(z).(type) {
+	case int8:
+		for i := range out {
+			out[i] = T(int8(buf[i]))
+		}
+	case uint8:
+		for i := range out {
+			out[i] = T(buf[i])
+		}
+	case int16:
+		for i := range out {
+			out[i] = T(int16(getU16(buf[2*i:], o)))
+		}
+	case uint16:
+		for i := range out {
+			out[i] = T(getU16(buf[2*i:], o))
+		}
+	case int32:
+		for i := range out {
+			out[i] = T(int32(getUint32(buf[4*i:], o)))
+		}
+	case uint32:
+		for i := range out {
+			out[i] = T(getUint32(buf[4*i:], o))
+		}
+	case float32:
+		for i := range out {
+			out[i] = T(math.Float32frombits(getUint32(buf[4*i:], o)))
+		}
+	case int64:
+		for i := range out {
+			out[i] = T(int64(getUint64(buf[8*i:], o)))
+		}
+	case uint64:
+		for i := range out {
+			out[i] = T(getUint64(buf[8*i:], o))
+		}
+	case float64:
+		for i := range out {
+			out[i] = T(math.Float64frombits(getUint64(buf[8*i:], o)))
+		}
+	}
+}
+
+func getU16(b []byte, o ByteOrder) uint16 {
+	if o == LittleEndian {
+		return uint16(b[0]) | uint16(b[1])<<8
+	}
+	return uint16(b[1]) | uint16(b[0])<<8
+}

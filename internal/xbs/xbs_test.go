@@ -1,0 +1,312 @@
+package xbs
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestScalarRoundTripBothOrders(t *testing.T) {
+	for _, order := range []ByteOrder{LittleEndian, BigEndian} {
+		var buf bytes.Buffer
+		w := NewWriter(&buf, order, 0)
+		if err := w.WriteUint8(0xab); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WriteInt16(-12345); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WriteUint32(0xdeadbeef); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WriteInt64(-1 << 40); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WriteFloat32(3.25); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WriteFloat64(-2.5e300); err != nil {
+			t.Fatal(err)
+		}
+
+		r := NewReader(bytes.NewReader(buf.Bytes()), order, 0)
+		if v, err := r.ReadUint8(); err != nil || v != 0xab {
+			t.Fatalf("%v: uint8 = %v, %v", order, v, err)
+		}
+		if v, err := r.ReadInt16(); err != nil || v != -12345 {
+			t.Fatalf("%v: int16 = %v, %v", order, v, err)
+		}
+		if v, err := r.ReadUint32(); err != nil || v != 0xdeadbeef {
+			t.Fatalf("%v: uint32 = %v, %v", order, v, err)
+		}
+		if v, err := r.ReadInt64(); err != nil || v != -1<<40 {
+			t.Fatalf("%v: int64 = %v, %v", order, v, err)
+		}
+		if v, err := r.ReadFloat32(); err != nil || v != 3.25 {
+			t.Fatalf("%v: float32 = %v, %v", order, v, err)
+		}
+		if v, err := r.ReadFloat64(); err != nil || v != -2.5e300 {
+			t.Fatalf("%v: float64 = %v, %v", order, v, err)
+		}
+	}
+}
+
+func TestAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, LittleEndian, 0)
+	if err := w.WriteUint8(1); err != nil {
+		t.Fatal(err)
+	}
+	// Offset is 1; a uint64 must be preceded by 7 padding bytes.
+	if err := w.WriteUint64(42); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.Len(); got != 16 {
+		t.Fatalf("stream length = %d, want 16 (1 data + 7 pad + 8 data)", got)
+	}
+	for i := 1; i < 8; i++ {
+		if buf.Bytes()[i] != 0 {
+			t.Fatalf("padding byte %d = %#x, want 0", i, buf.Bytes()[i])
+		}
+	}
+	if w.Offset() != 16 {
+		t.Fatalf("Offset = %d, want 16", w.Offset())
+	}
+}
+
+func TestAlignmentWithBase(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, LittleEndian, 6) // pretend 6 container bytes precede us
+	if err := w.WriteUint32(7); err != nil {
+		t.Fatal(err)
+	}
+	// 6 → pad 2 → 8..12 holds the value.
+	if buf.Len() != 6 {
+		t.Fatalf("bytes written = %d, want 6 (2 pad + 4 data)", buf.Len())
+	}
+	r := NewReader(bytes.NewReader(buf.Bytes()), LittleEndian, 6)
+	if v, err := r.ReadUint32(); err != nil || v != 7 {
+		t.Fatalf("read back = %v, %v", v, err)
+	}
+}
+
+func TestBadAlignmentDetected(t *testing.T) {
+	// One data byte, then garbage where padding should be.
+	data := []byte{0x01, 0xff, 0xff, 0xff, 0, 0, 0, 0, 0, 0, 0, 0}
+	r := NewReader(bytes.NewReader(data), LittleEndian, 0)
+	if _, err := r.ReadUint8(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadUint64(); err != ErrBadAlignment {
+		t.Fatalf("err = %v, want ErrBadAlignment", err)
+	}
+}
+
+func TestWireFormatEndianness(t *testing.T) {
+	var le, be bytes.Buffer
+	if err := NewWriter(&le, LittleEndian, 0).WriteUint32(0x01020304); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewWriter(&be, BigEndian, 0).WriteUint32(0x01020304); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(le.Bytes(), []byte{4, 3, 2, 1}) {
+		t.Errorf("LE bytes = %x", le.Bytes())
+	}
+	if !bytes.Equal(be.Bytes(), []byte{1, 2, 3, 4}) {
+		t.Errorf("BE bytes = %x", be.Bytes())
+	}
+}
+
+func roundTripArray[T Primitive](t *testing.T, in []T, order ByteOrder) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf, order, 0)
+	if err := w.WriteUint8(9); err != nil { // force misalignment first
+		t.Fatal(err)
+	}
+	if err := WriteArray(w, in); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(bytes.NewReader(buf.Bytes()), order, 0)
+	if _, err := r.ReadUint8(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadArray[T](r, len(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len = %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("order %v: elem %d = %v, want %v", order, i, out[i], in[i])
+		}
+	}
+}
+
+func TestArrayRoundTrip(t *testing.T) {
+	for _, order := range []ByteOrder{LittleEndian, BigEndian} {
+		roundTripArray(t, []int8{-1, 0, 127, -128}, order)
+		roundTripArray(t, []uint8{0, 255, 7}, order)
+		roundTripArray(t, []int16{-32768, 32767, 0}, order)
+		roundTripArray(t, []uint16{0, 65535}, order)
+		roundTripArray(t, []int32{-1 << 31, 1<<31 - 1, 42}, order)
+		roundTripArray(t, []uint32{0, 1 << 31, 0xffffffff}, order)
+		roundTripArray(t, []int64{-1 << 62, 1 << 62}, order)
+		roundTripArray(t, []uint64{0, 1 << 63}, order)
+		roundTripArray(t, []float32{0, -0, 1.5, float32(math.Inf(1))}, order)
+		roundTripArray(t, []float64{math.Pi, -math.MaxFloat64, 1e-300}, order)
+	}
+}
+
+func TestArrayLargerThanChunk(t *testing.T) {
+	in := make([]float64, 10000)
+	for i := range in {
+		in[i] = float64(i) * 1.5
+	}
+	roundTripArray(t, in, LittleEndian)
+}
+
+func TestEmptyArray(t *testing.T) {
+	roundTripArray(t, []float64{}, LittleEndian)
+	roundTripArray(t, []int32{}, BigEndian)
+}
+
+func TestArrayPropertyFloat64(t *testing.T) {
+	f := func(in []float64) bool {
+		var buf bytes.Buffer
+		w := NewWriter(&buf, BigEndian, 0)
+		if err := WriteArray(w, in); err != nil {
+			return false
+		}
+		r := NewReader(bytes.NewReader(buf.Bytes()), BigEndian, 0)
+		out, err := ReadArray[float64](r, len(in))
+		if err != nil {
+			return false
+		}
+		for i := range in {
+			if math.Float64bits(in[i]) != math.Float64bits(out[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArrayPropertyInt32(t *testing.T) {
+	f := func(in []int32) bool {
+		var buf bytes.Buffer
+		w := NewWriter(&buf, LittleEndian, 0)
+		if err := WriteArray(w, in); err != nil {
+			return false
+		}
+		r := NewReader(bytes.NewReader(buf.Bytes()), LittleEndian, 0)
+		out, err := ReadArray[int32](r, len(in))
+		if err != nil {
+			return false
+		}
+		for i := range in {
+			if in[i] != out[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenericValueRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, LittleEndian, 0)
+	if err := WriteValue(w, int32(-7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteValue(w, float64(6.5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteValue(w, uint16(99)); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(bytes.NewReader(buf.Bytes()), LittleEndian, 0)
+	if v, err := ReadValue[int32](r); err != nil || v != -7 {
+		t.Fatalf("int32 = %v, %v", v, err)
+	}
+	if v, err := ReadValue[float64](r); err != nil || v != 6.5 {
+		t.Fatalf("float64 = %v, %v", v, err)
+	}
+	if v, err := ReadValue[uint16](r); err != nil || v != 99 {
+		t.Fatalf("uint16 = %v, %v", v, err)
+	}
+}
+
+func TestSizeOf(t *testing.T) {
+	if SizeOf[int8]() != 1 || SizeOf[uint8]() != 1 {
+		t.Error("1-byte sizes wrong")
+	}
+	if SizeOf[int16]() != 2 || SizeOf[uint16]() != 2 {
+		t.Error("2-byte sizes wrong")
+	}
+	if SizeOf[int32]() != 4 || SizeOf[uint32]() != 4 || SizeOf[float32]() != 4 {
+		t.Error("4-byte sizes wrong")
+	}
+	if SizeOf[int64]() != 8 || SizeOf[uint64]() != 8 || SizeOf[float64]() != 8 {
+		t.Error("8-byte sizes wrong")
+	}
+}
+
+func TestNaNPreserved(t *testing.T) {
+	nan := math.Float64frombits(0x7ff8000000000001)
+	var buf bytes.Buffer
+	w := NewWriter(&buf, LittleEndian, 0)
+	if err := w.WriteFloat64(nan); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(bytes.NewReader(buf.Bytes()), LittleEndian, 0)
+	v, err := r.ReadFloat64()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(v) != 0x7ff8000000000001 {
+		t.Fatalf("NaN payload not preserved: %x", math.Float64bits(v))
+	}
+}
+
+func BenchmarkWriteFloat64Array(b *testing.B) {
+	a := make([]float64, 4096)
+	for i := range a {
+		a[i] = float64(i)
+	}
+	b.SetBytes(int64(len(a) * 8))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		w := NewWriter(&buf, LittleEndian, 0)
+		if err := WriteArray(w, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadFloat64Array(b *testing.B) {
+	a := make([]float64, 4096)
+	var buf bytes.Buffer
+	if err := WriteArray(NewWriter(&buf, LittleEndian, 0), a); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(a) * 8))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(bytes.NewReader(buf.Bytes()), LittleEndian, 0)
+		if _, err := ReadArray[float64](r, len(a)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,620 @@
+package xmltext
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"bxsoap/internal/bxdm"
+)
+
+// DecodeOptions control parsing.
+type DecodeOptions struct {
+	// RecoverTypes honors xsi:type and SOAP-ENC arrayType hints, rebuilding
+	// LeafElement and ArrayElement nodes from their textual rendering (the
+	// XML→binary direction of transcodability, paper §4.2). Without it every
+	// element parses as a general element with text children.
+	RecoverTypes bool
+	// KeepInterElementWhitespace retains whitespace-only text nodes between
+	// elements. Defaults to true behaviour when set; the SOAP engine parses
+	// with it off since SOAP messages are data-oriented.
+	DropInterElementWhitespace bool
+}
+
+// Parse parses an XML 1.0 document into a bXDM tree.
+func Parse(data []byte, opts DecodeOptions) (*bxdm.Document, error) {
+	p := &parser{data: data, opts: opts}
+	doc, err := p.parseDocument()
+	if err != nil {
+		return nil, fmt.Errorf("xmltext: %w at byte %d", err, p.pos)
+	}
+	return doc, nil
+}
+
+// SyntaxError describes a malformed document.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string { return fmt.Sprintf("xml syntax: %s", e.Msg) }
+
+type parser struct {
+	data  []byte
+	pos   int
+	opts  DecodeOptions
+	scope bxdm.NSScope
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &SyntaxError{Pos: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.data) }
+
+func (p *parser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.data[p.pos]
+}
+
+func (p *parser) skipWS() {
+	for !p.eof() {
+		switch p.data[p.pos] {
+		case ' ', '\t', '\r', '\n':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) consume(s string) bool {
+	if bytes.HasPrefix(p.data[p.pos:], []byte(s)) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(s string) error {
+	if !p.consume(s) {
+		return p.errf("expected %q", s)
+	}
+	return nil
+}
+
+func (p *parser) parseDocument() (*bxdm.Document, error) {
+	doc := &bxdm.Document{}
+	// Optional XML declaration.
+	p.skipWS()
+	if bytes.HasPrefix(p.data[p.pos:], []byte("<?xml")) {
+		end := bytes.Index(p.data[p.pos:], []byte("?>"))
+		if end < 0 {
+			return nil, p.errf("unterminated XML declaration")
+		}
+		p.pos += end + 2
+	}
+	seenRoot := false
+	for {
+		p.skipWS()
+		if p.eof() {
+			break
+		}
+		if p.peek() != '<' {
+			return nil, p.errf("text outside document element")
+		}
+		switch {
+		case p.consume("<!--"):
+			c, err := p.parseCommentBody()
+			if err != nil {
+				return nil, err
+			}
+			doc.Children = append(doc.Children, c)
+		case p.consume("<!DOCTYPE"):
+			if err := p.skipDoctype(); err != nil {
+				return nil, err
+			}
+		case p.consume("<?"):
+			pi, err := p.parsePIBody()
+			if err != nil {
+				return nil, err
+			}
+			doc.Children = append(doc.Children, pi)
+		default:
+			if seenRoot {
+				return nil, p.errf("multiple document elements")
+			}
+			el, err := p.parseElement()
+			if err != nil {
+				return nil, err
+			}
+			doc.Children = append(doc.Children, el)
+			seenRoot = true
+		}
+	}
+	if !seenRoot {
+		return nil, p.errf("no document element")
+	}
+	return doc, nil
+}
+
+func (p *parser) skipDoctype() error {
+	depth := 1
+	for !p.eof() {
+		switch p.data[p.pos] {
+		case '<':
+			depth++
+		case '>':
+			depth--
+			if depth == 0 {
+				p.pos++
+				return nil
+			}
+		}
+		p.pos++
+	}
+	return p.errf("unterminated DOCTYPE")
+}
+
+func isNameStart(b byte) bool {
+	return b == '_' || b == ':' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') || b >= 0x80
+}
+
+func isNameChar(b byte) bool {
+	return isNameStart(b) || b == '-' || b == '.' || (b >= '0' && b <= '9')
+}
+
+func (p *parser) parseName() (string, error) {
+	start := p.pos
+	if p.eof() || !isNameStart(p.data[p.pos]) {
+		return "", p.errf("expected name")
+	}
+	p.pos++
+	for !p.eof() && isNameChar(p.data[p.pos]) {
+		p.pos++
+	}
+	return string(p.data[start:p.pos]), nil
+}
+
+type rawAttr struct {
+	prefix, local, value string
+}
+
+// parseElement parses one element and its subtree. p.pos sits on '<'.
+func (p *parser) parseElement() (bxdm.Node, error) {
+	if err := p.expect("<"); err != nil {
+		return nil, err
+	}
+	name, err := p.parseName()
+	if err != nil {
+		return nil, err
+	}
+	var raws []rawAttr
+	var decls []bxdm.NamespaceDecl
+	selfClose := false
+	for {
+		p.skipWS()
+		if p.eof() {
+			return nil, p.errf("unterminated start tag <%s", name)
+		}
+		if p.consume("/>") {
+			selfClose = true
+			break
+		}
+		if p.consume(">") {
+			break
+		}
+		aname, err := p.parseName()
+		if err != nil {
+			return nil, err
+		}
+		p.skipWS()
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		p.skipWS()
+		aval, err := p.parseAttValue()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case aname == "xmlns":
+			decls = append(decls, bxdm.NamespaceDecl{Prefix: "", URI: aval})
+		case strings.HasPrefix(aname, "xmlns:"):
+			decls = append(decls, bxdm.NamespaceDecl{Prefix: aname[6:], URI: aval})
+		default:
+			pfx, local := splitQName(aname)
+			raws = append(raws, rawAttr{prefix: pfx, local: local, value: aval})
+		}
+	}
+
+	p.scope.Push(decls)
+	defer p.scope.Pop()
+
+	common := bxdm.ElemCommon{NamespaceDecls: decls}
+	if p.opts.RecoverTypes {
+		// The writer synthesizes xsi/xsd/enc declarations to carry type
+		// hints; strip them symmetrically so hint plumbing never shows up in
+		// the recovered model. QNames that reference these namespaces keep
+		// their URIs, and re-serialization auto-declares as needed.
+		common.NamespaceDecls = stripHintDecls(decls)
+	}
+	pfx, local := splitQName(name)
+	space, ok := p.scope.URIFor(pfx)
+	if pfx != "" && !ok {
+		return nil, p.errf("unbound namespace prefix %q", pfx)
+	}
+	common.Name = bxdm.QName{Space: space, Prefix: pfx, Local: local}
+
+	var xsiType, arrayType string
+	for _, ra := range raws {
+		var aspace string
+		if ra.prefix != "" {
+			aspace, ok = p.scope.URIFor(ra.prefix)
+			if !ok {
+				return nil, p.errf("unbound namespace prefix %q", ra.prefix)
+			}
+		}
+		if p.opts.RecoverTypes {
+			if aspace == XSINamespace && ra.local == "type" {
+				xsiType = ra.value
+				continue
+			}
+			if aspace == ENCNamespace && ra.local == "arrayType" {
+				arrayType = ra.value
+				continue
+			}
+		}
+		common.Attributes = append(common.Attributes, bxdm.Attribute{
+			Name:  bxdm.QName{Space: aspace, Prefix: ra.prefix, Local: ra.local},
+			Value: bxdm.StringValue(ra.value),
+		})
+	}
+
+	var children []bxdm.Node
+	if !selfClose {
+		children, err = p.parseContent(name)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if arrayType != "" {
+		return p.buildArrayElement(common, arrayType, children)
+	}
+	if xsiType != "" {
+		return p.buildLeafElement(common, xsiType, children)
+	}
+	return &bxdm.Element{ElemCommon: common, Children: children}, nil
+}
+
+// resolveTypeRef resolves a "pfx:name" type reference against the in-scope
+// namespaces, requiring the XSD namespace.
+func (p *parser) resolveTypeRef(ref string) (bxdm.TypeCode, error) {
+	pfx, local := splitQName(ref)
+	uri, ok := p.scope.URIFor(pfx)
+	if !ok || uri != XSDNamespace {
+		return bxdm.TInvalid, p.errf("type reference %q is not in the XML Schema namespace", ref)
+	}
+	code := bxdm.TypeCodeForXSD(local)
+	if code == bxdm.TInvalid {
+		return bxdm.TInvalid, p.errf("unsupported XSD type %q", ref)
+	}
+	return code, nil
+}
+
+func (p *parser) buildLeafElement(common bxdm.ElemCommon, ref string, children []bxdm.Node) (bxdm.Node, error) {
+	code, err := p.resolveTypeRef(ref)
+	if err != nil {
+		return nil, err
+	}
+	var text strings.Builder
+	for _, c := range children {
+		t, ok := c.(*bxdm.Text)
+		if !ok {
+			return nil, p.errf("xsi:type element has non-text content")
+		}
+		text.WriteString(t.Data)
+	}
+	v, err := bxdm.ParseValue(code, text.String())
+	if err != nil {
+		return nil, p.errf("invalid %s value %q: %v", code, text.String(), err)
+	}
+	return &bxdm.LeafElement{ElemCommon: common, Value: v}, nil
+}
+
+func (p *parser) buildArrayElement(common bxdm.ElemCommon, ref string, children []bxdm.Node) (bxdm.Node, error) {
+	// ref is "xsd:double[1000]".
+	open := strings.IndexByte(ref, '[')
+	if open < 0 || !strings.HasSuffix(ref, "]") {
+		return nil, p.errf("malformed arrayType %q", ref)
+	}
+	code, err := p.resolveTypeRef(ref[:open])
+	if err != nil {
+		return nil, err
+	}
+	declared, err := strconv.Atoi(ref[open+1 : len(ref)-1])
+	if err != nil {
+		return nil, p.errf("malformed arrayType length in %q", ref)
+	}
+	b, err := bxdm.NewArrayBuilder(code)
+	if err != nil {
+		return nil, p.errf("%v", err)
+	}
+	n := 0
+	for _, c := range children {
+		switch x := c.(type) {
+		case *bxdm.Text:
+			if strings.TrimSpace(x.Data) != "" {
+				return nil, p.errf("stray text inside array element")
+			}
+		case *bxdm.Element:
+			if err := b.AppendLexical(strings.TrimSpace(elementText(x))); err != nil {
+				return nil, p.errf("array item %d: %v", n, err)
+			}
+			n++
+		case *bxdm.LeafElement:
+			if err := b.AppendLexical(x.Value.Lexical()); err != nil {
+				return nil, p.errf("array item %d: %v", n, err)
+			}
+			n++
+		default:
+			return nil, p.errf("unexpected node inside array element")
+		}
+	}
+	if n != declared {
+		return nil, p.errf("arrayType declares %d items, found %d", declared, n)
+	}
+	return &bxdm.ArrayElement{ElemCommon: common, Data: b.Data()}, nil
+}
+
+func elementText(e *bxdm.Element) string {
+	var sb strings.Builder
+	for _, c := range e.Children {
+		if t, ok := c.(*bxdm.Text); ok {
+			sb.WriteString(t.Data)
+		}
+	}
+	return sb.String()
+}
+
+// parseContent parses child nodes until the matching end tag of name.
+func (p *parser) parseContent(name string) ([]bxdm.Node, error) {
+	var children []bxdm.Node
+	var text []byte
+	flush := func(forceKeep bool) {
+		if len(text) == 0 {
+			return
+		}
+		if !forceKeep && p.opts.DropInterElementWhitespace && isAllWS(text) {
+			text = text[:0]
+			return
+		}
+		children = append(children, &bxdm.Text{Data: string(text)})
+		text = text[:0]
+	}
+	for {
+		if p.eof() {
+			return nil, p.errf("unterminated element <%s>", name)
+		}
+		b := p.data[p.pos]
+		if b != '<' {
+			t, err := p.parseCharData()
+			if err != nil {
+				return nil, err
+			}
+			text = append(text, t...)
+			continue
+		}
+		switch {
+		case p.consume("</"):
+			end, err := p.parseName()
+			if err != nil {
+				return nil, err
+			}
+			if end != name {
+				return nil, p.errf("mismatched end tag </%s>, expected </%s>", end, name)
+			}
+			p.skipWS()
+			if err := p.expect(">"); err != nil {
+				return nil, err
+			}
+			flush(false)
+			return children, nil
+		case p.consume("<!--"):
+			flush(false)
+			c, err := p.parseCommentBody()
+			if err != nil {
+				return nil, err
+			}
+			children = append(children, c)
+		case p.consume("<![CDATA["):
+			end := bytes.Index(p.data[p.pos:], []byte("]]>"))
+			if end < 0 {
+				return nil, p.errf("unterminated CDATA section")
+			}
+			text = append(text, p.data[p.pos:p.pos+end]...)
+			p.pos += end + 3
+			flush(true) // CDATA content is always significant
+		case p.consume("<?"):
+			flush(false)
+			pi, err := p.parsePIBody()
+			if err != nil {
+				return nil, err
+			}
+			children = append(children, pi)
+		default:
+			flush(false)
+			el, err := p.parseElement()
+			if err != nil {
+				return nil, err
+			}
+			children = append(children, el)
+		}
+	}
+}
+
+func isAllWS(b []byte) bool {
+	for _, c := range b {
+		if c != ' ' && c != '\t' && c != '\r' && c != '\n' {
+			return false
+		}
+	}
+	return true
+}
+
+// parseCharData reads text up to the next '<', expanding entity references.
+func (p *parser) parseCharData() ([]byte, error) {
+	var out []byte
+	for !p.eof() {
+		b := p.data[p.pos]
+		if b == '<' {
+			break
+		}
+		if b == '&' {
+			r, err := p.parseReference()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r...)
+			continue
+		}
+		if b == '\r' {
+			// XML line-end normalization.
+			p.pos++
+			if !p.eof() && p.data[p.pos] == '\n' {
+				continue
+			}
+			out = append(out, '\n')
+			continue
+		}
+		out = append(out, b)
+		p.pos++
+	}
+	return out, nil
+}
+
+func (p *parser) parseReference() ([]byte, error) {
+	if err := p.expect("&"); err != nil {
+		return nil, err
+	}
+	semi := bytes.IndexByte(p.data[p.pos:], ';')
+	if semi < 0 || semi > 32 {
+		return nil, p.errf("unterminated entity reference")
+	}
+	name := string(p.data[p.pos : p.pos+semi])
+	p.pos += semi + 1
+	switch name {
+	case "amp":
+		return []byte("&"), nil
+	case "lt":
+		return []byte("<"), nil
+	case "gt":
+		return []byte(">"), nil
+	case "apos":
+		return []byte("'"), nil
+	case "quot":
+		return []byte(`"`), nil
+	}
+	if strings.HasPrefix(name, "#") {
+		var n int64
+		var err error
+		if strings.HasPrefix(name, "#x") || strings.HasPrefix(name, "#X") {
+			n, err = strconv.ParseInt(name[2:], 16, 32)
+		} else {
+			n, err = strconv.ParseInt(name[1:], 10, 32)
+		}
+		if err != nil || n < 0 || n > 0x10ffff {
+			return nil, p.errf("invalid character reference &%s;", name)
+		}
+		return []byte(string(rune(n))), nil
+	}
+	return nil, p.errf("unknown entity &%s;", name)
+}
+
+func (p *parser) parseAttValue() (string, error) {
+	if p.eof() || (p.peek() != '"' && p.peek() != '\'') {
+		return "", p.errf("expected quoted attribute value")
+	}
+	quote := p.data[p.pos]
+	p.pos++
+	var out []byte
+	for {
+		if p.eof() {
+			return "", p.errf("unterminated attribute value")
+		}
+		b := p.data[p.pos]
+		if b == quote {
+			p.pos++
+			return string(out), nil
+		}
+		switch b {
+		case '<':
+			return "", p.errf("'<' in attribute value")
+		case '&':
+			r, err := p.parseReference()
+			if err != nil {
+				return "", err
+			}
+			out = append(out, r...)
+		case '\t', '\n', '\r':
+			out = append(out, ' ') // attribute-value normalization
+			p.pos++
+		default:
+			out = append(out, b)
+			p.pos++
+		}
+	}
+}
+
+func (p *parser) parseCommentBody() (*bxdm.Comment, error) {
+	end := bytes.Index(p.data[p.pos:], []byte("-->"))
+	if end < 0 {
+		return nil, p.errf("unterminated comment")
+	}
+	data := string(p.data[p.pos : p.pos+end])
+	if strings.Contains(data, "--") {
+		return nil, p.errf("'--' inside comment")
+	}
+	p.pos += end + 3
+	return &bxdm.Comment{Data: data}, nil
+}
+
+func (p *parser) parsePIBody() (*bxdm.PI, error) {
+	target, err := p.parseName()
+	if err != nil {
+		return nil, err
+	}
+	if strings.EqualFold(target, "xml") {
+		return nil, p.errf("PI target 'xml' is reserved")
+	}
+	end := bytes.Index(p.data[p.pos:], []byte("?>"))
+	if end < 0 {
+		return nil, p.errf("unterminated processing instruction")
+	}
+	data := strings.TrimLeft(string(p.data[p.pos:p.pos+end]), " \t\r\n")
+	p.pos += end + 2
+	return &bxdm.PI{Target: target, Data: data}, nil
+}
+
+func stripHintDecls(decls []bxdm.NamespaceDecl) []bxdm.NamespaceDecl {
+	var out []bxdm.NamespaceDecl
+	for _, d := range decls {
+		switch d.URI {
+		case XSINamespace, XSDNamespace, ENCNamespace:
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func splitQName(s string) (prefix, local string) {
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		return s[:i], s[i+1:]
+	}
+	return "", s
+}

@@ -1,0 +1,77 @@
+package xmltext
+
+import (
+	"strings"
+	"testing"
+
+	"bxsoap/internal/bxdm"
+)
+
+// Regression: a synthesized namespace declaration must never reuse a hint
+// prefix that is bound in scope to a different URI — doing so shadows the
+// binding another attribute on the same element relies on.
+func TestWriterDoesNotShadowNeededPrefix(t *testing.T) {
+	root := bxdm.NewElement(bxdm.Name("urn:1", "root"))
+	root.DeclareNamespace("p", "urn:1")
+	inner := bxdm.NewElement(bxdm.LocalName("inner"))
+	// First attribute relies on the inherited p→urn:1 binding.
+	inner.SetAttr(bxdm.Name("urn:1", "a"), bxdm.StringValue("x"))
+	// Second attribute's namespace is undeclared and hints prefix "p".
+	inner.SetAttr(bxdm.PName("urn:2", "p", "b"), bxdm.StringValue("y"))
+	root.Append(inner)
+
+	out, err := Marshal(root, EncodeOptions{})
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	back, err := Parse(out, DecodeOptions{})
+	if err != nil {
+		t.Fatalf("Parse: %v\nxml: %s", err, out)
+	}
+	got := back.Root().(*bxdm.Element).ChildElements()[0]
+	if v, ok := got.Attr(bxdm.Name("urn:1", "a")); !ok || v.Text() != "x" {
+		t.Errorf("urn:1 attribute lost: %s", out)
+	}
+	if v, ok := got.Attr(bxdm.Name("urn:2", "b")); !ok || v.Text() != "y" {
+		t.Errorf("urn:2 attribute lost: %s", out)
+	}
+}
+
+// A prefix redeclared to a different URI mid-tree must still serialize
+// elements that need the outer binding below the redeclaration point.
+func TestWriterRecoversFromExplicitShadowing(t *testing.T) {
+	root := bxdm.NewElement(bxdm.Name("urn:outer", "root"))
+	root.DeclareNamespace("p", "urn:outer")
+	mid := bxdm.NewElement(bxdm.Name("urn:inner", "mid"))
+	mid.DeclareNamespace("p", "urn:inner") // shadows p
+	deep := bxdm.NewLeaf(bxdm.Name("urn:outer", "deep"), int32(7))
+	mid.Append(deep)
+	root.Append(mid)
+
+	out, err := Marshal(root, EncodeOptions{TypeHints: true})
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	back, err := Parse(out, DecodeOptions{RecoverTypes: true})
+	if err != nil {
+		t.Fatalf("Parse: %v\nxml: %s", err, out)
+	}
+	// The deep element's namespace must survive even though its only
+	// original prefix was shadowed — the writer must have auto-declared.
+	var found bool
+	bxdm.Walk(back, func(n bxdm.Node) error {
+		if l, ok := n.(*bxdm.LeafElement); ok && l.Name.Matches(bxdm.Name("urn:outer", "deep")) {
+			found = true
+			if l.Value.Int64() != 7 {
+				t.Errorf("value = %v", l.Value)
+			}
+		}
+		return nil
+	})
+	if !found {
+		t.Errorf("deep element lost its namespace:\n%s", out)
+	}
+	if !strings.Contains(string(out), "urn:inner") {
+		t.Errorf("inner declaration missing: %s", out)
+	}
+}

@@ -1,0 +1,360 @@
+// Package xmltext implements the XML 1.0 serialization of the bXDM data
+// model and a from-scratch XML parser producing bXDM trees. It is one of the
+// two default encoding-policy models of the generic SOAP engine (paper §5.2,
+// "XMLEncoding"), and supplies the transcodability path of §4.2: when type
+// hints are enabled, typed leaf values carry xsi:type attributes and packed
+// arrays carry SOAP-encoding arrayType attributes, so a textual document can
+// be converted back into the identical typed bXDM tree.
+package xmltext
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"bxsoap/internal/bxdm"
+)
+
+// Namespace URIs used by the type-hint machinery.
+const (
+	XSINamespace = "http://www.w3.org/2001/XMLSchema-instance"
+	XSDNamespace = "http://www.w3.org/2001/XMLSchema"
+	ENCNamespace = "http://schemas.xmlsoap.org/soap/encoding/"
+)
+
+// EncodeOptions control XML serialization.
+type EncodeOptions struct {
+	// XMLDecl emits the <?xml version="1.0" encoding="UTF-8"?> declaration.
+	XMLDecl bool
+	// TypeHints emits xsi:type on leaf elements and SOAP-ENC arrayType on
+	// array elements, as the SOAP encoding rules require when no schema is
+	// available (paper §4.2); without them a parser cannot rebuild typed
+	// nodes.
+	TypeHints bool
+	// ArrayItemName is the tag used for each array item. It defaults to
+	// "i" — the paper's Table 1 measures XML with "the shortest tag name of
+	// each element in the array".
+	ArrayItemName string
+}
+
+func (o EncodeOptions) itemName() string {
+	if o.ArrayItemName == "" {
+		return "i"
+	}
+	return o.ArrayItemName
+}
+
+// Marshal serializes a bXDM tree to XML 1.0.
+func Marshal(n bxdm.Node, opts EncodeOptions) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, n, opts); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Encode serializes a bXDM tree to w.
+func Encode(w io.Writer, n bxdm.Node, opts EncodeOptions) error {
+	bw := bufio.NewWriter(w)
+	e := &encoder{w: bw, opts: opts}
+	if opts.XMLDecl {
+		if _, err := bw.WriteString(`<?xml version="1.0" encoding="UTF-8"?>`); err != nil {
+			return err
+		}
+	}
+	if err := bxdm.Accept(n, e); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+type encoder struct {
+	w     *bufio.Writer
+	opts  EncodeOptions
+	scope bxdm.NSScope
+	auto  int
+	buf   []byte
+}
+
+func (e *encoder) EnterDocument(*bxdm.Document) error { return nil }
+func (e *encoder) LeaveDocument(*bxdm.Document) error { return nil }
+
+// effectiveDecls computes the namespace declarations to emit on an element:
+// the explicit ones plus any auto-generated bindings needed so that the
+// element name, every attribute name, and the type-hint namespaces resolve.
+func (e *encoder) effectiveDecls(c *bxdm.ElemCommon, needHints, needArray bool) []bxdm.NamespaceDecl {
+	decls := append([]bxdm.NamespaceDecl(nil), c.NamespaceDecls...)
+	// Tentatively push so resolution sees the element's own declarations.
+	e.scope.Push(decls)
+	ensure := func(space, hint string, forAttr bool) {
+		if space == "" || space == bxdm.XMLNamespace {
+			return
+		}
+		if pfx, ok := e.scope.PrefixFor(space); ok && !(forAttr && pfx == "") {
+			return
+		}
+		prefix := hint
+		unusable := prefix == "" || e.prefixTaken(decls, prefix)
+		if !unusable {
+			// A synthesized declaration must not shadow an in-scope binding
+			// of the same prefix to a different URI: an earlier-resolved
+			// name on this very element may depend on it.
+			if uri, bound := e.scope.URIFor(prefix); bound && uri != "" && uri != space {
+				unusable = true
+			}
+		}
+		if unusable {
+			for {
+				e.auto++
+				prefix = "ns" + strconv.Itoa(e.auto)
+				if !e.prefixTaken(decls, prefix) {
+					if _, bound := e.scope.URIFor(prefix); !bound {
+						break
+					}
+				}
+			}
+		}
+		decls = append(decls, bxdm.NamespaceDecl{Prefix: prefix, URI: space})
+		e.scope.Pop()
+		e.scope.Push(decls)
+	}
+	ensure(c.Name.Space, c.Name.Prefix, false)
+	// An element in no namespace under a bound default namespace needs an
+	// xmlns="" undeclaration.
+	if c.Name.Space == "" {
+		if uri, ok := e.scope.URIFor(""); ok && uri != "" {
+			decls = append(decls, bxdm.NamespaceDecl{Prefix: "", URI: ""})
+			e.scope.Pop()
+			e.scope.Push(decls)
+		}
+	}
+	for _, a := range c.Attributes {
+		ensure(a.Name.Space, a.Name.Prefix, true)
+	}
+	if needHints {
+		ensure(XSINamespace, "xsi", true)
+		ensure(XSDNamespace, "xsd", true)
+	}
+	if needArray {
+		ensure(ENCNamespace, "enc", true)
+	}
+	e.scope.Pop()
+	return decls
+}
+
+func (e *encoder) prefixTaken(decls []bxdm.NamespaceDecl, prefix string) bool {
+	for _, d := range decls {
+		if d.Prefix == prefix {
+			return true
+		}
+	}
+	return false
+}
+
+// openTag writes "<qname decls attrs" without the closing '>' and pushes the
+// namespace scope. extra holds synthesized attributes (type hints).
+func (e *encoder) openTag(c *bxdm.ElemCommon, extra []bxdm.Attribute, needHints, needArray bool) error {
+	// With type hints on, declare the hint namespaces once on the outermost
+	// element so nested leaf/array elements resolve them from scope instead
+	// of re-declaring per element.
+	if e.opts.TypeHints && e.scope.Depth() == 0 {
+		needHints = true
+		needArray = true
+	}
+	decls := e.effectiveDecls(c, needHints, needArray)
+	e.scope.Push(decls)
+	e.w.WriteByte('<')
+	if err := e.writeQName(c.Name, false); err != nil {
+		return err
+	}
+	for _, d := range decls {
+		if d.Prefix == "" {
+			e.w.WriteString(` xmlns="`)
+		} else {
+			e.w.WriteString(` xmlns:`)
+			e.w.WriteString(d.Prefix)
+			e.w.WriteString(`="`)
+		}
+		e.escapeAttr(d.URI)
+		e.w.WriteByte('"')
+	}
+	for _, a := range c.Attributes {
+		if err := e.writeAttr(a); err != nil {
+			return err
+		}
+	}
+	for _, a := range extra {
+		if err := e.writeAttr(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *encoder) writeAttr(a bxdm.Attribute) error {
+	e.w.WriteByte(' ')
+	if err := e.writeQName(a.Name, true); err != nil {
+		return err
+	}
+	e.w.WriteString(`="`)
+	e.buf = a.Value.AppendLexical(e.buf[:0])
+	e.escapeAttr(string(e.buf))
+	e.w.WriteByte('"')
+	return nil
+}
+
+func (e *encoder) writeQName(q bxdm.QName, attr bool) error {
+	if q.Space != "" {
+		pfx, ok := e.scope.PrefixFor(q.Space)
+		if !ok || (attr && pfx == "") {
+			return fmt.Errorf("xmltext: namespace %q not in scope for %s", q.Space, q.Local)
+		}
+		if pfx != "" {
+			e.w.WriteString(pfx)
+			e.w.WriteByte(':')
+		}
+	}
+	e.w.WriteString(q.Local)
+	return nil
+}
+
+func (e *encoder) closeTag(name bxdm.QName) error {
+	e.w.WriteString("</")
+	if err := e.writeQName(name, false); err != nil {
+		return err
+	}
+	e.w.WriteByte('>')
+	e.scope.Pop()
+	return nil
+}
+
+func (e *encoder) EnterElement(el *bxdm.Element) error {
+	if err := e.openTag(&el.ElemCommon, nil, false, false); err != nil {
+		return err
+	}
+	e.w.WriteByte('>')
+	return nil
+}
+
+func (e *encoder) LeaveElement(el *bxdm.Element) error {
+	return e.closeTag(el.Name)
+}
+
+func (e *encoder) VisitLeaf(l *bxdm.LeafElement) error {
+	var extra []bxdm.Attribute
+	hints := e.opts.TypeHints
+	if hints {
+		extra = []bxdm.Attribute{{
+			Name:  bxdm.PName(XSINamespace, "xsi", "type"),
+			Value: bxdm.StringValue("xsd:" + l.Value.Type().String()),
+		}}
+	}
+	if err := e.openTag(&l.ElemCommon, extra, hints, false); err != nil {
+		return err
+	}
+	e.w.WriteByte('>')
+	e.buf = l.Value.AppendLexical(e.buf[:0])
+	e.escapeText(e.buf)
+	return e.closeTag(l.Name)
+}
+
+func (e *encoder) VisitArray(a *bxdm.ArrayElement) error {
+	var extra []bxdm.Attribute
+	hints := e.opts.TypeHints
+	if hints {
+		extra = []bxdm.Attribute{{
+			Name: bxdm.PName(ENCNamespace, "enc", "arrayType"),
+			Value: bxdm.StringValue(fmt.Sprintf("xsd:%s[%d]",
+				a.Data.Type().String(), a.Data.Len())),
+		}}
+	}
+	if err := e.openTag(&a.ElemCommon, extra, hints, hints); err != nil {
+		return err
+	}
+	e.w.WriteByte('>')
+	// Each item becomes <i>lexical</i> — the open/close tag pair per element
+	// whose cost Table 1 quantifies.
+	item := e.opts.itemName()
+	n := a.Data.Len()
+	for i := 0; i < n; i++ {
+		e.w.WriteByte('<')
+		e.w.WriteString(item)
+		e.w.WriteByte('>')
+		e.buf = a.Data.AppendLexical(e.buf[:0], i)
+		e.w.Write(e.buf) // numeric lexical forms never need escaping
+		e.w.WriteString("</")
+		e.w.WriteString(item)
+		e.w.WriteByte('>')
+	}
+	return e.closeTag(a.Name)
+}
+
+func (e *encoder) VisitText(t *bxdm.Text) error {
+	e.escapeText([]byte(t.Data))
+	return nil
+}
+
+func (e *encoder) VisitComment(c *bxdm.Comment) error {
+	if strings.Contains(c.Data, "--") {
+		return fmt.Errorf("xmltext: comment contains --")
+	}
+	e.w.WriteString("<!--")
+	e.w.WriteString(c.Data)
+	e.w.WriteString("-->")
+	return nil
+}
+
+func (e *encoder) VisitPI(p *bxdm.PI) error {
+	if strings.Contains(p.Data, "?>") {
+		return fmt.Errorf("xmltext: PI data contains ?>")
+	}
+	e.w.WriteString("<?")
+	e.w.WriteString(p.Target)
+	if p.Data != "" {
+		e.w.WriteByte(' ')
+		e.w.WriteString(p.Data)
+	}
+	e.w.WriteString("?>")
+	return nil
+}
+
+func (e *encoder) escapeText(s []byte) {
+	for _, b := range s {
+		switch b {
+		case '&':
+			e.w.WriteString("&amp;")
+		case '<':
+			e.w.WriteString("&lt;")
+		case '>':
+			e.w.WriteString("&gt;")
+		case '\r':
+			e.w.WriteString("&#13;")
+		default:
+			e.w.WriteByte(b)
+		}
+	}
+}
+
+func (e *encoder) escapeAttr(s string) {
+	for i := 0; i < len(s); i++ {
+		switch b := s[i]; b {
+		case '&':
+			e.w.WriteString("&amp;")
+		case '<':
+			e.w.WriteString("&lt;")
+		case '"':
+			e.w.WriteString("&quot;")
+		case '\t':
+			e.w.WriteString("&#9;")
+		case '\n':
+			e.w.WriteString("&#10;")
+		case '\r':
+			e.w.WriteString("&#13;")
+		default:
+			e.w.WriteByte(b)
+		}
+	}
+}

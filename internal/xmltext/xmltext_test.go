@@ -1,0 +1,401 @@
+package xmltext
+
+import (
+	"strings"
+	"testing"
+
+	"bxsoap/internal/bxdm"
+)
+
+func mustParse(t *testing.T, s string, opts DecodeOptions) *bxdm.Document {
+	t.Helper()
+	doc, err := Parse([]byte(s), opts)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", s, err)
+	}
+	return doc
+}
+
+func TestMarshalSimpleElement(t *testing.T) {
+	e := bxdm.NewElement(bxdm.LocalName("greeting"), bxdm.NewText("hello & <world>"))
+	out, err := Marshal(e, EncodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `<greeting>hello &amp; &lt;world&gt;</greeting>`
+	if string(out) != want {
+		t.Errorf("got %q, want %q", out, want)
+	}
+}
+
+func TestMarshalNamespaces(t *testing.T) {
+	root := bxdm.NewElement(bxdm.PName("urn:app", "a", "root"))
+	root.DeclareNamespace("a", "urn:app")
+	root.Append(bxdm.NewElement(bxdm.Name("urn:app", "child")))
+	out, err := Marshal(root, EncodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `<a:root xmlns:a="urn:app"><a:child></a:child></a:root>`
+	if string(out) != want {
+		t.Errorf("got %q, want %q", out, want)
+	}
+}
+
+func TestMarshalAutoDeclaresNamespace(t *testing.T) {
+	// No explicit declaration: the writer must synthesize one.
+	root := bxdm.NewElement(bxdm.Name("urn:auto", "root"))
+	out, err := Marshal(root, EncodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := mustParse(t, string(out), DecodeOptions{})
+	if doc.Root().ElemName().Space != "urn:auto" {
+		t.Errorf("auto-declared namespace lost: %s", out)
+	}
+}
+
+func TestMarshalDefaultNamespaceUndeclaration(t *testing.T) {
+	root := bxdm.NewElement(bxdm.Name("urn:d", "root"))
+	root.DeclareNamespace("", "urn:d")
+	root.Append(bxdm.NewElement(bxdm.LocalName("plain")))
+	out, err := Marshal(root, EncodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := mustParse(t, string(out), DecodeOptions{})
+	children := doc.Root().(*bxdm.Element).ChildElements()
+	if len(children) != 1 || children[0].ElemName().Space != "" {
+		t.Errorf("no-namespace child not preserved: %s", out)
+	}
+}
+
+func TestMarshalXMLDecl(t *testing.T) {
+	out, err := Marshal(bxdm.NewElement(bxdm.LocalName("e")), EncodeOptions{XMLDecl: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(out), `<?xml version="1.0"`) {
+		t.Errorf("missing XML declaration: %s", out)
+	}
+}
+
+func TestAttributeEscaping(t *testing.T) {
+	e := bxdm.NewElement(bxdm.LocalName("e"))
+	e.SetAttr(bxdm.LocalName("a"), bxdm.StringValue(`x"y<z&w`))
+	out, err := Marshal(e, EncodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := mustParse(t, string(out), DecodeOptions{})
+	v, ok := doc.Root().Attr(bxdm.LocalName("a"))
+	if !ok || v.Text() != `x"y<z&w` {
+		t.Errorf("attr round trip = %q (%s)", v.Text(), out)
+	}
+}
+
+func TestParseBasics(t *testing.T) {
+	doc := mustParse(t, `<?xml version="1.0"?><!--top--><root a="1">text<child/><!--in--><?pi data?></root>`, DecodeOptions{})
+	if len(doc.Children) != 2 {
+		t.Fatalf("document children = %d, want 2", len(doc.Children))
+	}
+	root := doc.Root().(*bxdm.Element)
+	if root.Name.Local != "root" {
+		t.Fatalf("root = %v", root.Name)
+	}
+	if v, ok := root.Attr(bxdm.LocalName("a")); !ok || v.Text() != "1" {
+		t.Error("attribute lost")
+	}
+	kinds := make([]bxdm.Kind, len(root.Children))
+	for i, c := range root.Children {
+		kinds[i] = c.Kind()
+	}
+	want := []bxdm.Kind{bxdm.KindText, bxdm.KindElement, bxdm.KindComment, bxdm.KindPI}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("child kinds %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestParseEntities(t *testing.T) {
+	doc := mustParse(t, `<e>&lt;&gt;&amp;&apos;&quot;&#65;&#x42;</e>`, DecodeOptions{})
+	got := doc.Root().(*bxdm.Element).TextContent()
+	if got != `<>&'"AB` {
+		t.Errorf("entities = %q", got)
+	}
+}
+
+func TestParseCDATA(t *testing.T) {
+	doc := mustParse(t, `<e><![CDATA[<not-a-tag> & raw]]></e>`, DecodeOptions{})
+	if got := doc.Root().(*bxdm.Element).TextContent(); got != "<not-a-tag> & raw" {
+		t.Errorf("CDATA = %q", got)
+	}
+}
+
+func TestParseNamespaceScoping(t *testing.T) {
+	doc := mustParse(t, `<a:r xmlns:a="urn:1"><a:c xmlns:a="urn:2"/><a:d/></a:r>`, DecodeOptions{})
+	root := doc.Root().(*bxdm.Element)
+	kids := root.ChildElements()
+	if kids[0].ElemName().Space != "urn:2" {
+		t.Errorf("inner redeclaration ignored: %v", kids[0].ElemName())
+	}
+	if kids[1].ElemName().Space != "urn:1" {
+		t.Errorf("outer binding lost after inner scope: %v", kids[1].ElemName())
+	}
+}
+
+func TestParseDefaultNamespace(t *testing.T) {
+	doc := mustParse(t, `<r xmlns="urn:d"><c/><p:q xmlns:p="urn:p" p:at="v"/></r>`, DecodeOptions{})
+	root := doc.Root().(*bxdm.Element)
+	if root.Name.Space != "urn:d" {
+		t.Error("default namespace not applied to root")
+	}
+	kids := root.ChildElements()
+	if kids[0].ElemName().Space != "urn:d" {
+		t.Error("default namespace not inherited")
+	}
+	q := kids[1]
+	if q.ElemName().Space != "urn:p" {
+		t.Error("prefixed element namespace wrong")
+	}
+	if _, ok := q.Attr(bxdm.Name("urn:p", "at")); !ok {
+		t.Error("prefixed attribute namespace wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`<`,
+		`<a>`,
+		`<a></b>`,
+		`<a x=1/>`,
+		`<a x="1" x2='></a>`,
+		`<a>&nope;</a>`,
+		`<a>&#xZZ;</a>`,
+		`text<a/>`,
+		`<a/><b/>`,
+		`<a><!-- -- --></a>`,
+		`<p:a/>`,
+		`<a p:x="1"/>`,
+		`<a><![CDATA[x]]</a>`,
+		`<?xml version="1.0"?`,
+		`<a attr="x<y"/>`,
+	}
+	for _, s := range bad {
+		if _, err := Parse([]byte(s), DecodeOptions{}); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestRoundTripGenericDocument(t *testing.T) {
+	src := `<a:r xmlns:a="urn:1" at="v&quot;x"><a:c>body &amp; soul</a:c><plain xmlns=""/>tail<!--c--><?t d?></a:r>`
+	doc := mustParse(t, src, DecodeOptions{})
+	out, err := Marshal(doc, EncodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc2 := mustParse(t, string(out), DecodeOptions{})
+	if !bxdm.Equal(doc, doc2) {
+		t.Errorf("model round trip differs:\n1st: %s\n2nd: %s", src, out)
+	}
+}
+
+func typedTree() *bxdm.Document {
+	root := bxdm.NewElement(bxdm.PName("urn:app", "a", "data"))
+	root.DeclareNamespace("a", "urn:app")
+	root.Append(
+		bxdm.NewLeaf(bxdm.Name("urn:app", "count"), int32(-42)),
+		bxdm.NewLeaf(bxdm.Name("urn:app", "ratio"), 0.30000000000000004),
+		bxdm.NewLeaf(bxdm.Name("urn:app", "big"), uint64(1<<63)),
+		bxdm.NewLeaf(bxdm.Name("urn:app", "flag"), true),
+		bxdm.NewLeaf(bxdm.Name("urn:app", "label"), "x < y"),
+		bxdm.NewArray(bxdm.Name("urn:app", "index"), []int32{1, 2, 3}),
+		bxdm.NewArray(bxdm.Name("urn:app", "vals"), []float64{0.1, 2.5e-300, -7}),
+	)
+	return bxdm.NewDocument(root)
+}
+
+func TestTypedRoundTripWithHints(t *testing.T) {
+	doc := typedTree()
+	out, err := Marshal(doc, EncodeOptions{TypeHints: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(out, DecodeOptions{RecoverTypes: true})
+	if err != nil {
+		t.Fatalf("parse typed output: %v\n%s", err, out)
+	}
+	if !bxdm.Equal(doc, back) {
+		t.Errorf("typed round trip lost information:\n%s", out)
+	}
+}
+
+func TestTypeHintsEmitXSIType(t *testing.T) {
+	out, err := Marshal(bxdm.NewLeaf(bxdm.LocalName("v"), int32(5)), EncodeOptions{TypeHints: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(out)
+	if !strings.Contains(s, `xsi:type="xsd:int"`) {
+		t.Errorf("missing xsi:type: %s", s)
+	}
+	if !strings.Contains(s, XSINamespace) || !strings.Contains(s, XSDNamespace) {
+		t.Errorf("hint namespaces not declared: %s", s)
+	}
+}
+
+func TestArrayTypeAttribute(t *testing.T) {
+	out, err := Marshal(bxdm.NewArray(bxdm.LocalName("v"), []float64{1, 2}), EncodeOptions{TypeHints: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), `enc:arrayType="xsd:double[2]"`) {
+		t.Errorf("missing arrayType: %s", out)
+	}
+	if !strings.Contains(string(out), `<i>1</i><i>2</i>`) {
+		t.Errorf("items not rendered with short tags: %s", out)
+	}
+}
+
+func TestArrayWithoutHintsRendersItems(t *testing.T) {
+	out, err := Marshal(bxdm.NewArray(bxdm.LocalName("v"), []int32{7, 8, 9}), EncodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != `<v><i>7</i><i>8</i><i>9</i></v>` {
+		t.Errorf("got %s", out)
+	}
+}
+
+func TestArrayItemNameOption(t *testing.T) {
+	out, err := Marshal(bxdm.NewArray(bxdm.LocalName("v"), []int32{7}), EncodeOptions{ArrayItemName: "item"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != `<v><item>7</item></v>` {
+		t.Errorf("got %s", out)
+	}
+}
+
+func TestParseArrayLengthMismatch(t *testing.T) {
+	src := `<v xmlns:enc="` + ENCNamespace + `" xmlns:xsd="` + XSDNamespace + `" enc:arrayType="xsd:int[3]"><i>1</i></v>`
+	if _, err := Parse([]byte(src), DecodeOptions{RecoverTypes: true}); err == nil {
+		t.Error("length mismatch not detected")
+	}
+}
+
+func TestParseWithoutRecoverTypesKeepsHints(t *testing.T) {
+	doc := typedTree()
+	out, err := Marshal(doc, EncodeOptions{TypeHints: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(out, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without type recovery the tree is generic: no leaf/array nodes...
+	var leafs int
+	bxdm.Walk(back, func(n bxdm.Node) error {
+		if n.Kind() == bxdm.KindLeafElement || n.Kind() == bxdm.KindArrayElement {
+			leafs++
+		}
+		return nil
+	})
+	if leafs != 0 {
+		t.Errorf("typed nodes created without RecoverTypes: %d", leafs)
+	}
+	// ...and the xsi:type attributes remain ordinary attributes.
+	count := doc.Root().(*bxdm.Element).FirstChild(bxdm.Name("urn:app", "count"))
+	_ = count
+	genericCount := back.Root().(*bxdm.Element).FirstChild(bxdm.Name("urn:app", "count"))
+	if _, ok := genericCount.Attr(bxdm.Name(XSINamespace, "type")); !ok {
+		t.Error("xsi:type attribute dropped in generic parse")
+	}
+}
+
+func TestDropInterElementWhitespace(t *testing.T) {
+	src := "<r>\n  <a/>\n  <b/>\n</r>"
+	keep := mustParse(t, src, DecodeOptions{})
+	drop := mustParse(t, src, DecodeOptions{DropInterElementWhitespace: true})
+	if len(keep.Root().(*bxdm.Element).Children) != 5 {
+		t.Errorf("keep: %d children, want 5", len(keep.Root().(*bxdm.Element).Children))
+	}
+	if len(drop.Root().(*bxdm.Element).Children) != 2 {
+		t.Errorf("drop: %d children, want 2", len(drop.Root().(*bxdm.Element).Children))
+	}
+	// CDATA whitespace is significant even when dropping.
+	cd := mustParse(t, "<r><a/><![CDATA[  ]]><b/></r>", DecodeOptions{DropInterElementWhitespace: true})
+	if len(cd.Root().(*bxdm.Element).Children) != 3 {
+		t.Error("CDATA whitespace wrongly dropped")
+	}
+}
+
+func TestCRLFNormalization(t *testing.T) {
+	doc := mustParse(t, "<e>a\r\nb\rc</e>", DecodeOptions{})
+	if got := doc.Root().(*bxdm.Element).TextContent(); got != "a\nb\nc" {
+		t.Errorf("line ends = %q", got)
+	}
+}
+
+func TestDoctypeSkipped(t *testing.T) {
+	doc := mustParse(t, `<!DOCTYPE root [<!ELEMENT root ANY>]><root/>`, DecodeOptions{})
+	if doc.Root() == nil {
+		t.Error("document element lost after DOCTYPE")
+	}
+}
+
+func TestLeafValueEscapedInOutput(t *testing.T) {
+	leaf := bxdm.NewLeaf(bxdm.LocalName("s"), "a<b&c")
+	out, err := Marshal(leaf, EncodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != `<s>a&lt;b&amp;c</s>` {
+		t.Errorf("got %s", out)
+	}
+}
+
+func TestCommentWithDoubleDashRejected(t *testing.T) {
+	if _, err := Marshal(&bxdm.Comment{Data: "a--b"}, EncodeOptions{}); err == nil {
+		t.Error("comment with -- accepted")
+	}
+}
+
+func TestSelfClosingTag(t *testing.T) {
+	doc := mustParse(t, `<r><empty  /></r>`, DecodeOptions{})
+	kids := doc.Root().(*bxdm.Element).ChildElements()
+	if len(kids) != 1 || kids[0].ElemName().Local != "empty" {
+		t.Fatalf("self-closing parse: %v", kids)
+	}
+	if len(kids[0].(*bxdm.Element).Children) != 0 {
+		t.Error("self-closing element has children")
+	}
+}
+
+func BenchmarkParseSmall(b *testing.B) {
+	src := []byte(`<a:r xmlns:a="urn:1" at="v"><a:c>body</a:c><a:d>more text</a:d></a:r>`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src, DecodeOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarshalArray1000(b *testing.B) {
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = float64(i) * 1.0001
+	}
+	arr := bxdm.NewArray(bxdm.LocalName("v"), vals)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Marshal(arr, EncodeOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

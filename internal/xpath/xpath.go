@@ -1,0 +1,506 @@
+// Package xpath implements an XPath 1.0 subset over the bXDM data model.
+// Figure 3 of the paper places "XPath Query" among the XDM-based processing
+// layers that work identically whether the document arrived as textual XML
+// or as BXSA — because both decode into the same bXDM tree. The engine
+// supports the child, descendant-or-self, and attribute axes, name and
+// wildcard node tests, text()/node() tests, and positional, attribute,
+// existence, and string-comparison predicates.
+//
+// Supported forms (examples):
+//
+//	/soap:Envelope/soap:Body/*
+//	//lead:values
+//	data/meta/@version
+//	//entry[3]
+//	//entry[@id='x7']
+//	//entry[status='ok']
+//	//entry[@id]
+//	//entry[last()]
+//	//text()
+package xpath
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"bxsoap/internal/bxdm"
+)
+
+// Query is a compiled expression.
+type Query struct {
+	steps []step
+	root  bool // absolute path
+}
+
+// Item is one query result: either a node or an attribute of a node.
+type Item struct {
+	Node bxdm.Node
+	Attr *bxdm.Attribute
+}
+
+// String returns the XPath string value of the item.
+func (it Item) String() string {
+	if it.Attr != nil {
+		return it.Attr.Value.Text()
+	}
+	return nodeString(it.Node)
+}
+
+func nodeString(n bxdm.Node) string {
+	switch x := n.(type) {
+	case *bxdm.Element:
+		return x.TextContent()
+	case *bxdm.LeafElement:
+		return x.Value.Text()
+	case *bxdm.ArrayElement:
+		return string(x.Data.AppendAllLexical(nil, " "))
+	case *bxdm.Text:
+		return x.Data
+	case *bxdm.Comment:
+		return x.Data
+	case *bxdm.PI:
+		return x.Data
+	case *bxdm.Document:
+		var sb strings.Builder
+		for _, c := range x.Children {
+			sb.WriteString(nodeString(c))
+		}
+		return sb.String()
+	default:
+		return ""
+	}
+}
+
+type axis int
+
+const (
+	axisChild axis = iota
+	axisDescendant
+	axisAttribute
+)
+
+type testKind int
+
+const (
+	testName testKind = iota
+	testAny
+	testText
+	testNode
+)
+
+type step struct {
+	axis  axis
+	kind  testKind
+	name  bxdm.QName
+	preds []predicate
+}
+
+type predKind int
+
+const (
+	predIndex predKind = iota
+	predLast
+	predAttrExists
+	predAttrEquals
+	predChildEquals
+)
+
+type predicate struct {
+	kind  predKind
+	index int
+	name  bxdm.QName
+	value string
+	neq   bool
+}
+
+// Namespaces maps prefixes to URIs for resolving QNames in expressions.
+type Namespaces map[string]string
+
+// Compile parses an expression. Prefixes are resolved against ns (which may
+// be nil for prefix-free queries).
+func Compile(expr string, ns Namespaces) (*Query, error) {
+	p := &qparser{src: expr, ns: ns}
+	q, err := p.parse()
+	if err != nil {
+		return nil, fmt.Errorf("xpath: %w (in %q at offset %d)", err, expr, p.pos)
+	}
+	return q, nil
+}
+
+// MustCompile is Compile that panics on error, for package-level queries.
+func MustCompile(expr string, ns Namespaces) *Query {
+	q, err := Compile(expr, ns)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Select runs the query against a context node and returns all matches in
+// document order. An absolute query (leading '/') evaluated against a bare
+// element treats that element as the document element.
+func (q *Query) Select(ctx bxdm.Node) []Item {
+	if q.root {
+		if _, ok := ctx.(*bxdm.Document); !ok {
+			ctx = &bxdm.Document{Children: []bxdm.Node{ctx}}
+		}
+	}
+	cur := []Item{{Node: ctx}}
+	for _, st := range q.steps {
+		var next []Item
+		for _, it := range cur {
+			if it.Attr != nil {
+				continue // attributes have no children
+			}
+			next = append(next, applyStep(it.Node, st)...)
+		}
+		cur = dedup(next)
+	}
+	return cur
+}
+
+// First returns the first match, or a zero Item and false.
+func (q *Query) First(ctx bxdm.Node) (Item, bool) {
+	res := q.Select(ctx)
+	if len(res) == 0 {
+		return Item{}, false
+	}
+	return res[0], true
+}
+
+func dedup(items []Item) []Item {
+	seen := make(map[any]bool, len(items))
+	out := items[:0]
+	for _, it := range items {
+		var key any
+		if it.Attr != nil {
+			key = it.Attr
+		} else {
+			key = it.Node
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, it)
+	}
+	return out
+}
+
+func applyStep(ctx bxdm.Node, st step) []Item {
+	var candidates []Item
+	switch st.axis {
+	case axisChild:
+		for _, c := range children(ctx) {
+			if matchesTest(c, st) {
+				candidates = append(candidates, Item{Node: c})
+			}
+		}
+	case axisDescendant:
+		bxdm.Walk(ctx, func(n bxdm.Node) error {
+			if n != ctx && matchesTest(n, st) {
+				candidates = append(candidates, Item{Node: n})
+			}
+			return nil
+		})
+		// descendant-or-self includes the context node itself.
+		if matchesTest(ctx, st) {
+			candidates = append([]Item{{Node: ctx}}, candidates...)
+		}
+	case axisAttribute:
+		if el, ok := ctx.(bxdm.ElementNode); ok {
+			for i, a := range el.Attrs() {
+				if st.kind == testAny || (st.kind == testName && a.Name.Matches(st.name)) {
+					attrs := el.Attrs()
+					candidates = append(candidates, Item{Node: ctx, Attr: &attrs[i]})
+				}
+			}
+		}
+	}
+	for _, pred := range st.preds {
+		candidates = filterPred(candidates, pred)
+	}
+	return candidates
+}
+
+func children(n bxdm.Node) []bxdm.Node {
+	switch x := n.(type) {
+	case *bxdm.Document:
+		return x.Children
+	case *bxdm.Element:
+		return x.Children
+	default:
+		return nil
+	}
+}
+
+func matchesTest(n bxdm.Node, st step) bool {
+	switch st.kind {
+	case testNode:
+		return true
+	case testText:
+		return n.Kind() == bxdm.KindText
+	case testAny:
+		return n.Kind().IsElement()
+	default: // testName
+		el, ok := n.(bxdm.ElementNode)
+		return ok && el.ElemName().Matches(st.name)
+	}
+}
+
+func filterPred(items []Item, p predicate) []Item {
+	switch p.kind {
+	case predIndex:
+		if p.index < 1 || p.index > len(items) {
+			return nil
+		}
+		return items[p.index-1 : p.index]
+	case predLast:
+		if len(items) == 0 {
+			return nil
+		}
+		return items[len(items)-1:]
+	case predAttrExists:
+		var out []Item
+		for _, it := range items {
+			if el, ok := it.Node.(bxdm.ElementNode); ok && it.Attr == nil {
+				if _, ok := el.Attr(p.name); ok {
+					out = append(out, it)
+				}
+			}
+		}
+		return out
+	case predAttrEquals:
+		var out []Item
+		for _, it := range items {
+			if el, ok := it.Node.(bxdm.ElementNode); ok && it.Attr == nil {
+				if v, ok := el.Attr(p.name); ok && (v.Text() == p.value) != p.neq {
+					out = append(out, it)
+				}
+			}
+		}
+		return out
+	case predChildEquals:
+		var out []Item
+		for _, it := range items {
+			for _, c := range children(it.Node) {
+				if el, ok := c.(bxdm.ElementNode); ok && el.ElemName().Matches(p.name) {
+					if (nodeString(c) == p.value) != p.neq {
+						out = append(out, it)
+						break
+					}
+				}
+			}
+		}
+		return out
+	}
+	return items
+}
+
+// ---------------------------------------------------------------------------
+// Expression parser
+
+type qparser struct {
+	src string
+	pos int
+	ns  Namespaces
+}
+
+func (p *qparser) eof() bool  { return p.pos >= len(p.src) }
+func (p *qparser) peek() byte { return p.src[p.pos] }
+func (p *qparser) advance()   { p.pos++ }
+
+func (p *qparser) parse() (*Query, error) {
+	q := &Query{}
+	if strings.TrimSpace(p.src) == "" {
+		return nil, fmt.Errorf("empty expression")
+	}
+	if !p.eof() && p.peek() == '/' {
+		q.root = true
+	}
+	first := true
+	for !p.eof() {
+		ax := axisChild
+		if p.peek() == '/' {
+			p.advance()
+			if !p.eof() && p.peek() == '/' {
+				p.advance()
+				ax = axisDescendant
+			}
+		} else if !first {
+			return nil, fmt.Errorf("expected '/'")
+		}
+		if p.eof() {
+			return nil, fmt.Errorf("trailing '/'")
+		}
+		st, err := p.parseStep(ax)
+		if err != nil {
+			return nil, err
+		}
+		q.steps = append(q.steps, st)
+		first = false
+	}
+	if len(q.steps) == 0 {
+		return nil, fmt.Errorf("no steps")
+	}
+	return q, nil
+}
+
+func (p *qparser) parseStep(ax axis) (step, error) {
+	st := step{axis: ax}
+	if !p.eof() && p.peek() == '@' {
+		if ax == axisDescendant {
+			return st, fmt.Errorf("//@attr is not supported")
+		}
+		p.advance()
+		st.axis = axisAttribute
+	}
+	if p.eof() {
+		return st, fmt.Errorf("expected node test")
+	}
+	switch {
+	case p.peek() == '*':
+		p.advance()
+		st.kind = testAny
+	case strings.HasPrefix(p.src[p.pos:], "text()"):
+		p.pos += len("text()")
+		st.kind = testText
+	case strings.HasPrefix(p.src[p.pos:], "node()"):
+		p.pos += len("node()")
+		st.kind = testNode
+	default:
+		name, err := p.parseQName()
+		if err != nil {
+			return st, err
+		}
+		st.kind = testName
+		st.name = name
+	}
+	if st.axis == axisAttribute && (st.kind == testText || st.kind == testNode) {
+		return st, fmt.Errorf("invalid attribute test")
+	}
+	for !p.eof() && p.peek() == '[' {
+		pred, err := p.parsePredicate()
+		if err != nil {
+			return st, err
+		}
+		st.preds = append(st.preds, pred)
+	}
+	return st, nil
+}
+
+func isNameByte(b byte) bool {
+	return b == '_' || b == '-' || b == '.' ||
+		(b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') || (b >= '0' && b <= '9') || b >= 0x80
+}
+
+func (p *qparser) parseQName() (bxdm.QName, error) {
+	start := p.pos
+	for !p.eof() && (isNameByte(p.peek()) || p.peek() == ':') {
+		p.advance()
+	}
+	raw := p.src[start:p.pos]
+	if raw == "" {
+		return bxdm.QName{}, fmt.Errorf("expected name")
+	}
+	prefix, local := "", raw
+	if i := strings.IndexByte(raw, ':'); i >= 0 {
+		prefix, local = raw[:i], raw[i+1:]
+	}
+	if local == "" {
+		return bxdm.QName{}, fmt.Errorf("empty local name in %q", raw)
+	}
+	if prefix == "" {
+		return bxdm.LocalName(local), nil
+	}
+	uri, ok := p.ns[prefix]
+	if !ok {
+		return bxdm.QName{}, fmt.Errorf("unbound prefix %q", prefix)
+	}
+	return bxdm.PName(uri, prefix, local), nil
+}
+
+func (p *qparser) parsePredicate() (predicate, error) {
+	p.advance() // '['
+	if p.eof() {
+		return predicate{}, fmt.Errorf("unterminated predicate")
+	}
+	var pred predicate
+	switch {
+	case p.peek() >= '0' && p.peek() <= '9':
+		start := p.pos
+		for !p.eof() && p.peek() >= '0' && p.peek() <= '9' {
+			p.advance()
+		}
+		n, err := strconv.Atoi(p.src[start:p.pos])
+		if err != nil {
+			return pred, err
+		}
+		pred = predicate{kind: predIndex, index: n}
+	case strings.HasPrefix(p.src[p.pos:], "last()"):
+		p.pos += len("last()")
+		pred = predicate{kind: predLast}
+	case p.peek() == '@':
+		p.advance()
+		name, err := p.parseQName()
+		if err != nil {
+			return pred, err
+		}
+		pred = predicate{kind: predAttrExists, name: name}
+		if cmp, val, neq, err := p.tryComparison(); err != nil {
+			return pred, err
+		} else if cmp {
+			pred = predicate{kind: predAttrEquals, name: name, value: val, neq: neq}
+		}
+	default:
+		name, err := p.parseQName()
+		if err != nil {
+			return pred, err
+		}
+		cmp, val, neq, err := p.tryComparison()
+		if err != nil {
+			return pred, err
+		}
+		if !cmp {
+			return pred, fmt.Errorf("element predicate requires comparison")
+		}
+		pred = predicate{kind: predChildEquals, name: name, value: val, neq: neq}
+	}
+	if p.eof() || p.peek() != ']' {
+		return pred, fmt.Errorf("expected ']'")
+	}
+	p.advance()
+	return pred, nil
+}
+
+// tryComparison parses an optional ='literal' or !='literal'.
+func (p *qparser) tryComparison() (found bool, value string, neq bool, err error) {
+	if p.eof() {
+		return false, "", false, nil
+	}
+	switch {
+	case p.peek() == '=':
+		p.advance()
+	case p.peek() == '!' && p.pos+1 < len(p.src) && p.src[p.pos+1] == '=':
+		p.pos += 2
+		neq = true
+	default:
+		return false, "", false, nil
+	}
+	if p.eof() || (p.peek() != '\'' && p.peek() != '"') {
+		return false, "", false, fmt.Errorf("expected quoted literal after comparison")
+	}
+	quote := p.peek()
+	p.advance()
+	start := p.pos
+	for !p.eof() && p.peek() != quote {
+		p.advance()
+	}
+	if p.eof() {
+		return false, "", false, fmt.Errorf("unterminated string literal")
+	}
+	value = p.src[start:p.pos]
+	p.advance()
+	return true, value, neq, nil
+}

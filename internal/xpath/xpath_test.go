@@ -1,0 +1,230 @@
+package xpath
+
+import (
+	"testing"
+
+	"bxsoap/internal/bxdm"
+	"bxsoap/internal/bxsa"
+	"bxsoap/internal/xmltext"
+)
+
+const docXML = `<cat:catalog xmlns:cat="urn:catalog" version="3">
+<cat:entry id="a1"><cat:status>ok</cat:status><cat:price>10</cat:price></cat:entry>
+<cat:entry id="b2"><cat:status>bad</cat:status><cat:price>20</cat:price></cat:entry>
+<cat:entry id="c3"><cat:status>ok</cat:status><cat:price>30</cat:price></cat:entry>
+<cat:misc>note</cat:misc>
+</cat:catalog>`
+
+var catNS = Namespaces{"c": "urn:catalog"}
+
+func catalog(t *testing.T) *bxdm.Document {
+	t.Helper()
+	doc, err := xmltext.Parse([]byte(docXML), xmltext.DecodeOptions{DropInterElementWhitespace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func sel(t *testing.T, doc bxdm.Node, expr string) []Item {
+	t.Helper()
+	q, err := Compile(expr, catNS)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", expr, err)
+	}
+	return q.Select(doc)
+}
+
+func TestChildAxis(t *testing.T) {
+	doc := catalog(t)
+	if got := sel(t, doc, "/c:catalog/c:entry"); len(got) != 3 {
+		t.Errorf("entries = %d, want 3", len(got))
+	}
+	if got := sel(t, doc, "/c:catalog/c:misc"); len(got) != 1 || got[0].String() != "note" {
+		t.Errorf("misc = %v", got)
+	}
+	if got := sel(t, doc, "/c:catalog/nonexistent"); len(got) != 0 {
+		t.Errorf("ghost = %d", len(got))
+	}
+}
+
+func TestDescendantAxis(t *testing.T) {
+	doc := catalog(t)
+	if got := sel(t, doc, "//c:status"); len(got) != 3 {
+		t.Errorf("statuses = %d", len(got))
+	}
+	if got := sel(t, doc, "//c:entry/c:price"); len(got) != 3 {
+		t.Errorf("prices = %d", len(got))
+	}
+}
+
+func TestWildcardAndText(t *testing.T) {
+	doc := catalog(t)
+	if got := sel(t, doc, "/c:catalog/*"); len(got) != 4 {
+		t.Errorf("children = %d, want 4", len(got))
+	}
+	if got := sel(t, doc, "//c:misc/text()"); len(got) != 1 || got[0].String() != "note" {
+		t.Errorf("text = %v", got)
+	}
+	if got := sel(t, doc, "/c:catalog/node()"); len(got) != 4 {
+		t.Errorf("node() = %d", len(got))
+	}
+}
+
+func TestAttributeAxis(t *testing.T) {
+	doc := catalog(t)
+	got := sel(t, doc, "/c:catalog/@version")
+	if len(got) != 1 || got[0].String() != "3" {
+		t.Fatalf("@version = %v", got)
+	}
+	ids := sel(t, doc, "//c:entry/@id")
+	if len(ids) != 3 || ids[0].String() != "a1" || ids[2].String() != "c3" {
+		t.Errorf("ids = %v", ids)
+	}
+	all := sel(t, doc, "/c:catalog/@*")
+	if len(all) != 1 {
+		t.Errorf("@* = %d", len(all))
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	doc := catalog(t)
+	if got := sel(t, doc, "//c:entry[2]"); len(got) != 1 || attrOf(t, got[0], "id") != "b2" {
+		t.Errorf("[2] = %v", got)
+	}
+	if got := sel(t, doc, "//c:entry[last()]"); len(got) != 1 || attrOf(t, got[0], "id") != "c3" {
+		t.Errorf("[last()] = %v", got)
+	}
+	if got := sel(t, doc, "//c:entry[@id='b2']"); len(got) != 1 {
+		t.Errorf("[@id='b2'] = %d", len(got))
+	}
+	if got := sel(t, doc, "//c:entry[@id!='b2']"); len(got) != 2 {
+		t.Errorf("[@id!='b2'] = %d", len(got))
+	}
+	if got := sel(t, doc, "//c:entry[@id]"); len(got) != 3 {
+		t.Errorf("[@id] = %d", len(got))
+	}
+	if got := sel(t, doc, "//c:entry[c:status='ok']"); len(got) != 2 {
+		t.Errorf("[status='ok'] = %d", len(got))
+	}
+	if got := sel(t, doc, "//c:entry[c:status='ok'][2]"); len(got) != 1 || attrOf(t, got[0], "id") != "c3" {
+		t.Errorf("stacked predicates = %v", got)
+	}
+	if got := sel(t, doc, "//c:entry[9]"); len(got) != 0 {
+		t.Errorf("[9] = %d", len(got))
+	}
+}
+
+func attrOf(t *testing.T, it Item, name string) string {
+	t.Helper()
+	el, ok := it.Node.(bxdm.ElementNode)
+	if !ok {
+		t.Fatalf("item is %T", it.Node)
+	}
+	v, _ := el.Attr(bxdm.LocalName(name))
+	return v.Text()
+}
+
+func TestFirst(t *testing.T) {
+	doc := catalog(t)
+	q := MustCompile("//c:price", catNS)
+	it, ok := q.First(doc)
+	if !ok || it.String() != "10" {
+		t.Errorf("First = %v, %v", it, ok)
+	}
+	if _, ok := MustCompile("//ghost", nil).First(doc); ok {
+		t.Error("First found a ghost")
+	}
+}
+
+func TestSameQueryOverBXSADecodedTree(t *testing.T) {
+	// The Figure 3 point: the identical compiled query runs against a tree
+	// that arrived as binary XML.
+	doc := catalog(t)
+	data, err := bxsa.Marshal(doc, bxsa.EncodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	binDoc, err := bxsa.Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := MustCompile("//c:entry[c:status='ok']/c:price", catNS)
+	xmlRes := q.Select(doc)
+	binRes := q.Select(binDoc)
+	if len(xmlRes) != 2 || len(binRes) != 2 {
+		t.Fatalf("result sizes %d/%d", len(xmlRes), len(binRes))
+	}
+	for i := range xmlRes {
+		if xmlRes[i].String() != binRes[i].String() {
+			t.Errorf("result %d: %q vs %q", i, xmlRes[i].String(), binRes[i].String())
+		}
+	}
+}
+
+func TestQueryOverTypedNodes(t *testing.T) {
+	root := bxdm.NewElement(bxdm.LocalName("data"),
+		bxdm.NewLeaf(bxdm.LocalName("count"), int32(42)),
+		bxdm.NewArray(bxdm.LocalName("vals"), []float64{1.5, 2.5}),
+	)
+	if it, ok := MustCompile("/data/count", nil).First(root); !ok || it.String() != "42" {
+		t.Errorf("leaf string value = %v", it)
+	}
+	if it, ok := MustCompile("/data/vals", nil).First(root); !ok || it.String() != "1.5 2.5" {
+		t.Errorf("array string value = %v", it)
+	}
+}
+
+func TestDescendantOrSelfSemantics(t *testing.T) {
+	// //x from an element named x includes the context element itself.
+	root := bxdm.NewElement(bxdm.LocalName("x"), bxdm.NewElement(bxdm.LocalName("x")))
+	if got := MustCompile("//x", nil).Select(root); len(got) != 2 {
+		t.Errorf("//x = %d, want 2 (self + child)", len(got))
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"/",
+		"a//",
+		"//@id",
+		"a[",
+		"a[1",
+		"a[@]",
+		"a[@x=unquoted]",
+		"a[child]",
+		"unknown:prefix",
+		"a/b[&&]",
+		"@text()",
+	}
+	for _, expr := range bad {
+		if _, err := Compile(expr, nil); err == nil {
+			t.Errorf("Compile(%q) succeeded", expr)
+		}
+	}
+}
+
+func TestRelativeQuery(t *testing.T) {
+	doc := catalog(t)
+	entries := sel(t, doc, "//c:entry")
+	q := MustCompile("c:price", catNS)
+	it, ok := q.First(entries[1].Node)
+	if !ok || it.String() != "20" {
+		t.Errorf("relative price = %v", it)
+	}
+}
+
+func BenchmarkDescendantQuery(b *testing.B) {
+	doc, err := xmltext.Parse([]byte(docXML), xmltext.DecodeOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := MustCompile("//c:entry[c:status='ok']/c:price", catNS)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := q.Select(doc); len(got) != 2 {
+			b.Fatal("wrong result")
+		}
+	}
+}
