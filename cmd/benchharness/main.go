@@ -5,6 +5,7 @@
 //	benchharness -exp fig4            # Figure 4: small-message response time, LAN
 //	benchharness -exp fig5            # Figure 5: large-message bandwidth, LAN
 //	benchharness -exp fig6            # Figure 6: large-message bandwidth, WAN
+//	benchharness -exp pool            # pooled concurrent throughput, LAN+WAN
 //	benchharness -exp all -full       # everything, at the paper's full sizes
 //
 // Output is one table per experiment with the same rows/series the paper
@@ -25,7 +26,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig4, fig5, fig6, or all")
+	exp := flag.String("exp", "all", "experiment: table1, fig4, fig5, fig6, pool, or all")
 	full := flag.Bool("full", false, "run the complete model-size sweep (up to 5.59M pairs / 64MB; slow)")
 	iters := flag.Int("iters", 2, "measured iterations per point (minimum reported)")
 	sizesFlag := flag.String("sizes", "", "comma-separated model sizes overriding the experiment's default sweep")
@@ -103,6 +104,29 @@ func main() {
 				return err
 			}
 			harness.PrintBandwidthSeries(os.Stdout, series)
+			return nil
+		})
+	}
+
+	if *exp == "pool" || *exp == "all" {
+		run("Pooled concurrent throughput: svcpool client runtime, BXSA/TCP, model size 500", func() error {
+			const size = 500
+			var points []harness.ThroughputPoint
+			for _, prof := range []netsim.Profile{netsim.LAN, netsim.WAN} {
+				for _, conc := range []int{1, 4, 16} {
+					calls := 48 * conc
+					pt, err := harness.PooledThroughput(netsim.New(prof), "BXSA", "tcp",
+						conc, conc, calls, size)
+					if err != nil {
+						return err
+					}
+					if progress != nil {
+						fmt.Fprintf(progress, "%-4s c=%-3d %.0f calls/s\n", prof.Name, conc, pt.CallsPerSec)
+					}
+					points = append(points, pt)
+				}
+			}
+			harness.PrintThroughput(os.Stdout, points)
 			return nil
 		})
 	}

@@ -1,7 +1,10 @@
 // Command soapclient invokes the verification service started by
-// cmd/soapserver and reports the result and response time:
+// cmd/soapserver and reports the result and response time. Calls ride the
+// svcpool client runtime: -conns bounds the persistent connections,
+// -inflight the concurrent calls (backpressure applies beyond it).
 //
 //	soapclient -encoding bxsa -transport tcp -addr 127.0.0.1:8701 -n 1000 -calls 10
+//	soapclient -conns 8 -inflight 16 -calls 200        # concurrent throughput
 package main
 
 import (
@@ -9,11 +12,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"bxsoap/internal/core"
 	"bxsoap/internal/dataset"
 	"bxsoap/internal/httpbind"
+	"bxsoap/internal/svcpool"
 	"bxsoap/internal/tcpbind"
 )
 
@@ -23,54 +29,118 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8701", "server address")
 	n := flag.Int("n", 1000, "model size (number of (double,int) pairs)")
 	calls := flag.Int("calls", 5, "number of invocations to time")
+	conns := flag.Int("conns", 1, "max pooled connections to the server")
+	inflight := flag.Int("inflight", 0, "max concurrent in-flight calls (default: same as -conns)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-call deadline")
 	flag.Parse()
 
-	call, closeFn, err := buildEngine(*encoding, *transport, *addr)
+	if *conns <= 0 {
+		*conns = 1
+	}
+	if *inflight <= 0 {
+		*inflight = *conns
+	}
+	pool, err := buildPool(*encoding, *transport, *addr, svcpool.Config{
+		MaxConns:    *conns,
+		MaxInflight: *inflight,
+		CallTimeout: *timeout,
+	})
 	if err != nil {
 		log.Fatalf("soapclient: %v", err)
 	}
-	defer closeFn()
+	defer pool.Close()
 
 	m := dataset.Generate(*n)
 	req := core.NewEnvelope(m.Element())
 
-	var best time.Duration
-	for i := 0; i < *calls; i++ {
-		start := time.Now()
-		resp, err := call(context.Background(), req)
-		elapsed := time.Since(start)
-		if err != nil {
-			log.Fatalf("soapclient: call %d: %v", i, err)
-		}
-		if best == 0 || elapsed < best {
-			best = elapsed
-		}
-		if i == 0 {
-			fmt.Printf("response body: %s\n", summarize(resp))
-		}
+	// Warm-up call: connection establishment off the clock, and a first
+	// response to show.
+	resp, err := pool.Call(context.Background(), req)
+	if err != nil {
+		log.Fatalf("soapclient: %v", err)
 	}
-	fmt.Printf("%s/%s  model size %d  best of %d calls: %v (%.0f pairs/s)\n",
-		*encoding, *transport, *n, *calls, best, float64(*n)/best.Seconds())
+	fmt.Printf("response body: %s\n", summarize(resp))
+
+	var (
+		wg      sync.WaitGroup
+		bestNs  atomic.Int64
+		failed  atomic.Int64
+		work    = make(chan struct{}, *calls)
+		workers = *inflight
+	)
+	for i := 0; i < *calls; i++ {
+		work <- struct{}{}
+	}
+	close(work)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range work {
+				t0 := time.Now()
+				if _, err := pool.Call(context.Background(), req); err != nil {
+					log.Printf("soapclient: call: %v", err)
+					failed.Add(1)
+					continue
+				}
+				ns := time.Since(t0).Nanoseconds()
+				for {
+					best := bestNs.Load()
+					if best != 0 && ns >= best {
+						break
+					}
+					if bestNs.CompareAndSwap(best, ns) {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	ok := *calls - int(failed.Load())
+	best := time.Duration(bestNs.Load())
+	st := pool.Stats()
+	fmt.Printf("%s/%s  model size %d  %d/%d calls ok over %d conns / %d inflight\n",
+		*encoding, *transport, *n, ok, *calls, *conns, *inflight)
+	fmt.Printf("best latency %v  aggregate %.0f calls/s (%.0f pairs/s)\n",
+		best, float64(ok)/elapsed.Seconds(), float64(ok)*float64(*n)/elapsed.Seconds())
+	fmt.Printf("pool: dials=%d reuses=%d retires=%d retries=%d failures=%d\n",
+		st.Dials, st.Reuses, st.Retires, st.Retries, st.Failures)
 }
 
-type callFunc func(context.Context, *core.Envelope) (*core.Envelope, error)
+// pooledCaller is the composition-erased view of svcpool.Pool the main
+// loop needs.
+type pooledCaller interface {
+	Call(context.Context, *core.Envelope) (*core.Envelope, error)
+	Stats() svcpool.Stats
+	Close() error
+}
 
-func buildEngine(encoding, transport, addr string) (callFunc, func() error, error) {
+// buildPool composes the pooled engine for an encoding/transport pair —
+// each case monomorphizes its own Pool[E, B], same as the engines.
+func buildPool(encoding, transport, addr string, cfg svcpool.Config) (pooledCaller, error) {
 	switch {
 	case encoding == "bxsa" && transport == "tcp":
-		eng := core.NewEngine(core.BXSAEncoding{}, tcpbind.New(tcpbind.NetDialer, addr))
-		return eng.Call, eng.Close, nil
+		return svcpool.New(func(context.Context) (*core.Engine[core.BXSAEncoding, *tcpbind.Binding], error) {
+			return core.NewEngine(core.BXSAEncoding{}, tcpbind.New(tcpbind.NetDialer, addr)), nil
+		}, cfg), nil
 	case encoding == "xml" && transport == "tcp":
-		eng := core.NewEngine(core.XMLEncoding{}, tcpbind.New(tcpbind.NetDialer, addr))
-		return eng.Call, eng.Close, nil
+		return svcpool.New(func(context.Context) (*core.Engine[core.XMLEncoding, *tcpbind.Binding], error) {
+			return core.NewEngine(core.XMLEncoding{}, tcpbind.New(tcpbind.NetDialer, addr)), nil
+		}, cfg), nil
 	case encoding == "bxsa" && transport == "http":
-		eng := core.NewEngine(core.BXSAEncoding{}, httpbind.New(nil, "http://"+addr+"/soap"))
-		return eng.Call, eng.Close, nil
+		return svcpool.New(func(context.Context) (*core.Engine[core.BXSAEncoding, *httpbind.Binding], error) {
+			return core.NewEngine(core.BXSAEncoding{}, httpbind.New(nil, "http://"+addr+"/soap")), nil
+		}, cfg), nil
 	case encoding == "xml" && transport == "http":
-		eng := core.NewEngine(core.XMLEncoding{}, httpbind.New(nil, "http://"+addr+"/soap"))
-		return eng.Call, eng.Close, nil
+		return svcpool.New(func(context.Context) (*core.Engine[core.XMLEncoding, *httpbind.Binding], error) {
+			return core.NewEngine(core.XMLEncoding{}, httpbind.New(nil, "http://"+addr+"/soap")), nil
+		}, cfg), nil
 	default:
-		return nil, nil, fmt.Errorf("unknown combination %s/%s", encoding, transport)
+		return nil, fmt.Errorf("unknown combination %s/%s", encoding, transport)
 	}
 }
 

@@ -9,6 +9,11 @@
 //
 // With -hmac-key the backend hop is authenticated (wssec.Secured), so
 // legacy plaintext clients can reach a signed-binary service unchanged.
+//
+// The down-link rides the svcpool client runtime: -pool-conns persistent
+// backend connections are reused across relayed requests (instead of a
+// dial per request), with health-aware retirement. Relays are not assumed
+// idempotent, so the pool performs no automatic retry.
 package main
 
 import (
@@ -20,9 +25,11 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"bxsoap/internal/core"
 	"bxsoap/internal/httpbind"
+	"bxsoap/internal/svcpool"
 	"bxsoap/internal/tcpbind"
 	"bxsoap/internal/wssec"
 )
@@ -76,6 +83,9 @@ func main() {
 	listenFlag := flag.String("listen", "xml/http:127.0.0.1:8800", "up-link endpoint as encoding/transport:addr")
 	backendFlag := flag.String("backend", "bxsa/tcp:127.0.0.1:8701", "down-link endpoint as encoding/transport:addr")
 	hmacKey := flag.String("hmac-key", "", "sign/verify the backend hop with this shared key")
+	poolConns := flag.Int("pool-conns", 4, "max pooled connections to the backend")
+	poolInflight := flag.Int("pool-inflight", 0, "max concurrent backend calls (default: 2×pool-conns)")
+	poolTimeout := flag.Duration("pool-timeout", 30*time.Second, "per-relay backend deadline")
 	flag.Parse()
 
 	up, err := parseEndpoint(*listenFlag)
@@ -92,18 +102,32 @@ func main() {
 	}
 
 	downEnc := encodingFor(down.encoding, key)
+	poolCfg := svcpool.Config{
+		MaxConns:    *poolConns,
+		MaxInflight: *poolInflight,
+		CallTimeout: *poolTimeout,
+	}
+	// The pool is generic over the same policy axes as the engines it
+	// manages; the E parameter here is the core.Encoding interface because
+	// -hmac-key decides the concrete policy at runtime.
+	var backend interface {
+		CallOnce(context.Context, *core.Envelope) (*core.Envelope, error)
+		Close() error
+	}
+	if down.transport == "tcp" {
+		backend = svcpool.New(func(context.Context) (*core.Engine[core.Encoding, *tcpbind.Binding], error) {
+			return core.NewEngine(downEnc, tcpbind.New(tcpbind.NetDialer, down.addr)), nil
+		}, poolCfg)
+	} else {
+		backend = svcpool.New(func(context.Context) (*core.Engine[core.Encoding, *httpbind.Binding], error) {
+			return core.NewEngine(downEnc, httpbind.New(nil, "http://"+down.addr+"/soap")), nil
+		}, poolCfg)
+	}
+	defer backend.Close()
+	// CallOnce: a relayed request must not be silently replayed — retry
+	// policy belongs to the originating client, which knows idempotency.
 	relay := func(ctx context.Context, req *core.Envelope) (*core.Envelope, error) {
-		var call func(context.Context, *core.Envelope) (*core.Envelope, error)
-		var closer func() error
-		if down.transport == "tcp" {
-			eng := core.NewEngine(downEnc, tcpbind.New(tcpbind.NetDialer, down.addr))
-			call, closer = eng.Call, eng.Close
-		} else {
-			eng := core.NewEngine(downEnc, httpbind.New(nil, "http://"+down.addr+"/soap"))
-			call, closer = eng.Call, eng.Close
-		}
-		defer closer()
-		return call(ctx, req)
+		return backend.CallOnce(ctx, req)
 	}
 
 	l, err := net.Listen("tcp", up.addr)

@@ -42,7 +42,7 @@ func (e *Engine[E, B]) Call(ctx context.Context, req *Envelope) (*Envelope, erro
 	}
 	payload, ct, err := e.bind.ReceiveResponse(ctx)
 	if err != nil {
-		return nil, fmt.Errorf("soap: receive response: %w", err)
+		return nil, &TransportError{Op: "receive response", Err: err}
 	}
 	if err := CheckContentType(e.enc, ct); err != nil {
 		return nil, err
@@ -65,17 +65,42 @@ func (e *Engine[E, B]) Call(ctx context.Context, req *Envelope) (*Envelope, erro
 }
 
 // Send performs the one-way message exchange pattern: the request is
-// transmitted and the transport-level acknowledgement is drained without
-// decoding, keeping persistent connections in sync. (Whether the peer sends
-// a SOAP-level reply is its business; a one-way sender does not look.)
+// transmitted and the transport-level acknowledgement is drained, keeping
+// persistent connections in sync. A SOAP fault riding the acknowledgement
+// is decoded and returned as a *Fault — the peer refusing the message is an
+// application outcome, not a transport failure — while genuine transport
+// errors come back as *TransportError, so retry logic can tell the two
+// apart. Non-fault acknowledgement payloads are drained without decoding.
 func (e *Engine[E, B]) Send(ctx context.Context, req *Envelope) error {
 	if err := e.transmit(ctx, req); err != nil {
 		return err
 	}
-	if _, _, err := e.bind.ReceiveResponse(ctx); err != nil {
-		return fmt.Errorf("soap: transport acknowledgement: %w", err)
+	payload, ct, err := e.bind.ReceiveResponse(ctx)
+	if err != nil {
+		return &TransportError{Op: "transport acknowledgement", Err: err}
+	}
+	// Cheap sniff first so the one-way fast path never pays a decode; both
+	// encodings spell the element name "Fault" literally.
+	if ackLooksLikeFault(payload) && CheckContentType(e.enc, ct) == nil {
+		if doc, err := e.enc.Decode(payload); err == nil {
+			if resp, err := EnvelopeFromDocument(doc); err == nil {
+				if f := FaultFromEnvelope(resp); f != nil {
+					return f
+				}
+			}
+		}
 	}
 	return nil
+}
+
+// ackLooksLikeFault sniffs the first KB of an acknowledgement payload for a
+// fault marker.
+func ackLooksLikeFault(payload []byte) bool {
+	head := payload
+	if len(head) > 1024 {
+		head = head[:1024]
+	}
+	return bytes.Contains(head, []byte("Fault"))
 }
 
 func (e *Engine[E, B]) transmit(ctx context.Context, req *Envelope) error {
@@ -84,7 +109,7 @@ func (e *Engine[E, B]) transmit(ctx context.Context, req *Envelope) error {
 		return fmt.Errorf("soap: encode request: %w", err)
 	}
 	if err := e.bind.SendRequest(ctx, buf.Bytes(), e.enc.ContentType()); err != nil {
-		return fmt.Errorf("soap: send request: %w", err)
+		return &TransportError{Op: "send request", Err: err}
 	}
 	return nil
 }

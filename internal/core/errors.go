@@ -1,0 +1,75 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"syscall"
+)
+
+// ErrBindingPoisoned marks a binding whose underlying transport channel is
+// desynchronized and must not carry further exchanges. Bindings return it
+// (wrapped) from the failing operation onward; pool implementations retire
+// the connection instead of handing it out again.
+var ErrBindingPoisoned = errors.New("binding poisoned")
+
+// TransportError classifies a failure of the binding layer — the message
+// never made it across (or back across) the wire intact. It is distinct
+// from a *Fault, which is the peer application answering "no": a fault
+// proves the transport worked. Retry logic keys off this split; see
+// IsTransportError.
+type TransportError struct {
+	// Op names the engine operation that failed: "send request",
+	// "receive response", or "transport acknowledgement".
+	Op  string
+	Err error
+}
+
+// Error preserves the engine's historical message shape
+// ("soap: <op>: <cause>").
+func (e *TransportError) Error() string { return fmt.Sprintf("soap: %s: %v", e.Op, e.Err) }
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// IsTransportError reports whether err is a transport-level failure — the
+// kind a caller may retry on a fresh connection (for idempotent
+// operations), as opposed to an application-level refusal (*Fault) or a
+// payload problem (encode/decode errors), which would fail identically on
+// any connection.
+func IsTransportError(err error) bool {
+	if err == nil {
+		return false
+	}
+	var f *Fault
+	if errors.As(err, &f) {
+		return false
+	}
+	var te *TransportError
+	if errors.As(err, &te) {
+		return true
+	}
+	if errors.Is(err, ErrBindingPoisoned) ||
+		errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}
+
+// Poisons reports whether err indicates the connection that produced it is
+// no longer safe to reuse. Every transport error poisons: even when the
+// bytes on the wire might technically still be framed (e.g. a deadline that
+// expired before the first response byte), the response can arrive later
+// and desynchronize the next exchange. Application faults and decode
+// errors arrive on a synchronized stream and do not poison.
+func Poisons(err error) bool { return IsTransportError(err) }

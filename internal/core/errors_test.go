@@ -1,0 +1,76 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+
+	"bxsoap/internal/bxdm"
+	"bxsoap/internal/core"
+	"bxsoap/internal/tcpbind"
+)
+
+func TestIsTransportErrorClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"transport wrapper", &core.TransportError{Op: "send request", Err: io.EOF}, true},
+		{"wrapped transport wrapper", fmt.Errorf("x: %w", &core.TransportError{Op: "receive response", Err: io.EOF}), true},
+		{"poisoned", fmt.Errorf("tcpbind: %w", core.ErrBindingPoisoned), true},
+		{"eof", io.EOF, true},
+		{"unexpected eof", io.ErrUnexpectedEOF, true},
+		{"deadline", context.DeadlineExceeded, true},
+		{"soap fault", &core.Fault{Code: core.FaultServer, String: "no"}, false},
+		{"decode error", errors.New("soap: decode response: bad byte"), false},
+	}
+	for _, c := range cases {
+		if got := core.IsTransportError(c.err); got != c.want {
+			t.Errorf("IsTransportError(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestSendClassifiesFaultAck: a one-way Send whose acknowledgement carries
+// a SOAP fault returns the *Fault — an application outcome — while the
+// engine's transport failures come back as *TransportError. Retry layers
+// key off exactly this split.
+func TestSendClassifiesFaultAck(t *testing.T) {
+	l, err := tcpbind.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := core.NewServer(core.BXSAEncoding{}, l,
+		func(_ context.Context, req *core.Envelope) (*core.Envelope, error) {
+			return nil, &core.Fault{Code: core.FaultClient, String: "rejected"}
+		})
+	go srv.Serve()
+	defer srv.Close()
+
+	eng := core.NewEngine(core.BXSAEncoding{}, tcpbind.New(tcpbind.NetDialer, l.Addr().String()))
+	defer eng.Close()
+	err = eng.Send(context.Background(), core.NewEnvelope(bxdm.NewLeaf(bxdm.LocalName("x"), int32(1))))
+	var f *core.Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("want *core.Fault from fault ack, got %v", err)
+	}
+	if core.IsTransportError(err) {
+		t.Error("fault ack misclassified as transport error")
+	}
+	if f.Code != core.FaultClient || f.String != "rejected" {
+		t.Errorf("fault = %+v", f)
+	}
+
+	// Transport direction: a dead peer yields a *TransportError.
+	srv.Close()
+	eng2 := core.NewEngine(core.BXSAEncoding{}, tcpbind.New(tcpbind.NetDialer, l.Addr().String()))
+	defer eng2.Close()
+	err = eng2.Send(context.Background(), core.NewEnvelope())
+	if err == nil || !core.IsTransportError(err) {
+		t.Fatalf("want transport-class error against closed server, got %v", err)
+	}
+}

@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"bxsoap/internal/dataset"
+	"bxsoap/internal/netsim"
+)
+
+// TestPooledUnifiedScheme: the pooled scheme verifies models end to end at
+// concurrency > 1 for both transports.
+func TestPooledUnifiedScheme(t *testing.T) {
+	nw := netsim.New(netsim.Unshaped)
+	for _, tc := range []struct{ enc, tr string }{
+		{"BXSA", "tcp"},
+		{"XML", "http"},
+	} {
+		s := NewPooledUnified(tc.enc, tc.tr, 2, 4)
+		if err := s.Setup(nw, t.TempDir()); err != nil {
+			t.Fatalf("%s/%s: %v", tc.enc, tc.tr, err)
+		}
+		m := dataset.Generate(200)
+		verified, err := s.Invoke(m)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", tc.enc, tc.tr, err)
+		}
+		if verified != m.Verify() {
+			t.Errorf("%s/%s: verified %d, want %d", tc.enc, tc.tr, verified, m.Verify())
+		}
+		if err := s.Teardown(); err != nil {
+			t.Errorf("%s/%s teardown: %v", tc.enc, tc.tr, err)
+		}
+	}
+}
+
+// TestPooledThroughputScalesWithConcurrency: on a WAN-class RTT-bound
+// profile, 8 concurrent callers over 8 pooled connections must push
+// materially more calls/s than a single caller — the whole point of the
+// pool. (A WAN-scale RTT is used because netsim realizes sub-500µs waits
+// by spinning, which cannot overlap on a single-core machine; millisecond
+// RTT waits are true sleeps and overlap anywhere.)
+func TestPooledThroughputScalesWithConcurrency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RTT-shaped throughput comparison")
+	}
+	prof := netsim.Profile{Name: "rtt", RTT: 4 * time.Millisecond}
+	one, err := PooledThroughput(netsim.New(prof), "BXSA", "tcp", 1, 1, 40, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := PooledThroughput(netsim.New(prof), "BXSA", "tcp", 8, 8, 320, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eight.CallsPerSec < 3*one.CallsPerSec {
+		t.Errorf("concurrency 8 = %.0f calls/s, concurrency 1 = %.0f calls/s; want ≥ 3× scaling",
+			eight.CallsPerSec, one.CallsPerSec)
+	}
+	if eight.Stats.Reuses == 0 {
+		t.Error("pool reported no connection reuse")
+	}
+}

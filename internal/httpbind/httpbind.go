@@ -25,8 +25,9 @@ type Binding struct {
 	client *http.Client
 	action string
 
-	mu      sync.Mutex
-	pending *http.Response
+	mu       sync.Mutex
+	pending  *http.Response
+	poisoned bool
 }
 
 // Dialer opens the underlying transport connection.
@@ -51,8 +52,24 @@ func New(dial Dialer, url string) *Binding {
 // SetSOAPAction sets the SOAPAction header value sent with requests.
 func (b *Binding) SetSOAPAction(a string) { b.action = a }
 
+// Poisoned reports whether the binding has been retired after a response
+// was abandoned mid-body (e.g. a deadline expired while reading). The
+// underlying net/http connection is broken at that point; pool
+// implementations should discard the binding.
+func (b *Binding) Poisoned() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.poisoned
+}
+
 // SendRequest implements core.Binding.
 func (b *Binding) SendRequest(ctx context.Context, payload []byte, contentType string) error {
+	b.mu.Lock()
+	if b.poisoned {
+		b.mu.Unlock()
+		return fmt.Errorf("httpbind: %w", core.ErrBindingPoisoned)
+	}
+	b.mu.Unlock()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url, bytes.NewReader(payload))
 	if err != nil {
 		return err
@@ -72,7 +89,10 @@ func (b *Binding) SendRequest(ctx context.Context, payload []byte, contentType s
 	return nil
 }
 
-// ReceiveResponse implements core.Binding.
+// ReceiveResponse implements core.Binding. A body read that fails (most
+// often a context deadline expiring mid-body) leaves the HTTP connection
+// with an unconsumed response, so the binding is poisoned and must be
+// discarded rather than reused.
 func (b *Binding) ReceiveResponse(_ context.Context) ([]byte, string, error) {
 	b.mu.Lock()
 	resp := b.pending
@@ -84,7 +104,11 @@ func (b *Binding) ReceiveResponse(_ context.Context) ([]byte, string, error) {
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, "", err
+		b.mu.Lock()
+		b.poisoned = true
+		b.mu.Unlock()
+		b.client.CloseIdleConnections()
+		return nil, "", fmt.Errorf("httpbind: read response: %w: %w", core.ErrBindingPoisoned, err)
 	}
 	// SOAP 1.1 over HTTP uses 500 for fault responses; both 200 and 500
 	// carry SOAP envelopes.

@@ -1,0 +1,30 @@
+// Package svcpool is the production client runtime layered above the
+// paper's policy-composed engine (§5): a generic Pool[E, B] that drives
+// many concurrent callers over a bounded set of live engines without
+// disturbing the engine's compile-time (encoding, binding) design.
+//
+// The paper's Engine binds one encoding to one binding, which in this repo
+// means one framed TCP (or HTTP) connection serving one in-flight call at a
+// time — faithful to the 2006 evaluation, but not to how grid service
+// frameworks actually deployed at scale, which is on a managed pool of
+// persistent, concurrently driven channels. The pool owns exactly the
+// invariants the engine does not:
+//
+//   - Bounded concurrency: a semaphore-gated checkout applies backpressure
+//     instead of dialing without limit; callers queue (honoring their
+//     context) rather than stampede.
+//   - Keep-alive reuse: healthy engines return to a LIFO free list, are
+//     reaped after IdleTimeout, and are rotated out after MaxLifetime.
+//   - Health-aware retirement: an engine that returns a transport-level
+//     error or times out is retired, never handed out again — a timed-out
+//     framed connection is desynchronized (see core.ErrBindingPoisoned),
+//     and only the pool is positioned to enforce that.
+//   - Bounded retry: idempotent calls are retried on a fresh connection
+//     with capped exponential backoff plus jitter, behind a consecutive-
+//     failure circuit breaker that fails fast while the peer is down.
+//
+// The type parameters are the same two policy axes as core.Engine, so a
+// pool of BXSA/TCP engines and a pool of XML/HTTP engines are distinct
+// monomorphic types, composed at compile time exactly like the engines
+// they manage.
+package svcpool

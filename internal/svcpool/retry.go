@@ -1,0 +1,146 @@
+package svcpool
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryPolicy shapes the backoff between attempts of a retrying call.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget for Call/Send (first try
+	// included). Default 3; 1 (or negative) disables retry.
+	MaxAttempts int
+	// BaseBackoff seeds the exponential schedule: the wait before retry k
+	// is BaseBackoff·2^(k-1), capped at MaxBackoff. Default 20ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the schedule. Default 1s.
+	MaxBackoff time.Duration
+	// Jitter spreads each wait uniformly over ±Jitter fraction of itself,
+	// decorrelating retry storms across callers. Default 0.25; negative
+	// disables jitter.
+	Jitter float64
+}
+
+func (r RetryPolicy) withDefaults() RetryPolicy {
+	if r.MaxAttempts == 0 {
+		r.MaxAttempts = 3
+	}
+	if r.BaseBackoff == 0 {
+		r.BaseBackoff = 20 * time.Millisecond
+	}
+	if r.MaxBackoff == 0 {
+		r.MaxBackoff = time.Second
+	}
+	if r.Jitter == 0 {
+		r.Jitter = 0.25
+	}
+	return r
+}
+
+// backoff computes the wait before retry attempt k (k ≥ 1).
+func (r RetryPolicy) backoff(k int) time.Duration {
+	d := r.BaseBackoff
+	for i := 1; i < k && d < r.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > r.MaxBackoff {
+		d = r.MaxBackoff
+	}
+	if r.Jitter > 0 {
+		// rand's top-level functions are safe for concurrent use.
+		d += time.Duration((2*rand.Float64() - 1) * r.Jitter * float64(d))
+	}
+	return d
+}
+
+// BreakerPolicy configures the pool's consecutive-failure circuit breaker.
+type BreakerPolicy struct {
+	// Threshold is how many consecutive transport-level failures open the
+	// circuit. Default 8; negative disables the breaker.
+	Threshold int
+	// Cooldown is how long an open circuit rejects calls before letting a
+	// single probe through (half-open). Default 2s.
+	Cooldown time.Duration
+}
+
+func (b BreakerPolicy) withDefaults() BreakerPolicy {
+	if b.Threshold == 0 {
+		b.Threshold = 8
+	}
+	if b.Cooldown == 0 {
+		b.Cooldown = 2 * time.Second
+	}
+	return b
+}
+
+// ErrCircuitOpen is returned while the breaker is rejecting calls after
+// too many consecutive transport failures.
+var ErrCircuitOpen = errors.New("svcpool: circuit open (peer failing)")
+
+const (
+	brkClosed = iota
+	brkOpen
+	brkHalfOpen
+)
+
+// breaker is a minimal consecutive-failure circuit breaker: Threshold
+// straight transport failures open it; after Cooldown one probe call is
+// admitted, and its outcome closes or reopens the circuit.
+type breaker struct {
+	policy BreakerPolicy
+
+	mu          sync.Mutex
+	state       int
+	consecutive int
+	openedAt    time.Time
+}
+
+// allow gates one call attempt; a nil return admits it.
+func (b *breaker) allow() error {
+	if b.policy.Threshold < 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case brkClosed:
+		return nil
+	case brkOpen:
+		if time.Since(b.openedAt) < b.policy.Cooldown {
+			return ErrCircuitOpen
+		}
+		b.state = brkHalfOpen // admit exactly one probe
+		return nil
+	default: // brkHalfOpen: a probe is already in flight
+		return ErrCircuitOpen
+	}
+}
+
+// success records a working transport (including SOAP faults, which prove
+// the wire is fine) and closes the circuit.
+func (b *breaker) success() {
+	if b.policy.Threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	b.state = brkClosed
+	b.consecutive = 0
+	b.mu.Unlock()
+}
+
+// failure records a transport-level failure; at Threshold consecutive
+// failures (or on a failed half-open probe) the circuit opens.
+func (b *breaker) failure() {
+	if b.policy.Threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	b.consecutive++
+	if b.state == brkHalfOpen || b.consecutive >= b.policy.Threshold {
+		b.state = brkOpen
+		b.openedAt = time.Now()
+	}
+	b.mu.Unlock()
+}

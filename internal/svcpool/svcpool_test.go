@@ -1,0 +1,423 @@
+package svcpool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"bxsoap/internal/bxdm"
+	"bxsoap/internal/core"
+	"bxsoap/internal/netsim"
+	"bxsoap/internal/tcpbind"
+)
+
+// fakeBinding is a scriptable loopback core.Binding: every request is
+// echoed back as its own response, and the next receive can be forced to
+// fail with a given error.
+type fakeBinding struct {
+	mu       sync.Mutex
+	pending  []byte
+	ct       string
+	failNext error
+	sends    int
+	closed   bool
+}
+
+func (f *fakeBinding) SendRequest(_ context.Context, payload []byte, ct string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.sends++
+	f.pending = append([]byte(nil), payload...)
+	f.ct = ct
+	return nil
+}
+
+func (f *fakeBinding) ReceiveResponse(_ context.Context) ([]byte, string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failNext != nil {
+		err := f.failNext
+		f.failNext = nil
+		return nil, "", err
+	}
+	return f.pending, f.ct, nil
+}
+
+func (f *fakeBinding) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.closed = true
+	return nil
+}
+
+func (f *fakeBinding) sendCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.sends
+}
+
+func testEnvelope() *core.Envelope {
+	return core.NewEnvelope(bxdm.NewLeaf(bxdm.LocalName("x"), int32(7)))
+}
+
+// fakeFactory tracks every binding it has handed out.
+type fakeFactory struct {
+	mu       sync.Mutex
+	bindings []*fakeBinding
+}
+
+func (ff *fakeFactory) factory(context.Context) (*core.Engine[core.BXSAEncoding, *fakeBinding], error) {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	b := &fakeBinding{}
+	ff.bindings = append(ff.bindings, b)
+	return core.NewEngine(core.BXSAEncoding{}, b), nil
+}
+
+// TestPoisonedConnNeverReissued is the pool's core invariant: a connection
+// that returns a transport-level error is retired — closed, never handed
+// out again — and the retry transparently lands on a replacement.
+func TestPoisonedConnNeverReissued(t *testing.T) {
+	ff := &fakeFactory{}
+	p := New(ff.factory, Config{MaxConns: 1})
+	defer p.Close()
+	ctx := context.Background()
+
+	if _, err := p.Call(ctx, testEnvelope()); err != nil {
+		t.Fatal(err)
+	}
+	first := ff.bindings[0]
+	first.mu.Lock()
+	first.failNext = fmt.Errorf("boom: %w", io.ErrUnexpectedEOF)
+	first.mu.Unlock()
+
+	// The failure retires the conn; the retry must run on a fresh one.
+	if _, err := p.Call(ctx, testEnvelope()); err != nil {
+		t.Fatalf("retry should have recovered on a fresh conn: %v", err)
+	}
+	if !first.closed {
+		t.Error("failed binding was not closed")
+	}
+	sendsAtFailure := first.sendCount()
+	for i := 0; i < 10; i++ {
+		if _, err := p.Call(ctx, testEnvelope()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := first.sendCount(); got != sendsAtFailure {
+		t.Errorf("poisoned binding carried %d more exchanges after retirement", got-sendsAtFailure)
+	}
+	st := p.Stats()
+	if st.Dials != 2 || st.Retires != 1 || st.Retries != 1 {
+		t.Errorf("stats = %+v, want Dials 2, Retires 1, Retries 1", st)
+	}
+}
+
+// TestFaultIsNotRetried: a SOAP fault proves the transport works — the
+// call must not burn retries, and the connection must stay in the pool.
+func TestFaultIsNotRetried(t *testing.T) {
+	fault := &core.Fault{Code: core.FaultServer, String: "nope"}
+	env, err := core.EncodeToBytes(core.BXSAEncoding{}, fault.Envelope())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := New(func(context.Context) (*core.Engine[core.BXSAEncoding, *faultBinding], error) {
+		return core.NewEngine(core.BXSAEncoding{}, &faultBinding{payload: env}), nil
+	}, Config{MaxConns: 1})
+	defer pf.Close()
+	_, err = pf.Call(context.Background(), testEnvelope())
+	var f *core.Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("want *core.Fault, got %v", err)
+	}
+	st := pf.Stats()
+	if st.Retries != 0 {
+		t.Errorf("fault was retried %d times", st.Retries)
+	}
+	if st.Retires != 0 {
+		t.Errorf("fault retired a healthy conn (%d retires)", st.Retires)
+	}
+}
+
+// faultBinding always answers with a fixed (fault) payload.
+type faultBinding struct{ payload []byte }
+
+func (f *faultBinding) SendRequest(context.Context, []byte, string) error { return nil }
+func (f *faultBinding) ReceiveResponse(context.Context) ([]byte, string, error) {
+	return f.payload, core.BXSAEncoding{}.ContentType(), nil
+}
+func (f *faultBinding) Close() error { return nil }
+
+// TestBreakerOpensAndRecovers: consecutive dial failures open the circuit
+// (fast-fail), and a successful probe after the cooldown closes it.
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	var healthy atomic.Bool
+	ff := &fakeFactory{}
+	factory := func(ctx context.Context) (*core.Engine[core.BXSAEncoding, *fakeBinding], error) {
+		if !healthy.Load() {
+			return nil, fmt.Errorf("dial: %w", syscall.ECONNREFUSED)
+		}
+		return ff.factory(ctx)
+	}
+	p := New(factory, Config{
+		MaxConns: 1,
+		Retry:    RetryPolicy{MaxAttempts: 1},
+		Breaker:  BreakerPolicy{Threshold: 3, Cooldown: 30 * time.Millisecond},
+	})
+	defer p.Close()
+	ctx := context.Background()
+
+	for i := 0; i < 3; i++ {
+		if _, err := p.Call(ctx, testEnvelope()); err == nil {
+			t.Fatal("expected dial failure")
+		}
+	}
+	if _, err := p.Call(ctx, testEnvelope()); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("want ErrCircuitOpen after %d failures, got %v", 3, err)
+	}
+	if p.Stats().Rejected == 0 {
+		t.Error("rejected counter not incremented")
+	}
+	healthy.Store(true)
+	time.Sleep(40 * time.Millisecond) // past cooldown: next call is the probe
+	if _, err := p.Call(ctx, testEnvelope()); err != nil {
+		t.Fatalf("probe after cooldown should succeed: %v", err)
+	}
+	if _, err := p.Call(ctx, testEnvelope()); err != nil {
+		t.Fatalf("circuit should be closed again: %v", err)
+	}
+}
+
+// TestBackpressure: MaxInflight callers are admitted, the next one blocks
+// and times out on its own context instead of dialing beyond the bound.
+func TestBackpressure(t *testing.T) {
+	release := make(chan struct{})
+	blocking := &gateBinding{release: release}
+	p := New(func(context.Context) (*core.Engine[core.BXSAEncoding, *gateBinding], error) {
+		return core.NewEngine(core.BXSAEncoding{}, blocking), nil
+	}, Config{MaxConns: 1, MaxInflight: 1, Retry: RetryPolicy{MaxAttempts: 1}})
+	defer p.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.Call(context.Background(), testEnvelope())
+	}()
+	// Wait until the first call is inside the gate.
+	select {
+	case <-blocking.entered():
+	case <-time.After(2 * time.Second):
+		t.Fatal("first call never started")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := p.Call(ctx, testEnvelope()); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blocked caller: want DeadlineExceeded, got %v", err)
+	}
+	if got := p.Stats().Dials; got != 1 {
+		t.Errorf("backpressure breached: %d dials for a 1-conn pool", got)
+	}
+	close(release)
+	wg.Wait()
+}
+
+// gateBinding blocks ReceiveResponse until released.
+type gateBinding struct {
+	release chan struct{}
+	once    sync.Once
+	in      chan struct{}
+	mu      sync.Mutex
+	pending []byte
+	ct      string
+}
+
+func (g *gateBinding) entered() chan struct{} {
+	g.once.Do(func() { g.in = make(chan struct{}, 16) })
+	return g.in
+}
+
+func (g *gateBinding) SendRequest(_ context.Context, payload []byte, ct string) error {
+	g.mu.Lock()
+	g.pending, g.ct = append([]byte(nil), payload...), ct
+	g.mu.Unlock()
+	return nil
+}
+
+func (g *gateBinding) ReceiveResponse(ctx context.Context) ([]byte, string, error) {
+	select {
+	case g.entered() <- struct{}{}:
+	default:
+	}
+	select {
+	case <-g.release:
+	case <-ctx.Done():
+		return nil, "", ctx.Err()
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.pending, g.ct, nil
+}
+
+func (g *gateBinding) Close() error { return nil }
+
+// TestIdleReapAndLifetimeRotation: idle connections are reaped after
+// IdleTimeout, and a connection past MaxLifetime is rotated at checkout.
+func TestIdleReapAndLifetimeRotation(t *testing.T) {
+	ff := &fakeFactory{}
+	p := New(ff.factory, Config{MaxConns: 2, IdleTimeout: 30 * time.Millisecond})
+	defer p.Close()
+	ctx := context.Background()
+	if _, err := p.Call(ctx, testEnvelope()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Stats().Retires == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	st := p.Stats()
+	if st.Retires != 1 || st.Live != 0 {
+		t.Errorf("idle conn not reaped: %+v", st)
+	}
+
+	pl := New(ff.factory, Config{MaxConns: 1, IdleTimeout: -1, MaxLifetime: 25 * time.Millisecond})
+	defer pl.Close()
+	if _, err := pl.Call(ctx, testEnvelope()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(40 * time.Millisecond)
+	if _, err := pl.Call(ctx, testEnvelope()); err != nil {
+		t.Fatal(err)
+	}
+	if st := pl.Stats(); st.Dials != 2 {
+		t.Errorf("lifetime rotation: want 2 dials, got %+v", st)
+	}
+}
+
+// TestCallTimeoutRetiresConn exercises the integration invariant end to
+// end over a real framed TCP connection: a per-call deadline that expires
+// mid-exchange poisons the tcpbind connection, the pool retires it, and
+// the next call runs on a fresh dial — the desynchronized stream is never
+// reused.
+func TestCallTimeoutRetiresConn(t *testing.T) {
+	var slow atomic.Bool
+	l, err := tcpbind.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := core.NewServer(core.BXSAEncoding{}, l,
+		func(_ context.Context, req *core.Envelope) (*core.Envelope, error) {
+			if slow.Load() {
+				time.Sleep(300 * time.Millisecond)
+			}
+			return core.NewEnvelope(bxdm.NewLeaf(bxdm.LocalName("ok"), int32(1))), nil
+		})
+	go srv.Serve()
+	defer srv.Close()
+
+	p := New(func(context.Context) (*core.Engine[core.BXSAEncoding, *tcpbind.Binding], error) {
+		return core.NewEngine(core.BXSAEncoding{}, tcpbind.New(tcpbind.NetDialer, l.Addr().String())), nil
+	}, Config{MaxConns: 1, CallTimeout: 60 * time.Millisecond, Retry: RetryPolicy{MaxAttempts: 1}})
+	defer p.Close()
+	ctx := context.Background()
+
+	if _, err := p.Call(ctx, testEnvelope()); err != nil {
+		t.Fatal(err)
+	}
+	slow.Store(true)
+	if _, err := p.Call(ctx, testEnvelope()); !core.IsTransportError(err) {
+		t.Fatalf("want transport-class timeout error, got %v", err)
+	}
+	slow.Store(false)
+	if _, err := p.Call(ctx, testEnvelope()); err != nil {
+		t.Fatalf("fresh conn after timeout: %v", err)
+	}
+	st := p.Stats()
+	if st.Dials != 2 || st.Retires != 1 {
+		t.Errorf("timed-out conn not retired+replaced: %+v", st)
+	}
+}
+
+// TestStressSharedPool: 64 goroutines share a 4-connection pool over a
+// netsim-shaped dialer against a real BXSA/TCP server. Run under -race.
+func TestStressSharedPool(t *testing.T) {
+	nw := netsim.New(netsim.Profile{Name: "fastlan", RTT: 50 * time.Microsecond})
+	l, err := nw.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var served atomic.Int64
+	srv := core.NewServer(core.BXSAEncoding{}, tcpbind.NewListener(l),
+		func(_ context.Context, req *core.Envelope) (*core.Envelope, error) {
+			served.Add(1)
+			return core.NewEnvelope(bxdm.NewLeaf(bxdm.LocalName("n"), served.Load())), nil
+		})
+	go srv.Serve()
+	defer srv.Close()
+
+	p := New(func(context.Context) (*core.Engine[core.BXSAEncoding, *tcpbind.Binding], error) {
+		return core.NewEngine(core.BXSAEncoding{}, tcpbind.New(nw.Dial, l.Addr().String())), nil
+	}, Config{MaxConns: 4, MaxInflight: 64, CallTimeout: 10 * time.Second})
+	defer p.Close()
+
+	const goroutines, perG = 64, 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				resp, err := p.Call(context.Background(), testEnvelope())
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.Body() == nil {
+					errs <- errors.New("empty response body")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := served.Load(); got != goroutines*perG {
+		t.Errorf("server saw %d calls, want %d", got, goroutines*perG)
+	}
+	st := p.Stats()
+	if st.Dials > 4 {
+		t.Errorf("pool bound breached: %d dials for MaxConns=4", st.Dials)
+	}
+	if st.Reuses == 0 {
+		t.Error("no connection reuse under contention")
+	}
+	if st.Live > 4 {
+		t.Errorf("live connections %d exceed MaxConns", st.Live)
+	}
+}
+
+// TestPoolClosed: calls after Close fail fast with ErrPoolClosed.
+func TestPoolClosed(t *testing.T) {
+	ff := &fakeFactory{}
+	p := New(ff.factory, Config{MaxConns: 1})
+	if _, err := p.Call(context.Background(), testEnvelope()); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	if _, err := p.Call(context.Background(), testEnvelope()); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("want ErrPoolClosed, got %v", err)
+	}
+	if !ff.bindings[0].closed {
+		t.Error("idle conn not closed on pool Close")
+	}
+}

@@ -1,0 +1,170 @@
+package tcpbind
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"bxsoap/internal/core"
+	"bxsoap/internal/vls"
+)
+
+// scriptedServer accepts one connection, reads (and discards) the client's
+// request frame bytes as they arrive, and answers with a fixed byte script.
+// closeAfter makes it close the connection right after the script, so
+// truncation tests terminate instead of hanging.
+func scriptedServer(t *testing.T, script []byte, closeAfter bool) net.Addr {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		// Drain whatever the client sends in the background.
+		go func() {
+			buf := make([]byte, 4096)
+			for {
+				if _, err := c.Read(buf); err != nil {
+					return
+				}
+			}
+		}()
+		c.Write(script)
+		if closeAfter {
+			time.Sleep(20 * time.Millisecond) // let the bytes land first
+			c.Close()
+		}
+	}()
+	return l.Addr()
+}
+
+// frameHeader builds "BX" + version + vls(ctLen) + ct.
+func frameHeader(version byte, ct string) []byte {
+	out := []byte{magic0, magic1, version}
+	out = vls.AppendUint(out, uint64(len(ct)))
+	return append(out, ct...)
+}
+
+// exchange sends one request and attempts to receive, returning the
+// receive error.
+func exchange(t *testing.T, b *Binding, ctx context.Context) error {
+	t.Helper()
+	if err := b.SendRequest(ctx, []byte("payload"), "application/x-bxsa"); err != nil {
+		t.Fatalf("SendRequest: %v", err)
+	}
+	_, _, err := b.ReceiveResponse(ctx)
+	if err == nil {
+		t.Fatal("ReceiveResponse succeeded on a malformed frame")
+	}
+	return err
+}
+
+// assertPoisoned verifies the binding reports itself dead and refuses the
+// next exchange with the typed error.
+func assertPoisoned(t *testing.T, b *Binding, recvErr error) {
+	t.Helper()
+	if !errors.Is(recvErr, core.ErrBindingPoisoned) {
+		t.Errorf("receive error %v does not wrap ErrBindingPoisoned", recvErr)
+	}
+	if !b.Poisoned() {
+		t.Error("binding not marked poisoned")
+	}
+	err := b.SendRequest(context.Background(), []byte("again"), "application/x-bxsa")
+	if !errors.Is(err, core.ErrBindingPoisoned) {
+		t.Errorf("poisoned binding accepted another request: %v", err)
+	}
+	if !core.IsTransportError(err) {
+		t.Error("poisoned-binding error not classified as transport")
+	}
+}
+
+func TestPoisonOnBadMagic(t *testing.T) {
+	addr := scriptedServer(t, []byte("ZZ\x01junkjunkjunk"), false)
+	b := New(NetDialer, addr.String())
+	defer b.Close()
+	err := exchange(t, b, context.Background())
+	assertPoisoned(t, b, err)
+}
+
+func TestPoisonOnBadVersion(t *testing.T) {
+	script := frameHeader(0x7f, "application/x-bxsa")
+	addr := scriptedServer(t, script, false)
+	b := New(NetDialer, addr.String())
+	defer b.Close()
+	err := exchange(t, b, context.Background())
+	assertPoisoned(t, b, err)
+}
+
+func TestPoisonOnOversizedFrame(t *testing.T) {
+	script := frameHeader(version, "application/x-bxsa")
+	script = vls.AppendUint(script, uint64(maxFrame)+1)
+	addr := scriptedServer(t, script, false)
+	b := New(NetDialer, addr.String())
+	defer b.Close()
+	err := exchange(t, b, context.Background())
+	assertPoisoned(t, b, err)
+}
+
+func TestPoisonOnTruncatedVLSLength(t *testing.T) {
+	script := frameHeader(version, "application/x-bxsa")
+	// First byte of a multi-byte VLS payload length (continuation bit set),
+	// then the peer hangs up: the reader must error out, not hang.
+	script = append(script, 0x80|0x05)
+	addr := scriptedServer(t, script, true)
+	b := New(NetDialer, addr.String())
+	defer b.Close()
+	err := exchange(t, b, context.Background())
+	assertPoisoned(t, b, err)
+}
+
+func TestPoisonOnDeadlineMidFrame(t *testing.T) {
+	// A valid header and a promised 1 MB payload that never arrives: the
+	// context deadline expires mid-frame, which must poison the binding —
+	// the stream position is unknowable afterwards.
+	script := frameHeader(version, "application/x-bxsa")
+	script = vls.AppendUint(script, 1<<20)
+	script = append(script, []byte("only a little")...)
+	addr := scriptedServer(t, script, false)
+	b := New(NetDialer, addr.String())
+	defer b.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 80*time.Millisecond)
+	defer cancel()
+	err := exchange(t, b, ctx)
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Errorf("want timeout error, got %v", err)
+	}
+	assertPoisoned(t, b, err)
+}
+
+// TestHealthyAfterCleanExchange guards the opposite direction: a normal
+// round trip leaves the binding unpoisoned and reusable (regression check
+// that poisoning is not over-eager).
+func TestHealthyAfterCleanExchange(t *testing.T) {
+	reply := frameHeader(version, "application/x-bxsa")
+	reply = vls.AppendUint(reply, 2)
+	reply = append(reply, "ok"...)
+	addr := scriptedServer(t, reply, false)
+	b := New(NetDialer, addr.String())
+	defer b.Close()
+	if err := b.SendRequest(context.Background(), []byte("payload"), "application/x-bxsa"); err != nil {
+		t.Fatal(err)
+	}
+	payload, ct, err := b.ReceiveResponse(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(payload) != "ok" || ct != "application/x-bxsa" {
+		t.Errorf("got payload %q ct %q", payload, ct)
+	}
+	if b.Poisoned() {
+		t.Error("clean exchange poisoned the binding")
+	}
+}

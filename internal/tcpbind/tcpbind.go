@@ -50,10 +50,11 @@ type Binding struct {
 	addr string
 	dial Dialer
 
-	mu   sync.Mutex
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
+	mu       sync.Mutex
+	conn     net.Conn
+	br       *bufio.Reader
+	bw       *bufio.Writer
+	poisoned bool
 }
 
 // New creates a client binding to addr using the given dialer.
@@ -75,11 +76,36 @@ func (b *Binding) ensure() error {
 	return nil
 }
 
+// poison marks the binding dead and tears the connection down. Called (under
+// mu) after any frame-level failure: a partial write, a read deadline that
+// expired mid-frame, or a malformed frame all leave the stream position
+// unknown, so the connection must never carry another exchange.
+func (b *Binding) poison(op string, err error) error {
+	b.poisoned = true
+	if b.conn != nil {
+		b.conn.Close()
+		b.conn = nil
+	}
+	return fmt.Errorf("tcpbind: %s: %w: %w", op, core.ErrBindingPoisoned, err)
+}
+
+// Poisoned reports whether the binding has been retired after a frame-level
+// failure. A poisoned binding fails every subsequent operation with
+// core.ErrBindingPoisoned.
+func (b *Binding) Poisoned() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.poisoned
+}
+
 // SendRequest implements core.Binding. A context deadline maps onto the
 // connection's write deadline.
 func (b *Binding) SendRequest(ctx context.Context, payload []byte, contentType string) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.poisoned {
+		return fmt.Errorf("tcpbind: %w", core.ErrBindingPoisoned)
+	}
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -89,24 +115,41 @@ func (b *Binding) SendRequest(ctx context.Context, payload []byte, contentType s
 	if err := applyDeadline(ctx, b.conn.SetWriteDeadline); err != nil {
 		return err
 	}
-	return writeFrame(b.bw, payload, contentType)
+	if err := writeFrame(b.bw, payload, contentType); err != nil {
+		return b.poison("write frame", err)
+	}
+	return nil
 }
 
 // ReceiveResponse implements core.Binding. A context deadline maps onto the
-// connection's read deadline.
+// connection's read deadline. Any receive failure — including a deadline
+// expiry before or during the frame — poisons the binding: a late response
+// still in flight would desynchronize the next exchange.
 func (b *Binding) ReceiveResponse(ctx context.Context) ([]byte, string, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if err := ctx.Err(); err != nil {
-		return nil, "", err
+	if b.poisoned {
+		return nil, "", fmt.Errorf("tcpbind: %w", core.ErrBindingPoisoned)
 	}
 	if b.conn == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, "", err
+		}
 		return nil, "", errors.New("tcpbind: no request in flight")
+	}
+	if err := ctx.Err(); err != nil {
+		// The request went out; abandoning its response desynchronizes the
+		// stream just as surely as a mid-frame timeout.
+		return nil, "", b.poison("abandon response", err)
 	}
 	if err := applyDeadline(ctx, b.conn.SetReadDeadline); err != nil {
 		return nil, "", err
 	}
-	return readFrame(b.br)
+	payload, ct, err := readFrame(b.br)
+	if err != nil {
+		return nil, "", b.poison("read frame", err)
+	}
+	return payload, ct, nil
 }
 
 // applyDeadline projects a context deadline onto a conn deadline setter,
