@@ -328,3 +328,17 @@ func asFault(err error, f **Fault) bool {
 	}
 	return ok
 }
+
+// TestAckSniffScansFullPayload: a fault acknowledgement may carry
+// arbitrarily large leading headers (e.g. signed Security headers) before
+// the Fault element; the sniff must not stop at some prefix window and
+// misreport the ack as clean.
+func TestAckSniffScansFullPayload(t *testing.T) {
+	padded := append(bytes.Repeat([]byte{'h'}, 4096), []byte("<soap:Fault>")...)
+	if !ackLooksLikeFault(padded) {
+		t.Error("fault marker past 1KB of headers not detected")
+	}
+	if ackLooksLikeFault(bytes.Repeat([]byte{'x'}, 4096)) {
+		t.Error("false positive on payload without fault marker")
+	}
+}

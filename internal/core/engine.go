@@ -93,14 +93,12 @@ func (e *Engine[E, B]) Send(ctx context.Context, req *Envelope) error {
 	return nil
 }
 
-// ackLooksLikeFault sniffs the first KB of an acknowledgement payload for a
-// fault marker.
+// ackLooksLikeFault sniffs an acknowledgement payload for a fault marker.
+// The whole payload is scanned: a fault envelope may carry arbitrarily
+// large leading headers (e.g. signed Security headers), and bytes.Contains
+// over the acknowledgement is cheap next to the exchange that produced it.
 func ackLooksLikeFault(payload []byte) bool {
-	head := payload
-	if len(head) > 1024 {
-		head = head[:1024]
-	}
-	return bytes.Contains(head, []byte("Fault"))
+	return bytes.Contains(payload, []byte("Fault"))
 }
 
 func (e *Engine[E, B]) transmit(ctx context.Context, req *Envelope) error {

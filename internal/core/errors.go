@@ -38,13 +38,18 @@ func (e *TransportError) Unwrap() error { return e.Err }
 // kind a caller may retry on a fresh connection (for idempotent
 // operations), as opposed to an application-level refusal (*Fault) or a
 // payload problem (encode/decode errors), which would fail identically on
-// any connection.
+// any connection. A context.Canceled is deliberately excluded: it records
+// the caller's own decision to stop, not peer health, so retrying it would
+// override the user (it still Poisons the connection it interrupted).
 func IsTransportError(err error) bool {
 	if err == nil {
 		return false
 	}
 	var f *Fault
 	if errors.As(err, &f) {
+		return false
+	}
+	if errors.Is(err, context.Canceled) {
 		return false
 	}
 	var te *TransportError
@@ -58,8 +63,7 @@ func IsTransportError(err error) bool {
 		errors.Is(err, syscall.ECONNRESET) ||
 		errors.Is(err, syscall.ECONNREFUSED) ||
 		errors.Is(err, syscall.EPIPE) ||
-		errors.Is(err, context.DeadlineExceeded) ||
-		errors.Is(err, context.Canceled) {
+		errors.Is(err, context.DeadlineExceeded) {
 		return true
 	}
 	var ne net.Error
@@ -70,6 +74,10 @@ func IsTransportError(err error) bool {
 // no longer safe to reuse. Every transport error poisons: even when the
 // bytes on the wire might technically still be framed (e.g. a deadline that
 // expired before the first response byte), the response can arrive later
-// and desynchronize the next exchange. Application faults and decode
-// errors arrive on a synchronized stream and do not poison.
-func Poisons(err error) bool { return IsTransportError(err) }
+// and desynchronize the next exchange. Cancellation also poisons — the
+// abandoned exchange leaves the stream mid-frame — even though it is not a
+// retryable transport error. Application faults and decode errors arrive on
+// a synchronized stream and do not poison.
+func Poisons(err error) bool {
+	return IsTransportError(err) || errors.Is(err, context.Canceled)
+}

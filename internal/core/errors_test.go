@@ -25,12 +25,37 @@ func TestIsTransportErrorClassification(t *testing.T) {
 		{"eof", io.EOF, true},
 		{"unexpected eof", io.ErrUnexpectedEOF, true},
 		{"deadline", context.DeadlineExceeded, true},
+		{"canceled", context.Canceled, false},
+		{"wrapped canceled", &core.TransportError{Op: "receive response", Err: context.Canceled}, false},
 		{"soap fault", &core.Fault{Code: core.FaultServer, String: "no"}, false},
 		{"decode error", errors.New("soap: decode response: bad byte"), false},
 	}
 	for _, c := range cases {
 		if got := core.IsTransportError(c.err); got != c.want {
 			t.Errorf("IsTransportError(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestPoisonsIncludesCancellation: a deliberate cancellation is not a
+// retryable transport error (the user said stop), yet the exchange it
+// abandoned leaves the connection mid-frame, so it must still poison.
+func TestPoisonsIncludesCancellation(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"canceled", context.Canceled, true},
+		{"wrapped canceled", &core.TransportError{Op: "receive response", Err: context.Canceled}, true},
+		{"deadline", context.DeadlineExceeded, true},
+		{"eof", io.EOF, true},
+		{"soap fault", &core.Fault{Code: core.FaultServer, String: "no"}, false},
+		{"decode error", errors.New("soap: decode response: bad byte"), false},
+	}
+	for _, c := range cases {
+		if got := core.Poisons(c.err); got != c.want {
+			t.Errorf("Poisons(%s) = %v, want %v", c.name, got, c.want)
 		}
 	}
 }

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"context"
 	"log"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"bxsoap/internal/bxdm"
 	"bxsoap/internal/core"
@@ -63,7 +65,7 @@ func TestServerErrorLog(t *testing.T) {
 		func(_ context.Context, req *core.Envelope) (*core.Envelope, error) {
 			return core.NewEnvelope(), nil
 		})
-	var buf bytes.Buffer
+	var buf lockedBuffer
 	srv.ErrorLog = log.New(&buf, "", 0)
 	go srv.Serve()
 	defer srv.Close()
@@ -82,9 +84,34 @@ func TestServerErrorLog(t *testing.T) {
 	if _, err := eng.Call(context.Background(), core.NewEnvelope()); err != nil {
 		t.Fatalf("server did not survive a bad channel: %v", err)
 	}
+	// The bad channel's goroutine logs asynchronously; poll rather than
+	// assert at one racy instant.
+	deadline := time.Now().Add(2 * time.Second)
+	for buf.Len() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
 	if buf.Len() == 0 {
 		t.Error("channel error not logged")
 	}
+}
+
+// lockedBuffer is a mutex-guarded bytes.Buffer: the server's ErrorLog
+// writes from channel goroutines while the test reads.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Len()
 }
 
 // TestHandlerNilResponse: a nil, nil handler return produces an empty

@@ -97,24 +97,28 @@ type breaker struct {
 	openedAt    time.Time
 }
 
-// allow gates one call attempt; a nil return admits it.
-func (b *breaker) allow() error {
+// allow gates one call attempt; a nil error admits it. probe reports that
+// the admitted call is the single half-open probe: the caller MUST settle
+// it with success, failure, or abandon(probe) on every exit path — an
+// unsettled probe would leave the breaker half-open, rejecting all traffic
+// forever.
+func (b *breaker) allow() (probe bool, err error) {
 	if b.policy.Threshold < 0 {
-		return nil
+		return false, nil
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case brkClosed:
-		return nil
+		return false, nil
 	case brkOpen:
 		if time.Since(b.openedAt) < b.policy.Cooldown {
-			return ErrCircuitOpen
+			return false, ErrCircuitOpen
 		}
 		b.state = brkHalfOpen // admit exactly one probe
-		return nil
+		return true, nil
 	default: // brkHalfOpen: a probe is already in flight
-		return ErrCircuitOpen
+		return false, ErrCircuitOpen
 	}
 }
 
@@ -139,6 +143,23 @@ func (b *breaker) failure() {
 	b.mu.Lock()
 	b.consecutive++
 	if b.state == brkHalfOpen || b.consecutive >= b.policy.Threshold {
+		b.state = brkOpen
+		b.openedAt = time.Now()
+	}
+	b.mu.Unlock()
+}
+
+// abandon settles a half-open probe that exited without a transport
+// verdict — the caller's context expired, the pool closed, or the failure
+// was payload-level rather than transport-level. The circuit reverts to
+// open with a refreshed cooldown so a future call gets to probe again;
+// without this an abandoned probe would wedge the breaker half-open.
+func (b *breaker) abandon(probe bool) {
+	if !probe || b.policy.Threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	if b.state == brkHalfOpen {
 		b.state = brkOpen
 		b.openedAt = time.Now()
 	}

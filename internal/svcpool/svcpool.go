@@ -196,35 +196,61 @@ func (p *Pool[E, B]) do(ctx context.Context, retry bool, op func(context.Context
 				return err
 			}
 		}
-		if berr := p.brk.allow(); berr != nil {
-			p.rejected.Add(1)
-			return berr
-		}
-		err = p.attempt(ctx, op)
-		if err == nil {
-			p.brk.success()
-			return nil
-		}
-		var f *core.Fault
-		if errors.As(err, &f) {
-			// The peer answered "no": the transport demonstrably works.
-			p.brk.success()
+		var final bool
+		final, err = p.tryOnce(ctx, op)
+		if final {
 			return err
 		}
-		if errors.Is(err, ErrPoolClosed) || ctx.Err() != nil {
-			// Shutdown, or the caller's own budget spent while waiting /
-			// mid-exchange — neither says anything about peer health.
-			return err
-		}
-		if !core.IsTransportError(err) {
-			// Encode/decode/content-type problems repeat identically on
-			// any connection; retrying burns attempts for nothing.
-			return err
-		}
-		p.failures.Add(1)
-		p.brk.failure()
 	}
 	return err
+}
+
+// tryOnce runs one breaker-gated attempt. final reports that do should
+// return err now instead of retrying. Whatever path the attempt exits by —
+// including a panic in op — the breaker is settled: success, failure, or
+// (via the deferred abandon) reverting an unresolved half-open probe so it
+// cannot wedge the breaker.
+func (p *Pool[E, B]) tryOnce(ctx context.Context, op func(context.Context, *core.Engine[E, B]) error) (final bool, err error) {
+	probe, berr := p.brk.allow()
+	if berr != nil {
+		p.rejected.Add(1)
+		return true, berr
+	}
+	settled := false
+	defer func() {
+		if !settled {
+			p.brk.abandon(probe)
+		}
+	}()
+	err = p.attempt(ctx, op)
+	if err == nil {
+		settled = true
+		p.brk.success()
+		return true, nil
+	}
+	var f *core.Fault
+	if errors.As(err, &f) {
+		// The peer answered "no": the transport demonstrably works.
+		settled = true
+		p.brk.success()
+		return true, err
+	}
+	if errors.Is(err, ErrPoolClosed) || ctx.Err() != nil {
+		// Shutdown, or the caller's own budget spent while waiting /
+		// mid-exchange — neither says anything about peer health. The
+		// deferred abandon settles a probe that ends here.
+		return true, err
+	}
+	if !core.IsTransportError(err) {
+		// Encode/decode/content-type problems repeat identically on
+		// any connection; retrying burns attempts for nothing. No
+		// transport verdict either way — abandon settles the probe.
+		return true, err
+	}
+	settled = true
+	p.failures.Add(1)
+	p.brk.failure()
+	return false, err
 }
 
 // attempt checks out a connection, runs one exchange under the per-call
@@ -316,6 +342,14 @@ func (p *Pool[E, B]) put(c *pooled[E, B]) {
 	c.lastUsed = time.Now()
 	select {
 	case p.idle <- c:
+		// Close may have drained idle between the done check above and our
+		// send landing; re-check and drain so the parked connection cannot
+		// leak past shutdown.
+		select {
+		case <-p.done:
+			p.drainIdle()
+		default:
+		}
 	default:
 		// Unreachable in normal operation (idle cap == MaxConns), but never
 		// block holding a connection.
@@ -405,12 +439,20 @@ func (p *Pool[E, B]) Stats() Stats {
 // as their calls complete.
 func (p *Pool[E, B]) Close() error {
 	p.closing.Do(func() { close(p.done) })
+	p.drainIdle()
+	return nil
+}
+
+// drainIdle closes every connection currently parked on the free list.
+// Only meaningful after done is closed; safe to call from multiple
+// goroutines (Close and puts racing shutdown).
+func (p *Pool[E, B]) drainIdle() {
 	for {
 		select {
 		case c := <-p.idle:
 			c.eng.Close()
 		default:
-			return nil
+			return
 		}
 	}
 }

@@ -421,3 +421,131 @@ func TestPoolClosed(t *testing.T) {
 		t.Error("idle conn not closed on pool Close")
 	}
 }
+
+// TestBreakerAbandonedProbe: a half-open probe that exits without a
+// transport verdict must settle the breaker back to open (fresh cooldown),
+// not leave it half-open rejecting every future call.
+func TestBreakerAbandonedProbe(t *testing.T) {
+	b := breaker{policy: BreakerPolicy{Threshold: 1, Cooldown: 10 * time.Millisecond}.withDefaults()}
+	b.failure() // threshold 1: opens immediately
+	if _, err := b.allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open circuit should reject, got %v", err)
+	}
+
+	time.Sleep(15 * time.Millisecond)
+	probe, err := b.allow()
+	if err != nil || !probe {
+		t.Fatalf("post-cooldown call should be the probe, got probe=%v err=%v", probe, err)
+	}
+	// The probe exits with no success/failure (caller cancelled, pool
+	// closed, or payload-level error).
+	b.abandon(probe)
+
+	// Back to open: in-cooldown calls reject, but the circuit is not wedged —
+	// after another cooldown a new probe is admitted.
+	if _, err := b.allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("abandoned probe should reopen the circuit, got %v", err)
+	}
+	time.Sleep(15 * time.Millisecond)
+	probe, err = b.allow()
+	if err != nil || !probe {
+		t.Fatalf("breaker wedged after abandoned probe: probe=%v err=%v", probe, err)
+	}
+	b.success()
+	if probe, err := b.allow(); err != nil || probe {
+		t.Fatalf("closed circuit should admit plain calls, got probe=%v err=%v", probe, err)
+	}
+
+	// abandon from a non-probe caller must never disturb the state.
+	b.abandon(false)
+	if _, err := b.allow(); err != nil {
+		t.Fatalf("abandon(false) disturbed a closed circuit: %v", err)
+	}
+}
+
+// TestAbandonedProbeDoesNotWedgePool reproduces the blackholed-peer
+// scenario end to end: the circuit opens, the half-open probe dies on the
+// caller's own deadline (no transport verdict recorded), and the pool must
+// still recover once the peer comes back instead of returning
+// ErrCircuitOpen forever.
+func TestAbandonedProbeDoesNotWedgePool(t *testing.T) {
+	release := make(chan struct{})
+	var dials atomic.Int64
+	factory := func(context.Context) (*core.Engine[core.BXSAEncoding, *gateBinding], error) {
+		if dials.Add(1) == 1 {
+			return nil, fmt.Errorf("dial: %w", syscall.ECONNREFUSED)
+		}
+		return core.NewEngine(core.BXSAEncoding{}, &gateBinding{release: release}), nil
+	}
+	p := New(factory, Config{
+		MaxConns: 1,
+		Retry:    RetryPolicy{MaxAttempts: 1},
+		Breaker:  BreakerPolicy{Threshold: 1, Cooldown: 20 * time.Millisecond},
+	})
+	defer p.Close()
+
+	// One dial failure opens the circuit (threshold 1); the next call is
+	// rejected outright.
+	if _, err := p.Call(context.Background(), testEnvelope()); err == nil {
+		t.Fatal("expected dial failure")
+	}
+	if _, err := p.Call(context.Background(), testEnvelope()); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("want ErrCircuitOpen, got %v", err)
+	}
+
+	// Past cooldown the next call is the probe. The peer blackholes the
+	// exchange and the caller's own deadline fires first — the exact path
+	// that used to leave the breaker half-open forever.
+	time.Sleep(30 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := p.Call(ctx, testEnvelope()); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("probe should die on caller deadline, got %v", err)
+	}
+
+	// The peer recovers; after another cooldown the pool must admit a new
+	// probe and succeed.
+	close(release)
+	time.Sleep(30 * time.Millisecond)
+	if _, err := p.Call(context.Background(), testEnvelope()); err != nil {
+		t.Fatalf("pool wedged after abandoned probe: %v", err)
+	}
+}
+
+// TestCloseRacingPutLeaksNothing: puts racing Close must never park a
+// connection on the free list after Close drained it — every binding the
+// factory ever handed out ends up closed. Run under -race.
+func TestCloseRacingPutLeaksNothing(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		ff := &fakeFactory{}
+		p := New(ff.factory, Config{MaxConns: 4, MaxInflight: 16, Retry: RetryPolicy{MaxAttempts: 1}})
+
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 4; i++ {
+					p.Call(context.Background(), testEnvelope())
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Close()
+		}()
+		wg.Wait()
+
+		ff.mu.Lock()
+		for i, b := range ff.bindings {
+			b.mu.Lock()
+			closed := b.closed
+			b.mu.Unlock()
+			if !closed {
+				t.Fatalf("round %d: binding %d leaked past Close", round, i)
+			}
+		}
+		ff.mu.Unlock()
+	}
+}
