@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+	"unsafe"
 
 	"bxsoap/internal/xbs"
 )
@@ -206,6 +207,10 @@ func ReadArrayXBS(r *xbs.Reader, code TypeCode, n int) (ArrayData, error) {
 type ArrayBuilder interface {
 	// AppendLexical parses and appends one item.
 	AppendLexical(s string) error
+	// AppendLexicalBytes parses and appends one item from bytes the caller
+	// may reuse afterwards (the builder never retains them). It exists so
+	// byte-oriented parsers can feed items without a per-item string copy.
+	AppendLexicalBytes(s []byte) error
 	// Data returns the packed array built so far.
 	Data() ArrayData
 }
@@ -219,6 +224,22 @@ func (b *typedBuilder[T]) AppendLexical(s string) error {
 	v, err := b.parse(s)
 	if err != nil {
 		return err
+	}
+	b.items = append(b.items, v)
+	return nil
+}
+
+func (b *typedBuilder[T]) AppendLexicalBytes(s []byte) error {
+	if len(s) == 0 {
+		return b.AppendLexical("")
+	}
+	// The parse funcs are strconv wrappers that only read their argument,
+	// so viewing the caller's bytes as a string is safe on the happy path.
+	// Errors re-parse from a copied string: strconv error values embed the
+	// input, which must not alias a buffer the caller will recycle.
+	v, err := b.parse(unsafe.String(unsafe.SliceData(s), len(s)))
+	if err != nil {
+		return b.AppendLexical(string(s))
 	}
 	b.items = append(b.items, v)
 	return nil

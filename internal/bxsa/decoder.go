@@ -5,23 +5,35 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"bxsoap/internal/bxdm"
 	"bxsoap/internal/vls"
 	"bxsoap/internal/xbs"
 )
 
+// decPool recycles decoder state (namespace scope frames and the XBS
+// reader pair) across messages. The decoded tree never aliases decoder
+// state, so pooling is invisible to callers.
+var decPool = sync.Pool{New: func() any { return new(decoder) }}
+
 // Parse decodes a BXSA document into a bXDM tree. The input must contain
 // exactly one top-level frame (normally a document frame; a bare element
-// frame is also accepted and returned as-is).
+// frame is also accepted and returned as-is). The returned tree does not
+// alias data: callers may recycle the buffer as soon as Parse returns.
 func Parse(data []byte) (bxdm.Node, error) {
-	d := &decoder{data: data}
+	d := decPool.Get().(*decoder)
+	d.data, d.pos = data, 0
 	n, err := d.parseFrame()
+	pos, trailing := d.pos, len(data)-d.pos
+	d.data = nil
+	d.br.Reset(nil)
+	decPool.Put(d)
 	if err != nil {
-		return nil, fmt.Errorf("bxsa: %w at byte %d", err, d.pos)
+		return nil, fmt.Errorf("bxsa: %w at byte %d", err, pos)
 	}
-	if d.pos != len(data) {
-		return nil, fmt.Errorf("bxsa: %d trailing bytes after document frame", len(data)-d.pos)
+	if trailing != 0 {
+		return nil, fmt.Errorf("bxsa: %d trailing bytes after document frame", trailing)
 	}
 	return n, nil
 }
@@ -52,6 +64,8 @@ type decoder struct {
 	data  []byte
 	pos   int
 	scope bxdm.NSScope
+	br    bytes.Reader
+	xr    xbs.Reader
 }
 
 func (d *decoder) errf(format string, args ...any) error {
@@ -383,8 +397,9 @@ func (d *decoder) readArrayData(order xbs.ByteOrder) (bxdm.ArrayData, error) {
 	if elem > 1 && d.pos%elem != 0 {
 		return nil, d.errf("array data misaligned: offset %d for item size %d", d.pos, elem)
 	}
-	xr := xbs.NewReader(bytes.NewReader(d.data[d.pos:]), order, int64(d.pos))
-	data, err := bxdm.ReadArrayXBS(xr, code, int(count))
+	d.br.Reset(d.data[d.pos:])
+	d.xr.Reset(&d.br, order, int64(d.pos))
+	data, err := bxdm.ReadArrayXBS(&d.xr, code, int(count))
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"sync"
 
 	"bxsoap/internal/bxdm"
 	"bxsoap/internal/vls"
@@ -19,16 +20,33 @@ type EncodeOptions struct {
 
 // Marshal serializes a bXDM tree to BXSA.
 func Marshal(n bxdm.Node, opts EncodeOptions) ([]byte, error) {
+	return MarshalAppend(nil, n, opts)
+}
+
+// MarshalAppend serializes a bXDM tree to BXSA by appending to dst and
+// returning the extended slice. Because the measure pass computes the exact
+// encoded size first, the destination grows at most once — callers handing
+// in a pooled buffer of roughly the right capacity get a zero-allocation
+// emit.
+func MarshalAppend(dst []byte, n bxdm.Node, opts EncodeOptions) ([]byte, error) {
 	e, err := newEncoding(n, opts)
 	if err != nil {
 		return nil, err
 	}
-	buf := make([]byte, 0, e.totalSize())
-	w := &sliceSink{buf: buf}
-	if err := e.emit(w, n); err != nil {
+	if need := len(dst) + e.total; cap(dst) < need {
+		nb := make([]byte, len(dst), need)
+		copy(nb, dst)
+		dst = nb
+	}
+	e.sink.buf = dst
+	e.sink.base = len(dst)
+	err = e.emit(n)
+	out := e.sink.buf
+	e.release()
+	if err != nil {
 		return nil, err
 	}
-	return w.buf, nil
+	return out, nil
 }
 
 // Encode serializes a bXDM tree to w.
@@ -49,24 +67,28 @@ func EncodedSize(n bxdm.Node, opts EncodeOptions) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	return e.totalSize(), nil
+	total := e.total
+	e.release()
+	return total, nil
 }
 
-// sliceSink is an offset-tracked append sink for the emit pass.
+// sliceSink is an offset-tracked append sink for the emit pass. Offsets are
+// relative to base — the message's first byte — so array alignment agrees
+// with the decoder even when the message is appended after unrelated bytes
+// (e.g. a wssec authentication frame).
 type sliceSink struct {
-	buf []byte
+	buf  []byte
+	base int
 }
 
-func (s *sliceSink) offset() int { return len(s.buf) }
+func (s *sliceSink) offset() int { return len(s.buf) - s.base }
 
 // layout is the resolved wire form of one element frame, computed in the
-// layout pass so namespace resolution happens exactly once.
+// measure pass so namespace resolution happens exactly once.
 type layout struct {
-	decls    []bxdm.NamespaceDecl // effective decls (explicit + synthesized)
-	nameRef  nsref
-	attrRefs []nsref
-	bodySize int
-	size     int // full frame size: prefix + size VLS + body
+	decls     []bxdm.NamespaceDecl // effective decls (explicit + synthesized)
+	nameRef   nsref
+	attrStart int // index of this element's refs in encoding.attrRefs
 }
 
 // nsref is a tokenized namespace reference. depthPlus1 == 0 means "no
@@ -84,35 +106,72 @@ func (r nsref) encodedLen() int {
 	return n
 }
 
-// encoding holds the per-document layout state shared by the two passes.
-type encoding struct {
-	opts    EncodeOptions
-	layouts map[bxdm.Node]*layout
-	sizes   map[bxdm.Node]int // full frame size per node
-	root    bxdm.Node
-	auto    int
+// frameRec is the measured form of one frame. Measure appends one record
+// per node in document pre-order; emit walks the same order with a cursor,
+// so no per-node map is needed and the whole layout state recycles through
+// encPool between messages.
+type frameRec struct {
+	body   int
+	layout layout // meaningful only for element-kind frames
 }
 
+// encoding holds the per-document layout state shared by the two passes.
+// Instances are pooled: frames, the attrRefs arena, the namespace scope,
+// and the array writer all keep their capacity across messages.
+type encoding struct {
+	opts     EncodeOptions
+	frames   []frameRec
+	attrRefs []nsref
+	total    int
+	auto     int
+	cursor   int
+	scope    bxdm.NSScope
+	sink     sliceSink
+	xw       xbs.Writer
+}
+
+var encPool = sync.Pool{New: func() any { return new(encoding) }}
+
 func newEncoding(root bxdm.Node, opts EncodeOptions) (*encoding, error) {
-	e := &encoding{
-		opts:    opts,
-		layouts: make(map[bxdm.Node]*layout),
-		sizes:   make(map[bxdm.Node]int),
-		root:    root,
+	e := encPool.Get().(*encoding)
+	e.opts = opts
+	e.frames = e.frames[:0]
+	e.attrRefs = e.attrRefs[:0]
+	e.auto = 0
+	e.cursor = 0
+	for e.scope.Depth() > 0 { // a failed earlier measure may have left frames pushed
+		e.scope.Pop()
 	}
-	var scope bxdm.NSScope
-	if _, err := e.measure(root, &scope); err != nil {
+	total, err := e.measure(root, &e.scope)
+	if err != nil {
+		e.release()
 		return nil, err
 	}
+	e.total = total
 	return e, nil
 }
 
-func (e *encoding) totalSize() int { return e.sizes[e.root] }
+// release drops references into the encoded document and files the state
+// back in the pool.
+func (e *encoding) release() {
+	for i := range e.frames {
+		e.frames[i].layout.decls = nil
+	}
+	e.frames = e.frames[:0]
+	e.attrRefs = e.attrRefs[:0]
+	e.sink.buf = nil
+	e.sink.base = 0
+	encPool.Put(e)
+}
 
 // measure computes the frame size of n (and all descendants), resolving
-// namespaces along the way.
+// namespaces along the way and appending one frameRec per node in
+// pre-order.
 func (e *encoding) measure(n bxdm.Node, scope *bxdm.NSScope) (int, error) {
+	idx := len(e.frames)
+	e.frames = append(e.frames, frameRec{})
 	var body int
+	var l layout
 	switch x := n.(type) {
 	case *bxdm.Document:
 		body = vls.EncodedLen(uint64(len(x.Children)))
@@ -124,11 +183,12 @@ func (e *encoding) measure(n bxdm.Node, scope *bxdm.NSScope) (int, error) {
 			body += s
 		}
 	case *bxdm.Element:
-		l, err := e.measureCommon(&x.ElemCommon, scope)
+		common, err := e.measureCommon(&x.ElemCommon, scope)
 		if err != nil {
 			return 0, err
 		}
-		body = l.bodySize + vls.EncodedLen(uint64(len(x.Children)))
+		l = common.layout
+		body = common.size + vls.EncodedLen(uint64(len(x.Children)))
 		for _, c := range x.Children {
 			s, err := e.measure(c, scope)
 			if err != nil {
@@ -138,30 +198,29 @@ func (e *encoding) measure(n bxdm.Node, scope *bxdm.NSScope) (int, error) {
 			body += s
 		}
 		scope.Pop()
-		e.finishLayout(n, l, body)
 	case *bxdm.LeafElement:
-		l, err := e.measureCommon(&x.ElemCommon, scope)
+		common, err := e.measureCommon(&x.ElemCommon, scope)
 		if err != nil {
 			return 0, err
 		}
 		scope.Pop()
+		l = common.layout
 		sz, err := scalarSize(x.Value)
 		if err != nil {
 			return 0, err
 		}
-		body = l.bodySize + 1 + sz
-		e.finishLayout(n, l, body)
+		body = common.size + 1 + sz
 	case *bxdm.ArrayElement:
-		l, err := e.measureCommon(&x.ElemCommon, scope)
+		common, err := e.measureCommon(&x.ElemCommon, scope)
 		if err != nil {
 			return 0, err
 		}
 		scope.Pop()
+		l = common.layout
 		if !x.Data.Type().Valid() || x.Data.Type() == bxdm.TString || x.Data.Type() == bxdm.TBool {
 			return 0, fmt.Errorf("bxsa: array element %s has invalid item type %v", x.Name, x.Data.Type())
 		}
-		body = l.bodySize + 1 + vls.EncodedLen(uint64(x.Data.Len())) + slackBytes + x.Data.ByteLen()
-		e.finishLayout(n, l, body)
+		body = common.size + 1 + vls.EncodedLen(uint64(x.Data.Len())) + slackBytes + x.Data.ByteLen()
 	case *bxdm.Text:
 		body = vls.EncodedLen(uint64(len(x.Data))) + len(x.Data)
 	case *bxdm.Comment:
@@ -172,25 +231,25 @@ func (e *encoding) measure(n bxdm.Node, scope *bxdm.NSScope) (int, error) {
 	default:
 		return 0, fmt.Errorf("bxsa: cannot encode node %T", n)
 	}
-	size := 1 + vls.EncodedLen(uint64(body)) + body
-	e.sizes[n] = size
-	return size, nil
+	e.frames[idx].body = body
+	e.frames[idx].layout = l
+	return 1 + vls.EncodedLen(uint64(body)) + body, nil
 }
 
-func (e *encoding) finishLayout(n bxdm.Node, l *layout, body int) {
-	l.bodySize = body
-	l.size = 1 + vls.EncodedLen(uint64(body)) + body
-	e.layouts[n] = l
+// measuredCommon is measureCommon's result: the element layout plus the
+// byte size of the common section.
+type measuredCommon struct {
+	layout layout
+	size   int
 }
 
 // measureCommon resolves the element's namespace table, name, and attributes
-// and returns a layout whose bodySize covers only the common section. It
-// leaves the element's scope PUSHED; the caller pops after measuring
-// children.
-func (e *encoding) measureCommon(c *bxdm.ElemCommon, scope *bxdm.NSScope) (*layout, error) {
+// and returns the layout and common-section size. It leaves the element's
+// scope PUSHED; the caller pops after measuring children.
+func (e *encoding) measureCommon(c *bxdm.ElemCommon, scope *bxdm.NSScope) (measuredCommon, error) {
 	decls := e.effectiveDecls(c, scope)
 	scope.Push(decls)
-	l := &layout{decls: decls}
+	m := measuredCommon{layout: layout{decls: decls, attrStart: len(e.attrRefs)}}
 
 	size := vls.EncodedLen(uint64(len(decls)))
 	for _, d := range decls {
@@ -201,80 +260,90 @@ func (e *encoding) measureCommon(c *bxdm.ElemCommon, scope *bxdm.NSScope) (*layo
 	ref, err := resolveRef(scope, c.Name.Space)
 	if err != nil {
 		scope.Pop()
-		return nil, fmt.Errorf("bxsa: element %s: %w", c.Name, err)
+		return m, fmt.Errorf("bxsa: element %s: %w", c.Name, err)
 	}
-	l.nameRef = ref
+	m.layout.nameRef = ref
 	size += ref.encodedLen()
 	size += vls.EncodedLen(uint64(len(c.Name.Local))) + len(c.Name.Local)
 
 	size += vls.EncodedLen(uint64(len(c.Attributes)))
-	l.attrRefs = make([]nsref, len(c.Attributes))
-	for i, a := range c.Attributes {
+	for _, a := range c.Attributes {
 		ar, err := resolveRef(scope, a.Name.Space)
 		if err != nil {
 			scope.Pop()
-			return nil, fmt.Errorf("bxsa: attribute %s: %w", a.Name, err)
+			return m, fmt.Errorf("bxsa: attribute %s: %w", a.Name, err)
 		}
-		l.attrRefs[i] = ar
+		e.attrRefs = append(e.attrRefs, ar)
 		size += ar.encodedLen()
 		size += vls.EncodedLen(uint64(len(a.Name.Local))) + len(a.Name.Local)
 		sz, err := scalarSize(a.Value)
 		if err != nil {
 			scope.Pop()
-			return nil, fmt.Errorf("bxsa: attribute %s: %w", a.Name, err)
+			return m, fmt.Errorf("bxsa: attribute %s: %w", a.Name, err)
 		}
 		size += 1 + sz
 	}
-	l.bodySize = size
-	return l, nil
+	m.size = size
+	return m, nil
 }
 
 // effectiveDecls returns the element's declarations plus synthesized ones
 // for any namespace used by the element or attribute names that is not in
 // scope (mirrors the XML writer's auto-declaration, so arbitrary trees are
-// encodable).
+// encodable). The common case — nothing to synthesize — aliases the
+// element's own declaration slice; a copy is made only on first append.
 func (e *encoding) effectiveDecls(c *bxdm.ElemCommon, scope *bxdm.NSScope) []bxdm.NamespaceDecl {
-	decls := append([]bxdm.NamespaceDecl(nil), c.NamespaceDecls...)
-	have := func(uri string) bool {
-		for _, d := range decls {
-			if d.URI == uri {
-				return true
-			}
-		}
-		if _, _, err := scope.Resolve(uri); err == nil {
-			return true
-		}
-		return false
-	}
-	taken := func(prefix string) bool {
-		for _, d := range decls {
-			if d.Prefix == prefix {
-				return true
-			}
-		}
-		return false
-	}
-	ensure := func(space, hint string) {
-		if space == "" || have(space) {
-			return
-		}
-		prefix := hint
-		if prefix == "" || taken(prefix) {
-			for {
-				e.auto++
-				prefix = "ns" + strconv.Itoa(e.auto)
-				if !taken(prefix) {
-					break
-				}
-			}
-		}
-		decls = append(decls, bxdm.NamespaceDecl{Prefix: prefix, URI: space})
-	}
-	ensure(c.Name.Space, c.Name.Prefix)
+	decls := c.NamespaceDecls
+	decls = e.ensureDecl(decls, c.NamespaceDecls, scope, c.Name.Space, c.Name.Prefix)
 	for _, a := range c.Attributes {
-		ensure(a.Name.Space, a.Name.Prefix)
+		decls = e.ensureDecl(decls, c.NamespaceDecls, scope, a.Name.Space, a.Name.Prefix)
 	}
 	return decls
+}
+
+func (e *encoding) ensureDecl(decls, orig []bxdm.NamespaceDecl, scope *bxdm.NSScope, space, hint string) []bxdm.NamespaceDecl {
+	if space == "" || declsHaveURI(decls, space) {
+		return decls
+	}
+	if _, _, err := scope.Resolve(space); err == nil {
+		return decls
+	}
+	prefix := hint
+	if prefix == "" || declsHavePrefix(decls, prefix) {
+		for {
+			e.auto++
+			prefix = "ns" + strconv.Itoa(e.auto)
+			if !declsHavePrefix(decls, prefix) {
+				break
+			}
+		}
+	}
+	if len(decls) == len(orig) {
+		// Still aliasing the element's own slice; copy before appending so
+		// the document is never mutated through shared capacity.
+		nd := make([]bxdm.NamespaceDecl, len(decls), len(decls)+2)
+		copy(nd, decls)
+		decls = nd
+	}
+	return append(decls, bxdm.NamespaceDecl{Prefix: prefix, URI: space})
+}
+
+func declsHaveURI(decls []bxdm.NamespaceDecl, uri string) bool {
+	for _, d := range decls {
+		if d.URI == uri {
+			return true
+		}
+	}
+	return false
+}
+
+func declsHavePrefix(decls []bxdm.NamespaceDecl, prefix string) bool {
+	for _, d := range decls {
+		if d.Prefix == prefix {
+			return true
+		}
+	}
+	return false
 }
 
 func resolveRef(scope *bxdm.NSScope, space string) (nsref, error) {
@@ -306,39 +375,43 @@ func scalarSize(v bxdm.Value) (int, error) {
 // ---------------------------------------------------------------------------
 // Emit pass
 
-func (e *encoding) emit(w *sliceSink, n bxdm.Node) error {
+// emit walks the tree in the same pre-order as measure, consuming one
+// frameRec per node via the cursor.
+func (e *encoding) emit(n bxdm.Node) error {
+	rec := &e.frames[e.cursor]
+	e.cursor++
 	ft, err := frameTypeFor(n)
 	if err != nil {
 		return err
 	}
-	bodySize := e.bodySizeOf(n)
+	w := &e.sink
 	w.buf = append(w.buf, prefixByte(e.opts.Order, ft))
-	w.buf = vls.AppendUint(w.buf, uint64(bodySize))
+	w.buf = vls.AppendUint(w.buf, uint64(rec.body))
 
 	switch x := n.(type) {
 	case *bxdm.Document:
 		w.buf = vls.AppendUint(w.buf, uint64(len(x.Children)))
 		for _, c := range x.Children {
-			if err := e.emit(w, c); err != nil {
+			if err := e.emit(c); err != nil {
 				return err
 			}
 		}
 	case *bxdm.Element:
-		e.emitCommon(w, &x.ElemCommon, e.layouts[n])
+		e.emitCommon(&x.ElemCommon, &rec.layout)
 		w.buf = vls.AppendUint(w.buf, uint64(len(x.Children)))
 		for _, c := range x.Children {
-			if err := e.emit(w, c); err != nil {
+			if err := e.emit(c); err != nil {
 				return err
 			}
 		}
 	case *bxdm.LeafElement:
-		e.emitCommon(w, &x.ElemCommon, e.layouts[n])
-		e.emitScalar(w, x.Value)
+		e.emitCommon(&x.ElemCommon, &rec.layout)
+		e.emitScalar(x.Value)
 	case *bxdm.ArrayElement:
-		e.emitCommon(w, &x.ElemCommon, e.layouts[n])
+		e.emitCommon(&x.ElemCommon, &rec.layout)
 		w.buf = append(w.buf, byte(x.Data.Type()))
 		w.buf = vls.AppendUint(w.buf, uint64(x.Data.Len()))
-		if err := e.emitArrayData(w, x.Data); err != nil {
+		if err := e.emitArrayData(x.Data); err != nil {
 			return err
 		}
 	case *bxdm.Text:
@@ -356,23 +429,8 @@ func (e *encoding) emit(w *sliceSink, n bxdm.Node) error {
 	return nil
 }
 
-func (e *encoding) bodySizeOf(n bxdm.Node) int {
-	if l, ok := e.layouts[n]; ok {
-		return l.bodySize
-	}
-	// Non-element frames: derive body from the stored full size.
-	// size = 1 + vlsLen(body) + body, so try each possible VLS length.
-	size := e.sizes[n]
-	for l := 1; l <= vls.MaxLen; l++ {
-		body := size - 1 - l
-		if body >= 0 && vls.EncodedLen(uint64(body)) == l {
-			return body
-		}
-	}
-	return 0
-}
-
-func (e *encoding) emitCommon(w *sliceSink, c *bxdm.ElemCommon, l *layout) {
+func (e *encoding) emitCommon(c *bxdm.ElemCommon, l *layout) {
+	w := &e.sink
 	w.buf = vls.AppendUint(w.buf, uint64(len(l.decls)))
 	for _, d := range l.decls {
 		w.buf = vls.AppendUint(w.buf, uint64(len(d.Prefix)))
@@ -385,10 +443,10 @@ func (e *encoding) emitCommon(w *sliceSink, c *bxdm.ElemCommon, l *layout) {
 	w.buf = append(w.buf, c.Name.Local...)
 	w.buf = vls.AppendUint(w.buf, uint64(len(c.Attributes)))
 	for i, a := range c.Attributes {
-		emitRef(w, l.attrRefs[i])
+		emitRef(w, e.attrRefs[l.attrStart+i])
 		w.buf = vls.AppendUint(w.buf, uint64(len(a.Name.Local)))
 		w.buf = append(w.buf, a.Name.Local...)
-		e.emitScalar(w, a.Value)
+		e.emitScalar(a.Value)
 	}
 }
 
@@ -399,7 +457,8 @@ func emitRef(w *sliceSink, r nsref) {
 	}
 }
 
-func (e *encoding) emitScalar(w *sliceSink, v bxdm.Value) {
+func (e *encoding) emitScalar(v bxdm.Value) {
+	w := &e.sink
 	w.buf = append(w.buf, byte(v.Type()))
 	switch v.Type() {
 	case bxdm.TString:
@@ -430,7 +489,8 @@ func appendNative(buf []byte, bits uint64, size int, order xbs.ByteOrder) []byte
 	return buf
 }
 
-func (e *encoding) emitArrayData(w *sliceSink, d bxdm.ArrayData) error {
+func (e *encoding) emitArrayData(d bxdm.ArrayData) error {
+	w := &e.sink
 	elem := d.Type().Size()
 	off := w.offset() // offset of the pad-count byte
 	pad := 0
@@ -443,9 +503,9 @@ func (e *encoding) emitArrayData(w *sliceSink, d bxdm.ArrayData) error {
 	}
 	// The data region is now aligned document-absolute; stream it through
 	// XBS (whose own Align is a no-op here by construction) directly into
-	// the output buffer.
-	xw := xbs.NewWriter((*sinkWriter)(w), e.opts.Order, int64(w.offset()))
-	if err := d.WriteXBS(xw); err != nil {
+	// the output buffer, reusing the pooled writer across arrays.
+	e.xw.Reset((*sinkWriter)(w), e.opts.Order, int64(w.offset()))
+	if err := d.WriteXBS(&e.xw); err != nil {
 		return err
 	}
 	for i := 0; i < slackBytes-1-pad; i++ {

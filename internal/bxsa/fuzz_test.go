@@ -1,0 +1,36 @@
+package bxsa
+
+import (
+	"testing"
+
+	"bxsoap/internal/bxdm"
+	"bxsoap/internal/xbs"
+)
+
+// FuzzParse drives the BXSA decoder with arbitrary bytes. The decoder must
+// never panic or hang: hostile input either parses into a tree or returns an
+// error. Anything that parses must survive a re-encode — a tree the decoder
+// accepts but the encoder rejects means the two passes disagree about the
+// model's invariants.
+func FuzzParse(f *testing.F) {
+	for _, doc := range []*bxdm.Document{testTree(), transcodeTree()} {
+		for _, order := range []xbs.ByteOrder{xbs.LittleEndian, xbs.BigEndian} {
+			seed, err := Marshal(doc.Root(), EncodeOptions{Order: order})
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(seed)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("BXSA"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if _, err := Marshal(n, EncodeOptions{}); err != nil {
+			t.Fatalf("decoded tree failed to re-encode: %v", err)
+		}
+	})
+}

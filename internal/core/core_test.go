@@ -154,17 +154,34 @@ func TestFaultFromEnvelopeNonFault(t *testing.T) {
 }
 
 func TestCheckContentType(t *testing.T) {
-	if err := CheckContentType(XMLEncoding{}, "text/xml; charset=utf-8"); err != nil {
-		t.Error(err)
+	// Media type comparison per RFC 2045 §5.1: letter case, surrounding
+	// whitespace, and parameters are all insignificant; the media type
+	// itself is what must match.
+	cases := []struct {
+		got string
+		ok  bool
+	}{
+		{"text/xml; charset=utf-8", true},
+		{"text/xml", true},
+		{"", true}, // absent content type: nothing to contradict
+		{"Text/XML", true},
+		{"TEXT/XML; charset=UTF-8", true},
+		{"text/xml ; charset=utf-8", true},
+		{"  text/xml\t", true},
+		{"\ttext/XML  ;  boundary=x", true},
+		{"application/x-bxsa", false},
+		{"text/xmlx", false},
+		{"text/xm", false},
+		{"text/ xml", false}, // space inside the media type is not trimmable
 	}
-	if err := CheckContentType(XMLEncoding{}, "text/xml"); err != nil {
-		t.Error("parameter-less match rejected:", err)
-	}
-	if err := CheckContentType(XMLEncoding{}, ""); err != nil {
-		t.Error("absent content type should pass:", err)
-	}
-	if err := CheckContentType(XMLEncoding{}, "application/x-bxsa"); err == nil {
-		t.Error("mismatched content type accepted")
+	for _, c := range cases {
+		err := CheckContentType(XMLEncoding{}, c.got)
+		if c.ok && err != nil {
+			t.Errorf("CheckContentType(XML, %q) = %v, want accept", c.got, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("CheckContentType(XML, %q) accepted, want reject", c.got)
+		}
 	}
 }
 
@@ -214,8 +231,8 @@ func (*nullServerBinding) Accept() (Channel, error) { select {} }
 func (*nullServerBinding) Addr() net.Addr           { return nil }
 func (*nullServerBinding) Close() error             { return nil }
 
-func (b *inProcBinding) SendRequest(ctx context.Context, payload []byte, ct string) error {
-	resp := b.server.dispatch(ctx, payload, ct)
+func (b *inProcBinding) SendRequest(ctx context.Context, payload *Payload, ct string) error {
+	resp := b.server.dispatch(ctx, payload.Bytes(), ct)
 	data, err := EncodeToBytes(b.server.enc, resp)
 	if err != nil {
 		return err
@@ -224,8 +241,8 @@ func (b *inProcBinding) SendRequest(ctx context.Context, payload []byte, ct stri
 	return nil
 }
 
-func (b *inProcBinding) ReceiveResponse(context.Context) ([]byte, string, error) {
-	return b.response, b.ct, nil
+func (b *inProcBinding) ReceiveResponse(context.Context) (*Payload, string, error) {
+	return NewPayloadFrom(b.response), b.ct, nil
 }
 
 func (b *inProcBinding) Close() error { return nil }

@@ -37,20 +37,34 @@ func (e *Engine[E, B]) Binding() B { return e.bind }
 // responds with a SOAP fault, Call returns it as the error (of type
 // *Fault) alongside the decoded envelope.
 func (e *Engine[E, B]) Call(ctx context.Context, req *Envelope) (*Envelope, error) {
-	if err := e.transmit(ctx, req); err != nil {
-		return nil, err
+	p, err := EncodePayload(e.enc, req)
+	if err != nil {
+		return nil, fmt.Errorf("soap: encode request: %w", err)
+	}
+	defer p.Release()
+	return e.CallPayload(ctx, p)
+}
+
+// CallPayload performs the request-response exchange with an already
+// serialized request. The engine borrows the payload — the caller keeps
+// ownership, so pooled requests can be reused across retries (svcpool
+// encodes once and replays the same payload on each attempt).
+func (e *Engine[E, B]) CallPayload(ctx context.Context, req *Payload) (*Envelope, error) {
+	if err := e.bind.SendRequest(ctx, req, e.enc.ContentType()); err != nil {
+		return nil, &TransportError{Op: "send request", Err: err}
 	}
 	payload, ct, err := e.bind.ReceiveResponse(ctx)
 	if err != nil {
 		return nil, &TransportError{Op: "receive response", Err: err}
 	}
+	defer payload.Release()
 	if err := CheckContentType(e.enc, ct); err != nil {
 		return nil, err
 	}
 	// The decode call goes through the concrete type parameter E — the
 	// compile-time binding the paper's policy design is about ("compiler
 	// optimizations are not impacted, and inlining is still enabled").
-	doc, err := e.enc.Decode(payload)
+	doc, err := e.enc.Decode(payload.Bytes())
 	if err != nil {
 		return nil, fmt.Errorf("soap: decode response: %w", err)
 	}
@@ -72,17 +86,29 @@ func (e *Engine[E, B]) Call(ctx context.Context, req *Envelope) (*Envelope, erro
 // errors come back as *TransportError, so retry logic can tell the two
 // apart. Non-fault acknowledgement payloads are drained without decoding.
 func (e *Engine[E, B]) Send(ctx context.Context, req *Envelope) error {
-	if err := e.transmit(ctx, req); err != nil {
-		return err
+	p, err := EncodePayload(e.enc, req)
+	if err != nil {
+		return fmt.Errorf("soap: encode request: %w", err)
+	}
+	defer p.Release()
+	return e.SendPayload(ctx, p)
+}
+
+// SendPayload performs the one-way exchange with an already serialized
+// request, borrowing the payload like CallPayload does.
+func (e *Engine[E, B]) SendPayload(ctx context.Context, req *Payload) error {
+	if err := e.bind.SendRequest(ctx, req, e.enc.ContentType()); err != nil {
+		return &TransportError{Op: "send request", Err: err}
 	}
 	payload, ct, err := e.bind.ReceiveResponse(ctx)
 	if err != nil {
 		return &TransportError{Op: "transport acknowledgement", Err: err}
 	}
+	defer payload.Release()
 	// Cheap sniff first so the one-way fast path never pays a decode; both
 	// encodings spell the element name "Fault" literally.
-	if ackLooksLikeFault(payload) && CheckContentType(e.enc, ct) == nil {
-		if doc, err := e.enc.Decode(payload); err == nil {
+	if ackLooksLikeFault(payload.Bytes()) && CheckContentType(e.enc, ct) == nil {
+		if doc, err := e.enc.Decode(payload.Bytes()); err == nil {
 			if resp, err := EnvelopeFromDocument(doc); err == nil {
 				if f := FaultFromEnvelope(resp); f != nil {
 					return f
@@ -99,17 +125,6 @@ func (e *Engine[E, B]) Send(ctx context.Context, req *Envelope) error {
 // over the acknowledgement is cheap next to the exchange that produced it.
 func ackLooksLikeFault(payload []byte) bool {
 	return bytes.Contains(payload, []byte("Fault"))
-}
-
-func (e *Engine[E, B]) transmit(ctx context.Context, req *Envelope) error {
-	var buf bytes.Buffer
-	if err := e.enc.Encode(&buf, req.Document()); err != nil {
-		return fmt.Errorf("soap: encode request: %w", err)
-	}
-	if err := e.bind.SendRequest(ctx, buf.Bytes(), e.enc.ContentType()); err != nil {
-		return &TransportError{Op: "send request", Err: err}
-	}
-	return nil
 }
 
 // Close releases the engine's binding.

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"bxsoap/internal/bxdm"
+)
+
+// failRecvBinding delivers the request to nobody and fails the receive —
+// the transport-error path through CallPayload.
+type failRecvBinding struct{}
+
+func (failRecvBinding) SendRequest(context.Context, *Payload, string) error { return nil }
+func (failRecvBinding) ReceiveResponse(context.Context) (*Payload, string, error) {
+	return nil, "", errors.New("link down")
+}
+func (failRecvBinding) Close() error { return nil }
+
+// garbageBinding answers every request with undecodable bytes — the
+// decode-error path, where the received payload must still be released.
+type garbageBinding struct{}
+
+func (garbageBinding) SendRequest(context.Context, *Payload, string) error { return nil }
+func (garbageBinding) ReceiveResponse(context.Context) (*Payload, string, error) {
+	return NewPayloadFrom([]byte("!!not an envelope!!")), "text/xml", nil
+}
+func (garbageBinding) Close() error { return nil }
+
+// TestNoPayloadLeaks asserts the pipeline's ownership contract end to end:
+// every payload checked out during an exchange is released exactly once, on
+// the success path and on every failure path — fault responses, transport
+// errors, undecodable responses, and one-way sends.
+func TestNoPayloadLeaks(t *testing.T) {
+	base := PayloadsInUse()
+	ctx := context.Background()
+
+	okSrv := NewServer(XMLEncoding{}, &nullServerBinding{},
+		func(_ context.Context, _ *Envelope) (*Envelope, error) {
+			return NewEnvelope(bxdm.NewLeaf(bxdm.LocalName("ok"), int32(1))), nil
+		})
+	faultSrv := NewServer(XMLEncoding{}, &nullServerBinding{},
+		func(_ context.Context, _ *Envelope) (*Envelope, error) {
+			return nil, &Fault{Code: FaultServer, String: "refused"}
+		})
+
+	scenarios := []struct {
+		name string
+		run  func() error
+	}{
+		{"success", func() error {
+			eng := NewEngine(XMLEncoding{}, &inProcBinding{server: okSrv})
+			_, err := eng.Call(ctx, sampleEnvelope())
+			return err
+		}},
+		{"fault", func() error {
+			eng := NewEngine(XMLEncoding{}, &inProcBinding{server: faultSrv})
+			_, err := eng.Call(ctx, sampleEnvelope())
+			if !asFault(err, new(*Fault)) {
+				t.Errorf("want fault, got %v", err)
+			}
+			return nil
+		}},
+		{"transport error", func() error {
+			eng := NewEngine(XMLEncoding{}, failRecvBinding{})
+			_, err := eng.Call(ctx, sampleEnvelope())
+			if !IsTransportError(err) {
+				t.Errorf("want transport error, got %v", err)
+			}
+			return nil
+		}},
+		{"decode error", func() error {
+			eng := NewEngine(XMLEncoding{}, garbageBinding{})
+			if _, err := eng.Call(ctx, sampleEnvelope()); err == nil {
+				t.Error("garbage response decoded")
+			}
+			return nil
+		}},
+		{"one-way send", func() error {
+			eng := NewEngine(XMLEncoding{}, &inProcBinding{server: okSrv})
+			return eng.Send(ctx, sampleEnvelope())
+		}},
+		{"one-way send fault ack", func() error {
+			eng := NewEngine(XMLEncoding{}, &inProcBinding{server: faultSrv})
+			err := eng.Send(ctx, sampleEnvelope())
+			if !asFault(err, new(*Fault)) {
+				t.Errorf("want fault ack, got %v", err)
+			}
+			return nil
+		}},
+	}
+	for _, sc := range scenarios {
+		if err := sc.run(); err != nil {
+			t.Fatalf("%s: %v", sc.name, err)
+		}
+		if got := PayloadsInUse(); got != base {
+			t.Fatalf("%s: PayloadsInUse = %d, want %d — a payload leaked or was double-released", sc.name, got, base)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestPayloadWriteGrowsAlongClasses(t *testing.T) {
+	base := PayloadsInUse()
+	p := NewPayload(0)
+	chunk := bytes.Repeat([]byte("x"), 300)
+	for i := 0; i < 20; i++ {
+		if _, err := p.Write(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Len() != 20*300 {
+		t.Errorf("Len = %d", p.Len())
+	}
+	if got := cap(p.Bytes()); got < p.Len() {
+		t.Errorf("cap %d < len %d", got, p.Len())
+	}
+	p.Release()
+	if got := PayloadsInUse(); got != base {
+		t.Errorf("PayloadsInUse = %d, want %d", got, base)
+	}
+}
+
+func TestPayloadDoubleReleasePanics(t *testing.T) {
+	p := NewPayload(16)
+	p.Release()
+	defer func() {
+		if recover() == nil {
+			t.Error("double release did not panic")
+		}
+	}()
+	p.Release()
+}
+
+func TestPayloadRetainObligesExtraRelease(t *testing.T) {
+	base := PayloadsInUse()
+	p := NewPayload(16)
+	p.Write([]byte("shared"))
+	p.Retain()
+	p.Release()
+	if got := string(p.Bytes()); got != "shared" {
+		t.Errorf("retained payload lost bytes: %q", got)
+	}
+	if got := PayloadsInUse(); got != base+1 {
+		t.Errorf("PayloadsInUse = %d before final release, want %d", got, base+1)
+	}
+	p.Release()
+	if got := PayloadsInUse(); got != base {
+		t.Errorf("PayloadsInUse = %d, want %d", got, base)
+	}
+}
+
+func TestPayloadFromExternalBytesNeverPooled(t *testing.T) {
+	ext := []byte("externally owned")
+	p := NewPayloadFrom(ext)
+	if !bytes.Equal(p.Bytes(), ext) {
+		t.Error("wrapper lost bytes")
+	}
+	p.Release()
+	if string(ext) != "externally owned" {
+		t.Error("release mutated externally owned bytes")
+	}
+}
+
+func TestReadPayloadKnownSize(t *testing.T) {
+	base := PayloadsInUse()
+	p, err := ReadPayload(strings.NewReader("hello world"), 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(p.Bytes()) != "hello" {
+		t.Errorf("payload = %q", p.Bytes())
+	}
+	p.Release()
+
+	// Truncated input: error, and the half-filled buffer is not leaked.
+	if _, err := ReadPayload(strings.NewReader("hi"), 10, 0); err == nil {
+		t.Error("truncated read succeeded")
+	}
+	// Over-limit size rejected before reading anything.
+	if _, err := ReadPayload(strings.NewReader("hi"), 100, 10); err == nil {
+		t.Error("size beyond limit accepted")
+	}
+	if got := PayloadsInUse(); got != base {
+		t.Errorf("PayloadsInUse = %d, want %d", got, base)
+	}
+}
+
+func TestReadPayloadUnknownSize(t *testing.T) {
+	base := PayloadsInUse()
+	msg := strings.Repeat("chunk", 4000) // 20 KB: crosses a class boundary
+	p, err := ReadPayload(strings.NewReader(msg), -1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(p.Bytes()) != msg {
+		t.Error("read-to-EOF payload differs")
+	}
+	p.Release()
+
+	if _, err := ReadPayload(strings.NewReader(msg), -1, 100); err == nil {
+		t.Error("limit not enforced on unknown-size read")
+	}
+	if got := PayloadsInUse(); got != base {
+		t.Errorf("PayloadsInUse = %d, want %d", got, base)
+	}
+}
+
+func TestReadPayloadZeroSize(t *testing.T) {
+	p, err := ReadPayload(iotest{}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 0 {
+		t.Errorf("Len = %d", p.Len())
+	}
+	p.Release()
+}
+
+// iotest fails on any read: a zero-size ReadPayload must not touch r.
+type iotest struct{}
+
+func (iotest) Read([]byte) (int, error) { return 0, io.ErrClosedPipe }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
+	"sync/atomic"
 
 	"bxsoap/internal/bxdm"
 	"bxsoap/internal/bxsa"
@@ -25,9 +27,20 @@ type Encoding interface {
 	ContentType() string
 	// Encode serializes a bXDM document (the visitor direction).
 	Encode(w io.Writer, doc *bxdm.Document) error
+	// AppendEncode serializes doc by appending to dst, returning the
+	// extended slice. This is the pipeline's zero-copy path: the engine
+	// hands in a pooled payload buffer and the codec fills it in place,
+	// with no intermediate bytes.Buffer.
+	AppendEncode(dst []byte, doc *bxdm.Document) ([]byte, error)
 	// Decode parses an encoded document back into bXDM (the factory
-	// direction).
+	// direction). The input bytes are not retained: callers may recycle
+	// the buffer as soon as Decode returns.
 	Decode(data []byte) (*bxdm.Document, error)
+	// DecodeFrom parses one encoded document from r. size is the encoded
+	// length when the transport knows it (Content-Length, frame header),
+	// -1 otherwise; implementations use it to draw a right-sized pooled
+	// buffer instead of ReadAll-style doubling.
+	DecodeFrom(r io.Reader, size int64) (*bxdm.Document, error)
 }
 
 // XMLEncoding is the textual XML 1.0 encoding policy. Type hints are always
@@ -51,12 +64,22 @@ func (x XMLEncoding) Encode(w io.Writer, doc *bxdm.Document) error {
 	return xmltext.Encode(w, doc, xmltext.EncodeOptions{TypeHints: !x.PlainStrings})
 }
 
+// AppendEncode implements Encoding.
+func (x XMLEncoding) AppendEncode(dst []byte, doc *bxdm.Document) ([]byte, error) {
+	return xmltext.AppendEncode(dst, doc, xmltext.EncodeOptions{TypeHints: !x.PlainStrings})
+}
+
 // Decode implements Encoding.
 func (x XMLEncoding) Decode(data []byte) (*bxdm.Document, error) {
 	return xmltext.Parse(data, xmltext.DecodeOptions{
 		RecoverTypes:               !x.PlainStrings,
 		DropInterElementWhitespace: true,
 	})
+}
+
+// DecodeFrom implements Encoding.
+func (x XMLEncoding) DecodeFrom(r io.Reader, size int64) (*bxdm.Document, error) {
+	return decodeStream(x, r, size)
 }
 
 // BXSAEncoding is the binary XML encoding policy.
@@ -75,9 +98,79 @@ func (b BXSAEncoding) Encode(w io.Writer, doc *bxdm.Document) error {
 	return bxsa.Encode(w, doc, bxsa.EncodeOptions{Order: b.Order})
 }
 
+// AppendEncode implements Encoding. BXSA measures before it emits, so the
+// destination is grown to the exact encoded size in one step.
+func (b BXSAEncoding) AppendEncode(dst []byte, doc *bxdm.Document) ([]byte, error) {
+	return bxsa.MarshalAppend(dst, doc, bxsa.EncodeOptions{Order: b.Order})
+}
+
 // Decode implements Encoding.
 func (BXSAEncoding) Decode(data []byte) (*bxdm.Document, error) {
 	return bxsa.ParseDocument(data)
+}
+
+// DecodeFrom implements Encoding.
+func (b BXSAEncoding) DecodeFrom(r io.Reader, size int64) (*bxdm.Document, error) {
+	return decodeStream(b, r, size)
+}
+
+// decodeStream is the shared DecodeFrom shape for encodings whose parsers
+// want the whole message in memory: read into a pooled payload sized by the
+// transport's length knowledge, decode, release. Both shipped parsers copy
+// what they keep out of the input, so the buffer can recycle immediately.
+func decodeStream(enc Encoding, r io.Reader, size int64) (*bxdm.Document, error) {
+	p, err := ReadPayload(r, size, 0)
+	if err != nil {
+		return nil, err
+	}
+	doc, err := enc.Decode(p.Bytes())
+	p.Release()
+	return doc, err
+}
+
+// sizeHints carries a per-encoding running estimate of encoded message
+// size (keyed by Name()), so EncodePayload can draw a right-sized pooled
+// buffer before the document's size is known. The estimate decays by a
+// quarter between observations and snaps up to any larger message, so it
+// tracks the recent peak without growing monotonically.
+var sizeHints sync.Map // string -> *atomic.Int64
+
+func sizeHintFor(name string) int {
+	if v, ok := sizeHints.Load(name); ok {
+		return int(v.(*atomic.Int64).Load())
+	}
+	return 0
+}
+
+func recordSizeHint(name string, n int) {
+	v, ok := sizeHints.Load(name)
+	if !ok {
+		v, _ = sizeHints.LoadOrStore(name, new(atomic.Int64))
+	}
+	a := v.(*atomic.Int64)
+	est := a.Load()
+	est -= est / 4
+	if int64(n) > est {
+		est = int64(n)
+	}
+	a.Store(est)
+}
+
+// EncodePayload serializes an envelope into a pooled payload via the
+// encoding's append path. BXSA grows the buffer to its exact measured size;
+// XML relies on the running per-encoding estimate to make reallocation the
+// exception. The caller owns the payload and must Release it.
+func EncodePayload(enc Encoding, e *Envelope) (*Payload, error) {
+	name := enc.Name()
+	p := NewPayload(sizeHintFor(name))
+	out, err := enc.AppendEncode(p.buf, e.Document())
+	if err != nil {
+		p.Release()
+		return nil, err
+	}
+	p.buf = out
+	recordSizeHint(name, len(out))
+	return p, nil
 }
 
 // EncodeToBytes serializes an envelope with the given policy.
@@ -105,11 +198,17 @@ func DecodeEnvelope(enc Encoding, data []byte) (*Envelope, error) {
 // receive_response on this interface; receive_request, send_response on the
 // server-side Channel.
 type Binding interface {
-	// SendRequest transmits one serialized SOAP message.
-	SendRequest(ctx context.Context, payload []byte, contentType string) error
-	// ReceiveResponse blocks for the reply to the last request. Bindings
-	// used for one-way MEPs never have ReceiveResponse called.
-	ReceiveResponse(ctx context.Context) (payload []byte, contentType string, err error)
+	// SendRequest transmits one serialized SOAP message. The binding
+	// borrows payload for the duration of the call and must not retain
+	// it past returning (Retain first if the transport writes
+	// asynchronously); the caller keeps ownership, so a pooled request
+	// can be reused across retries.
+	SendRequest(ctx context.Context, payload *Payload, contentType string) error
+	// ReceiveResponse blocks for the reply to the last request. Ownership
+	// of the returned payload transfers to the caller, which must Release
+	// it after decoding. Bindings used for one-way MEPs never have
+	// ReceiveResponse called.
+	ReceiveResponse(ctx context.Context) (payload *Payload, contentType string, err error)
 	// Close releases the underlying transport.
 	Close() error
 }
@@ -128,34 +227,62 @@ type ServerBinding interface {
 // Channel is one server-side message exchange sequence.
 type Channel interface {
 	// ReceiveRequest blocks for the next request on this channel; it
-	// returns io.EOF when the peer is done.
-	ReceiveRequest(ctx context.Context) (payload []byte, contentType string, err error)
-	// SendResponse replies to the request just received.
-	SendResponse(payload []byte, contentType string) error
+	// returns io.EOF when the peer is done. Ownership of the returned
+	// payload transfers to the caller.
+	ReceiveRequest(ctx context.Context) (payload *Payload, contentType string, err error)
+	// SendResponse replies to the request just received. It takes
+	// ownership of payload and releases it once written (possibly
+	// asynchronously), on success or failure.
+	SendResponse(payload *Payload, contentType string) error
 	// Close tears the channel down.
 	Close() error
 }
 
 // CheckContentType verifies that the peer's content type matches the
 // engine's encoding policy (a mismatch means the two sides were composed
-// with different policies).
+// with different policies). Comparison is on the media type alone —
+// parameters such as charset, surrounding whitespace, and letter case are
+// all insignificant per RFC 2045 §5.1.
 func CheckContentType(enc Encoding, got string) error {
 	want := enc.ContentType()
 	if got == "" || got == want {
 		return nil
 	}
-	// Tolerate parameter differences such as charset.
-	if base(got) == base(want) {
+	if mediaType(got) == mediaType(want) {
 		return nil
 	}
 	return fmt.Errorf("soap: content type %q does not match encoding %s (%q)", got, enc.Name(), want)
 }
 
-func base(ct string) string {
+// mediaType extracts the lowercased, whitespace-trimmed media type from a
+// Content-Type value, dropping any parameters.
+func mediaType(ct string) string {
 	for i := 0; i < len(ct); i++ {
 		if ct[i] == ';' {
-			return ct[:i]
+			ct = ct[:i]
+			break
 		}
 	}
-	return ct
+	start, end := 0, len(ct)
+	for start < end && (ct[start] == ' ' || ct[start] == '\t') {
+		start++
+	}
+	for end > start && (ct[end-1] == ' ' || ct[end-1] == '\t') {
+		end--
+	}
+	ct = ct[start:end]
+	lower := ct
+	for i := 0; i < len(ct); i++ {
+		if c := ct[i]; 'A' <= c && c <= 'Z' {
+			b := []byte(ct)
+			for j := i; j < len(b); j++ {
+				if 'A' <= b[j] && b[j] <= 'Z' {
+					b[j] += 'a' - 'A'
+				}
+			}
+			lower = string(b)
+			break
+		}
+	}
+	return lower
 }

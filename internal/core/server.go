@@ -109,11 +109,13 @@ func (s *Server[E, B]) serveChannel(ch Channel) error {
 			}
 			return err
 		}
-		resp := s.dispatch(ctx, payload, ct)
-		out, err := EncodeToBytes(s.enc, resp)
+		resp := s.dispatch(ctx, payload.Bytes(), ct)
+		payload.Release()
+		out, err := EncodePayload(s.enc, resp)
 		if err != nil {
 			return fmt.Errorf("encode response: %w", err)
 		}
+		// SendResponse takes ownership of out and releases it when written.
 		if err := ch.SendResponse(out, s.enc.ContentType()); err != nil {
 			return fmt.Errorf("send response: %w", err)
 		}

@@ -13,7 +13,10 @@ import (
 	"io"
 	"net"
 	"net/http"
+	neturl "net/url"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bxsoap/internal/core"
@@ -28,6 +31,16 @@ type Binding struct {
 	mu       sync.Mutex
 	pending  *http.Response
 	poisoned bool
+
+	// proto is the prototype POST request: URL parsed and headers built
+	// once at construction, shallow-copied per request via WithContext. The
+	// header map is reused across requests (the binding carries one exchange
+	// at a time, and the transport has serialized the headers before the
+	// response can arrive), so steady state sends a request with no URL
+	// parsing and no header-map churn.
+	proto     *http.Request
+	header    http.Header
+	actionHdr string
 }
 
 // Dialer opens the underlying transport connection.
@@ -46,11 +59,27 @@ func New(dial Dialer, url string) *Binding {
 			return dial(addr)
 		}
 	}
-	return &Binding{url: url, client: &http.Client{Transport: tr}}
+	b := &Binding{url: url, client: &http.Client{Transport: tr}, actionHdr: `""`}
+	if u, err := neturl.Parse(url); err == nil {
+		b.header = make(http.Header, 4)
+		b.proto = &http.Request{
+			Method:     http.MethodPost,
+			URL:        u,
+			Proto:      "HTTP/1.1",
+			ProtoMajor: 1,
+			ProtoMinor: 1,
+			Header:     b.header,
+			Host:       u.Host,
+		}
+	}
+	return b
 }
 
 // SetSOAPAction sets the SOAPAction header value sent with requests.
-func (b *Binding) SetSOAPAction(a string) { b.action = a }
+func (b *Binding) SetSOAPAction(a string) {
+	b.action = a
+	b.actionHdr = `"` + a + `"`
+}
 
 // Poisoned reports whether the binding has been retired after a response
 // was abandoned mid-body (e.g. a deadline expired while reading). The
@@ -62,20 +91,65 @@ func (b *Binding) Poisoned() bool {
 	return b.poisoned
 }
 
-// SendRequest implements core.Binding.
-func (b *Binding) SendRequest(ctx context.Context, payload []byte, contentType string) error {
+// payloadBody adapts a payload to the request body net/http wants. It holds
+// its own reference: net/http's write loop can still be reading the body
+// after Do returns (a server may answer before consuming the full request),
+// so the caller releasing its borrowed-payload reference must not free the
+// buffer until the transport has closed the body too.
+type payloadBody struct {
+	r      bytes.Reader
+	p      *core.Payload
+	closed atomic.Bool
+}
+
+var bodyPool = sync.Pool{New: func() any { return new(payloadBody) }}
+
+func newPayloadBody(p *core.Payload) *payloadBody {
+	p.Retain()
+	b := bodyPool.Get().(*payloadBody)
+	b.p = p
+	b.closed.Store(false)
+	b.r.Reset(p.Bytes())
+	return b
+}
+
+func (b *payloadBody) Read(p []byte) (int, error) { return b.r.Read(p) }
+
+func (b *payloadBody) Close() error {
+	if b.closed.CompareAndSwap(false, true) {
+		b.p.Release()
+		b.p = nil
+		b.r.Reset(nil)
+		bodyPool.Put(b)
+	}
+	return nil
+}
+
+// SendRequest implements core.Binding. The payload is borrowed; the body
+// wrapper retains it for as long as net/http needs it.
+func (b *Binding) SendRequest(ctx context.Context, payload *core.Payload, contentType string) error {
 	b.mu.Lock()
 	if b.poisoned {
 		b.mu.Unlock()
 		return fmt.Errorf("httpbind: %w", core.ErrBindingPoisoned)
 	}
 	b.mu.Unlock()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url, bytes.NewReader(payload))
-	if err != nil {
-		return err
+	if b.proto == nil {
+		return fmt.Errorf("httpbind: invalid URL %q", b.url)
 	}
-	req.Header.Set("Content-Type", contentType)
-	req.Header.Set("SOAPAction", `"`+b.action+`"`)
+	// Rewrite the reused header map only when a value actually changed, so
+	// steady-state requests touch no header storage at all.
+	if b.header.Get("Content-Type") != contentType {
+		b.header.Set("Content-Type", contentType)
+	}
+	if b.header.Get("SOAPAction") != b.actionHdr {
+		b.header.Set("SOAPAction", b.actionHdr)
+	}
+	body := newPayloadBody(payload)
+	req := b.proto.WithContext(ctx)
+	req.Body = body
+	req.ContentLength = int64(payload.Len())
+	req.GetBody = func() (io.ReadCloser, error) { return newPayloadBody(payload), nil }
 	resp, err := b.client.Do(req)
 	if err != nil {
 		return fmt.Errorf("httpbind: POST %s: %w", b.url, err)
@@ -89,11 +163,12 @@ func (b *Binding) SendRequest(ctx context.Context, payload []byte, contentType s
 	return nil
 }
 
-// ReceiveResponse implements core.Binding. A body read that fails (most
-// often a context deadline expiring mid-body) leaves the HTTP connection
-// with an unconsumed response, so the binding is poisoned and must be
-// discarded rather than reused.
-func (b *Binding) ReceiveResponse(_ context.Context) ([]byte, string, error) {
+// ReceiveResponse implements core.Binding. The body is read into a pooled
+// payload sized by Content-Length (ownership transfers to the caller). A
+// body read that fails (most often a context deadline expiring mid-body)
+// leaves the HTTP connection with an unconsumed response, so the binding is
+// poisoned and must be discarded rather than reused.
+func (b *Binding) ReceiveResponse(_ context.Context) (*core.Payload, string, error) {
 	b.mu.Lock()
 	resp := b.pending
 	b.pending = nil
@@ -102,7 +177,7 @@ func (b *Binding) ReceiveResponse(_ context.Context) ([]byte, string, error) {
 		return nil, "", errors.New("httpbind: no request in flight")
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
+	body, err := core.ReadPayload(resp.Body, resp.ContentLength, 0)
 	if err != nil {
 		b.mu.Lock()
 		b.poisoned = true
@@ -113,6 +188,7 @@ func (b *Binding) ReceiveResponse(_ context.Context) ([]byte, string, error) {
 	// SOAP 1.1 over HTTP uses 500 for fault responses; both 200 and 500
 	// carry SOAP envelopes.
 	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusInternalServerError {
+		body.Release()
 		return nil, "", fmt.Errorf("httpbind: unexpected HTTP status %s", resp.Status)
 	}
 	return body, resp.Header.Get("Content-Type"), nil
@@ -170,14 +246,14 @@ func Listen(addr string) (*Listener, error) {
 }
 
 type response struct {
-	payload     []byte
+	payload     *core.Payload
 	contentType string
 	status      int
 }
 
 // channel adapts one HTTP request to the core.Channel exchange sequence.
 type channel struct {
-	payload     []byte
+	payload     *core.Payload
 	contentType string
 	resp        chan response
 	received    bool
@@ -188,7 +264,9 @@ func (s *Listener) handle(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "SOAP endpoint: POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	body, err := io.ReadAll(r.Body)
+	// ContentLength is -1 when unknown, which ReadPayload treats as
+	// read-to-EOF; either way the body lands in a pooled buffer.
+	body, err := core.ReadPayload(r.Body, r.ContentLength, 0)
 	if err != nil {
 		http.Error(w, "read error", http.StatusBadRequest)
 		return
@@ -201,15 +279,29 @@ func (s *Listener) handle(w http.ResponseWriter, r *http.Request) {
 	select {
 	case s.accept <- ch:
 	case <-s.done:
+		body.Release()
 		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
 		return
 	}
 	select {
 	case resp := <-ch.resp:
-		w.Header().Set("Content-Type", resp.contentType)
+		h := w.Header()
+		h.Set("Content-Type", resp.contentType)
+		// Declare the length explicitly: WriteHeader with no Content-Length
+		// would switch the response to chunked encoding, costing framing
+		// work here and denying the client a right-sized pooled read.
+		h.Set("Content-Length", strconv.Itoa(resp.payload.Len()))
 		w.WriteHeader(resp.status)
-		w.Write(resp.payload)
+		w.Write(resp.payload.Bytes())
+		resp.payload.Release()
 	case <-s.done:
+		// Best-effort drain: a response racing shutdown must still return
+		// its buffer to the pool.
+		select {
+		case resp := <-ch.resp:
+			resp.payload.Release()
+		default:
+		}
 		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
 	}
 }
@@ -240,38 +332,47 @@ func (s *Listener) Close() error {
 }
 
 // ReceiveRequest implements core.Channel: the one buffered request, then
-// EOF (HTTP is one exchange per channel).
-func (c *channel) ReceiveRequest(_ context.Context) ([]byte, string, error) {
+// EOF (HTTP is one exchange per channel). Ownership of the payload
+// transfers to the caller.
+func (c *channel) ReceiveRequest(_ context.Context) (*core.Payload, string, error) {
 	if c.received {
 		return nil, "", io.EOF
 	}
 	c.received = true
-	return c.payload, c.contentType, nil
+	p := c.payload
+	c.payload = nil
+	return p, c.contentType, nil
 }
 
-// SendResponse implements core.Channel. Fault envelopes ride on HTTP 500
-// per the SOAP 1.1 HTTP binding; the dispatcher has already decided the
-// payload, so status is inferred from it cheaply (faults are rare and
-// small).
-func (c *channel) SendResponse(payload []byte, contentType string) error {
+// SendResponse implements core.Channel; it takes ownership of payload
+// (released by the HTTP handler goroutine after writing, or here on
+// failure). Fault envelopes ride on HTTP 500 per the SOAP 1.1 HTTP
+// binding; the dispatcher has already decided the payload, so status is
+// inferred from it cheaply (faults are rare and small).
+func (c *channel) SendResponse(payload *core.Payload, contentType string) error {
 	status := http.StatusOK
-	if looksLikeFault(payload) {
+	if looksLikeFault(payload.Bytes()) {
 		status = http.StatusInternalServerError
 	}
 	select {
 	case c.resp <- response{payload: payload, contentType: contentType, status: status}:
 		return nil
 	default:
+		payload.Release()
 		return errors.New("httpbind: response already sent")
 	}
 }
 
-// Close implements core.Channel: answer the HTTP request with an error if
-// no response was produced.
+// Close implements core.Channel: release an unconsumed request and answer
+// the HTTP request with an error if no response was produced.
 func (c *channel) Close() error {
+	if c.payload != nil {
+		c.payload.Release()
+		c.payload = nil
+	}
 	select {
 	case c.resp <- response{
-		payload:     []byte("no response produced"),
+		payload:     core.NewPayloadFrom([]byte("no response produced")),
 		contentType: "text/plain",
 		status:      http.StatusInternalServerError,
 	}:

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"bxsoap/internal/core"
 )
 
 // startEcho runs a Listener whose accept loop echoes request payloads.
@@ -30,7 +32,9 @@ func startEcho(t *testing.T) *Listener {
 				if err != nil {
 					return
 				}
-				ch.SendResponse(append([]byte("echo:"), payload...), ct)
+				resp := core.NewPayloadFrom(append([]byte("echo:"), payload.Bytes()...))
+				payload.Release()
+				ch.SendResponse(resp, ct)
 			}()
 		}
 	}()
@@ -41,15 +45,16 @@ func TestPostAndResponse(t *testing.T) {
 	s := startEcho(t)
 	b := New(nil, s.URL())
 	defer b.Close()
-	if err := b.SendRequest(context.Background(), []byte("ping"), "text/xml"); err != nil {
+	if err := b.SendRequest(context.Background(), core.NewPayloadFrom([]byte("ping")), "text/xml"); err != nil {
 		t.Fatal(err)
 	}
 	resp, ct, err := b.ReceiveResponse(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if string(resp) != "echo:ping" || ct != "text/xml" {
-		t.Errorf("resp = %q / %q", resp, ct)
+	defer resp.Release()
+	if string(resp.Bytes()) != "echo:ping" || ct != "text/xml" {
+		t.Errorf("resp = %q / %q", resp.Bytes(), ct)
 	}
 }
 
@@ -84,8 +89,10 @@ func TestFaultRidesOn500(t *testing.T) {
 			return
 		}
 		defer ch.Close()
-		ch.ReceiveRequest(context.Background())
-		ch.SendResponse([]byte(`<soap:Fault>boom</soap:Fault>`), "text/xml")
+		if payload, _, err := ch.ReceiveRequest(context.Background()); err == nil {
+			payload.Release()
+		}
+		ch.SendResponse(core.NewPayloadFrom([]byte(`<soap:Fault>boom</soap:Fault>`)), "text/xml")
 	}()
 	resp, err := http.Post(s.URL(), "text/xml", strings.NewReader("<x/>"))
 	if err != nil {
@@ -115,12 +122,14 @@ func TestChannelSecondReceiveIsEOF(t *testing.T) {
 			return
 		}
 		defer ch.Close()
-		if _, _, err := ch.ReceiveRequest(context.Background()); err != nil {
+		if payload, _, err := ch.ReceiveRequest(context.Background()); err != nil {
 			got <- err
 			return
+		} else {
+			payload.Release()
 		}
 		_, _, err = ch.ReceiveRequest(context.Background())
-		ch.SendResponse([]byte("done"), "text/plain")
+		ch.SendResponse(core.NewPayloadFrom([]byte("done")), "text/plain")
 		got <- err
 	}()
 	resp, err := http.Post(s.URL(), "text/plain", strings.NewReader("one"))
@@ -144,7 +153,9 @@ func TestChannelCloseWithoutResponseAnswers500(t *testing.T) {
 		if err != nil {
 			return
 		}
-		ch.ReceiveRequest(context.Background())
+		if payload, _, err := ch.ReceiveRequest(context.Background()); err == nil {
+			payload.Release()
+		}
 		ch.Close() // never responds
 	}()
 	resp, err := http.Post(s.URL(), "text/plain", strings.NewReader("x"))
@@ -187,11 +198,13 @@ func TestCustomDialerUsed(t *testing.T) {
 		return net.Dial("tcp", addr)
 	}, s.URL())
 	defer b.Close()
-	if err := b.SendRequest(context.Background(), []byte("x"), "t/t"); err != nil {
+	if err := b.SendRequest(context.Background(), core.NewPayloadFrom([]byte("x")), "t/t"); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := b.ReceiveResponse(context.Background()); err != nil {
+	if resp, _, err := b.ReceiveResponse(context.Background()); err != nil {
 		t.Fatal(err)
+	} else {
+		resp.Release()
 	}
 	if !dialed {
 		t.Error("custom dialer not used")
@@ -216,11 +229,13 @@ func TestSOAPActionHeaderSent(t *testing.T) {
 	b := New(nil, "http://"+l.Addr().String()+"/soap")
 	defer b.Close()
 	b.SetSOAPAction("urn:op")
-	if err := b.SendRequest(context.Background(), []byte("x"), "t/t"); err != nil {
+	if err := b.SendRequest(context.Background(), core.NewPayloadFrom([]byte("x")), "t/t"); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := b.ReceiveResponse(context.Background()); err != nil {
+	if resp, _, err := b.ReceiveResponse(context.Background()); err != nil {
 		t.Fatal(err)
+	} else {
+		resp.Release()
 	}
 	if gotAction != `"urn:op"` {
 		t.Errorf("SOAPAction = %q", gotAction)

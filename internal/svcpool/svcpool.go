@@ -145,9 +145,27 @@ func (p *Pool[E, B]) CallOnce(ctx context.Context, req *core.Envelope) (*core.En
 
 func (p *Pool[E, B]) call(ctx context.Context, req *core.Envelope, retry bool) (*core.Envelope, error) {
 	var resp *core.Envelope
+	var payload *core.Payload
+	defer func() {
+		if payload != nil {
+			payload.Release()
+		}
+	}()
 	err := p.do(ctx, retry, func(actx context.Context, eng *core.Engine[E, B]) error {
+		// Encode lazily on the first attempt (every engine from one factory
+		// shares the encoding policy), then replay the same pooled payload on
+		// retries: CallPayload borrows it, so one serialization serves the
+		// whole retry budget. The deferred Release above covers every exit —
+		// success, fault, poisoned connection, exhausted retries.
+		if payload == nil {
+			var err error
+			payload, err = core.EncodePayload(eng.Encoding(), req)
+			if err != nil {
+				return fmt.Errorf("svcpool: encode request: %w", err)
+			}
+		}
 		var err error
-		resp, err = eng.Call(actx, req)
+		resp, err = eng.CallPayload(actx, payload)
 		return err
 	})
 	if err != nil {
@@ -159,15 +177,30 @@ func (p *Pool[E, B]) call(ctx context.Context, req *core.Envelope, retry bool) (
 // Send performs a one-way exchange through the pool with retry; the same
 // idempotency caveat as Call applies.
 func (p *Pool[E, B]) Send(ctx context.Context, req *core.Envelope) error {
-	return p.do(ctx, true, func(actx context.Context, eng *core.Engine[E, B]) error {
-		return eng.Send(actx, req)
-	})
+	return p.send(ctx, req, true)
 }
 
 // SendOnce performs a single one-way attempt with no retry.
 func (p *Pool[E, B]) SendOnce(ctx context.Context, req *core.Envelope) error {
-	return p.do(ctx, false, func(actx context.Context, eng *core.Engine[E, B]) error {
-		return eng.Send(actx, req)
+	return p.send(ctx, req, false)
+}
+
+func (p *Pool[E, B]) send(ctx context.Context, req *core.Envelope, retry bool) error {
+	var payload *core.Payload
+	defer func() {
+		if payload != nil {
+			payload.Release()
+		}
+	}()
+	return p.do(ctx, retry, func(actx context.Context, eng *core.Engine[E, B]) error {
+		if payload == nil {
+			var err error
+			payload, err = core.EncodePayload(eng.Encoding(), req)
+			if err != nil {
+				return fmt.Errorf("svcpool: encode request: %w", err)
+			}
+		}
+		return eng.SendPayload(actx, payload)
 	})
 }
 

@@ -29,16 +29,16 @@ type fakeBinding struct {
 	closed   bool
 }
 
-func (f *fakeBinding) SendRequest(_ context.Context, payload []byte, ct string) error {
+func (f *fakeBinding) SendRequest(_ context.Context, payload *core.Payload, ct string) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.sends++
-	f.pending = append([]byte(nil), payload...)
+	f.pending = append(f.pending[:0], payload.Bytes()...)
 	f.ct = ct
 	return nil
 }
 
-func (f *fakeBinding) ReceiveResponse(_ context.Context) ([]byte, string, error) {
+func (f *fakeBinding) ReceiveResponse(_ context.Context) (*core.Payload, string, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.failNext != nil {
@@ -46,7 +46,7 @@ func (f *fakeBinding) ReceiveResponse(_ context.Context) ([]byte, string, error)
 		f.failNext = nil
 		return nil, "", err
 	}
-	return f.pending, f.ct, nil
+	return core.NewPayloadFrom(f.pending), f.ct, nil
 }
 
 func (f *fakeBinding) Close() error {
@@ -148,9 +148,9 @@ func TestFaultIsNotRetried(t *testing.T) {
 // faultBinding always answers with a fixed (fault) payload.
 type faultBinding struct{ payload []byte }
 
-func (f *faultBinding) SendRequest(context.Context, []byte, string) error { return nil }
-func (f *faultBinding) ReceiveResponse(context.Context) ([]byte, string, error) {
-	return f.payload, core.BXSAEncoding{}.ContentType(), nil
+func (f *faultBinding) SendRequest(context.Context, *core.Payload, string) error { return nil }
+func (f *faultBinding) ReceiveResponse(context.Context) (*core.Payload, string, error) {
+	return core.NewPayloadFrom(f.payload), core.BXSAEncoding{}.ContentType(), nil
 }
 func (f *faultBinding) Close() error { return nil }
 
@@ -243,14 +243,14 @@ func (g *gateBinding) entered() chan struct{} {
 	return g.in
 }
 
-func (g *gateBinding) SendRequest(_ context.Context, payload []byte, ct string) error {
+func (g *gateBinding) SendRequest(_ context.Context, payload *core.Payload, ct string) error {
 	g.mu.Lock()
-	g.pending, g.ct = append([]byte(nil), payload...), ct
+	g.pending, g.ct = append(g.pending[:0], payload.Bytes()...), ct
 	g.mu.Unlock()
 	return nil
 }
 
-func (g *gateBinding) ReceiveResponse(ctx context.Context) ([]byte, string, error) {
+func (g *gateBinding) ReceiveResponse(ctx context.Context) (*core.Payload, string, error) {
 	select {
 	case g.entered() <- struct{}{}:
 	default:
@@ -262,7 +262,7 @@ func (g *gateBinding) ReceiveResponse(ctx context.Context) ([]byte, string, erro
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return g.pending, g.ct, nil
+	return core.NewPayloadFrom(g.pending), g.ct, nil
 }
 
 func (g *gateBinding) Close() error { return nil }
@@ -549,3 +549,71 @@ func TestCloseRacingPutLeaksNothing(t *testing.T) {
 		ff.mu.Unlock()
 	}
 }
+
+// TestNoPayloadLeaksThroughPool asserts the encode-once/replay contract:
+// across success, transport-failure-plus-retry (the request payload is
+// reused, not re-encoded), exhausted retries, SOAP faults, and one-way
+// sends, every pooled payload drawn anywhere in the pipeline is released
+// exactly once.
+func TestNoPayloadLeaksThroughPool(t *testing.T) {
+	base := core.PayloadsInUse()
+	ctx := context.Background()
+
+	ff := &fakeFactory{}
+	p := New(ff.factory, Config{MaxConns: 1, Retry: RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond}})
+	defer p.Close()
+
+	// Success.
+	if _, err := p.Call(ctx, testEnvelope()); err != nil {
+		t.Fatal(err)
+	}
+	// One transport failure, then the retry replays the same request
+	// payload on a fresh connection.
+	ff.bindings[0].mu.Lock()
+	ff.bindings[0].failNext = fmt.Errorf("flake: %w", io.ErrUnexpectedEOF)
+	ff.bindings[0].mu.Unlock()
+	if _, err := p.Call(ctx, testEnvelope()); err != nil {
+		t.Fatal(err)
+	}
+	// Exhausted retries: every attempt fails on every connection; the
+	// request payload must still be released when the call gives up.
+	pDown := New(func(context.Context) (*core.Engine[core.BXSAEncoding, downBinding], error) {
+		return core.NewEngine(core.BXSAEncoding{}, downBinding{}), nil
+	}, Config{MaxConns: 1, Retry: RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond}})
+	defer pDown.Close()
+	if _, err := pDown.Call(ctx, testEnvelope()); err == nil {
+		t.Error("call succeeded while every connection fails")
+	}
+
+	// SOAP fault path: the response payload decodes to a fault.
+	fault := &core.Fault{Code: core.FaultServer, String: "no"}
+	faultBytes, err := core.EncodeToBytes(core.BXSAEncoding{}, fault.Envelope())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pFault := New(func(context.Context) (*core.Engine[core.BXSAEncoding, *faultBinding], error) {
+		return core.NewEngine(core.BXSAEncoding{}, &faultBinding{payload: faultBytes}), nil
+	}, Config{MaxConns: 1})
+	defer pFault.Close()
+	if _, err := pFault.Call(ctx, testEnvelope()); !errors.As(err, new(*core.Fault)) {
+		t.Errorf("want fault, got %v", err)
+	}
+
+	// One-way send on the healthy pool.
+	if err := p.Send(ctx, testEnvelope()); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := core.PayloadsInUse(); got != base {
+		t.Fatalf("PayloadsInUse = %d, want %d — payload leaked through the pool", got, base)
+	}
+}
+
+// downBinding fails every receive with a transport-class error.
+type downBinding struct{}
+
+func (downBinding) SendRequest(context.Context, *core.Payload, string) error { return nil }
+func (downBinding) ReceiveResponse(context.Context) (*core.Payload, string, error) {
+	return nil, "", fmt.Errorf("down: %w", io.ErrUnexpectedEOF)
+}
+func (downBinding) Close() error { return nil }

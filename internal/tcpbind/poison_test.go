@@ -1,9 +1,12 @@
 package tcpbind
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"errors"
 	"net"
+	"runtime"
 	"testing"
 	"time"
 
@@ -56,7 +59,7 @@ func frameHeader(version byte, ct string) []byte {
 // receive error.
 func exchange(t *testing.T, b *Binding, ctx context.Context) error {
 	t.Helper()
-	if err := b.SendRequest(ctx, []byte("payload"), "application/x-bxsa"); err != nil {
+	if err := b.SendRequest(ctx, core.NewPayloadFrom([]byte("payload")), "application/x-bxsa"); err != nil {
 		t.Fatalf("SendRequest: %v", err)
 	}
 	_, _, err := b.ReceiveResponse(ctx)
@@ -76,7 +79,7 @@ func assertPoisoned(t *testing.T, b *Binding, recvErr error) {
 	if !b.Poisoned() {
 		t.Error("binding not marked poisoned")
 	}
-	err := b.SendRequest(context.Background(), []byte("again"), "application/x-bxsa")
+	err := b.SendRequest(context.Background(), core.NewPayloadFrom([]byte("again")), "application/x-bxsa")
 	if !errors.Is(err, core.ErrBindingPoisoned) {
 		t.Errorf("poisoned binding accepted another request: %v", err)
 	}
@@ -104,7 +107,7 @@ func TestPoisonOnBadVersion(t *testing.T) {
 
 func TestPoisonOnOversizedFrame(t *testing.T) {
 	script := frameHeader(version, "application/x-bxsa")
-	script = vls.AppendUint(script, uint64(maxFrame)+1)
+	script = vls.AppendUint(script, uint64(MaxFrameSize)+1)
 	addr := scriptedServer(t, script, false)
 	b := New(NetDialer, addr.String())
 	defer b.Close()
@@ -154,17 +157,44 @@ func TestHealthyAfterCleanExchange(t *testing.T) {
 	addr := scriptedServer(t, reply, false)
 	b := New(NetDialer, addr.String())
 	defer b.Close()
-	if err := b.SendRequest(context.Background(), []byte("payload"), "application/x-bxsa"); err != nil {
+	if err := b.SendRequest(context.Background(), core.NewPayloadFrom([]byte("payload")), "application/x-bxsa"); err != nil {
 		t.Fatal(err)
 	}
 	payload, ct, err := b.ReceiveResponse(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if string(payload) != "ok" || ct != "application/x-bxsa" {
-		t.Errorf("got payload %q ct %q", payload, ct)
+	defer payload.Release()
+	if string(payload.Bytes()) != "ok" || ct != "application/x-bxsa" {
+		t.Errorf("got payload %q ct %q", payload.Bytes(), ct)
 	}
 	if b.Poisoned() {
 		t.Error("clean exchange poisoned the binding")
+	}
+}
+
+// TestHostileLengthBoundsAllocation is the regression test for the
+// pre-allocation length check: a frame header may advertise any payload
+// length up to MaxFrameSize, but the reader must grow its buffer only as
+// bytes actually arrive. A hostile peer promising ~1 GB and sending almost
+// nothing must cost at most a chunk or two of memory, not the advertised
+// size.
+func TestHostileLengthBoundsAllocation(t *testing.T) {
+	script := frameHeader(version, "application/x-bxsa")
+	script = vls.AppendUint(script, uint64(MaxFrameSize)-1)
+	script = append(script, "only a few bytes"...)
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	var fr frameReader
+	payload, _, err := fr.readFrame(bufio.NewReader(bytes.NewReader(script)))
+	runtime.ReadMemStats(&after)
+	if err == nil {
+		payload.Release()
+		t.Fatal("truncated hostile frame accepted")
+	}
+	if got := after.TotalAlloc - before.TotalAlloc; got > 8<<20 {
+		t.Errorf("hostile length prefix drove %d bytes of allocation, want chunked growth only", got)
 	}
 }

@@ -32,8 +32,14 @@ const (
 	magic0, magic1 = 'B', 'X'
 	version        = 0x01
 
-	// maxFrame guards against hostile or desynchronized peers.
-	maxFrame = 1 << 30
+	// MaxFrameSize bounds a single frame's payload; larger length prefixes
+	// are rejected before any allocation, guarding against hostile or
+	// desynchronized peers.
+	MaxFrameSize = 1 << 30
+
+	// maxContentTypeLen bounds the frame's content-type field, likewise
+	// checked before allocation.
+	maxContentTypeLen = 1024
 )
 
 // Dialer opens the underlying transport connection; netsim-shaped dialers
@@ -54,6 +60,7 @@ type Binding struct {
 	conn     net.Conn
 	br       *bufio.Reader
 	bw       *bufio.Writer
+	fr       frameReader
 	poisoned bool
 }
 
@@ -99,8 +106,9 @@ func (b *Binding) Poisoned() bool {
 }
 
 // SendRequest implements core.Binding. A context deadline maps onto the
-// connection's write deadline.
-func (b *Binding) SendRequest(ctx context.Context, payload []byte, contentType string) error {
+// connection's write deadline. The payload is borrowed: it is fully copied
+// into the connection's write buffer before returning.
+func (b *Binding) SendRequest(ctx context.Context, payload *core.Payload, contentType string) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.poisoned {
@@ -115,7 +123,7 @@ func (b *Binding) SendRequest(ctx context.Context, payload []byte, contentType s
 	if err := applyDeadline(ctx, b.conn.SetWriteDeadline); err != nil {
 		return err
 	}
-	if err := writeFrame(b.bw, payload, contentType); err != nil {
+	if err := writeFrame(b.bw, payload.Bytes(), contentType); err != nil {
 		return b.poison("write frame", err)
 	}
 	return nil
@@ -125,7 +133,7 @@ func (b *Binding) SendRequest(ctx context.Context, payload []byte, contentType s
 // connection's read deadline. Any receive failure — including a deadline
 // expiry before or during the frame — poisons the binding: a late response
 // still in flight would desynchronize the next exchange.
-func (b *Binding) ReceiveResponse(ctx context.Context) ([]byte, string, error) {
+func (b *Binding) ReceiveResponse(ctx context.Context) (*core.Payload, string, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.poisoned {
@@ -145,7 +153,7 @@ func (b *Binding) ReceiveResponse(ctx context.Context) ([]byte, string, error) {
 	if err := applyDeadline(ctx, b.conn.SetReadDeadline); err != nil {
 		return nil, "", err
 	}
-	payload, ct, err := readFrame(b.br)
+	payload, ct, err := b.fr.readFrame(b.br)
 	if err != nil {
 		return nil, "", b.poison("read frame", err)
 	}
@@ -190,7 +198,17 @@ func writeFrame(w *bufio.Writer, payload []byte, contentType string) error {
 	return w.Flush()
 }
 
-func readFrame(r *bufio.Reader) ([]byte, string, error) {
+// frameReader holds one connection's receive-side reuse state: a scratch
+// buffer for the content-type field and a cache of its string form. The
+// same peer sends the same content type on every frame, so steady state
+// reads a frame with zero binding-side allocations beyond the pooled
+// payload checkout.
+type frameReader struct {
+	ctScratch [maxContentTypeLen]byte
+	lastCT    string
+}
+
+func (f *frameReader) readFrame(r *bufio.Reader) (*core.Payload, string, error) {
 	var hdr [3]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, "", err
@@ -205,25 +223,34 @@ func readFrame(r *bufio.Reader) ([]byte, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
-	if ctLen > 1024 {
+	// Both length prefixes are validated BEFORE any buffer is sized from
+	// them; a hostile prefix can never trigger a large make().
+	if ctLen > maxContentTypeLen {
 		return nil, "", fmt.Errorf("tcpbind: content-type length %d too large", ctLen)
 	}
-	ct := make([]byte, ctLen)
-	if _, err := io.ReadFull(r, ct); err != nil {
+	ctBytes := f.ctScratch[:ctLen]
+	if _, err := io.ReadFull(r, ctBytes); err != nil {
 		return nil, "", err
+	}
+	ct := f.lastCT
+	if string(ctBytes) != ct {
+		ct = string(ctBytes)
+		f.lastCT = ct
 	}
 	n, err := vls.ReadUint(r)
 	if err != nil {
 		return nil, "", err
 	}
-	if n > maxFrame {
+	if n > MaxFrameSize {
 		return nil, "", fmt.Errorf("tcpbind: frame length %d exceeds limit", n)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	// ReadPayload grows chunk-by-chunk as bytes arrive, bounding what a
+	// lying-but-in-range length can allocate ahead of real data.
+	payload, err := core.ReadPayload(r, int64(n), MaxFrameSize)
+	if err != nil {
 		return nil, "", err
 	}
-	return payload, string(ct), nil
+	return payload, ct, nil
 }
 
 // Listener is the server-side TCP binding.
@@ -267,11 +294,13 @@ type channel struct {
 	conn net.Conn
 	br   *bufio.Reader
 	bw   *bufio.Writer
+	fr   frameReader
 }
 
-// ReceiveRequest implements core.Channel.
-func (c *channel) ReceiveRequest(_ context.Context) ([]byte, string, error) {
-	payload, ct, err := readFrame(c.br)
+// ReceiveRequest implements core.Channel. Ownership of the returned payload
+// transfers to the caller.
+func (c *channel) ReceiveRequest(_ context.Context) (*core.Payload, string, error) {
+	payload, ct, err := c.fr.readFrame(c.br)
 	if err != nil {
 		if errors.Is(err, io.ErrUnexpectedEOF) {
 			err = io.EOF
@@ -281,9 +310,12 @@ func (c *channel) ReceiveRequest(_ context.Context) ([]byte, string, error) {
 	return payload, ct, nil
 }
 
-// SendResponse implements core.Channel.
-func (c *channel) SendResponse(payload []byte, contentType string) error {
-	return writeFrame(c.bw, payload, contentType)
+// SendResponse implements core.Channel. It takes ownership of payload and
+// releases it once the frame is written, whether or not the write succeeds.
+func (c *channel) SendResponse(payload *core.Payload, contentType string) error {
+	err := writeFrame(c.bw, payload.Bytes(), contentType)
+	payload.Release()
+	return err
 }
 
 // Close implements core.Channel.

@@ -8,6 +8,8 @@ import (
 	"net"
 	"testing"
 	"time"
+
+	"bxsoap/internal/core"
 )
 
 func TestFrameRoundTrip(t *testing.T) {
@@ -17,12 +19,14 @@ func TestFrameRoundTrip(t *testing.T) {
 	if err := writeFrame(w, payload, "text/xml"); err != nil {
 		t.Fatal(err)
 	}
-	got, ct, err := readFrame(bufio.NewReader(&buf))
+	var fr frameReader
+	got, ct, err := fr.readFrame(bufio.NewReader(&buf))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(got, payload) || ct != "text/xml" {
-		t.Errorf("frame = %q/%q", got, ct)
+	defer got.Release()
+	if !bytes.Equal(got.Bytes(), payload) || ct != "text/xml" {
+		t.Errorf("frame = %q/%q", got.Bytes(), ct)
 	}
 }
 
@@ -32,22 +36,26 @@ func TestFrameEmptyPayload(t *testing.T) {
 	if err := writeFrame(w, nil, "application/x-bxsa"); err != nil {
 		t.Fatal(err)
 	}
-	got, ct, err := readFrame(bufio.NewReader(&buf))
-	if err != nil || len(got) != 0 || ct != "application/x-bxsa" {
-		t.Errorf("empty frame = %q/%q/%v", got, ct, err)
+	var fr frameReader
+	got, ct, err := fr.readFrame(bufio.NewReader(&buf))
+	if err != nil || got.Len() != 0 || ct != "application/x-bxsa" {
+		t.Errorf("empty frame = %v/%q/%v", got, ct, err)
 	}
+	got.Release()
 }
 
 func TestFrameRejectsBadMagic(t *testing.T) {
+	var fr frameReader
 	r := bufio.NewReader(bytes.NewReader([]byte("XXx")))
-	if _, _, err := readFrame(r); err == nil {
+	if _, _, err := fr.readFrame(r); err == nil {
 		t.Error("bad magic accepted")
 	}
 }
 
 func TestFrameRejectsBadVersion(t *testing.T) {
+	var fr frameReader
 	r := bufio.NewReader(bytes.NewReader([]byte{'B', 'X', 0x7f, 0, 0}))
-	if _, _, err := readFrame(r); err == nil {
+	if _, _, err := fr.readFrame(r); err == nil {
 		t.Error("bad version accepted")
 	}
 }
@@ -59,7 +67,8 @@ func TestFrameRejectsHugeContentType(t *testing.T) {
 	if err := writeFrame(w, nil, string(long)); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := readFrame(bufio.NewReader(&buf)); err == nil {
+	var fr frameReader
+	if _, _, err := fr.readFrame(bufio.NewReader(&buf)); err == nil {
 		t.Error("oversized content type accepted")
 	}
 }
@@ -70,8 +79,9 @@ func TestFrameTruncatedPayload(t *testing.T) {
 	if err := writeFrame(w, []byte("0123456789"), "x"); err != nil {
 		t.Fatal(err)
 	}
+	var fr frameReader
 	trunc := buf.Bytes()[:buf.Len()-4]
-	if _, _, err := readFrame(bufio.NewReader(bytes.NewReader(trunc))); err == nil {
+	if _, _, err := fr.readFrame(bufio.NewReader(bytes.NewReader(trunc))); err == nil {
 		t.Error("truncated payload accepted")
 	}
 }
@@ -85,7 +95,7 @@ func TestReceiveWithoutSendFails(t *testing.T) {
 
 func TestDialFailureSurfaces(t *testing.T) {
 	b := New(func(string) (net.Conn, error) { return nil, io.ErrClosedPipe }, "nowhere")
-	if err := b.SendRequest(context.Background(), []byte("x"), "t"); err == nil {
+	if err := b.SendRequest(context.Background(), core.NewPayloadFrom([]byte("x")), "t"); err == nil {
 		t.Error("dial failure not surfaced")
 	}
 }
@@ -144,7 +154,8 @@ func TestClientServerExchangeDirect(t *testing.T) {
 			if err != nil {
 				return
 			}
-			resp := append([]byte("echo:"), payload...)
+			resp := core.NewPayloadFrom(append([]byte("echo:"), payload.Bytes()...))
+			payload.Release()
 			if err := ch.SendResponse(resp, ct); err != nil {
 				return
 			}
@@ -153,16 +164,17 @@ func TestClientServerExchangeDirect(t *testing.T) {
 	b := New(NetDialer, l.Addr().String())
 	defer b.Close()
 	for i := 0; i < 3; i++ {
-		if err := b.SendRequest(context.Background(), []byte{byte('a' + i)}, "t/t"); err != nil {
+		if err := b.SendRequest(context.Background(), core.NewPayloadFrom([]byte{byte('a' + i)}), "t/t"); err != nil {
 			t.Fatal(err)
 		}
 		resp, ct, err := b.ReceiveResponse(context.Background())
 		if err != nil || ct != "t/t" {
 			t.Fatalf("recv: %q %v", ct, err)
 		}
-		if string(resp) != "echo:"+string([]byte{byte('a' + i)}) {
-			t.Fatalf("resp = %q", resp)
+		if string(resp.Bytes()) != "echo:"+string([]byte{byte('a' + i)}) {
+			t.Fatalf("resp = %q", resp.Bytes())
 		}
+		resp.Release()
 	}
 }
 
@@ -179,12 +191,14 @@ func TestContextDeadlineHonored(t *testing.T) {
 		}
 		defer ch.Close()
 		// Receive the request but never respond.
-		ch.ReceiveRequest(context.Background())
+		if payload, _, err := ch.ReceiveRequest(context.Background()); err == nil {
+			payload.Release()
+		}
 		select {}
 	}()
 	b := New(NetDialer, l.Addr().String())
 	defer b.Close()
-	if err := b.SendRequest(context.Background(), []byte("x"), "t"); err != nil {
+	if err := b.SendRequest(context.Background(), core.NewPayloadFrom([]byte("x")), "t"); err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
@@ -203,7 +217,7 @@ func TestCanceledContextRejectedEarly(t *testing.T) {
 	b := New(NetDialer, "127.0.0.1:1")
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if err := b.SendRequest(ctx, []byte("x"), "t"); err == nil {
+	if err := b.SendRequest(ctx, core.NewPayloadFrom([]byte("x")), "t"); err == nil {
 		t.Error("canceled context not rejected")
 	}
 	if _, _, err := b.ReceiveResponse(ctx); err == nil {

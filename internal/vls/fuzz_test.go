@@ -1,0 +1,40 @@
+package vls
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzUint feeds the VLS decoder arbitrary bytes and cross-checks the two
+// decode paths against each other and against the canonical encoder: both
+// must agree on value and error, a decoded value must re-encode to exactly
+// the bytes consumed (the encoding is canonical), and no input may panic.
+func FuzzUint(f *testing.F) {
+	for _, v := range []uint64{0, 1, 0x7f, 0x80, 1 << 14, 1 << 21, math.MaxUint64} {
+		f.Add(AppendUint(nil, v))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x80})
+	f.Add([]byte{0x80, 0x00})                                                 // non-canonical zero continuation
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}) // overflow
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, n, err := Uint(data)
+		rv, rerr := ReadUint(bytes.NewReader(data))
+		if (err == nil) != (rerr == nil) {
+			t.Fatalf("Uint err %v vs ReadUint err %v on %x", err, rerr, data)
+		}
+		if err != nil {
+			return
+		}
+		if v != rv {
+			t.Fatalf("Uint = %d, ReadUint = %d on %x", v, rv, data)
+		}
+		if n != EncodedLen(v) {
+			t.Fatalf("consumed %d bytes for %d, EncodedLen says %d", n, v, EncodedLen(v))
+		}
+		if re := AppendUint(nil, v); !bytes.Equal(re, data[:n]) {
+			t.Fatalf("non-canonical accept: %x decoded to %d which re-encodes as %x", data[:n], v, re)
+		}
+	})
+}

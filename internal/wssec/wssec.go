@@ -49,20 +49,30 @@ func (s Secured[E]) ContentType() string { return s.Inner.ContentType() + `; sig
 // Encode implements core.Encoding: inner encoding followed by the
 // authenticated framing [magic | 32-byte tag | payload].
 func (s Secured[E]) Encode(w io.Writer, doc *bxdm.Document) error {
-	var buf bytes.Buffer
-	if err := s.Inner.Encode(&buf, doc); err != nil {
+	data, err := s.AppendEncode(nil, doc)
+	if err != nil {
 		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// AppendEncode implements core.Encoding. The frame header is reserved up
+// front and the inner policy appends in place after it; the tag is then
+// filled into the reserved hole, so securing adds no extra payload copy.
+func (s Secured[E]) AppendEncode(dst []byte, doc *bxdm.Document) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, magic...)
+	var hole [sha256.Size]byte
+	dst = append(dst, hole[:]...)
+	out, err := s.Inner.AppendEncode(dst, doc)
+	if err != nil {
+		return nil, err
 	}
 	mac := hmac.New(sha256.New, s.Key)
-	mac.Write(buf.Bytes())
-	if _, err := w.Write(magic); err != nil {
-		return err
-	}
-	if _, err := w.Write(mac.Sum(nil)); err != nil {
-		return err
-	}
-	_, err := w.Write(buf.Bytes())
-	return err
+	mac.Write(out[start+len(magic)+sha256.Size:])
+	mac.Sum(out[start+len(magic):start+len(magic)])
+	return out, nil
 }
 
 // Decode implements core.Encoding: verify, strip, delegate.
@@ -81,4 +91,17 @@ func (s Secured[E]) Decode(data []byte) (*bxdm.Document, error) {
 		return nil, ErrBadSignature
 	}
 	return s.Inner.Decode(payload)
+}
+
+// DecodeFrom implements core.Encoding. The whole frame must be in memory
+// before the tag can be verified, so this is the pooled read-then-Decode
+// shape shared by the base encodings.
+func (s Secured[E]) DecodeFrom(r io.Reader, size int64) (*bxdm.Document, error) {
+	p, err := core.ReadPayload(r, size, 0)
+	if err != nil {
+		return nil, err
+	}
+	doc, err := s.Decode(p.Bytes())
+	p.Release()
+	return doc, err
 }

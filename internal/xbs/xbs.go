@@ -58,6 +58,13 @@ func NewWriter(w io.Writer, order ByteOrder, base int64) *Writer {
 	return &Writer{w: w, order: order, off: base}
 }
 
+// Reset repoints the writer at out with a fresh base offset, keeping the
+// struct (and its scratch space) for reuse; pooled encoders re-aim one
+// writer at many array regions instead of allocating a Writer per array.
+func (w *Writer) Reset(out io.Writer, order ByteOrder, base int64) {
+	w.w, w.order, w.off = out, order, base
+}
+
 // Offset returns the number of bytes written so far, including the base.
 func (w *Writer) Offset() int64 { return w.off }
 
@@ -207,6 +214,12 @@ type Reader struct {
 // offset starting at base (see NewWriter).
 func NewReader(r io.Reader, order ByteOrder, base int64) *Reader {
 	return &Reader{r: r, order: order, off: base}
+}
+
+// Reset repoints the reader at in with a fresh base offset, keeping the
+// struct for reuse (mirrors Writer.Reset).
+func (r *Reader) Reset(in io.Reader, order ByteOrder, base int64) {
+	r.r, r.order, r.off = in, order, base
 }
 
 // Offset returns the number of bytes consumed so far, including the base.

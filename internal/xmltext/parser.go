@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 
 	"bxsoap/internal/bxdm"
 )
@@ -22,12 +23,26 @@ type DecodeOptions struct {
 	DropInterElementWhitespace bool
 }
 
-// Parse parses an XML 1.0 document into a bXDM tree.
+// parserPool recycles parser state (namespace scope frames, the name
+// cache) across messages. The parsed tree never aliases parser state or the
+// input buffer, so pooling is invisible to callers.
+var parserPool = sync.Pool{New: func() any { return new(parser) }}
+
+// Parse parses an XML 1.0 document into a bXDM tree. The returned tree
+// does not alias data: callers may recycle the buffer as soon as Parse
+// returns.
 func Parse(data []byte, opts DecodeOptions) (*bxdm.Document, error) {
-	p := &parser{data: data, opts: opts}
+	p := parserPool.Get().(*parser)
+	p.data, p.pos, p.opts, p.lastName = data, 0, opts, ""
+	for p.scope.Depth() > 0 { // a failed earlier parse may have left frames pushed
+		p.scope.Pop()
+	}
 	doc, err := p.parseDocument()
+	pos := p.pos
+	p.data = nil
+	parserPool.Put(p)
 	if err != nil {
-		return nil, fmt.Errorf("xmltext: %w at byte %d", err, p.pos)
+		return nil, fmt.Errorf("xmltext: %w at byte %d", err, pos)
 	}
 	return doc, nil
 }
@@ -45,6 +60,11 @@ type parser struct {
 	pos   int
 	opts  DecodeOptions
 	scope bxdm.NSScope
+	// lastName is a single-entry cache for parseName: markup repeats the
+	// same tag names (every end tag echoes its start tag, sibling elements
+	// share names), and the cache turns those repeats into an alloc-free
+	// bytes-vs-string comparison.
+	lastName string
 }
 
 func (p *parser) errf(format string, args ...any) error {
@@ -72,7 +92,7 @@ func (p *parser) skipWS() {
 }
 
 func (p *parser) consume(s string) bool {
-	if bytes.HasPrefix(p.data[p.pos:], []byte(s)) {
+	if len(p.data)-p.pos >= len(s) && string(p.data[p.pos:p.pos+len(s)]) == s {
 		p.pos += len(s)
 		return true
 	}
@@ -176,7 +196,11 @@ func (p *parser) parseName() (string, error) {
 	for !p.eof() && isNameChar(p.data[p.pos]) {
 		p.pos++
 	}
-	return string(p.data[start:p.pos]), nil
+	if b := p.data[start:p.pos]; string(b) == p.lastName {
+		return p.lastName, nil
+	}
+	p.lastName = string(p.data[start:p.pos])
+	return p.lastName, nil
 }
 
 type rawAttr struct {
@@ -274,6 +298,15 @@ func (p *parser) parseElement() (bxdm.Node, error) {
 		})
 	}
 
+	if arrayType != "" && !selfClose {
+		// The arrayType attribute is known before the content is parsed, so
+		// the overwhelmingly common wire shape — a flat run of attribute-free
+		// single-text items — can skip per-item node building entirely.
+		if n, handled, err := p.tryFastArray(common, arrayType, name); handled || err != nil {
+			return n, err
+		}
+	}
+
 	var children []bxdm.Node
 	if !selfClose {
 		children, err = p.parseContent(name)
@@ -326,19 +359,120 @@ func (p *parser) buildLeafElement(common bxdm.ElemCommon, ref string, children [
 	return &bxdm.LeafElement{ElemCommon: common, Value: v}, nil
 }
 
-func (p *parser) buildArrayElement(common bxdm.ElemCommon, ref string, children []bxdm.Node) (bxdm.Node, error) {
-	// ref is "xsd:double[1000]".
+// parseArrayTypeRef dissects an arrayType value such as "xsd:double[1000]"
+// into the item type code and the declared length.
+func (p *parser) parseArrayTypeRef(ref string) (bxdm.TypeCode, int, error) {
 	open := strings.IndexByte(ref, '[')
 	if open < 0 || !strings.HasSuffix(ref, "]") {
-		return nil, p.errf("malformed arrayType %q", ref)
+		return bxdm.TInvalid, 0, p.errf("malformed arrayType %q", ref)
 	}
 	code, err := p.resolveTypeRef(ref[:open])
 	if err != nil {
-		return nil, err
+		return bxdm.TInvalid, 0, err
 	}
 	declared, err := strconv.Atoi(ref[open+1 : len(ref)-1])
 	if err != nil {
-		return nil, p.errf("malformed arrayType length in %q", ref)
+		return bxdm.TInvalid, 0, p.errf("malformed arrayType length in %q", ref)
+	}
+	return code, declared, nil
+}
+
+// tryFastArray scans array content in one specialized pass: each item must
+// be an attribute-free element holding plain text (no entities, no carriage
+// returns, no child markup). Any deviation rewinds to the saved position
+// and reports handled=false so the general path re-parses; the fast path
+// therefore never changes what is accepted, only how much it allocates.
+func (p *parser) tryFastArray(common bxdm.ElemCommon, ref, name string) (bxdm.Node, bool, error) {
+	code, declared, err := p.parseArrayTypeRef(ref)
+	if err != nil {
+		return nil, false, err // malformed arrayType fails in any path
+	}
+	b, err := bxdm.NewArrayBuilder(code)
+	if err != nil {
+		return nil, false, p.errf("%v", err)
+	}
+	save := p.pos
+	n := 0
+	for {
+		p.skipWS()
+		if p.consume("</") {
+			if !p.consume(name) || (!p.eof() && isNameChar(p.peek())) {
+				p.pos = save
+				return nil, false, nil
+			}
+			p.skipWS()
+			if !p.consume(">") {
+				p.pos = save
+				return nil, false, nil
+			}
+			if n != declared {
+				return nil, false, p.errf("arrayType declares %d items, found %d", declared, n)
+			}
+			return &bxdm.ArrayElement{ElemCommon: common, Data: b.Data()}, true, nil
+		}
+		if p.eof() || p.peek() != '<' {
+			p.pos = save
+			return nil, false, nil
+		}
+		p.pos++
+		// Item open tag: a prefix-free name followed immediately by '>'.
+		nameStart := p.pos
+		if p.eof() || !isNameStart(p.peek()) || p.peek() == ':' {
+			p.pos = save
+			return nil, false, nil
+		}
+		p.pos++
+		for !p.eof() && isNameChar(p.peek()) && p.peek() != ':' {
+			p.pos++
+		}
+		item := p.data[nameStart:p.pos]
+		if p.eof() || p.peek() != '>' {
+			p.pos = save
+			return nil, false, nil
+		}
+		p.pos++
+		textStart := p.pos
+		for !p.eof() {
+			c := p.peek()
+			if c == '<' {
+				break
+			}
+			if c == '&' || c == '\r' {
+				p.pos = save
+				return nil, false, nil
+			}
+			p.pos++
+		}
+		text := bytes.TrimSpace(p.data[textStart:p.pos])
+		if !p.consume("</") {
+			p.pos = save
+			return nil, false, nil
+		}
+		if len(p.data)-p.pos < len(item) || !bytes.Equal(p.data[p.pos:p.pos+len(item)], item) {
+			p.pos = save
+			return nil, false, nil
+		}
+		p.pos += len(item)
+		if !p.eof() && isNameChar(p.peek()) {
+			p.pos = save
+			return nil, false, nil
+		}
+		p.skipWS()
+		if !p.consume(">") {
+			p.pos = save
+			return nil, false, nil
+		}
+		if err := b.AppendLexicalBytes(text); err != nil {
+			return nil, false, p.errf("array item %d: %v", n, err)
+		}
+		n++
+	}
+}
+
+func (p *parser) buildArrayElement(common bxdm.ElemCommon, ref string, children []bxdm.Node) (bxdm.Node, error) {
+	code, declared, err := p.parseArrayTypeRef(ref)
+	if err != nil {
+		return nil, err
 	}
 	b, err := bxdm.NewArrayBuilder(code)
 	if err != nil {

@@ -9,11 +9,11 @@ package xmltext
 
 import (
 	"bufio"
-	"bytes"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
+	"sync"
 
 	"bxsoap/internal/bxdm"
 )
@@ -47,36 +47,104 @@ func (o EncodeOptions) itemName() string {
 	return o.ArrayItemName
 }
 
+const xmlDecl = `<?xml version="1.0" encoding="UTF-8"?>`
+
 // Marshal serializes a bXDM tree to XML 1.0.
 func Marshal(n bxdm.Node, opts EncodeOptions) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := Encode(&buf, n, opts); err != nil {
+	return AppendEncode(nil, n, opts)
+}
+
+// AppendEncode serializes a bXDM tree by appending its XML form to dst and
+// returning the extended slice. This is the pooled-buffer fast path: the
+// encoder writes straight into dst with no bufio layer and no flush copy.
+func AppendEncode(dst []byte, n bxdm.Node, opts EncodeOptions) ([]byte, error) {
+	e := getEncoder(opts)
+	e.asink.buf = dst
+	e.w = &e.asink
+	if opts.XMLDecl {
+		e.asink.buf = append(e.asink.buf, xmlDecl...)
+	}
+	err := bxdm.Accept(n, e)
+	out := e.asink.buf
+	putEncoder(e)
+	if err != nil {
 		return nil, err
 	}
-	return buf.Bytes(), nil
+	return out, nil
 }
 
 // Encode serializes a bXDM tree to w.
 func Encode(w io.Writer, n bxdm.Node, opts EncodeOptions) error {
 	bw := bufio.NewWriter(w)
-	e := &encoder{w: bw, opts: opts}
+	e := getEncoder(opts)
+	e.w = bw
 	if opts.XMLDecl {
-		if _, err := bw.WriteString(`<?xml version="1.0" encoding="UTF-8"?>`); err != nil {
+		if _, err := bw.WriteString(xmlDecl); err != nil {
+			putEncoder(e)
 			return err
 		}
 	}
-	if err := bxdm.Accept(n, e); err != nil {
+	err := bxdm.Accept(n, e)
+	putEncoder(e)
+	if err != nil {
 		return err
 	}
 	return bw.Flush()
 }
 
+// sink is the encoder's output: either a bufio.Writer (streaming Encode) or
+// the in-place appendSink (AppendEncode). Both are byte-granular, so the
+// encoder never builds intermediate strings.
+type sink interface {
+	io.Writer
+	WriteByte(byte) error
+	WriteString(string) (int, error)
+}
+
+// appendSink appends into a caller-provided buffer (typically a pooled
+// payload).
+type appendSink struct{ buf []byte }
+
+func (s *appendSink) Write(p []byte) (int, error) {
+	s.buf = append(s.buf, p...)
+	return len(p), nil
+}
+
+func (s *appendSink) WriteByte(b byte) error {
+	s.buf = append(s.buf, b)
+	return nil
+}
+
+func (s *appendSink) WriteString(str string) (int, error) {
+	s.buf = append(s.buf, str...)
+	return len(str), nil
+}
+
 type encoder struct {
-	w     *bufio.Writer
+	w     sink
 	opts  EncodeOptions
 	scope bxdm.NSScope
 	auto  int
 	buf   []byte
+	asink appendSink
+}
+
+var encoderPool = sync.Pool{New: func() any { return new(encoder) }}
+
+func getEncoder(opts EncodeOptions) *encoder {
+	e := encoderPool.Get().(*encoder)
+	e.opts = opts
+	e.auto = 0
+	for e.scope.Depth() > 0 { // a failed earlier encode may have left frames pushed
+		e.scope.Pop()
+	}
+	return e
+}
+
+func putEncoder(e *encoder) {
+	e.w = nil
+	e.asink.buf = nil
+	encoderPool.Put(e)
 }
 
 func (e *encoder) EnterDocument(*bxdm.Document) error { return nil }
@@ -244,13 +312,15 @@ func (e *encoder) LeaveElement(el *bxdm.Element) error {
 }
 
 func (e *encoder) VisitLeaf(l *bxdm.LeafElement) error {
+	var extraArr [1]bxdm.Attribute
 	var extra []bxdm.Attribute
 	hints := e.opts.TypeHints
 	if hints {
-		extra = []bxdm.Attribute{{
+		extraArr[0] = bxdm.Attribute{
 			Name:  bxdm.PName(XSINamespace, "xsi", "type"),
 			Value: bxdm.StringValue("xsd:" + l.Value.Type().String()),
-		}}
+		}
+		extra = extraArr[:]
 	}
 	if err := e.openTag(&l.ElemCommon, extra, hints, false); err != nil {
 		return err
@@ -262,14 +332,16 @@ func (e *encoder) VisitLeaf(l *bxdm.LeafElement) error {
 }
 
 func (e *encoder) VisitArray(a *bxdm.ArrayElement) error {
+	var extraArr [1]bxdm.Attribute
 	var extra []bxdm.Attribute
 	hints := e.opts.TypeHints
 	if hints {
-		extra = []bxdm.Attribute{{
+		extraArr[0] = bxdm.Attribute{
 			Name: bxdm.PName(ENCNamespace, "enc", "arrayType"),
 			Value: bxdm.StringValue(fmt.Sprintf("xsd:%s[%d]",
 				a.Data.Type().String(), a.Data.Len())),
-		}}
+		}
+		extra = extraArr[:]
 	}
 	if err := e.openTag(&a.ElemCommon, extra, hints, hints); err != nil {
 		return err
@@ -293,7 +365,7 @@ func (e *encoder) VisitArray(a *bxdm.ArrayElement) error {
 }
 
 func (e *encoder) VisitText(t *bxdm.Text) error {
-	e.escapeText([]byte(t.Data))
+	escapeTextTo(e.w, t.Data)
 	return nil
 }
 
@@ -321,19 +393,23 @@ func (e *encoder) VisitPI(p *bxdm.PI) error {
 	return nil
 }
 
-func (e *encoder) escapeText(s []byte) {
-	for _, b := range s {
-		switch b {
+func (e *encoder) escapeText(s []byte) { escapeTextTo(e.w, s) }
+
+// escapeTextTo works on string and []byte alike, so callers holding either
+// form never pay a conversion copy.
+func escapeTextTo[S ~string | ~[]byte](w sink, s S) {
+	for i := 0; i < len(s); i++ {
+		switch b := s[i]; b {
 		case '&':
-			e.w.WriteString("&amp;")
+			w.WriteString("&amp;")
 		case '<':
-			e.w.WriteString("&lt;")
+			w.WriteString("&lt;")
 		case '>':
-			e.w.WriteString("&gt;")
+			w.WriteString("&gt;")
 		case '\r':
-			e.w.WriteString("&#13;")
+			w.WriteString("&#13;")
 		default:
-			e.w.WriteByte(b)
+			w.WriteByte(b)
 		}
 	}
 }

@@ -1,0 +1,89 @@
+// Round-trip allocation benchmarks for the zero-copy message pipeline.
+// Each benchmark drives full request-response exchanges (encode request,
+// frame, server decode, echo handler, encode response, client decode)
+// through a real engine/server pair over a netsim-shaped loopback
+// connection, and reports allocs/op and B/op via ReportAllocs. EXPERIMENTS.md
+// records the numbers before and after the pooled-payload refactor.
+package bxsoap
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"bxsoap/internal/core"
+	"bxsoap/internal/dataset"
+	"bxsoap/internal/httpbind"
+	"bxsoap/internal/netsim"
+	"bxsoap/internal/tcpbind"
+)
+
+// echoHandler returns the request envelope as the response, so both
+// directions of the exchange carry the full model and the benchmark
+// numbers are the pipeline's own cost, not a handler's.
+func echoHandler(_ context.Context, req *core.Envelope) (*core.Envelope, error) {
+	return req, nil
+}
+
+// benchRoundTrip measures b.N request-response exchanges for one
+// (encoding, transport) composition on one shaped profile.
+func benchRoundTrip[E core.Encoding](b *testing.B, enc E, transport string, profile netsim.Profile, size int) {
+	b.Helper()
+	nw := netsim.New(profile)
+	l, err := nw.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var call func(*core.Envelope) (*core.Envelope, error)
+	var closers []func() error
+	switch transport {
+	case "tcp":
+		srv := core.NewServer(enc, tcpbind.NewListener(l), echoHandler)
+		go srv.Serve()
+		eng := core.NewEngine(enc, tcpbind.New(nw.Dial, l.Addr().String()))
+		call = func(e *core.Envelope) (*core.Envelope, error) { return eng.Call(context.Background(), e) }
+		closers = []func() error{eng.Close, srv.Close}
+	case "http":
+		hl := httpbind.NewListener(l)
+		srv := core.NewServer(enc, hl, echoHandler)
+		go srv.Serve()
+		eng := core.NewEngine(enc, httpbind.New(nw.Dial, hl.URL()))
+		call = func(e *core.Envelope) (*core.Envelope, error) { return eng.Call(context.Background(), e) }
+		closers = []func() error{eng.Close, srv.Close}
+	default:
+		b.Fatalf("unknown transport %q", transport)
+	}
+	defer func() {
+		for _, c := range closers {
+			c()
+		}
+	}()
+	env := core.NewEnvelope(dataset.Generate(size).Element())
+	if _, err := call(env); err != nil { // warm-up: dial off the clock
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := call(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRoundTripAllocs is the steady-state allocation benchmark the
+// pooled-payload pipeline is judged by: XML and BXSA, request+response,
+// over the netsim LAN and WAN profiles.
+func BenchmarkRoundTripAllocs(b *testing.B) {
+	const size = 500
+	for _, prof := range []netsim.Profile{netsim.LAN, netsim.WAN} {
+		for _, tr := range []string{"tcp", "http"} {
+			b.Run(fmt.Sprintf("BXSA-%s/%s", tr, prof.Name), func(b *testing.B) {
+				benchRoundTrip(b, core.BXSAEncoding{}, tr, prof, size)
+			})
+			b.Run(fmt.Sprintf("XML-%s/%s", tr, prof.Name), func(b *testing.B) {
+				benchRoundTrip(b, core.XMLEncoding{}, tr, prof, size)
+			})
+		}
+	}
+}
