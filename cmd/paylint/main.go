@@ -1,0 +1,62 @@
+// Command paylint runs the repository's static protocol checks: payown
+// (pooled payloads released exactly once on every path), errclass
+// (transport-origin errors classified before they escape a binding), and
+// nowallclock (no wall-clock time in deterministic-clock packages). See
+// DESIGN.md "Statically enforced invariants".
+//
+// Usage:
+//
+//	go run ./cmd/paylint ./...
+//
+// Patterns are go list patterns resolved in the current directory. The exit
+// status is 1 when any diagnostic is reported, 2 on driver errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bxsoap/internal/analysis/errclass"
+	"bxsoap/internal/analysis/framework"
+	"bxsoap/internal/analysis/loader"
+	"bxsoap/internal/analysis/nowallclock"
+	"bxsoap/internal/analysis/payown"
+)
+
+var analyzers = []*framework.Analyzer{
+	payown.Analyzer,
+	errclass.Analyzer,
+	nowallclock.Analyzer,
+}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: paylint [packages]\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	prog, err := loader.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags, err := loader.Run(prog, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s: %s\n", prog.Fset.Position(d.Pos), d.Analyzer.Name, d.Message)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,134 @@
+// Package analysistest runs a paylint analyzer over a testdata corpus and
+// checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on top of the stdlib-only
+// framework.
+//
+// A corpus directory holds one package of ordinary Go files. Lines that
+// should draw a diagnostic carry a trailing comment
+//
+//	p := core.NewPayload(64) // want `not released`
+//
+// where the backquoted string is a regexp matched against the diagnostic
+// message. Several // want comments on one line expect several
+// diagnostics. Lines without a want must stay clean.
+//
+// Corpus files may import real repository packages (bxsoap/internal/core
+// and friends); the runner type-checks those from source first and runs
+// the analyzer over them, so annotation facts cross into the corpus
+// exactly as they do in a real run.
+package analysistest
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"bxsoap/internal/analysis/framework"
+	"bxsoap/internal/analysis/loader"
+)
+
+// repoRoot is where the module lives relative to an analyzer's test
+// directory (internal/analysis/<name>).
+const repoRoot = "../../.."
+
+// Run analyzes the corpus package in dir and reports mismatches between
+// the analyzer's diagnostics and the // want comments as test failures.
+// Extra go list patterns (standard-library packages the corpus imports
+// beyond core's dependency graph, e.g. "net" or "bufio") may follow dir.
+func Run(t *testing.T, a *framework.Analyzer, dir string, extra ...string) {
+	t.Helper()
+
+	// Load the real packages the corpus imports (facts live there), then
+	// the corpus itself.
+	prog, err := loader.Load(repoRoot, append([]string{"bxsoap/internal/core"}, extra...)...)
+	if err != nil {
+		t.Fatalf("loading repository packages: %v", err)
+	}
+	files, err := prog.ParseDir(dir)
+	if err != nil {
+		t.Fatalf("parsing corpus: %v", err)
+	}
+	pkg, err := prog.CheckFiles("paylint.test/corpus", files)
+	if err != nil {
+		t.Fatalf("type-checking corpus: %v", err)
+	}
+	diags, err := loader.RunOn(prog, pkg, []*framework.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	// Collect expectations: (file, line) -> regexps.
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := prog.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, pat := range splitBackquoted(strings.TrimPrefix(text, "want ")) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	// Match diagnostics against expectations.
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+		}
+	}
+}
+
+// splitBackquoted extracts the backquoted patterns from a want payload:
+// `a` `b` -> ["a", "b"]. A bare unquoted word is taken literally, so
+// simple wants read naturally.
+func splitBackquoted(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		if s[0] == '`' {
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				out = append(out, s[1:])
+				return out
+			}
+			out = append(out, s[1:1+end])
+			s = s[end+2:]
+			continue
+		}
+		// Unquoted: take the whole remainder as one literal pattern.
+		out = append(out, regexp.QuoteMeta(s))
+		return out
+	}
+}

@@ -1,0 +1,491 @@
+// Package errclass enforces the repo's error-classification protocol on
+// wire-facing packages: an error born at a connection read/write/dial site
+// must pass through core.TransportError classification before it escapes
+// the package, so svcpool's retry/poison logic (which keys off
+// core.IsTransportError) sees every wire failure and no application
+// failure.
+//
+// The check is opt-in per package via a package-comment marker:
+//
+//	//paylint:classify-transport-errors
+//
+// Within a marked package the analyzer taints error values originating at
+// transport call sites — methods on anything that implements net.Conn,
+// *bufio.Reader/*bufio.Writer operations, io.ReadFull and friends over
+// such readers, dial-shaped calls (any call returning (net.Conn, error) or
+// (net.Listener, error)), (*net/http.Client).Do, and calls to functions
+// already known (by inference or fact) to return such errors. A tainted
+// error reaching a return statement of an exported function or method is a
+// finding unless it was classified on the way:
+//
+//   - wrapped in a *core.TransportError literal,
+//   - wrapped (fmt.Errorf "%w") together with core.ErrBindingPoisoned,
+//   - passed through a function annotated //paylint:classifies.
+//
+// Unexported functions are not reported; instead the analyzer infers a
+// "returns transport-origin errors" fact for them (exported as an object
+// fact, so the inference crosses package boundaries) and holds their
+// callers to account.
+//
+// Two deliberate escape hatches: a function annotated
+//
+//	//paylint:wire-verbatim <reason>
+//
+// returns raw wire errors on purpose (net.Conn/net.Listener
+// implementations must — std-library consumers type-assert net.Error and
+// compare io.EOF by identity), and //paylint:ignore errclass suppresses a
+// single line.
+package errclass
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"bxsoap/internal/analysis/framework"
+)
+
+// Analyzer is the errclass check.
+var Analyzer = &framework.Analyzer{
+	Name: "errclass",
+	Doc:  "wire-origin errors must be classified as core.TransportError before escaping marked packages",
+	Run:  run,
+}
+
+// corePath is the package defining the classification vocabulary.
+const corePath = "bxsoap/internal/core"
+
+// originFact marks a function that returns unclassified transport-origin
+// errors; calls to it taint their error result.
+type originFact struct{}
+
+// classifiesFact marks a //paylint:classifies function; calls to it launder
+// taint.
+type classifiesFact struct{}
+
+// connMethods are the net.Conn operations whose errors are wire failures.
+// Close is deliberately absent: teardown errors are not exchange failures
+// and wrapping them buys retry logic nothing.
+var connMethods = map[string]bool{
+	"Read": true, "Write": true,
+	"SetDeadline": true, "SetReadDeadline": true, "SetWriteDeadline": true,
+}
+
+// bufioMethods are the buffered-IO operations bindings put between
+// themselves and the conn.
+var bufioMethods = map[string]bool{
+	"Read": true, "ReadByte": true, "ReadString": true, "ReadBytes": true,
+	"ReadRune": true, "Peek": true, "Discard": true,
+	"Write": true, "WriteByte": true, "WriteString": true, "WriteRune": true,
+	"Flush": true,
+}
+
+// ioHelpers are io package functions whose error is wire-origin when their
+// stream argument is.
+var ioHelpers = map[string]bool{
+	"ReadFull": true, "ReadAtLeast": true, "Copy": true, "CopyN": true,
+	"CopyBuffer": true, "ReadAll": true, "WriteString": true,
+}
+
+// netDialFuncs are the net package entry points that open transports.
+var netDialFuncs = map[string]bool{
+	"Dial": true, "DialTimeout": true, "DialUDP": true, "DialTCP": true,
+	"Listen": true, "ListenTCP": true, "ListenPacket": true,
+}
+
+func run(pass *framework.Pass) error {
+	c := &checker{pass: pass}
+
+	// Annotation facts first: they apply even in unmarked packages, so a
+	// marked package can rely on helpers (and deliberate raw-error
+	// functions) declared elsewhere.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fn.Name]
+			for _, a := range framework.FuncAnnotations(fn) {
+				switch a.Verb {
+				case "classifies":
+					pass.ExportObjectFact(obj, classifiesFact{})
+				case "wire-verbatim":
+					c.verbatim(obj)
+					// Deliberately raw: callers must classify, so calls to
+					// this function are origins.
+					pass.ExportObjectFact(obj, originFact{})
+				}
+			}
+		}
+	}
+
+	if !framework.PackageMarked(pass.Files, "classify-transport-errors") {
+		return nil
+	}
+
+	// Inference to fixpoint: unexported functions that let wire-origin
+	// errors out acquire origin facts that taint their call sites.
+	for round := 0; round < 5; round++ {
+		grew := false
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[fn.Name]
+				if obj == nil || c.isVerbatim(obj) || c.hasOrigin(obj) {
+					continue
+				}
+				if len(c.analyze(fn)) > 0 {
+					pass.ExportObjectFact(obj, originFact{})
+					grew = true
+				}
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+
+	// Reporting pass over the externally reachable surface: exported
+	// function and method names (methods on unexported types still escape
+	// through interfaces, so method name alone decides).
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !ast.IsExported(fn.Name.Name) {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[fn.Name]; obj == nil || c.isVerbatim(obj) {
+				continue
+			}
+			for _, pos := range c.analyze(fn) {
+				pass.Reportf(pos, "transport-origin error escapes %s.%s unclassified: wrap it in *core.TransportError, core.ErrBindingPoisoned, or a //paylint:classifies helper (or annotate //paylint:wire-verbatim)", pass.Pkg.Name(), fn.Name.Name)
+			}
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass     *framework.Pass
+	verbSet  map[types.Object]bool
+	analyzed map[*ast.FuncDecl][]token.Pos
+}
+
+func (c *checker) verbatim(obj types.Object) {
+	if c.verbSet == nil {
+		c.verbSet = make(map[types.Object]bool)
+	}
+	if obj != nil {
+		c.verbSet[obj] = true
+	}
+}
+
+func (c *checker) isVerbatim(obj types.Object) bool { return c.verbSet[obj] }
+
+func (c *checker) hasOrigin(obj types.Object) bool {
+	for _, f := range c.pass.ObjectFacts(obj) {
+		if _, ok := f.(originFact); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) hasClassifies(obj types.Object) bool {
+	for _, f := range c.pass.ObjectFacts(obj) {
+		if _, ok := f.(classifiesFact); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// analyze walks one function body in source order, tracking which error
+// variables hold unclassified wire-origin values, and returns the
+// positions of return statements that let one escape.
+func (c *checker) analyze(fn *ast.FuncDecl) []token.Pos {
+	tainted := make(map[types.Object]bool)
+	var findings []token.Pos
+
+	var inspect func(n ast.Node) bool
+	inspect = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			c.flowAssign(n, tainted)
+		case *ast.RangeStmt:
+			// Ranging over a tainted container taints the value variable
+			// (the dial-errors-slice pattern).
+			if x, ok := ast.Unparen(n.X).(*ast.Ident); ok && tainted[c.pass.TypesInfo.Uses[x]] {
+				if v, ok := n.Value.(*ast.Ident); ok {
+					if obj := c.pass.TypesInfo.Defs[v]; obj != nil {
+						tainted[obj] = true
+					} else if obj := c.pass.TypesInfo.Uses[v]; obj != nil {
+						tainted[obj] = true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if isErrorExpr(c.pass.TypesInfo, res) && c.exprTainted(res, tainted) {
+					findings = append(findings, n.Pos())
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(fn.Body, inspect)
+	return findings
+}
+
+// flowAssign updates taint for one assignment.
+func (c *checker) flowAssign(n *ast.AssignStmt, tainted map[types.Object]bool) {
+	set := func(lhs ast.Expr, t bool) {
+		switch lhs := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			obj := c.pass.TypesInfo.Defs[lhs]
+			if obj == nil {
+				obj = c.pass.TypesInfo.Uses[lhs]
+			}
+			if obj == nil {
+				return
+			}
+			if t {
+				tainted[obj] = true
+			} else {
+				delete(tainted, obj)
+			}
+		case *ast.IndexExpr:
+			// errs[i] = <wire error> taints the slice itself.
+			if x, ok := ast.Unparen(lhs.X).(*ast.Ident); ok && t {
+				if obj := c.pass.TypesInfo.Uses[x]; obj != nil {
+					tainted[obj] = true
+				}
+			}
+		}
+	}
+	if len(n.Lhs) > 1 && len(n.Rhs) == 1 {
+		// x, err := call(): the call's taint lands on every error-typed LHS.
+		t := c.exprTainted(n.Rhs[0], tainted)
+		for _, lhs := range n.Lhs {
+			if isErrorExpr(c.pass.TypesInfo, lhs) {
+				set(lhs, t)
+			}
+		}
+		return
+	}
+	for i, lhs := range n.Lhs {
+		if i >= len(n.Rhs) {
+			break
+		}
+		if isErrorExpr(c.pass.TypesInfo, lhs) || isErrorExpr(c.pass.TypesInfo, n.Rhs[i]) {
+			set(lhs, c.exprTainted(n.Rhs[i], tainted))
+		}
+	}
+}
+
+// exprTainted reports whether e carries an unclassified wire-origin error.
+func (c *checker) exprTainted(e ast.Expr, tainted map[types.Object]bool) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := c.pass.TypesInfo.Uses[e]
+		return obj != nil && tainted[obj]
+	case *ast.CallExpr:
+		if c.classifierCall(e) {
+			return false
+		}
+		if c.errorfCall(e) {
+			// fmt.Errorf: classified when it wraps a classifier operand,
+			// tainted when it wraps a tainted operand.
+			for _, a := range e.Args[1:] {
+				if c.classifiedExpr(a) {
+					return false
+				}
+			}
+			for _, a := range e.Args[1:] {
+				if c.exprTainted(a, tainted) {
+					return true
+				}
+			}
+			return false
+		}
+		return c.originCall(e)
+	}
+	return false
+}
+
+// classifiedExpr reports whether e is itself a classification: a
+// *core.TransportError literal, the poison sentinel, or a classifier call.
+func (c *checker) classifiedExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return c.isTransportErrorLit(e.X)
+		}
+	case *ast.CompositeLit:
+		return c.isTransportErrorLit(e)
+	case *ast.SelectorExpr:
+		obj := c.pass.TypesInfo.Uses[e.Sel]
+		return obj != nil && obj.Name() == "ErrBindingPoisoned" && obj.Pkg() != nil && obj.Pkg().Path() == corePath
+	case *ast.Ident:
+		obj := c.pass.TypesInfo.Uses[e]
+		return obj != nil && obj.Name() == "ErrBindingPoisoned" && obj.Pkg() != nil && obj.Pkg().Path() == corePath
+	case *ast.CallExpr:
+		return c.classifierCall(e)
+	}
+	return false
+}
+
+func (c *checker) isTransportErrorLit(e ast.Expr) bool {
+	lit, ok := ast.Unparen(e).(*ast.CompositeLit)
+	if !ok {
+		return false
+	}
+	tv, ok := c.pass.TypesInfo.Types[lit]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	return ok && named.Obj().Name() == "TransportError" && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == corePath
+}
+
+// classifierCall reports whether call invokes a //paylint:classifies
+// function.
+func (c *checker) classifierCall(call *ast.CallExpr) bool {
+	obj := calleeObject(c.pass.TypesInfo, call)
+	return obj != nil && c.hasClassifies(obj)
+}
+
+func (c *checker) errorfCall(call *ast.CallExpr) bool {
+	obj := calleeObject(c.pass.TypesInfo, call)
+	return obj != nil && obj.Name() == "Errorf" && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" && len(call.Args) >= 1
+}
+
+// originCall reports whether call's error result is wire-origin.
+func (c *checker) originCall(call *ast.CallExpr) bool {
+	info := c.pass.TypesInfo
+
+	// Dial-shaped result signature: anything handing out a connection or
+	// listener alongside an error (net.Dial*, netsim dialers, the Dialer
+	// policy seams, Accept).
+	if tv, ok := info.Types[call]; ok {
+		if tuple, ok := tv.Type.(*types.Tuple); ok && tuple.Len() == 2 {
+			if isErrorType(tuple.At(1).Type()) && (implementsConn(tuple.At(0).Type()) || implementsListener(tuple.At(0).Type())) {
+				return true
+			}
+		}
+	}
+
+	if obj := calleeObject(info, call); obj != nil {
+		if c.hasOrigin(obj) {
+			return true
+		}
+		if pkg := obj.Pkg(); pkg != nil {
+			switch pkg.Path() {
+			case "net":
+				if netDialFuncs[obj.Name()] {
+					return true
+				}
+			case "net/http":
+				if obj.Name() == "Do" {
+					return true
+				}
+			case "io":
+				if ioHelpers[obj.Name()] && len(call.Args) > 0 && c.wireStream(call.Args[0]) {
+					return true
+				}
+			case "bufio":
+				if bufioMethods[obj.Name()] {
+					return true
+				}
+			}
+		}
+	}
+
+	// Method on a conn-like receiver.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s := info.Selections[sel]; s != nil && connMethods[s.Obj().Name()] && implementsConn(s.Recv()) {
+			return true
+		}
+	}
+	return false
+}
+
+// wireStream reports whether arg's static type is a transport stream: a
+// conn or a bufio wrapper (which, in a marked package, wraps a conn).
+func (c *checker) wireStream(arg ast.Expr) bool {
+	tv, ok := c.pass.TypesInfo.Types[arg]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if implementsConn(t) {
+		return true
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	} else if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "bufio"
+	}
+	return false
+}
+
+// calleeObject resolves the called function's object: plain and
+// package-qualified functions, methods, and func-typed values.
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		if s := info.Selections[fun]; s != nil {
+			return s.Obj()
+		}
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+func isErrorExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				return isErrorType(obj.Type())
+			}
+			if obj := info.Uses[id]; obj != nil {
+				return isErrorType(obj.Type())
+			}
+		}
+		return false
+	}
+	return isErrorType(tv.Type)
+}
+
+// implementsConn duck-checks for net.Conn without needing the net package
+// in scope: the method set must contain the conn fingerprint.
+func implementsConn(t types.Type) bool {
+	return hasMethod(t, "LocalAddr") && hasMethod(t, "RemoteAddr") &&
+		hasMethod(t, "SetReadDeadline") && hasMethod(t, "Read") && hasMethod(t, "Write")
+}
+
+// implementsListener likewise fingerprints net.Listener.
+func implementsListener(t types.Type) bool {
+	return hasMethod(t, "Accept") && hasMethod(t, "Addr") && hasMethod(t, "Close") && !hasMethod(t, "Read")
+}
+
+func hasMethod(t types.Type, name string) bool {
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name)
+	_, ok := obj.(*types.Func)
+	return ok
+}

@@ -1,0 +1,16 @@
+package errclass_test
+
+import (
+	"testing"
+
+	"bxsoap/internal/analysis/analysistest"
+	"bxsoap/internal/analysis/errclass"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, errclass.Analyzer, "testdata/src/ec", "net", "bufio")
+}
+
+func TestUnmarkedPackageIgnored(t *testing.T) {
+	analysistest.Run(t, errclass.Analyzer, "testdata/src/unmarked", "net")
+}

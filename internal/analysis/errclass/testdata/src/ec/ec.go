@@ -1,0 +1,138 @@
+// Package ec is an errclass corpus: a binding-shaped package whose wire
+// errors must be classified before they escape.
+//
+//paylint:classify-transport-errors
+package ec
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+
+	"bxsoap/internal/core"
+)
+
+// --- violations -------------------------------------------------------------
+
+// ReadHeader lets a raw conn read error escape.
+func ReadHeader(c net.Conn, buf []byte) error {
+	if _, err := c.Read(buf); err != nil {
+		return err // want `transport-origin error escapes ec\.ReadHeader unclassified`
+	}
+	return nil
+}
+
+// Open lets a raw dial error escape.
+func Open(addr string) (net.Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err // want `transport-origin error escapes ec\.Open unclassified`
+	}
+	return c, nil
+}
+
+// OpenNamed wraps the dial error for context but never classifies it —
+// fmt.Errorf alone is not classification.
+func OpenNamed(addr string) (net.Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ec: dial %s: %w", addr, err) // want `transport-origin error escapes ec\.OpenNamed unclassified`
+	}
+	return c, nil
+}
+
+// fill is unexported, so it may return raw wire errors — but the analyzer
+// infers that fact and holds its exported callers to account.
+func fill(c net.Conn, buf []byte) error {
+	_, err := c.Read(buf)
+	return err
+}
+
+// Fill forwards fill's inferred wire error without classifying it.
+func Fill(c net.Conn, buf []byte) error {
+	return fill(c, buf) // want `transport-origin error escapes ec\.Fill unclassified`
+}
+
+// FlushFrame leaks both the buffered write and the flush error.
+func FlushFrame(w *bufio.Writer, frame []byte) error {
+	if _, err := w.Write(frame); err != nil {
+		return err // want `transport-origin error escapes ec\.FlushFrame unclassified`
+	}
+	return w.Flush() // want `transport-origin error escapes ec\.FlushFrame unclassified`
+}
+
+// UseRaw calls a wire-verbatim function; the annotation shifts the
+// classification duty to this caller, which shirks it.
+func UseRaw(c net.Conn, buf []byte) error {
+	if _, err := RawRead(c, buf); err != nil {
+		return err // want `transport-origin error escapes ec\.UseRaw unclassified`
+	}
+	return nil
+}
+
+// --- clean ------------------------------------------------------------------
+
+// ReadClassified wraps the conn error in the canonical classification.
+func ReadClassified(c net.Conn, buf []byte) error {
+	if _, err := c.Read(buf); err != nil {
+		return &core.TransportError{Op: "read header", Err: err}
+	}
+	return nil
+}
+
+// ReadPoisoned classifies by marking the binding poisoned.
+func ReadPoisoned(c net.Conn, buf []byte) error {
+	if _, err := c.Read(buf); err != nil {
+		return fmt.Errorf("ec: %w: %v", core.ErrBindingPoisoned, err)
+	}
+	return nil
+}
+
+// classify is the package's blessed laundering point.
+//
+//paylint:classifies
+func classify(op string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &core.TransportError{Op: op, Err: err}
+}
+
+// ReadViaHelper routes the wire error through the classifier.
+func ReadViaHelper(c net.Conn, buf []byte) error {
+	_, err := c.Read(buf)
+	return classify("read header", err)
+}
+
+// ReadStored classifies in place before returning: assignment clears taint.
+func ReadStored(c net.Conn, buf []byte) error {
+	_, err := c.Read(buf)
+	if err != nil {
+		err = &core.TransportError{Op: "read header", Err: err}
+	}
+	return err
+}
+
+// RawRead implements the io.Reader contract over the conn; consumers
+// compare io.EOF by identity, so wrapping here would break them.
+//
+//paylint:wire-verbatim io.Reader contract requires raw io.EOF
+func RawRead(c net.Conn, buf []byte) (int, error) {
+	return c.Read(buf)
+}
+
+// Validate returns an application error; no wire involved, no finding.
+func Validate(n int) error {
+	if n < 0 {
+		return fmt.Errorf("ec: negative frame size %d", n)
+	}
+	return nil
+}
+
+// ReadSuppressed documents a deliberate exception inline.
+func ReadSuppressed(c net.Conn, buf []byte) error {
+	if _, err := c.Read(buf); err != nil {
+		return err //paylint:ignore errclass speculative probe; sole caller classifies
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+// Package nowallclock forbids direct wall-clock access in simulation
+// packages. The netsim shaper's latency and bandwidth math must flow
+// through the package's injected Clock so shaped results are reproducible
+// and fake-clock tests stay deterministic; a stray time.Now or time.Sleep
+// silently reintroduces scheduler jitter into figures the experiments
+// compare against the paper.
+//
+// The check is opt-in per package: a package whose package comment carries
+//
+//	//paylint:deterministic-clock
+//
+// may not reference the forbidden time package functions outside a
+// function annotated
+//
+//	//paylint:wallclock <reason>
+//
+// which marks the one place the real clock is allowed — the Clock
+// implementation the rest of the package injects.
+package nowallclock
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"bxsoap/internal/analysis/framework"
+)
+
+// Analyzer is the nowallclock check.
+var Analyzer = &framework.Analyzer{
+	Name: "nowallclock",
+	Doc:  "forbid time.Now/time.Sleep in //paylint:deterministic-clock packages outside //paylint:wallclock functions",
+	Run:  run,
+}
+
+// forbidden lists the time package functions that read or advance the wall
+// clock. time.Duration arithmetic and time.Time methods remain free —
+// they are pure values.
+var forbidden = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+func run(pass *framework.Pass) error {
+	if !framework.PackageMarked(pass.Files, "deterministic-clock") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// Collect the spans of //paylint:wallclock functions in this file.
+		var exempt []span
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			for _, a := range framework.FuncAnnotations(fn) {
+				if a.Verb == "wallclock" {
+					exempt = append(exempt, span{fn.Pos(), fn.End()})
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || !forbidden[obj.Name()] || !fromTimePackage(obj) {
+				return true
+			}
+			for _, s := range exempt {
+				if sel.Pos() >= s.from && sel.Pos() < s.to {
+					return true
+				}
+			}
+			pass.Reportf(sel.Pos(), "time.%s in a deterministic-clock package: use the injected Clock (or annotate the function //paylint:wallclock)", obj.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+type span struct{ from, to token.Pos }
+
+func fromTimePackage(obj types.Object) bool {
+	return obj.Pkg() != nil && obj.Pkg().Path() == "time"
+}

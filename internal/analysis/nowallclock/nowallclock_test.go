@@ -1,0 +1,16 @@
+package nowallclock_test
+
+import (
+	"testing"
+
+	"bxsoap/internal/analysis/analysistest"
+	"bxsoap/internal/analysis/nowallclock"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, nowallclock.Analyzer, "testdata/src/a")
+}
+
+func TestUnmarkedPackageIgnored(t *testing.T) {
+	analysistest.Run(t, nowallclock.Analyzer, "testdata/src/unmarked")
+}

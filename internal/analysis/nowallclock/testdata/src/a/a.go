@@ -1,0 +1,51 @@
+// Package a is a nowallclock corpus: a simulation-shaped package whose
+// shaping math must flow through the injected clock.
+//
+//paylint:deterministic-clock
+package a
+
+import "time"
+
+// Clock mirrors the netsim clock seam.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+type wall struct{}
+
+// Now is the sanctioned wall-clock read.
+//
+//paylint:wallclock corpus clock implementation
+func (wall) Now() time.Time { return time.Now() }
+
+// Sleep is the sanctioned wall-clock sleep.
+//
+//paylint:wallclock corpus clock implementation
+func (wall) Sleep(d time.Duration) { time.Sleep(d) }
+
+var clk Clock = wall{}
+
+// --- violations -------------------------------------------------------------
+
+func stampDirect() time.Time { return time.Now() } // want `time\.Now in a deterministic-clock package`
+
+func pauseDirect() { time.Sleep(time.Millisecond) } // want `time\.Sleep in a deterministic-clock package`
+
+func elapsedDirect(t0 time.Time) time.Duration { return time.Since(t0) } // want `time\.Since in a deterministic-clock package`
+
+func timerDirect() { _ = time.NewTimer(time.Second) } // want `time\.NewTimer in a deterministic-clock package`
+
+// --- clean ------------------------------------------------------------------
+
+func stampInjected() time.Time { return clk.Now() }
+
+func pauseInjected() { clk.Sleep(time.Millisecond) }
+
+func pureDuration() time.Duration { return 5 * time.Millisecond }
+
+func pureConstruction() time.Time { return time.Unix(0, 0) }
+
+func calibrateSuppressed() time.Time {
+	return time.Now() //paylint:ignore nowallclock calibration helper, wall clock intended
+}

@@ -1,0 +1,9 @@
+// Package unmarked has no //paylint:deterministic-clock marker, so the
+// analyzer must stay silent no matter how much wall clock it touches.
+package unmarked
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+
+func Pause() { time.Sleep(time.Millisecond) }

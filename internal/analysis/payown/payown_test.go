@@ -1,0 +1,12 @@
+package payown_test
+
+import (
+	"testing"
+
+	"bxsoap/internal/analysis/analysistest"
+	"bxsoap/internal/analysis/payown"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, payown.Analyzer, "testdata/src/po")
+}

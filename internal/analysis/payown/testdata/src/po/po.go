@@ -1,0 +1,155 @@
+// Package po is the payown test corpus: each function exercises one rule
+// of the payload-ownership protocol. Lines expecting a diagnostic carry a
+// trailing // want comment.
+package po
+
+import (
+	"errors"
+	"io"
+
+	"bxsoap/internal/core"
+)
+
+// --- positives --------------------------------------------------------------
+
+// Leak drops an owned payload on the floor.
+func Leak() {
+	p := core.NewPayload(64)
+	_ = p.Len()
+} // want `payload p is not released on every path`
+
+// LeakOnErrorPath releases on the happy path but not on the early return.
+func LeakOnErrorPath(r io.Reader) error {
+	p, err := core.ReadPayload(r, -1, 0)
+	if err != nil {
+		return err
+	}
+	if p.Len() == 0 {
+		return errors.New("empty") // want `payload p is not released on every path`
+	}
+	p.Release()
+	return nil
+}
+
+// DoubleRelease frees the same checkout twice.
+func DoubleRelease() {
+	p := core.NewPayload(8)
+	p.Release()
+	p.Release() // want `payload p released twice`
+}
+
+// UseAfterRelease reads a buffer that has gone back to the pool.
+func UseAfterRelease() int {
+	p := core.NewPayload(8)
+	p.Release()
+	return p.Len() // want `payload p used after Release`
+}
+
+// DeferredAndExplicit registers a deferred release and then also releases
+// inline — the defer will fire on a released payload.
+func DeferredAndExplicit() {
+	p := core.NewPayload(8)
+	defer p.Release()
+	p.Release() // want `payload p released twice \(a deferred Release is already registered\)`
+}
+
+// OverwriteOwned loses the only reference to a live pooled buffer.
+func OverwriteOwned() {
+	p := core.NewPayload(8)
+	p = core.NewPayload(16) // want `payload p overwritten while still owned`
+	p.Release()
+}
+
+// ConsumeBad declares that it takes ownership but forgets the payload on
+// one path; transfers functions are checked from the callee side.
+//
+//paylint:transfers
+func ConsumeBad(p *core.Payload, fail bool) {
+	if fail {
+		return // want `payload p is not released on every path`
+	}
+	p.Release()
+}
+
+// --- negatives --------------------------------------------------------------
+
+// DeferRelease is the canonical owner: defer covers every exit.
+func DeferRelease(r io.Reader) ([]byte, error) {
+	p, err := core.ReadPayload(r, -1, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer p.Release()
+	return append([]byte(nil), p.Bytes()...), nil
+}
+
+// ReleaseAfterUse is the straight-line owner; the err != nil early return
+// is understood via the (payload, err) pairing.
+func ReleaseAfterUse(r io.Reader) (int, error) {
+	p, err := core.ReadPayload(r, -1, 0)
+	if err != nil {
+		return 0, err
+	}
+	n := p.Len()
+	p.Release()
+	return n, nil
+}
+
+// Consume takes ownership and honours it.
+//
+//paylint:transfers
+func Consume(p *core.Payload) { p.Release() }
+
+// HandOff transfers ownership to an annotated sink; no release afterwards.
+func HandOff() {
+	p := core.NewPayload(8)
+	Consume(p)
+}
+
+// inspect borrows: the caller keeps ownership for the duration of the call.
+//
+//paylint:borrows
+func inspect(p *core.Payload) int { return p.Len() }
+
+// BorrowKeepsOwnership lends the payload out and still releases it.
+func BorrowKeepsOwnership() {
+	p := core.NewPayload(8)
+	_ = inspect(p)
+	p.Release()
+}
+
+// MakeFilled hands ownership to its caller, declared with the annotation.
+//
+//paylint:returns owned
+func MakeFilled(b []byte) *core.Payload {
+	p := core.NewPayload(len(b))
+	p.Write(b)
+	return p
+}
+
+// GuardedRelease releases under an explicit nil check; the nil branch is
+// recognized as payload-absent.
+func GuardedRelease(r io.Reader) error {
+	p, err := core.ReadPayload(r, -1, 0)
+	if p != nil {
+		p.Release()
+	}
+	return err
+}
+
+// holder stores payloads; stashing one ends tracking without a report (the
+// analyzer prefers silence to guessing about aggregate lifetimes).
+type holder struct{ p *core.Payload }
+
+// Stash escapes the payload into a struct field.
+func Stash(h *holder) {
+	p := core.NewPayload(8)
+	h.p = p
+}
+
+// Suppressed is a real double release silenced with an inline suppression.
+func Suppressed() {
+	p := core.NewPayload(8)
+	p.Release()
+	p.Release() //paylint:ignore payown exercising the suppression syntax
+}

@@ -49,13 +49,15 @@ func (e *Engine[E, B]) Call(ctx context.Context, req *Envelope) (*Envelope, erro
 // serialized request. The engine borrows the payload — the caller keeps
 // ownership, so pooled requests can be reused across retries (svcpool
 // encodes once and replays the same payload on each attempt).
+//
+//paylint:borrows
 func (e *Engine[E, B]) CallPayload(ctx context.Context, req *Payload) (*Envelope, error) {
 	if err := e.bind.SendRequest(ctx, req, e.enc.ContentType()); err != nil {
-		return nil, &TransportError{Op: "send request", Err: err}
+		return nil, classifyTransport("send request", err)
 	}
 	payload, ct, err := e.bind.ReceiveResponse(ctx)
 	if err != nil {
-		return nil, &TransportError{Op: "receive response", Err: err}
+		return nil, classifyTransport("receive response", err)
 	}
 	defer payload.Release()
 	if err := CheckContentType(e.enc, ct); err != nil {
@@ -96,13 +98,15 @@ func (e *Engine[E, B]) Send(ctx context.Context, req *Envelope) error {
 
 // SendPayload performs the one-way exchange with an already serialized
 // request, borrowing the payload like CallPayload does.
+//
+//paylint:borrows
 func (e *Engine[E, B]) SendPayload(ctx context.Context, req *Payload) error {
 	if err := e.bind.SendRequest(ctx, req, e.enc.ContentType()); err != nil {
-		return &TransportError{Op: "send request", Err: err}
+		return classifyTransport("send request", err)
 	}
 	payload, ct, err := e.bind.ReceiveResponse(ctx)
 	if err != nil {
-		return &TransportError{Op: "transport acknowledgement", Err: err}
+		return classifyTransport("transport acknowledgement", err)
 	}
 	defer payload.Release()
 	// Cheap sniff first so the one-way fast path never pays a decode; both

@@ -34,6 +34,18 @@ func (e *TransportError) Error() string { return fmt.Sprintf("soap: %s: %v", e.O
 // Unwrap exposes the underlying cause to errors.Is/As.
 func (e *TransportError) Unwrap() error { return e.Err }
 
+// classifyTransport wraps a binding failure as a *TransportError for the
+// given engine operation — unless the binding already classified it, in
+// which case the existing classification stands and the message stays
+// single-wrapped.
+func classifyTransport(op string, err error) error {
+	var te *TransportError
+	if errors.As(err, &te) {
+		return err
+	}
+	return &TransportError{Op: op, Err: err}
+}
+
 // IsTransportError reports whether err is a transport-level failure — the
 // kind a caller may retry on a fresh connection (for idempotent
 // operations), as opposed to an application-level refusal (*Fault) or a

@@ -69,6 +69,8 @@ func putClassFor(c int) int {
 
 // NewPayload checks an empty payload out of the pool with capacity for at
 // least sizeHint bytes. The caller owns it and must Release it exactly once.
+//
+//paylint:returns owned
 func NewPayload(sizeHint int) *Payload {
 	var p *Payload
 	if i := classFor(sizeHint); i >= 0 {
@@ -90,6 +92,8 @@ func NewPayload(sizeHint int) *Payload {
 // The bytes never enter the pools; Release only recycles the wrapper, so
 // the slice stays valid (used by adapters and tests that already hold a
 // materialized message).
+//
+//paylint:returns owned
 func NewPayloadFrom(b []byte) *Payload {
 	p := barePool.Get().(*Payload)
 	p.buf = b
@@ -175,6 +179,8 @@ const readChunk = 512 << 10
 // way (0 = no limit). With a known size the buffer grows chunk-by-chunk as
 // bytes arrive, so a hostile length prefix cannot force a huge allocation
 // up front. The caller owns the returned payload.
+//
+//paylint:returns owned
 func ReadPayload(r io.Reader, size, limit int64) (*Payload, error) {
 	if size >= 0 {
 		if limit > 0 && size > limit {

@@ -160,6 +160,8 @@ func recordSizeHint(name string, n int) {
 // encoding's append path. BXSA grows the buffer to its exact measured size;
 // XML relies on the running per-encoding estimate to make reallocation the
 // exception. The caller owns the payload and must Release it.
+//
+//paylint:returns owned
 func EncodePayload(enc Encoding, e *Envelope) (*Payload, error) {
 	name := enc.Name()
 	p := NewPayload(sizeHintFor(name))
@@ -203,11 +205,15 @@ type Binding interface {
 	// it past returning (Retain first if the transport writes
 	// asynchronously); the caller keeps ownership, so a pooled request
 	// can be reused across retries.
+	//
+	//paylint:borrows
 	SendRequest(ctx context.Context, payload *Payload, contentType string) error
 	// ReceiveResponse blocks for the reply to the last request. Ownership
 	// of the returned payload transfers to the caller, which must Release
 	// it after decoding. Bindings used for one-way MEPs never have
 	// ReceiveResponse called.
+	//
+	//paylint:returns owned
 	ReceiveResponse(ctx context.Context) (payload *Payload, contentType string, err error)
 	// Close releases the underlying transport.
 	Close() error
@@ -229,10 +235,14 @@ type Channel interface {
 	// ReceiveRequest blocks for the next request on this channel; it
 	// returns io.EOF when the peer is done. Ownership of the returned
 	// payload transfers to the caller.
+	//
+	//paylint:returns owned
 	ReceiveRequest(ctx context.Context) (payload *Payload, contentType string, err error)
 	// SendResponse replies to the request just received. It takes
 	// ownership of payload and releases it once written (possibly
 	// asynchronously), on success or failure.
+	//
+	//paylint:transfers
 	SendResponse(payload *Payload, contentType string) error
 	// Close tears the channel down.
 	Close() error

@@ -1,6 +1,7 @@
 package gridftp
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"os"
@@ -8,8 +9,24 @@ import (
 	"strings"
 	"sync"
 
+	"bxsoap/internal/core"
 	"bxsoap/internal/netsim"
 )
+
+// classify wraps a control- or data-channel failure as a transport error.
+// The granularity is deliberately per control exchange, not per conn call:
+// once any control-channel read has failed or answered out of protocol,
+// the channel position is unknown and the session is unusable — the
+// failure class is transport either way.
+//
+//paylint:classifies
+func classify(op string, err error) error {
+	var te *core.TransportError
+	if errors.As(err, &te) {
+		return err
+	}
+	return &core.TransportError{Op: "gridftp " + op, Err: err}
+}
 
 // Client is a simulated GridFTP client (the role of the GridFTP C client
 // library in the paper's testbed). Dial performs the control-channel
@@ -30,12 +47,12 @@ func Dial(nw *netsim.Network, addr string, opts Options) (*Client, error) {
 	opts = opts.withDefaults()
 	conn, err := nw.Dial(addr)
 	if err != nil {
-		return nil, err
+		return nil, classify("dial", err)
 	}
 	cl := &Client{nw: nw, opts: opts, conn: conn, c: newCtrl(conn)}
 	if err := cl.handshake(); err != nil {
 		conn.Close()
-		return nil, err
+		return nil, classify("authenticate", err)
 	}
 	return cl, nil
 }
@@ -141,19 +158,19 @@ func (cl *Client) Retrieve(remotePath, localPath string) (int64, error) {
 	defer cl.mu.Unlock()
 	dataAddr, err := cl.setupTransfer()
 	if err != nil {
-		return 0, err
+		return 0, classify("setup transfer", err)
 	}
 	if err := cl.c.sendf("RETR %s", remotePath); err != nil {
-		return 0, err
+		return 0, classify("RETR", err)
 	}
 	line, err := cl.c.expect("150")
 	if err != nil {
-		return 0, err
+		return 0, classify("RETR", err)
 	}
 	size := parseSize(line)
 	conns, err := cl.dialStreams(dataAddr)
 	if err != nil {
-		return 0, err
+		return 0, classify("open data streams", err)
 	}
 	out, err := os.Create(localPath)
 	if err != nil {
@@ -172,7 +189,7 @@ func (cl *Client) Retrieve(remotePath, localPath string) (int64, error) {
 		return n, fmt.Errorf("gridftp: received %d bytes, server announced %d", n, size)
 	}
 	if _, err := cl.c.expect("226"); err != nil {
-		return n, err
+		return n, classify("transfer confirmation", err)
 	}
 	return n, nil
 }
@@ -192,23 +209,23 @@ func (cl *Client) Store(localPath, remotePath string) (int64, error) {
 	}
 	dataAddr, err := cl.setupTransfer()
 	if err != nil {
-		return 0, err
+		return 0, classify("setup transfer", err)
 	}
 	if err := cl.c.sendf("ALLO %d", st.Size()); err != nil {
-		return 0, err
+		return 0, classify("ALLO", err)
 	}
 	if _, err := cl.c.expect("200"); err != nil {
-		return 0, err
+		return 0, classify("ALLO", err)
 	}
 	if err := cl.c.sendf("STOR %s", remotePath); err != nil {
-		return 0, err
+		return 0, classify("STOR", err)
 	}
 	if _, err := cl.c.expect("150"); err != nil {
-		return 0, err
+		return 0, classify("STOR", err)
 	}
 	conns, err := cl.dialStreams(dataAddr)
 	if err != nil {
-		return 0, err
+		return 0, classify("open data streams", err)
 	}
 	serr := sendEBlocks(conns, in, st.Size(), cl.opts.BlockSize)
 	closeAll(conns)
@@ -216,7 +233,7 @@ func (cl *Client) Store(localPath, remotePath string) (int64, error) {
 		return 0, serr
 	}
 	if _, err := cl.c.expect("226"); err != nil {
-		return st.Size(), err
+		return st.Size(), classify("transfer confirmation", err)
 	}
 	return st.Size(), nil
 }

@@ -17,6 +17,11 @@
 // This is a benchmarking simulation of the wire behaviour, not a security
 // implementation: the handshake proves nothing, it only costs what a GSI
 // handshake costs. DESIGN.md records the substitution.
+//
+// Wire failures escape this package classified (core.TransportError);
+// paylint's errclass analyzer enforces that via the marker below.
+//
+//paylint:classify-transport-errors
 package gridftp
 
 import (

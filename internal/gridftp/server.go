@@ -34,7 +34,7 @@ type Server struct {
 func NewServer(nw *netsim.Network, root string, opts Options) (*Server, error) {
 	l, err := nw.Listen("127.0.0.1:0")
 	if err != nil {
-		return nil, err
+		return nil, classify("listen", err)
 	}
 	s := &Server{nw: nw, root: root, opts: opts.withDefaults(), l: l}
 	s.wg.Add(1)

@@ -3,6 +3,12 @@
 // back in the HTTP response body — the prevailing SOAP-over-HTTP binding.
 // It runs on top of net/http with a pluggable dialer/listener so netsim-
 // shaped transports drop in.
+//
+// Wire failures escape this package classified (core.TransportError /
+// core.ErrBindingPoisoned); paylint's errclass analyzer enforces that via
+// the marker below.
+//
+//paylint:classify-transport-errors
 package httpbind
 
 import (
@@ -127,6 +133,8 @@ func (b *payloadBody) Close() error {
 
 // SendRequest implements core.Binding. The payload is borrowed; the body
 // wrapper retains it for as long as net/http needs it.
+//
+//paylint:borrows
 func (b *Binding) SendRequest(ctx context.Context, payload *core.Payload, contentType string) error {
 	b.mu.Lock()
 	if b.poisoned {
@@ -152,7 +160,7 @@ func (b *Binding) SendRequest(ctx context.Context, payload *core.Payload, conten
 	req.GetBody = func() (io.ReadCloser, error) { return newPayloadBody(payload), nil }
 	resp, err := b.client.Do(req)
 	if err != nil {
-		return fmt.Errorf("httpbind: POST %s: %w", b.url, err)
+		return &core.TransportError{Op: "send request", Err: fmt.Errorf("httpbind: POST %s: %w", b.url, err)}
 	}
 	b.mu.Lock()
 	if b.pending != nil {
@@ -168,6 +176,8 @@ func (b *Binding) SendRequest(ctx context.Context, payload *core.Payload, conten
 // body read that fails (most often a context deadline expiring mid-body)
 // leaves the HTTP connection with an unconsumed response, so the binding is
 // poisoned and must be discarded rather than reused.
+//
+//paylint:returns owned
 func (b *Binding) ReceiveResponse(_ context.Context) (*core.Payload, string, error) {
 	b.mu.Lock()
 	resp := b.pending
@@ -240,7 +250,7 @@ func NewListener(l net.Listener) *Listener {
 func Listen(addr string) (*Listener, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, err
+		return nil, &core.TransportError{Op: "listen", Err: err}
 	}
 	return NewListener(l), nil
 }
@@ -257,6 +267,16 @@ type channel struct {
 	contentType string
 	resp        chan response
 	received    bool
+	// responded records that SendResponse handed a payload to the handler.
+	// Only the dispatcher goroutine (SendResponse/Close callers) touches it.
+	// Close consults it so the "no response produced" fallback is queued
+	// only when the handler is still waiting for one — once a real response
+	// has been handed off the handler returns after writing it, and a
+	// fallback queued then would sit in the buffer unreleased forever.
+	responded bool
+	// abandoned is set by the handler when shutdown wins the race against
+	// the dispatcher's response; see SendResponse for the hand-off protocol.
+	abandoned atomic.Bool
 }
 
 func (s *Listener) handle(w http.ResponseWriter, r *http.Request) {
@@ -295,8 +315,11 @@ func (s *Listener) handle(w http.ResponseWriter, r *http.Request) {
 		w.Write(resp.payload.Bytes())
 		resp.payload.Release()
 	case <-s.done:
-		// Best-effort drain: a response racing shutdown must still return
-		// its buffer to the pool.
+		// Two-phase abandon: mark the channel first, then drain. A
+		// SendResponse racing this branch re-checks the mark after its
+		// send, so whichever side loses the drain race still releases the
+		// queued payload — it can never be parked in the buffer forever.
+		ch.abandoned.Store(true)
 		select {
 		case resp := <-ch.resp:
 			resp.payload.Release()
@@ -334,6 +357,8 @@ func (s *Listener) Close() error {
 // ReceiveRequest implements core.Channel: the one buffered request, then
 // EOF (HTTP is one exchange per channel). Ownership of the payload
 // transfers to the caller.
+//
+//paylint:returns owned
 func (c *channel) ReceiveRequest(_ context.Context) (*core.Payload, string, error) {
 	if c.received {
 		return nil, "", io.EOF
@@ -349,6 +374,8 @@ func (c *channel) ReceiveRequest(_ context.Context) (*core.Payload, string, erro
 // failure). Fault envelopes ride on HTTP 500 per the SOAP 1.1 HTTP
 // binding; the dispatcher has already decided the payload, so status is
 // inferred from it cheaply (faults are rare and small).
+//
+//paylint:transfers
 func (c *channel) SendResponse(payload *core.Payload, contentType string) error {
 	status := http.StatusOK
 	if looksLikeFault(payload.Bytes()) {
@@ -356,6 +383,19 @@ func (c *channel) SendResponse(payload *core.Payload, contentType string) error 
 	}
 	select {
 	case c.resp <- response{payload: payload, contentType: contentType, status: status}:
+		c.responded = true
+		if c.abandoned.Load() {
+			// The handler gave up on this exchange. It drains c.resp after
+			// setting the flag, so the queued response is either already
+			// released by the handler or still ours to reclaim here; both
+			// orders release it exactly once.
+			select {
+			case r := <-c.resp:
+				r.payload.Release()
+			default:
+			}
+			return &core.TransportError{Op: "send response", Err: errors.New("httpbind: server shutting down")}
+		}
 		return nil
 	default:
 		payload.Release()
@@ -364,11 +404,20 @@ func (c *channel) SendResponse(payload *core.Payload, contentType string) error 
 }
 
 // Close implements core.Channel: release an unconsumed request and answer
-// the HTTP request with an error if no response was produced.
+// the HTTP request with an error if no response was produced. The fallback
+// is queued only when no response was ever handed off (after a real
+// response the handler writes it and returns — a payload queued then would
+// be parked in the buffer forever), and it follows the same two-phase
+// hand-off as SendResponse: if the handler has already abandoned the
+// exchange, nobody will ever drain c.resp, so Close reclaims its own
+// payload instead of leaking it.
 func (c *channel) Close() error {
 	if c.payload != nil {
 		c.payload.Release()
 		c.payload = nil
+	}
+	if c.responded {
+		return nil
 	}
 	select {
 	case c.resp <- response{
@@ -376,6 +425,14 @@ func (c *channel) Close() error {
 		contentType: "text/plain",
 		status:      http.StatusInternalServerError,
 	}:
+		c.responded = true
+		if c.abandoned.Load() {
+			select {
+			case r := <-c.resp:
+				r.payload.Release()
+			default:
+			}
+		}
 	default:
 	}
 	return nil

@@ -1,0 +1,143 @@
+package httpbind
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"bxsoap/internal/core"
+)
+
+// The shutdown/response race used to leak: a SendResponse that queued its
+// payload in c.resp just as the handler's shutdown branch gave up on the
+// exchange left the payload parked in the buffered channel forever — a
+// pooled buffer checked out and never released. The two-phase abandon
+// protocol (handler: mark then drain; sender: send, re-check mark, reclaim)
+// releases it exactly once in every interleaving. These tests pin both
+// interleavings directly and then the whole race end-to-end.
+
+// TestAbandonedResponseReleasedSenderFirst: the response is queued before
+// the handler abandons; the handler's drain finds and releases it.
+func TestAbandonedResponseReleasedSenderFirst(t *testing.T) {
+	base := core.PayloadsInUse()
+	ch := &channel{resp: make(chan response, 1)}
+	if err := ch.SendResponse(core.NewPayloadFrom([]byte("late")), "text/xml"); err != nil {
+		t.Fatalf("SendResponse before abandon: %v", err)
+	}
+	// Handler side, as in handle()'s shutdown branch: mark, then drain.
+	ch.abandoned.Store(true)
+	select {
+	case resp := <-ch.resp:
+		resp.payload.Release()
+	default:
+	}
+	if got := core.PayloadsInUse(); got != base {
+		t.Fatalf("PayloadsInUse = %d, want %d — queued response leaked", got, base)
+	}
+}
+
+// TestAbandonedResponseReleasedHandlerFirst: the handler abandons before
+// SendResponse runs; the sender re-checks the mark and reclaims its own
+// queued payload, reporting the shutdown as a transport error.
+func TestAbandonedResponseReleasedHandlerFirst(t *testing.T) {
+	base := core.PayloadsInUse()
+	ch := &channel{resp: make(chan response, 1)}
+	ch.abandoned.Store(true)
+	// The handler's drain ran before the send; the channel is empty.
+	err := ch.SendResponse(core.NewPayloadFrom([]byte("late")), "text/xml")
+	if err == nil {
+		t.Fatal("SendResponse after abandon succeeded, want error")
+	}
+	var te *core.TransportError
+	if !errors.As(err, &te) {
+		t.Fatalf("SendResponse after abandon: %v, want *core.TransportError", err)
+	}
+	if got := core.PayloadsInUse(); got != base {
+		t.Fatalf("PayloadsInUse = %d, want %d — abandoned response leaked", got, base)
+	}
+}
+
+// TestCloseAfterResponseDoesNotQueueFallback: once a real response has been
+// handed off and consumed, the handler has returned — Close must not queue
+// its "no response produced" fallback into c.resp, because nobody is left
+// to drain it and the pooled payload would be parked forever. (This was the
+// common-path leak: every normal exchange whose dispatcher closed the
+// channel after the handler wrote the response lost one pooled buffer.)
+func TestCloseAfterResponseDoesNotQueueFallback(t *testing.T) {
+	base := core.PayloadsInUse()
+	ch := &channel{resp: make(chan response, 1)}
+	if err := ch.SendResponse(core.NewPayloadFrom([]byte("<pong/>")), "text/xml"); err != nil {
+		t.Fatalf("SendResponse: %v", err)
+	}
+	// Handler side: consume, write, release, return.
+	r := <-ch.resp
+	r.payload.Release()
+	if err := ch.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got := core.PayloadsInUse(); got != base {
+		t.Fatalf("PayloadsInUse = %d, want %d — Close parked a fallback payload", got, base)
+	}
+}
+
+// TestShutdownResponseRaceDoesNotLeak drives the real race: a request is
+// mid-exchange when the listener closes, and the dispatcher responds after
+// the shutdown. Whichever side wins the drain, the pooled payload count
+// must return to its baseline.
+func TestShutdownResponseRaceDoesNotLeak(t *testing.T) {
+	base := core.PayloadsInUse()
+	s, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := s.URL()
+
+	// The in-flight POST. Depending on who wins the shutdown race the
+	// client sees either the handler's 503 or a torn connection (Server.
+	// Close may kill the conn before the handler writes) — both are fine;
+	// what this test pins is the payload accounting, not the status line.
+	clientDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(url, "text/xml", strings.NewReader("<ping/>"))
+		if err != nil {
+			clientDone <- nil
+			return
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			err = errors.New("expected 503, got " + resp.Status)
+		}
+		clientDone <- err
+	}()
+
+	ch, err := s.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, ct, err := ch.ReceiveRequest(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload.Release()
+
+	// Shutdown races the response below.
+	s.Close()
+	ch.SendResponse(core.NewPayloadFrom([]byte("<pong/>")), ct)
+	ch.Close()
+
+	if err := <-clientDone; err != nil {
+		t.Fatal(err)
+	}
+	// The handler goroutine may still be between its drain and returning;
+	// poll briefly before declaring a leak.
+	deadline := time.Now().Add(2 * time.Second)
+	for core.PayloadsInUse() != base && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := core.PayloadsInUse(); got != base {
+		t.Fatalf("PayloadsInUse = %d, want %d — shutdown race leaked a payload", got, base)
+	}
+}

@@ -1,0 +1,60 @@
+package netsim
+
+import "time"
+
+// Clock is the time source behind every shaping decision in this package.
+// The RTT injection, token-bucket reservations, and calibration timing all
+// read and advance time exclusively through the installed Clock, so a test
+// can swap in a fake and get bit-identical shaped latencies with no
+// scheduler jitter. The paylint nowallclock analyzer enforces the
+// discipline: netsim is marked //paylint:deterministic-clock, and only the
+// wallClock implementation below may touch the time package directly.
+//
+// Fake implementations must advance Now by d during Sleep(d); the shaper
+// relies on sleeps being visible in subsequent reads.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+// wallClock is the production clock.
+type wallClock struct{}
+
+// Now reads the real time.
+//
+//paylint:wallclock the one sanctioned wall-clock read in this package
+func (wallClock) Now() time.Time { return time.Now() }
+
+// Sleep waits for d with sub-millisecond accuracy: timer sleeps can
+// overshoot by the scheduler's resolution, which would swamp a 0.2 ms RTT,
+// so the final stretch is spin-waited. Shaping is only active in
+// experiments, where burning a core briefly is the right trade.
+//
+//paylint:wallclock the one sanctioned wall-clock sleep in this package
+func (wallClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	deadline := time.Now().Add(d)
+	if d > 500*time.Microsecond {
+		time.Sleep(d - 300*time.Microsecond)
+	}
+	for time.Now().Before(deadline) {
+	}
+}
+
+// clk is the package's installed clock. Experiments run on the wall clock;
+// deterministic tests install a fake via SetClock.
+var clk Clock = wallClock{}
+
+// SetClock installs c as the package clock and returns a function restoring
+// the previous one. Passing nil restores the wall clock. Not safe to call
+// while connections are actively shaping traffic.
+func SetClock(c Clock) (restore func()) {
+	prev := clk
+	if c == nil {
+		c = wallClock{}
+	}
+	clk = c
+	return func() { clk = prev }
+}

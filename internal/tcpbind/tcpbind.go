@@ -12,6 +12,12 @@
 //	ct      bytes
 //	len     VLS      payload length
 //	payload bytes
+//
+// Wire failures escape this package classified (core.TransportError /
+// core.ErrBindingPoisoned); paylint's errclass analyzer enforces that via
+// the marker below.
+//
+//paylint:classify-transport-errors
 package tcpbind
 
 import (
@@ -46,7 +52,10 @@ const (
 // plug in here.
 type Dialer func(addr string) (net.Conn, error)
 
-// NetDialer dials plain TCP (no shaping).
+// NetDialer dials plain TCP (no shaping). As a Dialer it hands the raw
+// connection (and any raw dial error) to the binding, which classifies.
+//
+//paylint:wire-verbatim Dialer seam; ensure() classifies dial failures
 func NetDialer(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
 
 // Binding is the client-side TCP binding. It lazily dials on first use and
@@ -75,7 +84,7 @@ func (b *Binding) ensure() error {
 	}
 	c, err := b.dial(b.addr)
 	if err != nil {
-		return fmt.Errorf("tcpbind: dial %s: %w", b.addr, err)
+		return &core.TransportError{Op: "dial", Err: fmt.Errorf("tcpbind: dial %s: %w", b.addr, err)}
 	}
 	b.conn = c
 	b.br = bufio.NewReaderSize(c, 64<<10)
@@ -87,6 +96,8 @@ func (b *Binding) ensure() error {
 // mu) after any frame-level failure: a partial write, a read deadline that
 // expired mid-frame, or a malformed frame all leave the stream position
 // unknown, so the connection must never carry another exchange.
+//
+//paylint:classifies
 func (b *Binding) poison(op string, err error) error {
 	b.poisoned = true
 	if b.conn != nil {
@@ -108,6 +119,8 @@ func (b *Binding) Poisoned() bool {
 // SendRequest implements core.Binding. A context deadline maps onto the
 // connection's write deadline. The payload is borrowed: it is fully copied
 // into the connection's write buffer before returning.
+//
+//paylint:borrows
 func (b *Binding) SendRequest(ctx context.Context, payload *core.Payload, contentType string) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -121,7 +134,9 @@ func (b *Binding) SendRequest(ctx context.Context, payload *core.Payload, conten
 		return err
 	}
 	if err := applyDeadline(ctx, b.conn.SetWriteDeadline); err != nil {
-		return err
+		// A failed deadline set means the conn is already broken; without
+		// poisoning, the next exchange would run against it undeadlined.
+		return b.poison("set write deadline", err)
 	}
 	if err := writeFrame(b.bw, payload.Bytes(), contentType); err != nil {
 		return b.poison("write frame", err)
@@ -133,6 +148,8 @@ func (b *Binding) SendRequest(ctx context.Context, payload *core.Payload, conten
 // connection's read deadline. Any receive failure — including a deadline
 // expiry before or during the frame — poisons the binding: a late response
 // still in flight would desynchronize the next exchange.
+//
+//paylint:returns owned
 func (b *Binding) ReceiveResponse(ctx context.Context) (*core.Payload, string, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -151,7 +168,7 @@ func (b *Binding) ReceiveResponse(ctx context.Context) (*core.Payload, string, e
 		return nil, "", b.poison("abandon response", err)
 	}
 	if err := applyDeadline(ctx, b.conn.SetReadDeadline); err != nil {
-		return nil, "", err
+		return nil, "", b.poison("set read deadline", err)
 	}
 	payload, ct, err := b.fr.readFrame(b.br)
 	if err != nil {
@@ -208,6 +225,9 @@ type frameReader struct {
 	lastCT    string
 }
 
+// readFrame reads one frame; the caller owns the returned payload.
+//
+//paylint:returns owned
 func (f *frameReader) readFrame(r *bufio.Reader) (*core.Payload, string, error) {
 	var hdr [3]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -265,16 +285,18 @@ func NewListener(l net.Listener) *Listener { return &Listener{l: l} }
 func Listen(addr string) (*Listener, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, err
+		return nil, &core.TransportError{Op: "listen", Err: err}
 	}
 	return NewListener(l), nil
 }
 
-// Accept implements core.ServerBinding.
+// Accept implements core.ServerBinding. Accept failures are classified;
+// callers detect shutdown with errors.Is(err, net.ErrClosed), which
+// unwraps through the classification.
 func (s *Listener) Accept() (core.Channel, error) {
 	c, err := s.l.Accept()
 	if err != nil {
-		return nil, err
+		return nil, &core.TransportError{Op: "accept", Err: err}
 	}
 	return &channel{
 		conn: c,
@@ -299,23 +321,32 @@ type channel struct {
 
 // ReceiveRequest implements core.Channel. Ownership of the returned payload
 // transfers to the caller.
+//
+//paylint:returns owned
 func (c *channel) ReceiveRequest(_ context.Context) (*core.Payload, string, error) {
 	payload, ct, err := c.fr.readFrame(c.br)
 	if err != nil {
-		if errors.Is(err, io.ErrUnexpectedEOF) {
-			err = io.EOF
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			// A disconnect between (or mid-) frames ends the channel; the
+			// server loop matches io.EOF by identity, so it stays verbatim.
+			return nil, "", io.EOF
 		}
-		return nil, "", err
+		return nil, "", &core.TransportError{Op: "receive request", Err: err}
 	}
 	return payload, ct, nil
 }
 
 // SendResponse implements core.Channel. It takes ownership of payload and
 // releases it once the frame is written, whether or not the write succeeds.
+//
+//paylint:transfers
 func (c *channel) SendResponse(payload *core.Payload, contentType string) error {
 	err := writeFrame(c.bw, payload.Bytes(), contentType)
 	payload.Release()
-	return err
+	if err != nil {
+		return &core.TransportError{Op: "send response", Err: err}
+	}
+	return nil
 }
 
 // Close implements core.Channel.

@@ -1,0 +1,55 @@
+package xmltext
+
+import (
+	"testing"
+
+	"bxsoap/internal/bxdm"
+)
+
+// FuzzParse drives the textual XML parser with arbitrary bytes — this is
+// the parser the XML/HTTP and XML/TCP bindings feed directly from the wire,
+// so it must never panic or hang on hostile input. Accepted inputs are
+// additionally pushed through the encode side and re-parsed: whatever the
+// parser admits, the writer must be able to round-trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"<a/>",
+		"<a>text</a>",
+		`<?xml version="1.0" encoding="utf-8"?><a b="c">x</a>`,
+		`<e xmlns="urn:d" xmlns:p="urn:p"><p:c a="1">&lt;&amp;&gt;</p:c></e>`,
+		"<a><![CDATA[raw <markup> here]]></a>",
+		"<a><!-- comment --><?pi data?></a>",
+		`<env:Envelope xmlns:env="http://schemas.xmlsoap.org/soap/envelope/"><env:Body><r xsi:type="xsd:int" xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance" xmlns:xsd="http://www.w3.org/2001/XMLSchema">7</r></env:Body></env:Envelope>`,
+		`<arr soapenc:arrayType="xsd:int[2]" xmlns:soapenc="http://schemas.xmlsoap.org/soap/encoding/" xmlns:xsd="http://www.w3.org/2001/XMLSchema"><item>1</item><item>2</item></arr>`,
+		"<a>&#x48;&#105;</a>",
+		"<\xff\xfe>",
+		"<a><b></a></b>",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s), true)
+	}
+	f.Fuzz(func(t *testing.T, data []byte, recover bool) {
+		opts := DecodeOptions{
+			RecoverTypes:               recover,
+			DropInterElementWhitespace: true,
+		}
+		doc, err := Parse(data, opts)
+		if err != nil {
+			return // rejection is fine; panics and hangs are the bug
+		}
+		reencode(t, doc, EncodeOptions{TypeHints: recover}, opts)
+	})
+}
+
+// reencode round-trips an accepted document: encode must succeed and the
+// output must parse again.
+func reencode(t *testing.T, doc *bxdm.Document, eo EncodeOptions, po DecodeOptions) {
+	t.Helper()
+	out, err := Marshal(doc, eo)
+	if err != nil {
+		t.Fatalf("accepted document failed to encode: %v", err)
+	}
+	if _, err := Parse(out, po); err != nil {
+		t.Fatalf("re-parse of encoder output failed: %v\noutput: %q", err, out)
+	}
+}

@@ -203,6 +203,20 @@ func (p *parser) parseName() (string, error) {
 	return p.lastName, nil
 }
 
+// checkQName enforces Namespaces in XML on a parsed name: at most one
+// colon, used strictly as a separator between a non-empty prefix and a
+// non-empty local part. Plain XML 1.0 Names admit freestanding colons
+// (isNameStart accepts them), but such names cannot round-trip through the
+// QName model — ":" would re-serialize as an attribute with no name at all.
+func (p *parser) checkQName(name string) error {
+	if i := strings.IndexByte(name, ':'); i >= 0 {
+		if i == 0 || i == len(name)-1 || strings.IndexByte(name[i+1:], ':') >= 0 {
+			return p.errf("malformed qualified name %q", name)
+		}
+	}
+	return nil
+}
+
 type rawAttr struct {
 	prefix, local, value string
 }
@@ -214,6 +228,9 @@ func (p *parser) parseElement() (bxdm.Node, error) {
 	}
 	name, err := p.parseName()
 	if err != nil {
+		return nil, err
+	}
+	if err := p.checkQName(name); err != nil {
 		return nil, err
 	}
 	var raws []rawAttr
@@ -233,6 +250,9 @@ func (p *parser) parseElement() (bxdm.Node, error) {
 		}
 		aname, err := p.parseName()
 		if err != nil {
+			return nil, err
+		}
+		if err := p.checkQName(aname); err != nil {
 			return nil, err
 		}
 		p.skipWS()

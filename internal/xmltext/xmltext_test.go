@@ -182,6 +182,13 @@ func TestParseErrors(t *testing.T) {
 		`<a><![CDATA[x]]</a>`,
 		`<?xml version="1.0"?`,
 		`<a attr="x<y"/>`,
+		// Freestanding or doubled colons are XML 1.0 Names but not QNames;
+		// accepting them broke encode/re-parse round-trips (found by fuzzing).
+		`<a :=""></a>`,
+		`<: xmlns:a="urn:1"/>`,
+		`<a: xmlns:a="urn:1"/>`,
+		`<a xmlns:="urn:1"/>`,
+		`<a b:c:d="1" xmlns:b="urn:1"/>`,
 	}
 	for _, s := range bad {
 		if _, err := Parse([]byte(s), DecodeOptions{}); err == nil {
