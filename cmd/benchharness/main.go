@@ -6,7 +6,12 @@
 //	benchharness -exp fig5            # Figure 5: large-message bandwidth, LAN
 //	benchharness -exp fig6            # Figure 6: large-message bandwidth, WAN
 //	benchharness -exp pool            # pooled concurrent throughput, LAN+WAN
+//	benchharness -exp stages          # per-stage latency breakdown (obs layer), LAN
 //	benchharness -exp all -full       # everything, at the paper's full sizes
+//
+// -obs-json FILE additionally dumps the stage experiment's raw observability
+// snapshots (per-combo client+server counters, gauges, stage histograms) as a
+// JSON artifact; CI archives it next to the benchmem output.
 //
 // Output is one table per experiment with the same rows/series the paper
 // plots. Absolute numbers differ from the 2006 testbed; EXPERIMENTS.md
@@ -14,6 +19,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -26,10 +32,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig4, fig5, fig6, pool, or all")
+	exp := flag.String("exp", "all", "experiment: table1, fig4, fig5, fig6, pool, stages, or all")
 	full := flag.Bool("full", false, "run the complete model-size sweep (up to 5.59M pairs / 64MB; slow)")
 	iters := flag.Int("iters", 2, "measured iterations per point (minimum reported)")
 	sizesFlag := flag.String("sizes", "", "comma-separated model sizes overriding the experiment's default sweep")
+	obsJSON := flag.String("obs-json", "", "write the stage experiment's raw observability snapshots to FILE")
 	verbose := flag.Bool("v", false, "print per-point progress")
 	flag.Parse()
 
@@ -85,7 +92,9 @@ func main() {
 		fig56sizes = customSizes
 	case !*full:
 		fig56sizes = fig56sizes[:5] // up to 349440 pairs (~4 MB) by default
-		fmt.Fprintln(os.Stderr, "benchharness: using truncated size sweep; pass -full for the paper's 64 MB points")
+		if *exp == "fig5" || *exp == "fig6" || *exp == "all" {
+			fmt.Fprintln(os.Stderr, "benchharness: using truncated size sweep; pass -full for the paper's 64 MB points")
+		}
 	}
 	// XML/HTTP is hopeless at large sizes (the paper: "lost the game at the
 	// very beginning") — cap it to keep runs bounded.
@@ -127,6 +136,32 @@ func main() {
 				}
 			}
 			harness.PrintThroughput(os.Stdout, points)
+			return nil
+		})
+	}
+
+	if *exp == "stages" || *exp == "all" {
+		run("Per-stage latency breakdown: encode/wire/handler/decode, LAN, model size 1000", func() error {
+			results, err := harness.StageBreakdown(harness.StageConfig{
+				Profile:   netsim.LAN,
+				ModelSize: 1000,
+				Calls:     max(*iters*10, 20),
+				Progress:  progress,
+			})
+			if err != nil {
+				return err
+			}
+			harness.PrintStageBreakdown(os.Stdout, results)
+			if *obsJSON != "" {
+				data, err := json.MarshalIndent(results, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*obsJSON, append(data, '\n'), 0o644); err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "benchharness: wrote observability snapshots to %s\n", *obsJSON)
+			}
 			return nil
 		})
 	}

@@ -1,7 +1,8 @@
 // Command paylint runs the repository's static protocol checks: payown
 // (pooled payloads released exactly once on every path), errclass
-// (transport-origin errors classified before they escape a binding), and
-// nowallclock (no wall-clock time in deterministic-clock packages). See
+// (transport-origin errors classified before they escape a binding),
+// nowallclock (no wall-clock time in deterministic-clock packages), and
+// nilsink (observability sink methods safe on nil receivers). See
 // DESIGN.md "Statically enforced invariants".
 //
 // Usage:
@@ -20,6 +21,7 @@ import (
 	"bxsoap/internal/analysis/errclass"
 	"bxsoap/internal/analysis/framework"
 	"bxsoap/internal/analysis/loader"
+	"bxsoap/internal/analysis/nilsink"
 	"bxsoap/internal/analysis/nowallclock"
 	"bxsoap/internal/analysis/payown"
 )
@@ -28,6 +30,7 @@ var analyzers = []*framework.Analyzer{
 	payown.Analyzer,
 	errclass.Analyzer,
 	nowallclock.Analyzer,
+	nilsink.Analyzer,
 }
 
 func main() {

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -29,6 +30,7 @@ import (
 
 	"bxsoap/internal/core"
 	"bxsoap/internal/httpbind"
+	"bxsoap/internal/obs"
 	"bxsoap/internal/svcpool"
 	"bxsoap/internal/tcpbind"
 	"bxsoap/internal/wssec"
@@ -86,6 +88,7 @@ func main() {
 	poolConns := flag.Int("pool-conns", 4, "max pooled connections to the backend")
 	poolInflight := flag.Int("pool-inflight", 0, "max concurrent backend calls (default: 2×pool-conns)")
 	poolTimeout := flag.Duration("pool-timeout", 30*time.Second, "per-relay backend deadline")
+	adminAddr := flag.String("admin", "", "serve /metrics (observability snapshot JSON) and /debug/pprof on this address")
 	flag.Parse()
 
 	up, err := parseEndpoint(*listenFlag)
@@ -101,6 +104,12 @@ func main() {
 		key = []byte(*hmacKey)
 	}
 
+	// One process-wide observer covers both hops: the up-link server and
+	// binding, the down-link pool, its engines and bindings, and the shared
+	// payload pool. A single snapshot therefore shows the whole relay path.
+	o := obs.New()
+	core.SetPayloadObserver(o)
+
 	downEnc := encodingFor(down.encoding, key)
 	poolCfg := svcpool.Config{
 		MaxConns:    *poolConns,
@@ -112,16 +121,21 @@ func main() {
 	// -hmac-key decides the concrete policy at runtime.
 	var backend interface {
 		CallOnce(context.Context, *core.Envelope) (*core.Envelope, error)
+		Stats() svcpool.Stats
 		Close() error
 	}
 	if down.transport == "tcp" {
 		backend = svcpool.New(func(context.Context) (*core.Engine[core.Encoding, *tcpbind.Binding], error) {
-			return core.NewEngine(downEnc, tcpbind.New(tcpbind.NetDialer, down.addr)), nil
-		}, poolCfg)
+			return core.NewEngine(downEnc,
+				tcpbind.New(tcpbind.NetDialer, down.addr, tcpbind.WithObserver(o)),
+				core.WithObserver(o)), nil
+		}, poolCfg, svcpool.WithObserver(o))
 	} else {
 		backend = svcpool.New(func(context.Context) (*core.Engine[core.Encoding, *httpbind.Binding], error) {
-			return core.NewEngine(downEnc, httpbind.New(nil, "http://"+down.addr+"/soap")), nil
-		}, poolCfg)
+			return core.NewEngine(downEnc,
+				httpbind.New(nil, "http://"+down.addr+"/soap", httpbind.WithObserver(o)),
+				core.WithObserver(o)), nil
+		}, poolCfg, svcpool.WithObserver(o))
 	}
 	defer backend.Close()
 	// CallOnce: a relayed request must not be silently replayed — retry
@@ -140,9 +154,34 @@ func main() {
 		Close() error
 	}
 	if up.transport == "tcp" {
-		srv = core.NewServer(upEnc, tcpbind.NewListener(l), relay)
+		srv = core.NewServer(upEnc, tcpbind.NewListener(l, tcpbind.WithObserver(o)), relay, core.WithObserver(o))
 	} else {
-		srv = core.NewServer(upEnc, httpbind.NewListener(l), relay)
+		srv = core.NewServer(upEnc, httpbind.NewListener(l, httpbind.WithObserver(o)), relay, core.WithObserver(o))
+	}
+
+	if *adminAddr != "" {
+		al, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			log.Fatalf("soapproxy: admin: %v", err)
+		}
+		// Fold the pool's own bookkeeping (dials, reuses, live/idle conns)
+		// into each served snapshot; retries/retirements/breaker transitions
+		// already stream through the observer's counters.
+		extra := func(s *obs.Snapshot) {
+			st := backend.Stats()
+			s.Counters["svcpool.dials"] = st.Dials
+			s.Counters["svcpool.reuses"] = st.Reuses
+			s.Counters["svcpool.failures"] = st.Failures
+			s.Counters["svcpool.rejected"] = st.Rejected
+			s.Gauges["svcpool.live"] = obs.GaugeSnapshot{Value: int64(st.Live)}
+			s.Gauges["svcpool.idle"] = obs.GaugeSnapshot{Value: int64(st.Idle)}
+		}
+		go func() {
+			if err := http.Serve(al, obs.AdminMux(o, extra)); err != nil {
+				log.Printf("soapproxy: admin endpoint: %v", err)
+			}
+		}()
+		fmt.Printf("soapproxy: admin endpoint (metrics, pprof) on http://%s\n", al.Addr())
 	}
 
 	fmt.Printf("soapproxy: %s/%s on %s → %s/%s at %s (signed=%v)\n",

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 
@@ -22,6 +23,7 @@ import (
 	"bxsoap/internal/core"
 	"bxsoap/internal/dataset"
 	"bxsoap/internal/httpbind"
+	"bxsoap/internal/obs"
 	"bxsoap/internal/tcpbind"
 )
 
@@ -29,6 +31,7 @@ func main() {
 	encoding := flag.String("encoding", "bxsa", "message encoding: bxsa or xml")
 	transport := flag.String("transport", "tcp", "transport binding: tcp or http")
 	addr := flag.String("addr", "127.0.0.1:8701", "listen address")
+	adminAddr := flag.String("admin", "", "serve /metrics (observability snapshot JSON) and /debug/pprof on this address")
 	flag.Parse()
 
 	handler := func(_ context.Context, req *core.Envelope) (*core.Envelope, error) {
@@ -54,21 +57,41 @@ func main() {
 		log.Fatalf("soapserver: %v", err)
 	}
 
+	// One process-wide observer: server dispatch, the transport binding, and
+	// the payload pool all report into it; -admin exposes the rollup.
+	o := obs.New()
+	core.SetPayloadObserver(o)
+	errLog := log.New(os.Stderr, "soapserver: ", log.LstdFlags)
+	srvOpts := []core.ServerOption{core.WithObserver(o), core.WithErrorLog(errLog)}
+
 	var srv interface {
 		Serve() error
 		Close() error
 	}
 	switch {
 	case *encoding == "bxsa" && *transport == "tcp":
-		srv = core.NewServer(core.BXSAEncoding{}, tcpbind.NewListener(l), handler)
+		srv = core.NewServer(core.BXSAEncoding{}, tcpbind.NewListener(l, tcpbind.WithObserver(o)), handler, srvOpts...)
 	case *encoding == "xml" && *transport == "tcp":
-		srv = core.NewServer(core.XMLEncoding{}, tcpbind.NewListener(l), handler)
+		srv = core.NewServer(core.XMLEncoding{}, tcpbind.NewListener(l, tcpbind.WithObserver(o)), handler, srvOpts...)
 	case *encoding == "bxsa" && *transport == "http":
-		srv = core.NewServer(core.BXSAEncoding{}, httpbind.NewListener(l), handler)
+		srv = core.NewServer(core.BXSAEncoding{}, httpbind.NewListener(l, httpbind.WithObserver(o)), handler, srvOpts...)
 	case *encoding == "xml" && *transport == "http":
-		srv = core.NewServer(core.XMLEncoding{}, httpbind.NewListener(l), handler)
+		srv = core.NewServer(core.XMLEncoding{}, httpbind.NewListener(l, httpbind.WithObserver(o)), handler, srvOpts...)
 	default:
 		log.Fatalf("soapserver: unknown combination %s/%s", *encoding, *transport)
+	}
+
+	if *adminAddr != "" {
+		al, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			log.Fatalf("soapserver: admin: %v", err)
+		}
+		go func() {
+			if err := http.Serve(al, obs.AdminMux(o, nil)); err != nil {
+				errLog.Printf("admin endpoint: %v", err)
+			}
+		}()
+		fmt.Printf("soapserver: admin endpoint (metrics, pprof) on http://%s\n", al.Addr())
 	}
 
 	fmt.Printf("soapserver: %s over %s listening on %s\n", *encoding, *transport, l.Addr())

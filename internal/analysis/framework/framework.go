@@ -200,6 +200,19 @@ func PackageMarked(files []*ast.File, verb string) bool {
 	return false
 }
 
+// PackageAnnotations returns every //paylint: annotation in the files'
+// package docs (and detached header comments), for analyzers whose
+// per-package switches carry arguments, e.g. //paylint:nil-sink Observer.
+func PackageAnnotations(files []*ast.File) []Annotation {
+	var out []Annotation
+	for _, f := range files {
+		for _, cg := range beforePackageClause(f) {
+			out = append(out, Annotations(cg)...)
+		}
+	}
+	return out
+}
+
 // beforePackageClause returns comment groups ending at or before the
 // package keyword — the package doc plus any detached header comments.
 func beforePackageClause(f *ast.File) []*ast.CommentGroup {

@@ -1,0 +1,136 @@
+// Package nilsink enforces the observability layer's nil-sink contract:
+// instrumented code holds a plain *Observer (nil when instrumentation is
+// off) and calls it unconditionally, so every exported pointer-receiver
+// method of a sink type must defend against a nil receiver itself. A new
+// recording method that forgets the guard turns every uninstrumented call
+// site in the engine into a panic.
+//
+// The check is opt-in per package: a package comment carrying
+//
+//	//paylint:nil-sink TYPE...
+//
+// names the sink types. Every exported method declared on a pointer to one
+// of those types must somewhere compare its receiver (or a field of its
+// receiver, for value types like Span that carry the observer pointer)
+// against nil. The comparison's position is not prescribed — an early
+// return after setup is fine — only its existence is.
+package nilsink
+
+import (
+	"go/ast"
+	"go/token"
+
+	"bxsoap/internal/analysis/framework"
+)
+
+// Analyzer is the nilsink check.
+var Analyzer = &framework.Analyzer{
+	Name: "nilsink",
+	Doc:  "exported methods of //paylint:nil-sink types must guard against a nil receiver",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	sinks := map[string]bool{}
+	for _, a := range framework.PackageAnnotations(pass.Files) {
+		if a.Verb == "nil-sink" {
+			for _, t := range a.Args {
+				sinks[t] = true
+			}
+		}
+	}
+	if len(sinks) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			tname, ptr := receiverType(fn)
+			if !ptr || !sinks[tname] {
+				continue
+			}
+			recv := receiverName(fn)
+			if recv == "" {
+				pass.Reportf(fn.Pos(), "method %s.%s has an unnamed receiver: the nil-sink contract needs a receiver nil check", tname, fn.Name.Name)
+				continue
+			}
+			if !guardsReceiver(fn.Body, recv) {
+				pass.Reportf(fn.Pos(), "method %s.%s never nil-checks its receiver: nil-sink types must be safe to call through a nil pointer", tname, fn.Name.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// receiverType returns the receiver's base type name and whether the
+// receiver is a pointer, unwrapping generic instantiations.
+func receiverType(fn *ast.FuncDecl) (name string, ptr bool) {
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		ptr = true
+		t = star.X
+	}
+	switch e := t.(type) {
+	case *ast.Ident:
+		return e.Name, ptr
+	case *ast.IndexExpr:
+		if id, ok := e.X.(*ast.Ident); ok {
+			return id.Name, ptr
+		}
+	case *ast.IndexListExpr:
+		if id, ok := e.X.(*ast.Ident); ok {
+			return id.Name, ptr
+		}
+	}
+	return "", ptr
+}
+
+func receiverName(fn *ast.FuncDecl) string {
+	names := fn.Recv.List[0].Names
+	if len(names) == 0 || names[0].Name == "_" {
+		return ""
+	}
+	return names[0].Name
+}
+
+// guardsReceiver reports whether the body compares the receiver — or a
+// selector rooted at it, like s.o — against nil.
+func guardsReceiver(body *ast.BlockStmt, recv string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+			return true
+		}
+		if isNil(b.X) && rootedAtReceiver(b.Y, recv) || isNil(b.Y) && rootedAtReceiver(b.X, recv) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func rootedAtReceiver(e ast.Expr, recv string) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x.Name == recv
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}

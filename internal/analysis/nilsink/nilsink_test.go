@@ -1,0 +1,16 @@
+package nilsink_test
+
+import (
+	"testing"
+
+	"bxsoap/internal/analysis/analysistest"
+	"bxsoap/internal/analysis/nilsink"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, nilsink.Analyzer, "testdata/src/a")
+}
+
+func TestUnmarkedPackageIgnored(t *testing.T) {
+	analysistest.Run(t, nilsink.Analyzer, "testdata/src/unmarked")
+}

@@ -1,0 +1,69 @@
+// Package a is a nilsink corpus: sink types whose exported methods must
+// survive a nil receiver.
+//
+//paylint:nil-sink Sink Probe
+package a
+
+// Sink mirrors obs.Observer: a metrics sink held as a nil-by-default field.
+type Sink struct {
+	n int64
+}
+
+// Inc is properly guarded.
+func (s *Sink) Inc() {
+	if s == nil {
+		return
+	}
+	s.n++
+}
+
+// Load guards with the operands reversed.
+func (s *Sink) Load() int64 {
+	if nil == s {
+		return 0
+	}
+	return s.n
+}
+
+// Snapshot guards after setup — position is not prescribed.
+func (s *Sink) Snapshot() map[string]int64 {
+	out := map[string]int64{}
+	if s == nil {
+		return out
+	}
+	out["n"] = s.n
+	return out
+}
+
+func (s *Sink) Bump() { s.n++ } // want `Sink\.Bump never nil-checks its receiver`
+
+// Reset forgets the guard across a longer body.
+func (s *Sink) Reset() { // want `Sink\.Reset never nil-checks its receiver`
+	for i := 0; i < 3; i++ {
+		s.n = 0
+	}
+}
+
+// unexported methods are internal plumbing; callers hold a live receiver.
+func (s *Sink) bumpLocked() { s.n++ }
+
+// Probe mirrors obs.Span: a value type whose observer field is the guard.
+type Probe struct {
+	s *Sink
+}
+
+// Mark guards through the carried pointer field.
+func (p *Probe) Mark() {
+	if p.s == nil {
+		return
+	}
+	p.s.n++
+}
+
+func (p *Probe) Touch() { p.s.n++ } // want `Probe\.Touch never nil-checks its receiver`
+
+// Other types in the same package are not sinks.
+type plain struct{ n int }
+
+// Inc on an unlisted type needs no guard.
+func (p *plain) Inc() { p.n++ }

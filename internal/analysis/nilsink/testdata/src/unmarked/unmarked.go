@@ -1,0 +1,9 @@
+// Package unmarked carries no //paylint:nil-sink marker, so the analyzer
+// must stay silent even over guard-free methods.
+package unmarked
+
+// Sink shares a name with a marked type elsewhere; irrelevant here.
+type Sink struct{ n int }
+
+// Inc has no guard and draws no diagnostic.
+func (s *Sink) Inc() { s.n++ }

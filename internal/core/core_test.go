@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"bxsoap/internal/bxdm"
+	"bxsoap/internal/obs"
 	"bxsoap/internal/xbs"
 )
 
@@ -83,11 +84,11 @@ func TestEnvelopeFromDocumentErrors(t *testing.T) {
 func TestEncodeDecodeBothPolicies(t *testing.T) {
 	env := sampleEnvelope()
 	for _, enc := range []Encoding{XMLEncoding{}, BXSAEncoding{}, BXSAEncoding{Order: xbs.BigEndian}} {
-		data, err := EncodeToBytes(enc, env)
+		data, err := NewCodec(enc).EncodeBytes(env)
 		if err != nil {
 			t.Fatalf("%s: %v", enc.Name(), err)
 		}
-		back, err := DecodeEnvelope(enc, data)
+		back, err := NewCodec(enc).DecodeEnvelope(data)
 		if err != nil {
 			t.Fatalf("%s: decode: %v", enc.Name(), err)
 		}
@@ -99,11 +100,11 @@ func TestEncodeDecodeBothPolicies(t *testing.T) {
 
 func TestBXSASmallerThanXMLForNumericPayloads(t *testing.T) {
 	env := NewEnvelope(bxdm.NewArray(bxdm.LocalName("v"), make([]float64, 500)))
-	xml, err := EncodeToBytes(XMLEncoding{}, env)
+	xml, err := NewCodec(XMLEncoding{}).EncodeBytes(env)
 	if err != nil {
 		t.Fatal(err)
 	}
-	bin, err := EncodeToBytes(BXSAEncoding{}, env)
+	bin, err := NewCodec(BXSAEncoding{}).EncodeBytes(env)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,11 +121,11 @@ func TestFaultEnvelopeRoundTrip(t *testing.T) {
 		Detail: bxdm.NewLeaf(bxdm.LocalName("reason"), "numbers off"),
 	}
 	for _, enc := range []Encoding{XMLEncoding{}, BXSAEncoding{}} {
-		data, err := EncodeToBytes(enc, f.Envelope())
+		data, err := NewCodec(enc).EncodeBytes(f.Envelope())
 		if err != nil {
 			t.Fatal(err)
 		}
-		env, err := DecodeEnvelope(enc, data)
+		env, err := NewCodec(enc).DecodeEnvelope(data)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -232,12 +233,12 @@ func (*nullServerBinding) Addr() net.Addr           { return nil }
 func (*nullServerBinding) Close() error             { return nil }
 
 func (b *inProcBinding) SendRequest(ctx context.Context, payload *Payload, ct string) error {
-	resp := b.server.dispatch(ctx, payload.Bytes(), ct)
-	data, err := EncodeToBytes(b.server.enc, resp)
+	resp := b.server.dispatch(ctx, payload.Bytes(), ct, new(obs.Span))
+	data, err := b.server.Codec().EncodeBytes(resp)
 	if err != nil {
 		return err
 	}
-	b.response, b.ct = data, b.server.enc.ContentType()
+	b.response, b.ct = data, b.server.Codec().ContentType()
 	return nil
 }
 
@@ -313,10 +314,18 @@ func TestDispatchMustUnderstand(t *testing.T) {
 		t.Fatalf("err = %v, want MustUnderstand fault", err)
 	}
 
-	// After registering the header the call goes through.
+	// A server constructed understanding the header accepts the call.
+	srv2 := NewServer(XMLEncoding{}, &nullServerBinding{}, handler,
+		WithUnderstood(bxdm.Name("urn:sec", "token")))
+	eng2 := NewEngine(XMLEncoding{}, &inProcBinding{server: srv2})
+	if _, err := eng2.Call(context.Background(), env); err != nil {
+		t.Fatalf("understood header still faults: %v", err)
+	}
+
+	// The deprecated post-construction registration keeps working too.
 	srv.Understand(bxdm.Name("urn:sec", "token"))
 	if _, err := eng.Call(context.Background(), env); err != nil {
-		t.Fatalf("understood header still faults: %v", err)
+		t.Fatalf("understood header (via Understand) still faults: %v", err)
 	}
 }
 
@@ -324,12 +333,12 @@ func TestDispatchRejectsGarbage(t *testing.T) {
 	srv := NewServer(XMLEncoding{}, &nullServerBinding{}, func(_ context.Context, _ *Envelope) (*Envelope, error) {
 		return NewEnvelope(), nil
 	})
-	resp := srv.dispatch(context.Background(), []byte("this is not xml"), "text/xml")
+	resp := srv.dispatch(context.Background(), []byte("this is not xml"), "text/xml", new(obs.Span))
 	f := FaultFromEnvelope(resp)
 	if f == nil || f.Code != FaultClient {
 		t.Fatalf("garbage request → %v", f)
 	}
-	resp = srv.dispatch(context.Background(), []byte("<x/>"), "application/x-bxsa")
+	resp = srv.dispatch(context.Background(), []byte("<x/>"), "application/x-bxsa", new(obs.Span))
 	if f := FaultFromEnvelope(resp); f == nil || f.Code != FaultClient {
 		t.Fatal("content-type mismatch not faulted")
 	}

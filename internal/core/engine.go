@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+
+	"bxsoap/internal/obs"
 )
 
 // Engine is the client-side generic SOAP engine: the Go rendering of the
@@ -18,31 +20,49 @@ import (
 // own fully inlinable engine, type-safely and with zero dynamic dispatch in
 // the hot path.
 type Engine[E Encoding, B Binding] struct {
-	enc  E
-	bind B
+	codec Codec[E]
+	bind  B
+	obs   *obs.Observer
 }
 
-// NewEngine composes an engine from its two policies.
-func NewEngine[E Encoding, B Binding](enc E, bind B) *Engine[E, B] {
-	return &Engine[E, B]{enc: enc, bind: bind}
+// NewEngine composes an engine from its two policies. Options (see
+// options.go) attach cross-cutting configuration; with none, the engine is
+// exactly the bare policy composition.
+func NewEngine[E Encoding, B Binding](enc E, bind B, opts ...EngineOption) *Engine[E, B] {
+	var cfg engineConfig
+	for _, opt := range opts {
+		opt.applyEngine(&cfg)
+	}
+	return &Engine[E, B]{codec: NewCodec(enc), bind: bind, obs: cfg.obs}
 }
 
 // Encoding returns the engine's encoding policy.
-func (e *Engine[E, B]) Encoding() E { return e.enc }
+func (e *Engine[E, B]) Encoding() E { return e.codec.Encoding() }
+
+// Codec returns the engine's serialization facade.
+func (e *Engine[E, B]) Codec() Codec[E] { return e.codec }
 
 // Binding returns the engine's binding policy.
 func (e *Engine[E, B]) Binding() B { return e.bind }
+
+// Observer returns the engine's observability sink (nil when none was
+// configured; nil observers accept every recording call as a no-op).
+func (e *Engine[E, B]) Observer() *obs.Observer { return e.obs }
 
 // Call performs the request-response message exchange pattern. If the peer
 // responds with a SOAP fault, Call returns it as the error (of type
 // *Fault) alongside the decoded envelope.
 func (e *Engine[E, B]) Call(ctx context.Context, req *Envelope) (*Envelope, error) {
-	p, err := EncodePayload(e.enc, req)
+	sp := e.obs.Span()
+	p, err := e.codec.EncodePayload(req)
 	if err != nil {
+		e.obs.Inc(obs.CallsStarted)
+		e.obs.Inc(obs.CallsFailed)
 		return nil, fmt.Errorf("soap: encode request: %w", err)
 	}
+	sp.Mark(obs.ClientEncode)
 	defer p.Release()
-	return e.CallPayload(ctx, p)
+	return e.callPayload(ctx, p, sp)
 }
 
 // CallPayload performs the request-response exchange with an already
@@ -52,29 +72,46 @@ func (e *Engine[E, B]) Call(ctx context.Context, req *Envelope) (*Envelope, erro
 //
 //paylint:borrows
 func (e *Engine[E, B]) CallPayload(ctx context.Context, req *Payload) (*Envelope, error) {
-	if err := e.bind.SendRequest(ctx, req, e.enc.ContentType()); err != nil {
+	return e.callPayload(ctx, req, e.obs.Span())
+}
+
+// callPayload runs the exchange under an in-progress span (whose clock was
+// restarted after any encode mark). Stages are marked on failure paths too,
+// so a fault or transport error still leaves a complete, ordered trace.
+//
+//paylint:borrows
+func (e *Engine[E, B]) callPayload(ctx context.Context, req *Payload, sp obs.Span) (*Envelope, error) {
+	e.obs.Inc(obs.CallsStarted)
+	if err := e.bind.SendRequest(ctx, req, e.codec.ContentType()); err != nil {
+		sp.Mark(obs.ClientSend)
+		e.obs.Inc(obs.CallsFailed)
 		return nil, classifyTransport("send request", err)
 	}
+	sp.Mark(obs.ClientSend)
 	payload, ct, err := e.bind.ReceiveResponse(ctx)
+	sp.Mark(obs.ClientWait)
 	if err != nil {
+		e.obs.Inc(obs.CallsFailed)
 		return nil, classifyTransport("receive response", err)
 	}
 	defer payload.Release()
-	if err := CheckContentType(e.enc, ct); err != nil {
+	if err := CheckContentType(e.codec.Encoding(), ct); err != nil {
+		e.obs.Inc(obs.CallsFailed)
 		return nil, err
 	}
 	// The decode call goes through the concrete type parameter E — the
 	// compile-time binding the paper's policy design is about ("compiler
 	// optimizations are not impacted, and inlining is still enabled").
-	doc, err := e.enc.Decode(payload.Bytes())
+	resp, err := e.codec.DecodePayload(payload)
+	sp.Mark(obs.ClientDecode)
 	if err != nil {
+		e.obs.Inc(obs.CallsFailed)
 		return nil, fmt.Errorf("soap: decode response: %w", err)
 	}
-	resp, err := EnvelopeFromDocument(doc)
-	if err != nil {
-		return nil, fmt.Errorf("soap: decode response: %w", err)
-	}
+	e.obs.Inc(obs.CallsCompleted)
 	if f := FaultFromEnvelope(resp); f != nil {
+		// The peer answered: the call completed, with a fault as the answer.
+		e.obs.Inc(obs.ClientFaults)
 		return resp, f
 	}
 	return resp, nil
@@ -88,12 +125,16 @@ func (e *Engine[E, B]) CallPayload(ctx context.Context, req *Payload) (*Envelope
 // errors come back as *TransportError, so retry logic can tell the two
 // apart. Non-fault acknowledgement payloads are drained without decoding.
 func (e *Engine[E, B]) Send(ctx context.Context, req *Envelope) error {
-	p, err := EncodePayload(e.enc, req)
+	sp := e.obs.Span()
+	p, err := e.codec.EncodePayload(req)
 	if err != nil {
+		e.obs.Inc(obs.CallsStarted)
+		e.obs.Inc(obs.CallsFailed)
 		return fmt.Errorf("soap: encode request: %w", err)
 	}
+	sp.Mark(obs.ClientEncode)
 	defer p.Release()
-	return e.SendPayload(ctx, p)
+	return e.sendPayload(ctx, p, sp)
 }
 
 // SendPayload performs the one-way exchange with an already serialized
@@ -101,22 +142,33 @@ func (e *Engine[E, B]) Send(ctx context.Context, req *Envelope) error {
 //
 //paylint:borrows
 func (e *Engine[E, B]) SendPayload(ctx context.Context, req *Payload) error {
-	if err := e.bind.SendRequest(ctx, req, e.enc.ContentType()); err != nil {
+	return e.sendPayload(ctx, req, e.obs.Span())
+}
+
+//paylint:borrows
+func (e *Engine[E, B]) sendPayload(ctx context.Context, req *Payload, sp obs.Span) error {
+	e.obs.Inc(obs.CallsStarted)
+	if err := e.bind.SendRequest(ctx, req, e.codec.ContentType()); err != nil {
+		sp.Mark(obs.ClientSend)
+		e.obs.Inc(obs.CallsFailed)
 		return classifyTransport("send request", err)
 	}
+	sp.Mark(obs.ClientSend)
 	payload, ct, err := e.bind.ReceiveResponse(ctx)
+	sp.Mark(obs.ClientWait)
 	if err != nil {
+		e.obs.Inc(obs.CallsFailed)
 		return classifyTransport("transport acknowledgement", err)
 	}
 	defer payload.Release()
+	e.obs.Inc(obs.CallsCompleted)
 	// Cheap sniff first so the one-way fast path never pays a decode; both
 	// encodings spell the element name "Fault" literally.
-	if ackLooksLikeFault(payload.Bytes()) && CheckContentType(e.enc, ct) == nil {
-		if doc, err := e.enc.Decode(payload.Bytes()); err == nil {
-			if resp, err := EnvelopeFromDocument(doc); err == nil {
-				if f := FaultFromEnvelope(resp); f != nil {
-					return f
-				}
+	if ackLooksLikeFault(payload.Bytes()) && CheckContentType(e.codec.Encoding(), ct) == nil {
+		if resp, err := e.codec.DecodePayload(payload); err == nil {
+			if f := FaultFromEnvelope(resp); f != nil {
+				e.obs.Inc(obs.ClientFaults)
+				return f
 			}
 		}
 	}

@@ -61,12 +61,12 @@ func TestServerErrorLog(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	var buf lockedBuffer
 	srv := core.NewServer(core.BXSAEncoding{}, l,
 		func(_ context.Context, req *core.Envelope) (*core.Envelope, error) {
 			return core.NewEnvelope(), nil
-		})
-	var buf lockedBuffer
-	srv.ErrorLog = log.New(&buf, "", 0)
+		},
+		core.WithErrorLog(log.New(&buf, "", 0)))
 	go srv.Serve()
 	defer srv.Close()
 

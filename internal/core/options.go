@@ -1,0 +1,78 @@
+package core
+
+import (
+	"log"
+
+	"bxsoap/internal/bxdm"
+	"bxsoap/internal/obs"
+)
+
+// The construction options for engines and servers. Everything that used
+// to be configured by field-poking (Server.ErrorLog) or post-construction
+// mutation (Server.Understand) is set here, at NewEngine/NewServer time, so
+// a composed node is immutable once serving — the options redesign is what
+// makes "Understand after Serve" impossible to race by construction.
+//
+// EngineOption and ServerOption are split interfaces because the two sides
+// accept different settings; Option implements both for settings (the
+// observer) that apply to either. The With* constructors return the most
+// permissive type that fits, so call sites just list options:
+//
+//	core.NewServer(enc, bind, h,
+//		core.WithErrorLog(logger),
+//		core.WithUnderstood(securityHeader),
+//		core.WithObserver(o))
+//	core.NewEngine(enc, bind, core.WithObserver(o))
+
+// EngineOption configures a client engine at construction.
+type EngineOption interface{ applyEngine(*engineConfig) }
+
+// ServerOption configures a server at construction.
+type ServerOption interface{ applyServer(*serverConfig) }
+
+// Option is an option accepted by both NewEngine and NewServer.
+type Option interface {
+	EngineOption
+	ServerOption
+}
+
+type engineConfig struct {
+	obs *obs.Observer
+}
+
+type serverConfig struct {
+	obs        *obs.Observer
+	errorLog   *log.Logger
+	understood []bxdm.QName
+}
+
+type observerOption struct{ o *obs.Observer }
+
+func (v observerOption) applyEngine(c *engineConfig) { c.obs = v.o }
+func (v observerOption) applyServer(c *serverConfig) { c.obs = v.o }
+
+// WithObserver wires an observability sink into the engine or server: the
+// request path records per-stage latencies (client: encode → send → wait →
+// decode; server: receive → decode → handler → encode → send) and the call
+// counters into it. A nil observer (the default) keeps the path on the
+// allocation-free nil-sink fast path.
+func WithObserver(o *obs.Observer) Option { return observerOption{o} }
+
+type errorLogOption struct{ l *log.Logger }
+
+func (v errorLogOption) applyServer(c *serverConfig) { c.errorLog = v.l }
+
+// WithErrorLog directs per-channel failures to l; without it they are
+// silently dropped. Replaces poking the deprecated Server.ErrorLog field.
+func WithErrorLog(l *log.Logger) ServerOption { return errorLogOption{l} }
+
+type understoodOption struct{ names []bxdm.QName }
+
+func (v understoodOption) applyServer(c *serverConfig) {
+	c.understood = append(c.understood, v.names...)
+}
+
+// WithUnderstood registers header QNames this node processes, for SOAP 1.1
+// mustUnderstand enforcement (§4.2.3). Repeatable; the sets union.
+// Replaces the deprecated post-construction Server.Understand.
+func WithUnderstood(names ...bxdm.QName) ServerOption { return understoodOption{names} }

@@ -5,6 +5,8 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+
+	"bxsoap/internal/obs"
 )
 
 // Payload is one serialized SOAP message travelling through the pipeline:
@@ -43,7 +45,15 @@ var (
 	classedPools [len(payloadClasses)]sync.Pool // holds *Payload with buffer attached
 	barePool     = sync.Pool{New: func() any { return new(Payload) }}
 	livePayloads atomic.Int64
+	payloadObs   atomic.Pointer[obs.Observer]
 )
+
+// SetPayloadObserver wires an observer into the payload pools: checkout hit/
+// miss counters and the payloads-in-use gauge (with high-water mark) record
+// into it. The pools are process-global, so their observer is too; pass nil
+// to detach. The default (no observer) keeps checkout and release free of
+// any instrumentation cost beyond one atomic pointer load.
+func SetPayloadObserver(o *obs.Observer) { payloadObs.Store(o) }
 
 // classFor returns the checkout class for a size hint, or -1 when the hint
 // exceeds every class.
@@ -73,18 +83,23 @@ func putClassFor(c int) int {
 //paylint:returns owned
 func NewPayload(sizeHint int) *Payload {
 	var p *Payload
+	o := payloadObs.Load()
 	if i := classFor(sizeHint); i >= 0 {
 		if v := classedPools[i].Get(); v != nil {
 			p = v.(*Payload)
+			o.Inc(obs.PayloadPoolHits)
 		} else {
 			p = &Payload{buf: make([]byte, 0, payloadClasses[i])}
+			o.Inc(obs.PayloadPoolMisses)
 		}
 	} else {
 		p = &Payload{buf: make([]byte, 0, sizeHint)}
+		o.Inc(obs.PayloadPoolMisses)
 	}
 	p.pooled = true
 	p.refs.Store(1)
 	livePayloads.Add(1)
+	o.GaugeAdd(obs.PayloadsInUse, 1)
 	return p
 }
 
@@ -100,6 +115,7 @@ func NewPayloadFrom(b []byte) *Payload {
 	p.pooled = false
 	p.refs.Store(1)
 	livePayloads.Add(1)
+	payloadObs.Load().GaugeAdd(obs.PayloadsInUse, 1)
 	return p
 }
 
@@ -138,6 +154,7 @@ func (p *Payload) Release() {
 		panic("core: Payload released after final reference")
 	}
 	livePayloads.Add(-1)
+	payloadObs.Load().GaugeAdd(obs.PayloadsInUse, -1)
 	if p.pooled {
 		if i := putClassFor(cap(p.buf)); i >= 0 {
 			p.buf = p.buf[:0]

@@ -19,14 +19,14 @@ func TestPlainStringsEncodingDropsHints(t *testing.T) {
 			bxdm.NewArray(bxdm.LocalName("v"), []float64{1.5, 2.5}),
 		),
 	)
-	data, err := EncodeToBytes(enc, env)
+	data, err := NewCodec(enc).EncodeBytes(env)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(string(data), "xsi:type") || strings.Contains(string(data), "arrayType") {
 		t.Fatalf("PlainStrings output still carries hints: %s", data)
 	}
-	back, err := DecodeEnvelope(enc, data)
+	back, err := NewCodec(enc).DecodeEnvelope(data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,11 +51,11 @@ func TestPlainStringsEncodingDropsHints(t *testing.T) {
 
 func TestPlainStringsSmallerThanHinted(t *testing.T) {
 	env := NewEnvelope(bxdm.NewArray(bxdm.LocalName("v"), make([]float64, 200)))
-	plain, err := EncodeToBytes(XMLEncoding{PlainStrings: true}, env)
+	plain, err := NewCodec(XMLEncoding{PlainStrings: true}).EncodeBytes(env)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hinted, err := EncodeToBytes(XMLEncoding{}, env)
+	hinted, err := NewCodec(XMLEncoding{}).EncodeBytes(env)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -156,16 +156,36 @@ func recordSizeHint(name string, n int) {
 	a.Store(est)
 }
 
+// Codec is the envelope-level serialization facade over an Encoding: every
+// conversion between *Envelope and wire bytes — pooled-payload encode,
+// plain-bytes encode, decode — lives here under one documented API, so the
+// engines, bindings, svcpool, and the obs stage names all mean the same
+// operation when they say "encode" or "decode". The type parameter keeps
+// the paper's compile-time policy binding: a Codec[BXSAEncoding] calls the
+// concrete encoder directly, monomorphized and inlinable.
+type Codec[E Encoding] struct {
+	enc E
+}
+
+// NewCodec builds the facade over enc.
+func NewCodec[E Encoding](enc E) Codec[E] { return Codec[E]{enc: enc} }
+
+// Encoding returns the underlying encoding policy.
+func (c Codec[E]) Encoding() E { return c.enc }
+
+// ContentType returns the MIME type the binding should advertise.
+func (c Codec[E]) ContentType() string { return c.enc.ContentType() }
+
 // EncodePayload serializes an envelope into a pooled payload via the
 // encoding's append path. BXSA grows the buffer to its exact measured size;
 // XML relies on the running per-encoding estimate to make reallocation the
 // exception. The caller owns the payload and must Release it.
 //
 //paylint:returns owned
-func EncodePayload(enc Encoding, e *Envelope) (*Payload, error) {
-	name := enc.Name()
+func (c Codec[E]) EncodePayload(e *Envelope) (*Payload, error) {
+	name := c.enc.Name()
 	p := NewPayload(sizeHintFor(name))
-	out, err := enc.AppendEncode(p.buf, e.Document())
+	out, err := c.enc.AppendEncode(p.buf, e.Document())
 	if err != nil {
 		p.Release()
 		return nil, err
@@ -175,23 +195,57 @@ func EncodePayload(enc Encoding, e *Envelope) (*Payload, error) {
 	return p, nil
 }
 
-// EncodeToBytes serializes an envelope with the given policy.
-func EncodeToBytes(enc Encoding, e *Envelope) ([]byte, error) {
+// EncodeBytes serializes an envelope into a fresh byte slice (the
+// non-pooled path, for callers that keep the bytes).
+func (c Codec[E]) EncodeBytes(e *Envelope) ([]byte, error) {
 	var buf bytes.Buffer
-	if err := enc.Encode(&buf, e.Document()); err != nil {
+	if err := c.enc.Encode(&buf, e.Document()); err != nil {
 		return nil, err
 	}
 	return buf.Bytes(), nil
 }
 
-// DecodeEnvelope parses payload bytes into an envelope with the given
-// policy.
-func DecodeEnvelope(enc Encoding, data []byte) (*Envelope, error) {
-	doc, err := enc.Decode(data)
+// DecodeEnvelope parses encoded bytes back into an envelope. The input is
+// not retained; callers may recycle the buffer as soon as it returns.
+func (c Codec[E]) DecodeEnvelope(data []byte) (*Envelope, error) {
+	doc, err := c.enc.Decode(data)
 	if err != nil {
 		return nil, err
 	}
 	return EnvelopeFromDocument(doc)
+}
+
+// DecodePayload parses a payload's bytes back into an envelope. The
+// payload is borrowed: ownership stays with the caller.
+//
+//paylint:borrows
+func (c Codec[E]) DecodePayload(p *Payload) (*Envelope, error) {
+	return c.DecodeEnvelope(p.Bytes())
+}
+
+// EncodePayload serializes an envelope into a pooled payload.
+//
+// Deprecated: use NewCodec(enc).EncodePayload — the Codec facade is the
+// single envelope-serialization API.
+//
+//paylint:returns owned
+func EncodePayload(enc Encoding, e *Envelope) (*Payload, error) {
+	return NewCodec(enc).EncodePayload(e)
+}
+
+// EncodeToBytes serializes an envelope with the given policy.
+//
+// Deprecated: use NewCodec(enc).EncodeBytes.
+func EncodeToBytes(enc Encoding, e *Envelope) ([]byte, error) {
+	return NewCodec(enc).EncodeBytes(e)
+}
+
+// DecodeEnvelope parses payload bytes into an envelope with the given
+// policy.
+//
+// Deprecated: use NewCodec(enc).DecodeEnvelope.
+func DecodeEnvelope(enc Encoding, data []byte) (*Envelope, error) {
+	return NewCodec(enc).DecodeEnvelope(data)
 }
 
 // Binding is the client-side binding policy concept (paper §5.3): it

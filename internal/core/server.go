@@ -8,8 +8,10 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"bxsoap/internal/bxdm"
+	"bxsoap/internal/obs"
 )
 
 // Handler processes one SOAP request envelope and produces the response.
@@ -18,43 +20,92 @@ import (
 type Handler func(ctx context.Context, req *Envelope) (*Envelope, error)
 
 // Server is the server side of the generic engine, composed from the same
-// two policy axes as Engine.
+// two policy axes as Engine. Configuration is fixed at NewServer time via
+// options (WithErrorLog, WithUnderstood, WithObserver); a constructed
+// server carries no settable knobs, so there is nothing to race with Serve.
 type Server[E Encoding, B ServerBinding] struct {
-	enc     E
+	codec   Codec[E]
 	bind    B
 	handler Handler
+	obs     *obs.Observer
 
 	// understood is the set of header QNames this node can process;
 	// mustUnderstand entries outside the set draw a MustUnderstand fault
-	// (SOAP 1.1 §4.2.3).
-	understood map[bxdm.QName]bool
+	// (SOAP 1.1 §4.2.3). The map itself is immutable — the deprecated
+	// Understand swaps in a fresh copy — so dispatch reads it without
+	// locking while Understand stays callable concurrently with Serve.
+	understood atomic.Pointer[map[bxdm.QName]bool]
+
+	// ctx is the server's lifetime context: handlers receive a context
+	// derived from it, and Close cancels it, so in-flight handlers observe
+	// shutdown instead of running under an unattached Background context.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	mu     sync.Mutex
 	wg     sync.WaitGroup
 	closed bool
 	chans  map[Channel]struct{}
+
+	errorLog *log.Logger
 	// ErrorLog receives per-channel failures; nil silences them.
+	//
+	// Deprecated: pass WithErrorLog to NewServer instead. The field is
+	// read once when Serve starts (WithErrorLog takes precedence); writes
+	// after that are not seen.
 	ErrorLog *log.Logger
 }
 
-// NewServer composes a server from its policies and handler.
-func NewServer[E Encoding, B ServerBinding](enc E, bind B, h Handler) *Server[E, B] {
-	return &Server[E, B]{
-		enc:        enc,
-		bind:       bind,
-		handler:    h,
-		understood: make(map[bxdm.QName]bool),
-		chans:      make(map[Channel]struct{}),
+// NewServer composes a server from its policies, handler, and options.
+func NewServer[E Encoding, B ServerBinding](enc E, bind B, h Handler, opts ...ServerOption) *Server[E, B] {
+	var cfg serverConfig
+	for _, opt := range opts {
+		opt.applyServer(&cfg)
 	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server[E, B]{
+		codec:    NewCodec(enc),
+		bind:     bind,
+		handler:  h,
+		obs:      cfg.obs,
+		ctx:      ctx,
+		cancel:   cancel,
+		chans:    make(map[Channel]struct{}),
+		errorLog: cfg.errorLog,
+	}
+	understood := make(map[bxdm.QName]bool, len(cfg.understood))
+	for _, n := range cfg.understood {
+		understood[bxdm.QName{Space: n.Space, Local: n.Local}] = true
+	}
+	s.understood.Store(&understood)
+	return s
 }
 
 // Understand registers header names this node processes, for
-// mustUnderstand enforcement.
+// mustUnderstand enforcement. Safe to call while Serve is running: the
+// understood set is swapped atomically, and requests already dispatched
+// keep the set they started with.
+//
+// Deprecated: pass WithUnderstood to NewServer instead.
 func (s *Server[E, B]) Understand(names ...bxdm.QName) {
-	for _, n := range names {
-		s.understood[bxdm.QName{Space: n.Space, Local: n.Local}] = true
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := *s.understood.Load()
+	next := make(map[bxdm.QName]bool, len(old)+len(names))
+	for k := range old {
+		next[k] = true
 	}
+	for _, n := range names {
+		next[bxdm.QName{Space: n.Space, Local: n.Local}] = true
+	}
+	s.understood.Store(&next)
 }
+
+// Encoding returns the server's encoding policy.
+func (s *Server[E, B]) Encoding() E { return s.codec.Encoding() }
+
+// Codec returns the server's serialization facade.
+func (s *Server[E, B]) Codec() Codec[E] { return s.codec }
 
 // Addr reports the bound transport address.
 func (s *Server[E, B]) Addr() net.Addr { return s.bind.Addr() }
@@ -62,6 +113,12 @@ func (s *Server[E, B]) Addr() net.Addr { return s.bind.Addr() }
 // Serve accepts channels until the binding is closed, dispatching each on
 // its own goroutine. It returns nil after a clean Close.
 func (s *Server[E, B]) Serve() error {
+	// Resolve the error sink once: the option wins, else the deprecated
+	// field as it stood when Serve started.
+	errorLog := s.errorLog
+	if errorLog == nil {
+		errorLog = s.ErrorLog
+	}
 	for {
 		ch, err := s.bind.Accept()
 		if err != nil {
@@ -92,45 +149,57 @@ func (s *Server[E, B]) Serve() error {
 				s.mu.Unlock()
 				ch.Close()
 			}()
-			if err := s.serveChannel(ch); err != nil && s.ErrorLog != nil {
-				s.ErrorLog.Printf("soap: channel error: %v", err)
+			if err := s.serveChannel(ch); err != nil && errorLog != nil {
+				errorLog.Printf("soap: channel error: %v", err)
 			}
 		}()
 	}
 }
 
 func (s *Server[E, B]) serveChannel(ch Channel) error {
-	ctx := context.Background()
+	// Handlers run under the server's lifetime context: Close cancels it,
+	// so a long-running handler sees shutdown instead of outliving it.
+	ctx := s.ctx
 	for {
+		sp := s.obs.Span()
 		payload, ct, err := ch.ReceiveRequest(ctx)
+		sp.Mark(obs.ServerReceive)
 		if err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
 				return nil
 			}
 			return err
 		}
-		resp := s.dispatch(ctx, payload.Bytes(), ct)
+		resp := s.dispatch(ctx, payload.Bytes(), ct, &sp)
 		payload.Release()
-		out, err := EncodePayload(s.enc, resp)
+		out, err := s.codec.EncodePayload(resp)
+		sp.Mark(obs.ServerEncode)
 		if err != nil {
 			return fmt.Errorf("encode response: %w", err)
 		}
 		// SendResponse takes ownership of out and releases it when written.
-		if err := ch.SendResponse(out, s.enc.ContentType()); err != nil {
+		if err := ch.SendResponse(out, s.codec.ContentType()); err != nil {
+			sp.Mark(obs.ServerSend)
 			return fmt.Errorf("send response: %w", err)
 		}
+		sp.Mark(obs.ServerSend)
 	}
 }
 
 // dispatch decodes, enforces mustUnderstand, runs the handler, and converts
 // errors to faults. It never fails: protocol problems become fault
 // envelopes, which is what a SOAP node owes its peer.
-func (s *Server[E, B]) dispatch(ctx context.Context, payload []byte, ct string) *Envelope {
-	if err := CheckContentType(s.enc, ct); err != nil {
+func (s *Server[E, B]) dispatch(ctx context.Context, payload []byte, ct string, sp *obs.Span) *Envelope {
+	s.obs.Inc(obs.ServerRequests)
+	if err := CheckContentType(s.codec.Encoding(), ct); err != nil {
+		sp.Mark(obs.ServerDecode)
+		s.obs.Inc(obs.ServerFaults)
 		return (&Fault{Code: FaultClient, String: err.Error()}).Envelope()
 	}
-	req, err := DecodeEnvelope(s.enc, payload)
+	req, err := s.codec.DecodeEnvelope(payload)
+	sp.Mark(obs.ServerDecode)
 	if err != nil {
+		s.obs.Inc(obs.ServerFaults)
 		return (&Fault{Code: FaultClient, String: fmt.Sprintf("cannot decode request: %v", err)}).Envelope()
 	}
 	for _, h := range req.HeaderEntries {
@@ -139,7 +208,8 @@ func (s *Server[E, B]) dispatch(ctx context.Context, payload []byte, ct string) 
 			continue
 		}
 		name := el.ElemName()
-		if !s.understood[bxdm.QName{Space: name.Space, Local: name.Local}] {
+		if !(*s.understood.Load())[bxdm.QName{Space: name.Space, Local: name.Local}] {
+			s.obs.Inc(obs.ServerFaults)
 			return (&Fault{
 				Code:   FaultMustUnderstand,
 				String: fmt.Sprintf("header %v not understood", name),
@@ -147,7 +217,9 @@ func (s *Server[E, B]) dispatch(ctx context.Context, payload []byte, ct string) 
 		}
 	}
 	resp, err := s.handler(ctx, req)
+	sp.Mark(obs.ServerHandler)
 	if err != nil {
+		s.obs.Inc(obs.ServerFaults)
 		var f *Fault
 		if errors.As(err, &f) {
 			return f.Envelope()
@@ -160,8 +232,10 @@ func (s *Server[E, B]) dispatch(ctx context.Context, payload []byte, ct string) 
 	return resp
 }
 
-// Close stops the server and closes all live channels.
+// Close stops the server: it cancels the handler context, closes all live
+// channels and the binding, and waits for channel goroutines to drain.
 func (s *Server[E, B]) Close() error {
+	s.cancel()
 	s.mu.Lock()
 	s.closed = true
 	for ch := range s.chans {

@@ -22,6 +22,7 @@ import (
 	"bxsoap/internal/httpdata"
 	"bxsoap/internal/netcdf"
 	"bxsoap/internal/netsim"
+	"bxsoap/internal/obs"
 	"bxsoap/internal/tcpbind"
 )
 
@@ -92,6 +93,13 @@ type Unified struct {
 	// Encoding is "BXSA" or "XML"; Transport is "tcp" or "http".
 	Encoding, Transport string
 
+	// ClientObs/ServerObs, when non-nil, are wired into the client engine +
+	// binding and the server + listener respectively at Setup, so a run can
+	// be decomposed into per-stage latencies (see stages.go). Separate
+	// observers per side keep the symmetric stages (encode/decode) from
+	// polluting each other.
+	ClientObs, ServerObs *obs.Observer
+
 	name    string
 	call    func(*core.Envelope) (*core.Envelope, error)
 	closers []func() error
@@ -126,29 +134,41 @@ func (u *Unified) Setup(nw *netsim.Network, _ string) error {
 	}
 	switch {
 	case u.Encoding == "BXSA" && u.Transport == "tcp":
-		srv := core.NewServer(core.BXSAEncoding{}, tcpbind.NewListener(l), unifiedHandler)
+		srv := core.NewServer(core.BXSAEncoding{},
+			tcpbind.NewListener(l, tcpbind.WithObserver(u.ServerObs)),
+			unifiedHandler, core.WithObserver(u.ServerObs))
 		go srv.Serve()
-		eng := core.NewEngine(core.BXSAEncoding{}, tcpbind.New(nw.Dial, l.Addr().String()))
+		eng := core.NewEngine(core.BXSAEncoding{},
+			tcpbind.New(nw.Dial, l.Addr().String(), tcpbind.WithObserver(u.ClientObs)),
+			core.WithObserver(u.ClientObs))
 		u.call = func(e *core.Envelope) (*core.Envelope, error) { return eng.Call(context.Background(), e) }
 		u.closers = []func() error{eng.Close, srv.Close}
 	case u.Encoding == "XML" && u.Transport == "http":
-		hl := httpbind.NewListener(l)
-		srv := core.NewServer(core.XMLEncoding{}, hl, unifiedHandler)
+		hl := httpbind.NewListener(l, httpbind.WithObserver(u.ServerObs))
+		srv := core.NewServer(core.XMLEncoding{}, hl, unifiedHandler, core.WithObserver(u.ServerObs))
 		go srv.Serve()
-		eng := core.NewEngine(core.XMLEncoding{}, httpbind.New(nw.Dial, hl.URL()))
+		eng := core.NewEngine(core.XMLEncoding{},
+			httpbind.New(nw.Dial, hl.URL(), httpbind.WithObserver(u.ClientObs)),
+			core.WithObserver(u.ClientObs))
 		u.call = func(e *core.Envelope) (*core.Envelope, error) { return eng.Call(context.Background(), e) }
 		u.closers = []func() error{eng.Close, srv.Close}
 	case u.Encoding == "XML" && u.Transport == "tcp":
-		srv := core.NewServer(core.XMLEncoding{}, tcpbind.NewListener(l), unifiedHandler)
+		srv := core.NewServer(core.XMLEncoding{},
+			tcpbind.NewListener(l, tcpbind.WithObserver(u.ServerObs)),
+			unifiedHandler, core.WithObserver(u.ServerObs))
 		go srv.Serve()
-		eng := core.NewEngine(core.XMLEncoding{}, tcpbind.New(nw.Dial, l.Addr().String()))
+		eng := core.NewEngine(core.XMLEncoding{},
+			tcpbind.New(nw.Dial, l.Addr().String(), tcpbind.WithObserver(u.ClientObs)),
+			core.WithObserver(u.ClientObs))
 		u.call = func(e *core.Envelope) (*core.Envelope, error) { return eng.Call(context.Background(), e) }
 		u.closers = []func() error{eng.Close, srv.Close}
 	case u.Encoding == "BXSA" && u.Transport == "http":
-		hl := httpbind.NewListener(l)
-		srv := core.NewServer(core.BXSAEncoding{}, hl, unifiedHandler)
+		hl := httpbind.NewListener(l, httpbind.WithObserver(u.ServerObs))
+		srv := core.NewServer(core.BXSAEncoding{}, hl, unifiedHandler, core.WithObserver(u.ServerObs))
 		go srv.Serve()
-		eng := core.NewEngine(core.BXSAEncoding{}, httpbind.New(nw.Dial, hl.URL()))
+		eng := core.NewEngine(core.BXSAEncoding{},
+			httpbind.New(nw.Dial, hl.URL(), httpbind.WithObserver(u.ClientObs)),
+			core.WithObserver(u.ClientObs))
 		u.call = func(e *core.Envelope) (*core.Envelope, error) { return eng.Call(context.Background(), e) }
 		u.closers = []func() error{eng.Close, srv.Close}
 	default:

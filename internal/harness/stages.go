@@ -1,0 +1,141 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"bxsoap/internal/dataset"
+	"bxsoap/internal/netsim"
+	"bxsoap/internal/obs"
+)
+
+// StageResult decomposes a scheme's request-response time into the pipeline
+// stages the observability layer traces. The derived columns cover the whole
+// client-visible call:
+//
+//	Encode  = client encode + server encode (serialization on both sides)
+//	Decode  = client decode + server decode (deserialization on both sides)
+//	Handler = server handler
+//	Wire    = Total − Encode − Decode − Handler (transport, framing, queueing)
+//	Total   = mean client span (encode + send + wait + decode)
+//
+// Client/Server carry the raw per-side snapshots for JSON export, so a
+// consumer can recompute any other attribution it prefers.
+type StageResult struct {
+	Scheme  string        `json:"scheme"`
+	Calls   uint64        `json:"calls"`
+	Encode  time.Duration `json:"encode_ns"`
+	Wire    time.Duration `json:"wire_ns"`
+	Handler time.Duration `json:"handler_ns"`
+	Decode  time.Duration `json:"decode_ns"`
+	Total   time.Duration `json:"total_ns"`
+	Client  *obs.Snapshot `json:"client"`
+	Server  *obs.Snapshot `json:"server"`
+}
+
+// StageConfig parameterizes a breakdown run.
+type StageConfig struct {
+	Profile netsim.Profile
+	// ModelSize is the dataset size ((double,int) pairs) per call.
+	ModelSize int
+	// Calls per scheme after one warm-up invocation.
+	Calls int
+	// Progress, when non-nil, receives human-readable progress lines.
+	Progress io.Writer
+}
+
+// StageBreakdown runs the four unified policy combinations with a fresh
+// observer pair per combo (client and server sides instrumented separately)
+// and returns per-stage mean latencies. Each combo gets its own shaped
+// network so the netsim counters in the client snapshot belong to that combo
+// alone.
+func StageBreakdown(cfg StageConfig) ([]StageResult, error) {
+	if cfg.ModelSize <= 0 {
+		cfg.ModelSize = 1000
+	}
+	if cfg.Calls <= 0 {
+		cfg.Calls = 20
+	}
+	combos := []struct{ encoding, transport string }{
+		{"BXSA", "tcp"},
+		{"XML", "tcp"},
+		{"BXSA", "http"},
+		{"XML", "http"},
+	}
+	m := dataset.Generate(cfg.ModelSize)
+	out := make([]StageResult, 0, len(combos))
+	for _, c := range combos {
+		cliObs, srvObs := obs.New(), obs.New()
+		nw := netsim.New(cfg.Profile, netsim.WithObserver(cliObs))
+		u := NewUnified(c.encoding, c.transport)
+		u.ClientObs, u.ServerObs = cliObs, srvObs
+		if err := u.Setup(nw, ""); err != nil {
+			return nil, fmt.Errorf("%s: setup: %w", u.Name(), err)
+		}
+		// Warm-up covers connection establishment and pool priming, then
+		// reset so the steady-state calls alone shape the histograms.
+		if _, err := u.Invoke(m); err != nil {
+			u.Teardown()
+			return nil, fmt.Errorf("%s: warm-up: %w", u.Name(), err)
+		}
+		cliObs.Reset()
+		srvObs.Reset()
+		for i := 0; i < cfg.Calls; i++ {
+			verified, err := u.Invoke(m)
+			if err != nil {
+				u.Teardown()
+				return nil, fmt.Errorf("%s: call %d: %w", u.Name(), i, err)
+			}
+			if verified != m.Verify() {
+				u.Teardown()
+				return nil, fmt.Errorf("%s: call %d verified %d of %d", u.Name(), i, verified, cfg.ModelSize)
+			}
+		}
+		r := deriveStages(u.Name(), cliObs, srvObs)
+		if cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, "%-28s encode=%-10v wire=%-10v handler=%-10v decode=%-10v total=%v\n",
+				r.Scheme, r.Encode, r.Wire, r.Handler, r.Decode, r.Total)
+		}
+		if err := u.Teardown(); err != nil {
+			return nil, fmt.Errorf("%s: teardown: %w", u.Name(), err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func deriveStages(name string, cli, srv *obs.Observer) StageResult {
+	mean := func(o *obs.Observer, st obs.Stage) time.Duration {
+		return o.StageSnapshot(st).Mean()
+	}
+	r := StageResult{
+		Scheme:  name,
+		Calls:   cli.Counter(obs.CallsStarted),
+		Encode:  mean(cli, obs.ClientEncode) + mean(srv, obs.ServerEncode),
+		Decode:  mean(cli, obs.ClientDecode) + mean(srv, obs.ServerDecode),
+		Handler: mean(srv, obs.ServerHandler),
+		Total: mean(cli, obs.ClientEncode) + mean(cli, obs.ClientSend) +
+			mean(cli, obs.ClientWait) + mean(cli, obs.ClientDecode),
+		Client: cli.Snapshot(),
+		Server: srv.Snapshot(),
+	}
+	if wire := r.Total - r.Encode - r.Decode - r.Handler; wire > 0 {
+		r.Wire = wire
+	}
+	return r
+}
+
+// PrintStageBreakdown renders the per-stage latency table (values in µs).
+func PrintStageBreakdown(w io.Writer, results []StageResult) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scheme\tcalls\tencode (µs)\twire (µs)\thandler (µs)\tdecode (µs)\ttotal (µs)")
+	for _, r := range results {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			r.Scheme, r.Calls,
+			r.Encode.Microseconds(), r.Wire.Microseconds(), r.Handler.Microseconds(),
+			r.Decode.Microseconds(), r.Total.Microseconds())
+	}
+	tw.Flush()
+}

@@ -26,13 +26,38 @@ import (
 	"time"
 
 	"bxsoap/internal/core"
+	"bxsoap/internal/obs"
 )
+
+// Option configures a Binding or Listener at construction.
+type Option func(*options)
+
+type options struct {
+	obs *obs.Observer
+}
+
+// WithObserver wires an observability sink into the binding: message and
+// payload-byte counters record into it per exchange (SOAP payload bytes,
+// excluding HTTP framing). On a Listener the observer covers every
+// accepted channel.
+func WithObserver(o *obs.Observer) Option {
+	return func(c *options) { c.obs = o }
+}
+
+func applyOptions(opts []Option) options {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
 
 // Binding is the client-side HTTP binding.
 type Binding struct {
 	url    string
 	client *http.Client
 	action string
+	obs    *obs.Observer
 
 	mu       sync.Mutex
 	pending  *http.Response
@@ -54,7 +79,7 @@ type Dialer func(addr string) (net.Conn, error)
 
 // New creates a client binding POSTing to url ("http://host:port/path"),
 // dialing through dial (nil = plain TCP).
-func New(dial Dialer, url string) *Binding {
+func New(dial Dialer, url string, opts ...Option) *Binding {
 	tr := &http.Transport{
 		MaxIdleConns:        16,
 		MaxIdleConnsPerHost: 16,
@@ -65,7 +90,8 @@ func New(dial Dialer, url string) *Binding {
 			return dial(addr)
 		}
 	}
-	b := &Binding{url: url, client: &http.Client{Transport: tr}, actionHdr: `""`}
+	o := applyOptions(opts)
+	b := &Binding{url: url, client: &http.Client{Transport: tr}, actionHdr: `""`, obs: o.obs}
 	if u, err := neturl.Parse(url); err == nil {
 		b.header = make(http.Header, 4)
 		b.proto = &http.Request{
@@ -168,6 +194,8 @@ func (b *Binding) SendRequest(ctx context.Context, payload *core.Payload, conten
 	}
 	b.pending = resp
 	b.mu.Unlock()
+	b.obs.Inc(obs.MessagesSent)
+	b.obs.Add(obs.BytesSent, uint64(payload.Len()))
 	return nil
 }
 
@@ -201,6 +229,8 @@ func (b *Binding) ReceiveResponse(_ context.Context) (*core.Payload, string, err
 		body.Release()
 		return nil, "", fmt.Errorf("httpbind: unexpected HTTP status %s", resp.Status)
 	}
+	b.obs.Inc(obs.MessagesReceived)
+	b.obs.Add(obs.BytesReceived, uint64(body.Len()))
 	return body, resp.Header.Get("Content-Type"), nil
 }
 
@@ -225,15 +255,18 @@ type Listener struct {
 	done   chan struct{}
 	once   sync.Once
 	err    error
+	obs    *obs.Observer
 }
 
 // NewListener wraps an already-bound listener (e.g. a netsim-shaped one)
 // and starts the HTTP machinery on it.
-func NewListener(l net.Listener) *Listener {
+func NewListener(l net.Listener, opts ...Option) *Listener {
+	o := applyOptions(opts)
 	s := &Listener{
 		l:      l,
 		accept: make(chan *channel),
 		done:   make(chan struct{}),
+		obs:    o.obs,
 	}
 	s.srv = &http.Server{Handler: http.HandlerFunc(s.handle)}
 	go func() {
@@ -247,12 +280,12 @@ func NewListener(l net.Listener) *Listener {
 }
 
 // Listen binds an unshaped HTTP listener on addr.
-func Listen(addr string) (*Listener, error) {
+func Listen(addr string, opts ...Option) (*Listener, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, &core.TransportError{Op: "listen", Err: err}
 	}
-	return NewListener(l), nil
+	return NewListener(l, opts...), nil
 }
 
 type response struct {
@@ -277,6 +310,7 @@ type channel struct {
 	// abandoned is set by the handler when shutdown wins the race against
 	// the dispatcher's response; see SendResponse for the hand-off protocol.
 	abandoned atomic.Bool
+	obs       *obs.Observer
 }
 
 func (s *Listener) handle(w http.ResponseWriter, r *http.Request) {
@@ -295,6 +329,7 @@ func (s *Listener) handle(w http.ResponseWriter, r *http.Request) {
 		payload:     body,
 		contentType: r.Header.Get("Content-Type"),
 		resp:        make(chan response, 1),
+		obs:         s.obs,
 	}
 	select {
 	case s.accept <- ch:
@@ -366,6 +401,8 @@ func (c *channel) ReceiveRequest(_ context.Context) (*core.Payload, string, erro
 	c.received = true
 	p := c.payload
 	c.payload = nil
+	c.obs.Inc(obs.MessagesReceived)
+	c.obs.Add(obs.BytesReceived, uint64(p.Len()))
 	return p, c.contentType, nil
 }
 
@@ -381,9 +418,12 @@ func (c *channel) SendResponse(payload *core.Payload, contentType string) error 
 	if looksLikeFault(payload.Bytes()) {
 		status = http.StatusInternalServerError
 	}
+	n := payload.Len()
 	select {
 	case c.resp <- response{payload: payload, contentType: contentType, status: status}:
 		c.responded = true
+		c.obs.Inc(obs.MessagesSent)
+		c.obs.Add(obs.BytesSent, uint64(n))
 		if c.abandoned.Load() {
 			// The handler gave up on this exchange. It drains c.resp after
 			// setting the flag, so the queued response is either already

@@ -41,7 +41,20 @@ import (
 	"time"
 
 	"bxsoap/internal/core"
+	"bxsoap/internal/obs"
 )
+
+// Option configures a Network at construction.
+type Option func(*Network)
+
+// WithObserver wires an observability sink into the network: every shaped
+// write records its injected delay into the netsim.shape stage histogram
+// plus the turnaround and byte counters. The recorded durations are the
+// shaper's own computed waits — simulated-clock quantities, not wall-clock
+// measurements — so fake-clock runs stay deterministic.
+func WithObserver(o *obs.Observer) Option {
+	return func(n *Network) { n.obs = o }
+}
 
 // Profile describes one emulated network.
 type Profile struct {
@@ -88,13 +101,17 @@ var (
 type Network struct {
 	prof Profile
 	path *bucket
+	obs  *obs.Observer
 }
 
 // New creates a network with the given profile.
-func New(p Profile) *Network {
+func New(p Profile, opts ...Option) *Network {
 	n := &Network{prof: p}
 	if p.PathBandwidth > 0 {
 		n.path = newBucket(p.PathBandwidth)
+	}
+	for _, opt := range opts {
+		opt(n)
 	}
 	return n
 }
@@ -190,6 +207,7 @@ func (c *Conn) Write(p []byte) (int, error) {
 	var wait time.Duration
 	if turnaround {
 		wait = c.net.prof.RTT / 2
+		c.net.obs.Inc(obs.NetTurnarounds)
 	}
 	if c.stream != nil {
 		wait = maxDur(wait, c.stream.reserve(len(p)))
@@ -197,6 +215,10 @@ func (c *Conn) Write(p []byte) (int, error) {
 	if c.net.path != nil {
 		wait = maxDur(wait, c.net.path.reserve(len(p)))
 	}
+	// The observed duration is the wait the shaper just computed on the
+	// simulated clock — no wall-clock read happens here.
+	c.net.obs.ObserveStage(obs.NetShape, wait)
+	c.net.obs.Add(obs.NetBytes, uint64(len(p)))
 	sleepPrecise(wait)
 	return c.Conn.Write(p)
 }

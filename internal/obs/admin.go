@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// MetricsHandler serves the Observer's snapshot as JSON. Extra metric
+// sources that live outside the Observer (a pool's Stats, payload-pool
+// gauges) can be folded in by the caller via extra, evaluated per request.
+func MetricsHandler(o *Observer, extra func(*Snapshot)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s := o.Snapshot()
+		if extra != nil {
+			extra(s)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s)
+	})
+}
+
+// AdminMux builds the admin endpoint mounted by soapserver/soapproxy:
+// GET /metrics returns the snapshot JSON, and the standard net/http/pprof
+// profiles live under /debug/pprof/. The mux is private to the admin
+// listener, so pprof is never exposed on the SOAP-serving port.
+func AdminMux(o *Observer, extra func(*Snapshot)) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(o, extra))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

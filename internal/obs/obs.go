@@ -1,0 +1,403 @@
+// Package obs is the engine-wide observability layer: atomic counters,
+// gauges with high-water tracking, fixed-bucket log-spaced latency
+// histograms with mergeable snapshots, and lightweight span tracing for the
+// request path. The paper's whole argument (Figs. 5–9) is a decomposition
+// of where time goes — encode, wire, handler, decode — across the
+// (encoding, binding) policy grid; this package makes that decomposition
+// observable on the real engine instead of only end-to-end from the bench
+// harness.
+//
+// The package is dependency-free (standard library only, no other bxsoap
+// packages), so every layer — core, the bindings, svcpool, netsim, the
+// harness — can report into it without import cycles.
+//
+// # The nil-sink contract
+//
+// Every recording method is safe on a nil *Observer and does nothing — no
+// clock reads, no atomic traffic, no allocations. Instrumented code holds a
+// plain *Observer field (nil by default) and calls it unconditionally; the
+// zero-instrumentation path costs one predictable branch per call site and
+// zero allocations, which BenchmarkPooledCalls verifies under -benchmem.
+// Code never needs to guard a call site with its own nil check.
+//
+// # Deterministic clocks
+//
+// An Observer reads time only through its installed now function (WithNow),
+// and every recording primitive has an explicit-duration form (ObserveStage)
+// that reads no clock at all. Packages under a deterministic-clock regime
+// (netsim, enforced by paylint's nowallclock analyzer) instrument themselves
+// by passing durations they already computed on the simulated clock.
+//
+// The nil-sink contract is enforced statically: paylint's nilsink analyzer
+// requires every exported method of the marked types below to nil-check its
+// receiver.
+//
+//paylint:nil-sink Observer Span
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// Gauge is an atomic up/down value that also tracks its high-water mark.
+type Gauge struct {
+	v  atomic.Int64
+	hw atomic.Int64
+}
+
+// Add moves the gauge by d (negative to decrement) and advances the
+// high-water mark when the new value exceeds it.
+func (g *Gauge) Add(d int64) {
+	n := g.v.Add(d)
+	for {
+		hw := g.hw.Load()
+		if n <= hw || g.hw.CompareAndSwap(hw, n) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// HighWater returns the largest value the gauge has reached.
+func (g *Gauge) HighWater() int64 { return g.hw.Load() }
+
+// Reset zeroes the value and the high-water mark.
+func (g *Gauge) Reset() {
+	g.v.Store(0)
+	g.hw.Store(0)
+}
+
+// CounterID names one of the Observer's fixed counters. The fixed set (vs. a
+// registry of arbitrary names) keeps recording a single array index with no
+// map lookups or lock traffic on the hot path.
+type CounterID uint8
+
+// The Observer's counters. Client call counters obey the balance invariant
+// checked by the test suite: every call that increments CallsStarted
+// increments exactly one of CallsCompleted (the peer answered, faults
+// included) or CallsFailed (everything else) before returning.
+const (
+	// CallsStarted counts client call/send attempts entering the engine.
+	CallsStarted CounterID = iota
+	// CallsCompleted counts attempts the peer answered (faults included —
+	// a fault proves the transport and both codecs work).
+	CallsCompleted
+	// CallsFailed counts attempts that returned without a peer answer.
+	CallsFailed
+	// ClientFaults counts completed calls whose answer was a SOAP fault.
+	ClientFaults
+	// ServerRequests counts requests dispatched by a server.
+	ServerRequests
+	// ServerFaults counts server responses that carried a fault envelope.
+	ServerFaults
+	// PayloadPoolHits counts payload checkouts served by a pooled buffer.
+	PayloadPoolHits
+	// PayloadPoolMisses counts payload checkouts that had to allocate.
+	PayloadPoolMisses
+	// PoolRetries counts svcpool retry attempts beyond each call's first.
+	PoolRetries
+	// PoolRetirements counts svcpool connections closed for health/age.
+	PoolRetirements
+	// BreakerOpened counts transitions of the svcpool breaker to open
+	// (threshold trips, failed probes, and abandoned probes re-opening).
+	BreakerOpened
+	// BreakerProbes counts half-open probe admissions.
+	BreakerProbes
+	// BreakerClosed counts recoveries (transitions back to closed).
+	BreakerClosed
+	// MessagesSent counts serialized messages written by a binding.
+	MessagesSent
+	// MessagesReceived counts serialized messages read by a binding.
+	MessagesReceived
+	// BytesSent counts message payload bytes written by a binding.
+	BytesSent
+	// BytesReceived counts message payload bytes read by a binding.
+	BytesReceived
+	// NetTurnarounds counts netsim connection direction changes (each one
+	// pays half an RTT on the simulated link).
+	NetTurnarounds
+	// NetBytes counts bytes paced through the netsim shaper.
+	NetBytes
+
+	numCounters
+)
+
+var counterNames = [numCounters]string{
+	CallsStarted:      "client.calls_started",
+	CallsCompleted:    "client.calls_completed",
+	CallsFailed:       "client.calls_failed",
+	ClientFaults:      "client.faults",
+	ServerRequests:    "server.requests",
+	ServerFaults:      "server.faults",
+	PayloadPoolHits:   "payload.pool_hits",
+	PayloadPoolMisses: "payload.pool_misses",
+	PoolRetries:       "svcpool.retries",
+	PoolRetirements:   "svcpool.retirements",
+	BreakerOpened:     "svcpool.breaker_opened",
+	BreakerProbes:     "svcpool.breaker_probes",
+	BreakerClosed:     "svcpool.breaker_closed",
+	MessagesSent:      "binding.messages_sent",
+	MessagesReceived:  "binding.messages_received",
+	BytesSent:         "binding.bytes_sent",
+	BytesReceived:     "binding.bytes_received",
+	NetTurnarounds:    "netsim.turnarounds",
+	NetBytes:          "netsim.bytes",
+}
+
+// String returns the counter's snapshot/JSON name.
+func (c CounterID) String() string {
+	if int(c) < len(counterNames) {
+		return counterNames[c]
+	}
+	return "unknown"
+}
+
+// GaugeID names one of the Observer's fixed gauges.
+type GaugeID uint8
+
+const (
+	// PayloadsInUse tracks pooled payloads currently checked out; its
+	// high-water mark is the pipeline's peak buffer footprint.
+	PayloadsInUse GaugeID = iota
+	// PoolInflight tracks svcpool calls currently admitted; its high-water
+	// mark is the realized concurrency.
+	PoolInflight
+
+	numGauges
+)
+
+var gaugeNames = [numGauges]string{
+	PayloadsInUse: "payload.in_use",
+	PoolInflight:  "svcpool.inflight",
+}
+
+// String returns the gauge's snapshot/JSON name.
+func (g GaugeID) String() string {
+	if int(g) < len(gaugeNames) {
+		return gaugeNames[g]
+	}
+	return "unknown"
+}
+
+// Observer is one instrumentation sink: a fixed set of counters, gauges,
+// and per-stage latency histograms shared by every layer it is wired into
+// (engine, server, bindings, svcpool, payload pool, netsim). All methods
+// are safe for concurrent use, and all recording methods are no-ops on a
+// nil receiver (see the package comment for the nil-sink contract).
+type Observer struct {
+	now   func() time.Time
+	trace func(Stage, time.Duration)
+
+	counters [numCounters]Counter
+	gauges   [numGauges]Gauge
+	stages   [numStages]Histogram
+}
+
+// Option configures an Observer at construction.
+type Option func(*Observer)
+
+// WithNow installs the Observer's time source, for deterministic-clock
+// tests and simulations. The default is time.Now.
+func WithNow(now func() time.Time) Option {
+	return func(o *Observer) { o.now = now }
+}
+
+// WithTrace installs a hook receiving every stage observation in recording
+// order (the span-tracing seam: tests assert stage ordering through it, and
+// an external tracer can ship the events elsewhere). The hook runs inline
+// on the instrumented goroutine — keep it cheap and data-race free.
+func WithTrace(fn func(Stage, time.Duration)) Option {
+	return func(o *Observer) { o.trace = fn }
+}
+
+// New builds an Observer.
+func New(opts ...Option) *Observer {
+	o := &Observer{now: time.Now}
+	for _, opt := range opts {
+		opt(o)
+	}
+	return o
+}
+
+// Add adds n to counter c. No-op on a nil Observer.
+func (o *Observer) Add(c CounterID, n uint64) {
+	if o == nil {
+		return
+	}
+	o.counters[c].Add(n)
+}
+
+// Inc increments counter c. No-op on a nil Observer.
+func (o *Observer) Inc(c CounterID) {
+	if o == nil {
+		return
+	}
+	o.counters[c].Inc()
+}
+
+// Counter returns counter c's current value (0 on a nil Observer).
+func (o *Observer) Counter(c CounterID) uint64 {
+	if o == nil {
+		return 0
+	}
+	return o.counters[c].Load()
+}
+
+// GaugeAdd moves gauge g by d. No-op on a nil Observer.
+func (o *Observer) GaugeAdd(g GaugeID, d int64) {
+	if o == nil {
+		return
+	}
+	o.gauges[g].Add(d)
+}
+
+// Gauge returns gauge g's current value (0 on a nil Observer).
+func (o *Observer) Gauge(g GaugeID) int64 {
+	if o == nil {
+		return 0
+	}
+	return o.gauges[g].Load()
+}
+
+// GaugeHighWater returns gauge g's high-water mark (0 on a nil Observer).
+func (o *Observer) GaugeHighWater(g GaugeID) int64 {
+	if o == nil {
+		return 0
+	}
+	return o.gauges[g].HighWater()
+}
+
+// ObserveStage records one observation of d into stage st's histogram.
+// This is the explicit-duration entry point: it reads no clock, so
+// deterministic-clock packages record durations they computed on their own
+// injected clock. No-op on a nil Observer.
+func (o *Observer) ObserveStage(st Stage, d time.Duration) {
+	if o == nil {
+		return
+	}
+	o.stages[st].Observe(d)
+	if o.trace != nil {
+		o.trace(st, d)
+	}
+}
+
+// StageSnapshot returns a point-in-time snapshot of stage st's histogram
+// (zero on a nil Observer).
+func (o *Observer) StageSnapshot(st Stage) HistogramSnapshot {
+	if o == nil {
+		return HistogramSnapshot{}
+	}
+	return o.stages[st].Snapshot()
+}
+
+// Reset zeroes every counter, gauge, and stage histogram. It is meant for
+// quiescent moments — discarding warm-up traffic before a measured run — and
+// is NOT atomic with respect to concurrent writers: a recording that races
+// the reset may survive it. No-op on a nil Observer.
+func (o *Observer) Reset() {
+	if o == nil {
+		return
+	}
+	for i := range o.counters {
+		o.counters[i].Reset()
+	}
+	for i := range o.gauges {
+		o.gauges[i].Reset()
+	}
+	for i := range o.stages {
+		o.stages[i].Reset()
+	}
+}
+
+// GaugeSnapshot is the exported state of one gauge.
+type GaugeSnapshot struct {
+	Value     int64 `json:"value"`
+	HighWater int64 `json:"high_water"`
+}
+
+// Snapshot is a point-in-time, JSON-serializable export of an Observer.
+// Snapshots from different observers (or different times) merge: counters
+// and histogram buckets add, gauge values add, and high-water marks take
+// the max — so per-connection or per-shard observers can roll up.
+type Snapshot struct {
+	Counters map[string]uint64            `json:"counters"`
+	Gauges   map[string]GaugeSnapshot     `json:"gauges"`
+	Stages   map[string]HistogramSnapshot `json:"stages"`
+}
+
+// Snapshot captures the Observer's current state. Counters, gauges, and
+// histograms are read atomically per metric (not globally: a snapshot taken
+// under concurrent writers is internally consistent per histogram but may
+// straddle writes across metrics). Zero-count stages are omitted. Returns
+// an empty snapshot on a nil Observer.
+func (o *Observer) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Counters: map[string]uint64{},
+		Gauges:   map[string]GaugeSnapshot{},
+		Stages:   map[string]HistogramSnapshot{},
+	}
+	if o == nil {
+		return s
+	}
+	for i := CounterID(0); i < numCounters; i++ {
+		if v := o.counters[i].Load(); v != 0 {
+			s.Counters[i.String()] = v
+		}
+	}
+	for i := GaugeID(0); i < numGauges; i++ {
+		v, hw := o.gauges[i].Load(), o.gauges[i].HighWater()
+		if v != 0 || hw != 0 {
+			s.Gauges[i.String()] = GaugeSnapshot{Value: v, HighWater: hw}
+		}
+	}
+	for i := Stage(0); i < numStages; i++ {
+		if hs := o.stages[i].Snapshot(); hs.Count > 0 {
+			s.Stages[i.String()] = hs
+		}
+	}
+	return s
+}
+
+// Merge folds other into s: counters and histograms add, gauges add their
+// values and keep the larger high-water mark.
+func (s *Snapshot) Merge(other *Snapshot) {
+	if other == nil {
+		return
+	}
+	for k, v := range other.Counters {
+		s.Counters[k] += v
+	}
+	for k, g := range other.Gauges {
+		cur := s.Gauges[k]
+		cur.Value += g.Value
+		if g.HighWater > cur.HighWater {
+			cur.HighWater = g.HighWater
+		}
+		s.Gauges[k] = cur
+	}
+	for k, h := range other.Stages {
+		cur := s.Stages[k]
+		cur.Merge(h)
+		s.Stages[k] = cur
+	}
+}

@@ -1,0 +1,147 @@
+package svcpool
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"bxsoap/internal/core"
+	"bxsoap/internal/obs"
+)
+
+// A pooled run with one shared observer: the engine call counters must
+// balance (started == completed + failed — the leak-style invariant), the
+// checkout stage histogram must have one entry per attempt, and the inflight
+// gauge must return to zero with a high-water mark behind it.
+func TestPoolObserverBalancesAfterRun(t *testing.T) {
+	o := obs.New()
+	ff := &fakeFactory{}
+	observedFactory := func(ctx context.Context) (*core.Engine[core.BXSAEncoding, *fakeBinding], error) {
+		ff.mu.Lock()
+		b := &fakeBinding{}
+		ff.bindings = append(ff.bindings, b)
+		ff.mu.Unlock()
+		return core.NewEngine(core.BXSAEncoding{}, b, core.WithObserver(o)), nil
+	}
+	p := New(observedFactory, Config{MaxConns: 4}, WithObserver(o))
+	defer p.Close()
+
+	const workers, perWorker = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if _, err := p.Call(context.Background(), testEnvelope()); err != nil {
+					t.Errorf("pooled call: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	const calls = workers * perWorker
+	started := o.Counter(obs.CallsStarted)
+	if started != calls {
+		t.Errorf("calls started = %d, want %d", started, calls)
+	}
+	if got := o.Counter(obs.CallsCompleted) + o.Counter(obs.CallsFailed); got != started {
+		t.Errorf("completed %d + failed %d != started %d (leaked calls)",
+			o.Counter(obs.CallsCompleted), o.Counter(obs.CallsFailed), started)
+	}
+	if got := o.StageSnapshot(obs.ClientCheckout).Count; got != calls {
+		t.Errorf("checkout stage count = %d, want %d", got, calls)
+	}
+	if got := o.StageSnapshot(obs.ClientEncode).Count; got != calls {
+		t.Errorf("encode stage count = %d, want %d (pool-level encode must be marked)", got, calls)
+	}
+	if got := o.Gauge(obs.PoolInflight); got != 0 {
+		t.Errorf("inflight gauge = %d after quiesce, want 0", got)
+	}
+	if hw := o.GaugeHighWater(obs.PoolInflight); hw < 1 || hw > int64(workers) {
+		t.Errorf("inflight high water = %d, want within [1, %d]", hw, workers)
+	}
+}
+
+// Retirement and retry counters: a transport failure retires the connection
+// and the retry lands on a fresh one, each movement observed.
+func TestPoolObserverCountsRetriesAndRetirements(t *testing.T) {
+	o := obs.New()
+	ff := &fakeFactory{}
+	p := New(ff.factory, Config{MaxConns: 1}, WithObserver(o))
+	defer p.Close()
+	ctx := context.Background()
+
+	if _, err := p.Call(ctx, testEnvelope()); err != nil {
+		t.Fatal(err)
+	}
+	first := ff.bindings[0]
+	first.mu.Lock()
+	first.failNext = fmt.Errorf("boom: %w", io.ErrUnexpectedEOF)
+	first.mu.Unlock()
+	if _, err := p.Call(ctx, testEnvelope()); err != nil {
+		t.Fatalf("retry should have recovered: %v", err)
+	}
+	if got := o.Counter(obs.PoolRetries); got != 1 {
+		t.Errorf("retries = %d, want 1", got)
+	}
+	if got := o.Counter(obs.PoolRetirements); got != 1 {
+		t.Errorf("retirements = %d, want 1", got)
+	}
+}
+
+// Breaker transition counters across a full open → probe → close cycle.
+func TestPoolObserverCountsBreakerTransitions(t *testing.T) {
+	o := obs.New()
+	var down bool
+	var mu sync.Mutex
+	factory := func(context.Context) (*core.Engine[core.BXSAEncoding, *fakeBinding], error) {
+		b := &fakeBinding{}
+		mu.Lock()
+		if down {
+			b.failNext = fmt.Errorf("peer down: %w", io.ErrUnexpectedEOF)
+		}
+		mu.Unlock()
+		return core.NewEngine(core.BXSAEncoding{}, b), nil
+	}
+	p := New(factory, Config{
+		MaxConns: 1,
+		Retry:    RetryPolicy{MaxAttempts: 1},
+		Breaker:  BreakerPolicy{Threshold: 2, Cooldown: 1}, // 1ns: probe admitted immediately
+	}, WithObserver(o))
+	defer p.Close()
+	ctx := context.Background()
+
+	mu.Lock()
+	down = true
+	mu.Unlock()
+	// Each engine fails its first receive; Threshold=2 straight failures
+	// trip the breaker open.
+	for i := 0; i < 2; i++ {
+		if _, err := p.Call(ctx, testEnvelope()); err == nil {
+			t.Fatal("call against downed peer succeeded")
+		}
+	}
+	if got := o.Counter(obs.BreakerOpened); got != 1 {
+		t.Fatalf("breaker opened %d times, want 1", got)
+	}
+
+	mu.Lock()
+	down = false
+	mu.Unlock()
+	// Cooldown (1ns) has long passed: the next call is the half-open probe,
+	// and its success closes the circuit.
+	if _, err := p.Call(ctx, testEnvelope()); err != nil {
+		t.Fatalf("probe call failed: %v", err)
+	}
+	if got := o.Counter(obs.BreakerProbes); got != 1 {
+		t.Errorf("breaker probes = %d, want 1", got)
+	}
+	if got := o.Counter(obs.BreakerClosed); got != 1 {
+		t.Errorf("breaker closed = %d, want 1", got)
+	}
+}

@@ -1,0 +1,22 @@
+package svcpool
+
+import "bxsoap/internal/obs"
+
+// Option configures a Pool at New time, mirroring the core options API
+// (core.WithObserver and friends); Config stays the home of numeric tuning,
+// options carry cross-cutting wiring.
+type Option func(*options)
+
+type options struct {
+	obs *obs.Observer
+}
+
+// WithObserver wires an observability sink into the pool: checkout waits
+// land in the client.checkout stage histogram, and retries, retirements,
+// breaker transitions, and the inflight gauge record into the counters.
+// Note the pool does not forward the observer to the engines it dials —
+// the Factory composes engines, so it decides (via core.WithObserver)
+// whether they share this sink.
+func WithObserver(o *obs.Observer) Option {
+	return func(c *options) { c.obs = o }
+}

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"bxsoap/internal/obs"
 )
 
 // RetryPolicy shapes the backoff between attempts of a retrying call.
@@ -90,6 +92,7 @@ const (
 // admitted, and its outcome closes or reopens the circuit.
 type breaker struct {
 	policy BreakerPolicy
+	obs    *obs.Observer
 
 	mu          sync.Mutex
 	state       int
@@ -116,6 +119,7 @@ func (b *breaker) allow() (probe bool, err error) {
 			return false, ErrCircuitOpen
 		}
 		b.state = brkHalfOpen // admit exactly one probe
+		b.obs.Inc(obs.BreakerProbes)
 		return true, nil
 	default: // brkHalfOpen: a probe is already in flight
 		return false, ErrCircuitOpen
@@ -129,6 +133,9 @@ func (b *breaker) success() {
 		return
 	}
 	b.mu.Lock()
+	if b.state != brkClosed {
+		b.obs.Inc(obs.BreakerClosed)
+	}
 	b.state = brkClosed
 	b.consecutive = 0
 	b.mu.Unlock()
@@ -143,6 +150,9 @@ func (b *breaker) failure() {
 	b.mu.Lock()
 	b.consecutive++
 	if b.state == brkHalfOpen || b.consecutive >= b.policy.Threshold {
+		if b.state != brkOpen {
+			b.obs.Inc(obs.BreakerOpened)
+		}
 		b.state = brkOpen
 		b.openedAt = time.Now()
 	}
@@ -160,6 +170,8 @@ func (b *breaker) abandon(probe bool) {
 	}
 	b.mu.Lock()
 	if b.state == brkHalfOpen {
+		// A revert, not a fresh trip: the probe left without a verdict, so
+		// the circuit returns to open without counting a new opening.
 		b.state = brkOpen
 		b.openedAt = time.Now()
 	}

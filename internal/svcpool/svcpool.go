@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"bxsoap/internal/core"
+	"bxsoap/internal/obs"
 )
 
 // Factory dials and composes one fresh engine: the underlying transport
@@ -102,14 +103,19 @@ type Pool[E core.Encoding, B core.Binding] struct {
 	closing  sync.Once
 
 	brk breaker
+	obs *obs.Observer
 
 	dials, reuses, retires, retries, failures, rejected atomic.Uint64
 }
 
 // New builds a pool over factory. Close it when done to release the live
 // connections and the reaper goroutine.
-func New[E core.Encoding, B core.Binding](factory Factory[E, B], cfg Config) *Pool[E, B] {
+func New[E core.Encoding, B core.Binding](factory Factory[E, B], cfg Config, opts ...Option) *Pool[E, B] {
 	cfg = cfg.withDefaults()
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
 	p := &Pool[E, B]{
 		factory:  factory,
 		cfg:      cfg,
@@ -117,7 +123,8 @@ func New[E core.Encoding, B core.Binding](factory Factory[E, B], cfg Config) *Po
 		slots:    make(chan struct{}, cfg.MaxConns),
 		idle:     make(chan *pooled[E, B], cfg.MaxConns),
 		done:     make(chan struct{}),
-		brk:      breaker{policy: cfg.Breaker},
+		brk:      breaker{policy: cfg.Breaker, obs: o.obs},
+		obs:      o.obs,
 	}
 	for i := 0; i < cfg.MaxConns; i++ {
 		p.slots <- struct{}{}
@@ -156,13 +163,16 @@ func (p *Pool[E, B]) call(ctx context.Context, req *core.Envelope, retry bool) (
 		// shares the encoding policy), then replay the same pooled payload on
 		// retries: CallPayload borrows it, so one serialization serves the
 		// whole retry budget. The deferred Release above covers every exit —
-		// success, fault, poisoned connection, exhausted retries.
+		// success, fault, poisoned connection, exhausted retries. The encode
+		// is marked here because CallPayload's own span never sees it.
 		if payload == nil {
+			sp := p.obs.Span()
 			var err error
-			payload, err = core.EncodePayload(eng.Encoding(), req)
+			payload, err = eng.Codec().EncodePayload(req)
 			if err != nil {
 				return fmt.Errorf("svcpool: encode request: %w", err)
 			}
+			sp.Mark(obs.ClientEncode)
 		}
 		var err error
 		resp, err = eng.CallPayload(actx, payload)
@@ -194,11 +204,13 @@ func (p *Pool[E, B]) send(ctx context.Context, req *core.Envelope, retry bool) e
 	}()
 	return p.do(ctx, retry, func(actx context.Context, eng *core.Engine[E, B]) error {
 		if payload == nil {
+			sp := p.obs.Span()
 			var err error
-			payload, err = core.EncodePayload(eng.Encoding(), req)
+			payload, err = eng.Codec().EncodePayload(req)
 			if err != nil {
 				return fmt.Errorf("svcpool: encode request: %w", err)
 			}
+			sp.Mark(obs.ClientEncode)
 		}
 		return eng.SendPayload(actx, payload)
 	})
@@ -215,7 +227,11 @@ func (p *Pool[E, B]) do(ctx context.Context, retry bool, op func(context.Context
 	case <-p.done:
 		return ErrPoolClosed
 	}
-	defer func() { <-p.inflight }()
+	p.obs.GaugeAdd(obs.PoolInflight, 1)
+	defer func() {
+		<-p.inflight
+		p.obs.GaugeAdd(obs.PoolInflight, -1)
+	}()
 
 	attempts := 1
 	if retry && p.cfg.Retry.MaxAttempts > 1 {
@@ -225,6 +241,7 @@ func (p *Pool[E, B]) do(ctx context.Context, retry bool, op func(context.Context
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
 			p.retries.Add(1)
+			p.obs.Inc(obs.PoolRetries)
 			if werr := sleepCtx(ctx, p.cfg.Retry.backoff(i)); werr != nil {
 				return err
 			}
@@ -297,7 +314,11 @@ func (p *Pool[E, B]) attempt(ctx context.Context, op func(context.Context, *core
 		actx, cancel = context.WithTimeout(ctx, p.cfg.CallTimeout)
 		defer cancel()
 	}
+	// The checkout-wait span covers the whole of get: free-list reuse, a
+	// fresh dial, or blocking for a slot under backpressure.
+	sp := p.obs.Span()
 	c, err := p.get(actx)
+	sp.Mark(obs.ClientCheckout)
 	if err != nil {
 		return err
 	}
@@ -394,6 +415,7 @@ func (p *Pool[E, B]) put(c *pooled[E, B]) {
 // replacement may be dialed.
 func (p *Pool[E, B]) retire(c *pooled[E, B]) {
 	p.retires.Add(1)
+	p.obs.Inc(obs.PoolRetirements)
 	c.eng.Close()
 	p.slots <- struct{}{}
 }

@@ -123,7 +123,7 @@ func TestPoisonedConnNeverReissued(t *testing.T) {
 // call must not burn retries, and the connection must stay in the pool.
 func TestFaultIsNotRetried(t *testing.T) {
 	fault := &core.Fault{Code: core.FaultServer, String: "nope"}
-	env, err := core.EncodeToBytes(core.BXSAEncoding{}, fault.Envelope())
+	env, err := core.NewCodec(core.BXSAEncoding{}).EncodeBytes(fault.Envelope())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -587,7 +587,7 @@ func TestNoPayloadLeaksThroughPool(t *testing.T) {
 
 	// SOAP fault path: the response payload decodes to a fault.
 	fault := &core.Fault{Code: core.FaultServer, String: "no"}
-	faultBytes, err := core.EncodeToBytes(core.BXSAEncoding{}, fault.Envelope())
+	faultBytes, err := core.NewCodec(core.BXSAEncoding{}).EncodeBytes(fault.Envelope())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -31,8 +31,32 @@ import (
 	"time"
 
 	"bxsoap/internal/core"
+	"bxsoap/internal/obs"
 	"bxsoap/internal/vls"
 )
+
+// Option configures a Binding or Listener at construction.
+type Option func(*options)
+
+type options struct {
+	obs *obs.Observer
+}
+
+// WithObserver wires an observability sink into the binding: message and
+// payload-byte counters record into it on every frame sent or received
+// (payload bytes, excluding framing overhead). On a Listener the observer
+// propagates to every accepted channel.
+func WithObserver(o *obs.Observer) Option {
+	return func(c *options) { c.obs = o }
+}
+
+func applyOptions(opts []Option) options {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
 
 const (
 	magic0, magic1 = 'B', 'X'
@@ -64,6 +88,7 @@ func NetDialer(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
 type Binding struct {
 	addr string
 	dial Dialer
+	obs  *obs.Observer
 
 	mu       sync.Mutex
 	conn     net.Conn
@@ -74,8 +99,9 @@ type Binding struct {
 }
 
 // New creates a client binding to addr using the given dialer.
-func New(dial Dialer, addr string) *Binding {
-	return &Binding{addr: addr, dial: dial}
+func New(dial Dialer, addr string, opts ...Option) *Binding {
+	o := applyOptions(opts)
+	return &Binding{addr: addr, dial: dial, obs: o.obs}
 }
 
 func (b *Binding) ensure() error {
@@ -141,6 +167,8 @@ func (b *Binding) SendRequest(ctx context.Context, payload *core.Payload, conten
 	if err := writeFrame(b.bw, payload.Bytes(), contentType); err != nil {
 		return b.poison("write frame", err)
 	}
+	b.obs.Inc(obs.MessagesSent)
+	b.obs.Add(obs.BytesSent, uint64(payload.Len()))
 	return nil
 }
 
@@ -174,6 +202,8 @@ func (b *Binding) ReceiveResponse(ctx context.Context) (*core.Payload, string, e
 	if err != nil {
 		return nil, "", b.poison("read frame", err)
 	}
+	b.obs.Inc(obs.MessagesReceived)
+	b.obs.Add(obs.BytesReceived, uint64(payload.Len()))
 	return payload, ct, nil
 }
 
@@ -275,19 +305,23 @@ func (f *frameReader) readFrame(r *bufio.Reader) (*core.Payload, string, error) 
 
 // Listener is the server-side TCP binding.
 type Listener struct {
-	l net.Listener
+	l   net.Listener
+	obs *obs.Observer
 }
 
 // NewListener wraps an already-bound listener (e.g. a netsim-shaped one).
-func NewListener(l net.Listener) *Listener { return &Listener{l: l} }
+func NewListener(l net.Listener, opts ...Option) *Listener {
+	o := applyOptions(opts)
+	return &Listener{l: l, obs: o.obs}
+}
 
 // Listen binds an unshaped TCP listener on addr.
-func Listen(addr string) (*Listener, error) {
+func Listen(addr string, opts ...Option) (*Listener, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, &core.TransportError{Op: "listen", Err: err}
 	}
-	return NewListener(l), nil
+	return NewListener(l, opts...), nil
 }
 
 // Accept implements core.ServerBinding. Accept failures are classified;
@@ -302,6 +336,7 @@ func (s *Listener) Accept() (core.Channel, error) {
 		conn: c,
 		br:   bufio.NewReaderSize(c, 64<<10),
 		bw:   bufio.NewWriterSize(c, 64<<10),
+		obs:  s.obs,
 	}, nil
 }
 
@@ -317,6 +352,7 @@ type channel struct {
 	br   *bufio.Reader
 	bw   *bufio.Writer
 	fr   frameReader
+	obs  *obs.Observer
 }
 
 // ReceiveRequest implements core.Channel. Ownership of the returned payload
@@ -333,6 +369,8 @@ func (c *channel) ReceiveRequest(_ context.Context) (*core.Payload, string, erro
 		}
 		return nil, "", &core.TransportError{Op: "receive request", Err: err}
 	}
+	c.obs.Inc(obs.MessagesReceived)
+	c.obs.Add(obs.BytesReceived, uint64(payload.Len()))
 	return payload, ct, nil
 }
 
@@ -341,11 +379,14 @@ func (c *channel) ReceiveRequest(_ context.Context) (*core.Payload, string, erro
 //
 //paylint:transfers
 func (c *channel) SendResponse(payload *core.Payload, contentType string) error {
+	n := payload.Len()
 	err := writeFrame(c.bw, payload.Bytes(), contentType)
 	payload.Release()
 	if err != nil {
 		return &core.TransportError{Op: "send response", Err: err}
 	}
+	c.obs.Inc(obs.MessagesSent)
+	c.obs.Add(obs.BytesSent, uint64(n))
 	return nil
 }
 

@@ -29,11 +29,11 @@ func TestPropertiesSurviveBothEncodings(t *testing.T) {
 	p := Properties{To: "urn:s", Action: "urn:s/op", MessageID: NewMessageID()}
 	p.Attach(env)
 	for _, enc := range []core.Encoding{core.XMLEncoding{}, core.BXSAEncoding{}} {
-		data, err := core.EncodeToBytes(enc, env)
+		data, err := core.NewCodec(enc).EncodeBytes(env)
 		if err != nil {
 			t.Fatal(err)
 		}
-		back, err := core.DecodeEnvelope(enc, data)
+		back, err := core.NewCodec(enc).DecodeEnvelope(data)
 		if err != nil {
 			t.Fatal(err)
 		}

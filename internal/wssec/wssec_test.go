@@ -23,11 +23,11 @@ func TestSignVerifyRoundTripBothInnerEncodings(t *testing.T) {
 		Secure(core.XMLEncoding{}, key),
 		Secure(core.BXSAEncoding{}, key),
 	} {
-		data, err := core.EncodeToBytes(enc, env)
+		data, err := core.NewCodec(enc).EncodeBytes(env)
 		if err != nil {
 			t.Fatal(err)
 		}
-		back, err := core.DecodeEnvelope(enc, data)
+		back, err := core.NewCodec(enc).DecodeEnvelope(data)
 		if err != nil {
 			t.Fatalf("%s: %v", enc.Name(), err)
 		}
@@ -39,7 +39,7 @@ func TestSignVerifyRoundTripBothInnerEncodings(t *testing.T) {
 
 func TestTamperingDetected(t *testing.T) {
 	enc := Secure(core.BXSAEncoding{}, key)
-	data, err := core.EncodeToBytes(enc, envelope())
+	data, err := core.NewCodec(enc).EncodeBytes(envelope())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func TestTamperingDetected(t *testing.T) {
 }
 
 func TestWrongKeyRejected(t *testing.T) {
-	data, err := core.EncodeToBytes(Secure(core.BXSAEncoding{}, key), envelope())
+	data, err := core.NewCodec(Secure(core.BXSAEncoding{}, key)).EncodeBytes(envelope())
 	if err != nil {
 		t.Fatal(err)
 	}
