@@ -1,0 +1,101 @@
+// Command benchdiff compares two bench artifacts written by
+// `benchharness -exp stages -bench-json FILE` and reports per-combo deltas:
+//
+//	benchdiff -old BENCH_4.json -new BENCH_5.json [-threshold 20]
+//
+// A combo whose ns/op or allocs/op regressed by more than -threshold
+// percent is flagged with a GitHub Actions `::warning::` annotation line,
+// so a CI step diffing the current run against the previous PR's uploaded
+// artifact surfaces regressions on the workflow summary without failing
+// the build (the simulated-network numbers are noisy by design; a human
+// decides).
+//
+// Exit status is 0 even when regressions are found; pass -fail to exit 1
+// instead, for repos that want a hard gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"bxsoap/internal/harness"
+)
+
+func main() {
+	oldPath := flag.String("old", "", "baseline bench JSON (previous PR's artifact)")
+	newPath := flag.String("new", "", "current bench JSON")
+	threshold := flag.Float64("threshold", 20, "regression threshold in percent")
+	fail := flag.Bool("fail", false, "exit non-zero when a regression crosses the threshold")
+	flag.Parse()
+
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: both -old and -new are required")
+		os.Exit(2)
+	}
+	oldRecs, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newRecs, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	base := make(map[string]harness.BenchRecord, len(oldRecs))
+	for _, r := range oldRecs {
+		base[r.Scheme] = r
+	}
+
+	regressed := false
+	for _, cur := range newRecs {
+		prev, ok := base[cur.Scheme]
+		if !ok {
+			fmt.Printf("%-28s (new combo, no baseline)\n", cur.Scheme)
+			continue
+		}
+		dNs := pct(prev.NsPerOp, cur.NsPerOp)
+		dAllocs := pct(int64(prev.AllocsPerOp), int64(cur.AllocsPerOp))
+		dBytes := pct(int64(prev.BytesPerOp), int64(cur.BytesPerOp))
+		fmt.Printf("%-28s ns/op %+.1f%%  allocs/op %+.1f%%  B/op %+.1f%%  (%d → %d ns/op)\n",
+			cur.Scheme, dNs, dAllocs, dBytes, prev.NsPerOp, cur.NsPerOp)
+		if dNs > *threshold {
+			regressed = true
+			fmt.Printf("::warning title=bench regression::%s ns/op regressed %.1f%% (%d → %d)\n",
+				cur.Scheme, dNs, prev.NsPerOp, cur.NsPerOp)
+		}
+		if dAllocs > *threshold {
+			regressed = true
+			fmt.Printf("::warning title=bench regression::%s allocs/op regressed %.1f%% (%d → %d)\n",
+				cur.Scheme, dAllocs, prev.AllocsPerOp, cur.AllocsPerOp)
+		}
+	}
+	if regressed && *fail {
+		os.Exit(1)
+	}
+}
+
+func load(path string) ([]harness.BenchRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []harness.BenchRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return recs, nil
+}
+
+// pct returns the percent change from prev to cur (positive = regression
+// for cost metrics). A zero baseline reports 0 — nothing meaningful to
+// compare against.
+func pct(prev, cur int64) float64 {
+	if prev == 0 {
+		return 0
+	}
+	return 100 * float64(cur-prev) / float64(prev)
+}

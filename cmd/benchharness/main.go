@@ -11,7 +11,9 @@
 //
 // -obs-json FILE additionally dumps the stage experiment's raw observability
 // snapshots (per-combo client+server counters, gauges, stage histograms) as a
-// JSON artifact; CI archives it next to the benchmem output.
+// JSON artifact; CI archives it next to the benchmem output. -bench-json FILE
+// writes the slim machine-readable records (ns/op, B/op, allocs/op, stage
+// means, wait p95) that cmd/benchdiff compares across PR artifacts.
 //
 // Output is one table per experiment with the same rows/series the paper
 // plots. Absolute numbers differ from the 2006 testbed; EXPERIMENTS.md
@@ -37,6 +39,7 @@ func main() {
 	iters := flag.Int("iters", 2, "measured iterations per point (minimum reported)")
 	sizesFlag := flag.String("sizes", "", "comma-separated model sizes overriding the experiment's default sweep")
 	obsJSON := flag.String("obs-json", "", "write the stage experiment's raw observability snapshots to FILE")
+	benchJSON := flag.String("bench-json", "", "write the stage experiment's machine-readable bench records (ns/op, B/op, allocs/op, stage means) to FILE")
 	verbose := flag.Bool("v", false, "print per-point progress")
 	flag.Parse()
 
@@ -161,6 +164,16 @@ func main() {
 					return err
 				}
 				fmt.Fprintf(os.Stderr, "benchharness: wrote observability snapshots to %s\n", *obsJSON)
+			}
+			if *benchJSON != "" {
+				data, err := json.MarshalIndent(harness.BenchRecords(results), "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*benchJSON, append(data, '\n'), 0o644); err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "benchharness: wrote bench records to %s\n", *benchJSON)
 			}
 			return nil
 		})

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"bxsoap/internal/core"
 	"bxsoap/internal/dataset"
 	"bxsoap/internal/httpbind"
+	"bxsoap/internal/obs"
 	"bxsoap/internal/svcpool"
 	"bxsoap/internal/tcpbind"
 )
@@ -32,6 +34,7 @@ func main() {
 	conns := flag.Int("conns", 1, "max pooled connections to the server")
 	inflight := flag.Int("inflight", 0, "max concurrent in-flight calls (default: same as -conns)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-call deadline")
+	trace := flag.Bool("trace", false, "record request traces and print the last call's trace tree")
 	flag.Parse()
 
 	if *conns <= 0 {
@@ -40,11 +43,23 @@ func main() {
 	if *inflight <= 0 {
 		*inflight = *conns
 	}
+	// With -trace the pool runs under an observer carrying a flight
+	// recorder: every call starts a client hop, stamps the trace header
+	// onto the wire (so the server and any intermediary join the same
+	// trace), and lands in the recorder. Without it the observer is nil
+	// and the whole trace path is dormant.
+	var o *obs.Observer
+	if *trace {
+		o = obs.New(
+			obs.WithNode("soapclient"),
+			obs.WithRecorder(obs.NewRecorder(obs.RecorderConfig{})),
+		)
+	}
 	pool, err := buildPool(*encoding, *transport, *addr, svcpool.Config{
 		MaxConns:    *conns,
 		MaxInflight: *inflight,
 		CallTimeout: *timeout,
-	})
+	}, o)
 	if err != nil {
 		log.Fatalf("soapclient: %v", err)
 	}
@@ -109,6 +124,18 @@ func main() {
 		best, float64(ok)/elapsed.Seconds(), float64(ok)*float64(*n)/elapsed.Seconds())
 	fmt.Printf("pool: dials=%d reuses=%d retires=%d retries=%d failures=%d\n",
 		st.Dials, st.Reuses, st.Retires, st.Retries, st.Failures)
+
+	if *trace {
+		// The client's own view of the last call; a server/proxy running
+		// their own recorders expose their hops of the same trace ID at
+		// /trace/recent on their admin endpoints.
+		trees := o.Recorder().Recent(1)
+		if len(trees) == 0 {
+			fmt.Println("trace: none recorded")
+			return
+		}
+		obs.FprintTrace(os.Stdout, trees[0])
+	}
 }
 
 // pooledCaller is the composition-erased view of svcpool.Pool the main
@@ -120,25 +147,27 @@ type pooledCaller interface {
 }
 
 // buildPool composes the pooled engine for an encoding/transport pair —
-// each case monomorphizes its own Pool[E, B], same as the engines.
-func buildPool(encoding, transport, addr string, cfg svcpool.Config) (pooledCaller, error) {
+// each case monomorphizes its own Pool[E, B], same as the engines. A nil
+// observer leaves the whole observability path dormant (the nil-sink
+// contract); a non-nil one threads through pool, engine, and binding.
+func buildPool(encoding, transport, addr string, cfg svcpool.Config, o *obs.Observer) (pooledCaller, error) {
 	switch {
 	case encoding == "bxsa" && transport == "tcp":
 		return svcpool.New(func(context.Context) (*core.Engine[core.BXSAEncoding, *tcpbind.Binding], error) {
-			return core.NewEngine(core.BXSAEncoding{}, tcpbind.New(tcpbind.NetDialer, addr)), nil
-		}, cfg), nil
+			return core.NewEngine(core.BXSAEncoding{}, tcpbind.New(tcpbind.NetDialer, addr, tcpbind.WithObserver(o)), core.WithObserver(o)), nil
+		}, cfg, svcpool.WithObserver(o)), nil
 	case encoding == "xml" && transport == "tcp":
 		return svcpool.New(func(context.Context) (*core.Engine[core.XMLEncoding, *tcpbind.Binding], error) {
-			return core.NewEngine(core.XMLEncoding{}, tcpbind.New(tcpbind.NetDialer, addr)), nil
-		}, cfg), nil
+			return core.NewEngine(core.XMLEncoding{}, tcpbind.New(tcpbind.NetDialer, addr, tcpbind.WithObserver(o)), core.WithObserver(o)), nil
+		}, cfg, svcpool.WithObserver(o)), nil
 	case encoding == "bxsa" && transport == "http":
 		return svcpool.New(func(context.Context) (*core.Engine[core.BXSAEncoding, *httpbind.Binding], error) {
-			return core.NewEngine(core.BXSAEncoding{}, httpbind.New(nil, "http://"+addr+"/soap")), nil
-		}, cfg), nil
+			return core.NewEngine(core.BXSAEncoding{}, httpbind.New(nil, "http://"+addr+"/soap", httpbind.WithObserver(o)), core.WithObserver(o)), nil
+		}, cfg, svcpool.WithObserver(o)), nil
 	case encoding == "xml" && transport == "http":
 		return svcpool.New(func(context.Context) (*core.Engine[core.XMLEncoding, *httpbind.Binding], error) {
-			return core.NewEngine(core.XMLEncoding{}, httpbind.New(nil, "http://"+addr+"/soap")), nil
-		}, cfg), nil
+			return core.NewEngine(core.XMLEncoding{}, httpbind.New(nil, "http://"+addr+"/soap", httpbind.WithObserver(o)), core.WithObserver(o)), nil
+		}, cfg, svcpool.WithObserver(o)), nil
 	default:
 		return nil, fmt.Errorf("unknown combination %s/%s", encoding, transport)
 	}

@@ -88,7 +88,7 @@ func main() {
 	poolConns := flag.Int("pool-conns", 4, "max pooled connections to the backend")
 	poolInflight := flag.Int("pool-inflight", 0, "max concurrent backend calls (default: 2×pool-conns)")
 	poolTimeout := flag.Duration("pool-timeout", 30*time.Second, "per-relay backend deadline")
-	adminAddr := flag.String("admin", "", "serve /metrics (observability snapshot JSON) and /debug/pprof on this address")
+	adminAddr := flag.String("admin", "", "serve /metrics, /trace/recent, /trace/slow, /events and /debug/pprof on this address")
 	flag.Parse()
 
 	up, err := parseEndpoint(*listenFlag)
@@ -107,7 +107,14 @@ func main() {
 	// One process-wide observer covers both hops: the up-link server and
 	// binding, the down-link pool, its engines and bindings, and the shared
 	// payload pool. A single snapshot therefore shows the whole relay path.
-	o := obs.New()
+	// The always-on flight recorder joins each relayed request's up-link
+	// server hop and down-link client hop into one trace entry, correlated
+	// over the wire with the client's and backend's hops by the propagated
+	// trace ID.
+	o := obs.New(
+		obs.WithNode("soapproxy"),
+		obs.WithRecorder(obs.NewRecorder(obs.RecorderConfig{})),
+	)
 	core.SetPayloadObserver(o)
 
 	downEnc := encodingFor(down.encoding, key)
@@ -181,7 +188,7 @@ func main() {
 				log.Printf("soapproxy: admin endpoint: %v", err)
 			}
 		}()
-		fmt.Printf("soapproxy: admin endpoint (metrics, pprof) on http://%s\n", al.Addr())
+		fmt.Printf("soapproxy: admin endpoint (metrics, traces, events, pprof) on http://%s\n", al.Addr())
 	}
 
 	fmt.Printf("soapproxy: %s/%s on %s → %s/%s at %s (signed=%v)\n",

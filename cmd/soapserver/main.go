@@ -31,7 +31,7 @@ func main() {
 	encoding := flag.String("encoding", "bxsa", "message encoding: bxsa or xml")
 	transport := flag.String("transport", "tcp", "transport binding: tcp or http")
 	addr := flag.String("addr", "127.0.0.1:8701", "listen address")
-	adminAddr := flag.String("admin", "", "serve /metrics (observability snapshot JSON) and /debug/pprof on this address")
+	adminAddr := flag.String("admin", "", "serve /metrics, /trace/recent, /trace/slow, /events and /debug/pprof on this address")
 	flag.Parse()
 
 	handler := func(_ context.Context, req *core.Envelope) (*core.Envelope, error) {
@@ -58,8 +58,14 @@ func main() {
 	}
 
 	// One process-wide observer: server dispatch, the transport binding, and
-	// the payload pool all report into it; -admin exposes the rollup.
-	o := obs.New()
+	// the payload pool all report into it; -admin exposes the rollup. The
+	// always-on flight recorder keeps the most recent / slowest request
+	// traces (joined by the wire-propagated trace ID) and the event journal
+	// bounded in memory, served at /trace/recent, /trace/slow, /events.
+	o := obs.New(
+		obs.WithNode("soapserver"),
+		obs.WithRecorder(obs.NewRecorder(obs.RecorderConfig{})),
+	)
 	core.SetPayloadObserver(o)
 	errLog := log.New(os.Stderr, "soapserver: ", log.LstdFlags)
 	srvOpts := []core.ServerOption{core.WithObserver(o), core.WithErrorLog(errLog)}
@@ -91,7 +97,7 @@ func main() {
 				errLog.Printf("admin endpoint: %v", err)
 			}
 		}()
-		fmt.Printf("soapserver: admin endpoint (metrics, pprof) on http://%s\n", al.Addr())
+		fmt.Printf("soapserver: admin endpoint (metrics, traces, events, pprof) on http://%s\n", al.Addr())
 	}
 
 	fmt.Printf("soapserver: %s over %s listening on %s\n", *encoding, *transport, l.Addr())

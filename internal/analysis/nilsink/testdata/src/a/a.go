@@ -1,7 +1,7 @@
 // Package a is a nilsink corpus: sink types whose exported methods must
 // survive a nil receiver.
 //
-//paylint:nil-sink Sink Probe
+//paylint:nil-sink Sink Probe Journal Leg
 package a
 
 // Sink mirrors obs.Observer: a metrics sink held as a nil-by-default field.
@@ -61,6 +61,51 @@ func (p *Probe) Mark() {
 }
 
 func (p *Probe) Touch() { p.s.n++ } // want `Probe\.Touch never nil-checks its receiver`
+
+// Journal mirrors obs.Recorder: a flight-recorder ring reached through a
+// nil-by-default observer, so its query surface must tolerate nil too.
+type Journal struct {
+	entries []int64
+	dropped uint64
+}
+
+// Recent is properly guarded.
+func (j *Journal) Recent(n int) []int64 {
+	if j == nil {
+		return nil
+	}
+	if n <= 0 || n > len(j.entries) {
+		n = len(j.entries)
+	}
+	return j.entries[len(j.entries)-n:]
+}
+
+// Dropped guards with the operands reversed.
+func (j *Journal) Dropped() uint64 {
+	if nil == j {
+		return 0
+	}
+	return j.dropped
+}
+
+func (j *Journal) Append(v int64) { j.entries = append(j.entries, v) } // want `Journal\.Append never nil-checks its receiver`
+
+// Leg mirrors obs.Hop: per-request trace state handed out as nil when
+// tracing is disabled, then mutated through the whole call path.
+type Leg struct {
+	seq int
+	err string
+}
+
+// Bind is properly guarded.
+func (l *Leg) Bind(seq int) {
+	if l == nil {
+		return
+	}
+	l.seq = seq
+}
+
+func (l *Leg) SetError(msg string) { l.err = msg } // want `Leg\.SetError never nil-checks its receiver`
 
 // Other types in the same package are not sinks.
 type plain struct{ n int }

@@ -52,17 +52,26 @@ func (e *Engine[E, B]) Observer() *obs.Observer { return e.obs }
 // Call performs the request-response message exchange pattern. If the peer
 // responds with a SOAP fault, Call returns it as the error (of type
 // *Fault) alongside the decoded envelope.
+//
+// With tracing enabled (an Observer carrying a Recorder), Call records a
+// client hop and stamps the outgoing envelope with the trace header block
+// — continuing the envelope's trace when it already carries one, else
+// rooting a new trace here.
 func (e *Engine[E, B]) Call(ctx context.Context, req *Envelope) (*Envelope, error) {
-	sp := e.obs.Span()
+	req, hop := BeginClientTrace(e.obs, req)
+	sp := e.obs.SpanWith(hop)
 	p, err := e.codec.EncodePayload(req)
 	if err != nil {
 		e.obs.Inc(obs.CallsStarted)
 		e.obs.Inc(obs.CallsFailed)
+		e.obs.FinishHop(hop, err)
 		return nil, fmt.Errorf("soap: encode request: %w", err)
 	}
 	sp.Mark(obs.ClientEncode)
 	defer p.Release()
-	return e.callPayload(ctx, p, sp)
+	resp, err := e.callPayload(ctx, p, sp)
+	e.obs.FinishHop(hop, err)
+	return resp, err
 }
 
 // CallPayload performs the request-response exchange with an already
@@ -70,9 +79,18 @@ func (e *Engine[E, B]) Call(ctx context.Context, req *Envelope) (*Envelope, erro
 // ownership, so pooled requests can be reused across retries (svcpool
 // encodes once and replays the same payload on each attempt).
 //
+// The caller that encoded the payload owns the trace hop (it saw the
+// envelope; the engine sees only bytes) and threads it via
+// obs.ContextWithHop; the engine's stage marks then accumulate into it.
+// The ctx lookup is gated on Tracing so the disabled path stays free.
+//
 //paylint:borrows
 func (e *Engine[E, B]) CallPayload(ctx context.Context, req *Payload) (*Envelope, error) {
-	return e.callPayload(ctx, req, e.obs.Span())
+	var hop *obs.Hop
+	if e.obs.Tracing() {
+		hop = obs.HopFromContext(ctx)
+	}
+	return e.callPayload(ctx, req, e.obs.SpanWith(hop))
 }
 
 // callPayload runs the exchange under an in-progress span (whose clock was
@@ -125,16 +143,20 @@ func (e *Engine[E, B]) callPayload(ctx context.Context, req *Payload, sp obs.Spa
 // errors come back as *TransportError, so retry logic can tell the two
 // apart. Non-fault acknowledgement payloads are drained without decoding.
 func (e *Engine[E, B]) Send(ctx context.Context, req *Envelope) error {
-	sp := e.obs.Span()
+	req, hop := BeginClientTrace(e.obs, req)
+	sp := e.obs.SpanWith(hop)
 	p, err := e.codec.EncodePayload(req)
 	if err != nil {
 		e.obs.Inc(obs.CallsStarted)
 		e.obs.Inc(obs.CallsFailed)
+		e.obs.FinishHop(hop, err)
 		return fmt.Errorf("soap: encode request: %w", err)
 	}
 	sp.Mark(obs.ClientEncode)
 	defer p.Release()
-	return e.sendPayload(ctx, p, sp)
+	err = e.sendPayload(ctx, p, sp)
+	e.obs.FinishHop(hop, err)
+	return err
 }
 
 // SendPayload performs the one-way exchange with an already serialized
@@ -142,7 +164,11 @@ func (e *Engine[E, B]) Send(ctx context.Context, req *Envelope) error {
 //
 //paylint:borrows
 func (e *Engine[E, B]) SendPayload(ctx context.Context, req *Payload) error {
-	return e.sendPayload(ctx, req, e.obs.Span())
+	var hop *obs.Hop
+	if e.obs.Tracing() {
+		hop = obs.HopFromContext(ctx)
+	}
+	return e.sendPayload(ctx, req, e.obs.SpanWith(hop))
 }
 
 //paylint:borrows

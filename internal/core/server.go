@@ -161,7 +161,12 @@ func (s *Server[E, B]) serveChannel(ch Channel) error {
 	// so a long-running handler sees shutdown instead of outliving it.
 	ctx := s.ctx
 	for {
-		sp := s.obs.Span()
+		// The server hop starts before the read: the trace context arrives
+		// inside the request, so dispatch binds it after decode. A hop whose
+		// read fails (channel closed, peer gone) is abandoned unrecorded —
+		// no request was handled.
+		hop := s.obs.StartHop(obs.RoleServer)
+		sp := s.obs.SpanWith(hop)
 		payload, ct, err := ch.ReceiveRequest(ctx)
 		sp.Mark(obs.ServerReceive)
 		if err != nil {
@@ -170,26 +175,29 @@ func (s *Server[E, B]) serveChannel(ch Channel) error {
 			}
 			return err
 		}
-		resp := s.dispatch(ctx, payload.Bytes(), ct, &sp)
+		resp := s.dispatch(ctx, payload.Bytes(), ct, &sp, hop)
 		payload.Release()
 		out, err := s.codec.EncodePayload(resp)
 		sp.Mark(obs.ServerEncode)
 		if err != nil {
+			s.obs.FinishHop(hop, err)
 			return fmt.Errorf("encode response: %w", err)
 		}
 		// SendResponse takes ownership of out and releases it when written.
 		if err := ch.SendResponse(out, s.codec.ContentType()); err != nil {
 			sp.Mark(obs.ServerSend)
+			s.obs.FinishHop(hop, err)
 			return fmt.Errorf("send response: %w", err)
 		}
 		sp.Mark(obs.ServerSend)
+		s.obs.FinishHop(hop, nil)
 	}
 }
 
 // dispatch decodes, enforces mustUnderstand, runs the handler, and converts
 // errors to faults. It never fails: protocol problems become fault
 // envelopes, which is what a SOAP node owes its peer.
-func (s *Server[E, B]) dispatch(ctx context.Context, payload []byte, ct string, sp *obs.Span) *Envelope {
+func (s *Server[E, B]) dispatch(ctx context.Context, payload []byte, ct string, sp *obs.Span, hop *obs.Hop) *Envelope {
 	s.obs.Inc(obs.ServerRequests)
 	if err := CheckContentType(s.codec.Encoding(), ct); err != nil {
 		sp.Mark(obs.ServerDecode)
@@ -202,6 +210,9 @@ func (s *Server[E, B]) dispatch(ctx context.Context, payload []byte, ct string, 
 		s.obs.Inc(obs.ServerFaults)
 		return (&Fault{Code: FaultClient, String: fmt.Sprintf("cannot decode request: %v", err)}).Envelope()
 	}
+	// The wire trace context (when the client sent one) places this hop on
+	// the request path; an unbound hop self-roots at FinishHop.
+	BindServerTrace(hop, req)
 	for _, h := range req.HeaderEntries {
 		el, ok := h.(bxdm.ElementNode)
 		if !ok || !mustUnderstand(el) {

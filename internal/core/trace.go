@@ -1,0 +1,79 @@
+package core
+
+import (
+	"bxsoap/internal/bxdm"
+	"bxsoap/internal/obs"
+	"bxsoap/internal/tracehdr"
+)
+
+// Request tracing, envelope side. The obs package owns trace state and the
+// flight recorder; internal/tracehdr owns the header block's wire form;
+// this file ties the two to the Envelope so both the engine's Call/Send and
+// svcpool's encode-once path start and propagate traces the same way.
+
+// TraceContextOf extracts the wire trace context from env's header block.
+// It reports false when the block is absent or malformed — either way the
+// receiver starts from its own context.
+func TraceContextOf(env *Envelope) (obs.TraceContext, bool) {
+	h := env.Header(tracehdr.HeaderName())
+	if h == nil {
+		return obs.TraceContext{}, false
+	}
+	tc, err := tracehdr.Parse(h)
+	if err != nil {
+		return obs.TraceContext{}, false
+	}
+	return tc, true
+}
+
+// TracedRequest returns env carrying tc as its trace header block,
+// replacing any block already present (the relay case must not leave the
+// stale upstream block shadowing the new one). The input envelope is never
+// mutated: request envelopes are routinely shared across goroutines and
+// reused across calls, so the header list is copy-on-write; body children
+// are shared with the original.
+func TracedRequest(env *Envelope, tc obs.TraceContext) *Envelope {
+	out := &Envelope{BodyChildren: env.BodyChildren}
+	out.HeaderEntries = make([]bxdm.Node, 0, len(env.HeaderEntries)+1)
+	for _, h := range env.HeaderEntries {
+		if el, ok := h.(bxdm.ElementNode); ok && el.ElemName().Matches(tracehdr.HeaderName()) {
+			continue
+		}
+		out.HeaderEntries = append(out.HeaderEntries, h)
+	}
+	out.HeaderEntries = append(out.HeaderEntries, tracehdr.Node(tc))
+	return out
+}
+
+// BeginClientTrace starts the client hop for an outgoing request and stamps
+// the envelope with the context addressed to the next node. An envelope
+// already carrying a trace block (an intermediary relaying a traced
+// request) continues that trace — this hop takes the received sequence plus
+// one; otherwise a fresh trace is rooted here at sequence zero. With
+// tracing disabled (no recorder on o, or o nil) it returns env unchanged
+// and a nil hop, and performs no allocation.
+func BeginClientTrace(o *obs.Observer, env *Envelope) (*Envelope, *obs.Hop) {
+	if !o.Tracing() {
+		return env, nil
+	}
+	hop := o.StartHop(obs.RoleClient)
+	var own obs.TraceContext
+	if found, ok := TraceContextOf(env); ok {
+		own = found.Next()
+	} else {
+		own = obs.TraceContext{ID: obs.NewTraceID(), Seq: 0}
+	}
+	hop.Bind(own)
+	return TracedRequest(env, own.Next()), hop
+}
+
+// BindServerTrace binds a decoded request's wire trace context (if any)
+// to the server hop. Nil-safe on both sides.
+func BindServerTrace(hop *obs.Hop, req *Envelope) {
+	if hop == nil {
+		return
+	}
+	if tc, ok := TraceContextOf(req); ok {
+		hop.Bind(tc)
+	}
+}

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"text/tabwriter"
 	"time"
 
@@ -31,8 +32,23 @@ type StageResult struct {
 	Handler time.Duration `json:"handler_ns"`
 	Decode  time.Duration `json:"decode_ns"`
 	Total   time.Duration `json:"total_ns"`
-	Client  *obs.Snapshot `json:"client"`
-	Server  *obs.Snapshot `json:"server"`
+	// WaitP50/P95/P99 are tail quantiles of the client wait stage (the
+	// wire round trip plus server processing) — the stage that dominates
+	// client-visible latency variance.
+	WaitP50 time.Duration `json:"wait_p50_ns"`
+	WaitP95 time.Duration `json:"wait_p95_ns"`
+	WaitP99 time.Duration `json:"wait_p99_ns"`
+	// NsPerOp/BytesPerOp/AllocsPerOp are whole-process per-call costs of
+	// the measured loop (wall time and heap churn via runtime.MemStats) —
+	// the machine-readable numbers the CI bench artifact diffs across PRs.
+	NsPerOp     int64         `json:"ns_per_op"`
+	BytesPerOp  uint64        `json:"bytes_per_op"`
+	AllocsPerOp uint64        `json:"allocs_per_op"`
+	Client      *obs.Snapshot `json:"client"`
+	Server      *obs.Snapshot `json:"server"`
+	// Trace is one joined client+server trace of this combo's final call,
+	// from the run's shared flight recorder.
+	Trace *obs.TraceTree `json:"trace,omitempty"`
 }
 
 // StageConfig parameterizes a breakdown run.
@@ -67,7 +83,12 @@ func StageBreakdown(cfg StageConfig) ([]StageResult, error) {
 	m := dataset.Generate(cfg.ModelSize)
 	out := make([]StageResult, 0, len(combos))
 	for _, c := range combos {
-		cliObs, srvObs := obs.New(), obs.New()
+		// One flight recorder shared by both sides: the client hop and the
+		// server hop of each call carry the same wire-propagated trace ID,
+		// so the recorder joins them into one two-hop tree per call.
+		rec := obs.NewRecorder(obs.RecorderConfig{})
+		cliObs := obs.New(obs.WithNode("client"), obs.WithRecorder(rec))
+		srvObs := obs.New(obs.WithNode("server"), obs.WithRecorder(rec))
 		nw := netsim.New(cfg.Profile, netsim.WithObserver(cliObs))
 		u := NewUnified(c.encoding, c.transport)
 		u.ClientObs, u.ServerObs = cliObs, srvObs
@@ -82,6 +103,10 @@ func StageBreakdown(cfg StageConfig) ([]StageResult, error) {
 		}
 		cliObs.Reset()
 		srvObs.Reset()
+		runtime.GC()
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		t0 := time.Now()
 		for i := 0; i < cfg.Calls; i++ {
 			verified, err := u.Invoke(m)
 			if err != nil {
@@ -93,7 +118,15 @@ func StageBreakdown(cfg StageConfig) ([]StageResult, error) {
 				return nil, fmt.Errorf("%s: call %d verified %d of %d", u.Name(), i, verified, cfg.ModelSize)
 			}
 		}
+		elapsed := time.Since(t0)
+		runtime.ReadMemStats(&ms1)
 		r := deriveStages(u.Name(), cliObs, srvObs)
+		r.NsPerOp = elapsed.Nanoseconds() / int64(cfg.Calls)
+		r.BytesPerOp = (ms1.TotalAlloc - ms0.TotalAlloc) / uint64(cfg.Calls)
+		r.AllocsPerOp = (ms1.Mallocs - ms0.Mallocs) / uint64(cfg.Calls)
+		if trees := rec.Recent(1); len(trees) > 0 {
+			r.Trace = trees[0]
+		}
 		if cfg.Progress != nil {
 			fmt.Fprintf(cfg.Progress, "%-28s encode=%-10v wire=%-10v handler=%-10v decode=%-10v total=%v\n",
 				r.Scheme, r.Encode, r.Wire, r.Handler, r.Decode, r.Total)
@@ -110,6 +143,7 @@ func deriveStages(name string, cli, srv *obs.Observer) StageResult {
 	mean := func(o *obs.Observer, st obs.Stage) time.Duration {
 		return o.StageSnapshot(st).Mean()
 	}
+	wait := cli.StageSnapshot(obs.ClientWait)
 	r := StageResult{
 		Scheme:  name,
 		Calls:   cli.Counter(obs.CallsStarted),
@@ -118,8 +152,11 @@ func deriveStages(name string, cli, srv *obs.Observer) StageResult {
 		Handler: mean(srv, obs.ServerHandler),
 		Total: mean(cli, obs.ClientEncode) + mean(cli, obs.ClientSend) +
 			mean(cli, obs.ClientWait) + mean(cli, obs.ClientDecode),
-		Client: cli.Snapshot(),
-		Server: srv.Snapshot(),
+		WaitP50: wait.Quantile(0.50),
+		WaitP95: wait.Quantile(0.95),
+		WaitP99: wait.Quantile(0.99),
+		Client:  cli.Snapshot(),
+		Server:  srv.Snapshot(),
 	}
 	if wire := r.Total - r.Encode - r.Decode - r.Handler; wire > 0 {
 		r.Wire = wire
@@ -128,14 +165,55 @@ func deriveStages(name string, cli, srv *obs.Observer) StageResult {
 }
 
 // PrintStageBreakdown renders the per-stage latency table (values in µs).
+// The wait quantiles are the client wait stage's p50/p95/p99 (histogram
+// bucket upper bounds, so conservative to a factor of two).
 func PrintStageBreakdown(w io.Writer, results []StageResult) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "scheme\tcalls\tencode (µs)\twire (µs)\thandler (µs)\tdecode (µs)\ttotal (µs)")
+	fmt.Fprintln(tw, "scheme\tcalls\tencode (µs)\twire (µs)\thandler (µs)\tdecode (µs)\ttotal (µs)\twait p50\twait p95\twait p99")
 	for _, r := range results {
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\n",
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
 			r.Scheme, r.Calls,
 			r.Encode.Microseconds(), r.Wire.Microseconds(), r.Handler.Microseconds(),
-			r.Decode.Microseconds(), r.Total.Microseconds())
+			r.Decode.Microseconds(), r.Total.Microseconds(),
+			r.WaitP50.Microseconds(), r.WaitP95.Microseconds(), r.WaitP99.Microseconds())
 	}
 	tw.Flush()
+}
+
+// BenchRecord is the slim per-combo line of the CI bench artifact
+// (BENCH_<pr>.json): the per-op costs plus the stage means, flattened for
+// diffing across PRs by cmd/benchdiff.
+type BenchRecord struct {
+	Scheme      string `json:"scheme"`
+	Calls       uint64 `json:"calls"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	BytesPerOp  uint64 `json:"bytes_per_op"`
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	EncodeNs    int64  `json:"encode_ns"`
+	WireNs      int64  `json:"wire_ns"`
+	HandlerNs   int64  `json:"handler_ns"`
+	DecodeNs    int64  `json:"decode_ns"`
+	TotalNs     int64  `json:"total_ns"`
+	WaitP95Ns   int64  `json:"wait_p95_ns"`
+}
+
+// BenchRecords flattens stage results into bench artifact records.
+func BenchRecords(results []StageResult) []BenchRecord {
+	out := make([]BenchRecord, 0, len(results))
+	for _, r := range results {
+		out = append(out, BenchRecord{
+			Scheme:      r.Scheme,
+			Calls:       r.Calls,
+			NsPerOp:     r.NsPerOp,
+			BytesPerOp:  r.BytesPerOp,
+			AllocsPerOp: r.AllocsPerOp,
+			EncodeNs:    int64(r.Encode),
+			WireNs:      int64(r.Wire),
+			HandlerNs:   int64(r.Handler),
+			DecodeNs:    int64(r.Decode),
+			TotalNs:     int64(r.Total),
+			WaitP95Ns:   int64(r.WaitP95),
+		})
+	}
+	return out
 }

@@ -1,0 +1,204 @@
+package harness
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"bxsoap/internal/core"
+	"bxsoap/internal/dataset"
+	"bxsoap/internal/netsim"
+	"bxsoap/internal/obs"
+	"bxsoap/internal/svcpool"
+	"bxsoap/internal/tcpbind"
+)
+
+// traceTestbed is an in-process client → proxy → server deployment over a
+// shaped netsim network, mirroring cmd/soapproxy's wiring: the proxy
+// accepts XML/TCP up-link traffic and relays it to a BXSA/TCP backend
+// through an svcpool down-link. All three nodes share one flight recorder
+// (distinguished by node labels), so the per-node hops of a call join into
+// a single tree exactly as separate processes' recorders would each see
+// their slice of the same wire trace ID.
+type traceTestbed struct {
+	rec  *obs.Recorder
+	pool *svcpool.Pool[core.XMLEncoding, *tcpbind.Binding]
+
+	closers []func() error
+}
+
+func newTraceTestbed(t *testing.T, nw *netsim.Network) *traceTestbed {
+	t.Helper()
+	rec := obs.NewRecorder(obs.RecorderConfig{})
+	cliObs := obs.New(obs.WithNode("client"), obs.WithRecorder(rec))
+	prxObs := obs.New(obs.WithNode("proxy"), obs.WithRecorder(rec))
+	srvObs := obs.New(obs.WithNode("server"), obs.WithRecorder(rec))
+
+	tb := &traceTestbed{rec: rec}
+
+	// Backend: the unified verification service, BXSA over TCP.
+	bl, err := nw.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("backend listen: %v", err)
+	}
+	backend := core.NewServer(core.BXSAEncoding{}, tcpbind.NewListener(bl, tcpbind.WithObserver(srvObs)),
+		unifiedHandler, core.WithObserver(srvObs))
+	go backend.Serve()
+	tb.closers = append(tb.closers, backend.Close)
+
+	// Proxy: XML/TCP up-link, relaying through a pooled BXSA/TCP down-link
+	// (CallOnce — relays are not assumed idempotent, as in cmd/soapproxy).
+	backendAddr := bl.Addr().String()
+	downPool := svcpool.New(func(context.Context) (*core.Engine[core.BXSAEncoding, *tcpbind.Binding], error) {
+		return core.NewEngine(core.BXSAEncoding{},
+			tcpbind.New(nw.Dial, backendAddr, tcpbind.WithObserver(prxObs)),
+			core.WithObserver(prxObs)), nil
+	}, svcpool.Config{MaxConns: 2}, svcpool.WithObserver(prxObs))
+	tb.closers = append(tb.closers, downPool.Close)
+	relay := func(ctx context.Context, req *core.Envelope) (*core.Envelope, error) {
+		return downPool.CallOnce(ctx, req)
+	}
+	pl, err := nw.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("proxy listen: %v", err)
+	}
+	proxy := core.NewServer(core.XMLEncoding{}, tcpbind.NewListener(pl, tcpbind.WithObserver(prxObs)),
+		relay, core.WithObserver(prxObs))
+	go proxy.Serve()
+	tb.closers = append(tb.closers, proxy.Close)
+
+	// Client: pooled XML/TCP to the proxy.
+	proxyAddr := pl.Addr().String()
+	tb.pool = svcpool.New(func(context.Context) (*core.Engine[core.XMLEncoding, *tcpbind.Binding], error) {
+		return core.NewEngine(core.XMLEncoding{},
+			tcpbind.New(nw.Dial, proxyAddr, tcpbind.WithObserver(cliObs)),
+			core.WithObserver(cliObs)), nil
+	}, svcpool.Config{MaxConns: 2}, svcpool.WithObserver(cliObs))
+	tb.closers = append(tb.closers, tb.pool.Close)
+	return tb
+}
+
+func (tb *traceTestbed) close() {
+	for _, c := range tb.closers {
+		c()
+	}
+}
+
+// TestTraceJoinsClientProxyServer is the end-to-end acceptance test for
+// wire-propagated tracing: one call through the relay path must yield ONE
+// joined trace — a single trace ID on every hop, the four hops in path
+// order (client 0, proxy server 1, proxy client 2, backend server 3), each
+// hop carrying its own stage spans, and netsim-shaped wire time attributed
+// to each client hop.
+func TestTraceJoinsClientProxyServer(t *testing.T) {
+	nw := netsim.New(netsim.LAN)
+	tb := newTraceTestbed(t, nw)
+	defer tb.close()
+
+	m := dataset.Generate(64)
+	resp, err := tb.pool.Call(context.Background(), core.NewEnvelope(m.Element()))
+	if err != nil {
+		t.Fatalf("call through proxy: %v", err)
+	}
+	verified, err := parseReply(resp)
+	if err != nil {
+		t.Fatalf("reply: %v", err)
+	}
+	if verified != m.Verify() {
+		t.Fatalf("verified %d, want %d", verified, m.Verify())
+	}
+
+	trees := tb.rec.Recent(0)
+	if len(trees) != 1 {
+		t.Fatalf("recorder holds %d traces, want 1 joined trace (IDs split?)", len(trees))
+	}
+	tree := trees[0]
+	if tree.Hops != 4 {
+		t.Fatalf("trace has %d hops, want 4 (client, proxy↑, proxy↓, server)", tree.Hops)
+	}
+	if _, err := obs.ParseTraceID(tree.ID); err != nil {
+		t.Fatalf("trace ID %q: %v", tree.ID, err)
+	}
+
+	want := []struct {
+		node, role string
+		stages     []obs.Stage
+	}{
+		{"client", obs.RoleClient, []obs.Stage{obs.ClientEncode, obs.ClientCheckout, obs.ClientSend, obs.ClientWait, obs.ClientDecode}},
+		{"proxy", obs.RoleServer, []obs.Stage{obs.ServerReceive, obs.ServerDecode, obs.ServerHandler, obs.ServerEncode, obs.ServerSend}},
+		{"proxy", obs.RoleClient, []obs.Stage{obs.ClientEncode, obs.ClientCheckout, obs.ClientSend, obs.ClientWait, obs.ClientDecode}},
+		{"server", obs.RoleServer, []obs.Stage{obs.ServerReceive, obs.ServerDecode, obs.ServerHandler, obs.ServerEncode, obs.ServerSend}},
+	}
+	n := tree.Root
+	for seq, w := range want {
+		if n == nil {
+			t.Fatalf("chain ends at seq %d", seq)
+		}
+		if n.Seq != seq || n.Node != w.node || n.Role != w.role {
+			t.Fatalf("hop %d = node=%q role=%q seq=%d, want node=%q role=%q seq=%d",
+				seq, n.Node, n.Role, n.Seq, w.node, w.role, seq)
+		}
+		got := map[string]bool{}
+		for _, s := range n.Stages {
+			got[s.Name] = true
+		}
+		for _, st := range w.stages {
+			if !got[st.String()] {
+				t.Errorf("hop %d (%s %s) missing stage %s: has %v", seq, w.node, w.role, st, n.Stages)
+			}
+		}
+		if w.role == obs.RoleClient && n.Wire <= 0 {
+			t.Errorf("client hop %d has no attributed wire time", seq)
+		}
+		if n.Err != "" {
+			t.Errorf("hop %d carries error %q", seq, n.Err)
+		}
+		n = n.Child
+	}
+	if n != nil {
+		t.Fatalf("chain continues past seq 3: %+v", n)
+	}
+
+	// The outer wire share must cover at least the shaped LAN round trip
+	// (RTT 0.2ms) minus measurement slop — the proxy's busy time was
+	// subtracted out, the link delay cannot be.
+	if tree.Root.Wire < 100*time.Microsecond {
+		t.Errorf("client hop wire %v implausibly small for a shaped LAN RTT", tree.Root.Wire)
+	}
+}
+
+// TestNetsimShapingStaysDeterministicUnderTracing guards the nowallclock
+// contract: the shaper computes its injected delays on the simulated clock,
+// so two identical traced runs over fresh networks must record identical
+// NetShape totals — tracing must not leak wall-clock time into shaping.
+func TestNetsimShapingStaysDeterministicUnderTracing(t *testing.T) {
+	run := func() (uint64, int64) {
+		rec := obs.NewRecorder(obs.RecorderConfig{})
+		o := obs.New(obs.WithNode("client"), obs.WithRecorder(rec))
+		nw := netsim.New(netsim.LAN, netsim.WithObserver(o))
+		l, err := nw.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		srv := core.NewServer(core.BXSAEncoding{}, tcpbind.NewListener(l), unifiedHandler)
+		go srv.Serve()
+		defer srv.Close()
+		eng := core.NewEngine(core.BXSAEncoding{},
+			tcpbind.New(nw.Dial, l.Addr().String()), core.WithObserver(o))
+		defer eng.Close()
+		m := dataset.Generate(128)
+		if _, err := eng.Call(context.Background(), core.NewEnvelope(m.Element())); err != nil {
+			t.Fatalf("call: %v", err)
+		}
+		s := o.StageSnapshot(obs.NetShape)
+		return s.Count, s.SumNanos
+	}
+	c1, sum1 := run()
+	c2, sum2 := run()
+	if c1 == 0 {
+		t.Fatal("no NetShape observations recorded")
+	}
+	if c1 != c2 || sum1 != sum2 {
+		t.Errorf("shaping diverged across identical runs: (%d, %dns) vs (%d, %dns)", c1, sum1, c2, sum2)
+	}
+}

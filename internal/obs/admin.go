@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 )
 
 // MetricsHandler serves the Observer's snapshot as JSON. Extra metric
@@ -15,24 +16,84 @@ func MetricsHandler(o *Observer, extra func(*Snapshot)) http.Handler {
 		if extra != nil {
 			extra(s)
 		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(s)
+		writeJSON(w, s)
+	})
+}
+
+// TraceRecentHandler serves the flight recorder's most recent joined trace
+// trees, newest first. ?n=K bounds the list (default 16). With tracing
+// disabled (no recorder on the observer) it serves an empty list.
+func TraceRecentHandler(o *Observer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, nonNilTrees(o.Recorder().Recent(queryN(r, 16))))
+	})
+}
+
+// TraceSlowHandler serves the trace trees that crossed the recorder's slow
+// threshold, newest first. ?n=K bounds the list (default 16).
+func TraceSlowHandler(o *Observer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, nonNilTrees(o.Recorder().Slow(queryN(r, 16))))
+	})
+}
+
+// EventsHandler serves the flight recorder's event journal, newest first.
+// ?n=K bounds the list (default 64).
+func EventsHandler(o *Observer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		evs := o.Recorder().Events(queryN(r, 64))
+		if evs == nil {
+			evs = []Event{}
+		}
+		writeJSON(w, evs)
 	})
 }
 
 // AdminMux builds the admin endpoint mounted by soapserver/soapproxy:
-// GET /metrics returns the snapshot JSON, and the standard net/http/pprof
-// profiles live under /debug/pprof/. The mux is private to the admin
-// listener, so pprof is never exposed on the SOAP-serving port.
+//
+//	GET /metrics       observability snapshot (counters, gauges, stage
+//	                   histograms with mean/p50/p95/p99) as JSON
+//	GET /trace/recent  the flight recorder's most recent trace trees
+//	GET /trace/slow    traces that crossed the slow threshold
+//	GET /events        the structured event journal
+//
+// plus the standard net/http/pprof profiles under /debug/pprof/. The mux is
+// private to the admin listener, so pprof is never exposed on the
+// SOAP-serving port. The trace endpoints serve empty lists when the
+// observer has no recorder attached.
 func AdminMux(o *Observer, extra func(*Snapshot)) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", MetricsHandler(o, extra))
+	mux.Handle("/trace/recent", TraceRecentHandler(o))
+	mux.Handle("/trace/slow", TraceSlowHandler(o))
+	mux.Handle("/events", EventsHandler(o))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func queryN(r *http.Request, def int) int {
+	if s := r.URL.Query().Get("n"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+func nonNilTrees(ts []*TraceTree) []*TraceTree {
+	if ts == nil {
+		return []*TraceTree{}
+	}
+	return ts
 }

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func adminGet(t *testing.T, mux *http.ServeMux, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rr := httptest.NewRecorder()
+	mux.ServeHTTP(rr, req)
+	return rr
+}
+
+func TestAdminMetricsServesDecodableJSON(t *testing.T) {
+	o := New()
+	o.Inc(CallsStarted)
+	o.ObserveStage(ClientWait, 3*time.Millisecond)
+	mux := AdminMux(o, nil)
+
+	rr := adminGet(t, mux, "/metrics")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var snap map[string]json.RawMessage
+	if err := json.Unmarshal(rr.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("undecodable snapshot: %v", err)
+	}
+	// The histogram serializer augments each stage with derived quantiles.
+	body := rr.Body.String()
+	for _, want := range []string{`"p50_ns"`, `"p95_ns"`, `"p99_ns"`, `"mean_ns"`, "client.wait"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
+// TestAdminMetricsFoldsExtraSources mirrors how soapproxy folds its pool's
+// Stats into each served snapshot.
+func TestAdminMetricsFoldsExtraSources(t *testing.T) {
+	o := New()
+	extra := func(s *Snapshot) {
+		s.Counters["svcpool.dials"] = 7
+		s.Gauges["svcpool.live"] = GaugeSnapshot{Value: 3}
+	}
+	rr := adminGet(t, AdminMux(o, extra), "/metrics")
+	var snap struct {
+		Counters map[string]uint64        `json:"counters"`
+		Gauges   map[string]GaugeSnapshot `json:"gauges"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if snap.Counters["svcpool.dials"] != 7 {
+		t.Errorf("folded counter = %d, want 7", snap.Counters["svcpool.dials"])
+	}
+	if snap.Gauges["svcpool.live"].Value != 3 {
+		t.Errorf("folded gauge = %d, want 3", snap.Gauges["svcpool.live"].Value)
+	}
+}
+
+func TestAdminPprofRoutesMounted(t *testing.T) {
+	mux := AdminMux(New(), nil)
+	rr := adminGet(t, mux, "/debug/pprof/cmdline")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status = %d", rr.Code)
+	}
+	rr = adminGet(t, mux, "/debug/pprof/")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d", rr.Code)
+	}
+}
+
+func TestAdminTraceEndpointsWithoutRecorder(t *testing.T) {
+	mux := AdminMux(New(), nil) // no recorder: endpoints serve empty lists
+	for _, path := range []string{"/trace/recent", "/trace/slow", "/events"} {
+		rr := adminGet(t, mux, path)
+		if rr.Code != http.StatusOK {
+			t.Fatalf("%s status = %d", path, rr.Code)
+		}
+		if got := strings.TrimSpace(rr.Body.String()); got != "[]" {
+			t.Errorf("%s body = %q, want empty JSON list", path, got)
+		}
+	}
+}
+
+func TestAdminTraceEndpointsServeRecordedTraces(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{SlowThreshold: time.Nanosecond})
+	o := fakeClockObs(rec, "node-a", time.Millisecond)
+	id := NewTraceID()
+	h := o.StartHop(RoleClient)
+	h.Bind(TraceContext{ID: id, Seq: 0})
+	sp := o.SpanWith(h)
+	sp.Mark(ClientSend)
+	o.FinishHop(h, nil)
+	o.Event(EvRetry, "attempt 2")
+
+	mux := AdminMux(o, nil)
+	for _, path := range []string{"/trace/recent", "/trace/slow"} {
+		rr := adminGet(t, mux, path)
+		var trees []TraceTree
+		if err := json.Unmarshal(rr.Body.Bytes(), &trees); err != nil {
+			t.Fatalf("%s: decode: %v", path, err)
+		}
+		if len(trees) != 1 || trees[0].ID != id.String() {
+			t.Fatalf("%s = %+v, want the one recorded trace", path, trees)
+		}
+		if trees[0].Root == nil || trees[0].Root.Node != "node-a" {
+			t.Fatalf("%s root = %+v", path, trees[0].Root)
+		}
+	}
+	rr := adminGet(t, mux, "/events?n=1")
+	var evs []Event
+	if err := json.Unmarshal(rr.Body.Bytes(), &evs); err != nil {
+		t.Fatalf("/events: decode: %v", err)
+	}
+	if len(evs) != 1 || evs[0].Name != "call.retry" || evs[0].Detail != "attempt 2" {
+		t.Fatalf("/events = %+v", evs)
+	}
+}

@@ -1,0 +1,27 @@
+package obs
+
+import "context"
+
+// hopKey is the context key carrying the current request's *Hop from the
+// layer that starts the trace (svcpool's call/send, which also encodes the
+// request) down into the engine's CallPayload/SendPayload, which record the
+// stage spans. A context key rather than a parameter keeps the engine's
+// public payload API unchanged.
+type hopKey struct{}
+
+// ContextWithHop returns ctx carrying h. A nil hop returns ctx unchanged,
+// so the disabled-tracing path allocates nothing.
+func ContextWithHop(ctx context.Context, h *Hop) context.Context {
+	if h == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, hopKey{}, h)
+}
+
+// HopFromContext returns the hop carried by ctx, or nil. Callers on the hot
+// path should gate the lookup behind Observer.Tracing() — ctx.Value walks
+// the context chain, which the zero-overhead disabled path must not pay.
+func HopFromContext(ctx context.Context) *Hop {
+	h, _ := ctx.Value(hopKey{}).(*Hop)
+	return h
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"math/bits"
 	"sync/atomic"
 	"time"
@@ -80,6 +81,29 @@ type HistogramSnapshot struct {
 	Count    uint64             `json:"count"`
 	SumNanos int64              `json:"sum_ns"`
 	Buckets  [NumBuckets]uint64 `json:"buckets"`
+}
+
+// MarshalJSON augments the raw snapshot with derived mean/p50/p95/p99
+// fields so JSON consumers (the /metrics endpoint, CI artifacts) get
+// quantiles without reimplementing the bucket math. The derived fields are
+// computed at marshal time from the buckets; UnmarshalJSON (the default,
+// field-by-field) ignores them, so snapshots still round-trip and merge on
+// the raw state alone.
+func (s HistogramSnapshot) MarshalJSON() ([]byte, error) {
+	type raw HistogramSnapshot // drops the method, avoiding recursion
+	return json.Marshal(struct {
+		raw
+		MeanNanos int64 `json:"mean_ns"`
+		P50Nanos  int64 `json:"p50_ns"`
+		P95Nanos  int64 `json:"p95_ns"`
+		P99Nanos  int64 `json:"p99_ns"`
+	}{
+		raw:       raw(s),
+		MeanNanos: int64(s.Mean()),
+		P50Nanos:  int64(s.Quantile(0.50)),
+		P95Nanos:  int64(s.Quantile(0.95)),
+		P99Nanos:  int64(s.Quantile(0.99)),
+	})
 }
 
 // Merge adds other's observations into s.

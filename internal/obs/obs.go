@@ -32,7 +32,7 @@
 // requires every exported method of the marked types below to nil-check its
 // receiver.
 //
-//paylint:nil-sink Observer Span
+//paylint:nil-sink Observer Span Recorder Hop
 package obs
 
 import (
@@ -207,6 +207,8 @@ func (g GaugeID) String() string {
 type Observer struct {
 	now   func() time.Time
 	trace func(Stage, time.Duration)
+	node  string
+	rec   *Recorder
 
 	counters [numCounters]Counter
 	gauges   [numGauges]Gauge
@@ -228,6 +230,21 @@ func WithNow(now func() time.Time) Option {
 // on the instrumented goroutine — keep it cheap and data-race free.
 func WithTrace(fn func(Stage, time.Duration)) Option {
 	return func(o *Observer) { o.trace = fn }
+}
+
+// WithNode labels the Observer with the node name its hops and events carry
+// in trace trees and the journal ("client", "proxy", "soapserver", ...).
+func WithNode(name string) Option {
+	return func(o *Observer) { o.node = name }
+}
+
+// WithRecorder attaches a flight recorder, enabling per-request tracing:
+// the request path starts a Hop per call, span marks accumulate into it,
+// and FinishHop lands it in the recorder's rings. Without a recorder (the
+// default) StartHop returns nil and tracing costs nothing beyond the plain
+// span plumbing.
+func WithRecorder(r *Recorder) Option {
+	return func(o *Observer) { o.rec = r }
 }
 
 // New builds an Observer.

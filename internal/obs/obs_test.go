@@ -21,8 +21,8 @@ func TestBucketBoundaries(t *testing.T) {
 		{2 * time.Microsecond, 2},
 		{4*time.Microsecond - 1, 2},
 		{4 * time.Microsecond, 3},
-		{time.Millisecond, 10}, // 1000µs ∈ [512µs, 1024µs)
-		{time.Second, 20},      // 1e6µs ∈ [2^19µs, 2^20µs)
+		{time.Millisecond, 10},      // 1000µs ∈ [512µs, 1024µs)
+		{time.Second, 20},           // 1e6µs ∈ [2^19µs, 2^20µs)
 		{time.Hour, NumBuckets - 1}, // far past the grid: clamped open-ended
 	}
 	for _, c := range cases {
@@ -231,6 +231,22 @@ func TestNilObserverIsFreeOfAllocations(t *testing.T) {
 		_ = o.Counter(CallsStarted)
 		_ = o.Gauge(PoolInflight)
 		_ = o.StageSnapshot(ClientWait)
+		// The trace layer shares the nil-sink contract: with no observer
+		// (or no recorder) the whole hop lifecycle is free.
+		_ = o.Tracing()
+		_ = o.Node()
+		h := o.StartHop(RoleClient)
+		h.Bind(TraceContext{ID: 1})
+		h.SetError(nil)
+		_ = h.Context()
+		_ = h.StageDur(ClientWait)
+		hsp := o.SpanWith(h)
+		hsp.Mark(ClientWait)
+		o.FinishHop(h, nil)
+		o.Event(EvRetry, "x")
+		_ = o.Recorder().Recent(1)
+		_ = o.Recorder().Trace(1)
+		_ = o.Recorder().Dropped()
 	})
 	if allocs != 0 {
 		t.Errorf("nil observer allocated %.1f per run, want 0", allocs)

@@ -74,6 +74,7 @@ const NumStages = int(numStages)
 type Span struct {
 	o    *Observer
 	last time.Time
+	hop  *Hop
 }
 
 // Span begins a span now. On a nil Observer it returns the zero Span and
@@ -85,6 +86,16 @@ func (o *Observer) Span() Span {
 	return Span{o: o, last: o.now()}
 }
 
+// SpanWith begins a span whose marks additionally accumulate into the hop's
+// trace record. A nil hop makes it identical to Span, so the request path
+// threads whatever StartHop returned without branching.
+func (o *Observer) SpanWith(h *Hop) Span {
+	if o == nil {
+		return Span{}
+	}
+	return Span{o: o, last: o.now(), hop: h}
+}
+
 // Mark records the duration since the span's previous mark into stage st
 // and restarts the span clock.
 func (s *Span) Mark(st Stage) {
@@ -92,7 +103,9 @@ func (s *Span) Mark(st Stage) {
 		return
 	}
 	now := s.o.now()
-	s.o.ObserveStage(st, now.Sub(s.last))
+	d := now.Sub(s.last)
+	s.o.ObserveStage(st, d)
+	s.hop.observe(st, d)
 	s.last = now
 }
 

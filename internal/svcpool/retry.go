@@ -120,6 +120,7 @@ func (b *breaker) allow() (probe bool, err error) {
 		}
 		b.state = brkHalfOpen // admit exactly one probe
 		b.obs.Inc(obs.BreakerProbes)
+		b.obs.Event(obs.EvBreakerProbe, "cooldown elapsed; admitting half-open probe")
 		return true, nil
 	default: // brkHalfOpen: a probe is already in flight
 		return false, ErrCircuitOpen
@@ -135,6 +136,7 @@ func (b *breaker) success() {
 	b.mu.Lock()
 	if b.state != brkClosed {
 		b.obs.Inc(obs.BreakerClosed)
+		b.obs.Event(obs.EvBreakerClosed, "transport recovered; circuit closed")
 	}
 	b.state = brkClosed
 	b.consecutive = 0
@@ -152,6 +154,7 @@ func (b *breaker) failure() {
 	if b.state == brkHalfOpen || b.consecutive >= b.policy.Threshold {
 		if b.state != brkOpen {
 			b.obs.Inc(obs.BreakerOpened)
+			b.obs.Event(obs.EvBreakerOpened, "consecutive transport failures reached threshold")
 		}
 		b.state = brkOpen
 		b.openedAt = time.Now()

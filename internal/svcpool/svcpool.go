@@ -151,6 +151,13 @@ func (p *Pool[E, B]) CallOnce(ctx context.Context, req *core.Envelope) (*core.En
 }
 
 func (p *Pool[E, B]) call(ctx context.Context, req *core.Envelope, retry bool) (*core.Envelope, error) {
+	// The pool originates (or relays) the trace: the hop must be started
+	// here, before encode, because the trace header has to be serialized
+	// into the payload the retry budget replays. The engine below sees only
+	// bytes, so the hop rides the context into CallPayload. One hop spans
+	// all attempts — retried stages simply appear once per attempt.
+	req, hop := core.BeginClientTrace(p.obs, req)
+	ctx = obs.ContextWithHop(ctx, hop)
 	var resp *core.Envelope
 	var payload *core.Payload
 	defer func() {
@@ -166,7 +173,7 @@ func (p *Pool[E, B]) call(ctx context.Context, req *core.Envelope, retry bool) (
 		// success, fault, poisoned connection, exhausted retries. The encode
 		// is marked here because CallPayload's own span never sees it.
 		if payload == nil {
-			sp := p.obs.Span()
+			sp := p.obs.SpanWith(hop)
 			var err error
 			payload, err = eng.Codec().EncodePayload(req)
 			if err != nil {
@@ -178,6 +185,7 @@ func (p *Pool[E, B]) call(ctx context.Context, req *core.Envelope, retry bool) (
 		resp, err = eng.CallPayload(actx, payload)
 		return err
 	})
+	p.obs.FinishHop(hop, err)
 	if err != nil {
 		return nil, err
 	}
@@ -196,15 +204,17 @@ func (p *Pool[E, B]) SendOnce(ctx context.Context, req *core.Envelope) error {
 }
 
 func (p *Pool[E, B]) send(ctx context.Context, req *core.Envelope, retry bool) error {
+	req, hop := core.BeginClientTrace(p.obs, req)
+	ctx = obs.ContextWithHop(ctx, hop)
 	var payload *core.Payload
 	defer func() {
 		if payload != nil {
 			payload.Release()
 		}
 	}()
-	return p.do(ctx, retry, func(actx context.Context, eng *core.Engine[E, B]) error {
+	err := p.do(ctx, retry, func(actx context.Context, eng *core.Engine[E, B]) error {
 		if payload == nil {
-			sp := p.obs.Span()
+			sp := p.obs.SpanWith(hop)
 			var err error
 			payload, err = eng.Codec().EncodePayload(req)
 			if err != nil {
@@ -214,6 +224,8 @@ func (p *Pool[E, B]) send(ctx context.Context, req *core.Envelope, retry bool) e
 		}
 		return eng.SendPayload(actx, payload)
 	})
+	p.obs.FinishHop(hop, err)
+	return err
 }
 
 // do admits the call (backpressure), then runs attempts until success, a
@@ -242,6 +254,7 @@ func (p *Pool[E, B]) do(ctx context.Context, retry bool, op func(context.Context
 		if i > 0 {
 			p.retries.Add(1)
 			p.obs.Inc(obs.PoolRetries)
+			p.obs.Event(obs.EvRetry, "transport failure; retrying on a fresh connection")
 			if werr := sleepCtx(ctx, p.cfg.Retry.backoff(i)); werr != nil {
 				return err
 			}
@@ -315,8 +328,13 @@ func (p *Pool[E, B]) attempt(ctx context.Context, op func(context.Context, *core
 		defer cancel()
 	}
 	// The checkout-wait span covers the whole of get: free-list reuse, a
-	// fresh dial, or blocking for a slot under backpressure.
-	sp := p.obs.Span()
+	// fresh dial, or blocking for a slot under backpressure. The hop (if
+	// tracing) rides the context from call/send.
+	var hop *obs.Hop
+	if p.obs.Tracing() {
+		hop = obs.HopFromContext(actx)
+	}
+	sp := p.obs.SpanWith(hop)
 	c, err := p.get(actx)
 	sp.Mark(obs.ClientCheckout)
 	if err != nil {
@@ -324,6 +342,9 @@ func (p *Pool[E, B]) attempt(ctx context.Context, op func(context.Context, *core
 	}
 	err = op(actx, c.eng)
 	if err != nil && core.Poisons(err) {
+		if p.obs.Tracing() {
+			p.obs.Event(obs.EvPayloadPoisoned, err.Error())
+		}
 		p.retire(c)
 		return err
 	}
@@ -416,6 +437,7 @@ func (p *Pool[E, B]) put(c *pooled[E, B]) {
 func (p *Pool[E, B]) retire(c *pooled[E, B]) {
 	p.retires.Add(1)
 	p.obs.Inc(obs.PoolRetirements)
+	p.obs.Event(obs.EvConnRetired, "connection retired (health, age, or shutdown)")
 	c.eng.Close()
 	p.slots <- struct{}{}
 }

@@ -1,0 +1,85 @@
+// Package tracehdr defines the wire form of the request-trace context: a
+// SOAP header block carried as a sibling of wsa:MessageID. Like the wsa
+// package it lives in the paper's "WS-*" layer — the header is built and
+// read as bXDM nodes, so it rides textual XML and BXSA identically and
+// survives any encoding the engine is composed with (§5.1).
+//
+// The block is deliberately tiny and non-mustUnderstand: trace-unaware
+// receivers ignore it, and a missing block simply starts a new trace at the
+// receiving node.
+//
+//	<trace:TraceContext xmlns:trace="urn:bxsoap:trace">
+//	  <trace:Id>9c0ffee1deadbeef</trace:Id>   <!-- 16 lowercase hex digits -->
+//	  <trace:Seq>1</trace:Seq>                <!-- hop sequence on the path -->
+//	</trace:TraceContext>
+package tracehdr
+
+import (
+	"fmt"
+	"strconv"
+
+	"bxsoap/internal/bxdm"
+	"bxsoap/internal/obs"
+)
+
+// Namespace is the trace header namespace.
+const Namespace = "urn:bxsoap:trace"
+
+// Local names of the header block and its leaves.
+const (
+	LocalContext = "TraceContext"
+	localID      = "Id"
+	localSeq     = "Seq"
+)
+
+// HeaderName is the qualified name of the header block, for envelope
+// lookups.
+func HeaderName() bxdm.QName { return bxdm.Name(Namespace, LocalContext) }
+
+func leaf(local, value string) *bxdm.LeafElement {
+	return bxdm.NewLeaf(bxdm.PName(Namespace, "trace", local), value)
+}
+
+// Node renders a trace context as its header block node.
+func Node(tc obs.TraceContext) bxdm.Node {
+	return bxdm.NewElement(bxdm.PName(Namespace, "trace", LocalContext),
+		leaf(localID, tc.ID.String()),
+		leaf(localSeq, strconv.Itoa(tc.Seq)),
+	)
+}
+
+// Parse reads a trace context back out of its header block node. It
+// returns an error for a malformed block (missing or unparseable leaves) so
+// receivers can distinguish "absent" (start a new trace) from "corrupt"
+// (journal and start a new trace).
+func Parse(n bxdm.Node) (obs.TraceContext, error) {
+	el, ok := n.(*bxdm.Element)
+	if !ok {
+		return obs.TraceContext{}, fmt.Errorf("tracehdr: %s is not a component element", LocalContext)
+	}
+	idEl := el.FirstChild(bxdm.Name(Namespace, localID))
+	seqEl := el.FirstChild(bxdm.Name(Namespace, localSeq))
+	if idEl == nil || seqEl == nil {
+		return obs.TraceContext{}, fmt.Errorf("tracehdr: %s missing Id or Seq", LocalContext)
+	}
+	id, err := obs.ParseTraceID(text(idEl))
+	if err != nil {
+		return obs.TraceContext{}, err
+	}
+	seq, err := strconv.Atoi(text(seqEl))
+	if err != nil || seq < 0 {
+		return obs.TraceContext{}, fmt.Errorf("tracehdr: bad Seq %q", text(seqEl))
+	}
+	return obs.TraceContext{ID: id, Seq: seq}, nil
+}
+
+func text(n bxdm.Node) string {
+	switch x := n.(type) {
+	case *bxdm.LeafElement:
+		return x.Value.Text()
+	case *bxdm.Element:
+		return x.TextContent()
+	default:
+		return ""
+	}
+}

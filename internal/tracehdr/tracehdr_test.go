@@ -1,0 +1,138 @@
+package tracehdr_test
+
+import (
+	"testing"
+
+	"bxsoap/internal/bxdm"
+	"bxsoap/internal/core"
+	"bxsoap/internal/obs"
+	"bxsoap/internal/tracehdr"
+	"bxsoap/internal/wssec"
+)
+
+func TestNodeParseRoundTrip(t *testing.T) {
+	tc := obs.TraceContext{ID: obs.NewTraceID(), Seq: 3}
+	got, err := tracehdr.Parse(tracehdr.Node(tc))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got != tc {
+		t.Fatalf("round trip %+v != %+v", got, tc)
+	}
+}
+
+func TestParseRejectsMalformedBlocks(t *testing.T) {
+	cases := map[string]bxdm.Node{
+		"leaf not element": bxdm.NewLeaf(bxdm.Name(tracehdr.Namespace, tracehdr.LocalContext), "x"),
+		"missing seq": bxdm.NewElement(bxdm.PName(tracehdr.Namespace, "trace", tracehdr.LocalContext),
+			bxdm.NewLeaf(bxdm.Name(tracehdr.Namespace, "Id"), "0123456789abcdef")),
+		"bad id": bxdm.NewElement(bxdm.PName(tracehdr.Namespace, "trace", tracehdr.LocalContext),
+			bxdm.NewLeaf(bxdm.Name(tracehdr.Namespace, "Id"), "nope"),
+			bxdm.NewLeaf(bxdm.Name(tracehdr.Namespace, "Seq"), "0")),
+		"negative seq": bxdm.NewElement(bxdm.PName(tracehdr.Namespace, "trace", tracehdr.LocalContext),
+			bxdm.NewLeaf(bxdm.Name(tracehdr.Namespace, "Id"), "0123456789abcdef"),
+			bxdm.NewLeaf(bxdm.Name(tracehdr.Namespace, "Seq"), "-1")),
+	}
+	for name, n := range cases {
+		if _, err := tracehdr.Parse(n); err == nil {
+			t.Errorf("%s: Parse accepted", name)
+		}
+	}
+}
+
+// testEnvelope builds a request with a body plus an unrelated header, then
+// stamps the trace block the way the client path does.
+func testEnvelope(tc obs.TraceContext) *core.Envelope {
+	body := bxdm.NewElement(bxdm.PName("urn:test", "t", "op"),
+		bxdm.NewLeaf(bxdm.Name("urn:test", "arg"), int32(42)))
+	env := core.NewEnvelope(body)
+	env.AddHeader(bxdm.NewLeaf(bxdm.PName("urn:other", "o", "Keep"), "yes"))
+	return core.TracedRequest(env, tc)
+}
+
+// roundTrip encodes env with enc and decodes it back.
+func roundTrip[E core.Encoding](t *testing.T, enc E, env *core.Envelope) *core.Envelope {
+	t.Helper()
+	codec := core.NewCodec(enc)
+	data, err := codec.EncodeBytes(env)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	back, err := codec.DecodeEnvelope(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return back
+}
+
+// TestTraceContextSurvivesEveryEncoding is the wire regression test: an
+// envelope carrying a trace block must decode to the identical context over
+// textual XML, BXSA, and both wrapped in wssec's signed framing — the
+// header lives in the bXDM layer, so every encoding policy must carry it
+// unchanged.
+func TestTraceContextSurvivesEveryEncoding(t *testing.T) {
+	tc := obs.TraceContext{ID: obs.NewTraceID(), Seq: 2}
+	key := []byte("0123456789abcdef0123456789abcdef")
+
+	check := func(t *testing.T, back *core.Envelope) {
+		t.Helper()
+		got, ok := core.TraceContextOf(back)
+		if !ok {
+			t.Fatal("decoded envelope lost the trace block")
+		}
+		if got != tc {
+			t.Fatalf("decoded context %+v, want %+v", got, tc)
+		}
+		if back.Header(bxdm.Name("urn:other", "Keep")) == nil {
+			t.Fatal("unrelated header lost")
+		}
+	}
+
+	t.Run("xmltext", func(t *testing.T) {
+		check(t, roundTrip(t, core.XMLEncoding{}, testEnvelope(tc)))
+	})
+	t.Run("bxsa", func(t *testing.T) {
+		check(t, roundTrip(t, core.BXSAEncoding{}, testEnvelope(tc)))
+	})
+	t.Run("xmltext+wssec", func(t *testing.T) {
+		check(t, roundTrip(t, wssec.Secure(core.XMLEncoding{}, key), testEnvelope(tc)))
+	})
+	t.Run("bxsa+wssec", func(t *testing.T) {
+		check(t, roundTrip(t, wssec.Secure(core.BXSAEncoding{}, key), testEnvelope(tc)))
+	})
+}
+
+// TestTracedRequestIsCopyOnWrite guards the concurrency contract: request
+// envelopes are shared across goroutines and reused across calls, so
+// stamping a trace context must never mutate the input.
+func TestTracedRequestIsCopyOnWrite(t *testing.T) {
+	body := bxdm.NewElement(bxdm.PName("urn:test", "t", "op"))
+	env := core.NewEnvelope(body)
+	env.AddHeader(bxdm.NewLeaf(bxdm.PName("urn:other", "o", "Keep"), "yes"))
+
+	out := core.TracedRequest(env, obs.TraceContext{ID: 9, Seq: 1})
+	if len(env.HeaderEntries) != 1 {
+		t.Fatalf("input envelope mutated: %d headers", len(env.HeaderEntries))
+	}
+	if _, ok := core.TraceContextOf(env); ok {
+		t.Fatal("input envelope gained a trace block")
+	}
+	if got, ok := core.TraceContextOf(out); !ok || got.ID != 9 || got.Seq != 1 {
+		t.Fatalf("output context = %+v ok=%v", got, ok)
+	}
+
+	// Relaying replaces the block rather than stacking a second one.
+	out2 := core.TracedRequest(out, obs.TraceContext{ID: 9, Seq: 3})
+	count := 0
+	for _, h := range out2.HeaderEntries {
+		if el, ok := h.(bxdm.ElementNode); ok && el.ElemName().Matches(tracehdr.HeaderName()) {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("relay left %d trace blocks, want 1", count)
+	}
+	if got, _ := core.TraceContextOf(out2); got.Seq != 3 {
+		t.Fatalf("relay context = %+v, want Seq=3", got)
+	}
+}
