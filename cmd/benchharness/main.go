@@ -7,6 +7,8 @@
 //	benchharness -exp fig6            # Figure 6: large-message bandwidth, WAN
 //	benchharness -exp pool            # pooled concurrent throughput, LAN+WAN
 //	benchharness -exp stages          # per-stage latency breakdown (obs layer), LAN
+//	benchharness -exp mux             # stream-multiplexed vs pooled throughput at a fixed socket budget
+//	benchharness -exp stages,mux      # comma-separated lists run several experiments
 //	benchharness -exp all -full       # everything, at the paper's full sizes
 //
 // -obs-json FILE additionally dumps the stage experiment's raw observability
@@ -34,7 +36,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig4, fig5, fig6, pool, stages, or all")
+	exp := flag.String("exp", "all", "experiment (comma-separated): table1, fig4, fig5, fig6, pool, stages, mux, or all")
 	full := flag.Bool("full", false, "run the complete model-size sweep (up to 5.59M pairs / 64MB; slow)")
 	iters := flag.Int("iters", 2, "measured iterations per point (minimum reported)")
 	sizesFlag := flag.String("sizes", "", "comma-separated model sizes overriding the experiment's default sweep")
@@ -49,10 +51,21 @@ func main() {
 		os.Exit(2)
 	}
 
+	wanted := map[string]bool{}
+	for _, name := range strings.Split(*exp, ",") {
+		wanted[strings.TrimSpace(name)] = true
+	}
+	want := func(name string) bool { return wanted[name] || wanted["all"] }
+
 	var progress io.Writer
 	if *verbose {
 		progress = os.Stderr
 	}
+
+	// benchRecords accumulates the machine-readable records every selected
+	// experiment contributes; -bench-json writes them once at the end so one
+	// artifact carries the stage combos and the throughput trajectories.
+	var benchRecords []harness.BenchRecord
 
 	run := func(name string, f func() error) {
 		fmt.Printf("\n=== %s ===\n", name)
@@ -62,7 +75,7 @@ func main() {
 		}
 	}
 
-	if *exp == "table1" || *exp == "all" {
+	if want("table1") {
 		run("Table 1: serialization size of the binary data set (model size = 1000)", func() error {
 			rows, err := harness.Table1(1000)
 			if err != nil {
@@ -73,7 +86,7 @@ func main() {
 		})
 	}
 
-	if *exp == "fig4" || *exp == "all" {
+	if want("fig4") {
 		run("Figure 4: message response time, small data sets, LAN (0.2 ms RTT)", func() error {
 			series, err := harness.Sweep(harness.Figure4Schemes(), harness.SweepConfig{
 				Network:  netsim.New(netsim.LAN),
@@ -95,7 +108,7 @@ func main() {
 		fig56sizes = customSizes
 	case !*full:
 		fig56sizes = fig56sizes[:5] // up to 349440 pairs (~4 MB) by default
-		if *exp == "fig5" || *exp == "fig6" || *exp == "all" {
+		if want("fig5") || want("fig6") {
 			fmt.Fprintln(os.Stderr, "benchharness: using truncated size sweep; pass -full for the paper's 64 MB points")
 		}
 	}
@@ -103,7 +116,7 @@ func main() {
 	// very beginning") — cap it to keep runs bounded.
 	caps := map[string]int{"SOAP over XML/HTTP": 87360}
 
-	if *exp == "fig5" || *exp == "all" {
+	if want("fig5") {
 		run("Figure 5: invocation bandwidth, large data sets, LAN", func() error {
 			series, err := harness.Sweep(harness.Figure5Schemes(), harness.SweepConfig{
 				Network:    netsim.New(netsim.LAN),
@@ -120,7 +133,7 @@ func main() {
 		})
 	}
 
-	if *exp == "pool" || *exp == "all" {
+	if want("pool") {
 		run("Pooled concurrent throughput: svcpool client runtime, BXSA/TCP, model size 500", func() error {
 			const size = 500
 			var points []harness.ThroughputPoint
@@ -143,7 +156,7 @@ func main() {
 		})
 	}
 
-	if *exp == "stages" || *exp == "all" {
+	if want("stages") {
 		run("Per-stage latency breakdown: encode/wire/handler/decode, LAN, model size 1000", func() error {
 			results, err := harness.StageBreakdown(harness.StageConfig{
 				Profile:   netsim.LAN,
@@ -165,21 +178,43 @@ func main() {
 				}
 				fmt.Fprintf(os.Stderr, "benchharness: wrote observability snapshots to %s\n", *obsJSON)
 			}
-			if *benchJSON != "" {
-				data, err := json.MarshalIndent(harness.BenchRecords(results), "", "  ")
-				if err != nil {
-					return err
-				}
-				if err := os.WriteFile(*benchJSON, append(data, '\n'), 0o644); err != nil {
-					return err
-				}
-				fmt.Fprintf(os.Stderr, "benchharness: wrote bench records to %s\n", *benchJSON)
-			}
+			benchRecords = append(benchRecords, harness.BenchRecords(results)...)
 			return nil
 		})
 	}
 
-	if *exp == "fig6" || *exp == "all" {
+	if want("mux") {
+		run("Stream-multiplexed throughput: muxbind vs pooled one-conn-per-call, 8 sockets, LAN, model size 500", func() error {
+			const size, conns = 500, 8
+			concs := []int{100, 1000}
+			var points []harness.ThroughputPoint
+			for _, c := range concs {
+				calls := 2 * c
+				for _, measure := range []func() (harness.ThroughputPoint, error){
+					func() (harness.ThroughputPoint, error) {
+						return harness.MuxThroughput(netsim.New(netsim.LAN), "BXSA", conns, c, calls, size)
+					},
+					func() (harness.ThroughputPoint, error) {
+						return harness.PooledThroughput(netsim.New(netsim.LAN), "BXSA", "tcp", conns, c, calls, size)
+					},
+				} {
+					pt, err := measure()
+					if err != nil {
+						return err
+					}
+					if progress != nil {
+						fmt.Fprintf(progress, "%-32s %.0f calls/s\n", pt.Scheme, pt.CallsPerSec)
+					}
+					points = append(points, pt)
+					benchRecords = append(benchRecords, harness.ThroughputRecord(pt))
+				}
+			}
+			harness.PrintThroughput(os.Stdout, points)
+			return nil
+		})
+	}
+
+	if want("fig6") {
 		run("Figure 6: invocation bandwidth, large data sets, WAN (5.75 ms RTT)", func() error {
 			series, err := harness.Sweep(harness.Figure6Schemes(), harness.SweepConfig{
 				Network:    netsim.New(netsim.WAN),
@@ -194,6 +229,19 @@ func main() {
 			harness.PrintBandwidthSeries(os.Stdout, series)
 			return nil
 		})
+	}
+
+	if *benchJSON != "" {
+		data, err := json.MarshalIndent(benchRecords, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchharness: -bench-json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*benchJSON, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchharness: -bench-json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchharness: wrote %d bench records to %s\n", len(benchRecords), *benchJSON)
 	}
 }
 

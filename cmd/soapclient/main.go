@@ -5,6 +5,12 @@
 //
 //	soapclient -encoding bxsa -transport tcp -addr 127.0.0.1:8701 -n 1000 -calls 10
 //	soapclient -conns 8 -inflight 16 -calls 200        # concurrent throughput
+//	soapclient -mux -conns 4 -inflight 256 -calls 2000 # multiplexed: 256 streams on 4 sockets
+//
+// With -mux the calls ride the stream-multiplexed framed transport
+// (internal/muxbind, server started with `soapserver -mux`): -conns caps the
+// shared connections while -inflight concurrent calls interleave as streams
+// on them, so inflight can far exceed conns.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"bxsoap/internal/core"
 	"bxsoap/internal/dataset"
 	"bxsoap/internal/httpbind"
+	"bxsoap/internal/muxbind"
 	"bxsoap/internal/obs"
 	"bxsoap/internal/svcpool"
 	"bxsoap/internal/tcpbind"
@@ -35,6 +42,7 @@ func main() {
 	inflight := flag.Int("inflight", 0, "max concurrent in-flight calls (default: same as -conns)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-call deadline")
 	trace := flag.Bool("trace", false, "record request traces and print the last call's trace tree")
+	mux := flag.Bool("mux", false, "multiplex calls as streams over the framed transport (implies -transport tcp)")
 	flag.Parse()
 
 	if *conns <= 0 {
@@ -55,7 +63,7 @@ func main() {
 			obs.WithRecorder(obs.NewRecorder(obs.RecorderConfig{})),
 		)
 	}
-	pool, err := buildPool(*encoding, *transport, *addr, svcpool.Config{
+	pool, err := buildPool(*encoding, *transport, *addr, *mux, *conns, svcpool.Config{
 		MaxConns:    *conns,
 		MaxInflight: *inflight,
 		CallTimeout: *timeout,
@@ -118,8 +126,12 @@ func main() {
 	ok := *calls - int(failed.Load())
 	best := time.Duration(bestNs.Load())
 	st := pool.Stats()
+	label := *transport
+	if *mux {
+		label = "mux"
+	}
 	fmt.Printf("%s/%s  model size %d  %d/%d calls ok over %d conns / %d inflight\n",
-		*encoding, *transport, *n, ok, *calls, *conns, *inflight)
+		*encoding, label, *n, ok, *calls, *conns, *inflight)
 	fmt.Printf("best latency %v  aggregate %.0f calls/s (%.0f pairs/s)\n",
 		best, float64(ok)/elapsed.Seconds(), float64(ok)*float64(*n)/elapsed.Seconds())
 	fmt.Printf("pool: dials=%d reuses=%d retires=%d retries=%d failures=%d\n",
@@ -150,8 +162,27 @@ type pooledCaller interface {
 // each case monomorphizes its own Pool[E, B], same as the engines. A nil
 // observer leaves the whole observability path dormant (the nil-sink
 // contract); a non-nil one threads through pool, engine, and binding.
-func buildPool(encoding, transport, addr string, cfg svcpool.Config, o *obs.Observer) (pooledCaller, error) {
+//
+// In mux mode the pool's "connections" are logical bindings — cheap stream
+// slots, so the pool is sized to the in-flight budget — while the real
+// sockets are capped at `conns` shared sessions inside the transport.
+func buildPool(encoding, transport, addr string, mux bool, conns int, cfg svcpool.Config, o *obs.Observer) (pooledCaller, error) {
+	if mux && transport != "tcp" {
+		return nil, fmt.Errorf("-mux is a framed TCP protocol; -transport %s is not supported", transport)
+	}
 	switch {
+	case mux && encoding == "bxsa":
+		tr := muxbind.NewTransport(muxbind.NetDialer, addr, muxbind.WithMaxSessions(conns), muxbind.WithObserver(o))
+		cfg.MaxConns = cfg.MaxInflight
+		return svcpool.New(func(context.Context) (*core.Engine[core.BXSAEncoding, *muxbind.Binding], error) {
+			return core.NewEngine(core.BXSAEncoding{}, tr.NewBinding(), core.WithObserver(o)), nil
+		}, cfg, svcpool.WithObserver(o)), nil
+	case mux && encoding == "xml":
+		tr := muxbind.NewTransport(muxbind.NetDialer, addr, muxbind.WithMaxSessions(conns), muxbind.WithObserver(o))
+		cfg.MaxConns = cfg.MaxInflight
+		return svcpool.New(func(context.Context) (*core.Engine[core.XMLEncoding, *muxbind.Binding], error) {
+			return core.NewEngine(core.XMLEncoding{}, tr.NewBinding(), core.WithObserver(o)), nil
+		}, cfg, svcpool.WithObserver(o)), nil
 	case encoding == "bxsa" && transport == "tcp":
 		return svcpool.New(func(context.Context) (*core.Engine[core.BXSAEncoding, *tcpbind.Binding], error) {
 			return core.NewEngine(core.BXSAEncoding{}, tcpbind.New(tcpbind.NetDialer, addr, tcpbind.WithObserver(o)), core.WithObserver(o)), nil

@@ -3,6 +3,12 @@
 //
 //	soapserver -encoding bxsa -transport tcp  -addr 127.0.0.1:8701
 //	soapserver -encoding xml  -transport http -addr 127.0.0.1:8702
+//	soapserver -mux -addr 127.0.0.1:8703      # stream-multiplexed framed transport
+//
+// With -mux the server speaks the stream-multiplexed frame protocol
+// (internal/muxbind): many concurrent calls interleave on each accepted
+// connection, scheduled onto a bounded worker pool with credit-based flow
+// control and overload shedding. A matching client is `soapclient -mux`.
 //
 // The service receives the LEAD-like data model inside the SOAP request,
 // verifies every value, and answers with the verification result — the
@@ -23,6 +29,7 @@ import (
 	"bxsoap/internal/core"
 	"bxsoap/internal/dataset"
 	"bxsoap/internal/httpbind"
+	"bxsoap/internal/muxbind"
 	"bxsoap/internal/obs"
 	"bxsoap/internal/tcpbind"
 )
@@ -32,6 +39,10 @@ func main() {
 	transport := flag.String("transport", "tcp", "transport binding: tcp or http")
 	addr := flag.String("addr", "127.0.0.1:8701", "listen address")
 	adminAddr := flag.String("admin", "", "serve /metrics, /trace/recent, /trace/slow, /events and /debug/pprof on this address")
+	mux := flag.Bool("mux", false, "speak the stream-multiplexed framed transport (implies -transport tcp)")
+	muxWorkers := flag.Int("mux-workers", 0, "mux dispatch pool size (default: 4x GOMAXPROCS)")
+	muxQueue := flag.Int("mux-queue", 0, "mux dispatch queue depth; admissions beyond it are shed (default: 8x workers)")
+	muxCredit := flag.Int("mux-credit", 0, "per-connection concurrent stream window (default: 128)")
 	flag.Parse()
 
 	handler := func(_ context.Context, req *core.Envelope) (*core.Envelope, error) {
@@ -75,6 +86,16 @@ func main() {
 		Close() error
 	}
 	switch {
+	case *mux && *transport != "tcp":
+		log.Fatalf("soapserver: -mux is a framed TCP protocol; -transport %s is not supported", *transport)
+	case *mux && *encoding == "bxsa":
+		srv = muxServer(muxbind.NewServer(core.BXSAEncoding{}, handler, muxbind.Config{
+			Workers: *muxWorkers, Queue: *muxQueue, StreamCredit: *muxCredit, ErrorLog: errLog,
+		}, srvOpts...), l)
+	case *mux && *encoding == "xml":
+		srv = muxServer(muxbind.NewServer(core.XMLEncoding{}, handler, muxbind.Config{
+			Workers: *muxWorkers, Queue: *muxQueue, StreamCredit: *muxCredit, ErrorLog: errLog,
+		}, srvOpts...), l)
 	case *encoding == "bxsa" && *transport == "tcp":
 		srv = core.NewServer(core.BXSAEncoding{}, tcpbind.NewListener(l, tcpbind.WithObserver(o)), handler, srvOpts...)
 	case *encoding == "xml" && *transport == "tcp":
@@ -100,7 +121,11 @@ func main() {
 		fmt.Printf("soapserver: admin endpoint (metrics, traces, events, pprof) on http://%s\n", al.Addr())
 	}
 
-	fmt.Printf("soapserver: %s over %s listening on %s\n", *encoding, *transport, l.Addr())
+	label := *transport
+	if *mux {
+		label = "mux"
+	}
+	fmt.Printf("soapserver: %s over %s listening on %s\n", *encoding, label, l.Addr())
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)
 	go func() {
@@ -111,3 +136,16 @@ func main() {
 		log.Fatalf("soapserver: %v", err)
 	}
 }
+
+// muxServer adapts muxbind's listener-taking Serve to the listener-free
+// Serve/Close pair the shutdown path drives.
+func muxServer[E core.Encoding](s *muxbind.Server[E], l net.Listener) serveCloser {
+	return serveCloser{serve: func() error { return s.Serve(l) }, close: s.Close}
+}
+
+type serveCloser struct {
+	serve, close func() error
+}
+
+func (s serveCloser) Serve() error { return s.serve() }
+func (s serveCloser) Close() error { return s.close() }

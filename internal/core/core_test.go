@@ -233,7 +233,7 @@ func (*nullServerBinding) Addr() net.Addr           { return nil }
 func (*nullServerBinding) Close() error             { return nil }
 
 func (b *inProcBinding) SendRequest(ctx context.Context, payload *Payload, ct string) error {
-	resp := b.server.dispatch(ctx, payload.Bytes(), ct, new(obs.Span), nil)
+	resp := b.server.Dispatcher().Dispatch(ctx, payload.Bytes(), ct, new(obs.Span), nil)
 	data, err := b.server.Codec().EncodeBytes(resp)
 	if err != nil {
 		return err
@@ -333,12 +333,12 @@ func TestDispatchRejectsGarbage(t *testing.T) {
 	srv := NewServer(XMLEncoding{}, &nullServerBinding{}, func(_ context.Context, _ *Envelope) (*Envelope, error) {
 		return NewEnvelope(), nil
 	})
-	resp := srv.dispatch(context.Background(), []byte("this is not xml"), "text/xml", new(obs.Span), nil)
+	resp := srv.Dispatcher().Dispatch(context.Background(), []byte("this is not xml"), "text/xml", new(obs.Span), nil)
 	f := FaultFromEnvelope(resp)
 	if f == nil || f.Code != FaultClient {
 		t.Fatalf("garbage request → %v", f)
 	}
-	resp = srv.dispatch(context.Background(), []byte("<x/>"), "application/x-bxsa", new(obs.Span), nil)
+	resp = srv.Dispatcher().Dispatch(context.Background(), []byte("<x/>"), "application/x-bxsa", new(obs.Span), nil)
 	if f := FaultFromEnvelope(resp); f == nil || f.Code != FaultClient {
 		t.Fatal("content-type mismatch not faulted")
 	}

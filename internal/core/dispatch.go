@@ -1,0 +1,150 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"bxsoap/internal/bxdm"
+	"bxsoap/internal/obs"
+)
+
+// Dispatcher is the transport-independent half of a SOAP server: decode,
+// mustUnderstand enforcement, handler invocation, and fault conversion,
+// composed over an encoding policy. Server[E, B] drives one through its
+// channel loop; transports with their own scheduling discipline (the
+// muxbind bounded worker pool) drive the same dispatcher from their own
+// goroutines, so every server-side entry point means the same thing by
+// "dispatch" and protocol behavior cannot drift between transports.
+type Dispatcher[E Encoding] struct {
+	codec   Codec[E]
+	handler Handler
+	obs     *obs.Observer
+
+	// understood is the set of header QNames this node can process;
+	// mustUnderstand entries outside the set draw a MustUnderstand fault
+	// (SOAP 1.1 §4.2.3). The map itself is immutable — Understand swaps in
+	// a fresh copy under mu — so dispatch reads it without locking.
+	mu         sync.Mutex
+	understood atomic.Pointer[map[bxdm.QName]bool]
+}
+
+// NewDispatcher composes a dispatcher from an encoding policy, a handler,
+// and server options (WithObserver and WithUnderstood apply; transport-side
+// options such as WithErrorLog are ignored here and belong to the serving
+// loop that owns the channels).
+func NewDispatcher[E Encoding](enc E, h Handler, opts ...ServerOption) *Dispatcher[E] {
+	var cfg serverConfig
+	for _, opt := range opts {
+		opt.applyServer(&cfg)
+	}
+	d := &Dispatcher[E]{
+		codec:   NewCodec(enc),
+		handler: h,
+		obs:     cfg.obs,
+	}
+	understood := make(map[bxdm.QName]bool, len(cfg.understood))
+	for _, n := range cfg.understood {
+		understood[bxdm.QName{Space: n.Space, Local: n.Local}] = true
+	}
+	d.understood.Store(&understood)
+	return d
+}
+
+// Codec returns the dispatcher's serialization facade.
+func (d *Dispatcher[E]) Codec() Codec[E] { return d.codec }
+
+// Encoding returns the dispatcher's encoding policy.
+func (d *Dispatcher[E]) Encoding() E { return d.codec.Encoding() }
+
+// Observer returns the dispatcher's observability sink (nil when none was
+// configured).
+func (d *Dispatcher[E]) Observer() *obs.Observer { return d.obs }
+
+// Understand registers additional header names this node processes. Safe
+// to call while serving: the understood set is swapped atomically, and
+// requests already dispatched keep the set they started with.
+func (d *Dispatcher[E]) Understand(names ...bxdm.QName) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	old := *d.understood.Load()
+	next := make(map[bxdm.QName]bool, len(old)+len(names))
+	for k := range old {
+		next[k] = true
+	}
+	for _, n := range names {
+		next[bxdm.QName{Space: n.Space, Local: n.Local}] = true
+	}
+	d.understood.Store(&next)
+}
+
+// Dispatch decodes, enforces mustUnderstand, runs the handler, and converts
+// errors to faults. It never fails: protocol problems become fault
+// envelopes, which is what a SOAP node owes its peer. The span and hop are
+// the caller's in-progress server-side trace; Dispatch marks the decode and
+// handler stages into them and binds the wire trace context once decoded.
+func (d *Dispatcher[E]) Dispatch(ctx context.Context, payload []byte, ct string, sp *obs.Span, hop *obs.Hop) *Envelope {
+	d.obs.Inc(obs.ServerRequests)
+	if err := CheckContentType(d.codec.Encoding(), ct); err != nil {
+		sp.Mark(obs.ServerDecode)
+		d.obs.Inc(obs.ServerFaults)
+		return (&Fault{Code: FaultClient, String: err.Error()}).Envelope()
+	}
+	req, err := d.codec.DecodeEnvelope(payload)
+	sp.Mark(obs.ServerDecode)
+	if err != nil {
+		d.obs.Inc(obs.ServerFaults)
+		return (&Fault{Code: FaultClient, String: fmt.Sprintf("cannot decode request: %v", err)}).Envelope()
+	}
+	// The wire trace context (when the client sent one) places this hop on
+	// the request path; an unbound hop self-roots at FinishHop.
+	BindServerTrace(hop, req)
+	for _, h := range req.HeaderEntries {
+		el, ok := h.(bxdm.ElementNode)
+		if !ok || !mustUnderstand(el) {
+			continue
+		}
+		name := el.ElemName()
+		if !(*d.understood.Load())[bxdm.QName{Space: name.Space, Local: name.Local}] {
+			d.obs.Inc(obs.ServerFaults)
+			return (&Fault{
+				Code:   FaultMustUnderstand,
+				String: fmt.Sprintf("header %v not understood", name),
+			}).Envelope()
+		}
+	}
+	resp, err := d.handler(ctx, req)
+	sp.Mark(obs.ServerHandler)
+	if err != nil {
+		d.obs.Inc(obs.ServerFaults)
+		var f *Fault
+		if errors.As(err, &f) {
+			return f.Envelope()
+		}
+		return (&Fault{Code: FaultServer, String: err.Error()}).Envelope()
+	}
+	if resp == nil {
+		resp = NewEnvelope()
+	}
+	return resp
+}
+
+// DispatchPayload runs one full server-side exchange in payload terms:
+// dispatch the request bytes, then encode the response into a pooled
+// payload the caller owns (and must either release or hand to a
+// transferring send). The request payload is borrowed — the caller keeps
+// ownership and releases it after DispatchPayload returns.
+//
+//paylint:borrows
+//paylint:returns owned
+func (d *Dispatcher[E]) DispatchPayload(ctx context.Context, req *Payload, ct string, sp *obs.Span, hop *obs.Hop) (*Payload, error) {
+	resp := d.Dispatch(ctx, req.Bytes(), ct, sp, hop)
+	out, err := d.codec.EncodePayload(resp)
+	sp.Mark(obs.ServerEncode)
+	if err != nil {
+		return nil, fmt.Errorf("encode response: %w", err)
+	}
+	return out, nil
+}

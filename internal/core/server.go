@@ -8,7 +8,6 @@ import (
 	"log"
 	"net"
 	"sync"
-	"sync/atomic"
 
 	"bxsoap/internal/bxdm"
 	"bxsoap/internal/obs"
@@ -24,17 +23,14 @@ type Handler func(ctx context.Context, req *Envelope) (*Envelope, error)
 // options (WithErrorLog, WithUnderstood, WithObserver); a constructed
 // server carries no settable knobs, so there is nothing to race with Serve.
 type Server[E Encoding, B ServerBinding] struct {
-	codec   Codec[E]
-	bind    B
-	handler Handler
-	obs     *obs.Observer
-
-	// understood is the set of header QNames this node can process;
-	// mustUnderstand entries outside the set draw a MustUnderstand fault
-	// (SOAP 1.1 §4.2.3). The map itself is immutable — the deprecated
-	// Understand swaps in a fresh copy — so dispatch reads it without
-	// locking while Understand stays callable concurrently with Serve.
-	understood atomic.Pointer[map[bxdm.QName]bool]
+	// disp performs the transport-independent half of every exchange
+	// (decode → mustUnderstand → handler → fault conversion → encode); the
+	// server loop owns only the channel lifecycle around it. The same
+	// dispatcher type serves transports with their own scheduling (see
+	// internal/muxbind), so protocol behavior is defined exactly once.
+	disp *Dispatcher[E]
+	bind B
+	obs  *obs.Observer
 
 	// ctx is the server's lifetime context: handlers receive a context
 	// derived from it, and Close cancels it, so in-flight handlers observe
@@ -63,22 +59,15 @@ func NewServer[E Encoding, B ServerBinding](enc E, bind B, h Handler, opts ...Se
 		opt.applyServer(&cfg)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	s := &Server[E, B]{
-		codec:    NewCodec(enc),
+	return &Server[E, B]{
+		disp:     NewDispatcher(enc, h, opts...),
 		bind:     bind,
-		handler:  h,
 		obs:      cfg.obs,
 		ctx:      ctx,
 		cancel:   cancel,
 		chans:    make(map[Channel]struct{}),
 		errorLog: cfg.errorLog,
 	}
-	understood := make(map[bxdm.QName]bool, len(cfg.understood))
-	for _, n := range cfg.understood {
-		understood[bxdm.QName{Space: n.Space, Local: n.Local}] = true
-	}
-	s.understood.Store(&understood)
-	return s
 }
 
 // Understand registers header names this node processes, for
@@ -88,24 +77,17 @@ func NewServer[E Encoding, B ServerBinding](enc E, bind B, h Handler, opts ...Se
 //
 // Deprecated: pass WithUnderstood to NewServer instead.
 func (s *Server[E, B]) Understand(names ...bxdm.QName) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	old := *s.understood.Load()
-	next := make(map[bxdm.QName]bool, len(old)+len(names))
-	for k := range old {
-		next[k] = true
-	}
-	for _, n := range names {
-		next[bxdm.QName{Space: n.Space, Local: n.Local}] = true
-	}
-	s.understood.Store(&next)
+	s.disp.Understand(names...)
 }
 
 // Encoding returns the server's encoding policy.
-func (s *Server[E, B]) Encoding() E { return s.codec.Encoding() }
+func (s *Server[E, B]) Encoding() E { return s.disp.Encoding() }
 
 // Codec returns the server's serialization facade.
-func (s *Server[E, B]) Codec() Codec[E] { return s.codec }
+func (s *Server[E, B]) Codec() Codec[E] { return s.disp.Codec() }
+
+// Dispatcher returns the server's transport-independent dispatch half.
+func (s *Server[E, B]) Dispatcher() *Dispatcher[E] { return s.disp }
 
 // Addr reports the bound transport address.
 func (s *Server[E, B]) Addr() net.Addr { return s.bind.Addr() }
@@ -175,16 +157,14 @@ func (s *Server[E, B]) serveChannel(ch Channel) error {
 			}
 			return err
 		}
-		resp := s.dispatch(ctx, payload.Bytes(), ct, &sp, hop)
+		out, err := s.disp.DispatchPayload(ctx, payload, ct, &sp, hop)
 		payload.Release()
-		out, err := s.codec.EncodePayload(resp)
-		sp.Mark(obs.ServerEncode)
 		if err != nil {
 			s.obs.FinishHop(hop, err)
-			return fmt.Errorf("encode response: %w", err)
+			return err
 		}
 		// SendResponse takes ownership of out and releases it when written.
-		if err := ch.SendResponse(out, s.codec.ContentType()); err != nil {
+		if err := ch.SendResponse(out, s.disp.Codec().ContentType()); err != nil {
 			sp.Mark(obs.ServerSend)
 			s.obs.FinishHop(hop, err)
 			return fmt.Errorf("send response: %w", err)
@@ -192,55 +172,6 @@ func (s *Server[E, B]) serveChannel(ch Channel) error {
 		sp.Mark(obs.ServerSend)
 		s.obs.FinishHop(hop, nil)
 	}
-}
-
-// dispatch decodes, enforces mustUnderstand, runs the handler, and converts
-// errors to faults. It never fails: protocol problems become fault
-// envelopes, which is what a SOAP node owes its peer.
-func (s *Server[E, B]) dispatch(ctx context.Context, payload []byte, ct string, sp *obs.Span, hop *obs.Hop) *Envelope {
-	s.obs.Inc(obs.ServerRequests)
-	if err := CheckContentType(s.codec.Encoding(), ct); err != nil {
-		sp.Mark(obs.ServerDecode)
-		s.obs.Inc(obs.ServerFaults)
-		return (&Fault{Code: FaultClient, String: err.Error()}).Envelope()
-	}
-	req, err := s.codec.DecodeEnvelope(payload)
-	sp.Mark(obs.ServerDecode)
-	if err != nil {
-		s.obs.Inc(obs.ServerFaults)
-		return (&Fault{Code: FaultClient, String: fmt.Sprintf("cannot decode request: %v", err)}).Envelope()
-	}
-	// The wire trace context (when the client sent one) places this hop on
-	// the request path; an unbound hop self-roots at FinishHop.
-	BindServerTrace(hop, req)
-	for _, h := range req.HeaderEntries {
-		el, ok := h.(bxdm.ElementNode)
-		if !ok || !mustUnderstand(el) {
-			continue
-		}
-		name := el.ElemName()
-		if !(*s.understood.Load())[bxdm.QName{Space: name.Space, Local: name.Local}] {
-			s.obs.Inc(obs.ServerFaults)
-			return (&Fault{
-				Code:   FaultMustUnderstand,
-				String: fmt.Sprintf("header %v not understood", name),
-			}).Envelope()
-		}
-	}
-	resp, err := s.handler(ctx, req)
-	sp.Mark(obs.ServerHandler)
-	if err != nil {
-		s.obs.Inc(obs.ServerFaults)
-		var f *Fault
-		if errors.As(err, &f) {
-			return f.Envelope()
-		}
-		return (&Fault{Code: FaultServer, String: err.Error()}).Envelope()
-	}
-	if resp == nil {
-		resp = NewEnvelope()
-	}
-	return resp
 }
 
 // Close stops the server: it cancels the handler context, closes all live

@@ -1,0 +1,121 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"bxsoap/internal/core"
+	"bxsoap/internal/dataset"
+	"bxsoap/internal/muxbind"
+	"bxsoap/internal/netsim"
+	"bxsoap/internal/svcpool"
+)
+
+// buildMux starts a muxbind server for the unified verification service on
+// nw and returns an svcpool of engines whose bindings multiplex streams over
+// at most `conns` shared connections. The pool's "connections" are logical
+// bindings — cheap stream slots — while the socket budget is enforced by the
+// transport's session cap, which is the asymmetry this experiment measures.
+func buildMux(nw *netsim.Network, encoding string, conns, concurrency int) (pooledCaller, []func() error, error) {
+	l, err := nw.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	// Size the per-connection stream window so `concurrency` callers spread
+	// over `conns` sessions block on completions, not on an artificially
+	// small credit window, and the dispatch queue so admission control never
+	// sheds: this experiment measures completed throughput, not overload
+	// behaviour (that path has its own tests).
+	credit := 2 * (concurrency + conns - 1) / conns
+	if credit < 64 {
+		credit = 64
+	}
+	cfg := muxbind.Config{StreamCredit: credit, Queue: 2 * concurrency}
+	pcfg := svcpool.Config{MaxConns: concurrency, MaxInflight: concurrency}
+	addr := l.Addr().String()
+	switch encoding {
+	case "BXSA":
+		srv := muxbind.NewServer(core.BXSAEncoding{}, unifiedHandler, cfg)
+		go srv.Serve(l)
+		tr := muxbind.NewTransport(nw.Dial, addr, muxbind.WithMaxSessions(conns))
+		pool := svcpool.New(func(context.Context) (*core.Engine[core.BXSAEncoding, *muxbind.Binding], error) {
+			return core.NewEngine(core.BXSAEncoding{}, tr.NewBinding()), nil
+		}, pcfg)
+		return pool, []func() error{pool.Close, tr.Close, srv.Close}, nil
+	case "XML":
+		srv := muxbind.NewServer(core.XMLEncoding{}, unifiedHandler, cfg)
+		go srv.Serve(l)
+		tr := muxbind.NewTransport(nw.Dial, addr, muxbind.WithMaxSessions(conns))
+		pool := svcpool.New(func(context.Context) (*core.Engine[core.XMLEncoding, *muxbind.Binding], error) {
+			return core.NewEngine(core.XMLEncoding{}, tr.NewBinding()), nil
+		}, pcfg)
+		return pool, []func() error{pool.Close, tr.Close, srv.Close}, nil
+	default:
+		l.Close()
+		return nil, nil, fmt.Errorf("harness: unknown mux encoding %s", encoding)
+	}
+}
+
+// MuxThroughput measures aggregate request throughput over the
+// stream-multiplexed transport: `calls` total invocations of the unified
+// verification service at model size `size`, from `concurrency` concurrent
+// callers interleaved onto at most `conns` connections. It is the mux
+// counterpart of PooledThroughput — compare the two at equal `conns` to see
+// what multiplexing buys at a fixed socket budget.
+func MuxThroughput(nw *netsim.Network, encoding string, conns, concurrency, calls, size int) (ThroughputPoint, error) {
+	pt := ThroughputPoint{
+		Scheme:      fmt.Sprintf("Mux %s/TCP (conns=%d, c=%d)", encoding, conns, concurrency),
+		Profile:     nw.Profile().Name,
+		Concurrency: concurrency,
+		Calls:       calls,
+	}
+	pool, closers, err := buildMux(nw, encoding, conns, concurrency)
+	if err != nil {
+		return pt, err
+	}
+	defer func() {
+		for _, c := range closers {
+			c()
+		}
+	}()
+	m := dataset.Generate(size)
+	env := core.NewEnvelope(m.Element())
+	// Warm-up: one exchange per session so every socket is dialed and its
+	// initial credit window received before the clock starts.
+	if err := runConcurrent(pool, env, conns, conns); err != nil {
+		return pt, err
+	}
+	runtime.GC()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	if err := runConcurrent(pool, env, concurrency, calls); err != nil {
+		return pt, err
+	}
+	pt.Elapsed = time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	pt.CallsPerSec = float64(calls) / pt.Elapsed.Seconds()
+	pt.PairsPerSec = pt.CallsPerSec * float64(size)
+	pt.BytesPerOp = (ms1.TotalAlloc - ms0.TotalAlloc) / uint64(calls)
+	pt.AllocsPerOp = (ms1.Mallocs - ms0.Mallocs) / uint64(calls)
+	pt.Stats = pool.Stats()
+	return pt, nil
+}
+
+// ThroughputRecord flattens a throughput point into a bench artifact record
+// keyed by its scheme label, so cmd/benchdiff tracks concurrent-throughput
+// trajectories (notably mux at c=1000) alongside the stage combos.
+func ThroughputRecord(pt ThroughputPoint) BenchRecord {
+	r := BenchRecord{
+		Scheme:      pt.Scheme,
+		Calls:       uint64(pt.Calls),
+		BytesPerOp:  pt.BytesPerOp,
+		AllocsPerOp: pt.AllocsPerOp,
+	}
+	if pt.Calls > 0 {
+		r.NsPerOp = pt.Elapsed.Nanoseconds() / int64(pt.Calls)
+	}
+	return r
+}

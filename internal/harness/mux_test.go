@@ -1,0 +1,40 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"bxsoap/internal/core"
+	"bxsoap/internal/netsim"
+)
+
+// TestMuxThroughputCompletes smoke-tests the mux experiment plumbing at a
+// small scale: every call completes, the socket budget is respected by
+// construction (the transport caps sessions), and the pooled payloads all
+// return to the pool once the schemes tear down. The full c=1000 contest
+// against the pooled runtime is BenchmarkMuxThroughput at the repo root.
+func TestMuxThroughputCompletes(t *testing.T) {
+	baseline := core.PayloadsInUse()
+	pt, err := MuxThroughput(netsim.New(netsim.LAN), "BXSA", 2, 16, 64, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.CallsPerSec <= 0 {
+		t.Errorf("CallsPerSec = %v, want > 0", pt.CallsPerSec)
+	}
+	if !strings.Contains(pt.Scheme, "Mux") {
+		t.Errorf("Scheme = %q, want a mux label", pt.Scheme)
+	}
+	rec := ThroughputRecord(pt)
+	if rec.Scheme != pt.Scheme || rec.NsPerOp <= 0 {
+		t.Errorf("ThroughputRecord = %+v", rec)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for core.PayloadsInUse() != baseline && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if n := core.PayloadsInUse(); n != baseline {
+		t.Errorf("PayloadsInUse = %d, want %d (leak across mux teardown)", n, baseline)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"text/tabwriter"
 	"time"
@@ -164,12 +165,17 @@ func (p *PooledUnified) Teardown() error {
 
 // ThroughputPoint is one measured concurrent-throughput sample.
 type ThroughputPoint struct {
+	Scheme      string
 	Profile     string
 	Concurrency int
 	Calls       int
 	Elapsed     time.Duration
 	CallsPerSec float64
 	PairsPerSec float64
+	// BytesPerOp/AllocsPerOp are whole-process per-call heap costs of the
+	// timed loop (runtime.MemStats deltas), for the CI bench artifact.
+	BytesPerOp  uint64
+	AllocsPerOp uint64
 	Stats       svcpool.Stats
 	Err         error
 }
@@ -178,7 +184,12 @@ type ThroughputPoint struct {
 // invocations of the unified verification service at model size `size`,
 // spread over `concurrency` workers sharing a pool of `conns` connections.
 func PooledThroughput(nw *netsim.Network, encoding, transport string, conns, concurrency, calls, size int) (ThroughputPoint, error) {
-	pt := ThroughputPoint{Profile: nw.Profile().Name, Concurrency: concurrency, Calls: calls}
+	pt := ThroughputPoint{
+		Scheme:      fmt.Sprintf("Pooled %s/%s (conns=%d, c=%d)", encoding, transportLabel(transport), conns, concurrency),
+		Profile:     nw.Profile().Name,
+		Concurrency: concurrency,
+		Calls:       calls,
+	}
 	pool, closers, err := buildPooled(nw, encoding, transport, svcpool.Config{
 		MaxConns:    conns,
 		MaxInflight: concurrency,
@@ -198,13 +209,19 @@ func PooledThroughput(nw *netsim.Network, encoding, transport string, conns, con
 	if err := runConcurrent(pool, env, conns, conns); err != nil {
 		return pt, err
 	}
+	runtime.GC()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	start := time.Now()
 	if err := runConcurrent(pool, env, concurrency, calls); err != nil {
 		return pt, err
 	}
 	pt.Elapsed = time.Since(start)
+	runtime.ReadMemStats(&ms1)
 	pt.CallsPerSec = float64(calls) / pt.Elapsed.Seconds()
 	pt.PairsPerSec = pt.CallsPerSec * float64(size)
+	pt.BytesPerOp = (ms1.TotalAlloc - ms0.TotalAlloc) / uint64(calls)
+	pt.AllocsPerOp = (ms1.Mallocs - ms0.Mallocs) / uint64(calls)
 	pt.Stats = pool.Stats()
 	return pt, nil
 }
@@ -238,14 +255,14 @@ func runConcurrent(pool pooledCaller, env *core.Envelope, workers, total int) er
 // PrintThroughput renders pooled-throughput points as a table.
 func PrintThroughput(w io.Writer, points []ThroughputPoint) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "profile\tconcurrency\tcalls\telapsed\tcalls/s\tpairs/s\tdials\treuses\tretries")
+	fmt.Fprintln(tw, "scheme\tprofile\tconcurrency\tcalls\telapsed\tcalls/s\tpairs/s\tdials\treuses\tretries")
 	for _, p := range points {
 		if p.Err != nil {
-			fmt.Fprintf(tw, "%s\t%d\t%d\tERROR: %v\t\t\t\t\t\n", p.Profile, p.Concurrency, p.Calls, p.Err)
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%d\tERROR: %v\t\t\t\t\t\n", p.Scheme, p.Profile, p.Concurrency, p.Calls, p.Err)
 			continue
 		}
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%v\t%.0f\t%.0f\t%d\t%d\t%d\n",
-			p.Profile, p.Concurrency, p.Calls, p.Elapsed.Round(time.Millisecond),
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%v\t%.0f\t%.0f\t%d\t%d\t%d\n",
+			p.Scheme, p.Profile, p.Concurrency, p.Calls, p.Elapsed.Round(time.Millisecond),
 			p.CallsPerSec, p.PairsPerSec, p.Stats.Dials, p.Stats.Reuses, p.Stats.Retries)
 	}
 	tw.Flush()

@@ -1,0 +1,254 @@
+package muxbind
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"bxsoap/internal/core"
+	"bxsoap/internal/vls"
+)
+
+const (
+	magic0, magic1 = 'B', 'X'
+	version        = 0x02
+
+	// MaxFrameSize bounds a single DATA frame's payload; larger length
+	// prefixes are rejected before any allocation, guarding against hostile
+	// or desynchronized peers (same bound as tcpbind's v1 frame).
+	MaxFrameSize = 1 << 30
+
+	// maxContentTypeLen bounds the DATA frame's content-type field,
+	// likewise checked before allocation.
+	maxContentTypeLen = 1024
+
+	// maxDetailLen bounds the human-readable detail carried by RST and
+	// GOAWAY frames. Detail is diagnostic text, not data; a peer that needs
+	// more than this is up to something.
+	maxDetailLen = 256
+
+	// maxCreditGrant bounds a single CREDIT frame's grant. The grant loop
+	// on the receive side is linear in n, so an unbounded n would let a
+	// hostile peer buy a long spin with five bytes.
+	maxCreditGrant = 1 << 20
+)
+
+// Frame types. Stream 0 is reserved for connection control: CREDIT and
+// GOAWAY must use it, DATA and RST must not.
+const (
+	fData   = 0x00
+	fRst    = 0x01
+	fCredit = 0x02
+	fGoaway = 0x03
+)
+
+// RST / GOAWAY codes.
+const (
+	// RstOverload: the server's admission control refused the stream; the
+	// request was never dispatched and is safe to retry elsewhere.
+	RstOverload = 1
+	// RstCancel: the peer abandoned the stream (context cancellation).
+	RstCancel = 2
+	// RstProtocol: the stream violated framing or flow-control rules.
+	RstProtocol = 3
+	// RstInternal: the server failed to produce a response (encode error).
+	RstInternal = 4
+	// GoawayShutdown: the connection is closing in an orderly fashion.
+	GoawayShutdown = 5
+)
+
+// rstCodeName returns a stable human-readable name for an RST/GOAWAY code
+// (unknown codes print numerically).
+func rstCodeName(code uint64) string {
+	switch code {
+	case RstOverload:
+		return "overload"
+	case RstCancel:
+		return "cancel"
+	case RstProtocol:
+		return "protocol"
+	case RstInternal:
+		return "internal"
+	case GoawayShutdown:
+		return "shutdown"
+	}
+	return fmt.Sprintf("code %d", code)
+}
+
+// frame is one decoded mux frame. Exactly the fields implied by typ are
+// meaningful; payload is non-nil only for DATA frames, and the caller owns
+// it.
+type frame struct {
+	typ     byte
+	stream  uint64
+	ct      string        // DATA
+	payload *core.Payload // DATA (owned by caller)
+	code    uint64        // RST, GOAWAY
+	detail  string        // RST, GOAWAY
+	credit  uint64        // CREDIT
+}
+
+// frameReader holds one connection's receive-side reuse state: scratch
+// buffers for the bounded string fields and a cache of the content type's
+// string form (the same peer sends the same content type on every frame).
+type frameReader struct {
+	ctScratch     [maxContentTypeLen]byte
+	detailScratch [maxDetailLen]byte
+	lastCT        string
+}
+
+// read decodes one frame; for DATA frames the caller owns f.payload and
+// must release it. Every length prefix is validated against its bound
+// BEFORE any buffer is sized from it, so a hostile prefix can never trigger
+// a large allocation (and the payload itself arrives through
+// core.ReadPayload's chunked growth).
+//
+//paylint:returns owned
+func (fr *frameReader) read(r *bufio.Reader) (frame, error) {
+	var f frame
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return f, err
+	}
+	if hdr[0] != magic0 || hdr[1] != magic1 {
+		return f, fmt.Errorf("muxbind: bad frame magic %x", hdr[:2])
+	}
+	if hdr[2] != version {
+		return f, fmt.Errorf("muxbind: unsupported frame version %d", hdr[2])
+	}
+	f.typ = hdr[3]
+	stream, err := vls.ReadUint(r)
+	if err != nil {
+		return f, err
+	}
+	f.stream = stream
+	switch f.typ {
+	case fData:
+		if stream == 0 {
+			return f, fmt.Errorf("muxbind: DATA frame on control stream 0")
+		}
+		ctLen, err := vls.ReadUint(r)
+		if err != nil {
+			return f, err
+		}
+		if ctLen > maxContentTypeLen {
+			return f, fmt.Errorf("muxbind: content-type length %d too large", ctLen)
+		}
+		ctBytes := fr.ctScratch[:ctLen]
+		if _, err := io.ReadFull(r, ctBytes); err != nil {
+			return f, err
+		}
+		ct := fr.lastCT
+		if string(ctBytes) != ct {
+			ct = string(ctBytes)
+			fr.lastCT = ct
+		}
+		f.ct = ct
+		n, err := vls.ReadUint(r)
+		if err != nil {
+			return f, err
+		}
+		if n > MaxFrameSize {
+			return f, fmt.Errorf("muxbind: frame length %d exceeds limit", n)
+		}
+		payload, err := core.ReadPayload(r, int64(n), MaxFrameSize)
+		if err != nil {
+			return f, err
+		}
+		f.payload = payload
+		return f, nil
+	case fRst:
+		if stream == 0 {
+			return f, fmt.Errorf("muxbind: RST frame on control stream 0")
+		}
+		return fr.readCodeDetail(r, f)
+	case fCredit:
+		if stream != 0 {
+			return f, fmt.Errorf("muxbind: CREDIT frame on stream %d", stream)
+		}
+		n, err := vls.ReadUint(r)
+		if err != nil {
+			return f, err
+		}
+		if n == 0 || n > maxCreditGrant {
+			return f, fmt.Errorf("muxbind: credit grant %d out of range", n)
+		}
+		f.credit = n
+		return f, nil
+	case fGoaway:
+		if stream != 0 {
+			return f, fmt.Errorf("muxbind: GOAWAY frame on stream %d", stream)
+		}
+		return fr.readCodeDetail(r, f)
+	}
+	return f, fmt.Errorf("muxbind: unknown frame type %#x", f.typ)
+}
+
+// readCodeDetail decodes the shared RST/GOAWAY body into f.
+func (fr *frameReader) readCodeDetail(r *bufio.Reader, f frame) (frame, error) {
+	code, err := vls.ReadUint(r)
+	if err != nil {
+		return f, err
+	}
+	f.code = code
+	dLen, err := vls.ReadUint(r)
+	if err != nil {
+		return f, err
+	}
+	if dLen > maxDetailLen {
+		return f, fmt.Errorf("muxbind: detail length %d too large", dLen)
+	}
+	d := fr.detailScratch[:dLen]
+	if _, err := io.ReadFull(r, d); err != nil {
+		return f, err
+	}
+	f.detail = string(d)
+	return f, nil
+}
+
+// The write helpers append one frame to a bufio.Writer WITHOUT flushing:
+// the session/connection writer goroutines batch several frames per flush,
+// which is the coalescing that lets small concurrent calls share a syscall
+// (and, over netsim, a turnaround). bufio.Writer latches its first error,
+// so only the final Flush's error needs checking.
+
+func writeHeader(w *bufio.Writer, typ byte, stream uint64) {
+	w.WriteByte(magic0)
+	w.WriteByte(magic1)
+	w.WriteByte(version)
+	w.WriteByte(typ)
+	vls.WriteUint(w, stream)
+}
+
+func writeData(w *bufio.Writer, stream uint64, payload []byte, contentType string) {
+	writeHeader(w, fData, stream)
+	vls.WriteUint(w, uint64(len(contentType)))
+	w.WriteString(contentType)
+	vls.WriteUint(w, uint64(len(payload)))
+	w.Write(payload)
+}
+
+func writeRst(w *bufio.Writer, stream, code uint64, detail string) {
+	if len(detail) > maxDetailLen {
+		detail = detail[:maxDetailLen]
+	}
+	writeHeader(w, fRst, stream)
+	vls.WriteUint(w, code)
+	vls.WriteUint(w, uint64(len(detail)))
+	w.WriteString(detail)
+}
+
+func writeCredit(w *bufio.Writer, n uint64) {
+	writeHeader(w, fCredit, 0)
+	vls.WriteUint(w, n)
+}
+
+func writeGoaway(w *bufio.Writer, code uint64, detail string) {
+	if len(detail) > maxDetailLen {
+		detail = detail[:maxDetailLen]
+	}
+	writeHeader(w, fGoaway, 0)
+	vls.WriteUint(w, code)
+	vls.WriteUint(w, uint64(len(detail)))
+	w.WriteString(detail)
+}

@@ -1,0 +1,329 @@
+package muxbind
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"bxsoap/internal/core"
+	"bxsoap/internal/obs"
+)
+
+// ErrOverloaded marks a stream the server shed under admission control: the
+// request was never dispatched, so retrying it (on this or any transport)
+// is safe. It always arrives wrapped in a core.TransportError, so pooled
+// retry logic already treats it as retryable; errors.Is against this
+// sentinel distinguishes "server full" from "wire broke".
+var ErrOverloaded = errors.New("muxbind: server overloaded")
+
+// maxClientCredits caps how many unconsumed flow-control tokens a session
+// banks. Grants beyond the cap are dropped (lowering effective concurrency,
+// never correctness): the cap is what lets the write queue be sized so that
+// enqueueing — bounded by open streams, which are bounded by consumed
+// credits — can never block against a well-behaved server.
+const maxClientCredits = 1024
+
+// result is one stream's terminal outcome, delivered exactly once on the
+// stream's response channel: a payload (ownership transfers to the waiting
+// binding) or an error (RST, session death).
+type result struct {
+	payload *core.Payload
+	ct      string
+	err     error
+}
+
+// wreq is one frame queued for the session's writer goroutine. DATA frames
+// carry a retained payload the writer releases after copying it into the
+// connection's buffer.
+type wreq struct {
+	typ     byte
+	stream  uint64
+	payload *core.Payload
+	ct      string
+	code    uint64
+	detail  string
+}
+
+// Session is one multiplexed connection: a reader goroutine demultiplexing
+// inbound frames to per-stream channels, a writer goroutine coalescing
+// outbound frames into batched flushes, and a credit account replenished by
+// the server's CREDIT frames.
+type Session struct {
+	conn net.Conn
+	obs  *obs.Observer
+
+	// writeq feeds the writer goroutine. Its capacity covers the worst
+	// legal occupancy — one DATA plus one RST per open stream, and open
+	// streams are bounded by maxClientCredits — so enqueue never blocks; a
+	// full queue therefore indicates a flow-control violation and fails
+	// the session rather than wedging a caller.
+	writeq chan wreq
+	// credits holds banked flow-control tokens; opening a stream consumes
+	// one, CREDIT frames replenish.
+	credits chan struct{}
+	done    chan struct{}
+
+	mu      sync.Mutex
+	streams map[uint64]chan result
+	nextID  uint64
+	active  int64
+	failed  error
+}
+
+func newSession(conn net.Conn, o *obs.Observer) *Session {
+	s := &Session{
+		conn:    conn,
+		obs:     o,
+		writeq:  make(chan wreq, 2*maxClientCredits+8),
+		credits: make(chan struct{}, maxClientCredits),
+		done:    make(chan struct{}),
+		streams: make(map[uint64]chan result),
+		nextID:  1,
+	}
+	go s.readLoop()
+	go s.writeLoop()
+	return s
+}
+
+func (s *Session) dead() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// failure returns the session's terminal error (classified), or a generic
+// closed error if the session was shut down cleanly.
+func (s *Session) failure() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed != nil {
+		return s.failed
+	}
+	return &core.TransportError{Op: "mux session", Err: net.ErrClosed}
+}
+
+// fail retires the session: it records the classified error, closes the
+// connection and the done channel, delivers the error to every registered
+// stream, and drains the write queue. Idempotent; only the first caller's
+// error sticks. Any frame-level failure must come through here — a partial
+// write or a desynchronized read poisons the whole connection, exactly as
+// in tcpbind, except that here one connection's death fails every stream
+// multiplexed onto it.
+//
+//paylint:classifies
+func (s *Session) fail(op string, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed != nil {
+		return
+	}
+	s.failed = &core.TransportError{Op: op, Err: fmt.Errorf("muxbind: %w: %w", core.ErrBindingPoisoned, err)}
+	close(s.done)
+	s.conn.Close()
+	for id, ch := range s.streams {
+		delete(s.streams, id)
+		ch <- result{err: s.failed}
+	}
+	s.obs.GaugeAdd(obs.MuxStreams, -s.active)
+	s.active = 0
+	// Senders hold mu to enqueue and check failed first, so no new frames
+	// can race this drain; release whatever the writer had not reached.
+	for {
+		select {
+		case w := <-s.writeq:
+			w.payload.Release()
+		default:
+			return
+		}
+	}
+}
+
+// close shuts the session down (transport closing). In-flight streams fail
+// with a classified error.
+func (s *Session) close() error {
+	s.fail("mux close", net.ErrClosed)
+	return nil
+}
+
+// open registers a new stream and returns its ID and result channel. The
+// caller must already hold a credit.
+func (s *Session) open() (uint64, chan result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed != nil {
+		return 0, nil, s.failed
+	}
+	id := s.nextID
+	s.nextID++
+	ch := make(chan result, 1)
+	s.streams[id] = ch
+	s.active++
+	s.obs.Inc(obs.MuxStreamsOpened)
+	s.obs.GaugeAdd(obs.MuxStreams, 1)
+	s.obs.GaugeObserve(obs.MuxStreamsPerConn, s.active)
+	return id, ch, nil
+}
+
+// enqueue hands a frame to the writer. Under mu so it cannot race fail's
+// drain: after fail wins, the error returns here and the caller keeps
+// ownership of any payload it retained.
+func (s *Session) enqueue(w wreq) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed != nil {
+		return s.failed
+	}
+	select {
+	case s.writeq <- w:
+		return nil
+	default:
+		// The occupancy bound (see writeq) makes this unreachable against
+		// a conforming peer; treat it as the flow-control violation it is.
+		s.mu.Unlock()
+		s.fail("mux write queue", errors.New("write queue overflow: flow-control violation"))
+		s.mu.Lock()
+		return s.failed
+	}
+}
+
+// abandon ends the caller's interest in a stream (cancellation). If the
+// result already arrived it is drained and released; otherwise the stream
+// is unregistered and a best-effort RST(cancel) tells the server to stop.
+func (s *Session) abandon(id uint64, ch chan result) {
+	s.mu.Lock()
+	if _, ok := s.streams[id]; ok {
+		delete(s.streams, id)
+		s.active--
+		s.obs.GaugeAdd(obs.MuxStreams, -1)
+		if s.failed == nil {
+			select {
+			case s.writeq <- wreq{typ: fRst, stream: id, code: RstCancel, detail: "context cancelled"}:
+			default:
+			}
+		}
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	// The reader delivered before we got here; the result is sitting in the
+	// buffered channel, and nobody else will ever read it.
+	select {
+	case r := <-ch:
+		r.payload.Release()
+	default:
+	}
+}
+
+// deliver routes a terminal result to its stream's waiter, releasing the
+// payload of results for streams nobody waits on anymore (abandoned, then
+// answered).
+func (s *Session) deliver(id uint64, r result) {
+	s.mu.Lock()
+	ch, ok := s.streams[id]
+	if ok {
+		delete(s.streams, id)
+		s.active--
+		s.obs.GaugeAdd(obs.MuxStreams, -1)
+		ch <- r
+	}
+	s.mu.Unlock()
+	if !ok {
+		r.payload.Release()
+	}
+}
+
+// rstError classifies a received RST into the transport-error taxonomy.
+// Overload sheds additionally wrap ErrOverloaded so callers can tell
+// "server full, retry later" from a broken wire; both poison only the
+// logical stream's binding, never the shared session.
+func rstError(code uint64, detail string) error {
+	if code == RstOverload {
+		return &core.TransportError{Op: "mux stream", Err: fmt.Errorf("%w: stream shed: %s", ErrOverloaded, detail)}
+	}
+	return &core.TransportError{Op: "mux stream", Err: fmt.Errorf("muxbind: stream reset (%s): %s", rstCodeName(code), detail)}
+}
+
+// readLoop demultiplexes inbound frames until the connection dies. It owns
+// the receive side: every DATA payload it reads is either handed to the
+// stream's waiter (ownership transfers through the result channel) or
+// released here.
+func (s *Session) readLoop() {
+	br := bufio.NewReaderSize(s.conn, 64<<10)
+	var fr frameReader
+	for {
+		f, err := fr.read(br)
+		if err != nil {
+			s.fail("mux read", err)
+			return
+		}
+		switch f.typ {
+		case fData:
+			s.obs.Inc(obs.MessagesReceived)
+			s.obs.Add(obs.BytesReceived, uint64(f.payload.Len()))
+			s.deliver(f.stream, result{payload: f.payload, ct: f.ct})
+		case fRst:
+			s.obs.Inc(obs.MuxResets)
+			s.obs.Event(obs.EvStreamReset, rstCodeName(f.code))
+			s.deliver(f.stream, result{err: rstError(f.code, f.detail)})
+		case fCredit:
+			for i := uint64(0); i < f.credit; i++ {
+				select {
+				case s.credits <- struct{}{}:
+				default:
+					// Bank full: drop the token (see maxClientCredits).
+					i = f.credit
+				}
+			}
+		case fGoaway:
+			s.fail("mux goaway", fmt.Errorf("server going away (%s): %s", rstCodeName(f.code), f.detail))
+			return
+		}
+	}
+}
+
+// writeLoop drains the write queue into the connection, coalescing every
+// frame ready at flush time into one syscall — the batching that lets many
+// small concurrent requests share a write (and, over netsim, a turnaround).
+func (s *Session) writeLoop() {
+	bw := bufio.NewWriterSize(s.conn, 64<<10)
+	for {
+		select {
+		case w := <-s.writeq:
+			s.writeOne(bw, w)
+			for more := true; more; {
+				select {
+				case w := <-s.writeq:
+					s.writeOne(bw, w)
+				default:
+					more = false
+				}
+			}
+			if err := bw.Flush(); err != nil {
+				s.fail("mux write", err)
+				return
+			}
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// writeOne appends one frame to the write buffer (no flush) and settles
+// payload ownership. bufio latches errors, so the flush in writeLoop sees
+// any failure from here.
+func (s *Session) writeOne(bw *bufio.Writer, w wreq) {
+	switch w.typ {
+	case fData:
+		writeData(bw, w.stream, w.payload.Bytes(), w.ct)
+		s.obs.Inc(obs.MessagesSent)
+		s.obs.Add(obs.BytesSent, uint64(w.payload.Len()))
+		w.payload.Release()
+	case fRst:
+		writeRst(bw, w.stream, w.code, w.detail)
+	}
+}

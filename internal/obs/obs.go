@@ -75,6 +75,22 @@ func (g *Gauge) Add(d int64) {
 	}
 }
 
+// Observe records an externally tracked instantaneous value: the gauge
+// takes v as its current reading and advances the high-water mark past it
+// if needed. It is the sampling counterpart of Add, for quantities whose
+// per-entity count lives elsewhere (e.g. each mux connection reporting its
+// own stream count into a shared gauge, where only the maximum is
+// meaningful).
+func (g *Gauge) Observe(v int64) {
+	g.v.Store(v)
+	for {
+		hw := g.hw.Load()
+		if v <= hw || g.hw.CompareAndSwap(hw, v) {
+			return
+		}
+	}
+}
+
 // Load returns the current value.
 func (g *Gauge) Load() int64 { return g.v.Load() }
 
@@ -138,6 +154,16 @@ const (
 	NetTurnarounds
 	// NetBytes counts bytes paced through the netsim shaper.
 	NetBytes
+	// MuxStreamsOpened counts logical streams opened on multiplexed
+	// connections (client side: one per exchange admitted onto a session).
+	MuxStreamsOpened
+	// MuxSheds counts streams refused by the mux server's admission control
+	// (queue full → RST overload back to the client).
+	MuxSheds
+	// MuxResets counts streams aborted by an RST frame for any other reason
+	// (cancellation, flow-control violation, internal failure), counted by
+	// whichever side sent or surfaced the reset.
+	MuxResets
 
 	numCounters
 )
@@ -162,6 +188,9 @@ var counterNames = [numCounters]string{
 	BytesReceived:     "binding.bytes_received",
 	NetTurnarounds:    "netsim.turnarounds",
 	NetBytes:          "netsim.bytes",
+	MuxStreamsOpened:  "mux.streams_opened",
+	MuxSheds:          "mux.sheds",
+	MuxResets:         "mux.resets",
 }
 
 // String returns the counter's snapshot/JSON name.
@@ -182,13 +211,24 @@ const (
 	// PoolInflight tracks svcpool calls currently admitted; its high-water
 	// mark is the realized concurrency.
 	PoolInflight
+	// MuxStreams tracks logical streams currently open across every
+	// multiplexed connection reporting into this observer; its high-water
+	// mark is the realized stream concurrency.
+	MuxStreams
+	// MuxStreamsPerConn is fed via GaugeObserve with each connection's own
+	// instantaneous stream count; its high-water mark is therefore the most
+	// streams any single connection carried at once — the multiplexing
+	// factor actually achieved.
+	MuxStreamsPerConn
 
 	numGauges
 )
 
 var gaugeNames = [numGauges]string{
-	PayloadsInUse: "payload.in_use",
-	PoolInflight:  "svcpool.inflight",
+	PayloadsInUse:     "payload.in_use",
+	PoolInflight:      "svcpool.inflight",
+	MuxStreams:        "mux.streams",
+	MuxStreamsPerConn: "mux.streams_per_conn",
 }
 
 // String returns the gauge's snapshot/JSON name.
@@ -286,6 +326,16 @@ func (o *Observer) GaugeAdd(g GaugeID, d int64) {
 		return
 	}
 	o.gauges[g].Add(d)
+}
+
+// GaugeObserve records v as gauge g's current reading and raises its
+// high-water mark when v exceeds it (see Gauge.Observe). No-op on a nil
+// Observer.
+func (o *Observer) GaugeObserve(g GaugeID, v int64) {
+	if o == nil {
+		return
+	}
+	o.gauges[g].Observe(v)
 }
 
 // Gauge returns gauge g's current value (0 on a nil Observer).

@@ -159,6 +159,22 @@ func TestGaugeHighWater(t *testing.T) {
 	}
 }
 
+// GaugeObserve records externally tracked instantaneous values: the gauge
+// takes the last reading, the high-water mark keeps the maximum across all
+// reporters, and lower observations never drag it down.
+func TestGaugeObserveHighWater(t *testing.T) {
+	o := New()
+	o.GaugeObserve(MuxStreamsPerConn, 5)
+	o.GaugeObserve(MuxStreamsPerConn, 12)
+	o.GaugeObserve(MuxStreamsPerConn, 2)
+	if got := o.Gauge(MuxStreamsPerConn); got != 2 {
+		t.Errorf("gauge = %d, want 2 (last observation)", got)
+	}
+	if got := o.GaugeHighWater(MuxStreamsPerConn); got != 12 {
+		t.Errorf("high water = %d, want 12", got)
+	}
+}
+
 // Span ordering: marks on a fake clock attribute each inter-mark interval
 // to the right stage, in recording order, including the fault/error path
 // (the trace hook sees stages exactly as marked).
@@ -224,6 +240,8 @@ func TestNilObserverIsFreeOfAllocations(t *testing.T) {
 		o.Inc(CallsStarted)
 		o.Add(BytesSent, 17)
 		o.GaugeAdd(PoolInflight, 1)
+		o.GaugeObserve(MuxStreamsPerConn, 3)
+		_ = o.GaugeHighWater(MuxStreamsPerConn)
 		o.ObserveStage(ClientEncode, time.Microsecond)
 		sp := o.Span()
 		sp.Mark(ClientSend)
@@ -244,6 +262,8 @@ func TestNilObserverIsFreeOfAllocations(t *testing.T) {
 		hsp.Mark(ClientWait)
 		o.FinishHop(h, nil)
 		o.Event(EvRetry, "x")
+		o.Event(EvStreamReset, "x")
+		o.Event(EvOverloadShed, "x")
 		_ = o.Recorder().Recent(1)
 		_ = o.Recorder().Trace(1)
 		_ = o.Recorder().Dropped()

@@ -26,6 +26,12 @@ const (
 	EvPayloadPoisoned
 	// EvRetry: a pooled call moved to a retry attempt.
 	EvRetry
+	// EvStreamReset: a multiplexed stream was aborted by an RST frame
+	// (cancellation, flow-control violation, or internal failure).
+	EvStreamReset
+	// EvOverloadShed: the mux server's admission control refused a stream
+	// because the dispatch queue was full.
+	EvOverloadShed
 
 	numEventKinds
 )
@@ -37,6 +43,8 @@ var eventKindNames = [numEventKinds]string{
 	EvConnRetired:     "conn.retired",
 	EvPayloadPoisoned: "payload.poisoned",
 	EvRetry:           "call.retry",
+	EvStreamReset:     "stream.reset",
+	EvOverloadShed:    "overload.shed",
 }
 
 // String returns the event kind's journal/JSON name.

@@ -198,3 +198,49 @@ func TestHostileLengthBoundsAllocation(t *testing.T) {
 		t.Errorf("hostile length prefix drove %d bytes of allocation, want chunked growth only", got)
 	}
 }
+
+// TestRejectsExtendedHeaderBeforeAllocation audits the v1 reader against
+// the muxbind extended header (version 0x02, then a frame-type byte and a
+// stream ID ahead of the length fields). A v2 frame reaching a v1 endpoint
+// must be rejected at the version byte — before any of the extended
+// header's varints could be misread as a length and sized into a buffer.
+// The hostile bytes after the version byte here would, if misparsed as a
+// v1 ctLen/len pair, claim ~1 GB.
+func TestRejectsExtendedHeaderBeforeAllocation(t *testing.T) {
+	script := []byte{magic0, magic1, 0x02, 0x00} // v2 magic + DATA type byte
+	script = vls.AppendUint(script, uint64(MaxFrameSize)-1)
+	script = vls.AppendUint(script, uint64(MaxFrameSize)-1)
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	var fr frameReader
+	payload, _, err := fr.readFrame(bufio.NewReader(bytes.NewReader(script)))
+	runtime.ReadMemStats(&after)
+	if err == nil {
+		payload.Release()
+		t.Fatal("extended-header frame accepted by v1 reader")
+	}
+	if !bytes.Contains([]byte(err.Error()), []byte("version")) {
+		t.Errorf("rejection error %q should fire on the version byte, before the length fields", err)
+	}
+	if got := after.TotalAlloc - before.TotalAlloc; got > 1<<20 {
+		t.Errorf("extended header drove %d bytes of allocation before rejection", got)
+	}
+}
+
+// TestHostileContentTypeLengthBounded: the content-type length prefix is
+// validated against its bound before the scratch slice is taken, for both
+// an absurd value and the first out-of-range one.
+func TestHostileContentTypeLengthBounded(t *testing.T) {
+	for _, ctLen := range []uint64{maxContentTypeLen + 1, 1 << 40} {
+		script := []byte{magic0, magic1, version}
+		script = vls.AppendUint(script, ctLen)
+		var fr frameReader
+		payload, _, err := fr.readFrame(bufio.NewReader(bytes.NewReader(script)))
+		if err == nil {
+			payload.Release()
+			t.Fatalf("content-type length %d accepted", ctLen)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// Stream-multiplexing acceptance benchmark: 1000 concurrent in-flight calls
+// over a simulated LAN complete on at most 8 multiplexed connections, and
+// throughput is no worse than the pooled one-conn-per-call runtime holding
+// the same 8-socket budget. One b.N iteration is the full paired experiment,
+// so run it with -benchtime 1x (or a small multiple); the per-configuration
+// calls/s land in the benchmark output as custom metrics.
+package bxsoap
+
+import (
+	"testing"
+	"time"
+
+	"bxsoap/internal/core"
+	"bxsoap/internal/harness"
+	"bxsoap/internal/netsim"
+)
+
+func BenchmarkMuxThroughput(b *testing.B) {
+	const (
+		conns       = 8
+		concurrency = 1000
+		calls       = 2 * concurrency
+		size        = 100
+	)
+	baseline := core.PayloadsInUse()
+	var mux, pooled harness.ThroughputPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		mux, err = harness.MuxThroughput(netsim.New(netsim.LAN), "BXSA", conns, concurrency, calls, size)
+		if err != nil {
+			b.Fatalf("mux: %v", err)
+		}
+		pooled, err = harness.PooledThroughput(netsim.New(netsim.LAN), "BXSA", "tcp", conns, concurrency, calls, size)
+		if err != nil {
+			b.Fatalf("pooled: %v", err)
+		}
+	}
+	b.ReportMetric(mux.CallsPerSec, "mux-calls/s")
+	b.ReportMetric(pooled.CallsPerSec, "pooled-calls/s")
+	b.ReportMetric(mux.CallsPerSec/pooled.CallsPerSec, "speedup")
+	// The acceptance bar: multiplexing must not lose to one-conn-per-call at
+	// an equal socket budget. On an RTT-shaped LAN the stream interleaving
+	// should win outright, so an inversion here is a real regression, not
+	// noise.
+	if mux.CallsPerSec < pooled.CallsPerSec {
+		b.Errorf("mux throughput %.0f calls/s below pooled %.0f calls/s at equal socket budget (conns=%d, c=%d)",
+			mux.CallsPerSec, pooled.CallsPerSec, conns, concurrency)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for core.PayloadsInUse() != baseline && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if n := core.PayloadsInUse(); n != baseline {
+		b.Errorf("PayloadsInUse = %d after teardown, want %d", n, baseline)
+	}
+}
