@@ -8,6 +8,7 @@
 //	benchharness -exp pool            # pooled concurrent throughput, LAN+WAN
 //	benchharness -exp stages          # per-stage latency breakdown (obs layer), LAN
 //	benchharness -exp mux             # stream-multiplexed vs pooled throughput at a fixed socket budget
+//	benchharness -exp templates       # schema-compiled plans: generic vs templated per-call cost
 //	benchharness -exp stages,mux      # comma-separated lists run several experiments
 //	benchharness -exp all -full       # everything, at the paper's full sizes
 //
@@ -36,7 +37,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment (comma-separated): table1, fig4, fig5, fig6, pool, stages, mux, or all")
+	exp := flag.String("exp", "all", "experiment (comma-separated): table1, fig4, fig5, fig6, pool, stages, mux, templates, or all")
 	full := flag.Bool("full", false, "run the complete model-size sweep (up to 5.59M pairs / 64MB; slow)")
 	iters := flag.Int("iters", 2, "measured iterations per point (minimum reported)")
 	sizesFlag := flag.String("sizes", "", "comma-separated model sizes overriding the experiment's default sweep")
@@ -178,6 +179,23 @@ func main() {
 				}
 				fmt.Fprintf(os.Stderr, "benchharness: wrote observability snapshots to %s\n", *obsJSON)
 			}
+			benchRecords = append(benchRecords, harness.BenchRecords(results)...)
+			return nil
+		})
+	}
+
+	if want("templates") {
+		run("Schema-compiled templates: generic vs templated per-call cost, LAN, model size 1000", func() error {
+			results, err := harness.TemplateBreakdown(harness.StageConfig{
+				Profile:   netsim.LAN,
+				ModelSize: 1000,
+				Calls:     max(*iters*10, 20),
+				Progress:  progress,
+			})
+			if err != nil {
+				return err
+			}
+			harness.PrintTemplateComparison(os.Stdout, results)
 			benchRecords = append(benchRecords, harness.BenchRecords(results)...)
 			return nil
 		})

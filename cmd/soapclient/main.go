@@ -43,6 +43,7 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-call deadline")
 	trace := flag.Bool("trace", false, "record request traces and print the last call's trace tree")
 	mux := flag.Bool("mux", false, "multiplex calls as streams over the framed transport (implies -transport tcp)")
+	templates := flag.Int("templates", 0, "schema-compiled template cache capacity, 0 disables (repeated shapes encode/decode by skeleton splice)")
 	flag.Parse()
 
 	if *conns <= 0 {
@@ -63,7 +64,7 @@ func main() {
 			obs.WithRecorder(obs.NewRecorder(obs.RecorderConfig{})),
 		)
 	}
-	pool, err := buildPool(*encoding, *transport, *addr, *mux, *conns, svcpool.Config{
+	pool, err := buildPool(*encoding, *transport, *addr, *mux, *conns, *templates, svcpool.Config{
 		MaxConns:    *conns,
 		MaxInflight: *inflight,
 		CallTimeout: *timeout,
@@ -166,38 +167,42 @@ type pooledCaller interface {
 // In mux mode the pool's "connections" are logical bindings — cheap stream
 // slots, so the pool is sized to the in-flight budget — while the real
 // sockets are capped at `conns` shared sessions inside the transport.
-func buildPool(encoding, transport, addr string, mux bool, conns int, cfg svcpool.Config, o *obs.Observer) (pooledCaller, error) {
+func buildPool(encoding, transport, addr string, mux bool, conns, templates int, cfg svcpool.Config, o *obs.Observer) (pooledCaller, error) {
 	if mux && transport != "tcp" {
 		return nil, fmt.Errorf("-mux is a framed TCP protocol; -transport %s is not supported", transport)
+	}
+	engOpts := []core.EngineOption{core.WithObserver(o)}
+	if templates > 0 {
+		engOpts = append(engOpts, core.WithTemplates(templates))
 	}
 	switch {
 	case mux && encoding == "bxsa":
 		tr := muxbind.NewTransport(muxbind.NetDialer, addr, muxbind.WithMaxSessions(conns), muxbind.WithObserver(o))
 		cfg.MaxConns = cfg.MaxInflight
 		return svcpool.New(func(context.Context) (*core.Engine[core.BXSAEncoding, *muxbind.Binding], error) {
-			return core.NewEngine(core.BXSAEncoding{}, tr.NewBinding(), core.WithObserver(o)), nil
+			return core.NewEngine(core.BXSAEncoding{}, tr.NewBinding(), engOpts...), nil
 		}, cfg, svcpool.WithObserver(o)), nil
 	case mux && encoding == "xml":
 		tr := muxbind.NewTransport(muxbind.NetDialer, addr, muxbind.WithMaxSessions(conns), muxbind.WithObserver(o))
 		cfg.MaxConns = cfg.MaxInflight
 		return svcpool.New(func(context.Context) (*core.Engine[core.XMLEncoding, *muxbind.Binding], error) {
-			return core.NewEngine(core.XMLEncoding{}, tr.NewBinding(), core.WithObserver(o)), nil
+			return core.NewEngine(core.XMLEncoding{}, tr.NewBinding(), engOpts...), nil
 		}, cfg, svcpool.WithObserver(o)), nil
 	case encoding == "bxsa" && transport == "tcp":
 		return svcpool.New(func(context.Context) (*core.Engine[core.BXSAEncoding, *tcpbind.Binding], error) {
-			return core.NewEngine(core.BXSAEncoding{}, tcpbind.New(tcpbind.NetDialer, addr, tcpbind.WithObserver(o)), core.WithObserver(o)), nil
+			return core.NewEngine(core.BXSAEncoding{}, tcpbind.New(tcpbind.NetDialer, addr, tcpbind.WithObserver(o)), engOpts...), nil
 		}, cfg, svcpool.WithObserver(o)), nil
 	case encoding == "xml" && transport == "tcp":
 		return svcpool.New(func(context.Context) (*core.Engine[core.XMLEncoding, *tcpbind.Binding], error) {
-			return core.NewEngine(core.XMLEncoding{}, tcpbind.New(tcpbind.NetDialer, addr, tcpbind.WithObserver(o)), core.WithObserver(o)), nil
+			return core.NewEngine(core.XMLEncoding{}, tcpbind.New(tcpbind.NetDialer, addr, tcpbind.WithObserver(o)), engOpts...), nil
 		}, cfg, svcpool.WithObserver(o)), nil
 	case encoding == "bxsa" && transport == "http":
 		return svcpool.New(func(context.Context) (*core.Engine[core.BXSAEncoding, *httpbind.Binding], error) {
-			return core.NewEngine(core.BXSAEncoding{}, httpbind.New(nil, "http://"+addr+"/soap", httpbind.WithObserver(o)), core.WithObserver(o)), nil
+			return core.NewEngine(core.BXSAEncoding{}, httpbind.New(nil, "http://"+addr+"/soap", httpbind.WithObserver(o)), engOpts...), nil
 		}, cfg, svcpool.WithObserver(o)), nil
 	case encoding == "xml" && transport == "http":
 		return svcpool.New(func(context.Context) (*core.Engine[core.XMLEncoding, *httpbind.Binding], error) {
-			return core.NewEngine(core.XMLEncoding{}, httpbind.New(nil, "http://"+addr+"/soap", httpbind.WithObserver(o)), core.WithObserver(o)), nil
+			return core.NewEngine(core.XMLEncoding{}, httpbind.New(nil, "http://"+addr+"/soap", httpbind.WithObserver(o)), engOpts...), nil
 		}, cfg, svcpool.WithObserver(o)), nil
 	default:
 		return nil, fmt.Errorf("unknown combination %s/%s", encoding, transport)

@@ -43,6 +43,7 @@ func main() {
 	muxWorkers := flag.Int("mux-workers", 0, "mux dispatch pool size (default: 4x GOMAXPROCS)")
 	muxQueue := flag.Int("mux-queue", 0, "mux dispatch queue depth; admissions beyond it are shed (default: 8x workers)")
 	muxCredit := flag.Int("mux-credit", 0, "per-connection concurrent stream window (default: 128)")
+	templates := flag.Int("templates", 0, "schema-compiled template cache capacity, 0 disables (repeated shapes encode/decode by skeleton splice)")
 	flag.Parse()
 
 	handler := func(_ context.Context, req *core.Envelope) (*core.Envelope, error) {
@@ -80,6 +81,9 @@ func main() {
 	core.SetPayloadObserver(o)
 	errLog := log.New(os.Stderr, "soapserver: ", log.LstdFlags)
 	srvOpts := []core.ServerOption{core.WithObserver(o), core.WithErrorLog(errLog)}
+	if *templates > 0 {
+		srvOpts = append(srvOpts, core.WithTemplates(*templates))
+	}
 
 	var srv interface {
 		Serve() error

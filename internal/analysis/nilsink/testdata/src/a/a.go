@@ -1,7 +1,7 @@
 // Package a is a nilsink corpus: sink types whose exported methods must
 // survive a nil receiver.
 //
-//paylint:nil-sink Sink Probe Journal Leg
+//paylint:nil-sink Sink Probe Journal Leg PlanCache
 package a
 
 // Sink mirrors obs.Observer: a metrics sink held as a nil-by-default field.
@@ -106,6 +106,32 @@ func (l *Leg) Bind(seq int) {
 }
 
 func (l *Leg) SetError(msg string) { l.err = msg } // want `Leg\.SetError never nil-checks its receiver`
+
+// PlanCache mirrors core.planCache: a nil-by-default template cache whose
+// counter surface is consulted unconditionally from codec hot paths.
+type PlanCache struct {
+	hits, misses uint64
+	plans        int
+}
+
+// Hit is properly guarded.
+func (c *PlanCache) Hit() {
+	if c == nil {
+		return
+	}
+	c.hits++
+}
+
+// Plans guards after setup, like a snapshot method.
+func (c *PlanCache) Plans() int {
+	n := 0
+	if c == nil {
+		return n
+	}
+	return c.plans
+}
+
+func (c *PlanCache) Miss() { c.misses++ } // want `PlanCache\.Miss never nil-checks its receiver`
 
 // Other types in the same package are not sinks.
 type plain struct{ n int }

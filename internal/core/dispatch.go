@@ -45,6 +45,11 @@ func NewDispatcher[E Encoding](enc E, h Handler, opts ...ServerOption) *Dispatch
 		handler: h,
 		obs:     cfg.obs,
 	}
+	if cfg.templates > 0 {
+		if tc, ok := any(enc).(TemplateCompiler); ok {
+			d.codec.plans = newPlanCache(tc, cfg.templates, cfg.obs)
+		}
+	}
 	understood := make(map[bxdm.QName]bool, len(cfg.understood))
 	for _, n := range cfg.understood {
 		understood[bxdm.QName{Space: n.Space, Local: n.Local}] = true

@@ -33,7 +33,13 @@ func NewEngine[E Encoding, B Binding](enc E, bind B, opts ...EngineOption) *Engi
 	for _, opt := range opts {
 		opt.applyEngine(&cfg)
 	}
-	return &Engine[E, B]{codec: NewCodec(enc), bind: bind, obs: cfg.obs}
+	e := &Engine[E, B]{codec: NewCodec(enc), bind: bind, obs: cfg.obs}
+	if cfg.templates > 0 {
+		if tc, ok := any(enc).(TemplateCompiler); ok {
+			e.codec.plans = newPlanCache(tc, cfg.templates, cfg.obs)
+		}
+	}
+	return e
 }
 
 // Encoding returns the engine's encoding policy.

@@ -37,13 +37,15 @@ type Option interface {
 }
 
 type engineConfig struct {
-	obs *obs.Observer
+	obs       *obs.Observer
+	templates int
 }
 
 type serverConfig struct {
 	obs        *obs.Observer
 	errorLog   *log.Logger
 	understood []bxdm.QName
+	templates  int
 }
 
 type observerOption struct{ o *obs.Observer }
@@ -76,3 +78,18 @@ func (v understoodOption) applyServer(c *serverConfig) {
 // mustUnderstand enforcement (§4.2.3). Repeatable; the sets union.
 // Replaces the deprecated post-construction Server.Understand.
 func WithUnderstood(names ...bxdm.QName) ServerOption { return understoodOption{names} }
+
+type templatesOption struct{ capacity int }
+
+func (v templatesOption) applyEngine(c *engineConfig) { c.templates = v.capacity }
+func (v templatesOption) applyServer(c *serverConfig) { c.templates = v.capacity }
+
+// WithTemplates enables the shape-keyed template cache: up to capacity
+// message shapes are compiled into byte-level encode/decode plans, and
+// repeated shapes skip the generic tree walk entirely (capacity <= 0 picks
+// a default). The option is a no-op when the encoding does not implement
+// TemplateCompiler (e.g. wssec-wrapped policies), and any shape the
+// compiler cannot prove faithful falls back to the generic path — enabling
+// templates never changes bytes on the wire or decoded trees. Off by
+// default.
+func WithTemplates(capacity int) Option { return templatesOption{capacity} }

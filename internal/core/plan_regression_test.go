@@ -1,0 +1,116 @@
+package core_test
+
+// Regression coverage for the template cache's transparency guarantees:
+// wssec-wrapped encodings (which do not implement TemplateCompiler) and
+// trace-header-stamped envelopes must keep round-tripping bit-identically
+// with templates enabled.
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"bxsoap/internal/bxdm"
+	"bxsoap/internal/core"
+	"bxsoap/internal/obs"
+	"bxsoap/internal/tracehdr"
+	"bxsoap/internal/wssec"
+)
+
+func regressionEnv(n int32, vals []float64) *core.Envelope {
+	req := bxdm.NewElement(bxdm.PName("urn:svc", "s", "op"))
+	req.DeclareNamespace("s", "urn:svc")
+	req.Append(
+		bxdm.NewLeaf(bxdm.Name("urn:svc", "n"), n),
+		bxdm.NewArray(bxdm.Name("urn:svc", "vals"), vals),
+	)
+	return core.NewEnvelope(req)
+}
+
+func TestTemplatesTransparentUnderWSSec(t *testing.T) {
+	// Secured encodings deliberately do not implement TemplateCompiler, so
+	// WithTemplates must be a silent no-op: signatures, bytes, and decoded
+	// trees all identical to a plain secured codec.
+	key := []byte("0123456789abcdef")
+	enc := wssec.Secure(core.BXSAEncoding{}, key)
+	plain := core.NewDispatcher(enc, nil).Codec()
+	templated := core.NewDispatcher(enc, nil, core.WithTemplates(8)).Codec()
+	for i := 0; i < 3; i++ { // repeated shape: where a cache would kick in
+		env := regressionEnv(int32(i), []float64{1, 2, 3})
+		want, err := plain.EncodePayload(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := templated.EncodePayload(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatal("WithTemplates changed secured bytes on the wire")
+		}
+		back, err := templated.DecodeEnvelope(got.Bytes())
+		if err != nil {
+			t.Fatalf("secured decode with templates on: %v", err)
+		}
+		if !back.Equal(env) {
+			t.Fatal("secured round trip changed the tree")
+		}
+		got.Release()
+		want.Release()
+	}
+}
+
+func TestTemplatesRoundTripTracedEnvelopes(t *testing.T) {
+	// Trace context headers carry a fixed-length hex ID, so traced
+	// messages are themselves cacheable shapes — and must survive the
+	// templated path bit-identically, end to end through a dispatcher.
+	for _, newEnc := range []func() core.Encoding{
+		func() core.Encoding { return core.BXSAEncoding{} },
+		func() core.Encoding { return core.XMLEncoding{} },
+	} {
+		enc := newEnc()
+		o := obs.New()
+		d := core.NewDispatcher(enc, func(_ context.Context, req *core.Envelope) (*core.Envelope, error) {
+			return core.NewEnvelope(bxdm.NewLeaf(bxdm.LocalName("ok"), int32(1))), nil
+		}, core.WithTemplates(8), core.WithObserver(o))
+		plain := core.NewDispatcher(enc, nil).Codec()
+		templated := d.Codec()
+		for i := 0; i < 3; i++ {
+			env := regressionEnv(int32(i), []float64{0.5, 1.5})
+			env.AddHeader(tracehdr.Node(obs.TraceContext{ID: obs.NewTraceID(), Seq: i}))
+			want, err := plain.EncodePayload(env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := templated.EncodePayload(env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Bytes(), want.Bytes()) {
+				t.Fatalf("%s: templated traced encode differs", enc.Name())
+			}
+			back, err := templated.DecodeEnvelope(got.Bytes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The generic decoder is the oracle: it materializes synthesized
+			// namespace decls the original tree left implicit, and the
+			// templated decode must reproduce exactly that normalization.
+			oracle, err := plain.DecodeEnvelope(want.Bytes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !back.Equal(oracle) {
+				t.Fatalf("%s: templated traced decode differs from generic parse", enc.Name())
+			}
+			if _, err := tracehdr.Parse(back.Header(tracehdr.HeaderName())); err != nil {
+				t.Fatalf("%s: trace header unparseable after templated round trip: %v", enc.Name(), err)
+			}
+			got.Release()
+			want.Release()
+		}
+		if o.Counter(obs.TemplateHits) == 0 {
+			t.Errorf("%s: traced shapes never hit the cache", enc.Name())
+		}
+	}
+}

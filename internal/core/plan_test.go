@@ -1,0 +1,224 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"bxsoap/internal/bxdm"
+	"bxsoap/internal/obs"
+	"bxsoap/internal/shape"
+	"bxsoap/internal/xbs"
+)
+
+// planEnv builds one representative message shape: a header leaf, two
+// typed body leaves (one string, so XML escaping is exercised), and a
+// packed float64 array.
+func planEnv(txid int64, n int32, s string, vals []float64) *Envelope {
+	req := bxdm.NewElement(bxdm.PName("urn:svc", "s", "op"))
+	req.DeclareNamespace("s", "urn:svc")
+	req.Append(
+		bxdm.NewLeaf(bxdm.Name("urn:svc", "n"), n),
+		bxdm.NewLeafValue(bxdm.Name("urn:svc", "tag"), bxdm.StringValue(s)),
+		bxdm.NewArray(bxdm.Name("urn:svc", "vals"), vals),
+	)
+	env := NewEnvelope(req)
+	env.AddHeader(bxdm.NewLeaf(bxdm.Name("urn:h", "txid"), txid))
+	return env
+}
+
+// newTemplatedCodec mirrors the NewEngine/NewDispatcher wiring for a bare
+// codec so the fast paths can be tested without a transport.
+func newTemplatedCodec(enc Encoding, capacity int, o *obs.Observer) Codec[Encoding] {
+	c := NewCodec[Encoding](enc)
+	if tc, ok := enc.(TemplateCompiler); ok {
+		c.plans = newPlanCache(tc, capacity, o)
+	}
+	return c
+}
+
+func TestTemplatedCodecMatchesGeneric(t *testing.T) {
+	envs := []*Envelope{
+		planEnv(1, 42, "aa", []float64{0.5, 1.5, 2.5}),
+		planEnv(2, -7, "b&", []float64{9e9, -1, 0.125}), // hostile string, same length
+		planEnv(3, 0, "c<", []float64{1, 2, 3}),
+	}
+	for _, enc := range []Encoding{
+		BXSAEncoding{},
+		BXSAEncoding{Order: xbs.BigEndian},
+		XMLEncoding{},
+	} {
+		t.Run(enc.Name()+fmt.Sprint(enc), func(t *testing.T) {
+			o := obs.New()
+			gen := NewCodec[Encoding](enc)
+			tpl := newTemplatedCodec(enc, 8, o)
+			if tpl.plans == nil {
+				t.Fatalf("%s does not implement TemplateCompiler", enc.Name())
+			}
+			for round := 0; round < 2; round++ { // round 1 compiles, round 2 hits
+				for _, env := range envs {
+					want, err := gen.EncodePayload(env)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := tpl.EncodePayload(env)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(got.Bytes(), want.Bytes()) {
+						t.Fatalf("templated encode differs from generic:\n got %q\nwant %q",
+							got.Bytes(), want.Bytes())
+					}
+					wantEnv, err := gen.DecodeEnvelope(want.Bytes())
+					if err != nil {
+						t.Fatal(err)
+					}
+					gotEnv, err := tpl.DecodeEnvelope(want.Bytes())
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !gotEnv.Equal(wantEnv) {
+						t.Fatal("templated decode tree differs from generic parse")
+					}
+					got.Release()
+					want.Release()
+				}
+			}
+			if o.Counter(obs.TemplateCompiles) == 0 {
+				t.Error("no compiles recorded")
+			}
+			if o.Counter(obs.TemplateHits) == 0 {
+				t.Error("steady state never hit the cache")
+			}
+			if o.Gauge(obs.TemplatePlans) == 0 {
+				t.Error("plans gauge stayed zero")
+			}
+		})
+	}
+}
+
+func TestTemplatesDisabledZeroChange(t *testing.T) {
+	// A codec without plans and a templated codec must agree bit for bit,
+	// and an engine built without WithTemplates gets no cache at all.
+	eng := NewEngine(BXSAEncoding{}, failRecvBinding{})
+	if eng.Codec().plans != nil {
+		t.Fatal("engine grew a plan cache without WithTemplates")
+	}
+	eng = NewEngine(BXSAEncoding{}, failRecvBinding{}, WithTemplates(8))
+	if eng.Codec().plans == nil {
+		t.Fatal("WithTemplates did not attach a plan cache")
+	}
+	d := NewDispatcher(XMLEncoding{}, nil, WithTemplates(8))
+	if d.Codec().plans == nil {
+		t.Fatal("WithTemplates did not reach the dispatcher codec")
+	}
+}
+
+func TestPlanCacheEvictionBoundsPlans(t *testing.T) {
+	o := obs.New()
+	tpl := newTemplatedCodec(BXSAEncoding{}, 2, o)
+	for i := 0; i < 4; i++ { // four distinct shapes through a two-entry cache
+		req := bxdm.NewElement(bxdm.PName("urn:svc", "s", fmt.Sprintf("op%d", i)))
+		req.DeclareNamespace("s", "urn:svc")
+		req.Append(bxdm.NewLeaf(bxdm.Name("urn:svc", "n"), int32(i)))
+		p, err := tpl.EncodePayload(NewEnvelope(req))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Release()
+	}
+	if got := tpl.plans.plans(); got > 2 {
+		t.Errorf("cache holds %d plans, capacity 2", got)
+	}
+	if o.Counter(obs.TemplateEvictions) < 2 {
+		t.Errorf("evictions = %d, want >= 2", o.Counter(obs.TemplateEvictions))
+	}
+	if g := o.Gauge(obs.TemplatePlans); g != 2 {
+		t.Errorf("plans gauge = %d, want 2", g)
+	}
+	if o.Counter(obs.TemplateCompiles) != 4 {
+		t.Errorf("compiles = %d, want 4", o.Counter(obs.TemplateCompiles))
+	}
+}
+
+func TestPlanCacheNegativeEntryStopsRecompiling(t *testing.T) {
+	// Hintless XML declines compilation; the failure must be cached as a
+	// negative entry so the compile cost is paid once per shape, and the
+	// generic output must be unaffected.
+	o := obs.New()
+	enc := XMLEncoding{PlainStrings: true}
+	gen := NewCodec[Encoding](enc)
+	tpl := newTemplatedCodec(enc, 8, o)
+	env := planEnv(1, 42, "xx", []float64{1, 2})
+	for i := 0; i < 3; i++ {
+		want, err := gen.EncodePayload(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := tpl.EncodePayload(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatal("negative-entry encode differs from generic")
+		}
+		got.Release()
+		want.Release()
+	}
+	if n := o.Counter(obs.TemplateCompiles); n != 1 {
+		t.Errorf("compiles = %d, want 1 (negative entry not cached)", n)
+	}
+	if o.Counter(obs.TemplateHits) != 0 {
+		t.Error("negative entry counted as hit")
+	}
+}
+
+func TestPlanCacheNilSafe(t *testing.T) {
+	var pc *planCache
+	pc.hit()
+	pc.miss()
+	if pc.lookup(shape.Key{}) != nil {
+		t.Error("nil cache returned an entry")
+	}
+	if pc.matchDecode([]byte("x")) != nil {
+		t.Error("nil cache matched bytes")
+	}
+	pc.compile(XMLEncoding{}, shape.Key{}, NewEnvelope())
+	pc.observeDecoded(XMLEncoding{}, NewEnvelope())
+	if pc.plans() != 0 {
+		t.Error("nil cache reports plans")
+	}
+}
+
+func TestTemplatedDispatchNoPayloadLeaks(t *testing.T) {
+	base := PayloadsInUse()
+	ctx := context.Background()
+	d := NewDispatcher(BXSAEncoding{}, func(_ context.Context, req *Envelope) (*Envelope, error) {
+		return NewEnvelope(bxdm.NewLeaf(bxdm.LocalName("ok"), int32(1))), nil
+	}, WithTemplates(8))
+	cod := newTemplatedCodec(BXSAEncoding{}, 8, nil)
+	for i := 0; i < 6; i++ {
+		req, err := cod.EncodePayload(planEnv(int64(i), int32(i), "rt", []float64{1, 2, 3}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := (*obs.Observer)(nil).Span()
+		resp, err := d.DispatchPayload(ctx, req, cod.ContentType(), &sp, nil)
+		req.Release()
+		if err != nil {
+			t.Fatal(err)
+		}
+		env, err := cod.DecodeEnvelope(resp.Bytes())
+		resp.Release()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if env.Body() == nil {
+			t.Fatal("templated round trip lost the body")
+		}
+	}
+	if got := PayloadsInUse(); got != base {
+		t.Errorf("payloads in use = %d, want %d (leak through templated path)", got, base)
+	}
+}

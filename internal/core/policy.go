@@ -11,6 +11,7 @@ import (
 
 	"bxsoap/internal/bxdm"
 	"bxsoap/internal/bxsa"
+	"bxsoap/internal/shape"
 	"bxsoap/internal/xbs"
 	"bxsoap/internal/xmltext"
 )
@@ -82,6 +83,17 @@ func (x XMLEncoding) DecodeFrom(r io.Reader, size int64) (*bxdm.Document, error)
 	return decodeStream(x, r, size)
 }
 
+// CompileTemplate implements TemplateCompiler. Hintless XML (PlainStrings)
+// cannot rebuild typed trees on decode, so it declines and keeps the
+// generic path.
+func (x XMLEncoding) CompileTemplate(doc *bxdm.Document) (Template, error) {
+	t, err := xmltext.CompileTemplate(doc, xmltext.EncodeOptions{TypeHints: !x.PlainStrings})
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
 // BXSAEncoding is the binary XML encoding policy.
 type BXSAEncoding struct {
 	Order xbs.ByteOrder
@@ -112,6 +124,16 @@ func (BXSAEncoding) Decode(data []byte) (*bxdm.Document, error) {
 // DecodeFrom implements Encoding.
 func (b BXSAEncoding) DecodeFrom(r io.Reader, size int64) (*bxdm.Document, error) {
 	return decodeStream(b, r, size)
+}
+
+// CompileTemplate implements TemplateCompiler: BXSA's shape-deterministic
+// layout compiles to a fixed-window skeleton splice.
+func (b BXSAEncoding) CompileTemplate(doc *bxdm.Document) (Template, error) {
+	t, err := bxsa.CompileTemplate(doc, bxsa.EncodeOptions{Order: b.Order})
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
 }
 
 // decodeStream is the shared DecodeFrom shape for encodings whose parsers
@@ -163,8 +185,13 @@ func recordSizeHint(name string, n int) {
 // operation when they say "encode" or "decode". The type parameter keeps
 // the paper's compile-time policy binding: a Codec[BXSAEncoding] calls the
 // concrete encoder directly, monomorphized and inlinable.
+//
+// plans is a pointer so the cache survives the by-value copies handed out
+// by Engine.Codec()/Dispatcher.Codec(); nil (the default) keeps every call
+// on the generic path.
 type Codec[E Encoding] struct {
-	enc E
+	enc   E
+	plans *planCache
 }
 
 // NewCodec builds the facade over enc.
@@ -179,10 +206,23 @@ func (c Codec[E]) ContentType() string { return c.enc.ContentType() }
 // EncodePayload serializes an envelope into a pooled payload via the
 // encoding's append path. BXSA grows the buffer to its exact measured size;
 // XML relies on the running per-encoding estimate to make reallocation the
-// exception. The caller owns the payload and must Release it.
+// exception. With a template cache attached, envelopes of a previously
+// compiled shape skip the tree walk: variable leaves are spliced straight
+// into the cached skeleton. The caller owns the payload and must Release
+// it.
 //
 //paylint:returns owned
 func (c Codec[E]) EncodePayload(e *Envelope) (*Payload, error) {
+	if c.plans == nil {
+		return c.encodeGeneric(e)
+	}
+	return c.encodeTemplated(e)
+}
+
+// encodeGeneric is the tree-walking encode path.
+//
+//paylint:returns owned
+func (c Codec[E]) encodeGeneric(e *Envelope) (*Payload, error) {
 	name := c.enc.Name()
 	p := NewPayload(sizeHintFor(name))
 	out, err := c.enc.AppendEncode(p.buf, e.Document())
@@ -193,6 +233,49 @@ func (c Codec[E]) EncodePayload(e *Envelope) (*Payload, error) {
 	p.buf = out
 	recordSizeHint(name, len(out))
 	return p, nil
+}
+
+// encodeTemplated consults the plan cache before falling back to the
+// generic walk. Cache misses encode generically first (so a compile
+// failure costs nothing extra) and compile the shape afterwards; splice
+// errors demote to the generic path for this call only.
+//
+//paylint:returns owned
+func (c Codec[E]) encodeTemplated(e *Envelope) (*Payload, error) {
+	pc := c.plans
+	vp := pc.getVars()
+	key, ok := shape.Fingerprint(e.HeaderEntries, e.BodyChildren, vp)
+	if !ok {
+		pc.putVars(vp)
+		pc.miss()
+		return c.encodeGeneric(e)
+	}
+	if entry := pc.lookup(key); entry != nil {
+		if entry.tmpl != nil {
+			name := c.enc.Name()
+			p := NewPayload(sizeHintFor(name))
+			out, err := entry.tmpl.AppendEncode(p.buf, *vp)
+			pc.putVars(vp)
+			if err == nil {
+				p.buf = out
+				recordSizeHint(name, len(out))
+				pc.hit()
+				return p, nil
+			}
+			p.Release()
+		} else {
+			pc.putVars(vp)
+		}
+		pc.miss()
+		return c.encodeGeneric(e)
+	}
+	pc.putVars(vp)
+	pc.miss()
+	p, err := c.encodeGeneric(e)
+	if err == nil {
+		pc.compile(c.enc, key, e)
+	}
+	return p, err
 }
 
 // EncodeBytes serializes an envelope into a fresh byte slice (the
@@ -206,13 +289,27 @@ func (c Codec[E]) EncodeBytes(e *Envelope) ([]byte, error) {
 }
 
 // DecodeEnvelope parses encoded bytes back into an envelope. The input is
-// not retained; callers may recycle the buffer as soon as it returns.
+// not retained; callers may recycle the buffer as soon as it returns. With
+// a template cache attached, bytes matching a compiled shape are decoded
+// by window extraction and prototype instantiation instead of a full
+// parse; unmatched bytes take the generic parser and teach the cache their
+// shape for next time.
 func (c Codec[E]) DecodeEnvelope(data []byte) (*Envelope, error) {
+	if c.plans != nil {
+		if env := c.plans.matchDecode(data); env != nil {
+			return env, nil
+		}
+	}
 	doc, err := c.enc.Decode(data)
 	if err != nil {
 		return nil, err
 	}
-	return EnvelopeFromDocument(doc)
+	env, err := EnvelopeFromDocument(doc)
+	if err == nil && c.plans != nil {
+		c.plans.miss()
+		c.plans.observeDecoded(c.enc, env)
+	}
+	return env, err
 }
 
 // DecodePayload parses a payload's bytes back into an envelope. The

@@ -100,6 +100,10 @@ type Unified struct {
 	// polluting each other.
 	ClientObs, ServerObs *obs.Observer
 
+	// Templates, when positive, enables the shape-keyed template cache on
+	// both sides with that capacity (core.WithTemplates).
+	Templates int
+
 	name    string
 	call    func(*core.Envelope) (*core.Envelope, error)
 	closers []func() error
@@ -112,6 +116,15 @@ func NewUnified(encoding, transport string) *Unified {
 		Transport: transport,
 		name:      fmt.Sprintf("SOAP over %s/%s", encoding, transportLabel(transport)),
 	}
+}
+
+// NewTemplatedUnified builds the unified scheme with the template cache
+// enabled on both client and server (capacity shapes per side).
+func NewTemplatedUnified(encoding, transport string, capacity int) *Unified {
+	u := NewUnified(encoding, transport)
+	u.Templates = capacity
+	u.name = "Templated " + u.name
+	return u
 }
 
 func transportLabel(t string) string {
@@ -132,43 +145,49 @@ func (u *Unified) Setup(nw *netsim.Network, _ string) error {
 	if err != nil {
 		return err
 	}
+	engOpts := []core.EngineOption{core.WithObserver(u.ClientObs)}
+	srvOpts := []core.ServerOption{core.WithObserver(u.ServerObs)}
+	if u.Templates > 0 {
+		engOpts = append(engOpts, core.WithTemplates(u.Templates))
+		srvOpts = append(srvOpts, core.WithTemplates(u.Templates))
+	}
 	switch {
 	case u.Encoding == "BXSA" && u.Transport == "tcp":
 		srv := core.NewServer(core.BXSAEncoding{},
 			tcpbind.NewListener(l, tcpbind.WithObserver(u.ServerObs)),
-			unifiedHandler, core.WithObserver(u.ServerObs))
+			unifiedHandler, srvOpts...)
 		go srv.Serve()
 		eng := core.NewEngine(core.BXSAEncoding{},
 			tcpbind.New(nw.Dial, l.Addr().String(), tcpbind.WithObserver(u.ClientObs)),
-			core.WithObserver(u.ClientObs))
+			engOpts...)
 		u.call = func(e *core.Envelope) (*core.Envelope, error) { return eng.Call(context.Background(), e) }
 		u.closers = []func() error{eng.Close, srv.Close}
 	case u.Encoding == "XML" && u.Transport == "http":
 		hl := httpbind.NewListener(l, httpbind.WithObserver(u.ServerObs))
-		srv := core.NewServer(core.XMLEncoding{}, hl, unifiedHandler, core.WithObserver(u.ServerObs))
+		srv := core.NewServer(core.XMLEncoding{}, hl, unifiedHandler, srvOpts...)
 		go srv.Serve()
 		eng := core.NewEngine(core.XMLEncoding{},
 			httpbind.New(nw.Dial, hl.URL(), httpbind.WithObserver(u.ClientObs)),
-			core.WithObserver(u.ClientObs))
+			engOpts...)
 		u.call = func(e *core.Envelope) (*core.Envelope, error) { return eng.Call(context.Background(), e) }
 		u.closers = []func() error{eng.Close, srv.Close}
 	case u.Encoding == "XML" && u.Transport == "tcp":
 		srv := core.NewServer(core.XMLEncoding{},
 			tcpbind.NewListener(l, tcpbind.WithObserver(u.ServerObs)),
-			unifiedHandler, core.WithObserver(u.ServerObs))
+			unifiedHandler, srvOpts...)
 		go srv.Serve()
 		eng := core.NewEngine(core.XMLEncoding{},
 			tcpbind.New(nw.Dial, l.Addr().String(), tcpbind.WithObserver(u.ClientObs)),
-			core.WithObserver(u.ClientObs))
+			engOpts...)
 		u.call = func(e *core.Envelope) (*core.Envelope, error) { return eng.Call(context.Background(), e) }
 		u.closers = []func() error{eng.Close, srv.Close}
 	case u.Encoding == "BXSA" && u.Transport == "http":
 		hl := httpbind.NewListener(l, httpbind.WithObserver(u.ServerObs))
-		srv := core.NewServer(core.BXSAEncoding{}, hl, unifiedHandler, core.WithObserver(u.ServerObs))
+		srv := core.NewServer(core.BXSAEncoding{}, hl, unifiedHandler, srvOpts...)
 		go srv.Serve()
 		eng := core.NewEngine(core.BXSAEncoding{},
 			httpbind.New(nw.Dial, hl.URL(), httpbind.WithObserver(u.ClientObs)),
-			core.WithObserver(u.ClientObs))
+			engOpts...)
 		u.call = func(e *core.Envelope) (*core.Envelope, error) { return eng.Call(context.Background(), e) }
 		u.closers = []func() error{eng.Close, srv.Close}
 	default:

@@ -43,6 +43,43 @@ func TestAdminMetricsServesDecodableJSON(t *testing.T) {
 	}
 }
 
+// TestAdminMetricsServesTemplateCounters asserts the template-cache
+// instrumentation surfaces on /metrics by name: any non-zero counter or
+// gauge is auto-included in the snapshot, so the cache needs no dedicated
+// endpoint wiring.
+func TestAdminMetricsServesTemplateCounters(t *testing.T) {
+	o := New()
+	o.Inc(TemplateHits)
+	o.Add(TemplateMisses, 2)
+	o.Inc(TemplateEvictions)
+	o.Add(TemplateCompiles, 3)
+	o.GaugeAdd(TemplatePlans, 2)
+	rr := adminGet(t, AdminMux(o, nil), "/metrics")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", rr.Code)
+	}
+	var snap struct {
+		Counters map[string]uint64        `json:"counters"`
+		Gauges   map[string]GaugeSnapshot `json:"gauges"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	for name, want := range map[string]uint64{
+		"templates.hits":      1,
+		"templates.misses":    2,
+		"templates.evictions": 1,
+		"templates.compiles":  3,
+	} {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("counter %s = %d, want %d", name, got, want)
+		}
+	}
+	if got := snap.Gauges["templates.plans"].Value; got != 2 {
+		t.Errorf("gauge templates.plans = %d, want 2", got)
+	}
+}
+
 // TestAdminMetricsFoldsExtraSources mirrors how soapproxy folds its pool's
 // Stats into each served snapshot.
 func TestAdminMetricsFoldsExtraSources(t *testing.T) {

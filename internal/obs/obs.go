@@ -164,6 +164,17 @@ const (
 	// (cancellation, flow-control violation, internal failure), counted by
 	// whichever side sent or surfaced the reset.
 	MuxResets
+	// TemplateHits counts codec operations served by a compiled plan: a
+	// templated skeleton-splice encode or a template-matched decode.
+	TemplateHits
+	// TemplateMisses counts codec operations that consulted the plan cache
+	// but took the generic tree walk (unknown shape, no-match, or a shape
+	// compiled negative).
+	TemplateMisses
+	// TemplateEvictions counts plans evicted from a full template cache.
+	TemplateEvictions
+	// TemplateCompiles counts plan compilations (successful or negative).
+	TemplateCompiles
 
 	numCounters
 )
@@ -191,6 +202,10 @@ var counterNames = [numCounters]string{
 	MuxStreamsOpened:  "mux.streams_opened",
 	MuxSheds:          "mux.sheds",
 	MuxResets:         "mux.resets",
+	TemplateHits:      "templates.hits",
+	TemplateMisses:    "templates.misses",
+	TemplateEvictions: "templates.evictions",
+	TemplateCompiles:  "templates.compiles",
 }
 
 // String returns the counter's snapshot/JSON name.
@@ -220,6 +235,10 @@ const (
 	// streams any single connection carried at once — the multiplexing
 	// factor actually achieved.
 	MuxStreamsPerConn
+	// TemplatePlans tracks compiled plans currently resident in a
+	// template cache (negative entries included); bounded by the cache
+	// capacity.
+	TemplatePlans
 
 	numGauges
 )
@@ -229,6 +248,7 @@ var gaugeNames = [numGauges]string{
 	PoolInflight:      "svcpool.inflight",
 	MuxStreams:        "mux.streams",
 	MuxStreamsPerConn: "mux.streams_per_conn",
+	TemplatePlans:     "templates.plans",
 }
 
 // String returns the gauge's snapshot/JSON name.

@@ -446,6 +446,32 @@ func WriteArray[T Primitive](w *Writer, a []T) error {
 	return nil
 }
 
+// AppendArray appends the packed items of a to dst in byte order o and
+// returns the extended slice. Unlike WriteArray it performs no alignment
+// and allocates nothing beyond dst's growth, which is what the
+// schema-compiled template path needs: it fills a pre-sized window of a
+// cached skeleton, so per-call chunk buffers would dominate the alloc
+// budget.
+func AppendArray[T Primitive](dst []byte, a []T, o ByteOrder) []byte {
+	for _, v := range a {
+		dst = appendValue(dst, v, o)
+	}
+	return dst
+}
+
+// DecodeArray decodes n packed items in byte order o from the front of
+// buf into a new slice — the in-memory counterpart of ReadArray, again
+// without alignment or chunk buffers.
+func DecodeArray[T Primitive](buf []byte, n int, o ByteOrder) ([]T, error) {
+	size := SizeOf[T]()
+	if n < 0 || n*size > len(buf) {
+		return nil, fmt.Errorf("xbs: %d-item array needs %d bytes, buffer holds %d", n, n*size, len(buf))
+	}
+	out := make([]T, n)
+	decodeInto(out, buf[:n*size], o)
+	return out, nil
+}
+
 func appendValue[T Primitive](buf []byte, v T, o ByteOrder) []byte {
 	switch x := any(v).(type) {
 	case int8:

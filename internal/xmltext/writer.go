@@ -127,6 +127,11 @@ type encoder struct {
 	auto  int
 	buf   []byte
 	asink appendSink
+	// record asks the visitor to note the byte span of every leaf lexical
+	// and array item run in spans (template compilation only; offsets are
+	// into asink.buf, so recording requires the AppendEncode path).
+	record bool
+	spans  []span
 }
 
 var encoderPool = sync.Pool{New: func() any { return new(encoder) }}
@@ -144,6 +149,8 @@ func getEncoder(opts EncodeOptions) *encoder {
 func putEncoder(e *encoder) {
 	e.w = nil
 	e.asink.buf = nil
+	e.record = false
+	e.spans = nil
 	encoderPool.Put(e)
 }
 
@@ -326,8 +333,15 @@ func (e *encoder) VisitLeaf(l *bxdm.LeafElement) error {
 		return err
 	}
 	e.w.WriteByte('>')
+	start := len(e.asink.buf)
 	e.buf = l.Value.AppendLexical(e.buf[:0])
 	e.escapeText(e.buf)
+	if e.record {
+		e.spans = append(e.spans, span{
+			start: start, end: len(e.asink.buf),
+			kind: bxdm.KindLeafElement, code: l.Value.Type(),
+		})
+	}
 	return e.closeTag(l.Name)
 }
 
@@ -347,6 +361,7 @@ func (e *encoder) VisitArray(a *bxdm.ArrayElement) error {
 		return err
 	}
 	e.w.WriteByte('>')
+	start := len(e.asink.buf)
 	// Each item becomes <i>lexical</i> — the open/close tag pair per element
 	// whose cost Table 1 quantifies.
 	item := e.opts.itemName()
@@ -360,6 +375,12 @@ func (e *encoder) VisitArray(a *bxdm.ArrayElement) error {
 		e.w.WriteString("</")
 		e.w.WriteString(item)
 		e.w.WriteByte('>')
+	}
+	if e.record {
+		e.spans = append(e.spans, span{
+			start: start, end: len(e.asink.buf),
+			kind: bxdm.KindArrayElement, code: a.Data.Type(), count: n,
+		})
 	}
 	return e.closeTag(a.Name)
 }
