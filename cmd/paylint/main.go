@@ -1,26 +1,42 @@
 // Command paylint runs the repository's static protocol checks: payown
 // (pooled payloads released exactly once on every path), errclass
 // (transport-origin errors classified before they escape a binding),
-// nowallclock (no wall-clock time in deterministic-clock packages), and
-// nilsink (observability sink methods safe on nil receivers). See
-// DESIGN.md "Statically enforced invariants".
+// nowallclock (no wall-clock time in deterministic-clock packages), nilsink
+// (observability sink methods safe on nil receivers), golife (every spawned
+// goroutine has a provable termination path), lockorder (no cyclic mutex
+// acquisition orders across the repo), and chanhold (no blocking operation
+// while a mutex is held). See DESIGN.md "Statically enforced invariants".
 //
 // Usage:
 //
-//	go run ./cmd/paylint ./...
+//	go run ./cmd/paylint [flags] [packages]
 //
 // Patterns are go list patterns resolved in the current directory. The exit
 // status is 1 when any diagnostic is reported, 2 on driver errors.
+//
+// Flags:
+//
+//	-json            emit diagnostics as a JSON array of
+//	                 {file,line,col,analyzer,message} objects
+//	-github          emit GitHub Actions ::error/::warning annotations
+//	                 (the CI lint step uses this to pin findings to lines)
+//	-unused-ignores  also audit //paylint:ignore comments that suppressed
+//	                 nothing; stale ignores fail the run like diagnostics
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
+	"bxsoap/internal/analysis/chanhold"
 	"bxsoap/internal/analysis/errclass"
 	"bxsoap/internal/analysis/framework"
+	"bxsoap/internal/analysis/golife"
 	"bxsoap/internal/analysis/loader"
+	"bxsoap/internal/analysis/lockorder"
 	"bxsoap/internal/analysis/nilsink"
 	"bxsoap/internal/analysis/nowallclock"
 	"bxsoap/internal/analysis/payown"
@@ -31,11 +47,30 @@ var analyzers = []*framework.Analyzer{
 	errclass.Analyzer,
 	nowallclock.Analyzer,
 	nilsink.Analyzer,
+	golife.Analyzer,
+	lockorder.Analyzer,
+	chanhold.Analyzer,
+}
+
+// record is one finding in machine-readable form; -json emits an array of
+// these. Unused-ignore audit findings use the pseudo-analyzer name
+// "unused-ignore" so consumers can filter them from invariant violations.
+type record struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array of {file,line,col,analyzer,message} objects")
+	github := flag.Bool("github", false, "emit GitHub Actions ::error/::warning annotations instead of plain lines")
+	unusedIgnores := flag.Bool("unused-ignores", false, "also report //paylint:ignore comments that suppressed nothing")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: paylint [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: paylint [flags] [packages]\n\nFlags:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), "\nAnalyzers:\n")
 		for _, a := range analyzers {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -51,15 +86,80 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	diags, err := loader.Run(prog, analyzers)
+	res, err := loader.RunAll(prog, analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Printf("%s: %s: %s\n", prog.Fset.Position(d.Pos), d.Analyzer.Name, d.Message)
+
+	var recs []record
+	for _, d := range res.Diagnostics {
+		pos := prog.Fset.Position(d.Pos)
+		recs = append(recs, record{
+			File:     relPath(pos.Filename),
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Analyzer: d.Analyzer.Name,
+			Message:  d.Message,
+		})
 	}
-	if len(diags) > 0 {
+	if *unusedIgnores {
+		for _, sup := range res.Unused {
+			target := sup.Analyzer
+			if target == "" {
+				target = "all"
+			}
+			recs = append(recs, record{
+				File:     relPath(sup.File),
+				Line:     sup.Line,
+				Col:      1,
+				Analyzer: "unused-ignore",
+				Message:  fmt.Sprintf("//paylint:ignore %s suppresses no diagnostic; delete the stale comment", target),
+			})
+		}
+	}
+
+	switch {
+	case *jsonOut:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if recs == nil {
+			recs = []record{}
+		}
+		if err := enc.Encode(recs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	case *github:
+		for _, r := range recs {
+			level := "error"
+			if r.Analyzer == "unused-ignore" {
+				level = "warning"
+			}
+			fmt.Printf("::%s file=%s,line=%d,col=%d,title=paylint/%s::%s\n",
+				level, r.File, r.Line, r.Col, r.Analyzer, r.Message)
+		}
+	default:
+		for _, r := range recs {
+			fmt.Printf("%s:%d:%d: %s: %s\n", r.File, r.Line, r.Col, r.Analyzer, r.Message)
+		}
+	}
+	if len(recs) > 0 {
 		os.Exit(1)
 	}
+}
+
+// relPath makes annotation and report paths repo-relative when possible:
+// GitHub's file= parameter wants workspace-relative paths, and relative
+// paths read better in local output too.
+func relPath(file string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return file
+	}
+	rel, err := filepath.Rel(wd, file)
+	if err != nil || len(rel) >= 2 && rel[:2] == ".." {
+		return file
+	}
+	return rel
 }

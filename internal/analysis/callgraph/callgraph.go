@@ -1,0 +1,124 @@
+// Package callgraph is the cross-package call-graph layer under the
+// concurrency analyzers. It generalizes the inference errclass grew ad hoc:
+// a per-package index from function objects to their syntax, static callee
+// resolution for direct and concrete-method calls, and a fixpoint driver
+// that re-visits the package's functions until their summaries stabilize.
+// Summaries themselves are the analyzers' business — they attach them as
+// object facts, which the framework already flows to importing packages, so
+// running the same inference deps-first turns the per-package fixpoint into
+// a whole-repo one.
+//
+// Interface-method and function-valued calls resolve to nil: the analyzers
+// treat unknown callees by their own worst/best-case policy rather than
+// pretending to a precision the index does not have.
+package callgraph
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// Index maps every function declared in one package's files to its syntax.
+type Index struct {
+	decls map[types.Object]*ast.FuncDecl
+	order []types.Object // position order, for deterministic fixpoints
+}
+
+// NewIndex builds the function index of one package.
+func NewIndex(info *types.Info, files []*ast.File) *Index {
+	ix := &Index{decls: make(map[types.Object]*ast.FuncDecl)}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := info.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			ix.decls[obj] = fd
+			ix.order = append(ix.order, obj)
+		}
+	}
+	sort.SliceStable(ix.order, func(i, j int) bool {
+		return ix.decls[ix.order[i]].Pos() < ix.decls[ix.order[j]].Pos()
+	})
+	return ix
+}
+
+// Decl returns the declaration of obj when it is a function declared in
+// this package, nil otherwise.
+func (ix *Index) Decl(obj types.Object) *ast.FuncDecl {
+	if obj == nil {
+		return nil
+	}
+	return ix.decls[Canonical(obj)]
+}
+
+// Funcs returns the package's declared functions in source order.
+func (ix *Index) Funcs() []types.Object { return ix.order }
+
+// Canonical folds an instantiated generic function or variable back to its
+// declaration object, matching how the framework keys facts.
+func Canonical(obj types.Object) types.Object {
+	switch o := obj.(type) {
+	case *types.Func:
+		return o.Origin()
+	case *types.Var:
+		return o.Origin()
+	}
+	return obj
+}
+
+// Callee resolves the static callee of a call expression: a package-level
+// function, a method on a concrete receiver, or a builtin. Interface
+// methods and function-valued expressions yield nil.
+func Callee(info *types.Info, call *ast.CallExpr) types.Object {
+	return FuncObj(info, call.Fun)
+}
+
+// FuncObj resolves a function-valued expression to its static function
+// object when one exists — the `run` in both `run()` and `go w.run` where
+// run is a declared function or a method on a concrete receiver. Values
+// held in variables are dynamic and resolve to nil.
+func FuncObj(info *types.Info, e ast.Expr) types.Object {
+	var obj types.Object
+	switch fun := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if s := info.Selections[fun]; s != nil {
+			if types.IsInterface(s.Recv()) {
+				return nil
+			}
+			obj = s.Obj()
+		} else {
+			obj = info.Uses[fun.Sel]
+		}
+	}
+	if _, ok := obj.(*types.Func); !ok {
+		return nil
+	}
+	return Canonical(obj)
+}
+
+// Fixpoint re-visits every declared function of the package, in source
+// order, until one full round reports no summary changes (or maxRounds
+// rounds have run — a safety bound, not a tuning knob: summaries must be
+// monotone for the fixpoint to mean anything). visit returns whether it
+// changed any summary.
+func Fixpoint(ix *Index, maxRounds int, visit func(obj types.Object, decl *ast.FuncDecl) bool) {
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for _, obj := range ix.order {
+			if visit(obj, ix.decls[obj]) {
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}

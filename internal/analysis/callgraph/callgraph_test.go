@@ -1,0 +1,156 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+const src = `package p
+
+type T struct{ n int }
+
+func (t *T) bump() { t.n++ }
+
+type I interface{ M() }
+
+func leaf() {}
+
+func mid(t *T) {
+	leaf()
+	t.bump()
+}
+
+func top(t *T, i I) {
+	mid(t)
+	i.M()
+	f := leaf
+	go f()
+}
+`
+
+func load(t *testing.T) (*token.FileSet, *ast.File, *types.Info, *types.Package) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f, info, pkg
+}
+
+func TestIndexAndCallee(t *testing.T) {
+	_, f, info, pkg := load(t)
+	ix := NewIndex(info, []*ast.File{f})
+
+	if got := len(ix.Funcs()); got != 4 {
+		t.Fatalf("indexed %d functions, want 4", got)
+	}
+	leaf := pkg.Scope().Lookup("leaf")
+	if ix.Decl(leaf) == nil {
+		t.Fatal("leaf has no indexed declaration")
+	}
+
+	// Collect the callees seen inside mid and top.
+	callees := make(map[string]bool)
+	var interfaceCalls, unresolved int
+	for _, obj := range ix.Funcs() {
+		ast.Inspect(ix.Decl(obj).Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := Callee(info, call); callee != nil {
+				callees[callee.Name()] = true
+			} else if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "M" {
+				interfaceCalls++
+			} else {
+				unresolved++
+			}
+			return true
+		})
+	}
+	for _, want := range []string{"leaf", "bump", "mid"} {
+		if !callees[want] {
+			t.Errorf("static callee %s not resolved", want)
+		}
+	}
+	if interfaceCalls != 1 {
+		t.Errorf("interface call count = %d, want 1 (i.M() must stay unresolved)", interfaceCalls)
+	}
+	// f() through a function variable is dynamic.
+	if unresolved != 1 {
+		t.Errorf("dynamic call count = %d, want 1", unresolved)
+	}
+}
+
+func TestFuncObjMethodValue(t *testing.T) {
+	_, f, info, _ := load(t)
+	// Find `go f()` — FuncObj on the called ident resolves through Uses to
+	// the local variable, not a function; the spawnable object is nil-safe.
+	var goStmt *ast.GoStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			goStmt = g
+		}
+		return true
+	})
+	if goStmt == nil {
+		t.Fatal("no go statement in corpus")
+	}
+	obj := FuncObj(info, goStmt.Call.Fun)
+	if _, ok := obj.(*types.Func); ok {
+		t.Fatalf("function variable resolved to a declared func: %v", obj)
+	}
+}
+
+func TestFixpoint(t *testing.T) {
+	_, f, info, pkg := load(t)
+	ix := NewIndex(info, []*ast.File{f})
+
+	// Transitive "reaches leaf" as a monotone summary: leaf trivially, mid
+	// via the direct call, top via mid — converging needs more than one
+	// round because top is visited before its callee's summary settles only
+	// when order works against us; either way the fixpoint must close it.
+	reaches := make(map[types.Object]bool)
+	leaf := Canonical(pkg.Scope().Lookup("leaf"))
+	rounds := 0
+	Fixpoint(ix, 10, func(obj types.Object, decl *ast.FuncDecl) bool {
+		rounds++
+		if reaches[obj] {
+			return false
+		}
+		hit := obj == leaf
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if c := Callee(info, call); c != nil && (c == leaf || reaches[c]) {
+					hit = true
+				}
+			}
+			return true
+		})
+		if hit && !reaches[obj] {
+			reaches[obj] = true
+			return true
+		}
+		return false
+	})
+	for _, name := range []string{"leaf", "mid", "top"} {
+		if !reaches[Canonical(pkg.Scope().Lookup(name))] {
+			t.Errorf("fixpoint did not close over %s", name)
+		}
+	}
+}

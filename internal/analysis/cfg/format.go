@@ -1,0 +1,49 @@
+package cfg
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// Format renders the graph as stable text for golden-file tests: one block
+// per stanza with its kind, operations, and successor edges.
+//
+//	b3 for.head: -> b4 b5
+//	    i < n
+func Format(g *CFG, fset *token.FileSet) string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d %s:", blk.Index, blk.Kind)
+		if len(blk.Succs) == 0 {
+			sb.WriteString(" (terminal)")
+		} else {
+			sb.WriteString(" ->")
+			for _, s := range blk.Succs {
+				fmt.Fprintf(&sb, " b%d", s.Index)
+			}
+		}
+		sb.WriteByte('\n')
+		for _, n := range blk.Nodes {
+			fmt.Fprintf(&sb, "    %s\n", summarize(fset, n))
+		}
+	}
+	return sb.String()
+}
+
+// summarize renders one operation on one line, whitespace-collapsed and
+// truncated; multi-line operations (a go statement with a literal body)
+// flatten onto the line.
+func summarize(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	printer.Fprint(&buf, fset, n)
+	s := strings.Join(strings.Fields(buf.String()), " ")
+	const max = 80
+	if len(s) > max {
+		s = s[:max] + "..."
+	}
+	return s
+}

@@ -1,0 +1,120 @@
+// Package funcs holds representative function shapes for the CFG golden
+// tests: each top-level function is built and formatted independently, and
+// its graph compared against testdata/<name>.golden.
+package funcs
+
+import "context"
+
+type conn interface {
+	Read([]byte) (int, error)
+	Close() error
+}
+
+// Loops: a counted for, a condition-free for with a guarded break, and a
+// labeled nested loop with continue/break to the label.
+func Loops(n int, done chan struct{}) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	for {
+		select {
+		case <-done:
+			return total
+		default:
+		}
+		total++
+	}
+}
+
+func Labeled(rows [][]int) int {
+	sum := 0
+outer:
+	for _, row := range rows {
+		for _, v := range row {
+			if v < 0 {
+				continue outer
+			}
+			if v == 0 {
+				break outer
+			}
+			sum += v
+		}
+	}
+	return sum
+}
+
+// Defer: deferred unlocks interleaved with early returns.
+func Defer(mu interface{ Lock() }, fail bool) error {
+	mu.Lock()
+	defer func() {}()
+	if fail {
+		return nil
+	}
+	return nil
+}
+
+// Select: a drain loop (default exits) and a blocking two-arm select.
+func Select(ctx context.Context, jobs chan int) {
+	for {
+		select {
+		case j := <-jobs:
+			_ = j
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+func Drain(jobs chan int) {
+	for {
+		select {
+		case <-jobs:
+		default:
+			return
+		}
+	}
+}
+
+// MethodValue: a method value flows into a goroutine spawn.
+type worker struct{ quit chan struct{} }
+
+func (w *worker) run() { <-w.quit }
+
+func MethodValue(w *worker) {
+	run := w.run
+	go run()
+}
+
+// GoClosure: a goroutine closure capturing a channel, plus a switch with
+// fallthrough and a goto-based retry.
+func GoClosure(c conn, results chan error) {
+	go func() {
+		buf := make([]byte, 16)
+		for {
+			if _, err := c.Read(buf); err != nil {
+				results <- err
+				return
+			}
+		}
+	}()
+}
+
+func Switches(mode int) int {
+	x := 0
+	switch mode {
+	case 0:
+		x = 1
+		fallthrough
+	case 1:
+		x += 2
+	default:
+		x = 9
+	}
+retry:
+	x--
+	if x > 0 {
+		goto retry
+	}
+	return x
+}

@@ -1,0 +1,12 @@
+package chanhold_test
+
+import (
+	"testing"
+
+	"bxsoap/internal/analysis/analysistest"
+	"bxsoap/internal/analysis/chanhold"
+)
+
+func TestChanhold(t *testing.T) {
+	analysistest.Run(t, chanhold.Analyzer, "testdata/src/ch", "context", "net", "time")
+}

@@ -1,0 +1,252 @@
+// Package ch is the chanhold corpus: blocking operations under held
+// mutexes, the select escapes, exemptions, and the annotation verbs.
+package ch
+
+import (
+	"context"
+	"net"
+	"sync"
+	"time"
+)
+
+// --- bare channel ops under a lock --------------------------------------------
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+var b box
+
+func SendUnderLock(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ch <- v // want `channel send while holding ch.box.mu`
+}
+
+func RecvUnderLock() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return <-b.ch // want `channel receive while holding ch.box.mu`
+}
+
+func RangeUnderLock() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for v := range b.ch { // want `range over channel while holding ch.box.mu`
+		_ = v
+	}
+}
+
+// SendAfterUnlock is the fix shape: snapshot under the lock, send outside.
+func SendAfterUnlock(v int) {
+	b.mu.Lock()
+	ch := b.ch
+	b.mu.Unlock()
+	ch <- v
+}
+
+// --- select escapes -----------------------------------------------------------
+
+type q struct {
+	mu   sync.Mutex
+	work chan int
+	done chan struct{}
+}
+
+var qq q
+
+// A default arm makes the select non-blocking.
+func TryEnqueue(v int) bool {
+	qq.mu.Lock()
+	defer qq.mu.Unlock()
+	select {
+	case qq.work <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// A cancellation arm bounds the wait.
+func EnqueueCtx(ctx context.Context, v int) {
+	qq.mu.Lock()
+	defer qq.mu.Unlock()
+	select {
+	case qq.work <- v:
+	case <-ctx.Done():
+	}
+}
+
+// A done-channel arm counts as a cancellation arm.
+func EnqueueDone(v int) {
+	qq.mu.Lock()
+	defer qq.mu.Unlock()
+	select {
+	case qq.work <- v:
+	case <-qq.done:
+	}
+}
+
+// No escape: every arm is a data op.
+func EnqueueBlocking(v int) {
+	qq.mu.Lock()
+	defer qq.mu.Unlock()
+	select { // want `select with no default or cancellation arm while holding ch.q.mu`
+	case qq.work <- v:
+	case w := <-qq.work:
+		_ = w
+	}
+}
+
+// --- blocking calls -----------------------------------------------------------
+
+type svc struct {
+	mu sync.Mutex
+	wg sync.WaitGroup
+}
+
+var s svc
+
+func SleepUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while holding ch.svc.mu`
+}
+
+func WaitUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wg.Wait() // want `sync.WaitGroup.Wait while holding ch.svc.mu`
+}
+
+func DialUnderLock(addr string) (net.Conn, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return net.Dial("tcp", addr) // want `net.Dial while holding ch.svc.mu`
+}
+
+func WriteUnderLock(conn net.Conn, p []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	conn.Write(p) // want `network I/O \(Write on a net.Conn\) while holding ch.svc.mu`
+}
+
+// --- transitive blocking ------------------------------------------------------
+
+func drainOne() int {
+	return <-b.ch
+}
+
+func DrainUnderLock() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return drainOne() // want `calls drainOne, which may block: channel receive`
+}
+
+// --- other timelines ----------------------------------------------------------
+
+// A goroutine spawned under the lock blocks on its own time.
+func SpawnUnderLock() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go drainOne()
+}
+
+// The closure body is still analyzed as its own lock-free-entry function.
+func ClosureLocksItself() func() {
+	return func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		<-b.ch // want `channel receive while holding ch.box.mu`
+	}
+}
+
+// --- exemptions ---------------------------------------------------------------
+
+type gate struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	conn net.Conn
+}
+
+var g gate
+
+// Cond.Wait releases the mutex while waiting.
+func WaitCond() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for {
+		g.cond.Wait()
+		return
+	}
+}
+
+// Close on a shutdown path under the owner's lock is allowed.
+func CloseUnderLock() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.conn.Close()
+}
+
+// Taking another mutex under a lock is lockorder's domain, not chanhold's.
+func NestUnderLock() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// --- annotations --------------------------------------------------------------
+
+type wire struct {
+	// mu serializes the whole exchange on purpose: one in-flight call per
+	// wire is the design.
+	//paylint:serializes-io single in-flight exchange per wire by design
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+var w wire
+
+func Exchange(p []byte) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.conn.Write(p)
+	w.conn.Read(p)
+}
+
+type lazy struct {
+	mu sync.Mutex
+	// dial opens a TCP connection; calls through it block on the network.
+	//paylint:blocks opens a TCP connection
+	dial func(addr string) (net.Conn, error)
+}
+
+var lz lazy
+
+func Connect(addr string) {
+	lz.mu.Lock()
+	defer lz.mu.Unlock()
+	lz.dial(addr) // want `call through dial, declared blocking: opens a TCP connection`
+}
+
+// looksBlocking spins on a channel that tests guarantee is pre-filled; the
+// annotation vouches for it.
+//
+//paylint:nonblocking the channel is pre-filled with a token at construction
+func looksBlocking() int {
+	return <-b.ch
+}
+
+func VouchedUnderLock() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return looksBlocking()
+}
+
+// An annotation without a justification is itself a finding.
+type sloppy struct {
+	//paylint:serializes-io
+	mu sync.Mutex // want `needs a reason`
+}

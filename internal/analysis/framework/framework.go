@@ -55,11 +55,14 @@ type factKey struct {
 // FactStore holds the facts exchanged between packages during one driver
 // run. A single store is shared by every Pass of the run.
 type FactStore struct {
-	m map[factKey][]Fact
+	m     map[factKey][]Fact
+	state map[*Analyzer]any
 }
 
 // NewFactStore creates an empty store.
-func NewFactStore() *FactStore { return &FactStore{m: make(map[factKey][]Fact)} }
+func NewFactStore() *FactStore {
+	return &FactStore{m: make(map[factKey][]Fact), state: make(map[*Analyzer]any)}
+}
 
 // Pass carries one analyzer's view of one type-checked package, mirroring
 // analysis.Pass.
@@ -133,6 +136,23 @@ func (p *Pass) ObjectFacts(obj types.Object) []Fact {
 	return p.facts.m[factKey{p.Analyzer, canonicalObject(obj)}]
 }
 
+// RunState returns this analyzer's driver-run-scoped mutable state,
+// creating it with init on first use. Unlike object facts — which are keyed
+// to a types.Object and flow strictly from a defining package to its
+// importers — run state is one value shared by every package the analyzer
+// visits, in visit order. lockorder accumulates its repo-wide
+// lock-acquisition graph here: edges contributed by independent packages
+// (which no fact on a single object could relate) meet in the shared graph,
+// and the cycle check on each package sees every edge discovered so far.
+func (p *Pass) RunState(init func() any) any {
+	if v, ok := p.facts.state[p.Analyzer]; ok {
+		return v
+	}
+	v := init()
+	p.facts.state[p.Analyzer] = v
+	return v
+}
+
 // --- //paylint: annotations -------------------------------------------------
 
 // The analyzers are configured in source, with machine-readable marker
@@ -183,6 +203,44 @@ func Annotations(cg *ast.CommentGroup) []Annotation {
 // comment.
 func FuncAnnotations(fn *ast.FuncDecl) []Annotation { return Annotations(fn.Doc) }
 
+// FieldAnnotations collects the //paylint: annotations attached to struct
+// field declarations across files, keyed by the field's object. Both
+// placements gofmt produces count — a doc comment above the field and a
+// trailing comment on the field's line:
+//
+//	// mu serializes the whole exchange.
+//	//paylint:serializes-io single in-flight exchange per binding
+//	mu sync.Mutex
+//
+// chanhold reads these to find mutexes whose critical sections are declared
+// to cover I/O.
+func FieldAnnotations(info *types.Info, files []*ast.File) map[types.Object][]Annotation {
+	out := make(map[types.Object][]Annotation)
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				var annots []Annotation
+				annots = append(annots, Annotations(field.Doc)...)
+				annots = append(annots, Annotations(field.Comment)...)
+				if len(annots) == 0 {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := info.Defs[name]; obj != nil {
+						out[obj] = append(out[obj], annots...)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
 // PackageMarked reports whether any file's package doc (or a floating
 // comment before the package clause) carries the given annotation verb.
 // Analyzers use it for per-package opt-in switches such as
@@ -230,19 +288,29 @@ func beforePackageClause(f *ast.File) []*ast.CommentGroup {
 
 // --- suppression ------------------------------------------------------------
 
-// SuppressedLines scans a file for //paylint:ignore suppressions and returns
-// the set of (line, analyzer) pairs they cover. A suppression covers its own
-// line and, when it is the only thing on its line, the line below — the two
-// placements gofmt produces:
+// Suppression is one //paylint:ignore comment. It covers its own line and,
+// when it is the only thing on its line, the line below — the two placements
+// gofmt produces:
 //
 //	conn.Write(b) //paylint:ignore errclass reason...
 //
 //	//paylint:ignore errclass reason...
 //	conn.Write(b)
 //
-// The analyzer name "all" (or no name) suppresses every analyzer.
-func SuppressedLines(fset *token.FileSet, f *ast.File) map[SuppressKey]bool {
-	out := make(map[SuppressKey]bool)
+// The analyzer name "all" (or no name) suppresses every analyzer. Used
+// records whether any diagnostic was actually swallowed, so the driver can
+// report suppressions that have rotted.
+type Suppression struct {
+	Pos      token.Pos
+	File     string
+	Line     int    // the comment's own line
+	Analyzer string // analyzer name or "all"
+	Used     bool
+}
+
+// CollectSuppressions scans a file for //paylint:ignore comments.
+func CollectSuppressions(fset *token.FileSet, f *ast.File) []*Suppression {
+	var out []*Suppression
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			a, ok := parseAnnotLine(c.Text)
@@ -254,9 +322,12 @@ func SuppressedLines(fset *token.FileSet, f *ast.File) map[SuppressKey]bool {
 				name = a.Args[0]
 			}
 			pos := fset.Position(c.Pos())
-			out[SuppressKey{pos.Filename, pos.Line, name}] = true
-			// A comment starting a line covers the next line too.
-			out[SuppressKey{pos.Filename, pos.Line + 1, name}] = true
+			out = append(out, &Suppression{
+				Pos:      c.Pos(),
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Analyzer: name,
+			})
 		}
 	}
 	return out
@@ -269,11 +340,48 @@ type SuppressKey struct {
 	Analyzer string // analyzer name or "all"
 }
 
+// SuppressionSet indexes suppressions by the cells they cover for one
+// package's files.
+type SuppressionSet struct {
+	byKey map[SuppressKey][]*Suppression
+	all   []*Suppression
+}
+
+// NewSuppressionSet indexes the given suppressions.
+func NewSuppressionSet(sups []*Suppression) *SuppressionSet {
+	s := &SuppressionSet{byKey: make(map[SuppressKey][]*Suppression), all: sups}
+	for _, sup := range sups {
+		// A suppression covers its own line and the line below.
+		s.byKey[SuppressKey{sup.File, sup.Line, sup.Analyzer}] = append(s.byKey[SuppressKey{sup.File, sup.Line, sup.Analyzer}], sup)
+		s.byKey[SuppressKey{sup.File, sup.Line + 1, sup.Analyzer}] = append(s.byKey[SuppressKey{sup.File, sup.Line + 1, sup.Analyzer}], sup)
+	}
+	return s
+}
+
 // Suppressed reports whether a diagnostic at pos from analyzer name is
-// covered by the given suppression set.
-func Suppressed(sup map[SuppressKey]bool, fset *token.FileSet, pos token.Pos, name string) bool {
+// covered, marking every covering suppression as used.
+func (s *SuppressionSet) Suppressed(fset *token.FileSet, pos token.Pos, name string) bool {
 	p := fset.Position(pos)
-	return sup[SuppressKey{p.Filename, p.Line, name}] || sup[SuppressKey{p.Filename, p.Line, "all"}]
+	hit := false
+	for _, key := range []SuppressKey{{p.Filename, p.Line, name}, {p.Filename, p.Line, "all"}} {
+		for _, sup := range s.byKey[key] {
+			sup.Used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// Unused returns the suppressions that swallowed no diagnostic, in input
+// order.
+func (s *SuppressionSet) Unused() []*Suppression {
+	var out []*Suppression
+	for _, sup := range s.all {
+		if !sup.Used {
+			out = append(out, sup)
+		}
+	}
+	return out
 }
 
 // SortDiagnostics orders diagnostics by position for stable output.

@@ -1,0 +1,640 @@
+// Package golife implements the paylint analyzer that checks goroutine
+// lifecycle: every `go` statement in product (non-main) packages must spawn
+// a function with a provable termination path. The long-running processes
+// this framework targets cannot tolerate goroutines that outlive their
+// owner — a reader pinned to a dead connection or a worker looping on a
+// never-closed channel is a slow leak that only shows up weeks into a
+// deployment.
+//
+// A spawned function terminates when its unbounded loops (condition-free
+// `for` and `for range` over a channel) each carry a termination guard:
+//
+//   - a select arm receiving from a captured context.Context's Done()
+//     channel, or from a channel some function of the defining package
+//     closes, whose body exits the loop;
+//   - a select `default` arm that exits the loop (drain loops);
+//   - a statement-level receive from such a channel, with an exit
+//     statement in the loop;
+//   - an exit statement conditioned on a value the loop itself produces —
+//     a channel receive or any function/method call. This is the shape of
+//     every loop whose termination is data-driven rather than
+//     signal-driven: a read loop exits when its owner closes the
+//     connection and the read errors, a CAS retry loop exits when the swap
+//     lands, a varint decoder exits on the terminal byte. What it refuses
+//     is exactly the leak shape: loops with no conditional exit at all,
+//     and select loops none of whose arms can leave;
+//   - ranging over a channel that is provably closed.
+//
+// Counted loops (`for cond`) and loops over non-channel ranges are treated
+// as bounded. The check runs transitively over direct same-package callees
+// and, across packages, through "may run forever" facts exported for every
+// function that fails the proof — so `go dep.Worker()` is checked against
+// dep's own close discipline. Dynamic spawns (function values, interface
+// methods) are not resolvable and are trusted.
+//
+// Escape hatch: `//paylint:terminates <reason>` on the function's doc
+// comment asserts termination the analyzer cannot see; the reason is
+// mandatory.
+package golife
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+
+	"bxsoap/internal/analysis/callgraph"
+	"bxsoap/internal/analysis/framework"
+)
+
+// Analyzer is the golife analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "golife",
+	Doc:  "goroutines must have a provable termination path (ctx cancel, closed channel, or owning Close)",
+	Run:  run,
+}
+
+// termFact marks a function that may run forever; its absence means the
+// function is either proven terminating or unknown (external), both of
+// which spawn without diagnostics.
+type termFact struct{ Reason string }
+
+// closedFact marks a struct field (channel or closable resource) that some
+// function of its defining package closes, so dependent packages can count
+// receives on it as guarded.
+type closedFact struct{}
+
+type analysis struct {
+	pass   *framework.Pass
+	ix     *callgraph.Index
+	closed map[types.Object]bool // fields/vars with an in-package close site
+	memo   map[types.Object]string
+}
+
+func run(pass *framework.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	a := &analysis{
+		pass:   pass,
+		ix:     callgraph.NewIndex(pass.TypesInfo, pass.Files),
+		closed: make(map[types.Object]bool),
+		memo:   make(map[types.Object]string),
+	}
+	a.collectCloseSites()
+
+	// Verdicts for every declared function; "may run forever" becomes a
+	// cross-package fact so importers can check their own spawns of it.
+	for _, obj := range a.ix.Funcs() {
+		if reason := a.verdict(obj); reason != "" {
+			pass.ExportObjectFact(obj, &termFact{Reason: reason})
+		}
+	}
+
+	// Check every go statement.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if reason := a.spawnVerdict(g.Call); reason != "" {
+				pass.Reportf(g.Pos(), "goroutine has no provable termination path: %s", reason)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// collectCloseSites records every field and variable the package closes —
+// `close(x.f)` and `x.f.Close()` both count — and exports the field ones as
+// facts for importing packages.
+func (a *analysis) collectCloseSites() {
+	record := func(e ast.Expr) {
+		var obj types.Object
+		switch e := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			if sel := a.pass.TypesInfo.Selections[e]; sel != nil {
+				obj = sel.Obj()
+			} else {
+				obj = a.pass.TypesInfo.Uses[e.Sel]
+			}
+		case *ast.Ident:
+			obj = a.pass.TypesInfo.Uses[e]
+			if obj == nil {
+				obj = a.pass.TypesInfo.Defs[e]
+			}
+		}
+		if obj == nil {
+			return
+		}
+		obj = callgraph.Canonical(obj)
+		if !a.closed[obj] {
+			a.closed[obj] = true
+			if v, ok := obj.(*types.Var); ok && v.IsField() {
+				a.pass.ExportObjectFact(obj, &closedFact{})
+			}
+		}
+	}
+	for _, f := range a.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "close" && len(call.Args) == 1 {
+				if _, isBuiltin := a.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					record(call.Args[0])
+				}
+			}
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
+				record(sel.X)
+			}
+			return true
+		})
+	}
+}
+
+// isClosed reports whether obj (a field or variable) has a close site in
+// this package or a closedFact from its defining package.
+func (a *analysis) isClosed(obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	obj = callgraph.Canonical(obj)
+	if a.closed[obj] {
+		return true
+	}
+	for _, f := range a.pass.ObjectFacts(obj) {
+		if _, ok := f.(*closedFact); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// spawnVerdict checks the target of one go statement.
+func (a *analysis) spawnVerdict(call *ast.CallExpr) string {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return a.bodyVerdict(lit.Body, lit.Type, "goroutine literal")
+	}
+	obj := callgraph.Callee(a.pass.TypesInfo, call)
+	if obj == nil {
+		return "" // dynamic target: trusted
+	}
+	return a.verdict(obj)
+}
+
+// verdict computes (and memoizes) the termination reason for a declared
+// function: "" means proven or trusted, anything else says why it may run
+// forever. Cross-package functions answer through their exported facts.
+func (a *analysis) verdict(obj types.Object) string {
+	obj = callgraph.Canonical(obj)
+	if r, ok := a.memo[obj]; ok {
+		return r
+	}
+	a.memo[obj] = "" // in-progress: recursion cycles assume termination
+	decl := a.ix.Decl(obj)
+	if decl == nil {
+		for _, f := range a.pass.ObjectFacts(obj) {
+			if tf, ok := f.(*termFact); ok {
+				a.memo[obj] = tf.Reason
+				return tf.Reason
+			}
+		}
+		return ""
+	}
+	for _, an := range framework.FuncAnnotations(decl) {
+		if an.Verb == "terminates" && len(an.Args) > 0 {
+			return ""
+		}
+	}
+	r := a.bodyVerdict(decl.Body, decl.Type, funcLabel(a.pass, obj))
+	a.memo[obj] = r
+	return r
+}
+
+func funcLabel(pass *framework.Pass, obj types.Object) string {
+	if fn, ok := obj.(*types.Func); ok {
+		return fn.Name()
+	}
+	return obj.Name()
+}
+
+// bodyVerdict is the per-function proof: every unbounded loop needs a
+// guard, and every direct same-package callee must itself terminate.
+func (a *analysis) bodyVerdict(body *ast.BlockStmt, ftype *ast.FuncType, label string) string {
+	fb := &funcBody{analysis: a, body: body}
+	fb.collectParams(ftype)
+	fb.collectAliases()
+
+	// Spawned calls do not run synchronously: `go f()` returns immediately,
+	// so f's verdict belongs to the spawn-site check, not the spawner's.
+	spawned := make(map[*ast.CallExpr]bool)
+	walkSameFunc(body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			spawned[g.Call] = true
+		}
+		return true
+	})
+
+	var reason string
+	walkSameFunc(body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.ForStmt:
+			if s.Cond == nil && !fb.loopGuarded(s, s.Body) {
+				reason = fmt.Sprintf("%s: for-loop at %s has no cancel/close guard", label, shortPos(a.pass.Fset, s.Pos()))
+				return false
+			}
+		case *ast.RangeStmt:
+			if fb.isChan(s.X) && !fb.terminatingChan(s.X) && !fb.loopGuarded(s, s.Body) {
+				reason = fmt.Sprintf("%s: range over channel at %s that is never closed", label, shortPos(a.pass.Fset, s.Pos()))
+				return false
+			}
+		case *ast.CallExpr:
+			if spawned[s] {
+				return true
+			}
+			if callee := callgraph.Callee(a.pass.TypesInfo, s); callee != nil {
+				if r := a.verdict(callee); r != "" {
+					reason = fmt.Sprintf("%s calls %s (%s)", label, callee.Name(), r)
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return reason
+}
+
+// funcBody holds the per-function context the guard rules consult.
+type funcBody struct {
+	*analysis
+	body    *ast.BlockStmt
+	params  map[types.Object]bool // parameters and receiver
+	closedL map[types.Object]bool // locals aliasing terminating channels
+}
+
+func (fb *funcBody) collectParams(ftype *ast.FuncType) {
+	fb.params = make(map[types.Object]bool)
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj := fb.pass.TypesInfo.Defs[name]; obj != nil {
+					fb.params[obj] = true
+				}
+			}
+		}
+	}
+	if ftype != nil {
+		add(ftype.Params)
+	}
+	// The receiver arrives through the declaration; recover it from the
+	// enclosing FuncDecl when the body belongs to one.
+	for _, obj := range fb.ix.Funcs() {
+		if d := fb.ix.Decl(obj); d != nil && d.Body == fb.body {
+			add(d.Recv)
+		}
+	}
+}
+
+// collectAliases marks locals aliasing terminating channels (`done :=
+// s.done`), iterating to a small fixpoint.
+func (fb *funcBody) collectAliases() {
+	fb.closedL = make(map[types.Object]bool)
+	for round := 0; round < 4; round++ {
+		changed := false
+		walkSameFunc(fb.body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != len(as.Lhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := fb.pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = fb.pass.TypesInfo.Uses[id]
+				}
+				if obj == nil || fb.closedL[obj] {
+					continue
+				}
+				if fb.terminatingChan(as.Rhs[i]) {
+					fb.closedL[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+		if !changed {
+			return
+		}
+	}
+}
+
+// terminatingChan reports whether e is a channel whose close is provable:
+// a context's Done(), a closed field or package variable, a channel-typed
+// parameter (the caller owns its close), or a local aliasing one.
+func (fb *funcBody) terminatingChan(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			if tv, ok := fb.pass.TypesInfo.Types[sel.X]; ok && isContext(tv.Type) {
+				return true
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel := fb.pass.TypesInfo.Selections[e]; sel != nil {
+			if v, ok := sel.Obj().(*types.Var); ok && v.IsField() {
+				return fb.isClosed(v)
+			}
+		}
+		return fb.isClosed(fb.pass.TypesInfo.Uses[e.Sel])
+	case *ast.Ident:
+		obj := fb.pass.TypesInfo.Uses[e]
+		if obj == nil {
+			return false
+		}
+		if fb.params[obj] && fb.isChan(e) {
+			return true
+		}
+		return fb.closedL[obj] || fb.isClosed(obj)
+	}
+	return false
+}
+
+func (fb *funcBody) isChan(e ast.Expr) bool {
+	tv, ok := fb.pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+// loopGuarded decides whether one unbounded loop has a termination guard.
+func (fb *funcBody) loopGuarded(loop ast.Stmt, body *ast.BlockStmt) bool {
+	hasExit := fb.hasExitStmt(loop, body)
+	guarded := false
+	walkSameFunc(body, func(n ast.Node) bool {
+		if guarded {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.SelectStmt:
+			for _, clause := range s.Body.List {
+				cc := clause.(*ast.CommClause)
+				exits := fb.clauseExits(loop, cc)
+				if cc.Comm == nil && exits {
+					guarded = true // drain loop: default arm exits
+					return false
+				}
+				if ch := recvChan(cc.Comm); ch != nil && fb.terminatingChan(ch) && exits {
+					guarded = true
+					return false
+				}
+			}
+		case *ast.ExprStmt:
+			if u, ok := ast.Unparen(s.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW &&
+				fb.terminatingChan(u.X) && hasExit {
+				guarded = true
+				return false
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range s.Rhs {
+				if u, ok := ast.Unparen(rhs).(*ast.UnaryExpr); ok && u.Op == token.ARROW &&
+					fb.terminatingChan(u.X) && hasExit {
+					guarded = true
+					return false
+				}
+			}
+		case *ast.IfStmt:
+			if fb.ifGuardsExit(loop, s) {
+				guarded = true
+				return false
+			}
+		}
+		return true
+	})
+	return guarded
+}
+
+// ifGuardsExit recognizes the data-conditioned exit: an if whose branches
+// leave the loop and whose condition is fed by something the loop produces
+// — directly (a call or receive in the condition or its init) or through a
+// variable assigned from a call or receive inside the loop.
+func (fb *funcBody) ifGuardsExit(loop ast.Stmt, s *ast.IfStmt) bool {
+	exits := fb.containsExit(loop, s.Body) || (s.Else != nil && fb.containsExit(loop, s.Else))
+	if !exits {
+		return false
+	}
+	if producesValue(s.Cond) {
+		return true
+	}
+	relevant := fb.exitRelevantVars(loop)
+	if s.Init != nil {
+		markAssigned(fb.pass.TypesInfo, s.Init, relevant)
+	}
+	hit := false
+	ast.Inspect(s.Cond, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := fb.pass.TypesInfo.Uses[id]; obj != nil && relevant[obj] {
+				hit = true
+			}
+		}
+		return true
+	})
+	return hit
+}
+
+// exitRelevantVars collects the variables assigned inside the loop from
+// channel receives or calls.
+func (fb *funcBody) exitRelevantVars(loop ast.Stmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	walkSameFunc(loop, func(n ast.Node) bool {
+		if s, ok := n.(ast.Stmt); ok {
+			markAssigned(fb.pass.TypesInfo, s, out)
+		}
+		return true
+	})
+	return out
+}
+
+// producesValue reports whether e contains a call or channel receive.
+func producesValue(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			found = true
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// markAssigned adds the LHS variables of s to out when any RHS contains a
+// receive or a call.
+func markAssigned(info *types.Info, s ast.Stmt, out map[types.Object]bool) {
+	as, ok := s.(*ast.AssignStmt)
+	if !ok {
+		return
+	}
+	relevant := false
+	for _, rhs := range as.Rhs {
+		if producesValue(rhs) {
+			relevant = true
+		}
+	}
+	if !relevant {
+		return
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				out[obj] = true
+			} else if obj := info.Uses[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+}
+
+// clauseExits reports whether a select clause's body exits the loop. The
+// scan starts one construct deep: a bare break in the clause targets the
+// select, not the loop.
+func (fb *funcBody) clauseExits(loop ast.Stmt, cc *ast.CommClause) bool {
+	for _, s := range cc.Body {
+		if fb.containsExitAt(loop, s, 1) {
+			return true
+		}
+	}
+	return false
+}
+
+// containsExit reports whether n contains a statement that leaves the loop:
+// a return, a goto, or a break that targets the loop (bare breaks bind to
+// any nested loop/switch/select between here and the statement).
+func (fb *funcBody) containsExit(loop ast.Stmt, n ast.Node) bool {
+	return fb.containsExitAt(loop, n, 0)
+}
+
+func (fb *funcBody) containsExitAt(loop ast.Stmt, n ast.Node, startDepth int) bool {
+	label := ""
+	// A labeled loop's breaks may name it.
+	walkSameFunc(fb.body, func(m ast.Node) bool {
+		if ls, ok := m.(*ast.LabeledStmt); ok && ls.Stmt == loop {
+			label = ls.Label.Name
+		}
+		return true
+	})
+	found := false
+	var walk func(ast.Node, int)
+	walk = func(m ast.Node, depth int) {
+		ast.Inspect(m, func(x ast.Node) bool {
+			if found || x == nil {
+				return false
+			}
+			switch s := x.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ReturnStmt:
+				found = true
+				return false
+			case *ast.BranchStmt:
+				switch s.Tok {
+				case token.GOTO:
+					found = true // conservatively an exit
+				case token.BREAK:
+					if s.Label != nil {
+						if s.Label.Name == label && label != "" {
+							found = true
+						}
+					} else if depth == 0 {
+						found = true
+					}
+				}
+				return false
+			case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+				if x != m {
+					walk(x, depth+1)
+					return false
+				}
+			}
+			return true
+		})
+	}
+	walk(n, startDepth)
+	return found
+}
+
+// hasExitStmt reports whether the loop body contains any exit statement.
+func (fb *funcBody) hasExitStmt(loop ast.Stmt, body *ast.BlockStmt) bool {
+	return fb.containsExit(loop, body)
+}
+
+// recvChan returns the channel expression of a receive comm statement.
+func recvChan(comm ast.Stmt) ast.Expr {
+	var e ast.Expr
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		e = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			e = s.Rhs[0]
+		}
+	}
+	if u, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+		return u.X
+	}
+	return nil
+}
+
+// walkSameFunc inspects n without descending into function literals.
+func walkSameFunc(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(m)
+	})
+}
+
+func isContext(t types.Type) bool {
+	return hasMethod(t, "Done") && hasMethod(t, "Err") && hasMethod(t, "Deadline") && hasMethod(t, "Value")
+}
+
+func hasMethod(t types.Type, name string) bool {
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name)
+	_, ok := obj.(*types.Func)
+	return ok
+}
+
+func shortPos(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}

@@ -1,0 +1,12 @@
+package golife_test
+
+import (
+	"testing"
+
+	"bxsoap/internal/analysis/analysistest"
+	"bxsoap/internal/analysis/golife"
+)
+
+func TestGolife(t *testing.T) {
+	analysistest.Run(t, golife.Analyzer, "testdata/src/gl", "context")
+}

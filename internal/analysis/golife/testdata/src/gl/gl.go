@@ -1,0 +1,232 @@
+// Package gl is the golife corpus: goroutines with and without provable
+// termination paths.
+package gl
+
+import "context"
+
+type rwc interface {
+	Read(p []byte) (int, error)
+	Close() error
+}
+
+// --- unguarded spawns -------------------------------------------------------
+
+func SpinsForever() {
+	go func() { // want `no provable termination path`
+		for {
+		}
+	}()
+}
+
+func spin() {
+	for {
+	}
+}
+
+func SpawnsSpinner() {
+	go spin() // want `no provable termination path`
+}
+
+func outer() {
+	spin()
+}
+
+func SpawnsTransitively() {
+	go outer() // want `calls spin`
+}
+
+type leaky struct {
+	done chan struct{} // never closed by anyone
+}
+
+func (l *leaky) loop() {
+	for {
+		select {
+		case <-l.done:
+			return
+		}
+	}
+}
+
+func (l *leaky) Start() {
+	go l.loop() // want `no provable termination path`
+}
+
+func RangesForever() {
+	ch := make(chan int)
+	go func() { // want `range over channel .* never closed`
+		for v := range ch {
+			_ = v
+		}
+	}()
+	ch <- 1
+}
+
+// A select arm that only breaks the select is not a loop exit.
+func BreaksSelectOnly(quit chan struct{}) {
+	s := &session{quit: quit}
+	go s.spinOnSelect() // want `no provable termination path`
+}
+
+type session struct {
+	quit chan struct{} // closed via close(s.quit) in shut below
+	held chan int      // no close site
+}
+
+func (s *session) spinOnSelect() {
+	for {
+		select {
+		case <-s.held:
+			break // breaks the select, not the loop
+		}
+	}
+}
+
+func (s *session) shut() { close(s.quit) }
+
+// --- guarded spawns ---------------------------------------------------------
+
+// Context cancellation guards the worker loop.
+func CtxWorker(ctx context.Context, jobs chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case j := <-jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+// A done-channel close site anywhere in the package guards receives on it.
+func (s *session) waitLoop() {
+	for {
+		select {
+		case <-s.quit:
+			return
+		case v := <-s.held:
+			_ = v
+		}
+	}
+}
+
+func StartSession(s *session) {
+	go s.waitLoop()
+}
+
+// Drain loop: the default arm exits when the queue is empty.
+func Drain(backlog chan int) {
+	go func() {
+		for {
+			select {
+			case v := <-backlog:
+				_ = v
+			default:
+				return
+			}
+		}
+	}()
+}
+
+// Data-conditioned exit: the read loop leaves when Read errors, which the
+// owner's Close forces.
+type reader struct {
+	rc rwc
+}
+
+func (r *reader) Close() error { return r.rc.Close() }
+
+func (r *reader) readLoop() {
+	buf := make([]byte, 16)
+	for {
+		if _, err := r.rc.Read(buf); err != nil {
+			return
+		}
+	}
+}
+
+func (r *reader) Start() {
+	go r.readLoop()
+}
+
+// The same shape through a parameter: shutdown is the caller's Close.
+func pump(src rwc, out chan<- int) {
+	buf := make([]byte, 16)
+	for {
+		n, err := src.Read(buf)
+		if err != nil {
+			return
+		}
+		out <- n
+	}
+}
+
+func StartPump(src rwc, out chan<- int) {
+	go pump(src, out)
+}
+
+// Ranging over a parameter channel: the caller owns the close.
+func consume(jobs chan int) {
+	for j := range jobs {
+		_ = j
+	}
+}
+
+func StartConsume(jobs chan int) {
+	go consume(jobs)
+}
+
+// Bounded loops terminate on their own.
+func Bounded(n int) {
+	go func() {
+		total := 0
+		for i := 0; i < n; i++ {
+			total += i
+		}
+		for done := false; !done; {
+			done = total < 0 || true
+		}
+	}()
+}
+
+// The escape hatch asserts what the analyzer cannot see; the reason is
+// mandatory.
+//
+//paylint:terminates external scheduler stops this via process shutdown
+func vouchedFor() {
+	for {
+	}
+}
+
+func StartVouched() {
+	go vouchedFor()
+}
+
+// A CAS-style retry loop exits on its own data, no signal needed.
+func SpinCAS(try func() bool) {
+	go func() {
+		for {
+			if try() {
+				return
+			}
+		}
+	}()
+}
+
+// A local derived from a closable field keeps the chain: the loop exits
+// when Close tears down rc.
+func (r *reader) buffered() {
+	br := r.rc
+	buf := make([]byte, 16)
+	for {
+		if _, err := br.Read(buf); err != nil {
+			return
+		}
+	}
+}
+
+func StartBuffered(r *reader) {
+	go r.buffered()
+}

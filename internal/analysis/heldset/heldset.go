@@ -1,0 +1,295 @@
+// Package heldset is the shared mutex-tracking layer under lockorder and
+// chanhold: a classifier that recognizes sync mutex operations and names
+// the mutex with a stable repo-wide identity, and a forward may-held
+// dataflow over the cfg package's basic blocks that tells an analyzer, for
+// every operation in a function body, which mutexes may be held when it
+// executes.
+//
+// Identity is structural, not instance-based: every Session's mu is the
+// one lock "muxbind.Session.mu". That is the standard coarsening for lock
+// analyses — ordering violations between two instances of the same field
+// are collapsed onto one node — and it is what makes a repo-wide
+// acquisition graph finite. Package-level mutex variables get
+// "pkg.varname"; mutexes embedded into a struct are named by the embedded
+// field ("Reg.Mutex"); local mutex variables are not tracked.
+//
+// The dataflow is may-held with union at joins: a lock counts as held at a
+// point if any path reaches the point with the lock taken. An explicit
+// Unlock releases mid-body on its own path — so the unlock-call-relock
+// shape (muxbind's enqueue) analyzes with the lock free around the call —
+// while a deferred Unlock is ignored, leaving the lock held to the end of
+// the body, which is exactly its semantics. Operations inside func
+// literals and go statements belong to other goroutines' timelines and do
+// not touch the enclosing body's held set.
+package heldset
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"bxsoap/internal/analysis/cfg"
+)
+
+// Op classifies a mutex method call.
+type Op int
+
+const (
+	Acquire     Op = iota // Lock
+	AcquireRead           // RLock
+	Release               // Unlock
+	ReleaseRead           // RUnlock
+)
+
+// Classify reports whether call locks or unlocks a sync.Mutex, sync.RWMutex,
+// or sync.Locker, and when it does, the stable identity of the mutex. Calls
+// on mutexes without a stable identity (locals, unnamed receivers) return
+// ok=false and are not tracked.
+func Classify(info *types.Info, call *ast.CallExpr) (op Op, id string, ok bool) {
+	sel, okSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !okSel {
+		return 0, "", false
+	}
+	var method *types.Func
+	selection := info.Selections[sel]
+	if selection != nil {
+		method, _ = selection.Obj().(*types.Func)
+	} else {
+		method, _ = info.Uses[sel.Sel].(*types.Func)
+	}
+	if method == nil || !isMutexMethod(method) {
+		return 0, "", false
+	}
+	switch method.Name() {
+	case "Lock":
+		op = Acquire
+	case "RLock":
+		op = AcquireRead
+	case "Unlock":
+		op = Release
+	case "RUnlock":
+		op = ReleaseRead
+	default:
+		return 0, "", false
+	}
+	id, ok = mutexID(info, sel, selection)
+	return op, id, ok
+}
+
+// isMutexMethod reports whether fn is declared on sync.Mutex, sync.RWMutex,
+// or the sync.Locker interface.
+func isMutexMethod(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, okSig := fn.Type().(*types.Signature)
+	if !okSig || sig.Recv() == nil {
+		return false
+	}
+	named, okNamed := deref(sig.Recv().Type()).(*types.Named)
+	if !okNamed {
+		// sync.Locker's methods have an interface receiver type that still
+		// names the interface; anything else is not a mutex.
+		return false
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex", "Locker":
+		return true
+	}
+	return false
+}
+
+// mutexID derives the stable identity of the mutex a Lock/Unlock selector
+// refers to: "pkg.Type.field" for struct-field mutexes (however the struct
+// value is reached), "pkg.var" for package-level mutex variables, and
+// "pkg.Type.Embedded" for mutexes promoted from an embedded field.
+func mutexID(info *types.Info, sel *ast.SelectorExpr, selection *types.Selection) (string, bool) {
+	// A promoted method (r.Lock() on a struct embedding sync.Mutex)
+	// selects through one or more embedded fields; name the lock by the
+	// outermost receiver type plus the embedded field.
+	if selection != nil && len(selection.Index()) > 1 {
+		recv, okRecv := deref(selection.Recv()).(*types.Named)
+		if !okRecv {
+			return "", false
+		}
+		field := fieldByIndex(recv, selection.Index()[:len(selection.Index())-1])
+		if field == nil {
+			return "", false
+		}
+		return typeShort(recv) + "." + field.Name(), true
+	}
+
+	switch recv := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		// s.mu.Lock(): the receiver is itself a selection — a field when
+		// Selections has an entry, a package-qualified variable otherwise.
+		if fs := info.Selections[recv]; fs != nil {
+			named, okNamed := deref(fs.Recv()).(*types.Named)
+			if !okNamed {
+				return "", false
+			}
+			return typeShort(named) + "." + recv.Sel.Name, true
+		}
+		if v, okVar := info.Uses[recv.Sel].(*types.Var); okVar && isPackageLevel(v) {
+			return v.Pkg().Name() + "." + v.Name(), true
+		}
+	case *ast.Ident:
+		// mu.Lock(): a package-level mutex variable. Locals are untracked.
+		if v, okVar := info.Uses[recv].(*types.Var); okVar && isPackageLevel(v) {
+			return v.Pkg().Name() + "." + v.Name(), true
+		}
+	}
+	return "", false
+}
+
+func isPackageLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// fieldByIndex resolves an embedded-field index path on a named struct.
+func fieldByIndex(named *types.Named, index []int) *types.Var {
+	t := types.Type(named)
+	var field *types.Var
+	for _, i := range index {
+		st, okStruct := deref(t).Underlying().(*types.Struct)
+		if !okStruct || i >= st.NumFields() {
+			return nil
+		}
+		field = st.Field(i)
+		t = field.Type()
+	}
+	return field
+}
+
+func deref(t types.Type) types.Type {
+	if p, okPtr := t.(*types.Pointer); okPtr {
+		return p.Elem()
+	}
+	return t
+}
+
+// typeShort renders a named type as "pkg.Name" (using the package's short
+// name; generic instantiations fold to their origin).
+func typeShort(named *types.Named) string {
+	named = named.Origin()
+	if pkg := named.Obj().Pkg(); pkg != nil {
+		return pkg.Name() + "." + named.Obj().Name()
+	}
+	return named.Obj().Name()
+}
+
+// Info describes one held lock: where it was acquired on some path to the
+// current point, and whether that acquisition was a read lock.
+type Info struct {
+	Pos  token.Pos
+	Read bool
+}
+
+// Held maps lock identities to acquisition info. Analyzers receive it
+// read-only; Walk reuses the map between nodes of a block.
+type Held map[string]Info
+
+// Walk runs the may-held dataflow over body's CFG and calls visit for every
+// CFG node with the block it sits in and the locks that may be held
+// immediately before the node executes. Nodes are visited in block order,
+// each exactly once; func literal bodies are not entered (build their own
+// Walk for those).
+func Walk(info *types.Info, body *ast.BlockStmt, visit func(n ast.Node, blk *cfg.Block, held Held)) {
+	g := cfg.New(body)
+	n := len(g.Blocks)
+	preds := make([][]*cfg.Block, n)
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			preds[s.Index] = append(preds[s.Index], blk)
+		}
+	}
+
+	ins := make([]Held, n)
+	outs := make([]Held, n)
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range g.Blocks {
+			in := Held{}
+			for _, p := range preds[blk.Index] {
+				unionInto(in, outs[p.Index])
+			}
+			out := clone(in)
+			for _, node := range blk.Nodes {
+				applyNode(info, out, node)
+			}
+			if !equal(out, outs[blk.Index]) {
+				outs[blk.Index] = out
+				changed = true
+			}
+			ins[blk.Index] = in
+		}
+	}
+
+	for _, blk := range g.Blocks {
+		held := clone(ins[blk.Index])
+		for _, node := range blk.Nodes {
+			visit(node, blk, held)
+			applyNode(info, held, node)
+		}
+	}
+}
+
+// applyNode updates the held set for one CFG node's mutex operations.
+func applyNode(info *types.Info, h Held, n ast.Node) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			// The spawned call runs on another goroutine's timeline.
+			return false
+		case *ast.DeferStmt:
+			// A deferred Unlock runs at function exit: the lock stays
+			// held for the rest of the body, which is what ignoring the
+			// call models. Other deferred calls do not move the set.
+			return false
+		case *ast.CallExpr:
+			op, id, ok := Classify(info, x)
+			if !ok {
+				return true
+			}
+			switch op {
+			case Acquire, AcquireRead:
+				if _, dup := h[id]; !dup {
+					h[id] = Info{Pos: x.Pos(), Read: op == AcquireRead}
+				}
+			case Release, ReleaseRead:
+				delete(h, id)
+			}
+		}
+		return true
+	})
+}
+
+func clone(h Held) Held {
+	out := make(Held, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+func unionInto(dst, src Held) {
+	for k, v := range src {
+		if _, okDup := dst[k]; !okDup {
+			dst[k] = v
+		}
+	}
+}
+
+func equal(a, b Held) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, okB := b[k]; !okB {
+			return false
+		}
+	}
+	return true
+}

@@ -20,6 +20,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"bxsoap/internal/analysis/framework"
@@ -224,23 +225,48 @@ func (prog *Program) ParseDir(dir string) ([]*ast.File, error) {
 	return files, nil
 }
 
+// Result is the outcome of a driver run over the program: diagnostics for
+// root packages (suppressions applied) and the root-package suppressions
+// that swallowed nothing — stale //paylint:ignore comments the CI audit
+// step reports.
+type Result struct {
+	Diagnostics []framework.Diagnostic
+	Unused      []*framework.Suppression
+}
+
 // Run applies every analyzer to every first-party package of the program,
 // dependencies first so facts flow to their importers, and returns the
 // diagnostics for root packages with //paylint:ignore suppressions applied.
 func Run(prog *Program, analyzers []*framework.Analyzer) ([]framework.Diagnostic, error) {
+	res, err := RunAll(prog, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return res.Diagnostics, nil
+}
+
+// RunAll is Run plus the unused-suppression audit.
+func RunAll(prog *Program, analyzers []*framework.Analyzer) (*Result, error) {
 	store := framework.NewFactStore()
-	var diags []framework.Diagnostic
+	res := &Result{}
 	for _, pkg := range prog.Packages {
-		d, err := runOne(prog, pkg, analyzers, store)
+		d, sup, err := runOne(prog, pkg, analyzers, store)
 		if err != nil {
 			return nil, err
 		}
 		if pkg.Root {
-			diags = append(diags, d...)
+			res.Diagnostics = append(res.Diagnostics, d...)
+			res.Unused = append(res.Unused, sup.Unused()...)
 		}
 	}
-	framework.SortDiagnostics(prog.Fset, diags)
-	return diags, nil
+	framework.SortDiagnostics(prog.Fset, res.Diagnostics)
+	sort.Slice(res.Unused, func(i, j int) bool {
+		if res.Unused[i].File != res.Unused[j].File {
+			return res.Unused[i].File < res.Unused[j].File
+		}
+		return res.Unused[i].Line < res.Unused[j].Line
+	})
+	return res, nil
 }
 
 // RunOn applies the analyzers to one extra package (already checked with
@@ -248,11 +274,11 @@ func Run(prog *Program, analyzers []*framework.Analyzer) ([]framework.Diagnostic
 func RunOn(prog *Program, pkg *Package, analyzers []*framework.Analyzer) ([]framework.Diagnostic, error) {
 	store := framework.NewFactStore()
 	for _, dep := range prog.Packages {
-		if _, err := runOne(prog, dep, analyzers, store); err != nil {
+		if _, _, err := runOne(prog, dep, analyzers, store); err != nil {
 			return nil, err
 		}
 	}
-	diags, err := runOne(prog, pkg, analyzers, store)
+	diags, _, err := runOne(prog, pkg, analyzers, store)
 	if err != nil {
 		return nil, err
 	}
@@ -260,23 +286,22 @@ func RunOn(prog *Program, pkg *Package, analyzers []*framework.Analyzer) ([]fram
 	return diags, nil
 }
 
-func runOne(prog *Program, pkg *Package, analyzers []*framework.Analyzer, store *framework.FactStore) ([]framework.Diagnostic, error) {
-	sup := make(map[framework.SuppressKey]bool)
+func runOne(prog *Program, pkg *Package, analyzers []*framework.Analyzer, store *framework.FactStore) ([]framework.Diagnostic, *framework.SuppressionSet, error) {
+	var sups []*framework.Suppression
 	for _, f := range pkg.Files {
-		for k := range framework.SuppressedLines(prog.Fset, f) {
-			sup[k] = true
-		}
+		sups = append(sups, framework.CollectSuppressions(prog.Fset, f)...)
 	}
+	set := framework.NewSuppressionSet(sups)
 	var diags []framework.Diagnostic
 	for _, a := range analyzers {
 		pass := framework.NewPass(a, prog.Fset, pkg.Files, pkg.Types, pkg.Info, store, func(d framework.Diagnostic) {
-			if !framework.Suppressed(sup, prog.Fset, d.Pos, d.Analyzer.Name) {
+			if !set.Suppressed(prog.Fset, d.Pos, d.Analyzer.Name) {
 				diags = append(diags, d)
 			}
 		})
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("loader: analyzer %s on %s: %v", a.Name, pkg.Path, err)
+			return nil, nil, fmt.Errorf("loader: analyzer %s on %s: %v", a.Name, pkg.Path, err)
 		}
 	}
-	return diags, nil
+	return diags, set, nil
 }

@@ -1,0 +1,388 @@
+// Package lockorder checks repo-wide mutex acquisition order. Every
+// function's lock acquisitions run through the heldset dataflow; whenever
+// lock B is acquired (directly or through a callee, per cross-package
+// may-acquire facts) while lock A is held, the ordered pair A -> B joins a
+// repo-wide acquisition graph accumulated in the analyzer's run state.
+// Two locks ever taken in both orders — a cycle in that graph — is a
+// deadlock waiting for the right interleaving, and is reported once,
+// naming both acquisition paths.
+//
+// Lock identity is structural (see heldset): all instances of a struct
+// field are one graph node. A consequence is that acquiring the same field
+// on two different instances looks like re-acquiring a held lock; the
+// analyzer reports that too ("while an instance of it is already held"),
+// because sync mutexes are not reentrant and instance-ordered double
+// locking needs an ordering argument the code cannot state — the
+// //paylint:ignore escape hatch with a justification is the out.
+//
+// May-acquire summaries flow through direct calls only: a `go` statement
+// runs its callee on a fresh goroutine whose acquisitions cannot nest
+// inside the spawner's critical section, and func literals are analyzed as
+// their own bodies starting lock-free.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+
+	"bxsoap/internal/analysis/callgraph"
+	"bxsoap/internal/analysis/cfg"
+	"bxsoap/internal/analysis/framework"
+	"bxsoap/internal/analysis/heldset"
+)
+
+// Analyzer is the lockorder analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "lockorder",
+	Doc:  "mutexes must be acquired in one global order (no A->B and B->A)",
+	Run:  run,
+}
+
+// acquiresFact records the locks a function may acquire, itself or through
+// its callees, with the site of the underlying acquisition. It is exported
+// for every summarized function so importing packages see through calls.
+type acquiresFact struct {
+	Locks []lockSite
+}
+
+type lockSite struct {
+	ID    string
+	Where string // "file.go:42", the underlying Lock call
+}
+
+// rstate is the repo-wide acquisition graph shared across packages through
+// Pass.RunState.
+type rstate struct {
+	// edges[a][b] is the first site observed acquiring b while holding a.
+	edges    map[string]map[string]*edgeInfo
+	reported map[string]bool // canonical cycle keys already diagnosed
+}
+
+type edgeInfo struct {
+	where string // "file.go:42 (Type.method)"
+}
+
+type analysis struct {
+	pass      *framework.Pass
+	ix        *callgraph.Index
+	summaries map[types.Object]map[string]string // func -> lock id -> where
+}
+
+func run(pass *framework.Pass) error {
+	a := &analysis{
+		pass:      pass,
+		ix:        callgraph.NewIndex(pass.TypesInfo, pass.Files),
+		summaries: make(map[types.Object]map[string]string),
+	}
+
+	callgraph.Fixpoint(a.ix, 12, a.summarize)
+	for _, obj := range a.ix.Funcs() {
+		locks := a.summaries[obj]
+		if len(locks) == 0 {
+			continue
+		}
+		fact := &acquiresFact{}
+		for _, id := range sortedKeys(locks) {
+			fact.Locks = append(fact.Locks, lockSite{ID: id, Where: locks[id]})
+		}
+		pass.ExportObjectFact(obj, fact)
+	}
+
+	st := pass.RunState(func() any {
+		return &rstate{
+			edges:    make(map[string]map[string]*edgeInfo),
+			reported: make(map[string]bool),
+		}
+	}).(*rstate)
+
+	for _, obj := range a.ix.Funcs() {
+		decl := a.ix.Decl(obj)
+		name := funcDisplayName(obj)
+		a.checkBody(st, decl.Body, name)
+		for _, lit := range funcLits(decl.Body) {
+			a.checkBody(st, lit.Body, name+".func")
+		}
+	}
+	return nil
+}
+
+// summarize recomputes one function's may-acquire set: its own Lock calls
+// plus the summaries of its direct non-go callees (in-package map first,
+// cross-package facts otherwise). Returns whether the set grew.
+func (a *analysis) summarize(obj types.Object, decl *ast.FuncDecl) bool {
+	next := make(map[string]string)
+	spawned := spawnedCalls(decl.Body)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		if op, id, ok := heldset.Classify(a.pass.TypesInfo, call); ok {
+			if op == heldset.Acquire || op == heldset.AcquireRead {
+				if _, dup := next[id]; !dup {
+					next[id] = a.shortPos(call.Pos())
+				}
+			}
+			return true
+		}
+		if spawned[call] {
+			return true
+		}
+		for id, where := range a.calleeLocks(call) {
+			if _, dup := next[id]; !dup {
+				next[id] = where
+			}
+		}
+		return true
+	})
+	if len(next) == len(a.summaries[obj]) {
+		return false
+	}
+	a.summaries[obj] = next
+	return true
+}
+
+// calleeLocks returns the may-acquire set of a call's static callee: the
+// in-package summary when the callee is declared here, its exported fact
+// when it lives in a dependency, nothing when the callee is dynamic.
+func (a *analysis) calleeLocks(call *ast.CallExpr) map[string]string {
+	callee := callgraph.Callee(a.pass.TypesInfo, call)
+	if callee == nil {
+		return nil
+	}
+	if s, okLocal := a.summaries[callee]; okLocal {
+		return s
+	}
+	var out map[string]string
+	for _, f := range a.pass.ObjectFacts(callee) {
+		if af, okFact := f.(*acquiresFact); okFact {
+			if out == nil {
+				out = make(map[string]string)
+			}
+			for _, ls := range af.Locks {
+				out[ls.ID] = ls.Where
+			}
+		}
+	}
+	return out
+}
+
+// checkBody runs the held-lock dataflow over one body and feeds every
+// acquisition made under a held lock into the repo-wide graph.
+func (a *analysis) checkBody(st *rstate, body *ast.BlockStmt, fname string) {
+	info := a.pass.TypesInfo
+	spawned := spawnedCalls(body)
+	heldset.Walk(info, body, func(n ast.Node, _ *cfg.Block, held heldset.Held) {
+		if len(held) == 0 {
+			return
+		}
+		ast.Inspect(n, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+				return false
+			case *ast.CallExpr:
+				if op, id, ok := heldset.Classify(info, x); ok {
+					if op == heldset.Acquire || op == heldset.AcquireRead {
+						for h, hi := range held {
+							a.addEdge(st, h, hi, id, op == heldset.AcquireRead, x.Pos(), fname, "")
+						}
+					}
+					return true
+				}
+				if spawned[x] {
+					return true
+				}
+				callee := callgraph.Callee(info, x)
+				if callee == nil {
+					return true
+				}
+				for id, where := range a.calleeLocks(x) {
+					note := fmt.Sprintf(" via %s (locks at %s)", funcDisplayName(callee), where)
+					for h, hi := range held {
+						a.addEdge(st, h, hi, id, false, x.Pos(), fname, note)
+					}
+				}
+			}
+			return true
+		})
+	})
+}
+
+// addEdge records "to acquired while holding from" in the repo-wide graph
+// and reports when the new edge closes a cycle. A self-edge — re-acquiring
+// a lock (or another instance of the same structural lock) already held —
+// is reported directly: sync mutexes are not reentrant.
+func (a *analysis) addEdge(st *rstate, from string, fromInfo heldset.Info, to string, toRead bool, at token.Pos, fname, note string) {
+	if from == to {
+		// Nested read locks of one RWMutex are only a deadlock under writer
+		// pressure; the ordering check stays out of that judgment call.
+		if fromInfo.Read && toRead {
+			return
+		}
+		key := "self|" + from + "|" + a.shortPos(at)
+		if st.reported[key] {
+			return
+		}
+		st.reported[key] = true
+		a.pass.Reportf(at, "%s acquired%s while an instance of it is already held (since %s): sync mutexes are not reentrant",
+			to, note, a.shortPos(fromInfo.Pos))
+		return
+	}
+
+	where := fmt.Sprintf("%s (%s)%s", a.shortPos(at), fname, note)
+	if st.edges[from] == nil {
+		st.edges[from] = make(map[string]*edgeInfo)
+	}
+	if st.edges[from][to] == nil {
+		st.edges[from][to] = &edgeInfo{where: where}
+	}
+
+	path := st.path(to, from)
+	if path == nil {
+		return
+	}
+	nodes := []string{from, to}
+	for _, hop := range path {
+		nodes = append(nodes, hop.to)
+	}
+	key := cycleKey(nodes)
+	if st.reported[key] {
+		return
+	}
+	st.reported[key] = true
+
+	rev := ""
+	cur := to
+	for i, hop := range path {
+		if i > 0 {
+			rev += "; "
+		}
+		rev += fmt.Sprintf("%s -> %s at %s", cur, hop.to, hop.where)
+		cur = hop.to
+	}
+	a.pass.Reportf(at, "lock ordering cycle: %s -> %s here (%s held since %s)%s, but the opposite order exists: %s",
+		from, to, from, a.shortPos(fromInfo.Pos), note, rev)
+}
+
+type hop struct {
+	to    string
+	where string
+}
+
+// path finds an edge path from -> ... -> to in the acquisition graph.
+func (st *rstate) path(from, to string) []hop {
+	seen := map[string]bool{from: true}
+	var dfs func(cur string) []hop
+	dfs = func(cur string) []hop {
+		for _, next := range sortedEdgeKeys(st.edges[cur]) {
+			if next == to {
+				return []hop{{to: next, where: st.edges[cur][next].where}}
+			}
+			if seen[next] {
+				continue
+			}
+			seen[next] = true
+			if rest := dfs(next); rest != nil {
+				return append([]hop{{to: next, where: st.edges[cur][next].where}}, rest...)
+			}
+		}
+		return nil
+	}
+	return dfs(from)
+}
+
+// cycleKey canonicalizes the set of locks on a cycle so each cycle is
+// reported once no matter which edge closes it.
+func cycleKey(nodes []string) string {
+	s := append([]string(nil), nodes...)
+	sort.Strings(s)
+	key := "cycle"
+	last := ""
+	for _, n := range s {
+		if n == last {
+			continue
+		}
+		key += "|" + n
+		last = n
+	}
+	return key
+}
+
+func sortedEdgeKeys(m map[string]*edgeInfo) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// spawnedCalls collects the call expressions launched by go statements in
+// body (func literals excluded): their acquisitions happen on another
+// goroutine and never nest in the spawner's critical sections.
+func spawnedCalls(body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	out := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			out[n.Call] = true
+		}
+		return true
+	})
+	return out
+}
+
+// funcLits collects every func literal under body, including nested ones;
+// each is dataflow-analyzed as its own lock-free-entry body.
+func funcLits(body *ast.BlockStmt) []*ast.FuncLit {
+	var out []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, okLit := n.(*ast.FuncLit); okLit {
+			out = append(out, lit)
+		}
+		return true
+	})
+	return out
+}
+
+// funcDisplayName renders a function for diagnostics: "Type.method" for
+// methods, the bare name otherwise.
+func funcDisplayName(obj types.Object) string {
+	fn, okFn := obj.(*types.Func)
+	if !okFn {
+		return obj.Name()
+	}
+	if sig, okSig := fn.Type().(*types.Signature); okSig && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, okPtr := t.(*types.Pointer); okPtr {
+			t = p.Elem()
+		}
+		if named, okNamed := t.(*types.Named); okNamed {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}
+
+func (a *analysis) shortPos(pos token.Pos) string {
+	p := a.pass.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"bxsoap/internal/analysis/analysistest"
+	"bxsoap/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, "testdata/src/lo")
+}

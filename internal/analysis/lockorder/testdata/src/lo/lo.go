@@ -1,0 +1,244 @@
+// Package lo is the lockorder corpus: lock pairs taken in both orders,
+// acquisition through callees, path-sensitive releases, and the
+// structural-identity edge cases.
+package lo
+
+import "sync"
+
+// --- two locks, both orders -------------------------------------------------
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+var a A
+var b B
+
+// AB establishes lo.A.mu -> lo.B.mu.
+func AB() {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// BA takes the same pair the other way round.
+func BA() {
+	b.mu.Lock()
+	a.mu.Lock() // want `lock ordering cycle`
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// --- the opposite order hides behind a call ---------------------------------
+
+type C struct{ mu sync.Mutex }
+
+var c C
+var regmu sync.Mutex
+
+func lockReg() {
+	regmu.Lock()
+	regmu.Unlock()
+}
+
+// CReg establishes lo.C.mu -> lo.regmu through lockReg's summary.
+func CReg() {
+	c.mu.Lock()
+	lockReg()
+	c.mu.Unlock()
+}
+
+func RegC() {
+	regmu.Lock()
+	c.mu.Lock() // want `lock ordering cycle`
+	c.mu.Unlock()
+	regmu.Unlock()
+}
+
+// --- a release on one path frees the call on that path ----------------------
+
+type E struct {
+	mu sync.Mutex
+	q  chan int
+}
+type F struct{ mu sync.Mutex }
+
+var e E
+var f F
+
+func lockF() {
+	f.mu.Lock()
+	f.mu.Unlock()
+}
+
+// FE establishes lo.F.mu -> lo.E.mu.
+func FE() {
+	f.mu.Lock()
+	e.mu.Lock()
+	e.mu.Unlock()
+	f.mu.Unlock()
+}
+
+// Shed drops e.mu around the call that takes f.mu (the unlock-call-relock
+// shape), so no E->F edge forms and the FE order stands unopposed.
+func Shed() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	select {
+	case e.q <- 1:
+	default:
+		e.mu.Unlock()
+		lockF()
+		e.mu.Lock()
+	}
+}
+
+// --- re-acquisition -----------------------------------------------------------
+
+type rec struct{ mu sync.Mutex }
+
+func (r *rec) size() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return 0
+}
+
+func (r *rec) Grow() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_ = r.size() // want `already held`
+}
+
+// Two instances of one structural lock collapse onto one node; ordering
+// them needs an argument the analyzer cannot check.
+type Node struct{ mu sync.Mutex }
+
+func link(n1, n2 *Node) {
+	n1.mu.Lock()
+	n2.mu.Lock() // want `already held`
+	n2.mu.Unlock()
+	n1.mu.Unlock()
+}
+
+// --- embedded mutex -----------------------------------------------------------
+
+type Reg struct {
+	sync.Mutex
+	m map[string]int
+}
+
+var reg Reg
+var gmu sync.Mutex
+
+// RegThenG establishes lo.Reg.Mutex -> lo.gmu.
+func RegThenG() {
+	reg.Lock()
+	gmu.Lock()
+	gmu.Unlock()
+	reg.Unlock()
+}
+
+func GThenReg() {
+	gmu.Lock()
+	reg.Lock() // want `lock ordering cycle`
+	reg.Unlock()
+	gmu.Unlock()
+}
+
+// --- three-lock cycle ---------------------------------------------------------
+
+type X struct{ mu sync.Mutex }
+type Y struct{ mu sync.Mutex }
+type Z struct{ mu sync.Mutex }
+
+var x X
+var y Y
+var z Z
+
+func XY() { x.mu.Lock(); y.mu.Lock(); y.mu.Unlock(); x.mu.Unlock() }
+func YZ() { y.mu.Lock(); z.mu.Lock(); z.mu.Unlock(); y.mu.Unlock() }
+
+func ZX() {
+	z.mu.Lock()
+	x.mu.Lock() // want `lock ordering cycle`
+	x.mu.Unlock()
+	z.mu.Unlock()
+}
+
+// --- read locks participate in ordering --------------------------------------
+
+type RW struct{ mu sync.RWMutex }
+
+var rw RW
+var rwg sync.Mutex
+
+func RWFirst() {
+	rw.mu.RLock()
+	rwg.Lock()
+	rwg.Unlock()
+	rw.mu.RUnlock()
+}
+
+func GFirst() {
+	rwg.Lock()
+	rw.mu.Lock() // want `lock ordering cycle`
+	rw.mu.Unlock()
+	rwg.Unlock()
+}
+
+// Nested read locks of one RWMutex are left to the race detector: only
+// writer pressure makes them deadlock.
+func (r *RW) peekTwice() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	r.mu.RLock()
+	r.mu.RUnlock()
+}
+
+// --- goroutines do not inherit the spawner's critical section -----------------
+
+type Gx struct{ mu sync.Mutex }
+type Gy struct{ mu sync.Mutex }
+
+var gx Gx
+var gy Gy
+
+func lockGy() {
+	gy.mu.Lock()
+	gy.mu.Unlock()
+}
+
+// SpawnUnderLock must not record gx->gy: the goroutine runs on its own
+// timeline.
+func SpawnUnderLock() {
+	gx.mu.Lock()
+	go lockGy()
+	gx.mu.Unlock()
+}
+
+// GyGx stays clean because no opposite order exists.
+func GyGx() {
+	gy.mu.Lock()
+	gx.mu.Lock()
+	gx.mu.Unlock()
+	gy.mu.Unlock()
+}
+
+// --- func literal bodies are analyzed -----------------------------------------
+
+type L struct{ mu sync.Mutex }
+type M struct{ mu sync.Mutex }
+
+var l L
+var m M
+
+func LM() { l.mu.Lock(); m.mu.Lock(); m.mu.Unlock(); l.mu.Unlock() }
+
+func ClosureML() func() {
+	return func() {
+		m.mu.Lock()
+		l.mu.Lock() // want `lock ordering cycle`
+		l.mu.Unlock()
+		m.mu.Unlock()
+	}
+}

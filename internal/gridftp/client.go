@@ -39,6 +39,11 @@ type Client struct {
 	conn net.Conn
 	c    *ctrl
 
+	// mu serializes entire transfers: the FTP control channel is a
+	// stateful command/reply sequence, so one Retrieve/Store owns the
+	// whole client — control exchange, data-stream dials, block pump —
+	// until it completes. Blocking I/O under this lock is the design.
+	//paylint:serializes-io one stateful control-channel exchange per client
 	mu sync.Mutex
 }
 

@@ -22,6 +22,12 @@ import (
 type Binding struct {
 	tr *Transport
 
+	// mu serializes the binding's one in-flight exchange end to end —
+	// credit wait, stream open, response wait — mirroring tcpbind's
+	// one-exchange-per-binding contract. Contention is bounded to this
+	// binding's own Close/Poisoned; the shared hot structures (Transport,
+	// Session) never block under their locks.
+	//paylint:serializes-io single in-flight exchange per binding by contract
 	mu       sync.Mutex
 	sess     *Session
 	streamID uint64

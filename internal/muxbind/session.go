@@ -116,30 +116,41 @@ func (s *Session) failure() error {
 // multiplexed onto it.
 //
 //paylint:classifies
+//paylint:nonblocking removing a stream from the map commits this goroutine as the sole sender on its one-slot channel
 func (s *Session) fail(op string, err error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.failed != nil {
+		s.mu.Unlock()
 		return
 	}
-	s.failed = &core.TransportError{Op: op, Err: fmt.Errorf("muxbind: %w: %w", core.ErrBindingPoisoned, err)}
+	failed := &core.TransportError{Op: op, Err: fmt.Errorf("muxbind: %w: %w", core.ErrBindingPoisoned, err)}
+	s.failed = failed
 	close(s.done)
 	s.conn.Close()
+	victims := make([]chan result, 0, len(s.streams))
 	for id, ch := range s.streams {
 		delete(s.streams, id)
-		ch <- result{err: s.failed}
+		victims = append(victims, ch)
 	}
 	s.obs.GaugeAdd(obs.MuxStreams, -s.active)
 	s.active = 0
 	// Senders hold mu to enqueue and check failed first, so no new frames
 	// can race this drain; release whatever the writer had not reached.
-	for {
+	for drained := false; !drained; {
 		select {
 		case w := <-s.writeq:
 			w.payload.Release()
 		default:
-			return
+			drained = true
 		}
+	}
+	s.mu.Unlock()
+	// Deliver the terminal error outside the lock. Taking each stream out
+	// of the map above made this goroutine the sole sender on its
+	// one-result channel, so these sends cannot block — and a slow waiter
+	// can no longer stall everyone contending for mu.
+	for _, ch := range victims {
+		ch <- result{err: failed}
 	}
 }
 
@@ -210,13 +221,12 @@ func (s *Session) abandon(id uint64, ch chan result) {
 		return
 	}
 	s.mu.Unlock()
-	// The reader delivered before we got here; the result is sitting in the
-	// buffered channel, and nobody else will ever read it.
-	select {
-	case r := <-ch:
-		r.payload.Release()
-	default:
-	}
+	// The stream is already out of the map, so deliver or fail committed to
+	// sending exactly one terminal result — but the send happens outside
+	// mu, so it may not have landed yet. Wait for it (guaranteed and
+	// prompt) instead of racing it and leaking the payload.
+	r := <-ch
+	r.payload.Release()
 }
 
 // deliver routes a terminal result to its stream's waiter, releasing the
@@ -229,12 +239,17 @@ func (s *Session) deliver(id uint64, r result) {
 		delete(s.streams, id)
 		s.active--
 		s.obs.GaugeAdd(obs.MuxStreams, -1)
-		ch <- r
 	}
 	s.mu.Unlock()
 	if !ok {
 		r.payload.Release()
+		return
 	}
+	// Send outside the lock: removing the stream from the map above made
+	// this goroutine the sole sender on the one-result channel, so the
+	// send cannot block, and the reader no longer holds every other
+	// stream's registrations hostage while handing one result over.
+	ch <- r
 }
 
 // rstError classifies a received RST into the transport-error taxonomy.

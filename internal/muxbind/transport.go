@@ -55,6 +55,9 @@ func WithMaxSessions(n int) Option {
 // a svcpool of hundreds of engines runs over a handful of sockets.
 type Transport struct {
 	addr string
+	// dial opens the transport connection; calls through it pay the full
+	// connection-establishment latency.
+	//paylint:blocks dials the network
 	dial Dialer
 	obs  *obs.Observer
 	opt  options
@@ -106,25 +109,46 @@ func (t *Transport) Sessions() int {
 
 // session picks the next round-robin slot, dialing or re-dialing it if the
 // slot is empty or its session has died. Dial failures are classified.
+//
+// The dial happens outside t.mu: connection establishment pays real
+// network latency (a full RTT under netsim shaping), and holding the lock
+// across it would wedge every caller headed for a perfectly live slot.
+// Two callers may race to repopulate one slot; the loser adopts the
+// winner's session and retires its own dial.
 func (t *Transport) session() (*Session, error) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if t.closed {
+		t.mu.Unlock()
 		return nil, &core.TransportError{Op: "mux dial", Err: net.ErrClosed}
 	}
 	i := t.next
 	t.next = (t.next + 1) % len(t.sessions)
-	s := t.sessions[i]
-	if s != nil && !s.dead() {
+	if s := t.sessions[i]; s != nil && !s.dead() {
+		t.mu.Unlock()
 		return s, nil
 	}
+	t.mu.Unlock()
+
 	conn, err := t.dial(t.addr)
 	if err != nil {
 		return nil, &core.TransportError{Op: "mux dial", Err: fmt.Errorf("muxbind: dial %s: %w", t.addr, err)}
 	}
-	s = newSession(conn, t.obs)
-	t.sessions[i] = s
-	return s, nil
+	ns := newSession(conn, t.obs)
+
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		ns.close()
+		return nil, &core.TransportError{Op: "mux dial", Err: net.ErrClosed}
+	}
+	if cur := t.sessions[i]; cur != nil && !cur.dead() {
+		t.mu.Unlock()
+		ns.close()
+		return cur, nil
+	}
+	t.sessions[i] = ns
+	t.mu.Unlock()
+	return ns, nil
 }
 
 // Close tears down every session. In-flight calls fail with a classified

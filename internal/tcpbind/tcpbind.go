@@ -87,9 +87,17 @@ func NetDialer(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
 // hop-by-hop on one transport channel).
 type Binding struct {
 	addr string
+	// dial opens the transport connection; calls through it pay the full
+	// connection-establishment latency.
+	//paylint:blocks dials the network
 	dial Dialer
 	obs  *obs.Observer
 
+	// mu serializes the binding's one in-flight exchange: SOAP calls on a
+	// tcpbind channel are strictly request/response on one connection, so
+	// the frame I/O under this lock IS the critical section — there is
+	// nothing else for a contender to do but wait for the exchange.
+	//paylint:serializes-io single in-flight exchange per binding by contract
 	mu       sync.Mutex
 	conn     net.Conn
 	br       *bufio.Reader
