@@ -9,6 +9,7 @@
 //	benchharness -exp stages          # per-stage latency breakdown (obs layer), LAN
 //	benchharness -exp mux             # stream-multiplexed vs pooled throughput at a fixed socket budget
 //	benchharness -exp templates       # schema-compiled plans: generic vs templated per-call cost
+//	benchharness -exp stream          # chunked pipeline: first-byte latency + throughput vs buffered
 //	benchharness -exp stages,mux      # comma-separated lists run several experiments
 //	benchharness -exp all -full       # everything, at the paper's full sizes
 //
@@ -37,7 +38,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment (comma-separated): table1, fig4, fig5, fig6, pool, stages, mux, templates, or all")
+	exp := flag.String("exp", "all", "experiment (comma-separated): table1, fig4, fig5, fig6, pool, stages, mux, templates, stream, or all")
 	full := flag.Bool("full", false, "run the complete model-size sweep (up to 5.59M pairs / 64MB; slow)")
 	iters := flag.Int("iters", 2, "measured iterations per point (minimum reported)")
 	sizesFlag := flag.String("sizes", "", "comma-separated model sizes overriding the experiment's default sweep")
@@ -228,6 +229,39 @@ func main() {
 				}
 			}
 			harness.PrintThroughput(os.Stdout, points)
+			return nil
+		})
+	}
+
+	if want("stream") {
+		run("Streamed envelope pipeline: first-byte latency and throughput vs buffered, BXSA/TCP", func() error {
+			sizes := harness.StreamSizes
+			switch {
+			case customSizes != nil:
+				sizes = customSizes
+			case !*full:
+				sizes = sizes[:1] // ~1 MB by default; -full adds the 64 MB and 512 MB points
+				fmt.Fprintln(os.Stderr, "benchharness: using truncated stream sweep; pass -full for the 64/512 MB points")
+			}
+			const chunk = 256 << 10
+			var points []harness.StreamPoint
+			for _, prof := range []netsim.Profile{netsim.LAN, netsim.WAN} {
+				for _, size := range sizes {
+					for _, streamed := range []bool{false, true} {
+						pt, err := harness.StreamThroughput(netsim.New(prof), streamed, chunk, size, *iters)
+						if err != nil {
+							return err
+						}
+						if progress != nil {
+							fmt.Fprintf(progress, "%-28s %-5s first-byte %v total %v\n",
+								pt.Scheme, pt.Profile, pt.FirstByte, pt.Total)
+						}
+						points = append(points, pt)
+						benchRecords = append(benchRecords, harness.StreamRecords(pt)...)
+					}
+				}
+			}
+			harness.PrintStreamPoints(os.Stdout, points)
 			return nil
 		})
 	}

@@ -1,0 +1,213 @@
+// Package cliconf is the single home of the flag wiring shared by the
+// soap* commands (cmd/soapclient, cmd/soapserver, cmd/soapproxy). Each
+// command used to re-declare the same -encoding/-transport/-mux/
+// -templates/-trace/-admin/-conns/-inflight set with drifting help text;
+// here every shared knob is declared once, new shared knobs (-stream,
+// -chunk-bytes) land once, and the validation rules (mux implies tcp, the
+// accepted encoding and transport names) are enforced in one place.
+//
+// Commands register only the groups they use:
+//
+//	c := new(cliconf.Common)
+//	cliconf.RegisterEndpoint(flag.CommandLine, c)
+//	cliconf.RegisterEngine(flag.CommandLine, c)
+//	cliconf.RegisterPool(flag.CommandLine, c)
+//	flag.Parse()
+//	if err := c.Validate(); err != nil { ... }
+package cliconf
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+
+	"bxsoap/internal/core"
+	"bxsoap/internal/obs"
+)
+
+// Common holds the parsed values of the shared flags. Zero values mean the
+// corresponding group was not registered.
+type Common struct {
+	Encoding  string // "bxsa" or "xml"
+	Transport string // "tcp" or "http"
+	Mux       bool   // stream-multiplexed framed transport (tcp only)
+
+	Templates  int  // schema-compiled template cache capacity
+	Stream     bool // streamed envelope pipeline
+	ChunkBytes int  // chunk window when streaming
+
+	Conns    int // pooled connections
+	Inflight int // concurrent in-flight calls
+
+	Trace bool   // record request traces
+	Admin string // admin endpoint address
+}
+
+// RegisterEndpoint declares the policy-selection flags: -encoding,
+// -transport, -mux.
+func RegisterEndpoint(fs *flag.FlagSet, c *Common) {
+	fs.StringVar(&c.Encoding, "encoding", "bxsa", "message encoding: bxsa or xml")
+	fs.StringVar(&c.Transport, "transport", "tcp", "transport binding: tcp or http")
+	fs.BoolVar(&c.Mux, "mux", false, "multiplex calls as streams over the framed transport (implies -transport tcp)")
+}
+
+// RegisterEngine declares the engine-tuning flags shared by client and
+// server: -templates, -stream, -chunk-bytes.
+func RegisterEngine(fs *flag.FlagSet, c *Common) {
+	fs.IntVar(&c.Templates, "templates", 0, "schema-compiled template cache capacity, 0 disables (repeated shapes encode/decode by skeleton splice)")
+	fs.BoolVar(&c.Stream, "stream", false, "stream envelopes as bounded chunks instead of buffering whole messages")
+	fs.IntVar(&c.ChunkBytes, "chunk-bytes", core.DefaultChunkBytes, "chunk window in bytes when -stream is set")
+}
+
+// RegisterPool declares the client-runtime sizing flags: -conns,
+// -inflight.
+func RegisterPool(fs *flag.FlagSet, c *Common) {
+	fs.IntVar(&c.Conns, "conns", 1, "max pooled connections to the server")
+	fs.IntVar(&c.Inflight, "inflight", 0, "max concurrent in-flight calls (default: same as -conns)")
+}
+
+// RegisterTrace declares -trace.
+func RegisterTrace(fs *flag.FlagSet, c *Common) {
+	fs.BoolVar(&c.Trace, "trace", false, "record request traces and print the last call's trace tree")
+}
+
+// RegisterAdmin declares -admin.
+func RegisterAdmin(fs *flag.FlagSet, c *Common) {
+	fs.StringVar(&c.Admin, "admin", "", "serve /metrics, /trace/recent, /trace/slow, /events and /debug/pprof on this address")
+}
+
+// Validate applies the cross-flag rules and normalizes defaults. Call it
+// after flag.Parse.
+func (c *Common) Validate() error {
+	if c.Encoding != "" && c.Encoding != "bxsa" && c.Encoding != "xml" {
+		return fmt.Errorf("unknown encoding %q: want bxsa or xml", c.Encoding)
+	}
+	if c.Transport != "" && c.Transport != "tcp" && c.Transport != "http" {
+		return fmt.Errorf("unknown transport %q: want tcp or http", c.Transport)
+	}
+	if c.Mux && c.Transport != "tcp" {
+		return fmt.Errorf("-mux is a framed TCP protocol; -transport %s is not supported", c.Transport)
+	}
+	if c.Stream && c.ChunkBytes <= 0 {
+		return fmt.Errorf("-chunk-bytes must be positive with -stream, got %d", c.ChunkBytes)
+	}
+	if c.Conns <= 0 {
+		c.Conns = 1
+	}
+	if c.Inflight <= 0 {
+		c.Inflight = c.Conns
+	}
+	return nil
+}
+
+// StreamChunk returns the chunk window to configure, or 0 when streaming
+// is off — the value WithStreaming and muxbind's Config.ChunkBytes expect.
+func (c *Common) StreamChunk() int {
+	if !c.Stream {
+		return 0
+	}
+	return c.ChunkBytes
+}
+
+// Label names the transport for human-facing output: "mux" when
+// multiplexing, else the transport flag.
+func (c *Common) Label() string {
+	if c.Mux {
+		return "mux"
+	}
+	return c.Transport
+}
+
+// EngineOptions assembles the core.EngineOption list the shared flags
+// imply. A nil observer keeps the observability path dormant.
+func (c *Common) EngineOptions(o *obs.Observer) []core.EngineOption {
+	opts := []core.EngineOption{core.WithObserver(o)}
+	if c.Templates > 0 {
+		opts = append(opts, core.WithTemplates(c.Templates))
+	}
+	if n := c.StreamChunk(); n > 0 {
+		opts = append(opts, core.WithStreaming(n))
+	}
+	return opts
+}
+
+// ServerOptions assembles the core.ServerOption list the shared flags
+// imply.
+func (c *Common) ServerOptions(o *obs.Observer, errLog *log.Logger) []core.ServerOption {
+	opts := []core.ServerOption{core.WithObserver(o), core.WithErrorLog(errLog)}
+	if c.Templates > 0 {
+		opts = append(opts, core.WithTemplates(c.Templates))
+	}
+	if n := c.StreamChunk(); n > 0 {
+		opts = append(opts, core.WithStreaming(n))
+	}
+	return opts
+}
+
+// NewObserver builds the process-wide observer with a flight recorder and
+// registers it as the payload-pool observer, the same composition every
+// command used to spell out.
+func NewObserver(node string) *obs.Observer {
+	o := obs.New(
+		obs.WithNode(node),
+		obs.WithRecorder(obs.NewRecorder(obs.RecorderConfig{})),
+	)
+	core.SetPayloadObserver(o)
+	return o
+}
+
+// ServeAdmin starts the admin endpoint on addr when non-empty, announcing
+// it on stdout. extra, when non-nil, folds command-specific stats into each
+// served snapshot.
+func ServeAdmin(addr, command string, o *obs.Observer, extra func(*obs.Snapshot), errLog *log.Logger) error {
+	if addr == "" {
+		return nil
+	}
+	al, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("admin: %w", err)
+	}
+	go func() {
+		if err := http.Serve(al, obs.AdminMux(o, extra)); err != nil {
+			errLog.Printf("admin endpoint: %v", err)
+		}
+	}()
+	fmt.Printf("%s: admin endpoint (metrics, traces, events, pprof) on http://%s\n", command, al.Addr())
+	return nil
+}
+
+// Endpoint is a parsed encoding/transport:addr triple, the -listen and
+// -backend syntax of cmd/soapproxy.
+type Endpoint struct {
+	Encoding  string // "xml" or "bxsa"
+	Transport string // "tcp" or "http"
+	Addr      string
+}
+
+// ParseEndpoint parses "encoding/transport:addr", validating the names
+// against the same sets as Validate.
+func ParseEndpoint(s string) (Endpoint, error) {
+	slash := strings.IndexByte(s, '/')
+	colon := strings.IndexByte(s, ':')
+	if slash < 0 || colon < slash {
+		return Endpoint{}, fmt.Errorf("endpoint %q: want encoding/transport:addr", s)
+	}
+	ep := Endpoint{
+		Encoding:  strings.ToLower(s[:slash]),
+		Transport: strings.ToLower(s[slash+1 : colon]),
+		Addr:      s[colon+1:],
+	}
+	if ep.Encoding != "xml" && ep.Encoding != "bxsa" {
+		return Endpoint{}, fmt.Errorf("endpoint %q: unknown encoding %q", s, ep.Encoding)
+	}
+	if ep.Transport != "tcp" && ep.Transport != "http" {
+		return Endpoint{}, fmt.Errorf("endpoint %q: unknown transport %q", s, ep.Transport)
+	}
+	if ep.Addr == "" {
+		return Endpoint{}, fmt.Errorf("endpoint %q: missing address", s)
+	}
+	return ep, nil
+}

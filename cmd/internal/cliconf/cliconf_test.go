@@ -1,0 +1,82 @@
+package cliconf
+
+import (
+	"flag"
+	"testing"
+)
+
+func parse(t *testing.T, args ...string) *Common {
+	t.Helper()
+	c := new(Common)
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	RegisterEndpoint(fs, c)
+	RegisterEngine(fs, c)
+	RegisterPool(fs, c)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestValidate(t *testing.T) {
+	if err := parse(t).Validate(); err != nil {
+		t.Fatalf("defaults invalid: %v", err)
+	}
+	if err := parse(t, "-mux", "-transport", "http").Validate(); err == nil {
+		t.Error("mux over http accepted")
+	}
+	if err := parse(t, "-encoding", "exi").Validate(); err == nil {
+		t.Error("unknown encoding accepted")
+	}
+	if err := parse(t, "-stream", "-chunk-bytes", "0").Validate(); err == nil {
+		t.Error("zero chunk window accepted with -stream")
+	}
+
+	c := parse(t, "-conns", "3")
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Inflight != 3 {
+		t.Errorf("Inflight default = %d, want conns (3)", c.Inflight)
+	}
+}
+
+func TestStreamChunk(t *testing.T) {
+	if got := parse(t).StreamChunk(); got != 0 {
+		t.Errorf("StreamChunk without -stream = %d, want 0", got)
+	}
+	c := parse(t, "-stream", "-chunk-bytes", "4096")
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.StreamChunk(); got != 4096 {
+		t.Errorf("StreamChunk = %d, want 4096", got)
+	}
+	if got := len(c.EngineOptions(nil)); got != 2 {
+		t.Errorf("EngineOptions count = %d, want observer+streaming", got)
+	}
+}
+
+func TestLabel(t *testing.T) {
+	if got := parse(t, "-transport", "http").Label(); got != "http" {
+		t.Errorf("Label = %q, want http", got)
+	}
+	if got := parse(t, "-mux").Label(); got != "mux" {
+		t.Errorf("Label = %q, want mux", got)
+	}
+}
+
+func TestParseEndpoint(t *testing.T) {
+	ep, err := ParseEndpoint("XML/TCP:127.0.0.1:8800")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.Encoding != "xml" || ep.Transport != "tcp" || ep.Addr != "127.0.0.1:8800" {
+		t.Errorf("parsed %+v", ep)
+	}
+	for _, bad := range []string{"", "bxsa:addr", "bxsa/quic:addr", "exi/tcp:addr", "bxsa/tcp:"} {
+		if _, err := ParseEndpoint(bad); err == nil {
+			t.Errorf("ParseEndpoint(%q) accepted", bad)
+		}
+	}
+}

@@ -6,11 +6,16 @@
 //	soapclient -encoding bxsa -transport tcp -addr 127.0.0.1:8701 -n 1000 -calls 10
 //	soapclient -conns 8 -inflight 16 -calls 200        # concurrent throughput
 //	soapclient -mux -conns 4 -inflight 256 -calls 2000 # multiplexed: 256 streams on 4 sockets
+//	soapclient -stream -n 2000000 -calls 1             # chunked envelope pipeline
 //
 // With -mux the calls ride the stream-multiplexed framed transport
 // (internal/muxbind, server started with `soapserver -mux`): -conns caps the
 // shared connections while -inflight concurrent calls interleave as streams
 // on them, so inflight can far exceed conns.
+//
+// With -stream each call flows as bounded chunks (window set by
+// -chunk-bytes) instead of buffering whole messages, so memory stays flat
+// however large the model is; a buffered server still interoperates.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bxsoap/cmd/internal/cliconf"
 	"bxsoap/internal/core"
 	"bxsoap/internal/dataset"
 	"bxsoap/internal/httpbind"
@@ -33,40 +39,32 @@ import (
 )
 
 func main() {
-	encoding := flag.String("encoding", "bxsa", "message encoding: bxsa or xml")
-	transport := flag.String("transport", "tcp", "transport binding: tcp or http")
+	c := new(cliconf.Common)
+	cliconf.RegisterEndpoint(flag.CommandLine, c)
+	cliconf.RegisterEngine(flag.CommandLine, c)
+	cliconf.RegisterPool(flag.CommandLine, c)
+	cliconf.RegisterTrace(flag.CommandLine, c)
 	addr := flag.String("addr", "127.0.0.1:8701", "server address")
 	n := flag.Int("n", 1000, "model size (number of (double,int) pairs)")
 	calls := flag.Int("calls", 5, "number of invocations to time")
-	conns := flag.Int("conns", 1, "max pooled connections to the server")
-	inflight := flag.Int("inflight", 0, "max concurrent in-flight calls (default: same as -conns)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-call deadline")
-	trace := flag.Bool("trace", false, "record request traces and print the last call's trace tree")
-	mux := flag.Bool("mux", false, "multiplex calls as streams over the framed transport (implies -transport tcp)")
-	templates := flag.Int("templates", 0, "schema-compiled template cache capacity, 0 disables (repeated shapes encode/decode by skeleton splice)")
 	flag.Parse()
+	if err := c.Validate(); err != nil {
+		log.Fatalf("soapclient: %v", err)
+	}
 
-	if *conns <= 0 {
-		*conns = 1
-	}
-	if *inflight <= 0 {
-		*inflight = *conns
-	}
 	// With -trace the pool runs under an observer carrying a flight
 	// recorder: every call starts a client hop, stamps the trace header
 	// onto the wire (so the server and any intermediary join the same
 	// trace), and lands in the recorder. Without it the observer is nil
 	// and the whole trace path is dormant.
 	var o *obs.Observer
-	if *trace {
-		o = obs.New(
-			obs.WithNode("soapclient"),
-			obs.WithRecorder(obs.NewRecorder(obs.RecorderConfig{})),
-		)
+	if c.Trace {
+		o = cliconf.NewObserver("soapclient")
 	}
-	pool, err := buildPool(*encoding, *transport, *addr, *mux, *conns, *templates, svcpool.Config{
-		MaxConns:    *conns,
-		MaxInflight: *inflight,
+	pool, err := buildPool(c, *addr, svcpool.Config{
+		MaxConns:    c.Conns,
+		MaxInflight: c.Inflight,
 		CallTimeout: *timeout,
 	}, o)
 	if err != nil {
@@ -90,7 +88,7 @@ func main() {
 		bestNs  atomic.Int64
 		failed  atomic.Int64
 		work    = make(chan struct{}, *calls)
-		workers = *inflight
+		workers = c.Inflight
 	)
 	for i := 0; i < *calls; i++ {
 		work <- struct{}{}
@@ -127,18 +125,14 @@ func main() {
 	ok := *calls - int(failed.Load())
 	best := time.Duration(bestNs.Load())
 	st := pool.Stats()
-	label := *transport
-	if *mux {
-		label = "mux"
-	}
 	fmt.Printf("%s/%s  model size %d  %d/%d calls ok over %d conns / %d inflight\n",
-		*encoding, label, *n, ok, *calls, *conns, *inflight)
+		c.Encoding, c.Label(), *n, ok, *calls, c.Conns, c.Inflight)
 	fmt.Printf("best latency %v  aggregate %.0f calls/s (%.0f pairs/s)\n",
 		best, float64(ok)/elapsed.Seconds(), float64(ok)*float64(*n)/elapsed.Seconds())
 	fmt.Printf("pool: dials=%d reuses=%d retires=%d retries=%d failures=%d\n",
 		st.Dials, st.Reuses, st.Retires, st.Retries, st.Failures)
 
-	if *trace {
+	if c.Trace {
 		// The client's own view of the last call; a server/proxy running
 		// their own recorders expose their hops of the same trace ID at
 		// /trace/recent on their admin endpoints.
@@ -167,45 +161,39 @@ type pooledCaller interface {
 // In mux mode the pool's "connections" are logical bindings — cheap stream
 // slots, so the pool is sized to the in-flight budget — while the real
 // sockets are capped at `conns` shared sessions inside the transport.
-func buildPool(encoding, transport, addr string, mux bool, conns, templates int, cfg svcpool.Config, o *obs.Observer) (pooledCaller, error) {
-	if mux && transport != "tcp" {
-		return nil, fmt.Errorf("-mux is a framed TCP protocol; -transport %s is not supported", transport)
-	}
-	engOpts := []core.EngineOption{core.WithObserver(o)}
-	if templates > 0 {
-		engOpts = append(engOpts, core.WithTemplates(templates))
-	}
+func buildPool(c *cliconf.Common, addr string, cfg svcpool.Config, o *obs.Observer) (pooledCaller, error) {
+	engOpts := c.EngineOptions(o)
 	switch {
-	case mux && encoding == "bxsa":
-		tr := muxbind.NewTransport(muxbind.NetDialer, addr, muxbind.WithMaxSessions(conns), muxbind.WithObserver(o))
+	case c.Mux && c.Encoding == "bxsa":
+		tr := muxbind.NewTransport(muxbind.NetDialer, addr, muxbind.WithMaxSessions(c.Conns), muxbind.WithObserver(o))
 		cfg.MaxConns = cfg.MaxInflight
 		return svcpool.New(func(context.Context) (*core.Engine[core.BXSAEncoding, *muxbind.Binding], error) {
 			return core.NewEngine(core.BXSAEncoding{}, tr.NewBinding(), engOpts...), nil
 		}, cfg, svcpool.WithObserver(o)), nil
-	case mux && encoding == "xml":
-		tr := muxbind.NewTransport(muxbind.NetDialer, addr, muxbind.WithMaxSessions(conns), muxbind.WithObserver(o))
+	case c.Mux && c.Encoding == "xml":
+		tr := muxbind.NewTransport(muxbind.NetDialer, addr, muxbind.WithMaxSessions(c.Conns), muxbind.WithObserver(o))
 		cfg.MaxConns = cfg.MaxInflight
 		return svcpool.New(func(context.Context) (*core.Engine[core.XMLEncoding, *muxbind.Binding], error) {
 			return core.NewEngine(core.XMLEncoding{}, tr.NewBinding(), engOpts...), nil
 		}, cfg, svcpool.WithObserver(o)), nil
-	case encoding == "bxsa" && transport == "tcp":
+	case c.Encoding == "bxsa" && c.Transport == "tcp":
 		return svcpool.New(func(context.Context) (*core.Engine[core.BXSAEncoding, *tcpbind.Binding], error) {
 			return core.NewEngine(core.BXSAEncoding{}, tcpbind.New(tcpbind.NetDialer, addr, tcpbind.WithObserver(o)), engOpts...), nil
 		}, cfg, svcpool.WithObserver(o)), nil
-	case encoding == "xml" && transport == "tcp":
+	case c.Encoding == "xml" && c.Transport == "tcp":
 		return svcpool.New(func(context.Context) (*core.Engine[core.XMLEncoding, *tcpbind.Binding], error) {
 			return core.NewEngine(core.XMLEncoding{}, tcpbind.New(tcpbind.NetDialer, addr, tcpbind.WithObserver(o)), engOpts...), nil
 		}, cfg, svcpool.WithObserver(o)), nil
-	case encoding == "bxsa" && transport == "http":
+	case c.Encoding == "bxsa" && c.Transport == "http":
 		return svcpool.New(func(context.Context) (*core.Engine[core.BXSAEncoding, *httpbind.Binding], error) {
 			return core.NewEngine(core.BXSAEncoding{}, httpbind.New(nil, "http://"+addr+"/soap", httpbind.WithObserver(o)), engOpts...), nil
 		}, cfg, svcpool.WithObserver(o)), nil
-	case encoding == "xml" && transport == "http":
+	case c.Encoding == "xml" && c.Transport == "http":
 		return svcpool.New(func(context.Context) (*core.Engine[core.XMLEncoding, *httpbind.Binding], error) {
 			return core.NewEngine(core.XMLEncoding{}, httpbind.New(nil, "http://"+addr+"/soap", httpbind.WithObserver(o)), engOpts...), nil
 		}, cfg, svcpool.WithObserver(o)), nil
 	default:
-		return nil, fmt.Errorf("unknown combination %s/%s", encoding, transport)
+		return nil, fmt.Errorf("unknown combination %s/%s", c.Encoding, c.Transport)
 	}
 }
 

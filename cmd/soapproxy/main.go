@@ -10,6 +10,10 @@
 // With -hmac-key the backend hop is authenticated (wssec.Secured), so
 // legacy plaintext clients can reach a signed-binary service unchanged.
 //
+// With -stream both hops run the chunked envelope pipeline: the up-link
+// serves streamed requests and the relayed backend calls re-stream each
+// envelope, so a large message never buffers whole in the proxy.
+//
 // The down-link rides the svcpool client runtime: -pool-conns persistent
 // backend connections are reused across relayed requests (instead of a
 // dial per request), with health-aware retirement. Relays are not assumed
@@ -22,12 +26,11 @@ import (
 	"fmt"
 	"log"
 	"net"
-	"net/http"
 	"os"
 	"os/signal"
-	"strings"
 	"time"
 
+	"bxsoap/cmd/internal/cliconf"
 	"bxsoap/internal/core"
 	"bxsoap/internal/httpbind"
 	"bxsoap/internal/obs"
@@ -35,36 +38,6 @@ import (
 	"bxsoap/internal/tcpbind"
 	"bxsoap/internal/wssec"
 )
-
-type endpoint struct {
-	encoding  string // "xml" or "bxsa"
-	transport string // "tcp" or "http"
-	addr      string
-}
-
-func parseEndpoint(s string) (endpoint, error) {
-	// Format: encoding/transport:addr
-	slash := strings.IndexByte(s, '/')
-	colon := strings.IndexByte(s, ':')
-	if slash < 0 || colon < slash {
-		return endpoint{}, fmt.Errorf("endpoint %q: want encoding/transport:addr", s)
-	}
-	ep := endpoint{
-		encoding:  strings.ToLower(s[:slash]),
-		transport: strings.ToLower(s[slash+1 : colon]),
-		addr:      s[colon+1:],
-	}
-	if ep.encoding != "xml" && ep.encoding != "bxsa" {
-		return endpoint{}, fmt.Errorf("endpoint %q: unknown encoding %q", s, ep.encoding)
-	}
-	if ep.transport != "tcp" && ep.transport != "http" {
-		return endpoint{}, fmt.Errorf("endpoint %q: unknown transport %q", s, ep.transport)
-	}
-	if ep.addr == "" {
-		return endpoint{}, fmt.Errorf("endpoint %q: missing address", s)
-	}
-	return ep, nil
-}
 
 // encodingFor returns the (possibly secured) encoding policy as an
 // interface; each engine composition below still binds concrete types.
@@ -82,20 +55,25 @@ func encodingFor(name string, key []byte) core.Encoding {
 }
 
 func main() {
+	c := new(cliconf.Common)
+	cliconf.RegisterEngine(flag.CommandLine, c)
+	cliconf.RegisterAdmin(flag.CommandLine, c)
 	listenFlag := flag.String("listen", "xml/http:127.0.0.1:8800", "up-link endpoint as encoding/transport:addr")
 	backendFlag := flag.String("backend", "bxsa/tcp:127.0.0.1:8701", "down-link endpoint as encoding/transport:addr")
 	hmacKey := flag.String("hmac-key", "", "sign/verify the backend hop with this shared key")
 	poolConns := flag.Int("pool-conns", 4, "max pooled connections to the backend")
 	poolInflight := flag.Int("pool-inflight", 0, "max concurrent backend calls (default: 2×pool-conns)")
 	poolTimeout := flag.Duration("pool-timeout", 30*time.Second, "per-relay backend deadline")
-	adminAddr := flag.String("admin", "", "serve /metrics, /trace/recent, /trace/slow, /events and /debug/pprof on this address")
 	flag.Parse()
+	if err := c.Validate(); err != nil {
+		log.Fatalf("soapproxy: %v", err)
+	}
 
-	up, err := parseEndpoint(*listenFlag)
+	up, err := cliconf.ParseEndpoint(*listenFlag)
 	if err != nil {
 		log.Fatalf("soapproxy: -listen: %v", err)
 	}
-	down, err := parseEndpoint(*backendFlag)
+	down, err := cliconf.ParseEndpoint(*backendFlag)
 	if err != nil {
 		log.Fatalf("soapproxy: -backend: %v", err)
 	}
@@ -111,13 +89,11 @@ func main() {
 	// server hop and down-link client hop into one trace entry, correlated
 	// over the wire with the client's and backend's hops by the propagated
 	// trace ID.
-	o := obs.New(
-		obs.WithNode("soapproxy"),
-		obs.WithRecorder(obs.NewRecorder(obs.RecorderConfig{})),
-	)
-	core.SetPayloadObserver(o)
+	o := cliconf.NewObserver("soapproxy")
+	errLog := log.New(os.Stderr, "soapproxy: ", log.LstdFlags)
 
-	downEnc := encodingFor(down.encoding, key)
+	downEnc := encodingFor(down.Encoding, key)
+	engOpts := c.EngineOptions(o)
 	poolCfg := svcpool.Config{
 		MaxConns:    *poolConns,
 		MaxInflight: *poolInflight,
@@ -131,17 +107,17 @@ func main() {
 		Stats() svcpool.Stats
 		Close() error
 	}
-	if down.transport == "tcp" {
+	if down.Transport == "tcp" {
 		backend = svcpool.New(func(context.Context) (*core.Engine[core.Encoding, *tcpbind.Binding], error) {
 			return core.NewEngine(downEnc,
-				tcpbind.New(tcpbind.NetDialer, down.addr, tcpbind.WithObserver(o)),
-				core.WithObserver(o)), nil
+				tcpbind.New(tcpbind.NetDialer, down.Addr, tcpbind.WithObserver(o)),
+				engOpts...), nil
 		}, poolCfg, svcpool.WithObserver(o))
 	} else {
 		backend = svcpool.New(func(context.Context) (*core.Engine[core.Encoding, *httpbind.Binding], error) {
 			return core.NewEngine(downEnc,
-				httpbind.New(nil, "http://"+down.addr+"/soap", httpbind.WithObserver(o)),
-				core.WithObserver(o)), nil
+				httpbind.New(nil, "http://"+down.Addr+"/soap", httpbind.WithObserver(o)),
+				engOpts...), nil
 		}, poolCfg, svcpool.WithObserver(o))
 	}
 	defer backend.Close()
@@ -151,48 +127,40 @@ func main() {
 		return backend.CallOnce(ctx, req)
 	}
 
-	l, err := net.Listen("tcp", up.addr)
+	l, err := net.Listen("tcp", up.Addr)
 	if err != nil {
 		log.Fatalf("soapproxy: %v", err)
 	}
-	upEnc := encodingFor(up.encoding, nil)
+	upEnc := encodingFor(up.Encoding, nil)
+	srvOpts := c.ServerOptions(o, errLog)
 	var srv interface {
 		Serve() error
 		Close() error
 	}
-	if up.transport == "tcp" {
-		srv = core.NewServer(upEnc, tcpbind.NewListener(l, tcpbind.WithObserver(o)), relay, core.WithObserver(o))
+	if up.Transport == "tcp" {
+		srv = core.NewServer(upEnc, tcpbind.NewListener(l, tcpbind.WithObserver(o)), relay, srvOpts...)
 	} else {
-		srv = core.NewServer(upEnc, httpbind.NewListener(l, httpbind.WithObserver(o)), relay, core.WithObserver(o))
+		srv = core.NewServer(upEnc, httpbind.NewListener(l, httpbind.WithObserver(o)), relay, srvOpts...)
 	}
 
-	if *adminAddr != "" {
-		al, err := net.Listen("tcp", *adminAddr)
-		if err != nil {
-			log.Fatalf("soapproxy: admin: %v", err)
-		}
-		// Fold the pool's own bookkeeping (dials, reuses, live/idle conns)
-		// into each served snapshot; retries/retirements/breaker transitions
-		// already stream through the observer's counters.
-		extra := func(s *obs.Snapshot) {
-			st := backend.Stats()
-			s.Counters["svcpool.dials"] = st.Dials
-			s.Counters["svcpool.reuses"] = st.Reuses
-			s.Counters["svcpool.failures"] = st.Failures
-			s.Counters["svcpool.rejected"] = st.Rejected
-			s.Gauges["svcpool.live"] = obs.GaugeSnapshot{Value: int64(st.Live)}
-			s.Gauges["svcpool.idle"] = obs.GaugeSnapshot{Value: int64(st.Idle)}
-		}
-		go func() {
-			if err := http.Serve(al, obs.AdminMux(o, extra)); err != nil {
-				log.Printf("soapproxy: admin endpoint: %v", err)
-			}
-		}()
-		fmt.Printf("soapproxy: admin endpoint (metrics, traces, events, pprof) on http://%s\n", al.Addr())
+	// Fold the pool's own bookkeeping (dials, reuses, live/idle conns)
+	// into each served snapshot; retries/retirements/breaker transitions
+	// already stream through the observer's counters.
+	extra := func(s *obs.Snapshot) {
+		st := backend.Stats()
+		s.Counters["svcpool.dials"] = st.Dials
+		s.Counters["svcpool.reuses"] = st.Reuses
+		s.Counters["svcpool.failures"] = st.Failures
+		s.Counters["svcpool.rejected"] = st.Rejected
+		s.Gauges["svcpool.live"] = obs.GaugeSnapshot{Value: int64(st.Live)}
+		s.Gauges["svcpool.idle"] = obs.GaugeSnapshot{Value: int64(st.Idle)}
+	}
+	if err := cliconf.ServeAdmin(c.Admin, "soapproxy", o, extra, errLog); err != nil {
+		log.Fatalf("soapproxy: %v", err)
 	}
 
 	fmt.Printf("soapproxy: %s/%s on %s → %s/%s at %s (signed=%v)\n",
-		up.encoding, up.transport, l.Addr(), down.encoding, down.transport, down.addr, key != nil)
+		up.Encoding, up.Transport, l.Addr(), down.Encoding, down.Transport, down.Addr, key != nil)
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)
 	go func() {

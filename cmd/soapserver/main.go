@@ -4,11 +4,15 @@
 //	soapserver -encoding bxsa -transport tcp  -addr 127.0.0.1:8701
 //	soapserver -encoding xml  -transport http -addr 127.0.0.1:8702
 //	soapserver -mux -addr 127.0.0.1:8703      # stream-multiplexed framed transport
+//	soapserver -stream -addr 127.0.0.1:8704   # chunked envelope pipeline
 //
 // With -mux the server speaks the stream-multiplexed frame protocol
 // (internal/muxbind): many concurrent calls interleave on each accepted
 // connection, scheduled onto a bounded worker pool with credit-based flow
 // control and overload shedding. A matching client is `soapclient -mux`.
+//
+// With -stream requests and responses flow as bounded chunks instead of
+// buffered messages; buffered clients still interoperate.
 //
 // The service receives the LEAD-like data model inside the SOAP request,
 // verifies every value, and answers with the verification result — the
@@ -21,30 +25,31 @@ import (
 	"fmt"
 	"log"
 	"net"
-	"net/http"
 	"os"
 	"os/signal"
 
+	"bxsoap/cmd/internal/cliconf"
 	"bxsoap/internal/bxdm"
 	"bxsoap/internal/core"
 	"bxsoap/internal/dataset"
 	"bxsoap/internal/httpbind"
 	"bxsoap/internal/muxbind"
-	"bxsoap/internal/obs"
 	"bxsoap/internal/tcpbind"
 )
 
 func main() {
-	encoding := flag.String("encoding", "bxsa", "message encoding: bxsa or xml")
-	transport := flag.String("transport", "tcp", "transport binding: tcp or http")
+	c := new(cliconf.Common)
+	cliconf.RegisterEndpoint(flag.CommandLine, c)
+	cliconf.RegisterEngine(flag.CommandLine, c)
+	cliconf.RegisterAdmin(flag.CommandLine, c)
 	addr := flag.String("addr", "127.0.0.1:8701", "listen address")
-	adminAddr := flag.String("admin", "", "serve /metrics, /trace/recent, /trace/slow, /events and /debug/pprof on this address")
-	mux := flag.Bool("mux", false, "speak the stream-multiplexed framed transport (implies -transport tcp)")
 	muxWorkers := flag.Int("mux-workers", 0, "mux dispatch pool size (default: 4x GOMAXPROCS)")
 	muxQueue := flag.Int("mux-queue", 0, "mux dispatch queue depth; admissions beyond it are shed (default: 8x workers)")
 	muxCredit := flag.Int("mux-credit", 0, "per-connection concurrent stream window (default: 128)")
-	templates := flag.Int("templates", 0, "schema-compiled template cache capacity, 0 disables (repeated shapes encode/decode by skeleton splice)")
 	flag.Parse()
+	if err := c.Validate(); err != nil {
+		log.Fatalf("soapserver: %v", err)
+	}
 
 	handler := func(_ context.Context, req *core.Envelope) (*core.Envelope, error) {
 		body := req.Body()
@@ -74,62 +79,42 @@ func main() {
 	// always-on flight recorder keeps the most recent / slowest request
 	// traces (joined by the wire-propagated trace ID) and the event journal
 	// bounded in memory, served at /trace/recent, /trace/slow, /events.
-	o := obs.New(
-		obs.WithNode("soapserver"),
-		obs.WithRecorder(obs.NewRecorder(obs.RecorderConfig{})),
-	)
-	core.SetPayloadObserver(o)
+	o := cliconf.NewObserver("soapserver")
 	errLog := log.New(os.Stderr, "soapserver: ", log.LstdFlags)
-	srvOpts := []core.ServerOption{core.WithObserver(o), core.WithErrorLog(errLog)}
-	if *templates > 0 {
-		srvOpts = append(srvOpts, core.WithTemplates(*templates))
-	}
+	srvOpts := c.ServerOptions(o, errLog)
 
 	var srv interface {
 		Serve() error
 		Close() error
 	}
 	switch {
-	case *mux && *transport != "tcp":
-		log.Fatalf("soapserver: -mux is a framed TCP protocol; -transport %s is not supported", *transport)
-	case *mux && *encoding == "bxsa":
+	case c.Mux && c.Encoding == "bxsa":
 		srv = muxServer(muxbind.NewServer(core.BXSAEncoding{}, handler, muxbind.Config{
-			Workers: *muxWorkers, Queue: *muxQueue, StreamCredit: *muxCredit, ErrorLog: errLog,
+			Workers: *muxWorkers, Queue: *muxQueue, StreamCredit: *muxCredit,
+			ChunkBytes: c.StreamChunk(), ErrorLog: errLog,
 		}, srvOpts...), l)
-	case *mux && *encoding == "xml":
+	case c.Mux && c.Encoding == "xml":
 		srv = muxServer(muxbind.NewServer(core.XMLEncoding{}, handler, muxbind.Config{
-			Workers: *muxWorkers, Queue: *muxQueue, StreamCredit: *muxCredit, ErrorLog: errLog,
+			Workers: *muxWorkers, Queue: *muxQueue, StreamCredit: *muxCredit,
+			ChunkBytes: c.StreamChunk(), ErrorLog: errLog,
 		}, srvOpts...), l)
-	case *encoding == "bxsa" && *transport == "tcp":
+	case c.Encoding == "bxsa" && c.Transport == "tcp":
 		srv = core.NewServer(core.BXSAEncoding{}, tcpbind.NewListener(l, tcpbind.WithObserver(o)), handler, srvOpts...)
-	case *encoding == "xml" && *transport == "tcp":
+	case c.Encoding == "xml" && c.Transport == "tcp":
 		srv = core.NewServer(core.XMLEncoding{}, tcpbind.NewListener(l, tcpbind.WithObserver(o)), handler, srvOpts...)
-	case *encoding == "bxsa" && *transport == "http":
+	case c.Encoding == "bxsa" && c.Transport == "http":
 		srv = core.NewServer(core.BXSAEncoding{}, httpbind.NewListener(l, httpbind.WithObserver(o)), handler, srvOpts...)
-	case *encoding == "xml" && *transport == "http":
+	case c.Encoding == "xml" && c.Transport == "http":
 		srv = core.NewServer(core.XMLEncoding{}, httpbind.NewListener(l, httpbind.WithObserver(o)), handler, srvOpts...)
 	default:
-		log.Fatalf("soapserver: unknown combination %s/%s", *encoding, *transport)
+		log.Fatalf("soapserver: unknown combination %s/%s", c.Encoding, c.Transport)
 	}
 
-	if *adminAddr != "" {
-		al, err := net.Listen("tcp", *adminAddr)
-		if err != nil {
-			log.Fatalf("soapserver: admin: %v", err)
-		}
-		go func() {
-			if err := http.Serve(al, obs.AdminMux(o, nil)); err != nil {
-				errLog.Printf("admin endpoint: %v", err)
-			}
-		}()
-		fmt.Printf("soapserver: admin endpoint (metrics, traces, events, pprof) on http://%s\n", al.Addr())
+	if err := cliconf.ServeAdmin(c.Admin, "soapserver", o, nil, errLog); err != nil {
+		log.Fatalf("soapserver: %v", err)
 	}
 
-	label := *transport
-	if *mux {
-		label = "mux"
-	}
-	fmt.Printf("soapserver: %s over %s listening on %s\n", *encoding, label, l.Addr())
+	fmt.Printf("soapserver: %s over %s listening on %s\n", c.Encoding, c.Label(), l.Addr())
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)
 	go func() {

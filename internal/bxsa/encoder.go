@@ -59,6 +59,48 @@ func Encode(w io.Writer, n bxdm.Node, opts EncodeOptions) error {
 	return err
 }
 
+// EncodeChunked serializes a bXDM tree as a sequence of byte windows of
+// roughly chunkBytes each, calling flush once per completed window in
+// order. The window aliases an internal buffer that is reused after flush
+// returns, so flush must copy what it keeps. The concatenation of all
+// windows is byte-identical to Marshal's output for the same options.
+//
+// Memory stays bounded by the window: the emit pass spills between nodes,
+// between array batches, and inside long strings. The measure pass still
+// runs first, but it is O(nodes) and never touches array payload bytes, so
+// time to the first window is independent of bulk payload size.
+func EncodeChunked(n bxdm.Node, opts EncodeOptions, chunkBytes int, flush func([]byte) error) error {
+	if chunkBytes <= 0 {
+		return fmt.Errorf("bxsa: EncodeChunked: chunkBytes %d must be positive", chunkBytes)
+	}
+	e, err := newEncoding(n, opts)
+	if err != nil {
+		return err
+	}
+	e.flush = flush
+	e.chunkBytes = chunkBytes
+	// Window capacity leaves headroom for the per-node overshoot (the spill
+	// check runs between appends, so a node prelude or one 4096-element
+	// array batch can land past the threshold before the next check).
+	if cap(e.sbuf) < chunkBytes+chunkSlop {
+		e.sbuf = make([]byte, 0, chunkBytes+chunkSlop)
+	}
+	e.sink.buf = e.sbuf[:0]
+	e.sink.base = 0
+	err = e.emit(n)
+	if err == nil {
+		err = e.spill() // the final partial window
+	}
+	e.sbuf = e.sink.buf[:0]
+	e.release()
+	return err
+}
+
+// chunkSlop bounds how far a window may overshoot chunkBytes: spill checks
+// sit between appends, and the largest single append between two checks is
+// one xbs array batch (4096 elements of at most 8 bytes).
+const chunkSlop = 4096*8 + 512
+
 // EncodedSize reports the exact number of bytes Marshal will produce,
 // without encoding. Table 1 uses it, and senders use it for preallocation
 // and framing headers.
@@ -133,6 +175,61 @@ type encoding struct {
 	// encode path pays one predictable branch per leaf).
 	record bool
 	slots  []slot
+	// Streamed emit (EncodeChunked): flush receives each completed window,
+	// sbuf is the pooled window buffer, flushErr latches the first flush
+	// failure so later spill sites degrade to no-ops. flush == nil is the
+	// buffered path with zero extra work beyond one nil check per node.
+	flush      func([]byte) error
+	chunkBytes int
+	sbuf       []byte
+	flushErr   error
+}
+
+// spill hands the accumulated window to flush and rewinds the buffer. The
+// sink base shifts down by the flushed length so offset() keeps reporting
+// document-absolute positions (array alignment depends on it).
+func (e *encoding) spill() error {
+	if e.flushErr != nil {
+		return e.flushErr
+	}
+	if len(e.sink.buf) == 0 {
+		return nil
+	}
+	if err := e.flush(e.sink.buf); err != nil {
+		e.flushErr = err
+		return err
+	}
+	e.sink.base -= len(e.sink.buf)
+	e.sink.buf = e.sink.buf[:0]
+	return nil
+}
+
+// spillMaybe spills when the window has reached the chunk size. Cheap
+// enough to call between every append run.
+func (e *encoding) spillMaybe() error {
+	if e.flush == nil || len(e.sink.buf) < e.chunkBytes {
+		return nil
+	}
+	return e.spill()
+}
+
+// appendChunked appends s to the sink in window-sized pieces, spilling
+// between them, so a single huge string never materializes in memory. The
+// buffered path (flush == nil) is one plain append.
+func (e *encoding) appendChunked(s string) error {
+	if e.flush == nil {
+		e.sink.buf = append(e.sink.buf, s...)
+		return nil
+	}
+	for len(s) > 0 {
+		if err := e.spillMaybe(); err != nil {
+			return err
+		}
+		k := min(e.chunkBytes, len(s))
+		e.sink.buf = append(e.sink.buf, s[:k]...)
+		s = s[k:]
+	}
+	return nil
 }
 
 var encPool = sync.Pool{New: func() any { return new(encoding) }}
@@ -145,6 +242,9 @@ func newEncoding(root bxdm.Node, opts EncodeOptions) (*encoding, error) {
 	e.auto = 0
 	e.cursor = 0
 	e.record = false
+	e.flush = nil
+	e.chunkBytes = 0
+	e.flushErr = nil
 	for e.scope.Depth() > 0 { // a failed earlier measure may have left frames pushed
 		e.scope.Pop()
 	}
@@ -169,6 +269,8 @@ func (e *encoding) release() {
 	e.sink.base = 0
 	e.record = false
 	e.slots = nil
+	e.flush = nil
+	e.flushErr = nil
 	encPool.Put(e)
 }
 
@@ -384,8 +486,14 @@ func scalarSize(v bxdm.Value) (int, error) {
 // Emit pass
 
 // emit walks the tree in the same pre-order as measure, consuming one
-// frameRec per node via the cursor.
+// frameRec per node via the cursor. In streamed mode the window spills
+// between nodes; every other byte run between spill checks is small and
+// bounded, except strings and arrays, which have their own interior
+// spill points.
 func (e *encoding) emit(n bxdm.Node) error {
+	if err := e.spillMaybe(); err != nil {
+		return err
+	}
 	rec := &e.frames[e.cursor]
 	e.cursor++
 	ft, err := frameTypeFor(n)
@@ -405,7 +513,9 @@ func (e *encoding) emit(n bxdm.Node) error {
 			}
 		}
 	case *bxdm.Element:
-		e.emitCommon(&x.ElemCommon, &rec.layout)
+		if err := e.emitCommon(&x.ElemCommon, &rec.layout); err != nil {
+			return err
+		}
 		w.buf = vls.AppendUint(w.buf, uint64(len(x.Children)))
 		for _, c := range x.Children {
 			if err := e.emit(c); err != nil {
@@ -413,14 +523,20 @@ func (e *encoding) emit(n bxdm.Node) error {
 			}
 		}
 	case *bxdm.LeafElement:
-		e.emitCommon(&x.ElemCommon, &rec.layout)
+		if err := e.emitCommon(&x.ElemCommon, &rec.layout); err != nil {
+			return err
+		}
 		start := w.offset()
-		e.emitScalar(x.Value)
+		if err := e.emitScalar(x.Value); err != nil {
+			return err
+		}
 		if e.record {
 			e.recordLeaf(x.Value, start)
 		}
 	case *bxdm.ArrayElement:
-		e.emitCommon(&x.ElemCommon, &rec.layout)
+		if err := e.emitCommon(&x.ElemCommon, &rec.layout); err != nil {
+			return err
+		}
 		w.buf = append(w.buf, byte(x.Data.Type()))
 		w.buf = vls.AppendUint(w.buf, uint64(x.Data.Len()))
 		if err := e.emitArrayData(x.Data); err != nil {
@@ -428,20 +544,26 @@ func (e *encoding) emit(n bxdm.Node) error {
 		}
 	case *bxdm.Text:
 		w.buf = vls.AppendUint(w.buf, uint64(len(x.Data)))
-		w.buf = append(w.buf, x.Data...)
+		if err := e.appendChunked(x.Data); err != nil {
+			return err
+		}
 	case *bxdm.Comment:
 		w.buf = vls.AppendUint(w.buf, uint64(len(x.Data)))
-		w.buf = append(w.buf, x.Data...)
+		if err := e.appendChunked(x.Data); err != nil {
+			return err
+		}
 	case *bxdm.PI:
 		w.buf = vls.AppendUint(w.buf, uint64(len(x.Target)))
 		w.buf = append(w.buf, x.Target...)
 		w.buf = vls.AppendUint(w.buf, uint64(len(x.Data)))
-		w.buf = append(w.buf, x.Data...)
+		if err := e.appendChunked(x.Data); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-func (e *encoding) emitCommon(c *bxdm.ElemCommon, l *layout) {
+func (e *encoding) emitCommon(c *bxdm.ElemCommon, l *layout) error {
 	w := &e.sink
 	w.buf = vls.AppendUint(w.buf, uint64(len(l.decls)))
 	for _, d := range l.decls {
@@ -458,8 +580,11 @@ func (e *encoding) emitCommon(c *bxdm.ElemCommon, l *layout) {
 		emitRef(w, e.attrRefs[l.attrStart+i])
 		w.buf = vls.AppendUint(w.buf, uint64(len(a.Name.Local)))
 		w.buf = append(w.buf, a.Name.Local...)
-		e.emitScalar(a.Value)
+		if err := e.emitScalar(a.Value); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 func emitRef(w *sliceSink, r nsref) {
@@ -469,14 +594,16 @@ func emitRef(w *sliceSink, r nsref) {
 	}
 }
 
-func (e *encoding) emitScalar(v bxdm.Value) {
+func (e *encoding) emitScalar(v bxdm.Value) error {
 	w := &e.sink
 	w.buf = append(w.buf, byte(v.Type()))
 	switch v.Type() {
 	case bxdm.TString:
 		s := v.Text()
 		w.buf = vls.AppendUint(w.buf, uint64(len(s)))
-		w.buf = append(w.buf, s...)
+		if err := e.appendChunked(s); err != nil {
+			return err
+		}
 	case bxdm.TBool:
 		b := byte(0)
 		if v.Bool() {
@@ -486,6 +613,7 @@ func (e *encoding) emitScalar(v bxdm.Value) {
 	default:
 		w.buf = appendNative(w.buf, v.Bits(), v.Type().Size(), e.opts.Order)
 	}
+	return nil
 }
 
 func appendNative(buf []byte, bits uint64, size int, order xbs.ByteOrder) []byte {
@@ -523,8 +651,10 @@ func (e *encoding) emitArrayData(d bxdm.ArrayData) error {
 	}
 	// The data region is now aligned document-absolute; stream it through
 	// XBS (whose own Align is a no-op here by construction) directly into
-	// the output buffer, reusing the pooled writer across arrays.
-	e.xw.Reset((*sinkWriter)(w), e.opts.Order, int64(w.offset()))
+	// the output buffer, reusing the pooled writer across arrays. The
+	// arrayWriter spills full windows between XBS batches, which is what
+	// bounds memory while a multi-GB array flows through.
+	e.xw.Reset((*arrayWriter)(e), e.opts.Order, int64(w.offset()))
 	if err := d.WriteXBS(&e.xw); err != nil {
 		return err
 	}
@@ -534,10 +664,18 @@ func (e *encoding) emitArrayData(d bxdm.ArrayData) error {
 	return nil
 }
 
-// sinkWriter adapts sliceSink to io.Writer for streaming array payloads.
-type sinkWriter sliceSink
+// arrayWriter adapts the encoding to io.Writer for streaming array
+// payloads into the sink. It is a type-cast of *encoding (not a separate
+// struct) so handing it to the XBS writer allocates nothing, and it checks
+// the spill threshold between batches — XBS writes arrays in bounded
+// batches, so each Write stays within the window slop.
+type arrayWriter encoding
 
-func (s *sinkWriter) Write(p []byte) (int, error) {
-	s.buf = append(s.buf, p...)
+func (a *arrayWriter) Write(p []byte) (int, error) {
+	e := (*encoding)(a)
+	if err := e.spillMaybe(); err != nil {
+		return 0, err
+	}
+	e.sink.buf = append(e.sink.buf, p...)
 	return len(p), nil
 }

@@ -1,0 +1,439 @@
+package bxsa
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"sync"
+
+	"bxsoap/internal/bxdm"
+	"bxsoap/internal/vls"
+	"bxsoap/internal/xbs"
+)
+
+// The streaming decoder mirrors decoder.go over an io.Reader instead of a
+// materialized buffer: it tracks its absolute position, validates every
+// declared length against the ENCLOSING frame's declared end rather than
+// the buffer's remaining bytes, and grows every allocation as data actually
+// arrives (chunked strings, xbs.ReadArrayGrow batches), so a hostile
+// declared size costs at most one bounded batch before the stream runs
+// dry. Memory while decoding is bounded by the decoded tree itself plus a
+// fixed window — the input never materializes.
+
+// maxStreamBound caps the top-level frame's declared body size. It exists
+// only to keep end-offset arithmetic overflow-free; real bounds come from
+// grow-as-data-arrives allocation.
+const maxStreamBound = math.MaxInt64 / 4
+
+// growChunk is the window used to read long strings incrementally.
+const growChunk = 256 << 10
+
+var sdecPool = sync.Pool{New: func() any {
+	return &streamDecoder{br: bufio.NewReaderSize(nil, 32<<10)}
+}}
+
+type streamDecoder struct {
+	br    *bufio.Reader
+	pos   int // absolute offset of the next unread byte
+	scope bxdm.NSScope
+	xr    xbs.Reader
+	sbuf  []byte
+}
+
+// DecodeReader parses exactly one BXSA frame from r, which must be
+// positioned at the document's first byte and end (io.EOF) after its last
+// — the streaming counterpart of Parse. The decoded tree never aliases
+// decoder state.
+func DecodeReader(r io.Reader) (bxdm.Node, error) {
+	d := sdecPool.Get().(*streamDecoder)
+	d.br.Reset(r)
+	d.pos = 0
+	for d.scope.Depth() > 0 { // a failed earlier parse may have left frames pushed
+		d.scope.Pop()
+	}
+	n, err := d.parseFrame(maxStreamBound)
+	if err == nil {
+		if _, e2 := d.br.ReadByte(); e2 == nil {
+			err = d.errf("trailing bytes after document frame")
+		} else if e2 != io.EOF {
+			err = e2
+		}
+	}
+	pos := d.pos
+	d.br.Reset(nil)
+	d.xr.Reset(nil, xbs.Native, 0)
+	sdecPool.Put(d)
+	if err != nil {
+		return nil, fmt.Errorf("bxsa: %w at byte %d", err, pos)
+	}
+	return n, nil
+}
+
+// DecodeDocumentReader decodes from r and requires a document frame.
+func DecodeDocumentReader(r io.Reader) (*bxdm.Document, error) {
+	n, err := DecodeReader(r)
+	if err != nil {
+		return nil, err
+	}
+	doc, ok := n.(*bxdm.Document)
+	if !ok {
+		return nil, fmt.Errorf("bxsa: top-level frame is %v, not a document", n.Kind())
+	}
+	return doc, nil
+}
+
+func (d *streamDecoder) errf(format string, args ...any) error {
+	return fmt.Errorf(format, args...)
+}
+
+// wrapEOF converts bare end-of-stream errors into the decoder's uniform
+// truncation error (a stream that ends mid-frame is a truncated frame, not
+// a clean EOF).
+func wrapEOF(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("truncated frame")
+	}
+	return err
+}
+
+func (d *streamDecoder) readByte() (byte, error) {
+	b, err := d.br.ReadByte()
+	if err != nil {
+		return 0, wrapEOF(err)
+	}
+	d.pos++
+	return b, nil
+}
+
+func (d *streamDecoder) readFull(b []byte) error {
+	n, err := io.ReadFull(d.br, b)
+	d.pos += n
+	if err != nil {
+		return wrapEOF(err)
+	}
+	return nil
+}
+
+func (d *streamDecoder) readVLS() (uint64, error) {
+	v, err := vls.ReadUint(d.br)
+	if err != nil {
+		return 0, wrapEOF(err)
+	}
+	// ReadUint rejects non-canonical encodings, so the consumed byte count
+	// is exactly the canonical length.
+	d.pos += vls.EncodedLen(v)
+	return v, nil
+}
+
+// readLen reads a VLS length and validates it against a hard cap and the
+// enclosing frame's declared end — the stream-side analogue of the buffered
+// decoder's remaining-input check.
+func (d *streamDecoder) readLen(bound int, limit int, what string) (int, error) {
+	v, err := d.readVLS()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(limit) {
+		return 0, d.errf("%s length %d exceeds limit %d", what, v, limit)
+	}
+	if v > uint64(bound-d.pos) {
+		return 0, d.errf("%s length %d exceeds enclosing frame (%d bytes left)", what, v, bound-d.pos)
+	}
+	return int(v), nil
+}
+
+// readString reads a counted string, in growChunk windows for long ones so
+// the allocation tracks delivered bytes, not the declared count.
+func (d *streamDecoder) readString(bound int, limit int, what string) (string, error) {
+	n, err := d.readLen(bound, limit, what)
+	if err != nil {
+		return "", err
+	}
+	if n <= growChunk {
+		if cap(d.sbuf) < n {
+			d.sbuf = make([]byte, n)
+		}
+		buf := d.sbuf[:n]
+		if err := d.readFull(buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	if cap(d.sbuf) < growChunk {
+		d.sbuf = make([]byte, growChunk)
+	}
+	var b strings.Builder
+	for rem := n; rem > 0; {
+		k := min(rem, growChunk)
+		if err := d.readFull(d.sbuf[:k]); err != nil {
+			return "", err
+		}
+		b.Write(d.sbuf[:k])
+		rem -= k
+	}
+	return b.String(), nil
+}
+
+// parseFrame decodes one complete frame; bound is the enclosing frame's
+// absolute end (maxStreamBound at top level).
+func (d *streamDecoder) parseFrame(bound int) (bxdm.Node, error) {
+	pb, err := d.readByte()
+	if err != nil {
+		return nil, err
+	}
+	order, ft := splitPrefix(pb)
+	if order > xbs.BigEndian {
+		return nil, d.errf("invalid byte-order bits %d", order)
+	}
+	bodySize, err := d.readLen(bound, maxStreamBound, "frame body")
+	if err != nil {
+		return nil, err
+	}
+	end := d.pos + bodySize
+
+	var n bxdm.Node
+	switch ft {
+	case FrameDocument:
+		n, err = d.parseDocumentBody(order, end)
+	case FrameElement, FrameLeaf, FrameArray:
+		n, err = d.parseElementBody(ft, order, end)
+	case FrameCharData:
+		s, e2 := d.readString(end, maxStringLen, "chardata")
+		n, err = &bxdm.Text{Data: s}, e2
+	case FrameComment:
+		s, e2 := d.readString(end, maxStringLen, "comment")
+		n, err = &bxdm.Comment{Data: s}, e2
+	case FramePI:
+		var target, data string
+		if target, err = d.readString(end, maxNameLen, "pi target"); err == nil {
+			data, err = d.readString(end, maxStringLen, "pi data")
+		}
+		n = &bxdm.PI{Target: target, Data: data}
+	default:
+		return nil, d.errf("unknown frame type %d", ft)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if d.pos != end {
+		return nil, d.errf("frame type %v: body size %d does not match content (ended at offset %d, expected %d)", ft, bodySize, d.pos, end)
+	}
+	return n, nil
+}
+
+func (d *streamDecoder) parseDocumentBody(_ xbs.ByteOrder, end int) (bxdm.Node, error) {
+	count, err := d.readLen(end, maxStreamBound, "document child count")
+	if err != nil {
+		return nil, err
+	}
+	doc := &bxdm.Document{Children: make([]bxdm.Node, 0, min(count, 64))}
+	for i := 0; i < count; i++ {
+		if d.pos >= end {
+			return nil, d.errf("document children overflow frame body")
+		}
+		c, err := d.parseFrame(end)
+		if err != nil {
+			return nil, err
+		}
+		doc.Children = append(doc.Children, c)
+	}
+	return doc, nil
+}
+
+func (d *streamDecoder) parseElementBody(ft FrameType, order xbs.ByteOrder, end int) (bxdm.Node, error) {
+	n1, err := d.readLen(end, maxStreamBound, "namespace declaration count")
+	if err != nil {
+		return nil, err
+	}
+	var decls []bxdm.NamespaceDecl
+	for i := 0; i < n1; i++ {
+		prefix, err := d.readString(end, maxNameLen, "namespace prefix")
+		if err != nil {
+			return nil, err
+		}
+		uri, err := d.readString(end, maxURILen, "namespace URI")
+		if err != nil {
+			return nil, err
+		}
+		decls = append(decls, bxdm.NamespaceDecl{Prefix: prefix, URI: uri})
+	}
+	d.scope.Push(decls)
+	defer d.scope.Pop()
+
+	common := bxdm.ElemCommon{NamespaceDecls: decls}
+	common.Name, err = d.readQName(end, "element")
+	if err != nil {
+		return nil, err
+	}
+
+	n2, err := d.readLen(end, maxStreamBound, "attribute count")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n2; i++ {
+		name, err := d.readQName(end, "attribute")
+		if err != nil {
+			return nil, err
+		}
+		v, err := d.readScalar(order, end)
+		if err != nil {
+			return nil, err
+		}
+		common.Attributes = append(common.Attributes, bxdm.Attribute{Name: name, Value: v})
+	}
+
+	switch ft {
+	case FrameLeaf:
+		v, err := d.readScalar(order, end)
+		if err != nil {
+			return nil, err
+		}
+		return &bxdm.LeafElement{ElemCommon: common, Value: v}, nil
+	case FrameArray:
+		data, err := d.readArrayData(order, end)
+		if err != nil {
+			return nil, err
+		}
+		return &bxdm.ArrayElement{ElemCommon: common, Data: data}, nil
+	default: // FrameElement
+		count, err := d.readLen(end, maxStreamBound, "child count")
+		if err != nil {
+			return nil, err
+		}
+		el := &bxdm.Element{ElemCommon: common, Children: make([]bxdm.Node, 0, min(count, 64))}
+		for i := 0; i < count; i++ {
+			if d.pos >= end {
+				return nil, d.errf("element children overflow frame body")
+			}
+			c, err := d.parseFrame(end)
+			if err != nil {
+				return nil, err
+			}
+			el.Children = append(el.Children, c)
+		}
+		return el, nil
+	}
+}
+
+func (d *streamDecoder) readQName(bound int, what string) (bxdm.QName, error) {
+	depthPlus1, err := d.readVLS()
+	if err != nil {
+		return bxdm.QName{}, err
+	}
+	var q bxdm.QName
+	if depthPlus1 > 0 {
+		index, err := d.readVLS()
+		if err != nil {
+			return bxdm.QName{}, err
+		}
+		decl, err := d.scope.Lookup(int(depthPlus1-1), int(index))
+		if err != nil {
+			return bxdm.QName{}, d.errf("%s namespace reference: %v", what, err)
+		}
+		q.Space = decl.URI
+		q.Prefix = decl.Prefix
+	}
+	q.Local, err = d.readString(bound, maxNameLen, what+" name")
+	if err != nil {
+		return bxdm.QName{}, err
+	}
+	if q.Local == "" {
+		return bxdm.QName{}, d.errf("empty %s name", what)
+	}
+	return q, nil
+}
+
+func (d *streamDecoder) readScalar(order xbs.ByteOrder, bound int) (bxdm.Value, error) {
+	tb, err := d.readByte()
+	if err != nil {
+		return bxdm.Value{}, err
+	}
+	code := bxdm.TypeCode(tb)
+	switch code {
+	case bxdm.TString:
+		s, err := d.readString(bound, maxStringLen, "string value")
+		return bxdm.StringValue(s), err
+	case bxdm.TBool:
+		b, err := d.readByte()
+		if err != nil {
+			return bxdm.Value{}, err
+		}
+		if b > 1 {
+			return bxdm.Value{}, d.errf("invalid boolean byte %d", b)
+		}
+		return bxdm.BoolValue(b == 1), nil
+	default:
+		size := code.Size()
+		if size <= 0 {
+			return bxdm.Value{}, d.errf("invalid value type code %d", tb)
+		}
+		if bound-d.pos < size {
+			return bxdm.Value{}, d.errf("truncated %v value", code)
+		}
+		var scratch [8]byte
+		if err := d.readFull(scratch[:size]); err != nil {
+			return bxdm.Value{}, err
+		}
+		return valueFromBits(code, readNative(scratch[:size], order)), nil
+	}
+}
+
+func (d *streamDecoder) readArrayData(order xbs.ByteOrder, bound int) (bxdm.ArrayData, error) {
+	tb, err := d.readByte()
+	if err != nil {
+		return nil, err
+	}
+	code := bxdm.TypeCode(tb)
+	elem := code.Size()
+	if elem <= 0 || code == bxdm.TBool {
+		return nil, d.errf("invalid array item type code %d", tb)
+	}
+	count, err := d.readVLS()
+	if err != nil {
+		return nil, err
+	}
+	if count > uint64(bound-d.pos)/uint64(elem) {
+		return nil, d.errf("array count %d exceeds enclosing frame", count)
+	}
+	pad, err := d.readByte()
+	if err != nil {
+		return nil, err
+	}
+	if int(pad) >= slackBytes {
+		return nil, d.errf("invalid array pad %d", pad)
+	}
+	if int(pad)+int(count)*elem+(slackBytes-1-int(pad)) > bound-d.pos {
+		return nil, d.errf("truncated array data")
+	}
+	if err := d.readZeros(int(pad), "padding"); err != nil {
+		return nil, err
+	}
+	if elem > 1 && d.pos%elem != 0 {
+		return nil, d.errf("array data misaligned: offset %d for item size %d", d.pos, elem)
+	}
+	d.xr.Reset(d.br, order, int64(d.pos))
+	data, err := bxdm.ReadArrayXBSGrow(&d.xr, code, int(count))
+	if err != nil {
+		return nil, wrapEOF(err)
+	}
+	d.pos += int(count) * elem
+	if err := d.readZeros(slackBytes-1-int(pad), "slack"); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+func (d *streamDecoder) readZeros(n int, what string) error {
+	var scratch [slackBytes]byte
+	if err := d.readFull(scratch[:n]); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if scratch[i] != 0 {
+			return d.errf("non-zero array %s", what)
+		}
+	}
+	return nil
+}

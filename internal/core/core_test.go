@@ -322,8 +322,8 @@ func TestDispatchMustUnderstand(t *testing.T) {
 		t.Fatalf("understood header still faults: %v", err)
 	}
 
-	// The deprecated post-construction registration keeps working too.
-	srv.Understand(bxdm.Name("urn:sec", "token"))
+	// Late registration through the dispatcher keeps working too.
+	srv.Dispatcher().Understand(bxdm.Name("urn:sec", "token"))
 	if _, err := eng.Call(context.Background(), env); err != nil {
 		t.Fatalf("understood header (via Understand) still faults: %v", err)
 	}

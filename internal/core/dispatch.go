@@ -103,6 +103,39 @@ func (d *Dispatcher[E]) Dispatch(ctx context.Context, payload []byte, ct string,
 		d.obs.Inc(obs.ServerFaults)
 		return (&Fault{Code: FaultClient, String: fmt.Sprintf("cannot decode request: %v", err)}).Envelope()
 	}
+	return d.dispatchEnvelope(ctx, req, sp, hop)
+}
+
+// DispatchStream is Dispatch in chunked terms: the request arrives as a
+// chunk source and is decoded incrementally, so the handler can start as
+// soon as the tree is complete without the bytes ever being gathered. A
+// decode failure aborts the source (the transport marks its receive side
+// desynchronized) and, like every other protocol problem, becomes a fault
+// envelope — DispatchStream never fails. Encoding the response belongs to
+// the caller, which owns the response-side sink.
+func (d *Dispatcher[E]) DispatchStream(ctx context.Context, src ChunkSource, ct string, sp *obs.Span, hop *obs.Hop) *Envelope {
+	d.obs.Inc(obs.ServerRequests)
+	if err := CheckContentType(d.codec.Encoding(), ct); err != nil {
+		src.Abort()
+		sp.Mark(obs.ServerDecode)
+		d.obs.Inc(obs.ServerFaults)
+		return (&Fault{Code: FaultClient, String: err.Error()}).Envelope()
+	}
+	req, err := d.codec.DecodeChunks(src)
+	sp.Mark(obs.ServerDecode)
+	if err != nil {
+		src.Abort()
+		d.obs.Inc(obs.ServerFaults)
+		return (&Fault{Code: FaultClient, String: fmt.Sprintf("cannot decode request: %v", err)}).Envelope()
+	}
+	return d.dispatchEnvelope(ctx, req, sp, hop)
+}
+
+// dispatchEnvelope is the decode-independent half of dispatch:
+// mustUnderstand enforcement, handler invocation, and fault conversion,
+// shared by the buffered and streamed entry points so protocol behavior is
+// defined exactly once.
+func (d *Dispatcher[E]) dispatchEnvelope(ctx context.Context, req *Envelope, sp *obs.Span, hop *obs.Hop) *Envelope {
 	// The wire trace context (when the client sent one) places this hop on
 	// the request path; an unbound hop self-roots at FinishHop.
 	BindServerTrace(hop, req)

@@ -23,6 +23,11 @@ type Engine[E Encoding, B Binding] struct {
 	codec Codec[E]
 	bind  B
 	obs   *obs.Observer
+
+	// chunkBytes is nonzero when WithStreaming was given: Call then carries
+	// messages as chunk sequences whenever the binding implements
+	// StreamBinding, falling back to the buffered exchange otherwise.
+	chunkBytes int
 }
 
 // NewEngine composes an engine from its two policies. Options (see
@@ -33,7 +38,7 @@ func NewEngine[E Encoding, B Binding](enc E, bind B, opts ...EngineOption) *Engi
 	for _, opt := range opts {
 		opt.applyEngine(&cfg)
 	}
-	e := &Engine[E, B]{codec: NewCodec(enc), bind: bind, obs: cfg.obs}
+	e := &Engine[E, B]{codec: NewCodec(enc), bind: bind, obs: cfg.obs, chunkBytes: cfg.chunkBytes}
 	if cfg.templates > 0 {
 		if tc, ok := any(enc).(TemplateCompiler); ok {
 			e.codec.plans = newPlanCache(tc, cfg.templates, cfg.obs)
@@ -55,6 +60,12 @@ func (e *Engine[E, B]) Binding() B { return e.bind }
 // configured; nil observers accept every recording call as a no-op).
 func (e *Engine[E, B]) Observer() *obs.Observer { return e.obs }
 
+// Streaming reports the configured chunk window in bytes, or 0 when the
+// engine runs buffered. Retry layers use it to decide whether a request can
+// be encoded once and replayed (buffered) or must be re-encoded per attempt
+// (streamed — the chunks were consumed by the transport).
+func (e *Engine[E, B]) Streaming() int { return e.chunkBytes }
+
 // Call performs the request-response message exchange pattern. If the peer
 // responds with a SOAP fault, Call returns it as the error (of type
 // *Fault) alongside the decoded envelope.
@@ -66,6 +77,13 @@ func (e *Engine[E, B]) Observer() *obs.Observer { return e.obs }
 func (e *Engine[E, B]) Call(ctx context.Context, req *Envelope) (*Envelope, error) {
 	req, hop := BeginClientTrace(e.obs, req)
 	sp := e.obs.SpanWith(hop)
+	if e.chunkBytes > 0 {
+		if sb, ok := any(e.bind).(StreamBinding); ok {
+			resp, err := e.callStreamed(ctx, req, sb, sp)
+			e.obs.FinishHop(hop, err)
+			return resp, err
+		}
+	}
 	p, err := e.codec.EncodePayload(req)
 	if err != nil {
 		e.obs.Inc(obs.CallsStarted)
@@ -78,6 +96,36 @@ func (e *Engine[E, B]) Call(ctx context.Context, req *Envelope) (*Envelope, erro
 	resp, err := e.callPayload(ctx, p, sp)
 	e.obs.FinishHop(hop, err)
 	return resp, err
+}
+
+// CallStream performs the request-response exchange from the envelope,
+// streaming the encode into the binding chunk by chunk. It is the retry
+// layers' streamed counterpart of CallPayload: a streamed request has no
+// materialized payload to replay, so each attempt calls this again and the
+// envelope tree is the replay source. Like CallPayload, the caller owns the
+// trace hop and threads it via obs.ContextWithHop; no new trace is rooted
+// here. When the binding cannot stream (or the engine runs buffered), the
+// exchange falls back to a per-call buffered encode.
+func (e *Engine[E, B]) CallStream(ctx context.Context, req *Envelope) (*Envelope, error) {
+	var hop *obs.Hop
+	if e.obs.Tracing() {
+		hop = obs.HopFromContext(ctx)
+	}
+	sp := e.obs.SpanWith(hop)
+	if e.chunkBytes > 0 {
+		if sb, ok := any(e.bind).(StreamBinding); ok {
+			return e.callStreamed(ctx, req, sb, sp)
+		}
+	}
+	p, err := e.codec.EncodePayload(req)
+	if err != nil {
+		e.obs.Inc(obs.CallsStarted)
+		e.obs.Inc(obs.CallsFailed)
+		return nil, fmt.Errorf("soap: encode request: %w", err)
+	}
+	sp.Mark(obs.ClientEncode)
+	defer p.Release()
+	return e.callPayload(ctx, p, sp)
 }
 
 // CallPayload performs the request-response exchange with an already
@@ -135,6 +183,55 @@ func (e *Engine[E, B]) callPayload(ctx context.Context, req *Payload, sp obs.Spa
 	e.obs.Inc(obs.CallsCompleted)
 	if f := FaultFromEnvelope(resp); f != nil {
 		// The peer answered: the call completed, with a fault as the answer.
+		e.obs.Inc(obs.ClientFaults)
+		return resp, f
+	}
+	return resp, nil
+}
+
+// callStreamed carries one exchange as chunk sequences: the request is
+// encoded directly into the binding's sink, so the first chunk is on the
+// wire while later parts of the tree are still being serialized, and the
+// response is decoded chunk by chunk — neither direction ever materializes
+// the whole message. Stage semantics shift accordingly: ClientSend covers
+// the interleaved encode+send (there is no separate ClientEncode mark),
+// ClientWait ends at the first response chunk's availability, and
+// ClientDecode covers the chunked decode.
+func (e *Engine[E, B]) callStreamed(ctx context.Context, req *Envelope, sb StreamBinding, sp obs.Span) (*Envelope, error) {
+	e.obs.Inc(obs.CallsStarted)
+	sink, err := sb.SendRequestStream(ctx, e.codec.ContentType())
+	if err != nil {
+		sp.Mark(obs.ClientSend)
+		e.obs.Inc(obs.CallsFailed)
+		return nil, classifyTransport("send request", err)
+	}
+	if err := e.codec.EncodeChunks(req, e.chunkBytes, countingSink{sink, e.obs}); err != nil {
+		sink.Abort()
+		sp.Mark(obs.ClientSend)
+		e.obs.Inc(obs.CallsFailed)
+		return nil, classifyTransport("send request", err)
+	}
+	sp.Mark(obs.ClientSend)
+	src, ct, err := sb.ReceiveResponseStream(ctx)
+	sp.Mark(obs.ClientWait)
+	if err != nil {
+		e.obs.Inc(obs.CallsFailed)
+		return nil, classifyTransport("receive response", err)
+	}
+	if err := CheckContentType(e.codec.Encoding(), ct); err != nil {
+		src.Abort()
+		e.obs.Inc(obs.CallsFailed)
+		return nil, err
+	}
+	resp, err := e.codec.DecodeChunks(countingSource{src, e.obs})
+	sp.Mark(obs.ClientDecode)
+	if err != nil {
+		src.Abort()
+		e.obs.Inc(obs.CallsFailed)
+		return nil, fmt.Errorf("soap: decode response: %w", err)
+	}
+	e.obs.Inc(obs.CallsCompleted)
+	if f := FaultFromEnvelope(resp); f != nil {
 		e.obs.Inc(obs.ClientFaults)
 		return resp, f
 	}

@@ -152,7 +152,7 @@ func TestUnderstandDuringServeIsRaceFree(t *testing.T) {
 	go func() {
 		defer close(done)
 		for i := 0; i < 50; i++ {
-			srv.Understand(bxdm.Name("urn:sec", "token"))
+			srv.Dispatcher().Understand(bxdm.Name("urn:sec", "token"))
 		}
 	}()
 	env := core.NewEnvelope()

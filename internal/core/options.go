@@ -7,11 +7,13 @@ import (
 	"bxsoap/internal/obs"
 )
 
-// The construction options for engines and servers. Everything that used
-// to be configured by field-poking (Server.ErrorLog) or post-construction
-// mutation (Server.Understand) is set here, at NewEngine/NewServer time, so
-// a composed node is immutable once serving — the options redesign is what
-// makes "Understand after Serve" impossible to race by construction.
+// The construction options for engines and servers. Everything is set
+// here, at NewEngine/NewServer time, so a composed node is immutable once
+// serving — the options redesign is what makes "configure after Serve"
+// impossible to race by construction. (The transitional field-poking and
+// post-construction mutators — Server.ErrorLog, Server.Understand — were
+// removed once every caller migrated; late header registration goes
+// through Dispatcher.Understand, which swaps the set atomically.)
 //
 // EngineOption and ServerOption are split interfaces because the two sides
 // accept different settings; Option implements both for settings (the
@@ -37,8 +39,9 @@ type Option interface {
 }
 
 type engineConfig struct {
-	obs       *obs.Observer
-	templates int
+	obs        *obs.Observer
+	templates  int
+	chunkBytes int
 }
 
 type serverConfig struct {
@@ -46,6 +49,7 @@ type serverConfig struct {
 	errorLog   *log.Logger
 	understood []bxdm.QName
 	templates  int
+	chunkBytes int
 }
 
 type observerOption struct{ o *obs.Observer }
@@ -65,7 +69,7 @@ type errorLogOption struct{ l *log.Logger }
 func (v errorLogOption) applyServer(c *serverConfig) { c.errorLog = v.l }
 
 // WithErrorLog directs per-channel failures to l; without it they are
-// silently dropped. Replaces poking the deprecated Server.ErrorLog field.
+// silently dropped.
 func WithErrorLog(l *log.Logger) ServerOption { return errorLogOption{l} }
 
 type understoodOption struct{ names []bxdm.QName }
@@ -93,3 +97,31 @@ func (v templatesOption) applyServer(c *serverConfig) { c.templates = v.capacity
 // templates never changes bytes on the wire or decoded trees. Off by
 // default.
 func WithTemplates(capacity int) Option { return templatesOption{capacity} }
+
+type streamingOption struct{ chunkBytes int }
+
+func (v streamingOption) applyEngine(c *engineConfig) { c.chunkBytes = normChunkBytes(v.chunkBytes) }
+func (v streamingOption) applyServer(c *serverConfig) { c.chunkBytes = normChunkBytes(v.chunkBytes) }
+
+// normChunkBytes resolves the WithStreaming argument: the zero value means
+// "streaming on, default window", so the stored config is nonzero exactly
+// when the option was given.
+func normChunkBytes(n int) int {
+	if n <= 0 {
+		return DefaultChunkBytes
+	}
+	return n
+}
+
+// WithStreaming enables the chunked message pipeline: messages flow as a
+// sequence of pooled chunks of roughly chunkBytes each instead of one
+// materialized buffer (chunkBytes <= 0 picks DefaultChunkBytes), bounding
+// memory by the chunk window rather than message size. On an engine the
+// streamed path engages when the binding implements StreamBinding; on a
+// server a channel implementing StreamChannel answers chunked requests
+// chunked. Either side falls back to the buffered path against a peer or
+// transport without streaming support — enabling streaming never changes
+// which messages round-trip, only how they are carried (see the DESIGN.md
+// fallback matrix). Off by default. Mutually exclusive with templates on
+// the encode side: a streamed message never consults the plan cache.
+func WithStreaming(chunkBytes int) Option { return streamingOption{chunkBytes} }

@@ -245,6 +245,34 @@ func ReadPayload(r io.Reader, size, limit int64) (*Payload, error) {
 	}
 }
 
+// ReadPayloadWindow reads one window of up to max bytes from r into a
+// pooled payload: a single successful Read call's worth, at least one byte
+// unless the stream ended. The boolean reports whether r returned io.EOF on
+// the same call (the window is the stream's last); a nil payload with
+// io.EOF means the stream ended cleanly with no bytes left. Transports use
+// this to slice a continuous body (an HTTP chunked stream) into the chunk
+// windows the streaming codecs consume, without buffering the whole body.
+// The caller owns the returned payload.
+//
+//paylint:returns owned
+func ReadPayloadWindow(r io.Reader, max int) (*Payload, bool, error) {
+	p := NewPayload(max)
+	if cap(p.buf) < max {
+		p.ensure(max)
+	}
+	for {
+		n, err := r.Read(p.buf[:max])
+		p.buf = p.buf[:n]
+		if n > 0 {
+			return p, err == io.EOF, nil
+		}
+		if err != nil {
+			p.Release()
+			return nil, false, err
+		}
+	}
+}
+
 // PayloadsInUse reports how many payloads are currently checked out of the
 // pools (checked out minus released). It exists for leak tests and
 // diagnostics: a quiescent engine/server pair must return to its baseline.

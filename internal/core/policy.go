@@ -320,31 +320,6 @@ func (c Codec[E]) DecodePayload(p *Payload) (*Envelope, error) {
 	return c.DecodeEnvelope(p.Bytes())
 }
 
-// EncodePayload serializes an envelope into a pooled payload.
-//
-// Deprecated: use NewCodec(enc).EncodePayload — the Codec facade is the
-// single envelope-serialization API.
-//
-//paylint:returns owned
-func EncodePayload(enc Encoding, e *Envelope) (*Payload, error) {
-	return NewCodec(enc).EncodePayload(e)
-}
-
-// EncodeToBytes serializes an envelope with the given policy.
-//
-// Deprecated: use NewCodec(enc).EncodeBytes.
-func EncodeToBytes(enc Encoding, e *Envelope) ([]byte, error) {
-	return NewCodec(enc).EncodeBytes(e)
-}
-
-// DecodeEnvelope parses payload bytes into an envelope with the given
-// policy.
-//
-// Deprecated: use NewCodec(enc).DecodeEnvelope.
-func DecodeEnvelope(enc Encoding, data []byte) (*Envelope, error) {
-	return NewCodec(enc).DecodeEnvelope(data)
-}
-
 // Binding is the client-side binding policy concept (paper §5.3): it
 // carries serialized SOAP messages over an underlying protocol. The four
 // valid expressions match the paper's list — send_request,

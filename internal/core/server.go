@@ -9,7 +9,6 @@ import (
 	"net"
 	"sync"
 
-	"bxsoap/internal/bxdm"
 	"bxsoap/internal/obs"
 )
 
@@ -32,6 +31,10 @@ type Server[E Encoding, B ServerBinding] struct {
 	bind B
 	obs  *obs.Observer
 
+	// chunkBytes is nonzero when WithStreaming was given: channels that
+	// implement StreamChannel then carry exchanges as chunk sequences.
+	chunkBytes int
+
 	// ctx is the server's lifetime context: handlers receive a context
 	// derived from it, and Close cancels it, so in-flight handlers observe
 	// shutdown instead of running under an unattached Background context.
@@ -44,12 +47,6 @@ type Server[E Encoding, B ServerBinding] struct {
 	chans  map[Channel]struct{}
 
 	errorLog *log.Logger
-	// ErrorLog receives per-channel failures; nil silences them.
-	//
-	// Deprecated: pass WithErrorLog to NewServer instead. The field is
-	// read once when Serve starts (WithErrorLog takes precedence); writes
-	// after that are not seen.
-	ErrorLog *log.Logger
 }
 
 // NewServer composes a server from its policies, handler, and options.
@@ -60,24 +57,15 @@ func NewServer[E Encoding, B ServerBinding](enc E, bind B, h Handler, opts ...Se
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server[E, B]{
-		disp:     NewDispatcher(enc, h, opts...),
-		bind:     bind,
-		obs:      cfg.obs,
-		ctx:      ctx,
-		cancel:   cancel,
-		chans:    make(map[Channel]struct{}),
-		errorLog: cfg.errorLog,
+		disp:       NewDispatcher(enc, h, opts...),
+		bind:       bind,
+		obs:        cfg.obs,
+		chunkBytes: cfg.chunkBytes,
+		ctx:        ctx,
+		cancel:     cancel,
+		chans:      make(map[Channel]struct{}),
+		errorLog:   cfg.errorLog,
 	}
-}
-
-// Understand registers header names this node processes, for
-// mustUnderstand enforcement. Safe to call while Serve is running: the
-// understood set is swapped atomically, and requests already dispatched
-// keep the set they started with.
-//
-// Deprecated: pass WithUnderstood to NewServer instead.
-func (s *Server[E, B]) Understand(names ...bxdm.QName) {
-	s.disp.Understand(names...)
 }
 
 // Encoding returns the server's encoding policy.
@@ -95,12 +83,7 @@ func (s *Server[E, B]) Addr() net.Addr { return s.bind.Addr() }
 // Serve accepts channels until the binding is closed, dispatching each on
 // its own goroutine. It returns nil after a clean Close.
 func (s *Server[E, B]) Serve() error {
-	// Resolve the error sink once: the option wins, else the deprecated
-	// field as it stood when Serve started.
 	errorLog := s.errorLog
-	if errorLog == nil {
-		errorLog = s.ErrorLog
-	}
 	for {
 		ch, err := s.bind.Accept()
 		if err != nil {
@@ -142,6 +125,11 @@ func (s *Server[E, B]) serveChannel(ch Channel) error {
 	// Handlers run under the server's lifetime context: Close cancels it,
 	// so a long-running handler sees shutdown instead of outliving it.
 	ctx := s.ctx
+	if s.chunkBytes > 0 {
+		if sc, ok := ch.(StreamChannel); ok {
+			return s.serveChannelStreamed(ctx, sc)
+		}
+	}
 	for {
 		// The server hop starts before the read: the trace context arrives
 		// inside the request, so dispatch binds it after decode. A hop whose
@@ -165,6 +153,44 @@ func (s *Server[E, B]) serveChannel(ch Channel) error {
 		}
 		// SendResponse takes ownership of out and releases it when written.
 		if err := ch.SendResponse(out, s.disp.Codec().ContentType()); err != nil {
+			sp.Mark(obs.ServerSend)
+			s.obs.FinishHop(hop, err)
+			return fmt.Errorf("send response: %w", err)
+		}
+		sp.Mark(obs.ServerSend)
+		s.obs.FinishHop(hop, nil)
+	}
+}
+
+// serveChannelStreamed is the chunked channel loop: requests are decoded
+// as their chunks arrive and responses are encoded straight into the
+// channel's sink, so neither direction materializes a whole message. Stage
+// semantics shift with the interleaving — ServerReceive marks the stream
+// opening (bytes keep arriving through decode), and ServerSend covers the
+// interleaved encode+send (there is no separate ServerEncode mark). A
+// buffered peer's requests still flow here: the channel surfaces them as
+// one-chunk sources, and the chunked response frames carry the same bytes.
+func (s *Server[E, B]) serveChannelStreamed(ctx context.Context, sc StreamChannel) error {
+	for {
+		hop := s.obs.StartHop(obs.RoleServer)
+		sp := s.obs.SpanWith(hop)
+		src, ct, err := sc.ReceiveRequestStream(ctx)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		sp.Mark(obs.ServerReceive)
+		out := s.disp.DispatchStream(ctx, countingSource{src, s.obs}, ct, &sp, hop)
+		sink, err := sc.SendResponseStream(s.disp.Codec().ContentType())
+		if err != nil {
+			sp.Mark(obs.ServerSend)
+			s.obs.FinishHop(hop, err)
+			return fmt.Errorf("send response: %w", err)
+		}
+		if err := s.disp.Codec().EncodeChunks(out, s.chunkBytes, countingSink{sink, s.obs}); err != nil {
+			sink.Abort()
 			sp.Mark(obs.ServerSend)
 			s.obs.FinishHop(hop, err)
 			return fmt.Errorf("send response: %w", err)

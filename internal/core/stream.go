@@ -1,0 +1,510 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"bxsoap/internal/bxdm"
+	"bxsoap/internal/bxsa"
+	"bxsoap/internal/obs"
+)
+
+// This file is the chunked-streaming seam of the codec API (ROADMAP open
+// item 1, grounded in "Non-Blocking Signature of very large SOAP
+// Messages"): a message flows through the pipeline as an ordered sequence
+// of pooled Payload chunks instead of one materialized buffer, so maximum
+// message size is decoupled from memory and time-to-first-byte is decoupled
+// from total encode time.
+//
+// Contracts at the chunk seam (see DESIGN.md "Streaming pipeline"):
+//
+//   - A message is one WriteChunk sequence ending with exactly one
+//     last=true chunk. Chunk boundaries are preserved end to end: every
+//     binding delivers the same chunk sequence the encoder produced (wssec's
+//     trailing-signature detection depends on this).
+//   - WriteChunk transfers ownership of the chunk to the sink; ReadChunk
+//     transfers ownership of the returned chunk to the caller.
+//   - On failure the side that noticed calls Abort exactly once instead of
+//     finishing the sequence; transports then poison the underlying stream
+//     (a half-delivered message can never be confused with a complete one).
+//   - Abort is idempotent and safe after any prefix of the sequence.
+
+// DefaultChunkBytes is the chunk window used when WithStreaming is given a
+// non-positive size: large enough that per-chunk framing overhead vanishes,
+// small enough that a handful of in-flight chunks stay well under the
+// 16 MiB pipeline budget.
+const DefaultChunkBytes = 256 << 10
+
+// ChunkSink receives one message as an ordered chunk sequence.
+type ChunkSink interface {
+	// WriteChunk appends one chunk to the message; last marks the final
+	// chunk. The sink takes ownership of p and releases it once consumed.
+	//
+	//paylint:transfers
+	WriteChunk(p *Payload, last bool) error
+	// Abort abandons the message mid-sequence. The underlying stream is
+	// unusable for further messages and the transport poisons it.
+	Abort()
+}
+
+// ChunkSource yields one message as an ordered chunk sequence.
+type ChunkSource interface {
+	// ReadChunk returns the next chunk and whether it is the final one.
+	// Ownership of the chunk transfers to the caller, which must Release
+	// it. After the last chunk, further reads return io.EOF.
+	//
+	//paylint:returns owned
+	ReadChunk() (p *Payload, last bool, err error)
+	// Abort abandons the rest of the message. The underlying stream is
+	// unusable for further messages and the transport poisons it.
+	Abort()
+}
+
+// StreamEncoding is the optional streaming face of an Encoding: policies
+// that implement it encode and decode messages as bounded chunk windows
+// instead of materialized buffers. The chunked byte stream is the
+// concatenation of the chunks and — for the base encodings — is
+// byte-identical to AppendEncode's output, so buffered and streamed peers
+// interoperate at the bytes level (fuzz-verified; wssec's streamed frame
+// differs deliberately, see its package doc).
+type StreamEncoding interface {
+	Encoding
+	// EncodeChunks serializes doc into sink as chunks of roughly chunkBytes
+	// each, ending with a last=true chunk. On error the sink is left
+	// unfinished; the caller aborts it (EncodeChunksOf's contract).
+	EncodeChunks(doc *bxdm.Document, chunkBytes int, sink ChunkSink) error
+	// DecodeChunks parses one message from src, consuming chunks as the
+	// parse advances. On success the last chunk has been consumed; on error
+	// the caller aborts the source.
+	DecodeChunks(src ChunkSource) (*bxdm.Document, error)
+}
+
+// StreamBinding is the optional streaming face of a client Binding.
+type StreamBinding interface {
+	Binding
+	// SendRequestStream opens a chunked request; the caller writes the
+	// message into the returned sink and finishes it with a last chunk
+	// (or aborts it).
+	SendRequestStream(ctx context.Context, contentType string) (ChunkSink, error)
+	// ReceiveResponseStream blocks until the response begins, returning a
+	// source for its chunks. A buffered (non-chunked) response comes back
+	// as a one-chunk source, so a streaming client interoperates with a
+	// buffered server.
+	ReceiveResponseStream(ctx context.Context) (ChunkSource, string, error)
+}
+
+// StreamChannel is the optional streaming face of a server Channel.
+type StreamChannel interface {
+	Channel
+	// ReceiveRequestStream blocks until the next request begins, returning
+	// a source for its chunks. A buffered request comes back as a one-chunk
+	// source.
+	ReceiveRequestStream(ctx context.Context) (ChunkSource, string, error)
+	// SendResponseStream opens a chunked response for the request just
+	// received; the caller writes chunks and finishes (or aborts).
+	SendResponseStream(contentType string) (ChunkSink, error)
+}
+
+// EncodeChunksOf streams doc through enc into sink. Encodings implementing
+// StreamEncoding stream natively with bounded memory; any other encoding is
+// buffered through AppendEncode and delivered as one chunk (the documented
+// fallback: correctness everywhere, bounded memory where the codec
+// cooperates). The sink is NOT aborted on error — the caller owns failure
+// handling, so wrapping policies (wssec) can compose this without
+// double-aborting.
+func EncodeChunksOf(enc Encoding, doc *bxdm.Document, chunkBytes int, sink ChunkSink) error {
+	if chunkBytes <= 0 {
+		chunkBytes = DefaultChunkBytes
+	}
+	if se, ok := enc.(StreamEncoding); ok {
+		return se.EncodeChunks(doc, chunkBytes, sink)
+	}
+	name := enc.Name()
+	p := NewPayload(sizeHintFor(name))
+	out, err := enc.AppendEncode(p.buf, doc)
+	if err != nil {
+		p.Release()
+		return err
+	}
+	p.buf = out
+	recordSizeHint(name, len(out))
+	return sink.WriteChunk(p, true)
+}
+
+// DecodeChunksOf parses one message from src via enc. Encodings
+// implementing StreamEncoding consume chunks incrementally; others gather
+// the sequence into one pooled buffer first (the fallback matrix's other
+// half). The source is NOT aborted on error — the caller owns failure
+// handling.
+func DecodeChunksOf(enc Encoding, src ChunkSource) (*bxdm.Document, error) {
+	if se, ok := enc.(StreamEncoding); ok {
+		return se.DecodeChunks(src)
+	}
+	p, err := GatherChunks(src)
+	if err != nil {
+		return nil, err
+	}
+	doc, err := enc.Decode(p.Bytes())
+	p.Release()
+	return doc, err
+}
+
+// OneChunkSource wraps a materialized payload as a ChunkSource — the
+// degenerate stream a binding returns when the peer sent a buffered
+// message. Takes ownership of p.
+//
+//paylint:transfers
+func OneChunkSource(p *Payload) ChunkSource { return &oneChunkSource{p: p} }
+
+type oneChunkSource struct{ p *Payload }
+
+//paylint:returns owned
+func (s *oneChunkSource) ReadChunk() (*Payload, bool, error) {
+	if s.p == nil {
+		return nil, false, io.EOF
+	}
+	p := s.p
+	s.p = nil
+	return p, true, nil
+}
+
+func (s *oneChunkSource) Abort() {
+	if s.p != nil {
+		s.p.Release()
+		s.p = nil
+	}
+}
+
+// GatherChunks concatenates a chunk sequence into one pooled payload — the
+// degenerate buffered case of a streamed message. The caller owns the
+// result.
+//
+//paylint:returns owned
+func GatherChunks(src ChunkSource) (*Payload, error) {
+	p := NewPayload(sizeHintFor("gather"))
+	for {
+		c, last, err := src.ReadChunk()
+		if err != nil {
+			p.Release()
+			return nil, err
+		}
+		p.Write(c.Bytes())
+		c.Release()
+		if last {
+			return p, nil
+		}
+	}
+}
+
+// EncodeChunks implements StreamEncoding: the BXSA emit pass spills its
+// output windows into pooled chunks as it goes, so memory is bounded by the
+// chunk window while the bytes stay identical to AppendEncode (the measure
+// pass still runs first — it is O(nodes), which is what keeps first-byte
+// latency independent of array payload size).
+func (b BXSAEncoding) EncodeChunks(doc *bxdm.Document, chunkBytes int, sink ChunkSink) error {
+	em := chunkEmitter{sink: sink}
+	if err := bxsa.EncodeChunked(doc, bxsa.EncodeOptions{Order: b.Order}, chunkBytes, em.emit); err != nil {
+		em.discard()
+		return err
+	}
+	return em.finish()
+}
+
+// DecodeChunks implements StreamEncoding via the reader-based BXSA decoder:
+// chunks are consumed (and their pooled buffers recycled) as the parse
+// advances through the frame tree.
+func (b BXSAEncoding) DecodeChunks(src ChunkSource) (*bxdm.Document, error) {
+	cr := chunkReader{src: src}
+	doc, err := bxsa.DecodeDocumentReader(&cr)
+	cr.discard()
+	return doc, err
+}
+
+// EncodeChunks implements StreamEncoding: the XML writer already emits
+// element-at-a-time through its sink, so streaming is the plain Encode path
+// pointed at a chunking writer.
+func (x XMLEncoding) EncodeChunks(doc *bxdm.Document, chunkBytes int, sink ChunkSink) error {
+	em := chunkEmitter{sink: sink}
+	cw := chunkingWriter{em: &em, chunkBytes: chunkBytes}
+	if err := x.Encode(&cw, doc); err != nil {
+		em.discard()
+		return err
+	}
+	if err := cw.flush(); err != nil {
+		em.discard()
+		return err
+	}
+	return em.finish()
+}
+
+// DecodeChunks implements StreamEncoding. The XML parser needs the whole
+// document in memory (namespace scoping is resolved on a second pass over
+// the token buffer), so the decode half of the XML policy is the gathered
+// fallback — documented in the DESIGN.md fallback matrix.
+func (x XMLEncoding) DecodeChunks(src ChunkSource) (*bxdm.Document, error) {
+	p, err := GatherChunks(src)
+	if err != nil {
+		return nil, err
+	}
+	doc, err := x.Decode(p.Bytes())
+	p.Release()
+	return doc, err
+}
+
+// chunkEmitter turns byte windows into owned pooled chunks with one window
+// of lookahead, so the final window can be marked last=true without the
+// producer having to know its output size in advance.
+type chunkEmitter struct {
+	sink    ChunkSink
+	pending *Payload
+}
+
+// emit copies one produced window into a pooled chunk and forwards the
+// previously held chunk. The window may alias the producer's scratch
+// buffer; it is copied before emit returns.
+func (c *chunkEmitter) emit(b []byte) error {
+	p := NewPayload(len(b))
+	p.Write(b)
+	prev := c.pending
+	c.pending = p
+	if prev != nil {
+		return c.sink.WriteChunk(prev, false)
+	}
+	return nil
+}
+
+// finish forwards the held chunk as the message's last (an empty message
+// still sends one empty last chunk, so every message has a well-formed
+// terminator).
+func (c *chunkEmitter) finish() error {
+	p := c.pending
+	c.pending = nil
+	if p == nil {
+		p = NewPayload(0)
+	}
+	return c.sink.WriteChunk(p, true)
+}
+
+// discard drops the held chunk after a failure; aborting the sink is the
+// caller's job.
+func (c *chunkEmitter) discard() {
+	if c.pending != nil {
+		c.pending.Release()
+		c.pending = nil
+	}
+}
+
+// chunkingWriter adapts a chunkEmitter to io.Writer for producers that
+// stream through the writer interface (the XML encoder): bytes accumulate
+// in a scratch window and spill as chunks when the window fills.
+type chunkingWriter struct {
+	em         *chunkEmitter
+	chunkBytes int
+	buf        []byte
+}
+
+func (w *chunkingWriter) Write(b []byte) (int, error) {
+	n := len(b)
+	for len(b) > 0 {
+		if w.buf == nil {
+			w.buf = make([]byte, 0, w.chunkBytes)
+		}
+		room := w.chunkBytes - len(w.buf)
+		if room == 0 {
+			if err := w.em.emit(w.buf); err != nil {
+				return 0, err
+			}
+			w.buf = w.buf[:0]
+			continue
+		}
+		k := min(room, len(b))
+		w.buf = append(w.buf, b[:k]...)
+		b = b[k:]
+	}
+	return n, nil
+}
+
+func (w *chunkingWriter) flush() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	err := w.em.emit(w.buf)
+	w.buf = w.buf[:0]
+	return err
+}
+
+// chunkReader adapts a ChunkSource to io.Reader for consumers that parse
+// through the reader interface (the BXSA stream decoder): each chunk is
+// released as soon as it is drained, so the reader holds at most one chunk.
+type chunkReader struct {
+	src  ChunkSource
+	cur  *Payload
+	off  int
+	done bool
+}
+
+func (r *chunkReader) Read(b []byte) (int, error) {
+	for r.cur == nil || r.off == r.cur.Len() {
+		if r.cur != nil {
+			r.cur.Release()
+			r.cur, r.off = nil, 0
+		}
+		if r.done {
+			return 0, io.EOF
+		}
+		c, last, err := r.src.ReadChunk()
+		if err != nil {
+			return 0, err
+		}
+		r.cur, r.off, r.done = c, 0, last
+	}
+	n := copy(b, r.cur.Bytes()[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// discard releases any partially consumed chunk after the parse finishes or
+// fails; aborting the source is the caller's job.
+func (r *chunkReader) discard() {
+	if r.cur != nil {
+		r.cur.Release()
+		r.cur = nil
+	}
+}
+
+// EncodeChunks streams an envelope into sink via the codec's encoding (the
+// streamed counterpart of EncodePayload; the template cache does not apply
+// — plans splice materialized buffers).
+func (c Codec[E]) EncodeChunks(e *Envelope, chunkBytes int, sink ChunkSink) error {
+	return EncodeChunksOf(c.enc, e.Document(), chunkBytes, sink)
+}
+
+// DecodeChunks parses a chunked message into an envelope (the streamed
+// counterpart of DecodePayload).
+func (c Codec[E]) DecodeChunks(src ChunkSource) (*Envelope, error) {
+	doc, err := DecodeChunksOf(c.enc, src)
+	if err != nil {
+		return nil, err
+	}
+	return EnvelopeFromDocument(doc)
+}
+
+// countingSink wraps a transport sink with the obs chunk counters and the
+// bytes-in-flight gauge: bytes enter the in-flight account when handed to
+// the transport. The matching countingSource subtracts on consumption, so
+// on a node running both directions the gauge reads the streaming
+// pipeline's buffered bytes.
+type countingSink struct {
+	sink ChunkSink
+	obs  *obs.Observer
+}
+
+func (s countingSink) WriteChunk(p *Payload, last bool) error {
+	s.obs.Inc(obs.StreamChunksSent)
+	s.obs.GaugeAdd(obs.StreamBytesInFlight, int64(p.Len()))
+	return s.sink.WriteChunk(p, last)
+}
+
+func (s countingSink) Abort() { s.sink.Abort() }
+
+// countingSource wraps a transport source with the receive-side counters.
+type countingSource struct {
+	src ChunkSource
+	obs *obs.Observer
+}
+
+//paylint:returns owned
+func (s countingSource) ReadChunk() (*Payload, bool, error) {
+	p, last, err := s.src.ReadChunk()
+	if err == nil {
+		s.obs.Inc(obs.StreamChunksReceived)
+		s.obs.GaugeAdd(obs.StreamBytesInFlight, -int64(p.Len()))
+	}
+	return p, last, err
+}
+
+func (s countingSource) Abort() { s.src.Abort() }
+
+// pipeSource/pipeSink are the in-process chunk pipe used by tests and the
+// gathered fallbacks of in-process compositions: a bounded queue whose
+// capacity is the chunk window, with Abort propagating to the other end.
+type pipeChunk struct {
+	p    *Payload
+	last bool
+}
+
+// ChunkPipe is an in-process bounded chunk queue: the sink side blocks when
+// window chunks are unconsumed, which is exactly the backpressure a
+// transport provides. It exists for tests and in-process compositions; the
+// bindings implement their own wire-backed sinks and sources.
+type ChunkPipe struct {
+	ch     chan pipeChunk
+	done   chan struct{}
+	closed bool
+}
+
+// NewChunkPipe builds a pipe holding at most window unconsumed chunks.
+func NewChunkPipe(window int) *ChunkPipe {
+	if window <= 0 {
+		window = 1
+	}
+	return &ChunkPipe{ch: make(chan pipeChunk, window), done: make(chan struct{})}
+}
+
+// WriteChunk implements ChunkSink.
+//
+//paylint:transfers
+func (p *ChunkPipe) WriteChunk(c *Payload, last bool) error {
+	select {
+	case p.ch <- pipeChunk{c, last}:
+		return nil
+	case <-p.done:
+		c.Release()
+		return fmt.Errorf("core: chunk pipe aborted")
+	}
+}
+
+// ReadChunk implements ChunkSource.
+//
+//paylint:returns owned
+func (p *ChunkPipe) ReadChunk() (*Payload, bool, error) {
+	select {
+	case c := <-p.ch:
+		return c.p, c.last, nil
+	case <-p.done:
+		// Drain any chunks racing the abort so their buffers recycle.
+		for {
+			select {
+			case c := <-p.ch:
+				c.p.Release()
+			default:
+				return nil, false, fmt.Errorf("core: chunk pipe aborted")
+			}
+		}
+	}
+}
+
+// Abort implements both ends' Abort: it wakes the peer and recycles queued
+// chunks. Idempotent.
+func (p *ChunkPipe) Abort() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	close(p.done)
+	for {
+		select {
+		case c := <-p.ch:
+			c.p.Release()
+		default:
+			return
+		}
+	}
+}
+
+// Compile-time checks that the shipped encodings stream.
+var (
+	_ StreamEncoding = BXSAEncoding{}
+	_ StreamEncoding = XMLEncoding{}
+)

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"bxsoap/internal/bxdm"
+)
+
+// errFirstChunk stops a chunked encode the moment the first chunk is
+// produced — the benchmark measures exactly the work standing between the
+// caller and the first wire-ready byte.
+var errFirstChunk = errors.New("first chunk produced")
+
+type firstChunkSink struct{ n int }
+
+func (s *firstChunkSink) WriteChunk(p *Payload, last bool) error {
+	p.Release()
+	s.n++
+	return errFirstChunk
+}
+
+func (s *firstChunkSink) Abort() {}
+
+// BenchmarkStreamFirstByte contrasts time-to-first-byte scaling: the
+// buffered encoder must materialize the whole message before any byte can
+// leave, so its first byte arrives in O(message); the chunked encoder
+// hands over the first window after O(chunk) work regardless of message
+// size. Compare streamed/n=... across sizes — the numbers should be flat —
+// against buffered/n=..., which grow linearly.
+func BenchmarkStreamFirstByte(b *testing.B) {
+	for _, n := range []int{1 << 14, 1 << 18, 1 << 22} {
+		items := make([]int32, n)
+		for i := range items {
+			items[i] = int32(i * 3)
+		}
+		env := NewEnvelope(bxdm.NewArray(bxdm.QName{Local: "a"}, items))
+		codec := NewCodec(BXSAEncoding{})
+
+		b.Run(fmt.Sprintf("buffered/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p, err := codec.EncodePayload(env)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p.Release()
+			}
+		})
+		b.Run(fmt.Sprintf("streamed/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			sink := &firstChunkSink{}
+			for i := 0; i < b.N; i++ {
+				if err := codec.EncodeChunks(env, DefaultChunkBytes, sink); !errors.Is(err, errFirstChunk) {
+					b.Fatalf("encode stopped with %v, want first-chunk sentinel", err)
+				}
+			}
+			if sink.n != b.N {
+				b.Fatalf("sink saw %d chunks over %d iterations", sink.n, b.N)
+			}
+		})
+	}
+}

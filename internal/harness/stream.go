@@ -1,0 +1,196 @@
+package harness
+
+// The streaming experiment: time-to-first-response-byte and end-to-end
+// throughput for the chunked envelope pipeline against the buffered
+// baseline, at sizes where the difference matters. Buffered, the client
+// encodes the whole request before the first byte leaves and the server
+// encodes the whole response before the first byte returns, so the time
+// until the client holds any response data grows with the message twice
+// over; streamed, encode/wire/decode overlap on both legs and the first
+// response chunk lands while the tail of the response is still being
+// encoded.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"bxsoap/internal/core"
+	"bxsoap/internal/dataset"
+	"bxsoap/internal/netsim"
+	"bxsoap/internal/tcpbind"
+)
+
+// StreamSizes is the full sweep for the streaming experiment, in model
+// pairs (12 native bytes each): ~1 MB, ~64 MB, ~512 MB.
+var StreamSizes = []int{87360, 5592405, 44739242}
+
+// StreamPoint is one streamed-or-buffered measurement.
+type StreamPoint struct {
+	Scheme    string        `json:"scheme"`
+	Profile   string        `json:"profile"`
+	Pairs     int           `json:"pairs"`
+	Bytes     int           `json:"bytes"`
+	FirstByte time.Duration `json:"first_byte_ns"`
+	Total     time.Duration `json:"total_ns"`
+	MBPerSec  float64       `json:"mb_per_sec"`
+}
+
+// StreamThroughput measures one (mode, size) cell of the streaming
+// experiment over BXSA/TCP on the shaped network: time until the client
+// holds the first byte of the response, and the full round trip. The
+// server always runs streamed (chunked responses to streamed requests,
+// buffered to buffered), so the same composition serves both client modes
+// — exactly the interoperability the fallback matrix promises. Reported
+// durations are the minimum over iters runs.
+func StreamThroughput(nw *netsim.Network, streamed bool, chunkBytes, size, iters int) (StreamPoint, error) {
+	mode := "Buffered"
+	if streamed {
+		mode = "Streamed"
+	}
+	pt := StreamPoint{
+		Scheme:  fmt.Sprintf("%s BXSA/TCP (%s)", mode, sizeLabel(size)),
+		Profile: nw.Profile().Name,
+		Pairs:   size,
+	}
+	l, err := nw.Listen("127.0.0.1:0")
+	if err != nil {
+		return pt, err
+	}
+	srv := core.NewServer(core.BXSAEncoding{}, tcpbind.NewListener(l), unifiedHandler,
+		core.WithStreaming(chunkBytes))
+	go srv.Serve()
+	defer srv.Close()
+
+	b := tcpbind.New(nw.Dial, l.Addr().String())
+	defer b.Close()
+	enc := core.BXSAEncoding{}
+	codec := core.NewCodec(enc)
+	m := dataset.Generate(size)
+	pt.Bytes = m.NativeSize()
+	env := core.NewEnvelope(m.Element())
+	ctx := context.Background()
+
+	for i := 0; i < max(iters, 1); i++ {
+		var firstByte, total time.Duration
+		start := time.Now()
+		if streamed {
+			sink, err := b.SendRequestStream(ctx, enc.ContentType())
+			if err != nil {
+				return pt, err
+			}
+			if err := codec.EncodeChunks(env, chunkBytes, sink); err != nil {
+				return pt, err
+			}
+			src, _, err := b.ReceiveResponseStream(ctx)
+			if err != nil {
+				return pt, err
+			}
+			head, headLast, err := src.ReadChunk()
+			if err != nil {
+				return pt, err
+			}
+			firstByte = time.Since(start)
+			resp, err := codec.DecodeChunks(&replaySource{head: head, headLast: headLast, rest: src})
+			if err != nil {
+				return pt, err
+			}
+			total = time.Since(start)
+			if _, err := parseReply(resp); err != nil {
+				return pt, err
+			}
+		} else {
+			p, err := codec.EncodePayload(env)
+			if err != nil {
+				return pt, err
+			}
+			err = b.SendRequest(ctx, p, enc.ContentType())
+			p.Release()
+			if err != nil {
+				return pt, err
+			}
+			rp, _, err := b.ReceiveResponse(ctx)
+			if err != nil {
+				return pt, err
+			}
+			firstByte = time.Since(start)
+			resp, err := codec.DecodePayload(rp)
+			rp.Release()
+			if err != nil {
+				return pt, err
+			}
+			total = time.Since(start)
+			if _, err := parseReply(resp); err != nil {
+				return pt, err
+			}
+		}
+		if pt.FirstByte == 0 || firstByte < pt.FirstByte {
+			pt.FirstByte = firstByte
+		}
+		if pt.Total == 0 || total < pt.Total {
+			pt.Total = total
+		}
+	}
+	pt.MBPerSec = float64(pt.Bytes) / pt.Total.Seconds() / (1 << 20)
+	return pt, nil
+}
+
+// replaySource re-heads a chunk stream whose first chunk was consumed for
+// the first-byte timestamp.
+type replaySource struct {
+	head     *core.Payload
+	headLast bool
+	rest     core.ChunkSource
+	served   bool
+}
+
+//paylint:returns owned
+func (r *replaySource) ReadChunk() (*core.Payload, bool, error) {
+	if !r.served {
+		r.served = true
+		return r.head, r.headLast, nil
+	}
+	if r.headLast {
+		return nil, false, io.EOF
+	}
+	return r.rest.ReadChunk()
+}
+
+func (r *replaySource) Abort() {
+	if !r.served {
+		r.served = true
+		r.head.Release()
+	}
+	r.rest.Abort()
+}
+
+// StreamRecords flattens a stream point into two bench artifact records —
+// the full round trip and the first-byte latency — so both trajectories
+// diff across PRs.
+func StreamRecords(pt StreamPoint) []BenchRecord {
+	return []BenchRecord{
+		{Scheme: fmt.Sprintf("%s, %s: total", pt.Scheme, pt.Profile), Calls: 1, NsPerOp: pt.Total.Nanoseconds()},
+		{Scheme: fmt.Sprintf("%s, %s: first-byte", pt.Scheme, pt.Profile), Calls: 1, NsPerOp: pt.FirstByte.Nanoseconds()},
+	}
+}
+
+// PrintStreamPoints renders the streaming experiment table.
+func PrintStreamPoints(w io.Writer, points []StreamPoint) {
+	fmt.Fprintf(w, "%-28s %-5s %10s %12s %12s %10s\n",
+		"scheme", "net", "bytes", "first-byte", "total", "MB/s")
+	for _, pt := range points {
+		fmt.Fprintf(w, "%-28s %-5s %10d %12s %12s %10.1f\n",
+			pt.Scheme, pt.Profile, pt.Bytes, pt.FirstByte.Round(10*time.Microsecond),
+			pt.Total.Round(10*time.Microsecond), pt.MBPerSec)
+	}
+}
+
+// sizeLabel names a model size by its approximate native footprint.
+func sizeLabel(pairs int) string {
+	bytes := pairs * 12
+	if bytes >= 1<<20 {
+		return fmt.Sprintf("%dMB", bytes>>20)
+	}
+	return fmt.Sprintf("%dKB", bytes>>10)
+}

@@ -59,8 +59,11 @@ type Binding struct {
 	action string
 	obs    *obs.Observer
 
-	mu       sync.Mutex
-	pending  *http.Response
+	mu      sync.Mutex
+	pending *http.Response
+	// respc carries the in-flight streamed POST's outcome from the Do
+	// goroutine to ReceiveResponseStream (see stream.go).
+	respc    chan doResult
 	poisoned bool
 
 	// proto is the prototype POST request: URL parsed and headers built
@@ -241,7 +244,18 @@ func (b *Binding) Close() error {
 		b.pending.Body.Close()
 		b.pending = nil
 	}
+	respc := b.respc
+	b.respc = nil
 	b.mu.Unlock()
+	if respc != nil {
+		// An abandoned streamed call: let the Do goroutine finish against
+		// its broken pipe and close whatever response it produced.
+		go func() {
+			if r := <-respc; r.resp != nil {
+				r.resp.Body.Close()
+			}
+		}()
+	}
 	b.client.CloseIdleConnections()
 	return nil
 }
@@ -295,11 +309,22 @@ type response struct {
 }
 
 // channel adapts one HTTP request to the core.Channel exchange sequence.
+// The request body is read lazily by the dispatcher goroutine — buffered
+// into one payload by ReceiveRequest, or window-by-window by
+// ReceiveRequestStream — so a streamed request never materializes. The
+// handler goroutine keeps the ResponseWriter alive until the exchange
+// resolves through resp (buffered) or stream (chunked).
 type channel struct {
-	payload     *core.Payload
+	w           http.ResponseWriter
+	r           *http.Request
 	contentType string
 	resp        chan response
-	received    bool
+	stream      chan *streamResp
+	// hgone closes when the handler goroutine stops serving this exchange
+	// (response written, shutdown, or aborted); streamed sink operations
+	// select against it instead of blocking forever.
+	hgone    chan struct{}
+	received bool
 	// responded records that SendResponse handed a payload to the handler.
 	// Only the dispatcher goroutine (SendResponse/Close callers) touches it.
 	// Close consults it so the "no response produced" fallback is queued
@@ -318,23 +343,19 @@ func (s *Listener) handle(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "SOAP endpoint: POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	// ContentLength is -1 when unknown, which ReadPayload treats as
-	// read-to-EOF; either way the body lands in a pooled buffer.
-	body, err := core.ReadPayload(r.Body, r.ContentLength, 0)
-	if err != nil {
-		http.Error(w, "read error", http.StatusBadRequest)
-		return
-	}
 	ch := &channel{
-		payload:     body,
+		w:           w,
+		r:           r,
 		contentType: r.Header.Get("Content-Type"),
 		resp:        make(chan response, 1),
+		stream:      make(chan *streamResp, 1),
+		hgone:       make(chan struct{}),
 		obs:         s.obs,
 	}
+	defer close(ch.hgone)
 	select {
 	case s.accept <- ch:
 	case <-s.done:
-		body.Release()
 		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
 		return
 	}
@@ -349,11 +370,15 @@ func (s *Listener) handle(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(resp.status)
 		w.Write(resp.payload.Bytes())
 		resp.payload.Release()
+	case sr := <-ch.stream:
+		s.writeStreamed(w, sr)
 	case <-s.done:
 		// Two-phase abandon: mark the channel first, then drain. A
 		// SendResponse racing this branch re-checks the mark after its
 		// send, so whichever side loses the drain race still releases the
 		// queued payload — it can never be parked in the buffer forever.
+		// (A streamed response needs no drain: the sink hands chunks over
+		// unbuffered and fails against hgone once this handler returns.)
 		ch.abandoned.Store(true)
 		select {
 		case resp := <-ch.resp:
@@ -361,6 +386,47 @@ func (s *Listener) handle(w http.ResponseWriter, r *http.Request) {
 		default:
 		}
 		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+	}
+}
+
+// writeStreamed relays a chunked response from the dispatcher's sink to the
+// wire: no Content-Length, so net/http frames the body with HTTP chunked
+// transfer encoding, and each chunk is flushed as it lands — the first
+// response byte leaves before the message (or its trailing signature)
+// exists. The status is sniffed from the first chunk; a streamed fault
+// whose first chunk hides the marker rides status 200, which streaming
+// clients accept (the envelope, not the status, is authoritative).
+func (s *Listener) writeStreamed(w http.ResponseWriter, sr *streamResp) {
+	w.Header().Set("Content-Type", sr.ct)
+	flusher, _ := w.(http.Flusher)
+	first := true
+	for {
+		select {
+		case m := <-sr.chunks:
+			if first {
+				status := http.StatusOK
+				if looksLikeFault(m.p.Bytes()) {
+					status = http.StatusInternalServerError
+				}
+				w.WriteHeader(status)
+				first = false
+			}
+			w.Write(m.p.Bytes())
+			m.p.Release()
+			if flusher != nil {
+				flusher.Flush()
+			}
+			if m.last {
+				return
+			}
+		case <-sr.abort:
+			// The dispatcher's encoder failed mid-message. A chunked body
+			// cannot signal an error in-band, so kill the connection: the
+			// client's decoder fails on the truncated stream.
+			panic(http.ErrAbortHandler)
+		case <-s.done:
+			return
+		}
 	}
 }
 
@@ -389,9 +455,12 @@ func (s *Listener) Close() error {
 	return s.srv.Close()
 }
 
-// ReceiveRequest implements core.Channel: the one buffered request, then
-// EOF (HTTP is one exchange per channel). Ownership of the payload
-// transfers to the caller.
+// ReceiveRequest implements core.Channel: the one request, then EOF (HTTP
+// is one exchange per channel). The body is read here, on the dispatcher
+// goroutine, into one pooled payload — ContentLength is -1 when unknown,
+// which ReadPayload treats as read-to-EOF. A body read error surfaces as a
+// channel error (the exchange answers with the Close fallback) rather than
+// an HTTP 400. Ownership of the payload transfers to the caller.
 //
 //paylint:returns owned
 func (c *channel) ReceiveRequest(_ context.Context) (*core.Payload, string, error) {
@@ -399,8 +468,10 @@ func (c *channel) ReceiveRequest(_ context.Context) (*core.Payload, string, erro
 		return nil, "", io.EOF
 	}
 	c.received = true
-	p := c.payload
-	c.payload = nil
+	p, err := core.ReadPayload(c.r.Body, c.r.ContentLength, 0)
+	if err != nil {
+		return nil, "", &core.TransportError{Op: "read request", Err: fmt.Errorf("httpbind: %w", err)}
+	}
 	c.obs.Inc(obs.MessagesReceived)
 	c.obs.Add(obs.BytesReceived, uint64(p.Len()))
 	return p, c.contentType, nil
@@ -443,19 +514,14 @@ func (c *channel) SendResponse(payload *core.Payload, contentType string) error 
 	}
 }
 
-// Close implements core.Channel: release an unconsumed request and answer
-// the HTTP request with an error if no response was produced. The fallback
-// is queued only when no response was ever handed off (after a real
-// response the handler writes it and returns — a payload queued then would
-// be parked in the buffer forever), and it follows the same two-phase
-// hand-off as SendResponse: if the handler has already abandoned the
-// exchange, nobody will ever drain c.resp, so Close reclaims its own
-// payload instead of leaking it.
+// Close implements core.Channel: answer the HTTP request with an error if
+// no response was produced. The fallback is queued only when no response
+// was ever handed off (after a real response the handler writes it and
+// returns — a payload queued then would be parked in the buffer forever),
+// and it follows the same two-phase hand-off as SendResponse: if the
+// handler has already abandoned the exchange, nobody will ever drain
+// c.resp, so Close reclaims its own payload instead of leaking it.
 func (c *channel) Close() error {
-	if c.payload != nil {
-		c.payload.Release()
-		c.payload = nil
-	}
 	if c.responded {
 		return nil
 	}

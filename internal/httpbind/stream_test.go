@@ -1,0 +1,118 @@
+package httpbind
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"bxsoap/internal/bxdm"
+	"bxsoap/internal/core"
+)
+
+// bigArrayEnvelope builds a request whose body spans many windows.
+func bigArrayEnvelope(n int) (*core.Envelope, bxdm.Node) {
+	items := make([]int32, n)
+	for i := range items {
+		items[i] = int32(i * 3)
+	}
+	el := bxdm.NewArray(bxdm.QName{Local: "a"}, items)
+	return core.NewEnvelope(el), el
+}
+
+// echoServer runs a core.Server over an HTTP listener and returns its URL.
+func echoServer(t *testing.T, opts ...core.ServerOption) string {
+	t.Helper()
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := core.NewServer(core.BXSAEncoding{}, l,
+		func(_ context.Context, req *core.Envelope) (*core.Envelope, error) {
+			return core.NewEnvelope(req.Body()), nil
+		}, opts...)
+	go srv.Serve()
+	t.Cleanup(func() { srv.Close() })
+	return l.URL()
+}
+
+// waitSettled polls for the async HTTP machinery to release its payloads
+// before the leak assertion.
+func waitSettled(t *testing.T, baseline int64) {
+	t.Helper()
+	for i := 0; i < 200; i++ {
+		if core.PayloadsInUse() == baseline {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Errorf("PayloadsInUse = %d, want baseline %d", core.PayloadsInUse(), baseline)
+}
+
+// TestHTTPStreamedExchange runs the fallback matrix over HTTP chunked
+// transfer: both sides streaming, and each side alone against a buffered
+// peer. HTTP re-slices the chunk boundaries, so this also exercises the
+// decoders' boundary independence.
+func TestHTTPStreamedExchange(t *testing.T) {
+	stream := core.WithStreaming(32 << 10)
+	cases := []struct {
+		name    string
+		srvOpts []core.ServerOption
+		engOpts []core.EngineOption
+	}{
+		{"both streamed", []core.ServerOption{stream}, []core.EngineOption{stream}},
+		{"client streamed, server buffered", nil, []core.EngineOption{stream}},
+		{"client buffered, server streamed", []core.ServerOption{stream}, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			baseline := core.PayloadsInUse()
+			url := echoServer(t, tc.srvOpts...)
+			eng := core.NewEngine(core.BXSAEncoding{}, New(nil, url), tc.engOpts...)
+			defer eng.Close()
+			req, want := bigArrayEnvelope(200_000) // ~800 KiB of array data
+			for i := 0; i < 2; i++ {
+				resp, err := eng.Call(context.Background(), req)
+				if err != nil {
+					t.Fatalf("call %d: %v", i, err)
+				}
+				if !bxdm.Equal(resp.Body(), want) {
+					t.Fatalf("call %d: echoed body differs", i)
+				}
+			}
+			waitSettled(t, baseline)
+		})
+	}
+}
+
+// TestHTTPStreamedFaultAfterBadRequest checks the decode-failure path: a
+// chunked request the server cannot decode draws a fault envelope on the
+// (streamed) response side.
+func TestHTTPStreamedFaultAfterBadRequest(t *testing.T) {
+	url := echoServer(t, core.WithStreaming(16<<10))
+	b := New(nil, url)
+	defer b.Close()
+	sink, err := b.SendRequestStream(context.Background(), "application/x-bxsa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	junk := core.NewPayloadFrom([]byte("this is not a bxsa frame"))
+	if err := sink.WriteChunk(junk, true); err != nil {
+		t.Fatal(err)
+	}
+	src, _, err := b.ReceiveResponseStream(context.Background())
+	if err != nil {
+		t.Fatalf("no response to bad request: %v", err)
+	}
+	p, err := core.GatherChunks(src)
+	if err != nil {
+		t.Fatalf("gather fault: %v", err)
+	}
+	env, err := core.NewCodec(core.BXSAEncoding{}).DecodePayload(p)
+	p.Release()
+	if err != nil {
+		t.Fatalf("decode fault: %v", err)
+	}
+	if f := core.FaultFromEnvelope(env); f == nil {
+		t.Fatal("bad request did not draw a fault")
+	}
+}

@@ -32,6 +32,9 @@ type Binding struct {
 	sess     *Session
 	streamID uint64
 	resp     chan result
+	// rxc is the in-flight streamed exchange's response queue (see
+	// stream.go); resp and rxc are mutually exclusive.
+	rxc      *cstream
 	poisoned bool
 }
 
@@ -49,7 +52,7 @@ func (b *Binding) SendRequest(ctx context.Context, payload *core.Payload, conten
 	if b.poisoned {
 		return fmt.Errorf("muxbind: %w", core.ErrBindingPoisoned)
 	}
-	if b.resp != nil {
+	if b.resp != nil || b.rxc != nil {
 		return errors.New("muxbind: request already in flight")
 	}
 	if err := ctx.Err(); err != nil {
@@ -136,6 +139,10 @@ func (b *Binding) Close() error {
 	if b.resp != nil {
 		b.sess.abandon(b.streamID, b.resp)
 		b.sess, b.streamID, b.resp = nil, 0, nil
+	}
+	if b.rxc != nil {
+		b.sess.abandonChunked(b.streamID, b.rxc)
+		b.sess, b.streamID, b.rxc = nil, 0, nil
 	}
 	b.poisoned = true
 	return nil

@@ -9,7 +9,7 @@
 //
 //	magic   2 bytes  "BX"
 //	version 1 byte   0x02
-//	type    1 byte   0=DATA 1=RST 2=CREDIT 3=GOAWAY
+//	type    1 byte   0=DATA 1=RST 2=CREDIT 3=GOAWAY 4=CHUNK
 //	stream  VLS      stream ID (0 = connection control)
 //
 // followed by a type-specific body:
@@ -18,13 +18,26 @@
 //	RST:     code VLS, detailLen VLS, detail bytes
 //	CREDIT:  n VLS (stream must be 0; grants n new streams)
 //	GOAWAY:  code VLS, detailLen VLS, detail bytes (stream must be 0)
+//	CHUNK:   flags 1 byte (0x01 first, 0x02 last), then on first:
+//	         ctLen VLS, ct bytes; always: payloadLen VLS, payload bytes
+//
+// A CHUNK run is one logical message spread over several frames on one
+// stream — exactly one frame carries the first flag (and the content type),
+// exactly one carries last; a single-chunk message carries both. Chunk
+// frames from different streams interleave freely, which is what lets a
+// multi-hundred-megabyte streamed call share a connection with small
+// buffered exchanges instead of wedging them (see stream.go for the
+// send-pacing and receive-window bounds inside one message).
 //
 // Flow control is credit-based at stream granularity: the server advertises
 // an initial window with a CREDIT frame immediately after accepting the
-// connection; opening a stream consumes one credit, and the server returns
-// one credit (batched into a single CREDIT frame per write flush) each time
-// a stream completes — by response or by RST. A client that opens more
-// streams than its window is violating the protocol and is reset.
+// connection; opening a stream consumes one credit — a chunked message
+// consumes one credit for its whole run — and the server returns one credit
+// (batched into a single CREDIT frame per write flush) each time a stream
+// completes — by response or by RST. A client that opens more streams than
+// its window is violating the protocol and is reset. Responses are chunked
+// only in answer to chunked requests and only when the server is configured
+// for it; every other combination falls back to a buffered DATA frame.
 //
 // The server schedules streams onto a bounded worker pool shared across
 // connections. When the dispatch queue is full, admission control sheds the

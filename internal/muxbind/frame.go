@@ -40,6 +40,15 @@ const (
 	fRst    = 0x01
 	fCredit = 0x02
 	fGoaway = 0x03
+	fChunk  = 0x04
+)
+
+// CHUNK frame flags. A logical message is a run of CHUNK frames on one
+// stream: exactly one carries chunkFirst (and the content type), exactly
+// one carries chunkLast; a single-chunk message carries both.
+const (
+	chunkFirst = 0x01
+	chunkLast  = 0x02
 )
 
 // RST / GOAWAY codes.
@@ -81,11 +90,13 @@ func rstCodeName(code uint64) string {
 type frame struct {
 	typ     byte
 	stream  uint64
-	ct      string        // DATA
-	payload *core.Payload // DATA (owned by caller)
+	ct      string        // DATA; CHUNK with first set
+	payload *core.Payload // DATA, CHUNK (owned by caller)
 	code    uint64        // RST, GOAWAY
 	detail  string        // RST, GOAWAY
 	credit  uint64        // CREDIT
+	first   bool          // CHUNK
+	last    bool          // CHUNK
 }
 
 // frameReader holds one connection's receive-side reuse state: scratch
@@ -150,6 +161,51 @@ func (fr *frameReader) read(r *bufio.Reader) (frame, error) {
 		}
 		if n > MaxFrameSize {
 			return f, fmt.Errorf("muxbind: frame length %d exceeds limit", n)
+		}
+		payload, err := core.ReadPayload(r, int64(n), MaxFrameSize)
+		if err != nil {
+			return f, err
+		}
+		f.payload = payload
+		return f, nil
+	case fChunk:
+		if stream == 0 {
+			return f, fmt.Errorf("muxbind: CHUNK frame on control stream 0")
+		}
+		flags, err := r.ReadByte()
+		if err != nil {
+			return f, err
+		}
+		if flags&^byte(chunkFirst|chunkLast) != 0 {
+			return f, fmt.Errorf("muxbind: reserved chunk flags %#x", flags)
+		}
+		f.first = flags&chunkFirst != 0
+		f.last = flags&chunkLast != 0
+		if f.first {
+			ctLen, err := vls.ReadUint(r)
+			if err != nil {
+				return f, err
+			}
+			if ctLen > maxContentTypeLen {
+				return f, fmt.Errorf("muxbind: content-type length %d too large", ctLen)
+			}
+			ctBytes := fr.ctScratch[:ctLen]
+			if _, err := io.ReadFull(r, ctBytes); err != nil {
+				return f, err
+			}
+			ct := fr.lastCT
+			if string(ctBytes) != ct {
+				ct = string(ctBytes)
+				fr.lastCT = ct
+			}
+			f.ct = ct
+		}
+		n, err := vls.ReadUint(r)
+		if err != nil {
+			return f, err
+		}
+		if n > MaxFrameSize {
+			return f, fmt.Errorf("muxbind: chunk length %d exceeds limit", n)
 		}
 		payload, err := core.ReadPayload(r, int64(n), MaxFrameSize)
 		if err != nil {
@@ -224,6 +280,24 @@ func writeData(w *bufio.Writer, stream uint64, payload []byte, contentType strin
 	writeHeader(w, fData, stream)
 	vls.WriteUint(w, uint64(len(contentType)))
 	w.WriteString(contentType)
+	vls.WriteUint(w, uint64(len(payload)))
+	w.Write(payload)
+}
+
+func writeChunk(w *bufio.Writer, stream uint64, payload []byte, contentType string, first, last bool) {
+	writeHeader(w, fChunk, stream)
+	var flags byte
+	if first {
+		flags |= chunkFirst
+	}
+	if last {
+		flags |= chunkLast
+	}
+	w.WriteByte(flags)
+	if first {
+		vls.WriteUint(w, uint64(len(contentType)))
+		w.WriteString(contentType)
+	}
 	vls.WriteUint(w, uint64(len(payload)))
 	w.Write(payload)
 }

@@ -32,9 +32,16 @@ func FuzzFrame(f *testing.F) {
 	f.Add(frameBytes(func(w *bufio.Writer) { writeCredit(w, 1) }))
 	f.Add(frameBytes(func(w *bufio.Writer) { writeCredit(w, maxCreditGrant) }))
 	f.Add(frameBytes(func(w *bufio.Writer) { writeGoaway(w, GoawayShutdown, "bye") }))
+	f.Add(frameBytes(func(w *bufio.Writer) { writeChunk(w, 2, []byte("first"), "application/x-bxsa", true, false) }))
+	f.Add(frameBytes(func(w *bufio.Writer) { writeChunk(w, 2, []byte("mid"), "", false, false) }))
+	f.Add(frameBytes(func(w *bufio.Writer) { writeChunk(w, 2, []byte("last"), "", false, true) }))
+	f.Add(frameBytes(func(w *bufio.Writer) { writeChunk(w, 3, []byte("solo"), "text/xml", true, true) }))
 	// Hostile shapes: DATA on stream 0, CREDIT on a data stream, oversized
 	// length prefixes, truncations, wrong magic/version/type.
 	f.Add([]byte{magic0, magic1, version, fData, 0x00})
+	f.Add([]byte{magic0, magic1, version, fChunk, 0x00, 0x01})
+	f.Add([]byte{magic0, magic1, version, fChunk, 0x01, 0xF0})
+	f.Add([]byte{magic0, magic1, version, fChunk, 0x01, 0x02, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
 	f.Add([]byte{magic0, magic1, version, fCredit, 0x05, 0x01})
 	f.Add([]byte{magic0, magic1, version, fData, 0x01, 0x01, 'x', 0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
 	f.Add([]byte{magic0, magic1, version, 0x7F, 0x01})
@@ -53,9 +60,9 @@ func FuzzFrame(f *testing.F) {
 			if err != nil {
 				break
 			}
-			if f.typ == fData {
+			if f.typ == fData || f.typ == fChunk {
 				if f.payload == nil {
-					t.Fatal("DATA frame decoded with nil payload")
+					t.Fatalf("%#x frame decoded with nil payload", f.typ)
 				}
 				if f.payload.Len() > MaxFrameSize {
 					t.Fatalf("payload length %d exceeds MaxFrameSize", f.payload.Len())
@@ -91,6 +98,16 @@ func TestFrameRoundTrip(t *testing.T) {
 			frame{typ: fData, stream: 9, ct: "text/xml"},
 		},
 		{
+			"chunk first",
+			frameBytes(func(w *bufio.Writer) { writeChunk(w, 5, []byte("payload"), "text/xml", true, false) }),
+			frame{typ: fChunk, stream: 5, ct: "text/xml", first: true},
+		},
+		{
+			"chunk last",
+			frameBytes(func(w *bufio.Writer) { writeChunk(w, 5, []byte("payload"), "", false, true) }),
+			frame{typ: fChunk, stream: 5, last: true},
+		},
+		{
 			"rst",
 			frameBytes(func(w *bufio.Writer) { writeRst(w, 3, RstOverload, "full") }),
 			frame{typ: fRst, stream: 3, code: RstOverload, detail: "full"},
@@ -114,10 +131,11 @@ func TestFrameRoundTrip(t *testing.T) {
 				t.Fatal(err)
 			}
 			if f.typ != tc.want.typ || f.stream != tc.want.stream || f.ct != tc.want.ct ||
-				f.code != tc.want.code || f.detail != tc.want.detail || f.credit != tc.want.credit {
+				f.code != tc.want.code || f.detail != tc.want.detail || f.credit != tc.want.credit ||
+				f.first != tc.want.first || f.last != tc.want.last {
 				t.Errorf("decoded %+v, want %+v", f, tc.want)
 			}
-			if f.typ == fData {
+			if f.typ == fData || f.typ == fChunk {
 				if string(f.payload.Bytes()) != "payload" {
 					t.Errorf("payload = %q", f.payload.Bytes())
 				}

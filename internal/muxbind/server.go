@@ -31,6 +31,11 @@ type Config struct {
 	// StreamCredit is the per-connection flow-control window: how many
 	// streams one client connection may hold open at once (default 128).
 	StreamCredit int
+	// ChunkBytes, when positive, makes the server answer chunked requests
+	// with chunked responses of roughly this window (respond-in-kind; see
+	// stream.go). Zero answers everything buffered. Chunked requests are
+	// accepted and decoded incrementally either way.
+	ChunkBytes int
 	// ErrorLog receives connection-level failures; nil silences them.
 	ErrorLog *log.Logger
 }
@@ -62,12 +67,22 @@ func (c Config) withDefaults() Config {
 type job struct {
 	sc      *srvConn
 	stream  uint64
-	payload *core.Payload
+	payload *core.Payload // buffered request (nil for streamed jobs)
+	src     *srvChunkSource
 	ct      string
 	ctx     context.Context
 	cancel  context.CancelFunc
 	sp      obs.Span
 	hop     *obs.Hop
+}
+
+// discard releases whatever request bytes the job still holds: the
+// buffered payload, or the streamed source's queue.
+func (j job) discard() {
+	j.payload.Release()
+	if j.src != nil {
+		j.src.Abort()
+	}
 }
 
 // Server is the multiplexed server: it accepts connections, demultiplexes
@@ -210,7 +225,7 @@ func (s *Server[E]) worker() {
 			for {
 				select {
 				case j := <-s.jobs:
-					j.payload.Release()
+					j.discard()
 					j.sc.finish(j.stream, j.cancel)
 				default:
 					return
@@ -226,8 +241,12 @@ func (s *Server[E]) serveJob(j job) {
 	if j.ctx.Err() != nil {
 		// Cancelled while queued (client RST or connection death): the
 		// client is gone, so skip the dispatch entirely.
-		j.payload.Release()
+		j.discard()
 		s.obs.FinishHop(j.hop, j.ctx.Err())
+		return
+	}
+	if j.src != nil {
+		s.serveStreamedJob(j)
 		return
 	}
 	out, err := s.disp.DispatchPayload(j.ctx, j.payload, j.ct, &j.sp, j.hop)
@@ -257,6 +276,53 @@ func (s *Server[E]) serveJob(j job) {
 	s.obs.FinishHop(j.hop, nil)
 }
 
+// serveStreamedJob runs one chunked stream through the dispatcher: the
+// request decodes incrementally off the stream's queue, and the response
+// goes back chunked (when ChunkBytes is configured) or as one buffered
+// DATA frame. Protocol behavior is the shared dispatcher's either way.
+func (s *Server[E]) serveStreamedJob(j job) {
+	out := s.disp.DispatchStream(j.ctx, j.src, j.ct, &j.sp, j.hop)
+	if j.ctx.Err() != nil {
+		// Cancelled during decode or the handler: the client abandoned the
+		// stream, so the response has no reader worth a write.
+		s.obs.FinishHop(j.hop, j.ctx.Err())
+		return
+	}
+	ct := s.disp.Codec().ContentType()
+	if s.cfg.ChunkBytes > 0 {
+		sink := &srvChunkSink{sc: j.sc, stream: j.stream, ct: ct}
+		if err := s.disp.Codec().EncodeChunks(out, s.cfg.ChunkBytes, sink); err != nil {
+			sink.Abort()
+			s.obs.FinishHop(j.hop, err)
+			if s.cfg.ErrorLog != nil {
+				s.cfg.ErrorLog.Printf("muxbind: stream %d: %v", j.stream, err)
+			}
+			return
+		}
+		j.sp.Mark(obs.ServerSend)
+		s.obs.FinishHop(j.hop, nil)
+		return
+	}
+	p, err := s.disp.Codec().EncodePayload(out)
+	j.sp.Mark(obs.ServerEncode)
+	if err != nil {
+		s.obs.FinishHop(j.hop, err)
+		if s.cfg.ErrorLog != nil {
+			s.cfg.ErrorLog.Printf("muxbind: stream %d: %v", j.stream, err)
+		}
+		s.obs.Inc(obs.MuxResets)
+		s.obs.Event(obs.EvStreamReset, rstCodeName(RstInternal))
+		j.sc.enqueue(swrite{typ: fRst, stream: j.stream, code: RstInternal, detail: "response encoding failed"})
+		return
+	}
+	if err := j.sc.enqueue(swrite{typ: fData, stream: j.stream, payload: p, ct: ct}); err != nil {
+		s.obs.FinishHop(j.hop, err)
+		return
+	}
+	j.sp.Mark(obs.ServerSend)
+	s.obs.FinishHop(j.hop, nil)
+}
+
 // swrite is one frame queued for a connection's writer goroutine. DATA
 // payload ownership transfers with the struct; whoever dequeues (writer or
 // the failure drain) releases it.
@@ -267,6 +333,8 @@ type swrite struct {
 	ct      string
 	code    uint64
 	detail  string
+	first   bool // CHUNK
+	last    bool // CHUNK
 }
 
 // srvConn is the server side of one multiplexed connection: a reader doing
@@ -281,32 +349,44 @@ type srvConn struct {
 
 	// writeq capacity covers the worst conforming occupancy — one terminal
 	// frame (DATA or RST) per window slot, plus one client-cancel RST per
-	// slot — so enqueue under mu never needs to block; overflow means the
-	// peer is violating flow control and fails the connection.
+	// slot, plus the chunk pacing window — so enqueue under mu never needs
+	// to block; overflow means the peer is violating flow control and fails
+	// the connection.
 	writeq chan swrite
+	// chunkSlots paces chunked responses exactly as the client session's
+	// slots pace requests: one per queued CHUNK frame, returned at write.
+	chunkSlots chan struct{}
 	// credDue accumulates completed-stream credits between flushes; the
 	// writer folds them into a single CREDIT frame per batch.
 	credDue atomic.Int64
 	kick    chan struct{}
 	done    chan struct{}
 
-	mu       sync.Mutex
-	live     map[uint64]context.CancelFunc
+	mu   sync.Mutex
+	live map[uint64]context.CancelFunc
+	// chunkRx routes inbound request chunks to their stream's decoder; the
+	// read loop is the sole pusher.
+	chunkRx  map[uint64]*cstream
 	inflight int64
 	failed   error
 }
 
 func newSrvConn(conn net.Conn, jobs chan<- job, sctx context.Context, cfg Config, o *obs.Observer) *srvConn {
 	sc := &srvConn{
-		conn:   conn,
-		jobs:   jobs,
-		sctx:   sctx,
-		cfg:    cfg,
-		obs:    o,
-		writeq: make(chan swrite, 2*cfg.StreamCredit+8),
-		kick:   make(chan struct{}, 1),
-		done:   make(chan struct{}),
-		live:   make(map[uint64]context.CancelFunc),
+		conn:       conn,
+		jobs:       jobs,
+		sctx:       sctx,
+		cfg:        cfg,
+		obs:        o,
+		writeq:     make(chan swrite, 2*cfg.StreamCredit+maxChunkSlots+8),
+		chunkSlots: make(chan struct{}, maxChunkSlots),
+		kick:       make(chan struct{}, 1),
+		done:       make(chan struct{}),
+		live:       make(map[uint64]context.CancelFunc),
+		chunkRx:    make(map[uint64]*cstream),
+	}
+	for i := 0; i < maxChunkSlots; i++ {
+		sc.chunkSlots <- struct{}{}
 	}
 	// Advertise the initial window; until this flushes the client holds
 	// zero credits and cannot open a stream.
@@ -339,17 +419,39 @@ func (sc *srvConn) fail(err error) {
 		delete(sc.live, id)
 		cancel()
 	}
+	cvictims := make([]*cstream, 0, len(sc.chunkRx))
+	for id, c := range sc.chunkRx {
+		delete(sc.chunkRx, id)
+		cvictims = append(cvictims, c)
+	}
 	sc.obs.GaugeAdd(obs.MuxStreams, -sc.inflight)
 	sc.inflight = 0
 	for {
 		select {
 		case w := <-sc.writeq:
 			w.payload.Release()
+			if w.typ == fChunk {
+				sc.putChunkSlot()
+			}
 		default:
 			sc.mu.Unlock()
 			sc.conn.Close()
+			// Streamed decoders drain their queued chunks, then see the
+			// failure; their jobs complete through the usual worker path.
+			for _, c := range cvictims {
+				c.fail(sc.failed)
+			}
 			return
 		}
+	}
+}
+
+// putChunkSlot returns one response pacing slot (non-blocking; at most
+// maxChunkSlots are outstanding by construction).
+func (sc *srvConn) putChunkSlot() {
+	select {
+	case sc.chunkSlots <- struct{}{}:
+	default:
 	}
 }
 
@@ -425,15 +527,33 @@ func (sc *srvConn) readLoop() {
 			if !sc.admit(f) {
 				return
 			}
+		case fChunk:
+			sc.obs.Add(obs.BytesReceived, uint64(f.payload.Len()))
+			if f.last {
+				sc.obs.Inc(obs.MessagesReceived)
+			}
+			if f.first {
+				if !sc.admitChunk(f) {
+					return
+				}
+			} else {
+				sc.routeChunk(f)
+			}
 		case fRst:
 			// Client abandoned the stream: cancel its handler context. The
 			// worker still completes the stream (skipping the response), so
-			// the credit flows back on the usual path.
+			// the credit flows back on the usual path. A streamed request's
+			// decoder additionally gets the cancellation through its queue.
 			sc.mu.Lock()
 			if cancel, ok := sc.live[f.stream]; ok {
 				cancel()
 			}
+			c := sc.chunkRx[f.stream]
+			delete(sc.chunkRx, f.stream)
 			sc.mu.Unlock()
+			if c != nil {
+				c.fail(&core.TransportError{Op: "mux stream", Err: context.Canceled})
+			}
 		default:
 			// CREDIT and GOAWAY are server→client; a client sending one is
 			// broken, and there is no stream to reset it on.
@@ -495,6 +615,99 @@ func (sc *srvConn) admit(f frame) bool {
 	return true
 }
 
+// admitChunk runs admission control for a logical message's first CHUNK
+// frame. The policy is identical to admit — one flow-control credit per
+// logical message — plus registration of the stream's inbound chunk queue,
+// so the read loop can route the rest of the message while a worker decodes
+// it incrementally.
+func (sc *srvConn) admitChunk(f frame) bool {
+	sc.mu.Lock()
+	if sc.failed != nil {
+		sc.mu.Unlock()
+		f.payload.Release()
+		return false
+	}
+	if _, dup := sc.live[f.stream]; dup {
+		sc.mu.Unlock()
+		f.payload.Release()
+		sc.fail(fmt.Errorf("duplicate stream ID %d", f.stream))
+		return false
+	}
+	if sc.inflight >= int64(sc.cfg.StreamCredit) {
+		sc.mu.Unlock()
+		f.payload.Release()
+		sc.fail(fmt.Errorf("stream %d exceeds flow-control window %d", f.stream, sc.cfg.StreamCredit))
+		return false
+	}
+	hop := sc.obs.StartHop(obs.RoleServer)
+	sp := sc.obs.SpanWith(hop)
+	ctx, cancel := context.WithCancel(sc.sctx)
+	st := newCstream()
+	src := &srvChunkSource{sc: sc, stream: f.stream, st: st}
+	j := job{sc: sc, stream: f.stream, src: src, ct: f.ct, ctx: ctx, cancel: cancel, sp: sp, hop: hop}
+	select {
+	case sc.jobs <- j:
+		sc.live[f.stream] = cancel
+		if !f.last {
+			sc.chunkRx[f.stream] = st
+		}
+		sc.inflight++
+		sc.obs.Inc(obs.MuxStreamsOpened)
+		sc.obs.GaugeAdd(obs.MuxStreams, 1)
+		sc.obs.GaugeObserve(obs.MuxStreamsPerConn, sc.inflight)
+		sc.mu.Unlock()
+		st.push(chunkMsg{payload: f.payload, ct: f.ct, last: f.last}, 0)
+		return true
+	default:
+	}
+	// Queue full: shed, exactly as for a DATA frame. The message's remaining
+	// chunks find no chunkRx entry and drain silently on arrival.
+	sc.mu.Unlock()
+	cancel()
+	f.payload.Release()
+	sc.obs.Inc(obs.MuxSheds)
+	sc.obs.Event(obs.EvOverloadShed, fmt.Sprintf("stream %d", f.stream))
+	if err := sc.enqueue(swrite{typ: fRst, stream: f.stream, code: RstOverload, detail: "dispatch queue full"}); err != nil {
+		return false
+	}
+	sc.credDue.Add(1)
+	sc.kickWriter()
+	return true
+}
+
+// routeChunk delivers a continuation CHUNK frame to its stream's decoder.
+// Chunks for unknown streams (shed, aborted, completed) are released
+// silently, like late DATA frames. A stream whose queue exceeds
+// recvChunkWindow is shed mid-message rather than blocking the connection
+// reader: its decoder sees the failure through the queue, the handler
+// context is cancelled, and the job completes through the usual worker path.
+func (sc *srvConn) routeChunk(f frame) {
+	sc.mu.Lock()
+	st, ok := sc.chunkRx[f.stream]
+	if ok && f.last {
+		delete(sc.chunkRx, f.stream)
+	}
+	sc.mu.Unlock()
+	if !ok {
+		f.payload.Release()
+		return
+	}
+	if st.push(chunkMsg{payload: f.payload, last: f.last}, recvChunkWindow) {
+		return
+	}
+	f.payload.Release()
+	st.fail(&core.TransportError{Op: "mux stream", Err: fmt.Errorf("muxbind: stream %d exceeds receive window %d", f.stream, recvChunkWindow)})
+	sc.obs.Inc(obs.MuxSheds)
+	sc.obs.Event(obs.EvOverloadShed, fmt.Sprintf("stream %d chunk window", f.stream))
+	sc.mu.Lock()
+	delete(sc.chunkRx, f.stream)
+	cancel := sc.live[f.stream]
+	sc.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
 // writeLoop drains the write queue, coalescing every ready frame plus one
 // accumulated CREDIT grant into a single flush.
 func (sc *srvConn) writeLoop() {
@@ -532,6 +745,14 @@ func (sc *srvConn) writeOne(bw *bufio.Writer, w swrite) {
 		sc.obs.Inc(obs.MessagesSent)
 		sc.obs.Add(obs.BytesSent, uint64(w.payload.Len()))
 		w.payload.Release()
+	case fChunk:
+		writeChunk(bw, w.stream, w.payload.Bytes(), w.ct, w.first, w.last)
+		sc.obs.Add(obs.BytesSent, uint64(w.payload.Len()))
+		if w.last {
+			sc.obs.Inc(obs.MessagesSent)
+		}
+		w.payload.Release()
+		sc.putChunkSlot()
 	case fRst:
 		writeRst(bw, w.stream, w.code, w.detail)
 	}

@@ -44,6 +44,8 @@ type wreq struct {
 	ct      string
 	code    uint64
 	detail  string
+	first   bool // CHUNK
+	last    bool // CHUNK
 }
 
 // Session is one multiplexed connection: a reader goroutine demultiplexing
@@ -63,24 +65,38 @@ type Session struct {
 	// credits holds banked flow-control tokens; opening a stream consumes
 	// one, CREDIT frames replenish.
 	credits chan struct{}
-	done    chan struct{}
+	// chunkSlots paces chunked sends: writing a CHUNK frame to the queue
+	// takes a slot, the writer returns it once the frame is on the wire, so
+	// at most maxChunkSlots chunks sit queued per session regardless of how
+	// many streamed messages share it (see maxChunkSlots).
+	chunkSlots chan struct{}
+	done       chan struct{}
 
 	mu      sync.Mutex
 	streams map[uint64]chan result
-	nextID  uint64
-	active  int64
-	failed  error
+	// chunkStreams routes inbound response chunks for streamed exchanges.
+	// The reader is the sole pusher; the stream is removed when its last
+	// chunk (or terminal error) is routed.
+	chunkStreams map[uint64]*cstream
+	nextID       uint64
+	active       int64
+	failed       error
 }
 
 func newSession(conn net.Conn, o *obs.Observer) *Session {
 	s := &Session{
-		conn:    conn,
-		obs:     o,
-		writeq:  make(chan wreq, 2*maxClientCredits+8),
-		credits: make(chan struct{}, maxClientCredits),
-		done:    make(chan struct{}),
-		streams: make(map[uint64]chan result),
-		nextID:  1,
+		conn:         conn,
+		obs:          o,
+		writeq:       make(chan wreq, 2*maxClientCredits+maxChunkSlots+8),
+		credits:      make(chan struct{}, maxClientCredits),
+		chunkSlots:   make(chan struct{}, maxChunkSlots),
+		done:         make(chan struct{}),
+		streams:      make(map[uint64]chan result),
+		chunkStreams: make(map[uint64]*cstream),
+		nextID:       1,
+	}
+	for i := 0; i < maxChunkSlots; i++ {
+		s.chunkSlots <- struct{}{}
 	}
 	go s.readLoop()
 	go s.writeLoop()
@@ -132,6 +148,11 @@ func (s *Session) fail(op string, err error) {
 		delete(s.streams, id)
 		victims = append(victims, ch)
 	}
+	cvictims := make([]*cstream, 0, len(s.chunkStreams))
+	for id, c := range s.chunkStreams {
+		delete(s.chunkStreams, id)
+		cvictims = append(cvictims, c)
+	}
 	s.obs.GaugeAdd(obs.MuxStreams, -s.active)
 	s.active = 0
 	// Senders hold mu to enqueue and check failed first, so no new frames
@@ -140,6 +161,9 @@ func (s *Session) fail(op string, err error) {
 		select {
 		case w := <-s.writeq:
 			w.payload.Release()
+			if w.typ == fChunk {
+				s.putChunkSlot()
+			}
 		default:
 			drained = true
 		}
@@ -151,6 +175,20 @@ func (s *Session) fail(op string, err error) {
 	// can no longer stall everyone contending for mu.
 	for _, ch := range victims {
 		ch <- result{err: failed}
+	}
+	// Chunk streams get the error through their own queue: the consumer
+	// drains any chunks already routed, then surfaces the failure.
+	for _, c := range cvictims {
+		c.fail(failed)
+	}
+}
+
+// putChunkSlot returns one pacing slot. Non-blocking: at most maxChunkSlots
+// are ever outstanding, so the channel has room by construction.
+func (s *Session) putChunkSlot() {
+	select {
+	case s.chunkSlots <- struct{}{}:
+	default:
 	}
 }
 
@@ -240,7 +278,28 @@ func (s *Session) deliver(id uint64, r result) {
 		s.active--
 		s.obs.GaugeAdd(obs.MuxStreams, -1)
 	}
+	var c *cstream
+	if !ok {
+		if cc, cok := s.chunkStreams[id]; cok {
+			delete(s.chunkStreams, id)
+			s.active--
+			s.obs.GaugeAdd(obs.MuxStreams, -1)
+			c = cc
+		}
+	}
 	s.mu.Unlock()
+	if c != nil {
+		// A terminal frame for a streamed exchange: an RST fails the
+		// stream's queue; a DATA frame is a buffered peer's whole response
+		// (the fallback matrix's buffered-response cell), surfaced as one
+		// final chunk.
+		if r.err != nil {
+			c.fail(r.err)
+		} else {
+			c.push(chunkMsg{payload: r.payload, ct: r.ct, last: true}, 0)
+		}
+		return
+	}
 	if !ok {
 		r.payload.Release()
 		return
@@ -250,6 +309,25 @@ func (s *Session) deliver(id uint64, r result) {
 	// send cannot block, and the reader no longer holds every other
 	// stream's registrations hostage while handing one result over.
 	ch <- r
+}
+
+// deliverChunk routes one inbound response chunk. Chunks for unknown
+// streams are released silently — they trail an abandoned or failed
+// exchange, exactly like a late DATA frame.
+func (s *Session) deliverChunk(f frame) {
+	s.mu.Lock()
+	c, ok := s.chunkStreams[f.stream]
+	if ok && f.last {
+		delete(s.chunkStreams, f.stream)
+		s.active--
+		s.obs.GaugeAdd(obs.MuxStreams, -1)
+	}
+	s.mu.Unlock()
+	if !ok {
+		f.payload.Release()
+		return
+	}
+	c.push(chunkMsg{payload: f.payload, ct: f.ct, last: f.last}, 0)
 }
 
 // rstError classifies a received RST into the transport-error taxonomy.
@@ -281,6 +359,12 @@ func (s *Session) readLoop() {
 			s.obs.Inc(obs.MessagesReceived)
 			s.obs.Add(obs.BytesReceived, uint64(f.payload.Len()))
 			s.deliver(f.stream, result{payload: f.payload, ct: f.ct})
+		case fChunk:
+			s.obs.Add(obs.BytesReceived, uint64(f.payload.Len()))
+			if f.last {
+				s.obs.Inc(obs.MessagesReceived)
+			}
+			s.deliverChunk(f)
 		case fRst:
 			s.obs.Inc(obs.MuxResets)
 			s.obs.Event(obs.EvStreamReset, rstCodeName(f.code))
@@ -338,6 +422,14 @@ func (s *Session) writeOne(bw *bufio.Writer, w wreq) {
 		s.obs.Inc(obs.MessagesSent)
 		s.obs.Add(obs.BytesSent, uint64(w.payload.Len()))
 		w.payload.Release()
+	case fChunk:
+		writeChunk(bw, w.stream, w.payload.Bytes(), w.ct, w.first, w.last)
+		s.obs.Add(obs.BytesSent, uint64(w.payload.Len()))
+		if w.last {
+			s.obs.Inc(obs.MessagesSent)
+		}
+		w.payload.Release()
+		s.putChunkSlot()
 	case fRst:
 		writeRst(bw, w.stream, w.code, w.detail)
 	}

@@ -175,37 +175,45 @@ const (
 	TemplateEvictions
 	// TemplateCompiles counts plan compilations (successful or negative).
 	TemplateCompiles
+	// StreamChunksSent counts chunks handed to a transport by the streamed
+	// encode path (requests on clients, responses on servers).
+	StreamChunksSent
+	// StreamChunksReceived counts chunks consumed from a transport by the
+	// streamed decode path.
+	StreamChunksReceived
 
 	numCounters
 )
 
 var counterNames = [numCounters]string{
-	CallsStarted:      "client.calls_started",
-	CallsCompleted:    "client.calls_completed",
-	CallsFailed:       "client.calls_failed",
-	ClientFaults:      "client.faults",
-	ServerRequests:    "server.requests",
-	ServerFaults:      "server.faults",
-	PayloadPoolHits:   "payload.pool_hits",
-	PayloadPoolMisses: "payload.pool_misses",
-	PoolRetries:       "svcpool.retries",
-	PoolRetirements:   "svcpool.retirements",
-	BreakerOpened:     "svcpool.breaker_opened",
-	BreakerProbes:     "svcpool.breaker_probes",
-	BreakerClosed:     "svcpool.breaker_closed",
-	MessagesSent:      "binding.messages_sent",
-	MessagesReceived:  "binding.messages_received",
-	BytesSent:         "binding.bytes_sent",
-	BytesReceived:     "binding.bytes_received",
-	NetTurnarounds:    "netsim.turnarounds",
-	NetBytes:          "netsim.bytes",
-	MuxStreamsOpened:  "mux.streams_opened",
-	MuxSheds:          "mux.sheds",
-	MuxResets:         "mux.resets",
-	TemplateHits:      "templates.hits",
-	TemplateMisses:    "templates.misses",
-	TemplateEvictions: "templates.evictions",
-	TemplateCompiles:  "templates.compiles",
+	CallsStarted:         "client.calls_started",
+	CallsCompleted:       "client.calls_completed",
+	CallsFailed:          "client.calls_failed",
+	ClientFaults:         "client.faults",
+	ServerRequests:       "server.requests",
+	ServerFaults:         "server.faults",
+	PayloadPoolHits:      "payload.pool_hits",
+	PayloadPoolMisses:    "payload.pool_misses",
+	PoolRetries:          "svcpool.retries",
+	PoolRetirements:      "svcpool.retirements",
+	BreakerOpened:        "svcpool.breaker_opened",
+	BreakerProbes:        "svcpool.breaker_probes",
+	BreakerClosed:        "svcpool.breaker_closed",
+	MessagesSent:         "binding.messages_sent",
+	MessagesReceived:     "binding.messages_received",
+	BytesSent:            "binding.bytes_sent",
+	BytesReceived:        "binding.bytes_received",
+	NetTurnarounds:       "netsim.turnarounds",
+	NetBytes:             "netsim.bytes",
+	MuxStreamsOpened:     "mux.streams_opened",
+	MuxSheds:             "mux.sheds",
+	MuxResets:            "mux.resets",
+	TemplateHits:         "templates.hits",
+	TemplateMisses:       "templates.misses",
+	TemplateEvictions:    "templates.evictions",
+	TemplateCompiles:     "templates.compiles",
+	StreamChunksSent:     "stream.chunks_sent",
+	StreamChunksReceived: "stream.chunks_received",
 }
 
 // String returns the counter's snapshot/JSON name.
@@ -239,16 +247,23 @@ const (
 	// template cache (negative entries included); bounded by the cache
 	// capacity.
 	TemplatePlans
+	// StreamBytesInFlight tracks bytes of chunk payloads sitting in this
+	// node's streaming queues — produced by an encoder or received off the
+	// wire but not yet consumed. Its high-water mark is the streaming
+	// pipeline's actual buffering footprint, which the chunk-window budget
+	// bounds.
+	StreamBytesInFlight
 
 	numGauges
 )
 
 var gaugeNames = [numGauges]string{
-	PayloadsInUse:     "payload.in_use",
-	PoolInflight:      "svcpool.inflight",
-	MuxStreams:        "mux.streams",
-	MuxStreamsPerConn: "mux.streams_per_conn",
-	TemplatePlans:     "templates.plans",
+	PayloadsInUse:       "payload.in_use",
+	PoolInflight:        "svcpool.inflight",
+	MuxStreams:          "mux.streams",
+	MuxStreamsPerConn:   "mux.streams_per_conn",
+	TemplatePlans:       "templates.plans",
+	StreamBytesInFlight: "stream.bytes_in_flight",
 }
 
 // String returns the gauge's snapshot/JSON name.

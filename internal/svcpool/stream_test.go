@@ -1,0 +1,99 @@
+package svcpool
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bxsoap/internal/bxdm"
+	"bxsoap/internal/core"
+	"bxsoap/internal/tcpbind"
+)
+
+// streamEnvelope builds a request large enough to span many chunks at the
+// test's chunk size.
+func streamEnvelope(n int) (*core.Envelope, bxdm.Node) {
+	items := make([]int32, n)
+	for i := range items {
+		items[i] = int32(i * 7)
+	}
+	el := bxdm.NewArray(bxdm.QName{Local: "a"}, items)
+	return core.NewEnvelope(el), el
+}
+
+// waitPayloadsSettled polls for the streaming machinery's async teardown to
+// release its payloads before the leak assertion.
+func waitPayloadsSettled(t *testing.T, baseline int64) {
+	t.Helper()
+	for i := 0; i < 200; i++ {
+		if core.PayloadsInUse() == baseline {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Errorf("PayloadsInUse = %d, want baseline %d", core.PayloadsInUse(), baseline)
+}
+
+// TestStreamedReplayOrAbort exercises the pool's streamed retry contract
+// end to end over BXSA/TCP: a per-call deadline expires mid-streamed
+// exchange, the attempt aborts and poisons the connection, and the retry
+// re-streams the request from the envelope tree on a fresh dial. The
+// envelope — not a buffered payload — is the replay source, so nothing
+// leaks across the aborted attempt.
+func TestStreamedReplayOrAbort(t *testing.T) {
+	baseline := core.PayloadsInUse()
+	var calls atomic.Int32
+	l, err := tcpbind.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := core.NewServer(core.BXSAEncoding{}, l,
+		func(_ context.Context, req *core.Envelope) (*core.Envelope, error) {
+			if calls.Add(1) == 2 {
+				// Stall exactly one request past the client's deadline.
+				time.Sleep(300 * time.Millisecond)
+			}
+			return core.NewEnvelope(req.Body()), nil
+		}, core.WithStreaming(16<<10))
+	go srv.Serve()
+	defer srv.Close()
+
+	p := New(func(context.Context) (*core.Engine[core.BXSAEncoding, *tcpbind.Binding], error) {
+		return core.NewEngine(core.BXSAEncoding{},
+			tcpbind.New(tcpbind.NetDialer, l.Addr().String()),
+			core.WithStreaming(16<<10)), nil
+	}, Config{MaxConns: 1, CallTimeout: 2 * time.Second, Retry: RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Millisecond}})
+	defer p.Close()
+	ctx := context.Background()
+
+	req, want := streamEnvelope(100_000) // ~400 KiB of array data ≫ chunk size
+	resp, err := p.Call(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bxdm.Equal(resp.Body(), want) {
+		t.Fatal("streamed echo through pool differs")
+	}
+
+	// Second call: the first attempt stalls past a short deadline, the
+	// pool retires the poisoned connection, and the retry replays the
+	// stream on a fresh dial against the now-fast handler.
+	short := New(func(context.Context) (*core.Engine[core.BXSAEncoding, *tcpbind.Binding], error) {
+		return core.NewEngine(core.BXSAEncoding{},
+			tcpbind.New(tcpbind.NetDialer, l.Addr().String()),
+			core.WithStreaming(16<<10)), nil
+	}, Config{MaxConns: 1, CallTimeout: 80 * time.Millisecond, Retry: RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Millisecond}})
+	defer short.Close()
+	resp, err = short.Call(ctx, req)
+	if err != nil {
+		t.Fatalf("retry after mid-stream timeout: %v", err)
+	}
+	if !bxdm.Equal(resp.Body(), want) {
+		t.Fatal("replayed streamed echo differs")
+	}
+	if st := short.Stats(); st.Retires == 0 {
+		t.Errorf("timed-out streamed conn not retired: %+v", st)
+	}
+	waitPayloadsSettled(t, baseline)
+}

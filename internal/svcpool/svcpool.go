@@ -166,6 +166,17 @@ func (p *Pool[E, B]) call(ctx context.Context, req *core.Envelope, retry bool) (
 		}
 	}()
 	err := p.do(ctx, retry, func(actx context.Context, eng *core.Engine[E, B]) error {
+		if eng.Streaming() > 0 {
+			// Streamed replay-or-abort: a streamed request has no
+			// materialized payload to replay — its chunks were consumed by
+			// the transport — so the envelope tree is the replay source and
+			// each attempt re-streams the encode through its fresh
+			// connection. An attempt that fails mid-stream aborts its sink
+			// (poisoning only that connection) before the retry starts over.
+			var err error
+			resp, err = eng.CallStream(actx, req)
+			return err
+		}
 		// Encode lazily on the first attempt (every engine from one factory
 		// shares the encoding policy), then replay the same pooled payload on
 		// retries: CallPayload borrows it, so one serialization serves the

@@ -1,0 +1,231 @@
+package tcpbind
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"bxsoap/internal/core"
+	"bxsoap/internal/obs"
+)
+
+// Chunked transfer (wire version 0x03, see the package doc): one message
+// flows as a sequence of flagged sub-frames, each flushed as it is handed
+// over, so the first chunk reaches the peer while later chunks are still
+// being encoded. The binding's one-exchange-at-a-time contract is
+// unchanged — a chunked exchange is still one exchange; the sink and
+// source take b.mu per operation, so the lock is never held across the
+// producer's or consumer's own work.
+//
+// Failure handling follows the buffered path's discipline: any mid-stream
+// failure or abort leaves the stream position unknown, so the client
+// binding poisons itself and the server channel marks its receive side
+// dead (the response side stays usable for exactly one fault).
+
+// SendRequestStream implements core.StreamBinding. The returned sink
+// writes each chunk as a sub-frame and flushes it; the caller must finish
+// with a last chunk or Abort.
+func (b *Binding) SendRequestStream(ctx context.Context, contentType string) (core.ChunkSink, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.poisoned {
+		return nil, fmt.Errorf("tcpbind: %w", core.ErrBindingPoisoned)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := b.ensure(); err != nil {
+		return nil, err
+	}
+	if err := applyDeadline(ctx, b.conn.SetWriteDeadline); err != nil {
+		return nil, b.poison("set write deadline", err)
+	}
+	if err := writeHeader(b.bw, versionChunked, contentType); err != nil {
+		return nil, b.poison("write chunked header", err)
+	}
+	return &clientSink{b: b}, nil
+}
+
+type clientSink struct{ b *Binding }
+
+//paylint:transfers
+func (s *clientSink) WriteChunk(p *core.Payload, last bool) error {
+	b := s.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	defer p.Release()
+	if b.poisoned {
+		return fmt.Errorf("tcpbind: %w", core.ErrBindingPoisoned)
+	}
+	if err := writeChunkFrame(b.bw, p.Bytes(), last); err != nil {
+		return b.poison("write chunk", err)
+	}
+	b.obs.Add(obs.BytesSent, uint64(p.Len()))
+	if last {
+		b.obs.Inc(obs.MessagesSent)
+	}
+	return nil
+}
+
+func (s *clientSink) Abort() {
+	b := s.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.poisoned {
+		b.poison("abort chunked request", errors.New("stream aborted"))
+	}
+}
+
+// ReceiveResponseStream implements core.StreamBinding. A buffered
+// (version 0x01) response surfaces as a one-chunk source, so a streaming
+// client interoperates with a buffered server.
+func (b *Binding) ReceiveResponseStream(ctx context.Context) (core.ChunkSource, string, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.poisoned {
+		return nil, "", fmt.Errorf("tcpbind: %w", core.ErrBindingPoisoned)
+	}
+	if b.conn == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, "", err
+		}
+		return nil, "", errors.New("tcpbind: no request in flight")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, "", b.poison("abandon response", err)
+	}
+	if err := applyDeadline(ctx, b.conn.SetReadDeadline); err != nil {
+		return nil, "", b.poison("set read deadline", err)
+	}
+	ver, ct, err := b.fr.readHeader(b.br)
+	if err != nil {
+		return nil, "", b.poison("read response header", err)
+	}
+	if ver == version {
+		payload, err := readBuffered(b.br)
+		if err != nil {
+			return nil, "", b.poison("read response", err)
+		}
+		b.obs.Inc(obs.MessagesReceived)
+		b.obs.Add(obs.BytesReceived, uint64(payload.Len()))
+		return core.OneChunkSource(payload), ct, nil
+	}
+	return &clientSource{b: b}, ct, nil
+}
+
+type clientSource struct{ b *Binding }
+
+//paylint:returns owned
+func (s *clientSource) ReadChunk() (*core.Payload, bool, error) {
+	b := s.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.poisoned {
+		return nil, false, fmt.Errorf("tcpbind: %w", core.ErrBindingPoisoned)
+	}
+	p, last, err := readChunkFrame(b.br)
+	if err != nil {
+		return nil, false, b.poison("read chunk", err)
+	}
+	b.obs.Add(obs.BytesReceived, uint64(p.Len()))
+	if last {
+		b.obs.Inc(obs.MessagesReceived)
+	}
+	return p, last, nil
+}
+
+func (s *clientSource) Abort() {
+	b := s.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.poisoned {
+		b.poison("abort chunked response", errors.New("stream aborted"))
+	}
+}
+
+// ReceiveRequestStream implements core.StreamChannel. A buffered request
+// surfaces as a one-chunk source.
+func (c *channel) ReceiveRequestStream(_ context.Context) (core.ChunkSource, string, error) {
+	if c.rxDead {
+		return nil, "", io.EOF
+	}
+	ver, ct, err := c.fr.readHeader(c.br)
+	if err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, "", io.EOF
+		}
+		return nil, "", &core.TransportError{Op: "receive request", Err: err}
+	}
+	if ver == version {
+		payload, err := readBuffered(c.br)
+		if err != nil {
+			return nil, "", &core.TransportError{Op: "receive request", Err: err}
+		}
+		c.obs.Inc(obs.MessagesReceived)
+		c.obs.Add(obs.BytesReceived, uint64(payload.Len()))
+		return core.OneChunkSource(payload), ct, nil
+	}
+	return &srvSource{c: c}, ct, nil
+}
+
+type srvSource struct{ c *channel }
+
+//paylint:returns owned
+func (s *srvSource) ReadChunk() (*core.Payload, bool, error) {
+	c := s.c
+	if c.rxDead {
+		return nil, false, io.EOF
+	}
+	p, last, err := readChunkFrame(c.br)
+	if err != nil {
+		c.rxDead = true
+		return nil, false, &core.TransportError{Op: "receive chunk", Err: err}
+	}
+	c.obs.Add(obs.BytesReceived, uint64(p.Len()))
+	if last {
+		c.obs.Inc(obs.MessagesReceived)
+	}
+	return p, last, nil
+}
+
+// Abort marks the receive side desynchronized without closing the
+// connection: the server still sends one buffered fault for the failed
+// request, and the channel ends at the next receive.
+func (s *srvSource) Abort() { s.c.rxDead = true }
+
+// SendResponseStream implements core.StreamChannel.
+func (c *channel) SendResponseStream(contentType string) (core.ChunkSink, error) {
+	if err := writeHeader(c.bw, versionChunked, contentType); err != nil {
+		return nil, &core.TransportError{Op: "send response header", Err: err}
+	}
+	return &srvSink{c: c}, nil
+}
+
+type srvSink struct{ c *channel }
+
+//paylint:transfers
+func (s *srvSink) WriteChunk(p *core.Payload, last bool) error {
+	c := s.c
+	defer p.Release()
+	if err := writeChunkFrame(c.bw, p.Bytes(), last); err != nil {
+		return &core.TransportError{Op: "send chunk", Err: err}
+	}
+	c.obs.Add(obs.BytesSent, uint64(p.Len()))
+	if last {
+		c.obs.Inc(obs.MessagesSent)
+	}
+	return nil
+}
+
+// Abort tears the connection down: a half-written response cannot be
+// completed or followed by anything parseable.
+func (s *srvSink) Abort() {
+	s.c.rxDead = true
+	s.c.conn.Close()
+}
+
+var (
+	_ core.StreamBinding = (*Binding)(nil)
+	_ core.StreamChannel = (*channel)(nil)
+)

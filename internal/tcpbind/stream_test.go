@@ -1,0 +1,110 @@
+package tcpbind
+
+import (
+	"context"
+	"testing"
+
+	"bxsoap/internal/bxdm"
+	"bxsoap/internal/core"
+)
+
+// bigArrayEnvelope builds a request whose body is a packed int32 array
+// large enough to span many chunks at small windows.
+func bigArrayEnvelope(n int) (*core.Envelope, bxdm.Node) {
+	items := make([]int32, n)
+	for i := range items {
+		items[i] = int32(i * 3)
+	}
+	el := bxdm.NewArray(bxdm.QName{Local: "a"}, items)
+	return core.NewEnvelope(el), el
+}
+
+// echoServer starts a streamed-or-buffered echo server over real TCP and
+// returns its address plus a closer.
+func echoServer(t *testing.T, opts ...core.ServerOption) (string, func()) {
+	t.Helper()
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := core.NewServer(core.BXSAEncoding{}, l,
+		func(_ context.Context, req *core.Envelope) (*core.Envelope, error) {
+			return core.NewEnvelope(req.Body()), nil
+		}, opts...)
+	go srv.Serve()
+	return l.Addr().String(), func() { srv.Close() }
+}
+
+func callOnce(t *testing.T, addr string, opts ...core.EngineOption) {
+	t.Helper()
+	eng := core.NewEngine(core.BXSAEncoding{}, New(NetDialer, addr), opts...)
+	defer eng.Close()
+	req, want := bigArrayEnvelope(200_000) // ~800 KiB of array data
+	for i := 0; i < 2; i++ {               // second call checks stream framing resyncs
+		resp, err := eng.Call(context.Background(), req)
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if !bxdm.Equal(resp.Body(), want) {
+			t.Fatalf("call %d: echoed body differs", i)
+		}
+	}
+}
+
+// TestStreamedExchange runs the full fallback matrix for one (encoding,
+// transport) cell: both sides streaming, and each side streaming alone
+// against a buffered peer. Every combination must round-trip the same tree.
+func TestStreamedExchange(t *testing.T) {
+	stream := core.WithStreaming(32 << 10)
+	cases := []struct {
+		name    string
+		srvOpts []core.ServerOption
+		engOpts []core.EngineOption
+	}{
+		{"both streamed", []core.ServerOption{stream}, []core.EngineOption{stream}},
+		{"client streamed, server buffered", nil, []core.EngineOption{stream}},
+		{"client buffered, server streamed", []core.ServerOption{stream}, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			addr, stop := echoServer(t, tc.srvOpts...)
+			defer stop()
+			callOnce(t, addr, tc.engOpts...)
+		})
+	}
+}
+
+// TestStreamedFaultAfterBadRequest checks the decode-failure path: a
+// request the server cannot decode draws a fault (sent on the still-usable
+// response side), and the channel then ends instead of desynchronizing.
+func TestStreamedFaultAfterBadRequest(t *testing.T) {
+	addr, stop := echoServer(t, core.WithStreaming(16<<10))
+	defer stop()
+
+	b := New(NetDialer, addr)
+	defer b.Close()
+	sink, err := b.SendRequestStream(context.Background(), "application/x-bxsa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	junk := core.NewPayloadFrom([]byte("this is not a bxsa frame"))
+	if err := sink.WriteChunk(junk, true); err != nil {
+		t.Fatal(err)
+	}
+	src, _, err := b.ReceiveResponseStream(context.Background())
+	if err != nil {
+		t.Fatalf("no response to bad request: %v", err)
+	}
+	p, err := core.GatherChunks(src)
+	if err != nil {
+		t.Fatalf("gather fault: %v", err)
+	}
+	env, err := core.NewCodec(core.BXSAEncoding{}).DecodePayload(p)
+	p.Release()
+	if err != nil {
+		t.Fatalf("decode fault: %v", err)
+	}
+	if f := core.FaultFromEnvelope(env); f == nil {
+		t.Fatal("bad request did not draw a fault")
+	}
+}

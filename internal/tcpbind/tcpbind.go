@@ -4,7 +4,7 @@
 // survive the stream. This is the binding behind the paper's fastest
 // scheme, SOAP over BXSA/TCP.
 //
-// Wire format per message:
+// Wire format per message (buffered, version 0x01):
 //
 //	magic   2 bytes  "BX"
 //	version 1 byte   0x01
@@ -12,6 +12,19 @@
 //	ct      bytes
 //	len     VLS      payload length
 //	payload bytes
+//
+// Chunked form (version 0x03), used by the streaming pipeline: the header
+// is the same through ct, followed by one or more sub-frames
+//
+//	flags   1 byte   bit0 = last chunk, other bits reserved (must be zero)
+//	len     VLS      chunk length (may be zero)
+//	payload bytes
+//
+// ending with the first flags byte with bit0 set. Either peer may send
+// either form: a buffered receiver gathers a chunked message into one
+// payload (capped at MaxFrameSize), and a streaming receiver surfaces a
+// buffered message as a one-chunk stream, so the two interoperate in every
+// combination (the DESIGN.md fallback matrix).
 //
 // Wire failures escape this package classified (core.TransportError /
 // core.ErrBindingPoisoned); paylint's errclass analyzer enforces that via
@@ -61,6 +74,10 @@ func applyOptions(opts []Option) options {
 const (
 	magic0, magic1 = 'B', 'X'
 	version        = 0x01
+	versionChunked = 0x03
+
+	// chunkLast marks a sub-frame as the message's final chunk.
+	chunkLast = 0x01
 
 	// MaxFrameSize bounds a single frame's payload; larger length prefixes
 	// are rejected before any allocation, guarding against hostile or
@@ -237,13 +254,9 @@ func (b *Binding) Close() error {
 }
 
 func writeFrame(w *bufio.Writer, payload []byte, contentType string) error {
-	w.WriteByte(magic0)
-	w.WriteByte(magic1)
-	w.WriteByte(version)
-	if _, err := vls.WriteUint(w, uint64(len(contentType))); err != nil {
+	if err := writeHeader(w, version, contentType); err != nil {
 		return err
 	}
-	w.WriteString(contentType)
 	if _, err := vls.WriteUint(w, uint64(len(payload))); err != nil {
 		return err
 	}
@@ -263,52 +276,148 @@ type frameReader struct {
 	lastCT    string
 }
 
-// readFrame reads one frame; the caller owns the returned payload.
+// readFrame reads one complete frame of either wire form, gathering a
+// chunked message into a single payload; the caller owns the returned
+// payload.
 //
 //paylint:returns owned
 func (f *frameReader) readFrame(r *bufio.Reader) (*core.Payload, string, error) {
-	var hdr [3]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	ver, ct, err := f.readHeader(r)
+	if err != nil {
 		return nil, "", err
 	}
-	if hdr[0] != magic0 || hdr[1] != magic1 {
-		return nil, "", fmt.Errorf("tcpbind: bad frame magic %x", hdr[:2])
+	if ver == version {
+		payload, err := readBuffered(r)
+		return payload, ct, err
 	}
-	if hdr[2] != version {
-		return nil, "", fmt.Errorf("tcpbind: unsupported frame version %d", hdr[2])
+	// Chunked message, buffered receiver: gather, capped at the same bound
+	// a buffered frame honors.
+	payload := core.NewPayload(0)
+	for {
+		c, last, err := readChunkFrame(r)
+		if err != nil {
+			payload.Release()
+			return nil, "", err
+		}
+		if payload.Len()+c.Len() > MaxFrameSize {
+			c.Release()
+			payload.Release()
+			return nil, "", fmt.Errorf("tcpbind: chunked message exceeds %d bytes", MaxFrameSize)
+		}
+		payload.Write(c.Bytes())
+		c.Release()
+		if last {
+			return payload, ct, nil
+		}
+	}
+}
+
+// readHeader reads the message header through the content type and returns
+// the wire version (buffered or chunked).
+func (f *frameReader) readHeader(r *bufio.Reader) (byte, string, error) {
+	var hdr [3]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, "", err
+	}
+	if hdr[0] != magic0 || hdr[1] != magic1 {
+		return 0, "", fmt.Errorf("tcpbind: bad frame magic %x", hdr[:2])
+	}
+	if hdr[2] != version && hdr[2] != versionChunked {
+		return 0, "", fmt.Errorf("tcpbind: unsupported frame version %d", hdr[2])
 	}
 	ctLen, err := vls.ReadUint(r)
 	if err != nil {
-		return nil, "", err
+		return 0, "", err
 	}
 	// Both length prefixes are validated BEFORE any buffer is sized from
 	// them; a hostile prefix can never trigger a large make().
 	if ctLen > maxContentTypeLen {
-		return nil, "", fmt.Errorf("tcpbind: content-type length %d too large", ctLen)
+		return 0, "", fmt.Errorf("tcpbind: content-type length %d too large", ctLen)
 	}
 	ctBytes := f.ctScratch[:ctLen]
 	if _, err := io.ReadFull(r, ctBytes); err != nil {
-		return nil, "", err
+		return 0, "", err
 	}
 	ct := f.lastCT
 	if string(ctBytes) != ct {
 		ct = string(ctBytes)
 		f.lastCT = ct
 	}
+	return hdr[2], ct, nil
+}
+
+// readBuffered reads a version-0x01 frame body.
+//
+//paylint:returns owned
+func readBuffered(r *bufio.Reader) (*core.Payload, error) {
 	n, err := vls.ReadUint(r)
 	if err != nil {
-		return nil, "", err
+		return nil, err
 	}
 	if n > MaxFrameSize {
-		return nil, "", fmt.Errorf("tcpbind: frame length %d exceeds limit", n)
+		return nil, fmt.Errorf("tcpbind: frame length %d exceeds limit", n)
 	}
 	// ReadPayload grows chunk-by-chunk as bytes arrive, bounding what a
 	// lying-but-in-range length can allocate ahead of real data.
+	return core.ReadPayload(r, int64(n), MaxFrameSize)
+}
+
+// readChunkFrame reads one version-0x03 sub-frame. The same pre-allocation
+// bound applies per chunk: the declared length is validated first and the
+// payload grows as bytes actually arrive.
+//
+//paylint:returns owned
+func readChunkFrame(r *bufio.Reader) (*core.Payload, bool, error) {
+	flags, err := r.ReadByte()
+	if err != nil {
+		return nil, false, err
+	}
+	if flags&^byte(chunkLast) != 0 {
+		return nil, false, fmt.Errorf("tcpbind: reserved chunk flag bits %#x set", flags)
+	}
+	n, err := vls.ReadUint(r)
+	if err != nil {
+		return nil, false, err
+	}
+	if n > MaxFrameSize {
+		return nil, false, fmt.Errorf("tcpbind: chunk length %d exceeds limit", n)
+	}
 	payload, err := core.ReadPayload(r, int64(n), MaxFrameSize)
 	if err != nil {
-		return nil, "", err
+		return nil, false, err
 	}
-	return payload, ct, nil
+	return payload, flags&chunkLast != 0, nil
+}
+
+// writeHeader writes the message header (either version) through ct.
+func writeHeader(w *bufio.Writer, ver byte, contentType string) error {
+	w.WriteByte(magic0)
+	w.WriteByte(magic1)
+	w.WriteByte(ver)
+	if _, err := vls.WriteUint(w, uint64(len(contentType))); err != nil {
+		return err
+	}
+	_, err := w.WriteString(contentType)
+	return err
+}
+
+// writeChunkFrame writes one sub-frame and flushes — each chunk should hit
+// the wire as soon as the producer hands it over; holding chunks back in
+// the write buffer would forfeit exactly the first-byte latency the
+// chunked form exists for.
+func writeChunkFrame(w *bufio.Writer, payload []byte, last bool) error {
+	var flags byte
+	if last {
+		flags = chunkLast
+	}
+	w.WriteByte(flags)
+	if _, err := vls.WriteUint(w, uint64(len(payload))); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	return w.Flush()
 }
 
 // Listener is the server-side TCP binding.
@@ -361,6 +470,11 @@ type channel struct {
 	bw   *bufio.Writer
 	fr   frameReader
 	obs  *obs.Observer
+	// rxDead marks the receive side desynchronized (a chunked request was
+	// abandoned mid-stream). The send side still works — the server can
+	// deliver a fault for the failed request — but the next receive ends
+	// the channel as if the peer disconnected.
+	rxDead bool
 }
 
 // ReceiveRequest implements core.Channel. Ownership of the returned payload
@@ -368,6 +482,9 @@ type channel struct {
 //
 //paylint:returns owned
 func (c *channel) ReceiveRequest(_ context.Context) (*core.Payload, string, error) {
+	if c.rxDead {
+		return nil, "", io.EOF
+	}
 	payload, ct, err := c.fr.readFrame(c.br)
 	if err != nil {
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {

@@ -1,0 +1,239 @@
+package wssec
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"fmt"
+	"hash"
+
+	"bxsoap/internal/bxdm"
+	"bxsoap/internal/core"
+)
+
+// Streamed signing (the non-blocking mode, after "Non-Blocking Signature of
+// very large SOAP Messages"): instead of buffering the envelope to compute
+// the tag up front (BXS1 puts it in the header), the streamed frame is
+//
+//	[ "BXS2" chunk | inner chunk stream, HMAC'd as it passes | 32-byte tag chunk (last) ]
+//
+// so the first payload byte reaches the wire before the signature — or even
+// the full message — exists. Inner chunks are forwarded zero-copy; only the
+// rolling HMAC touches their bytes. The receive side forwards inner bytes
+// to the inner decoder as they arrive, holds back the trailing 32 bytes,
+// and compares the rolling HMAC against them once the stream ends —
+// DecodeChunks never returns a document that failed verification.
+//
+// The streamed bytes deliberately differ from BXS1 (the tag cannot lead
+// data it signs without buffering), so the two forms are distinguished by
+// magic: DecodeChunks accepts either, which is what lets a streaming
+// server interoperate with buffered clients.
+var magic2 = []byte("BXS2")
+
+// EncodeChunks implements core.StreamEncoding.
+func (s Secured[E]) EncodeChunks(doc *bxdm.Document, chunkBytes int, sink core.ChunkSink) error {
+	m := core.NewPayload(len(magic2))
+	m.Write(magic2)
+	if err := sink.WriteChunk(m, false); err != nil {
+		return err
+	}
+	ss := signingSink{sink: sink, mac: hmac.New(sha256.New, s.Key)}
+	if err := core.EncodeChunksOf(s.Inner, doc, chunkBytes, ss); err != nil {
+		return err
+	}
+	tag := core.NewPayload(sha256.Size)
+	tag.Write(ss.mac.Sum(nil))
+	return sink.WriteChunk(tag, true)
+}
+
+// signingSink forwards inner chunks through the rolling HMAC, demoting the
+// inner encoding's last flag — the signed stream ends with the tag chunk,
+// not the inner payload.
+type signingSink struct {
+	sink core.ChunkSink
+	mac  hash.Hash
+}
+
+//paylint:transfers
+func (s signingSink) WriteChunk(p *core.Payload, last bool) error {
+	s.mac.Write(p.Bytes())
+	return s.sink.WriteChunk(p, false)
+}
+
+func (s signingSink) Abort() { s.sink.Abort() }
+
+// DecodeChunks implements core.StreamEncoding. The first four bytes pick
+// the frame form: BXS2 verifies the rolling HMAC as inner bytes stream
+// through to the inner decoder; BXS1 (a buffered peer's message arriving
+// through a chunked transport) gathers and takes the buffered verify path.
+func (s Secured[E]) DecodeChunks(src core.ChunkSource) (*bxdm.Document, error) {
+	// The magic may span chunk boundaries; accumulate chunks until it is
+	// complete, remembering them for replay.
+	var pre []heldChunk
+	var hdr [4]byte
+	h := 0
+	sawLast := false
+	for h < len(hdr) && !sawLast {
+		c, last, err := src.ReadChunk()
+		if err != nil {
+			releaseHeld(pre)
+			return nil, err
+		}
+		pre = append(pre, heldChunk{c, last})
+		k := copy(hdr[h:], c.Bytes())
+		h += k
+		sawLast = last
+	}
+	if h < len(hdr) {
+		releaseHeld(pre)
+		return nil, fmt.Errorf("wssec: message too short for authentication frame")
+	}
+	switch {
+	case bytes.Equal(hdr[:], magic2):
+		vs := &verifySource{
+			src:     src,
+			pre:     pre,
+			mac:     hmac.New(sha256.New, s.Key),
+			skip:    len(magic2),
+			srcDone: sawLast,
+		}
+		doc, err := core.DecodeChunksOf(s.Inner, vs)
+		if err != nil {
+			vs.drop()
+			return nil, err
+		}
+		// The inner decoder consumed its full byte stream (its trailing
+		// check reads to EOF), so the tag hold-back is complete; nothing
+		// is released to the caller before this comparison passes.
+		if err := vs.verify(); err != nil {
+			return nil, err
+		}
+		return doc, nil
+	case bytes.Equal(hdr[:], magic):
+		p := core.NewPayload(0)
+		for _, hc := range pre {
+			p.Write(hc.p.Bytes())
+			hc.p.Release()
+		}
+		for !sawLast {
+			c, last, err := src.ReadChunk()
+			if err != nil {
+				p.Release()
+				return nil, err
+			}
+			p.Write(c.Bytes())
+			c.Release()
+			sawLast = last
+		}
+		doc, err := s.Decode(p.Bytes())
+		p.Release()
+		return doc, err
+	default:
+		releaseHeld(pre)
+		return nil, fmt.Errorf("wssec: missing authentication frame")
+	}
+}
+
+type heldChunk struct {
+	p    *core.Payload
+	last bool
+}
+
+func releaseHeld(hs []heldChunk) {
+	for _, h := range hs {
+		h.p.Release()
+	}
+}
+
+// verifySource sits between the transport and the inner decoder: it strips
+// the magic, holds back the final sha256.Size bytes (the tag), MACs
+// everything it forwards, and presents exactly the inner byte stream —
+// ending where the inner encoding expects EOF. Boundary shifting means one
+// copy per chunk on receive; the send side stays zero-copy.
+type verifySource struct {
+	src     core.ChunkSource
+	pre     []heldChunk // replayed before src is consulted
+	mac     hash.Hash
+	skip    int // magic bytes still to strip
+	tail    [sha256.Size]byte
+	tlen    int
+	srcDone bool // upstream delivered its last chunk
+	done    bool // we emitted our last chunk
+}
+
+//paylint:returns owned
+func (v *verifySource) ReadChunk() (*core.Payload, bool, error) {
+	if v.done {
+		return nil, false, fmt.Errorf("wssec: read past end of authenticated stream")
+	}
+	var c *core.Payload
+	last := false
+	if len(v.pre) > 0 {
+		c, last = v.pre[0].p, v.pre[0].last
+		v.pre = v.pre[1:]
+	} else {
+		if v.srcDone {
+			// Upstream ended while replaying pre; can't happen past here.
+			return nil, false, fmt.Errorf("wssec: truncated authenticated stream")
+		}
+		var err error
+		c, last, err = v.src.ReadChunk()
+		if err != nil {
+			return nil, false, err
+		}
+	}
+	b := c.Bytes()
+	if v.skip > 0 {
+		k := min(v.skip, len(b))
+		v.skip -= k
+		b = b[k:]
+	}
+	// Forward all but the newest sha256.Size bytes of tail+b; retain those
+	// as the candidate tag.
+	n := v.tlen + len(b)
+	fwd := n - sha256.Size
+	if fwd < 0 {
+		fwd = 0
+	}
+	if last && n < sha256.Size {
+		c.Release()
+		return nil, false, fmt.Errorf("wssec: message too short for authentication tag")
+	}
+	out := core.NewPayload(fwd)
+	k := min(fwd, v.tlen)
+	out.Write(v.tail[:k])
+	copy(v.tail[:], v.tail[k:v.tlen])
+	v.tlen -= k
+	k = fwd - k // bytes of b to forward
+	out.Write(b[:k])
+	v.tlen += copy(v.tail[v.tlen:], b[k:])
+	c.Release()
+	v.mac.Write(out.Bytes())
+	if last {
+		v.done = true
+	}
+	return out, last, nil
+}
+
+func (v *verifySource) Abort() { v.src.Abort() }
+
+// drop releases replay chunks still held after an inner decode error; the
+// caller aborts the transport source itself.
+func (v *verifySource) drop() {
+	releaseHeld(v.pre)
+	v.pre = nil
+}
+
+// verify compares the held-back tag with the rolling HMAC of everything
+// forwarded. Only valid once the stream fully drained (v.done).
+func (v *verifySource) verify() error {
+	if !v.done || v.tlen != sha256.Size {
+		return fmt.Errorf("wssec: authenticated stream not fully consumed")
+	}
+	if !hmac.Equal(v.tail[:], v.mac.Sum(nil)) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+var _ core.StreamEncoding = Secured[core.BXSAEncoding]{}

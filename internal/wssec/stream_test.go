@@ -1,0 +1,76 @@
+package wssec
+
+import (
+	"testing"
+
+	"bxsoap/internal/bxdm"
+	"bxsoap/internal/core"
+)
+
+func TestStreamSignSmoke(t *testing.T) {
+	items := make([]int32, 50000)
+	for i := range items {
+		items[i] = int32(i)
+	}
+	doc := &bxdm.Document{Children: []bxdm.Node{
+		bxdm.NewArray(bxdm.QName{Local: "a"}, items),
+	}}
+	key := []byte("0123456789abcdef")
+	s := Secure(core.BXSAEncoding{}, key)
+
+	pipe := core.NewChunkPipe(1024)
+	done := make(chan error, 1)
+	go func() { done <- core.EncodeChunksOf(s, doc, 8<<10, pipe) }()
+	got, err := core.DecodeChunksOf(s, pipe)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	want, _ := s.AppendEncode(nil, doc)
+	wantDoc, err := s.Decode(want)
+	if err != nil {
+		t.Fatalf("buffered decode: %v", err)
+	}
+	if !bxdm.Equal(got, wantDoc) {
+		t.Fatal("streamed tree != buffered tree")
+	}
+
+	// Tampered stream must fail with ErrBadSignature.
+	pipe2 := core.NewChunkPipe(1024)
+	tamper := tamperSink{pipe2}
+	go func() { done <- core.EncodeChunksOf(s, doc, 8<<10, tamper) }()
+	_, err = core.DecodeChunksOf(s, pipe2)
+	if err != ErrBadSignature {
+		t.Fatalf("tampered: got %v, want ErrBadSignature", err)
+	}
+	<-done
+
+	// BXS1 buffered bytes arriving as one chunk must verify too.
+	one := core.NewChunkPipe(1)
+	p := core.NewPayloadFrom(want)
+	if err := one.WriteChunk(p, true); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := core.DecodeChunksOf(s, one)
+	if err != nil {
+		t.Fatalf("BXS1 one-chunk: %v", err)
+	}
+	if !bxdm.Equal(got2, wantDoc) {
+		t.Fatal("BXS1 one-chunk tree mismatch")
+	}
+	if n := core.PayloadsInUse(); n != 0 {
+		t.Fatalf("leaked %d payloads", n)
+	}
+}
+
+type tamperSink struct{ s core.ChunkSink }
+
+func (t tamperSink) WriteChunk(p *core.Payload, last bool) error {
+	if !last && p.Len() > 100 {
+		p.Bytes()[50] ^= 1
+	}
+	return t.s.WriteChunk(p, last)
+}
+func (t tamperSink) Abort() { t.s.Abort() }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"slices"
 )
 
 // ByteOrder selects the wire byte order of an XBS stream.
@@ -535,6 +536,35 @@ func ReadArray[T Primitive](r *Reader, n int) ([]T, error) {
 		if err := r.readFull(buf[:c*size]); err != nil {
 			return nil, err
 		}
+		decodeInto(out[i:i+c], buf[:c*size], r.order)
+		i += c
+	}
+	return out, nil
+}
+
+// ReadArrayGrow reads n packed elements like ReadArray, but grows the
+// output slice batch-by-batch as data actually arrives instead of
+// allocating all n elements up front. Streaming decoders use it: their
+// element counts are bounded by a declared frame size rather than a
+// materialized buffer, so a hostile count must not translate into a large
+// allocation before the stream runs dry — here it costs at most one batch.
+func ReadArrayGrow[T Primitive](r *Reader, n int) ([]T, error) {
+	size := SizeOf[T]()
+	if err := r.Align(size); err != nil {
+		return nil, err
+	}
+	const chunkElems = 4096
+	out := make([]T, 0, min(n, chunkElems))
+	buf := make([]byte, min(n, chunkElems)*size)
+	for i := 0; i < n; {
+		c := n - i
+		if c > chunkElems {
+			c = chunkElems
+		}
+		if err := r.readFull(buf[:c*size]); err != nil {
+			return nil, err
+		}
+		out = slices.Grow(out, c)[:i+c]
 		decodeInto(out[i:i+c], buf[:c*size], r.order)
 		i += c
 	}
