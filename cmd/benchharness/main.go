@@ -10,8 +10,13 @@
 //	benchharness -exp mux             # stream-multiplexed vs pooled throughput at a fixed socket budget
 //	benchharness -exp templates       # schema-compiled plans: generic vs templated per-call cost
 //	benchharness -exp stream          # chunked pipeline: first-byte latency + throughput vs buffered
+//	benchharness -exp slo             # SLO burn-rate lifecycle: deterministic overload ramp, exits non-zero on breach
 //	benchharness -exp stages,mux      # comma-separated lists run several experiments
 //	benchharness -exp all -full       # everything, at the paper's full sizes
+//
+// -window N selects how many observation windows the stage/template tables
+// merge for their latency columns (default 1: the steady-state window the
+// harness rotates into after warm-up; 0 restores lifetime aggregates).
 //
 // -obs-json FILE additionally dumps the stage experiment's raw observability
 // snapshots (per-combo client+server counters, gauges, stage histograms) as a
@@ -38,12 +43,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment (comma-separated): table1, fig4, fig5, fig6, pool, stages, mux, templates, stream, or all")
+	exp := flag.String("exp", "all", "experiment (comma-separated): table1, fig4, fig5, fig6, pool, stages, mux, templates, stream, slo, or all")
 	full := flag.Bool("full", false, "run the complete model-size sweep (up to 5.59M pairs / 64MB; slow)")
 	iters := flag.Int("iters", 2, "measured iterations per point (minimum reported)")
 	sizesFlag := flag.String("sizes", "", "comma-separated model sizes overriding the experiment's default sweep")
 	obsJSON := flag.String("obs-json", "", "write the stage experiment's raw observability snapshots to FILE")
 	benchJSON := flag.String("bench-json", "", "write the stage experiment's machine-readable bench records (ns/op, B/op, allocs/op, stage means) to FILE")
+	window := flag.Int("window", 1, "observation windows merged into the stage/template latency columns (0 = lifetime)")
 	verbose := flag.Bool("v", false, "print per-point progress")
 	flag.Parse()
 
@@ -164,6 +170,7 @@ func main() {
 				Profile:   netsim.LAN,
 				ModelSize: 1000,
 				Calls:     max(*iters*10, 20),
+				Window:    *window,
 				Progress:  progress,
 			})
 			if err != nil {
@@ -191,6 +198,7 @@ func main() {
 				Profile:   netsim.LAN,
 				ModelSize: 1000,
 				Calls:     max(*iters*10, 20),
+				Window:    *window,
 				Progress:  progress,
 			})
 			if err != nil {
@@ -262,6 +270,17 @@ func main() {
 				}
 			}
 			harness.PrintStreamPoints(os.Stdout, points)
+			return nil
+		})
+	}
+
+	if want("slo") {
+		run("SLO burn-rate lifecycle: overload ramp on a simulated clock, BXSA/TCP, LAN", func() error {
+			report, err := harness.RunSLORamp(harness.SLORampConfig{Progress: progress})
+			if err != nil {
+				return err
+			}
+			harness.PrintSLORamp(os.Stdout, report)
 			return nil
 		})
 	}

@@ -22,7 +22,9 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"bxsoap/internal/core"
 	"bxsoap/internal/obs"
@@ -44,6 +46,87 @@ type Common struct {
 
 	Trace bool   // record request traces
 	Admin string // admin endpoint address
+
+	SLOs   SLOList // declared service-level objectives (-slo, repeatable)
+	SlowMS float64 // slow-trace threshold in ms (0 default, negative disables)
+}
+
+// SLOList collects repeated -slo flags, each an obs.SLO declaration in the
+// "op:p99=20ms,err=1%,burn=2" syntax of ParseSLO.
+type SLOList []obs.SLO
+
+// String implements flag.Value.
+func (l *SLOList) String() string {
+	var parts []string
+	for _, s := range *l {
+		parts = append(parts, s.Op)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Set implements flag.Value, parsing and appending one declaration.
+func (l *SLOList) Set(s string) error {
+	slo, err := ParseSLO(s)
+	if err != nil {
+		return err
+	}
+	*l = append(*l, slo)
+	return nil
+}
+
+// ParseSLO parses one service-level objective declaration:
+//
+//	op:p99=20ms,err=1%,burn=2
+//
+// op is the operation name (the request body's first-child local name).
+// p99 is a Go duration — the latency target; err is the permitted error
+// fraction, with or without a trailing %; burn overrides the burn-rate
+// firing threshold. At least one of p99 and err must be declared.
+func ParseSLO(s string) (obs.SLO, error) {
+	op, spec, ok := strings.Cut(s, ":")
+	if !ok || op == "" {
+		return obs.SLO{}, fmt.Errorf("slo %q: want op:p99=<duration>[,err=<fraction>%%][,burn=<rate>]", s)
+	}
+	slo := obs.SLO{Op: op}
+	for _, part := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return obs.SLO{}, fmt.Errorf("slo %q: bad objective %q: want key=value", s, part)
+		}
+		switch k {
+		case "p99":
+			d, err := time.ParseDuration(v)
+			if err != nil || d <= 0 {
+				return obs.SLO{}, fmt.Errorf("slo %q: bad p99 %q: want a positive duration", s, v)
+			}
+			slo.P99 = d
+		case "err":
+			pct := strings.HasSuffix(v, "%")
+			f, err := strconv.ParseFloat(strings.TrimSuffix(v, "%"), 64)
+			if err != nil || f < 0 {
+				return obs.SLO{}, fmt.Errorf("slo %q: bad err %q: want a non-negative fraction or percentage", s, v)
+			}
+			if pct {
+				f /= 100
+			}
+			if f > 1 {
+				return obs.SLO{}, fmt.Errorf("slo %q: err %q exceeds 100%%", s, v)
+			}
+			slo.MaxErrRate = f
+		case "burn":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f <= 0 {
+				return obs.SLO{}, fmt.Errorf("slo %q: bad burn %q: want a positive rate", s, v)
+			}
+			slo.Burn = f
+		default:
+			return obs.SLO{}, fmt.Errorf("slo %q: unknown objective %q (want p99, err, or burn)", s, k)
+		}
+	}
+	if slo.P99 <= 0 && slo.MaxErrRate <= 0 {
+		return obs.SLO{}, fmt.Errorf("slo %q: declares neither p99 nor err", s)
+	}
+	return slo, nil
 }
 
 // RegisterEndpoint declares the policy-selection flags: -encoding,
@@ -76,7 +159,14 @@ func RegisterTrace(fs *flag.FlagSet, c *Common) {
 
 // RegisterAdmin declares -admin.
 func RegisterAdmin(fs *flag.FlagSet, c *Common) {
-	fs.StringVar(&c.Admin, "admin", "", "serve /metrics, /trace/recent, /trace/slow, /events and /debug/pprof on this address")
+	fs.StringVar(&c.Admin, "admin", "", "serve /metrics, /slo, /trace/recent, /trace/slow, /events and /debug/pprof on this address")
+}
+
+// RegisterObs declares the observability-tuning flags: -slo (repeatable)
+// and -slow-ms.
+func RegisterObs(fs *flag.FlagSet, c *Common) {
+	fs.Var(&c.SLOs, "slo", "declare a service-level objective as op:p99=<duration>[,err=<fraction>%][,burn=<rate>]; repeatable, enables burn-rate alerting and dimensional per-operation metrics")
+	fs.Float64Var(&c.SlowMS, "slow-ms", 0, "flight-recorder slow-trace threshold in milliseconds (0 = default 1ms, tightened to any declared SLO p99; negative disables the slow ring)")
 }
 
 // Validate applies the cross-flag rules and normalizes defaults. Call it
@@ -149,12 +239,26 @@ func (c *Common) ServerOptions(o *obs.Observer, errLog *log.Logger) []core.Serve
 
 // NewObserver builds the process-wide observer with a flight recorder and
 // registers it as the payload-pool observer, the same composition every
-// command used to spell out.
-func NewObserver(node string) *obs.Observer {
-	o := obs.New(
+// command used to spell out. The shared flags shape it: -slow-ms seeds the
+// recorder's slow-trace threshold, -slo declarations install the burn-rate
+// engine (and auto-tighten that threshold to each objective's p99), and
+// declaring any SLO also switches on the dimensional per-operation series,
+// labeled with the process's encoding and transport selection.
+func (c *Common) NewObserver(node string) *obs.Observer {
+	rc := obs.RecorderConfig{}
+	if c.SlowMS != 0 {
+		rc.SlowThreshold = time.Duration(c.SlowMS * float64(time.Millisecond))
+	}
+	opts := []obs.Option{
 		obs.WithNode(node),
-		obs.WithRecorder(obs.NewRecorder(obs.RecorderConfig{})),
-	)
+		obs.WithRecorder(obs.NewRecorder(rc)),
+	}
+	if len(c.SLOs) > 0 {
+		opts = append(opts,
+			obs.WithDims(c.Encoding, c.Label()),
+			obs.WithSLOs(c.SLOs...))
+	}
+	o := obs.New(opts...)
 	core.SetPayloadObserver(o)
 	return o
 }

@@ -3,6 +3,9 @@ package cliconf
 import (
 	"flag"
 	"testing"
+	"time"
+
+	"bxsoap/internal/obs"
 )
 
 func parse(t *testing.T, args ...string) *Common {
@@ -12,6 +15,7 @@ func parse(t *testing.T, args ...string) *Common {
 	RegisterEndpoint(fs, c)
 	RegisterEngine(fs, c)
 	RegisterPool(fs, c)
+	RegisterObs(fs, c)
 	if err := fs.Parse(args); err != nil {
 		t.Fatal(err)
 	}
@@ -78,5 +82,86 @@ func TestParseEndpoint(t *testing.T) {
 		if _, err := ParseEndpoint(bad); err == nil {
 			t.Errorf("ParseEndpoint(%q) accepted", bad)
 		}
+	}
+}
+
+func TestParseSLO(t *testing.T) {
+	good := []struct {
+		in   string
+		want obs.SLO
+	}{
+		{"data:p99=5ms", obs.SLO{Op: "data", P99: 5 * time.Millisecond}},
+		{"data:p99=5ms,err=1%", obs.SLO{Op: "data", P99: 5 * time.Millisecond, MaxErrRate: 0.01}},
+		{"data:err=0.02", obs.SLO{Op: "data", MaxErrRate: 0.02}},
+		{"op:p99=1.5s,err=10%,burn=4", obs.SLO{Op: "op", P99: 1500 * time.Millisecond, MaxErrRate: 0.1, Burn: 4}},
+	}
+	for _, tc := range good {
+		got, err := ParseSLO(tc.in)
+		if err != nil {
+			t.Errorf("ParseSLO(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseSLO(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+
+	bad := []string{
+		"",                  // empty
+		"data",              // no objectives
+		":p99=5ms",          // empty op
+		"data:p99",          // no value
+		"data:p99=fast",     // bad duration
+		"data:p99=-5ms",     // negative target
+		"data:err=150%",     // over 100%
+		"data:err=-1%",      // negative
+		"data:burn=0",       // non-positive threshold
+		"data:p50=5ms",      // unknown objective
+		"data:burn=2",       // neither p99 nor err
+	}
+	for _, in := range bad {
+		if slo, err := ParseSLO(in); err == nil {
+			t.Errorf("ParseSLO(%q) = %+v, want error", in, slo)
+		}
+	}
+}
+
+// The repeatable -slo flag accumulates declarations in order.
+func TestSLOListFlag(t *testing.T) {
+	c := parse(t, "-slo", "data:p99=5ms", "-slo", "query:err=1%")
+	if len(c.SLOs) != 2 || c.SLOs[0].Op != "data" || c.SLOs[1].Op != "query" {
+		t.Fatalf("SLOs = %+v, want data then query", c.SLOs)
+	}
+}
+
+// NewObserver applies the observability flags: SLO declarations switch on
+// the dimensional registry and the burn-rate engine, and -slow-ms seeds
+// (or disables) the recorder's slow-trace threshold.
+func TestNewObserverAppliesObsFlags(t *testing.T) {
+	c := parse(t, "-slo", "data:p99=5ms", "-slow-ms", "25")
+	o := c.NewObserver("test")
+	if !o.Dimensional() {
+		t.Error("observer not dimensional despite a declared SLO")
+	}
+	if st := o.SLOStatus(); len(st) != 1 || st[0].Op != "data" {
+		t.Errorf("SLOStatus = %+v, want one entry for data", st)
+	}
+	// 25ms from the flag, tightened to the SLO's 5ms target.
+	if got := o.Recorder().SlowThreshold(); got != 5*time.Millisecond {
+		t.Errorf("slow threshold = %v, want 5ms", got)
+	}
+
+	c = parse(t, "-slow-ms", "-1")
+	if got := c.NewObserver("test").Recorder().SlowThreshold(); got >= 0 {
+		t.Errorf("slow threshold = %v, want negative (disabled)", got)
+	}
+
+	plain := parse(t)
+	o = plain.NewObserver("test")
+	if o.Dimensional() {
+		t.Error("observer dimensional with no SLOs declared")
+	}
+	if got := o.Recorder().SlowThreshold(); got != time.Millisecond {
+		t.Errorf("default slow threshold = %v, want 1ms", got)
 	}
 }

@@ -44,6 +44,7 @@ func main() {
 	cliconf.RegisterEngine(flag.CommandLine, c)
 	cliconf.RegisterPool(flag.CommandLine, c)
 	cliconf.RegisterTrace(flag.CommandLine, c)
+	cliconf.RegisterObs(flag.CommandLine, c)
 	addr := flag.String("addr", "127.0.0.1:8701", "server address")
 	n := flag.Int("n", 1000, "model size (number of (double,int) pairs)")
 	calls := flag.Int("calls", 5, "number of invocations to time")
@@ -53,14 +54,16 @@ func main() {
 		log.Fatalf("soapclient: %v", err)
 	}
 
-	// With -trace the pool runs under an observer carrying a flight
-	// recorder: every call starts a client hop, stamps the trace header
-	// onto the wire (so the server and any intermediary join the same
-	// trace), and lands in the recorder. Without it the observer is nil
-	// and the whole trace path is dormant.
+	// With -trace or any -slo the pool runs under an observer carrying a
+	// flight recorder: every call starts a client hop, stamps the trace
+	// header onto the wire (so the server and any intermediary join the
+	// same trace), and lands in the recorder; declared SLOs add
+	// per-operation series and burn-rate alerting on the client's view of
+	// latency. Without either flag the observer is nil and the whole
+	// observability path is dormant.
 	var o *obs.Observer
-	if c.Trace {
-		o = cliconf.NewObserver("soapclient")
+	if c.Trace || len(c.SLOs) > 0 {
+		o = c.NewObserver("soapclient")
 	}
 	pool, err := buildPool(c, *addr, svcpool.Config{
 		MaxConns:    c.Conns,

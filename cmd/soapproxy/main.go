@@ -58,6 +58,7 @@ func main() {
 	c := new(cliconf.Common)
 	cliconf.RegisterEngine(flag.CommandLine, c)
 	cliconf.RegisterAdmin(flag.CommandLine, c)
+	cliconf.RegisterObs(flag.CommandLine, c)
 	listenFlag := flag.String("listen", "xml/http:127.0.0.1:8800", "up-link endpoint as encoding/transport:addr")
 	backendFlag := flag.String("backend", "bxsa/tcp:127.0.0.1:8701", "down-link endpoint as encoding/transport:addr")
 	hmacKey := flag.String("hmac-key", "", "sign/verify the backend hop with this shared key")
@@ -89,7 +90,11 @@ func main() {
 	// server hop and down-link client hop into one trace entry, correlated
 	// over the wire with the client's and backend's hops by the propagated
 	// trace ID.
-	o := cliconf.NewObserver("soapproxy")
+	// The proxy declares no -encoding/-transport of its own; label any
+	// dimensional series with the up-link endpoint, the face it shows
+	// callers.
+	c.Encoding, c.Transport = up.Encoding, up.Transport
+	o := c.NewObserver("soapproxy")
 	errLog := log.New(os.Stderr, "soapproxy: ", log.LstdFlags)
 
 	downEnc := encodingFor(down.Encoding, key)

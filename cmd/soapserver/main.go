@@ -42,6 +42,7 @@ func main() {
 	cliconf.RegisterEndpoint(flag.CommandLine, c)
 	cliconf.RegisterEngine(flag.CommandLine, c)
 	cliconf.RegisterAdmin(flag.CommandLine, c)
+	cliconf.RegisterObs(flag.CommandLine, c)
 	addr := flag.String("addr", "127.0.0.1:8701", "listen address")
 	muxWorkers := flag.Int("mux-workers", 0, "mux dispatch pool size (default: 4x GOMAXPROCS)")
 	muxQueue := flag.Int("mux-queue", 0, "mux dispatch queue depth; admissions beyond it are shed (default: 8x workers)")
@@ -79,7 +80,9 @@ func main() {
 	// always-on flight recorder keeps the most recent / slowest request
 	// traces (joined by the wire-propagated trace ID) and the event journal
 	// bounded in memory, served at /trace/recent, /trace/slow, /events.
-	o := cliconf.NewObserver("soapserver")
+	// -slo declarations additionally install per-operation dimensional
+	// series and burn-rate alerting, served at /slo.
+	o := c.NewObserver("soapserver")
 	errLog := log.New(os.Stderr, "soapserver: ", log.LstdFlags)
 	srvOpts := c.ServerOptions(o, errLog)
 

@@ -1,7 +1,7 @@
 // Package a is a nilsink corpus: sink types whose exported methods must
 // survive a nil receiver.
 //
-//paylint:nil-sink Sink Probe Journal Leg PlanCache
+//paylint:nil-sink Sink Probe Journal Leg PlanCache Track WindowRing
 package a
 
 // Sink mirrors obs.Observer: a metrics sink held as a nil-by-default field.
@@ -132,6 +132,61 @@ func (c *PlanCache) Plans() int {
 }
 
 func (c *PlanCache) Miss() { c.misses++ } // want `PlanCache\.Miss never nil-checks its receiver`
+
+// Track mirrors obs.Series: a dimensional series looked up from a registry
+// that returns nil when the observer (or the registry) is dormant.
+type Track struct {
+	count    uint64
+	exemplar uint64
+}
+
+// Record is properly guarded.
+func (t *Track) Record(v, tid uint64) {
+	if t == nil {
+		return
+	}
+	t.count += v
+	t.exemplar = tid
+}
+
+// Exemplar guards with the operands reversed.
+func (t *Track) Exemplar() uint64 {
+	if nil == t {
+		return 0
+	}
+	return t.exemplar
+}
+
+func (t *Track) Bump() { t.count++ } // want `Track\.Bump never nil-checks its receiver`
+
+// WindowRing mirrors obs.WindowedHistogram: the sliding-window aggregate
+// reached through nil-by-default stage arrays on a dormant observer.
+type WindowRing struct {
+	slots [8]uint64
+	tick  int64
+}
+
+// Observe is properly guarded.
+func (w *WindowRing) Observe(v uint64) {
+	if w == nil {
+		return
+	}
+	w.slots[w.tick%8] += v
+}
+
+// Window guards after setup, like a merge method.
+func (w *WindowRing) Window(n int) uint64 {
+	var sum uint64
+	if w == nil {
+		return sum
+	}
+	for i := 0; i < n && i < 8; i++ {
+		sum += w.slots[i]
+	}
+	return sum
+}
+
+func (w *WindowRing) Rotate() { w.tick++ } // want `WindowRing\.Rotate never nil-checks its receiver`
 
 // Other types in the same package are not sinks.
 type plain struct{ n int }

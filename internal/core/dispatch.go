@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"bxsoap/internal/bxdm"
 	"bxsoap/internal/obs"
@@ -92,18 +93,21 @@ func (d *Dispatcher[E]) Understand(names ...bxdm.QName) {
 // handler stages into them and binds the wire trace context once decoded.
 func (d *Dispatcher[E]) Dispatch(ctx context.Context, payload []byte, ct string, sp *obs.Span, hop *obs.Hop) *Envelope {
 	d.obs.Inc(obs.ServerRequests)
+	entry := sp.Total() // receive is behind us; busy time starts here
 	if err := CheckContentType(d.codec.Encoding(), ct); err != nil {
 		sp.Mark(obs.ServerDecode)
 		d.obs.Inc(obs.ServerFaults)
+		d.recordServerOp(opUndecodable, sp, hop, entry, true)
 		return (&Fault{Code: FaultClient, String: err.Error()}).Envelope()
 	}
 	req, err := d.codec.DecodeEnvelope(payload)
 	sp.Mark(obs.ServerDecode)
 	if err != nil {
 		d.obs.Inc(obs.ServerFaults)
+		d.recordServerOp(opUndecodable, sp, hop, entry, true)
 		return (&Fault{Code: FaultClient, String: fmt.Sprintf("cannot decode request: %v", err)}).Envelope()
 	}
-	return d.dispatchEnvelope(ctx, req, sp, hop)
+	return d.dispatchEnvelope(ctx, req, sp, hop, entry)
 }
 
 // DispatchStream is Dispatch in chunked terms: the request arrives as a
@@ -115,10 +119,12 @@ func (d *Dispatcher[E]) Dispatch(ctx context.Context, payload []byte, ct string,
 // the caller, which owns the response-side sink.
 func (d *Dispatcher[E]) DispatchStream(ctx context.Context, src ChunkSource, ct string, sp *obs.Span, hop *obs.Hop) *Envelope {
 	d.obs.Inc(obs.ServerRequests)
+	entry := sp.Total()
 	if err := CheckContentType(d.codec.Encoding(), ct); err != nil {
 		src.Abort()
 		sp.Mark(obs.ServerDecode)
 		d.obs.Inc(obs.ServerFaults)
+		d.recordServerOp(opUndecodable, sp, hop, entry, true)
 		return (&Fault{Code: FaultClient, String: err.Error()}).Envelope()
 	}
 	req, err := d.codec.DecodeChunks(src)
@@ -126,19 +132,24 @@ func (d *Dispatcher[E]) DispatchStream(ctx context.Context, src ChunkSource, ct 
 	if err != nil {
 		src.Abort()
 		d.obs.Inc(obs.ServerFaults)
+		d.recordServerOp(opUndecodable, sp, hop, entry, true)
 		return (&Fault{Code: FaultClient, String: fmt.Sprintf("cannot decode request: %v", err)}).Envelope()
 	}
-	return d.dispatchEnvelope(ctx, req, sp, hop)
+	return d.dispatchEnvelope(ctx, req, sp, hop, entry)
 }
 
 // dispatchEnvelope is the decode-independent half of dispatch:
 // mustUnderstand enforcement, handler invocation, and fault conversion,
 // shared by the buffered and streamed entry points so protocol behavior is
 // defined exactly once.
-func (d *Dispatcher[E]) dispatchEnvelope(ctx context.Context, req *Envelope, sp *obs.Span, hop *obs.Hop) *Envelope {
+func (d *Dispatcher[E]) dispatchEnvelope(ctx context.Context, req *Envelope, sp *obs.Span, hop *obs.Hop, entry time.Duration) *Envelope {
 	// The wire trace context (when the client sent one) places this hop on
 	// the request path; an unbound hop self-roots at FinishHop.
 	BindServerTrace(hop, req)
+	var op string
+	if d.obs.Dimensional() {
+		op = OpName(req)
+	}
 	for _, h := range req.HeaderEntries {
 		el, ok := h.(bxdm.ElementNode)
 		if !ok || !mustUnderstand(el) {
@@ -147,6 +158,7 @@ func (d *Dispatcher[E]) dispatchEnvelope(ctx context.Context, req *Envelope, sp 
 		name := el.ElemName()
 		if !(*d.understood.Load())[bxdm.QName{Space: name.Space, Local: name.Local}] {
 			d.obs.Inc(obs.ServerFaults)
+			d.recordServerOp(op, sp, hop, entry, true)
 			return (&Fault{
 				Code:   FaultMustUnderstand,
 				String: fmt.Sprintf("header %v not understood", name),
@@ -157,6 +169,7 @@ func (d *Dispatcher[E]) dispatchEnvelope(ctx context.Context, req *Envelope, sp 
 	sp.Mark(obs.ServerHandler)
 	if err != nil {
 		d.obs.Inc(obs.ServerFaults)
+		d.recordServerOp(op, sp, hop, entry, true)
 		var f *Fault
 		if errors.As(err, &f) {
 			return f.Envelope()
@@ -166,7 +179,27 @@ func (d *Dispatcher[E]) dispatchEnvelope(ctx context.Context, req *Envelope, sp 
 	if resp == nil {
 		resp = NewEnvelope()
 	}
+	d.recordServerOp(op, sp, hop, entry, false)
 	return resp
+}
+
+// opUndecodable labels server-side dimensional samples whose request never
+// yielded an operation name (bad content type, undecodable payload) — a
+// constant so hostile garbage cannot mint series.
+const opUndecodable = "(undecodable)"
+
+// recordServerOp lands one dispatched request in the dimensional series for
+// op, in every transport's server loop, because all of them funnel through
+// the dispatcher. The latency is the dispatcher's busy time — decode
+// through handler completion, measured as the span's growth since dispatch
+// entry — so channel idle time (ServerReceive on persistent connections)
+// and response encode/send never pollute the per-operation numbers. failed
+// marks requests answered with a fault.
+func (d *Dispatcher[E]) recordServerOp(op string, sp *obs.Span, hop *obs.Hop, entry time.Duration, failed bool) {
+	if op == "" {
+		return
+	}
+	d.obs.RecordOp(op, obs.RoleServer, sp.Total()-entry, failed, hop.Context().ID)
 }
 
 // DispatchPayload runs one full server-side exchange in payload terms:

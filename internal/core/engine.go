@@ -77,10 +77,15 @@ func (e *Engine[E, B]) Streaming() int { return e.chunkBytes }
 func (e *Engine[E, B]) Call(ctx context.Context, req *Envelope) (*Envelope, error) {
 	req, hop := BeginClientTrace(e.obs, req)
 	sp := e.obs.SpanWith(hop)
+	var op string
+	if e.obs.Dimensional() {
+		op = OpName(req)
+	}
 	if e.chunkBytes > 0 {
 		if sb, ok := any(e.bind).(StreamBinding); ok {
 			resp, err := e.callStreamed(ctx, req, sb, sp)
 			e.obs.FinishHop(hop, err)
+			e.recordClientOp(op, sp, hop, err)
 			return resp, err
 		}
 	}
@@ -89,13 +94,30 @@ func (e *Engine[E, B]) Call(ctx context.Context, req *Envelope) (*Envelope, erro
 		e.obs.Inc(obs.CallsStarted)
 		e.obs.Inc(obs.CallsFailed)
 		e.obs.FinishHop(hop, err)
+		e.recordClientOp(op, sp, hop, err)
 		return nil, fmt.Errorf("soap: encode request: %w", err)
 	}
 	sp.Mark(obs.ClientEncode)
 	defer p.Release()
 	resp, err := e.callPayload(ctx, p, sp)
 	e.obs.FinishHop(hop, err)
+	e.recordClientOp(op, sp, hop, err)
 	return resp, err
+}
+
+// recordClientOp lands one finished client exchange in the dimensional
+// series for op: the span's marked total as the latency, any error (SOAP
+// faults included — a fault burns the caller's error budget even though
+// the transport worked) as the failure flag, and the hop's trace ID as the
+// exemplar. Entry points that own the whole exchange (Call, Send) record;
+// the payload-level and retry-level entry points (CallPayload, CallStream,
+// SendPayload) do not, because their caller owns the logical call and
+// records it once across attempts — svcpool does exactly that.
+func (e *Engine[E, B]) recordClientOp(op string, sp obs.Span, hop *obs.Hop, err error) {
+	if op == "" {
+		return
+	}
+	e.obs.RecordOp(op, obs.RoleClient, sp.Total(), err != nil, hop.Context().ID)
 }
 
 // CallStream performs the request-response exchange from the envelope,
@@ -248,17 +270,23 @@ func (e *Engine[E, B]) callStreamed(ctx context.Context, req *Envelope, sb Strea
 func (e *Engine[E, B]) Send(ctx context.Context, req *Envelope) error {
 	req, hop := BeginClientTrace(e.obs, req)
 	sp := e.obs.SpanWith(hop)
+	var op string
+	if e.obs.Dimensional() {
+		op = OpName(req)
+	}
 	p, err := e.codec.EncodePayload(req)
 	if err != nil {
 		e.obs.Inc(obs.CallsStarted)
 		e.obs.Inc(obs.CallsFailed)
 		e.obs.FinishHop(hop, err)
+		e.recordClientOp(op, sp, hop, err)
 		return fmt.Errorf("soap: encode request: %w", err)
 	}
 	sp.Mark(obs.ClientEncode)
 	defer p.Release()
 	err = e.sendPayload(ctx, p, sp)
 	e.obs.FinishHop(hop, err)
+	e.recordClientOp(op, sp, hop, err)
 	return err
 }
 

@@ -67,6 +67,20 @@ func (e *Envelope) Body() bxdm.ElementNode {
 	return nil
 }
 
+// OpName returns the message's operation name — the local name of the
+// first body child element, which for RPC-style messages is the operation
+// wrapper. Empty for a nil envelope or an empty body. It is the operation
+// label the dimensional metrics and SLO engine key on.
+func OpName(e *Envelope) string {
+	if e == nil {
+		return ""
+	}
+	if b := e.Body(); b != nil {
+		return b.ElemName().Local
+	}
+	return ""
+}
+
 // Header returns the first header entry matching name, or nil.
 func (e *Envelope) Header(name bxdm.QName) bxdm.ElementNode {
 	for _, h := range e.HeaderEntries {

@@ -1,0 +1,318 @@
+package harness
+
+// The SLO ramp experiment: a deterministic demonstration that the burn-rate
+// engine fires and resolves on a real overload, end to end through the wire
+// path. A BXSA/TCP client-server pair runs over a netsim LAN link on a
+// simulated clock (netsim shaping, observer spans, window rotation, and the
+// server's service time all read the same fake time source), so the ramp —
+// healthy windows, an overload plateau whose latency blows through the SLO's
+// p99 target, then recovery — produces the identical alert lifecycle on
+// every run: one EvSLOFired journal event carrying the exemplar trace ID of
+// an offending request, then one EvSLOResolved once a clean window has
+// elapsed. The harness asserts the whole lifecycle and fails the run — and
+// with it the CI smoke gate — if any link in the chain breaks.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bxsoap/internal/bxdm"
+	"bxsoap/internal/core"
+	"bxsoap/internal/netsim"
+	"bxsoap/internal/obs"
+	"bxsoap/internal/tcpbind"
+)
+
+// simClock is a manual clock shared by netsim, both observers, and the
+// experiment's overloaded handler: Sleep advances Now instead of waiting,
+// so the whole ramp runs in simulated time and finishes in milliseconds of
+// wall time with bit-identical latencies.
+type simClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *simClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *simClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// SLORampConfig parameterizes the ramp. The zero value is the standard
+// demonstration: 1-second windows, a 10 ms p99 objective, 1 ms healthy and
+// 50 ms overloaded service time.
+type SLORampConfig struct {
+	// Window is the observation-window duration (default 1s of simulated
+	// time).
+	Window time.Duration
+	// P99 is the SLO's latency target (default 10ms).
+	P99 time.Duration
+	// HealthyService/OverloadService are the handler's simulated service
+	// times in the two phases (defaults 1ms and 50ms).
+	HealthyService, OverloadService time.Duration
+	// HealthyWindows/OverloadWindows/RecoveryWindows shape the ramp
+	// (defaults 4, 2, 2). Each phase is aligned to window boundaries.
+	HealthyWindows, OverloadWindows, RecoveryWindows int
+	// CallsPerWindow is the request count per healthy/recovery window
+	// (default 20); overload windows carry half as many, since each call
+	// is slower.
+	CallsPerWindow int
+	// Progress, when non-nil, receives a per-window line of the SLO state
+	// as the ramp advances.
+	Progress io.Writer
+}
+
+func (c SLORampConfig) withDefaults() SLORampConfig {
+	if c.Window <= 0 {
+		c.Window = time.Second
+	}
+	if c.P99 <= 0 {
+		c.P99 = 10 * time.Millisecond
+	}
+	if c.HealthyService <= 0 {
+		c.HealthyService = time.Millisecond
+	}
+	if c.OverloadService <= 0 {
+		c.OverloadService = 50 * time.Millisecond
+	}
+	if c.HealthyWindows <= 0 {
+		c.HealthyWindows = 4
+	}
+	if c.OverloadWindows <= 0 {
+		c.OverloadWindows = 2
+	}
+	if c.RecoveryWindows <= 0 {
+		c.RecoveryWindows = 2
+	}
+	if c.CallsPerWindow <= 0 {
+		c.CallsPerWindow = 20
+	}
+	return c
+}
+
+// SLORampReport is the experiment's machine-readable outcome: the alert
+// lifecycle events as journaled, the exemplar's resolved trace, and the
+// final SLO status for the artifact.
+type SLORampReport struct {
+	Fired    obs.Event `json:"fired"`
+	Resolved obs.Event `json:"resolved"`
+	// Exemplar is the offending request's trace ID carried by the fired
+	// event, verified resolvable in the flight recorder.
+	Exemplar string `json:"exemplar_trace_id"`
+	// ExemplarTrace is the resolved trace tree (client and server hops
+	// joined), proving the p99 spike links to a recorded request.
+	ExemplarTrace *obs.TraceTree  `json:"exemplar_trace,omitempty"`
+	Status        []obs.SLOStatus `json:"slo_status"`
+	Calls         int             `json:"calls"`
+}
+
+// sloOp is the ramp's operation name: the request body's first-child local
+// name, which is what the dimensional series and the SLO engine key on.
+const sloOp = "probe"
+
+// RunSLORamp drives the overload ramp and validates the full alert
+// lifecycle. A non-nil error means the chain broke somewhere — the alert
+// never fired, fired at the wrong time, never resolved, or the exemplar
+// trace was not resolvable — and the caller (benchharness, and through it
+// the CI smoke job) should fail.
+func RunSLORamp(cfg SLORampConfig) (*SLORampReport, error) {
+	cfg = cfg.withDefaults()
+
+	// One clock for everything. The epoch is arbitrary but fixed; windows
+	// are derived from it, so the whole run is reproducible bit for bit.
+	clock := &simClock{t: time.Unix(1_700_000_000, 0)}
+	restore := netsim.SetClock(clock)
+	defer restore()
+
+	rec := obs.NewRecorder(obs.RecorderConfig{})
+	srvObs := obs.New(
+		obs.WithNode("server"),
+		obs.WithRecorder(rec),
+		obs.WithNow(clock.Now),
+		obs.WithWindow(cfg.Window),
+		obs.WithDims("BXSA", "tcp"),
+		obs.WithSLOs(obs.SLO{Op: sloOp, P99: cfg.P99}),
+	)
+	cliObs := obs.New(
+		obs.WithNode("client"),
+		obs.WithRecorder(rec),
+		obs.WithNow(clock.Now),
+		obs.WithWindow(cfg.Window),
+		obs.WithDims("BXSA", "tcp"),
+	)
+
+	// The handler's service time is the overload lever: the ramp flips it
+	// between the healthy and overloaded values at window boundaries. The
+	// sleep advances the simulated clock, so the server-side span records
+	// exactly this duration as handler time.
+	var service atomic.Int64
+	service.Store(int64(cfg.HealthyService))
+	handler := func(_ context.Context, req *core.Envelope) (*core.Envelope, error) {
+		clock.Sleep(time.Duration(service.Load()))
+		reply := bxdm.NewElement(bxdm.PName("urn:bxsoap:slo", "slo", "probeResponse"))
+		return core.NewEnvelope(reply), nil
+	}
+
+	nw := netsim.New(netsim.LAN, netsim.WithObserver(cliObs))
+	l, err := nw.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("slo ramp: listen: %w", err)
+	}
+	srv := core.NewServer(core.BXSAEncoding{},
+		tcpbind.NewListener(l, tcpbind.WithObserver(srvObs)),
+		handler, core.WithObserver(srvObs))
+	go srv.Serve()
+	eng := core.NewEngine(core.BXSAEncoding{},
+		tcpbind.New(nw.Dial, l.Addr().String(), tcpbind.WithObserver(cliObs)),
+		core.WithObserver(cliObs))
+	defer srv.Close()
+	defer eng.Close()
+
+	req := func() *core.Envelope {
+		op := bxdm.NewElement(bxdm.PName("urn:bxsoap:slo", "slo", sloOp))
+		op.DeclareNamespace("slo", "urn:bxsoap:slo")
+		return core.NewEnvelope(op)
+	}
+
+	calls := 0
+	invoke := func() error {
+		if _, err := eng.Call(context.Background(), req()); err != nil {
+			return fmt.Errorf("slo ramp: call %d: %w", calls, err)
+		}
+		calls++
+		return nil
+	}
+	// nextWindow advances the simulated clock to the next window boundary,
+	// so every phase starts flush on a fresh window and the evaluation
+	// schedule is identical on every run.
+	nextWindow := func() {
+		now := clock.Now().UnixNano()
+		w := int64(cfg.Window)
+		clock.Sleep(time.Duration(w - now%w))
+	}
+	progress := func(phase string) {
+		if cfg.Progress == nil {
+			return
+		}
+		for _, s := range srvObs.SLOStatus() {
+			fmt.Fprintf(cfg.Progress, "%-9s calls=%-4d burn_fast=%-8.1f burn_slow=%-8.1f firing=%v\n",
+				phase, calls, s.BurnFast, s.BurnSlow, s.Firing)
+		}
+	}
+
+	runPhase := func(phase string, windows, perWindow int) error {
+		for w := 0; w < windows; w++ {
+			for i := 0; i < perWindow; i++ {
+				if err := invoke(); err != nil {
+					return err
+				}
+			}
+			nextWindow()
+			// The engine evaluates a completed window on the first sample
+			// of the next one; one probe call per boundary keeps the
+			// evaluation schedule independent of phase lengths.
+			if err := invoke(); err != nil {
+				return err
+			}
+			progress(phase)
+		}
+		return nil
+	}
+
+	// Phase 1 — healthy baseline: fills the slow window with good samples
+	// and proves the alert does not fire on a clean system.
+	if err := runPhase("healthy", cfg.HealthyWindows, cfg.CallsPerWindow-1); err != nil {
+		return nil, err
+	}
+	if srvObs.SLOFiring() {
+		return nil, fmt.Errorf("slo ramp: alert firing after healthy baseline (false positive)")
+	}
+
+	// Phase 2 — overload: every call's service time blows through the p99
+	// target, so the first completed overload window burns ~100x budget
+	// and both evaluation windows agree.
+	service.Store(int64(cfg.OverloadService))
+	if err := runPhase("overload", cfg.OverloadWindows, cfg.CallsPerWindow/2-1); err != nil {
+		return nil, err
+	}
+	if !srvObs.SLOFiring() {
+		return nil, fmt.Errorf("slo ramp: alert did not fire after %d overloaded windows", cfg.OverloadWindows)
+	}
+
+	// Phase 3 — recovery: one clean completed window drops the fast burn
+	// below 1.0 and the alert must resolve.
+	service.Store(int64(cfg.HealthyService))
+	if err := runPhase("recovery", cfg.RecoveryWindows, cfg.CallsPerWindow-1); err != nil {
+		return nil, err
+	}
+	if srvObs.SLOFiring() {
+		return nil, fmt.Errorf("slo ramp: alert still firing after %d clean windows", cfg.RecoveryWindows)
+	}
+
+	// Validate the journaled lifecycle: exactly one fire followed by one
+	// resolve, and the fired event's exemplar trace ID must resolve to a
+	// recorded trace in the flight recorder.
+	var fired, resolved []obs.Event
+	events := rec.Events(0)
+	for i := len(events) - 1; i >= 0; i-- { // oldest first
+		switch events[i].Kind {
+		case obs.EvSLOFired:
+			fired = append(fired, events[i])
+		case obs.EvSLOResolved:
+			resolved = append(resolved, events[i])
+		}
+	}
+	if len(fired) != 1 || len(resolved) != 1 {
+		return nil, fmt.Errorf("slo ramp: want exactly one fire and one resolve, got %d and %d", len(fired), len(resolved))
+	}
+	if !fired[0].At.Before(resolved[0].At) {
+		return nil, fmt.Errorf("slo ramp: fire (%v) not before resolve (%v)", fired[0].At, resolved[0].At)
+	}
+	if fired[0].Trace == "" {
+		return nil, fmt.Errorf("slo ramp: fired event carries no exemplar trace ID")
+	}
+	tid, err := obs.ParseTraceID(fired[0].Trace)
+	if err != nil {
+		return nil, fmt.Errorf("slo ramp: bad exemplar trace ID %q: %w", fired[0].Trace, err)
+	}
+	tree := rec.Trace(tid)
+	if tree == nil {
+		return nil, fmt.Errorf("slo ramp: exemplar trace %s not resolvable in the flight recorder", fired[0].Trace)
+	}
+
+	return &SLORampReport{
+		Fired:         fired[0],
+		Resolved:      resolved[0],
+		Exemplar:      fired[0].Trace,
+		ExemplarTrace: tree,
+		Status:        srvObs.SLOStatus(),
+		Calls:         calls,
+	}, nil
+}
+
+// PrintSLORamp renders the ramp's outcome for humans: the lifecycle events
+// and the exemplar linkage.
+func PrintSLORamp(w io.Writer, r *SLORampReport) {
+	fmt.Fprintf(w, "calls: %d\n", r.Calls)
+	fmt.Fprintf(w, "fired:    %s %s\n", r.Fired.Name, r.Fired.Detail)
+	fmt.Fprintf(w, "resolved: %s %s\n", r.Resolved.Name, r.Resolved.Detail)
+	fmt.Fprintf(w, "exemplar: trace %s resolved in flight recorder (%d hop(s))\n",
+		r.Exemplar, r.ExemplarTrace.Hops)
+	for _, s := range r.Status {
+		fmt.Fprintf(w, "slo %s: p99_target=%v budget_used=%.2f firing=%v\n",
+			s.Op, s.P99Target, s.BudgetUsed, s.Firing)
+	}
+}

@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"bxsoap/internal/obs"
+)
+
+// TestRunSLORampLifecycle drives the full deterministic overload ramp: the
+// simulated clock is shared by netsim, both observers, and the handler, so
+// window rotation, burn-rate evaluation, and the fire→resolve transitions
+// land on exact window boundaries regardless of host scheduling.
+func TestRunSLORampLifecycle(t *testing.T) {
+	var progress strings.Builder
+	report, err := RunSLORamp(SLORampConfig{Progress: &progress})
+	if err != nil {
+		t.Fatalf("RunSLORamp: %v\nprogress:\n%s", err, progress.String())
+	}
+
+	if report.Fired.Name != "slo.fired" {
+		t.Errorf("fired event = %q, want slo.fired", report.Fired.Name)
+	}
+	if report.Resolved.Name != "slo.resolved" {
+		t.Errorf("resolved event = %q, want slo.resolved", report.Resolved.Name)
+	}
+	if !report.Fired.At.Before(report.Resolved.At) {
+		t.Errorf("fired at %v not before resolved at %v", report.Fired.At, report.Resolved.At)
+	}
+	if report.Exemplar == "" {
+		t.Error("fired event carries no exemplar trace ID")
+	}
+	if report.ExemplarTrace == nil {
+		t.Fatal("exemplar trace not resolvable in the flight recorder")
+	}
+	// One client hop and one server hop joined under the propagated ID.
+	if report.ExemplarTrace.Hops != 2 {
+		t.Errorf("exemplar trace hops = %d, want 2", report.ExemplarTrace.Hops)
+	}
+	if len(report.Status) != 1 || report.Status[0].Op != "probe" {
+		t.Fatalf("SLO status = %+v, want one entry for probe", report.Status)
+	}
+	st := report.Status[0]
+	if st.Firing {
+		t.Error("SLO still firing after the recovery phase")
+	}
+	if st.BudgetUsed <= 0 {
+		t.Errorf("budget used = %v, want > 0 after the overload phase", st.BudgetUsed)
+	}
+	if report.Calls <= 0 {
+		t.Errorf("calls = %d, want > 0", report.Calls)
+	}
+}
+
+// TestRunSLORampRespectsConfig checks the ramp honors a non-default shape
+// and still converges, exercising window arithmetic at a different period.
+func TestRunSLORampRespectsConfig(t *testing.T) {
+	report, err := RunSLORamp(SLORampConfig{
+		Window:         2 * time.Second,
+		P99:            5 * time.Millisecond,
+		HealthyWindows: 3,
+		CallsPerWindow: 10,
+	})
+	if err != nil {
+		t.Fatalf("RunSLORamp: %v", err)
+	}
+	if report.Status[0].P99Target != 5*time.Millisecond {
+		t.Errorf("p99 target = %v, want 5ms", report.Status[0].P99Target)
+	}
+	if tid, err := obs.ParseTraceID(report.Exemplar); err != nil || tid == 0 {
+		t.Errorf("exemplar %q: %v", report.Exemplar, err)
+	}
+}

@@ -38,6 +38,9 @@ type StageResult struct {
 	WaitP50 time.Duration `json:"wait_p50_ns"`
 	WaitP95 time.Duration `json:"wait_p95_ns"`
 	WaitP99 time.Duration `json:"wait_p99_ns"`
+	// Window is the number of observation windows the stage columns merge;
+	// 0 means lifetime aggregates (everything since the post-warm-up reset).
+	Window int `json:"window,omitempty"`
 	// NsPerOp/BytesPerOp/AllocsPerOp are whole-process per-call costs of
 	// the measured loop (wall time and heap churn via runtime.MemStats) —
 	// the machine-readable numbers the CI bench artifact diffs across PRs.
@@ -58,9 +61,23 @@ type StageConfig struct {
 	ModelSize int
 	// Calls per scheme after one warm-up invocation.
 	Calls int
+	// Window is the number of observation windows the stage columns merge
+	// (the current window included). The harness rotates its observers into
+	// a fresh window after warm-up, so Window=1 is the steady state alone —
+	// warm-up stragglers carry the old window's tick and cannot leak in.
+	// 0 falls back to lifetime aggregates, which include anything a racing
+	// warm-up recording slipped past the reset.
+	Window int
 	// Progress, when non-nil, receives human-readable progress lines.
 	Progress io.Writer
 }
+
+// harnessWindow is the observation-window duration harness observers use:
+// long enough that an entire measured loop lands in one window, so the
+// windowed columns never straddle a wall-clock rotation mid-run. The
+// warm-up/steady-state boundary is a forced NextWindow rotation, not the
+// passage of time.
+const harnessWindow = time.Hour
 
 // StageBreakdown runs the four unified policy combinations with a fresh
 // observer pair per combo (client and server sides instrumented separately)
@@ -87,20 +104,24 @@ func StageBreakdown(cfg StageConfig) ([]StageResult, error) {
 		// server hop of each call carry the same wire-propagated trace ID,
 		// so the recorder joins them into one two-hop tree per call.
 		rec := obs.NewRecorder(obs.RecorderConfig{})
-		cliObs := obs.New(obs.WithNode("client"), obs.WithRecorder(rec))
-		srvObs := obs.New(obs.WithNode("server"), obs.WithRecorder(rec))
+		cliObs := obs.New(obs.WithNode("client"), obs.WithRecorder(rec), obs.WithWindow(harnessWindow))
+		srvObs := obs.New(obs.WithNode("server"), obs.WithRecorder(rec), obs.WithWindow(harnessWindow))
 		nw := netsim.New(cfg.Profile, netsim.WithObserver(cliObs))
 		u := NewUnified(c.encoding, c.transport)
 		u.ClientObs, u.ServerObs = cliObs, srvObs
 		if err := u.Setup(nw, ""); err != nil {
 			return nil, fmt.Errorf("%s: setup: %w", u.Name(), err)
 		}
-		// Warm-up covers connection establishment and pool priming, then
-		// reset so the steady-state calls alone shape the histograms.
+		// Warm-up covers connection establishment and pool priming. Rotate
+		// into a fresh window — watertight against stragglers, which carry
+		// the old window's tick — then reset the lifetime aggregates so the
+		// steady-state calls alone shape the histograms.
 		if _, err := u.Invoke(m); err != nil {
 			u.Teardown()
 			return nil, fmt.Errorf("%s: warm-up: %w", u.Name(), err)
 		}
+		cliObs.NextWindow()
+		srvObs.NextWindow()
 		cliObs.Reset()
 		srvObs.Reset()
 		runtime.GC()
@@ -120,7 +141,7 @@ func StageBreakdown(cfg StageConfig) ([]StageResult, error) {
 		}
 		elapsed := time.Since(t0)
 		runtime.ReadMemStats(&ms1)
-		r := deriveStages(u.Name(), cliObs, srvObs)
+		r := deriveStages(u.Name(), cliObs, srvObs, cfg.Window)
 		r.NsPerOp = elapsed.Nanoseconds() / int64(cfg.Calls)
 		r.BytesPerOp = (ms1.TotalAlloc - ms0.TotalAlloc) / uint64(cfg.Calls)
 		r.AllocsPerOp = (ms1.Mallocs - ms0.Mallocs) / uint64(cfg.Calls)
@@ -139,14 +160,26 @@ func StageBreakdown(cfg StageConfig) ([]StageResult, error) {
 	return out, nil
 }
 
-func deriveStages(name string, cli, srv *obs.Observer) StageResult {
-	mean := func(o *obs.Observer, st obs.Stage) time.Duration {
-		return o.StageSnapshot(st).Mean()
+// deriveStages attributes the measured run to pipeline stages. win > 0
+// selects windowed aggregates — the win most recent observation windows,
+// which after the harness's post-warm-up rotation hold steady-state traffic
+// only — while win = 0 reads the lifetime histograms (everything since the
+// reset, warm-up races included).
+func deriveStages(name string, cli, srv *obs.Observer, win int) StageResult {
+	snap := func(o *obs.Observer, st obs.Stage) obs.HistogramSnapshot {
+		if win > 0 {
+			return o.StageWindowSnapshot(st, win)
+		}
+		return o.StageSnapshot(st)
 	}
-	wait := cli.StageSnapshot(obs.ClientWait)
+	mean := func(o *obs.Observer, st obs.Stage) time.Duration {
+		return snap(o, st).Mean()
+	}
+	wait := snap(cli, obs.ClientWait)
 	r := StageResult{
 		Scheme:  name,
 		Calls:   cli.Counter(obs.CallsStarted),
+		Window:  win,
 		Encode:  mean(cli, obs.ClientEncode) + mean(srv, obs.ServerEncode),
 		Decode:  mean(cli, obs.ClientDecode) + mean(srv, obs.ServerDecode),
 		Handler: mean(srv, obs.ServerHandler),

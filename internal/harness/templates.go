@@ -48,8 +48,8 @@ func TemplateBreakdown(cfg StageConfig) ([]StageResult, error) {
 	out := make([]StageResult, 0, 2*len(combos))
 	for _, c := range combos {
 		for _, templated := range []bool{false, true} {
-			cliObs := obs.New(obs.WithNode("client"))
-			srvObs := obs.New(obs.WithNode("server"))
+			cliObs := obs.New(obs.WithNode("client"), obs.WithWindow(harnessWindow))
+			srvObs := obs.New(obs.WithNode("server"), obs.WithWindow(harnessWindow))
 			nw := netsim.New(cfg.Profile, netsim.WithObserver(cliObs))
 			var u *Unified
 			if templated {
@@ -70,6 +70,11 @@ func TemplateBreakdown(cfg StageConfig) ([]StageResult, error) {
 					return nil, fmt.Errorf("%s: warm-up: %w", u.Name(), err)
 				}
 			}
+			// Rotate into a fresh window before resetting, as in
+			// StageBreakdown: warm-up stragglers carry the old tick and
+			// cannot reach the measured window's percentiles.
+			cliObs.NextWindow()
+			srvObs.NextWindow()
 			cliObs.Reset()
 			srvObs.Reset()
 			runtime.GC()
@@ -89,7 +94,7 @@ func TemplateBreakdown(cfg StageConfig) ([]StageResult, error) {
 			}
 			elapsed := time.Since(t0)
 			runtime.ReadMemStats(&ms1)
-			r := deriveStages(u.Name(), cliObs, srvObs)
+			r := deriveStages(u.Name(), cliObs, srvObs, cfg.Window)
 			r.NsPerOp = elapsed.Nanoseconds() / int64(cfg.Calls)
 			r.BytesPerOp = (ms1.TotalAlloc - ms0.TotalAlloc) / uint64(cfg.Calls)
 			r.AllocsPerOp = (ms1.Mallocs - ms0.Mallocs) / uint64(cfg.Calls)

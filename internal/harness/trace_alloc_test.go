@@ -103,8 +103,14 @@ func BenchmarkPooledCallTracing(b *testing.B) {
 // (BeginClientTrace, ContextWithHop, HopFromContext, FinishHop) must
 // vanish, not merely stay cheap.
 func TestDisabledTracingAddsNoPooledCallAllocs(t *testing.T) {
-	bare := pooledCallAllocs(t, nil)
-	disabled := pooledCallAllocs(t, obs.New(obs.WithNode("client")))
+	// The server's handler goroutines allocate on the meter too, so a busy
+	// scheduler can wobble either measurement by ±1 alloc/op; retry a few
+	// times and compare best-vs-best before calling it a leak.
+	bare, disabled := pooledCallAllocs(t, nil), pooledCallAllocs(t, obs.New(obs.WithNode("client")))
+	for attempt := 0; disabled > bare && attempt < 3; attempt++ {
+		bare = min(bare, pooledCallAllocs(t, nil))
+		disabled = min(disabled, pooledCallAllocs(t, obs.New(obs.WithNode("client"))))
+	}
 	if disabled > bare {
 		t.Errorf("tracing-disabled pooled call allocates %.1f/op vs %.1f/op bare: trace hooks leak onto the disabled path",
 			disabled, bare)

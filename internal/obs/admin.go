@@ -7,16 +7,46 @@ import (
 	"strconv"
 )
 
-// MetricsHandler serves the Observer's snapshot as JSON. Extra metric
-// sources that live outside the Observer (a pool's Stats, payload-pool
-// gauges) can be folded in by the caller via extra, evaluated per request.
+// MetricsHandler serves the Observer's snapshot. Extra metric sources that
+// live outside the Observer (a pool's Stats, payload-pool gauges) can be
+// folded in by the caller via extra, evaluated per request.
+//
+// Query parameters:
+//
+//	?window=N     stage histograms and dimensional series cover only the N
+//	              most recent windows (1..NumWindows) instead of lifetime
+//	?format=prom  Prometheus/OpenMetrics text exposition instead of JSON,
+//	              exemplar annotations included
 func MetricsHandler(o *Observer, extra func(*Snapshot)) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		s := o.Snapshot()
+		var s *Snapshot
+		if win := queryWindow(r); win > 0 {
+			s = o.SnapshotWindow(win)
+		} else {
+			s = o.Snapshot()
+		}
 		if extra != nil {
 			extra(s)
 		}
+		if r.URL.Query().Get("format") == "prom" {
+			writeProm(w, s, o.SLOStatus())
+			return
+		}
 		writeJSON(w, s)
+	})
+}
+
+// SLOHandler serves every declared SLO's burn-rate state as JSON: targets,
+// fast/slow burn rates, firing flag, lifetime budget consumption, and the
+// latest breach exemplar's trace ID. An observer with no declared SLOs
+// serves an empty list.
+func SLOHandler(o *Observer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sts := o.SLOStatus()
+		if sts == nil {
+			sts = []SLOStatus{}
+		}
+		writeJSON(w, sts)
 	})
 }
 
@@ -52,7 +82,12 @@ func EventsHandler(o *Observer) http.Handler {
 // AdminMux builds the admin endpoint mounted by soapserver/soapproxy:
 //
 //	GET /metrics       observability snapshot (counters, gauges, stage
-//	                   histograms with mean/p50/p95/p99) as JSON
+//	                   histograms with mean/p50/p95/p99, dimensional
+//	                   series) as JSON; ?window=N restricts stage/series
+//	                   aggregates to the last N windows, ?format=prom
+//	                   switches to Prometheus text exposition
+//	GET /slo           declared SLOs: burn rates, firing state, budget
+//	                   consumption, breach exemplars
 //	GET /trace/recent  the flight recorder's most recent trace trees
 //	GET /trace/slow    traces that crossed the slow threshold
 //	GET /events        the structured event journal
@@ -64,6 +99,7 @@ func EventsHandler(o *Observer) http.Handler {
 func AdminMux(o *Observer, extra func(*Snapshot)) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", MetricsHandler(o, extra))
+	mux.Handle("/slo", SLOHandler(o))
 	mux.Handle("/trace/recent", TraceRecentHandler(o))
 	mux.Handle("/trace/slow", TraceSlowHandler(o))
 	mux.Handle("/events", EventsHandler(o))
@@ -89,6 +125,16 @@ func queryN(r *http.Request, def int) int {
 		}
 	}
 	return def
+}
+
+// queryWindow parses ?window=N; 0 (absent or invalid) means lifetime.
+func queryWindow(r *http.Request) int {
+	if s := r.URL.Query().Get("window"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 0
 }
 
 func nonNilTrees(ts []*TraceTree) []*TraceTree {

@@ -163,3 +163,112 @@ func TestAdminTraceEndpointsServeRecordedTraces(t *testing.T) {
 		t.Fatalf("/events = %+v", evs)
 	}
 }
+
+// The /slo endpoint serves the declared objectives' live state as JSON,
+// and an empty (but valid) list when the observer declares none.
+func TestAdminSLOEndpoint(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	o := New(
+		WithNow(func() time.Time { return now }),
+		WithWindow(time.Second),
+		WithSLOs(SLO{Op: "data", P99: 10 * time.Millisecond, MaxErrRate: 0.01}),
+	)
+	o.Now()
+	o.RecordOp("data", RoleServer, time.Millisecond, false, 7)
+	mux := AdminMux(o, nil)
+
+	rr := adminGet(t, mux, "/slo")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/slo status = %d", rr.Code)
+	}
+	var got []SLOStatus
+	if err := json.Unmarshal(rr.Body.Bytes(), &got); err != nil {
+		t.Fatalf("undecodable /slo body: %v", err)
+	}
+	if len(got) != 1 || got[0].Op != "data" || got[0].P99Target != 10*time.Millisecond {
+		t.Fatalf("/slo = %+v, want one entry for op data", got)
+	}
+
+	// No SLOs declared: an empty JSON list, not an error.
+	rr = adminGet(t, AdminMux(New(), nil), "/slo")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/slo (no SLOs) status = %d", rr.Code)
+	}
+	if strings.TrimSpace(rr.Body.String()) != "[]" {
+		t.Fatalf("/slo (no SLOs) body = %q, want []", rr.Body.String())
+	}
+}
+
+// /metrics?window=N restricts stage histograms and series to the N most
+// recent windows and reports the restriction in the snapshot.
+func TestAdminMetricsWindowParam(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	o := New(WithNow(func() time.Time { return now }), WithWindow(time.Second))
+	o.Now()
+	o.ObserveStage(ClientWait, time.Millisecond)
+	now = now.Add(time.Second)
+	o.Now()
+	o.ObserveStage(ClientWait, time.Millisecond)
+	mux := AdminMux(o, nil)
+
+	var all, one Snapshot
+	if err := json.Unmarshal(adminGet(t, mux, "/metrics").Body.Bytes(), &all); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(adminGet(t, mux, "/metrics?window=1").Body.Bytes(), &one); err != nil {
+		t.Fatal(err)
+	}
+	if got := all.Stages[ClientWait.String()].Count; got != 2 {
+		t.Errorf("lifetime count = %d, want 2", got)
+	}
+	if one.Window != 1 {
+		t.Errorf("windowed snapshot Window = %d, want 1", one.Window)
+	}
+	if got := one.Stages[ClientWait.String()].Count; got != 1 {
+		t.Errorf("window=1 count = %d, want 1", got)
+	}
+}
+
+// /metrics?format=prom emits Prometheus text exposition: counters as
+// _total, stage and per-operation histograms with cumulative le-buckets in
+// seconds, SLO gauges, and exemplar annotations on buckets that captured a
+// trace ID.
+func TestAdminMetricsPromFormat(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	o := New(
+		WithNow(func() time.Time { return now }),
+		WithWindow(time.Second),
+		WithDims("bxsa", "tcp"),
+		WithSLOs(SLO{Op: "data", P99: 10 * time.Millisecond}),
+	)
+	o.Now()
+	o.Inc(CallsStarted)
+	o.ObserveStage(ClientWait, 3*time.Millisecond)
+	o.RecordOp("data", RoleServer, 20*time.Millisecond, false, 0xabcd)
+	mux := AdminMux(o, nil)
+
+	rr := adminGet(t, mux, "/metrics?format=prom")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	body := rr.Body.String()
+	for _, want := range []string{
+		"bxsoap_client_calls_started_total 1",
+		"# TYPE bxsoap_stage_client_wait histogram",
+		`bxsoap_op_latency_bucket{op="data",encoding="bxsa",transport="tcp",role="server",le=`,
+		`bxsoap_slo_burn_fast{op="data"}`,
+		`bxsoap_slo_firing{op="data"} 0`,
+		`trace_id="000000000000abcd"`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("prom exposition missing %q", want)
+		}
+	}
+	// Cumulative bucket counts must end at the sample count.
+	if !strings.Contains(body, "bxsoap_op_latency_count") {
+		t.Error("prom exposition missing _count line")
+	}
+}

@@ -32,7 +32,7 @@
 // requires every exported method of the marked types below to nil-check its
 // receiver.
 //
-//paylint:nil-sink Observer Span Recorder Hop
+//paylint:nil-sink Observer Span Recorder Hop Registry Series WindowedHistogram WindowedCounter
 package obs
 
 import (
@@ -181,6 +181,13 @@ const (
 	// StreamChunksReceived counts chunks consumed from a transport by the
 	// streamed decode path.
 	StreamChunksReceived
+	// SeriesOverflow counts dimensional recordings routed to the shared
+	// overflow series because the registry's cardinality bound was hit.
+	SeriesOverflow
+	// SLOFired counts SLO burn-rate alert transitions to firing.
+	SLOFired
+	// SLOResolved counts SLO burn-rate alert transitions back to resolved.
+	SLOResolved
 
 	numCounters
 )
@@ -214,6 +221,9 @@ var counterNames = [numCounters]string{
 	TemplateCompiles:     "templates.compiles",
 	StreamChunksSent:     "stream.chunks_sent",
 	StreamChunksReceived: "stream.chunks_received",
+	SeriesOverflow:       "series.overflow",
+	SLOFired:             "slo.fired",
+	SLOResolved:          "slo.resolved",
 }
 
 // String returns the counter's snapshot/JSON name.
@@ -285,9 +295,29 @@ type Observer struct {
 	node  string
 	rec   *Recorder
 
+	// Windowed-metric state. winDur is the window duration ticks are
+	// derived from; curTick caches the tick the last clocked recording path
+	// computed, so the explicit-duration paths (ObserveStage, RecordOp)
+	// place samples into the current window without reading any clock;
+	// tickOff is NextWindow's forced-rotation offset.
+	winDur  time.Duration
+	curTick atomic.Int64
+	tickOff atomic.Int64
+
+	// Dimensional-metric state: the (encoding, transport) labels this
+	// Observer stamps on every series, the bounded series registry, and the
+	// declared SLOs. reg is nil unless WithDims or WithSLOs configured it —
+	// RecordOp on an Observer without dimensional metrics is one branch.
+	encoding  string
+	transport string
+	seriesCap int
+	reg       *Registry
+	slos      *sloSet
+	sloDecls  []SLO
+
 	counters [numCounters]Counter
 	gauges   [numGauges]Gauge
-	stages   [numStages]Histogram
+	stages   [numStages]WindowedHistogram
 }
 
 // Option configures an Observer at construction.
@@ -322,13 +352,126 @@ func WithRecorder(r *Recorder) Option {
 	return func(o *Observer) { o.rec = r }
 }
 
+// WithDims enables dimensional metrics and sets the (encoding, transport)
+// labels this Observer stamps on every series it records; call sites supply
+// only the per-call dimensions (operation, peer role).
+func WithDims(encoding, transport string) Option {
+	return func(o *Observer) {
+		o.encoding = encoding
+		o.transport = transport
+		if o.seriesCap == 0 {
+			o.seriesCap = DefaultSeriesLimit
+		}
+	}
+}
+
+// WithWindow sets the sliding-window duration the Observer's windowed
+// aggregates rotate by. The default is DefaultWindow; d <= 0 keeps it.
+func WithWindow(d time.Duration) Option {
+	return func(o *Observer) {
+		if d > 0 {
+			o.winDur = d
+		}
+	}
+}
+
+// WithSeriesLimit bounds the dimensional registry's cardinality: past n
+// materialized series, new label combinations land in the shared overflow
+// series. n <= 0 keeps DefaultSeriesLimit.
+func WithSeriesLimit(n int) Option {
+	return func(o *Observer) {
+		if n > 0 {
+			o.seriesCap = n
+		}
+	}
+}
+
+// WithSLOs declares per-operation objectives and enables the burn-rate
+// engine (which requires dimensional recording, so it also enables the
+// registry). When a flight recorder is attached, each declared P99 also
+// tightens the recorder's slow-trace threshold down to the objective so
+// breach exemplars are always captured in the slow ring.
+func WithSLOs(slos ...SLO) Option {
+	return func(o *Observer) { o.sloDecls = append(o.sloDecls, slos...) }
+}
+
 // New builds an Observer.
 func New(opts ...Option) *Observer {
-	o := &Observer{now: time.Now}
+	o := &Observer{now: time.Now, winDur: DefaultWindow}
 	for _, opt := range opts {
 		opt(o)
 	}
+	if o.seriesCap > 0 || len(o.sloDecls) > 0 {
+		if o.seriesCap == 0 {
+			o.seriesCap = DefaultSeriesLimit
+		}
+		o.reg = newRegistry(o.seriesCap)
+		o.slos = newSLOSet(o.sloDecls)
+	}
+	if o.slos != nil && o.rec != nil {
+		for _, st := range o.slos.list {
+			o.rec.TightenSlowThreshold(st.slo.P99)
+		}
+	}
 	return o
+}
+
+// tickAt derives the window tick for now, caches it for the clock-free
+// recording paths, and returns it. Ticks before the epoch clamp to 0 so
+// injected clocks with odd epochs degrade to a single window instead of
+// unreachable negative ticks.
+func (o *Observer) tickAt(now time.Time) int64 {
+	t := now.UnixNano()/int64(o.winDur) + o.tickOff.Load()
+	if t < 0 {
+		t = 0
+	}
+	o.curTick.Store(t)
+	return t
+}
+
+// Tick returns the current window tick (0 on a nil Observer). It reads no
+// clock: the value is whatever the last clocked recording path computed.
+func (o *Observer) Tick() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.curTick.Load()
+}
+
+// NextWindow forces an immediate window rotation, as if a full window
+// duration had elapsed. Harnesses call it after warm-up so the measured
+// run's windowed percentiles contain no warm-up traffic — unlike Reset,
+// which races concurrent writers, rotation is watertight: stragglers from
+// the old window carry an old tick and cannot land in the new one. No-op
+// on a nil Observer.
+func (o *Observer) NextWindow() {
+	if o == nil {
+		return
+	}
+	o.tickOff.Add(1)
+	o.curTick.Add(1)
+}
+
+// Now reads the Observer's clock (zero time on a nil Observer, with no
+// clock read), advancing the window tick as a side effect. Pair with Since
+// for explicit call timing on paths without a Span.
+func (o *Observer) Now() time.Time {
+	if o == nil {
+		return time.Time{}
+	}
+	now := o.now()
+	o.tickAt(now)
+	return now
+}
+
+// Since returns the elapsed time from t on the Observer's clock (0 — and
+// no clock read — on a nil Observer or a zero t, which is what Now
+// returned in the disabled case).
+func (o *Observer) Since(t time.Time) time.Duration {
+	if o == nil || t.IsZero() {
+		return 0
+	}
+	return o.now().Sub(t)
 }
 
 // Add adds n to counter c. No-op on a nil Observer.
@@ -389,27 +532,81 @@ func (o *Observer) GaugeHighWater(g GaugeID) int64 {
 	return o.gauges[g].HighWater()
 }
 
-// ObserveStage records one observation of d into stage st's histogram.
-// This is the explicit-duration entry point: it reads no clock, so
-// deterministic-clock packages record durations they computed on their own
-// injected clock. No-op on a nil Observer.
+// ObserveStage records one observation of d into stage st's histogram —
+// both the lifetime aggregate and the current window. This is the
+// explicit-duration entry point: it reads no clock (the window tick is
+// whatever the last clocked path cached), so deterministic-clock packages
+// record durations they computed on their own injected clock. No-op on a
+// nil Observer.
 func (o *Observer) ObserveStage(st Stage, d time.Duration) {
 	if o == nil {
 		return
 	}
-	o.stages[st].Observe(d)
+	o.stages[st].Observe(d, o.curTick.Load())
 	if o.trace != nil {
 		o.trace(st, d)
 	}
 }
 
-// StageSnapshot returns a point-in-time snapshot of stage st's histogram
-// (zero on a nil Observer).
+// StageSnapshot returns a point-in-time snapshot of stage st's lifetime
+// histogram (zero on a nil Observer).
 func (o *Observer) StageSnapshot(st Stage) HistogramSnapshot {
 	if o == nil {
 		return HistogramSnapshot{}
 	}
-	return o.stages[st].Snapshot()
+	return o.stages[st].Lifetime()
+}
+
+// StageWindowSnapshot merges stage st's n most recent windows, the current
+// one included (zero on a nil Observer).
+func (o *Observer) StageWindowSnapshot(st Stage, n int) HistogramSnapshot {
+	if o == nil {
+		return HistogramSnapshot{}
+	}
+	return o.stages[st].Window(o.curTick.Load(), n)
+}
+
+// RecordOp records one dimensional sample: operation op in the given role
+// (RoleClient or RoleServer) took d and succeeded or failed. The sample
+// lands in the (op, encoding, transport, role) series — the Observer's
+// WithDims labels fill the last three — and in op's SLO aggregates when
+// one is declared, triggering burn-rate evaluation on window boundaries.
+// tid (0 when untraced) feeds bucket exemplars and SLO breach exemplars.
+//
+// RecordOp reads no clock. It is a no-op — one branch, no atomics — when
+// the Observer is nil or has no dimensional registry (neither WithDims nor
+// WithSLOs configured).
+func (o *Observer) RecordOp(op, role string, d time.Duration, failed bool, tid TraceID) {
+	if o == nil || o.reg == nil {
+		return
+	}
+	tick := o.curTick.Load()
+	s := o.reg.Lookup(SeriesKey{Op: op, Encoding: o.encoding, Transport: o.transport, Role: role})
+	if s == &o.reg.overflow {
+		o.counters[SeriesOverflow].Inc()
+	}
+	s.Record(d, failed, tick, tid)
+	if st := o.slos.state(op); st != nil {
+		st.record(d, failed, tick, tid)
+		o.evalSLO(st, tick)
+	}
+}
+
+// Registry exposes the dimensional series registry (nil when dimensional
+// metrics are disabled or the Observer is nil — and a nil *Registry is
+// itself a no-op sink).
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Dimensional reports whether RecordOp will record anything — the gate
+// instrumented code uses before computing an operation label the disabled
+// path would discard. False on a nil Observer.
+func (o *Observer) Dimensional() bool {
+	return o != nil && o.reg != nil
 }
 
 // Reset zeroes every counter, gauge, and stage histogram. It is meant for
@@ -445,6 +642,12 @@ type Snapshot struct {
 	Counters map[string]uint64            `json:"counters"`
 	Gauges   map[string]GaugeSnapshot     `json:"gauges"`
 	Stages   map[string]HistogramSnapshot `json:"stages"`
+	// Window is the number of windows the Stages and Series aggregates
+	// cover; 0 means lifetime.
+	Window int `json:"window,omitempty"`
+	// Series is the dimensional registry's export (nil when dimensional
+	// metrics are disabled).
+	Series []SeriesSnapshot `json:"series,omitempty"`
 }
 
 // Snapshot captures the Observer's current state. Counters, gauges, and
@@ -473,10 +676,41 @@ func (o *Observer) Snapshot() *Snapshot {
 		}
 	}
 	for i := Stage(0); i < numStages; i++ {
-		if hs := o.stages[i].Snapshot(); hs.Count > 0 {
+		if hs := o.stages[i].Lifetime(); hs.Count > 0 {
 			s.Stages[i.String()] = hs
 		}
 	}
+	s.Series = o.reg.Snapshot(o.curTick.Load(), NumWindows)
+	return s
+}
+
+// SnapshotWindow is Snapshot restricted to recency: stage histograms and
+// dimensional series cover only the n most recent windows (the current one
+// included; n is clamped to [1, NumWindows]), while counters and gauges —
+// which have no windowed form — remain lifetime values. Returns an empty
+// snapshot on a nil Observer.
+func (o *Observer) SnapshotWindow(n int) *Snapshot {
+	s := o.Snapshot()
+	if o == nil {
+		return s
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > NumWindows {
+		n = NumWindows
+	}
+	s.Window = n
+	tick := o.curTick.Load()
+	for k := range s.Stages {
+		delete(s.Stages, k)
+	}
+	for i := Stage(0); i < numStages; i++ {
+		if hs := o.stages[i].Window(tick, n); hs.Count > 0 {
+			s.Stages[i.String()] = hs
+		}
+	}
+	s.Series = o.reg.Snapshot(tick, n)
 	return s
 }
 
@@ -502,4 +736,7 @@ func (s *Snapshot) Merge(other *Snapshot) {
 		cur.Merge(h)
 		s.Stages[k] = cur
 	}
+	// Dimensional series are already keyed per node/role; a rollup keeps
+	// both sides' series rather than conflating them.
+	s.Series = append(s.Series, other.Series...)
 }

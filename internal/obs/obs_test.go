@@ -267,9 +267,62 @@ func TestNilObserverIsFreeOfAllocations(t *testing.T) {
 		_ = o.Recorder().Recent(1)
 		_ = o.Recorder().Trace(1)
 		_ = o.Recorder().Dropped()
+		// The dimensional/windowed/SLO surface shares the contract.
+		o.RecordOp("op", RoleClient, time.Microsecond, false, 1)
+		o.NextWindow()
+		_ = o.Tick()
+		_ = o.Now()
+		_ = o.Since(time.Time{})
+		_ = o.Dimensional()
+		_ = o.StageWindowSnapshot(ClientWait, 1)
+		_ = o.Registry().Lookup(SeriesKey{Op: "op"})
+		_ = o.Registry().Overflow()
+		_ = o.Registry().Dropped()
+		_ = o.Registry().Len()
+		_ = o.SLOStatus()
+		_ = o.SLOFiring()
+		_ = o.Recorder().SlowThreshold()
+		o.Recorder().SetSlowThreshold(time.Millisecond)
+		o.Recorder().TightenSlowThreshold(time.Millisecond)
+		var wh *WindowedHistogram
+		wh.Observe(time.Microsecond, 1)
+		_ = wh.Lifetime()
+		_ = wh.Window(1, 1)
+		wh.Reset()
+		var wc *WindowedCounter
+		wc.Add(1, 1)
+		_ = wc.Lifetime()
+		_ = wc.Window(1, 1)
+		wc.Reset()
+		var se *Series
+		se.Record(time.Microsecond, false, 1, 1)
+		_ = se.Key()
+		_ = se.Exemplar(0)
+		_ = se.TailExemplar(time.Microsecond)
 	})
 	if allocs != 0 {
 		t.Errorf("nil observer allocated %.1f per run, want 0", allocs)
+	}
+}
+
+// A live observer with no dimensional registry (the default) keeps RecordOp
+// free: no allocations and no clock reads, so instrumented call sites cost
+// nothing when the feature is off.
+func TestRecordOpFreeWhenDimensionsDisabled(t *testing.T) {
+	clockReads := 0
+	o := New(WithNow(func() time.Time { clockReads++; return time.Time{} }))
+	if o.Dimensional() {
+		t.Fatal("observer unexpectedly dimensional")
+	}
+	clockReads = 0
+	allocs := testing.AllocsPerRun(100, func() {
+		o.RecordOp("op", RoleClient, time.Microsecond, false, 1)
+	})
+	if allocs != 0 {
+		t.Errorf("RecordOp allocated %.1f per run with dimensions disabled, want 0", allocs)
+	}
+	if clockReads != 0 {
+		t.Errorf("RecordOp read the clock %d times with dimensions disabled", clockReads)
 	}
 }
 

@@ -1,0 +1,130 @@
+package obs
+
+// Prometheus/OpenMetrics text exposition for /metrics?format=prom. The
+// admin endpoint's native JSON is richer (trace trees, high-water marks as
+// structured fields), but a scrape-friendly text form lets a stock
+// Prometheus point at the admin listener with zero glue. The writer is
+// dependency-free by design — the exposition format is a line protocol,
+// and hand-writing it keeps the package standard-library only.
+//
+// Conventions:
+//   - every metric is prefixed bxsoap_ and dots become underscores
+//     ("client.calls_started" → bxsoap_client_calls_started_total)
+//   - histograms emit the classic cumulative _bucket/_sum/_count triple
+//     with le bounds in seconds
+//   - dimensional series carry op/encoding/transport/role labels
+//   - buckets holding a captured exemplar append an OpenMetrics exemplar
+//     annotation: "# {trace_id=\"...\"} <seconds>" — the linkage from a
+//     tail bucket to a flight-recorder trace
+//   - SLO state exports as bxsoap_slo_burn_fast / _burn_slow /
+//     _budget_used gauges and a 0/1 bxsoap_slo_firing gauge per op
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// writeProm renders a snapshot (plus SLO state) in Prometheus text format.
+func writeProm(w io.Writer, s *Snapshot, slos []SLOStatus) {
+	if hw, ok := w.(interface{ Header() map[string][]string }); ok {
+		hw.Header()["Content-Type"] = []string{"text/plain; version=0.0.4; charset=utf-8"}
+	}
+	// Counters and gauges, sorted for a deterministic scrape body.
+	for _, k := range sortedKeys(s.Counters) {
+		name := promName(k) + "_total"
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[k])
+	}
+	for _, k := range sortedKeys(s.Gauges) {
+		g := s.Gauges[k]
+		name := promName(k)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, g.Value)
+		fmt.Fprintf(w, "# TYPE %s_high_water gauge\n%s_high_water %d\n", name, name, g.HighWater)
+	}
+	for _, k := range sortedKeys(s.Stages) {
+		promHistogram(w, promName("stage."+k), "", s.Stages[k], nil)
+	}
+	for _, ss := range s.Series {
+		labels := seriesLabels(ss.Key)
+		promHistogram(w, "bxsoap_op_latency", labels, ss.Latency, ss.Exemplars)
+		fmt.Fprintf(w, "# TYPE bxsoap_op_errors_total counter\nbxsoap_op_errors_total{%s} %d\n",
+			labels, ss.Errors)
+	}
+	for _, st := range slos {
+		l := fmt.Sprintf("op=%q", st.Op)
+		fmt.Fprintf(w, "# TYPE bxsoap_slo_burn_fast gauge\nbxsoap_slo_burn_fast{%s} %g\n", l, st.BurnFast)
+		fmt.Fprintf(w, "# TYPE bxsoap_slo_burn_slow gauge\nbxsoap_slo_burn_slow{%s} %g\n", l, st.BurnSlow)
+		fmt.Fprintf(w, "# TYPE bxsoap_slo_budget_used gauge\nbxsoap_slo_budget_used{%s} %g\n", l, st.BudgetUsed)
+		firing := 0
+		if st.Firing {
+			firing = 1
+		}
+		fmt.Fprintf(w, "# TYPE bxsoap_slo_firing gauge\nbxsoap_slo_firing{%s} %d\n", l, firing)
+	}
+}
+
+// promHistogram writes one cumulative histogram; exemplars (bucket index →
+// trace ID hex) annotate their bucket line.
+func promHistogram(w io.Writer, name, labels string, h HistogramSnapshot, exemplars map[int]string) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
+	var cum uint64
+	for i := 0; i < NumBuckets; i++ {
+		cum += h.Buckets[i]
+		le := "+Inf"
+		if ub := BucketUpperBound(i); ub >= 0 {
+			le = fmt.Sprintf("%g", ub.Seconds())
+		}
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d", name, labels, sep, le, cum)
+		if tid, ok := exemplars[i]; ok && h.Buckets[i] > 0 {
+			// OpenMetrics exemplar: the trace behind a sample in this bucket.
+			fmt.Fprintf(w, " # {trace_id=%q} %g", tid, exemplarValue(i))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, suffix, float64(h.SumNanos)/1e9)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, h.Count)
+}
+
+// exemplarValue reports a representative seconds value for bucket i (its
+// upper bound; the open-ended last bucket uses its lower bound).
+func exemplarValue(i int) float64 {
+	if ub := BucketUpperBound(i); ub >= 0 {
+		return ub.Seconds()
+	}
+	return (bucketBase << (NumBuckets - 2)).Seconds()
+}
+
+func seriesLabels(k SeriesKey) string {
+	return fmt.Sprintf("op=%q,encoding=%q,transport=%q,role=%q",
+		k.Op, k.Encoding, k.Transport, k.Role)
+}
+
+// promName maps a dotted snapshot name onto the prefixed underscore form.
+func promName(name string) string {
+	return "bxsoap_" + strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

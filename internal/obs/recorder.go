@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -32,6 +33,12 @@ const (
 	// EvOverloadShed: the mux server's admission control refused a stream
 	// because the dispatch queue was full.
 	EvOverloadShed
+	// EvSLOFired: an SLO's multi-window burn rate crossed its firing
+	// threshold. The event's Trace field carries a breach exemplar.
+	EvSLOFired
+	// EvSLOResolved: a firing SLO's fast-window burn dropped back under
+	// budget.
+	EvSLOResolved
 
 	numEventKinds
 )
@@ -45,6 +52,8 @@ var eventKindNames = [numEventKinds]string{
 	EvRetry:           "call.retry",
 	EvStreamReset:     "stream.reset",
 	EvOverloadShed:    "overload.shed",
+	EvSLOFired:        "slo.fired",
+	EvSLOResolved:     "slo.resolved",
 }
 
 // String returns the event kind's journal/JSON name.
@@ -55,13 +64,17 @@ func (k EventKind) String() string {
 	return "unknown"
 }
 
-// Event is one journaled occurrence.
+// Event is one journaled occurrence. Trace, when set, is the 16-hex trace
+// ID of an exemplar request exhibiting the event's condition (SLO
+// transitions carry one), resolvable at /trace/recent or /trace/slow while
+// the trace remains in the recorder's rings.
 type Event struct {
 	At     time.Time `json:"at"`
 	Node   string    `json:"node,omitempty"`
 	Kind   EventKind `json:"-"`
 	Name   string    `json:"kind"`
 	Detail string    `json:"detail,omitempty"`
+	Trace  string    `json:"trace_id,omitempty"`
 }
 
 // RecorderConfig bounds the flight recorder's rings. Zero fields take the
@@ -76,6 +89,9 @@ type RecorderConfig struct {
 	Events int
 	// SlowThreshold routes a trace into the slow ring once any of its hops
 	// takes at least this long. Default 1ms; negative disables the ring.
+	// Adjustable at runtime via Recorder.SetSlowThreshold, and
+	// auto-tightened to each declared SLO's P99 target when the recorder's
+	// observer declares objectives (see WithSLOs).
 	SlowThreshold time.Duration
 }
 
@@ -114,7 +130,8 @@ type traceEntry struct {
 // All methods are nil-safe, so a disabled recorder can be threaded through
 // unconditionally (the package's //paylint:nil-sink marker covers it).
 type Recorder struct {
-	cfg RecorderConfig
+	cfg        RecorderConfig
+	slowThresh atomic.Int64 // runtime slow threshold, ns; <= -1 disables
 
 	mu      sync.Mutex
 	byID    map[TraceID]*traceEntry
@@ -127,9 +144,51 @@ type Recorder struct {
 // NewRecorder builds a flight recorder.
 func NewRecorder(cfg RecorderConfig) *Recorder {
 	cfg = cfg.withDefaults()
-	return &Recorder{
+	r := &Recorder{
 		cfg:  cfg,
 		byID: make(map[TraceID]*traceEntry, cfg.Recent),
+	}
+	r.slowThresh.Store(int64(cfg.SlowThreshold))
+	return r
+}
+
+// SlowThreshold returns the current slow-trace threshold (0 on a nil
+// Recorder; negative when the slow ring is disabled).
+func (r *Recorder) SlowThreshold() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return time.Duration(r.slowThresh.Load())
+}
+
+// SetSlowThreshold replaces the slow-trace threshold at runtime: hops of at
+// least d now route their trace into the slow ring. Negative d disables
+// the ring; d == 0 restores the construction-time value. No-op on a nil
+// Recorder.
+func (r *Recorder) SetSlowThreshold(d time.Duration) {
+	if r == nil {
+		return
+	}
+	if d == 0 {
+		d = r.cfg.SlowThreshold
+	}
+	r.slowThresh.Store(int64(d))
+}
+
+// TightenSlowThreshold lowers the slow-trace threshold to d if d is
+// positive and below the current threshold — the SLO engine's hook, so a
+// declared P99 objective guarantees breaching requests land in the slow
+// ring. A disabled ring (negative threshold) stays disabled. No-op on a
+// nil Recorder.
+func (r *Recorder) TightenSlowThreshold(d time.Duration) {
+	if r == nil || d <= 0 {
+		return
+	}
+	for {
+		cur := r.slowThresh.Load()
+		if cur < 0 || cur <= int64(d) || r.slowThresh.CompareAndSwap(cur, int64(d)) {
+			return
+		}
 	}
 }
 
@@ -153,7 +212,7 @@ func (r *Recorder) record(h *Hop) {
 		}
 	}
 	e.hops = append(e.hops, h)
-	if !e.slow && r.cfg.SlowThreshold > 0 && h.total >= r.cfg.SlowThreshold {
+	if thresh := time.Duration(r.slowThresh.Load()); !e.slow && thresh > 0 && h.total >= thresh {
 		e.slow = true
 		r.slow = append(r.slow, e)
 		if len(r.slow) > r.cfg.Slow {

@@ -1,0 +1,263 @@
+package obs
+
+// The SLO burn-rate engine. An SLO declares an objective for one operation
+// — "p99 under 20ms, error rate under 1%" — and the engine turns the
+// dimensional samples into alerting state: error-budget accounting since
+// process start, and multi-window burn-rate evaluation that fires a journal
+// event when the budget is burning fast enough to matter and resolves it
+// when the burn subsides.
+//
+// # Burn rates
+//
+// A latency objective of p99 implicitly grants a budget: 1% of samples may
+// exceed the target (latencyBudget). The burn rate is the ratio of the
+// observed bad fraction to the budgeted fraction — burn 1.0 means exactly
+// on budget, burn 10 means the budget is being consumed ten times too
+// fast. Error-rate objectives burn the same way against MaxErrRate, and an
+// SLO's effective burn is the worse of the two.
+//
+// Alerting on a single window forces a choice between paging on blips
+// (short window) and paging late (long window); the standard fix is to
+// require two windows to agree. The engine fires when both the fast window
+// (the last complete window) and the slow window (the whole NumWindows
+// ring) burn at or above the threshold — the blip filter — and resolves as
+// soon as the fast window's burn drops below 1.0 — recovery is visible one
+// window after the overload ends, no slow-window memory required.
+//
+// Evaluation happens at most once per window tick, piggybacked on the
+// RecordOp that first observes a new tick — no background goroutine, no
+// clock reads beyond what the recording path already did, fully
+// deterministic under an injected clock.
+//
+// # Exemplars
+//
+// Every budget-burning sample (latency above target, or an error) with a
+// trace ID overwrites the SLO's exemplar, so the fire/resolve journal
+// events carry the ID of an actual offending request, resolvable in the
+// flight recorder while the trace is still in its rings.
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultBurnThreshold is the burn rate at which an SLO fires when the
+// declaration leaves Burn zero: the budget being consumed at twice the
+// sustainable rate.
+const DefaultBurnThreshold = 2.0
+
+// latencyBudget is the sample fraction a p99 objective permits above the
+// target.
+const latencyBudget = 0.01
+
+// SLO declares one operation's service-level objective.
+type SLO struct {
+	// Op is the operation name the objective applies to (the envelope
+	// body's first-child local name — see core.OpName).
+	Op string
+	// P99 is the latency target: at most 1% of samples may exceed it. 0
+	// declares no latency objective (the SLO burns on errors alone).
+	P99 time.Duration
+	// MaxErrRate is the permitted error fraction (0..1); 0 declares no
+	// error objective.
+	MaxErrRate float64
+	// Burn is the burn-rate firing threshold; 0 takes
+	// DefaultBurnThreshold.
+	Burn float64
+}
+
+// sloState is one SLO's runtime: its own windowed aggregates (fed by
+// RecordOp alongside the dimensional series), lifetime budget accounting,
+// and the alert latch.
+type sloState struct {
+	slo          SLO
+	targetBucket int // bucketFor(P99); buckets above it are budget-burning
+
+	lat  WindowedHistogram
+	errs WindowedCounter
+
+	total    Counter       // lifetime samples
+	bad      Counter       // lifetime budget-burning samples
+	exemplar atomic.Uint64 // TraceID of the latest budget-burning sample
+
+	firing   atomic.Bool
+	lastEval atomic.Int64 // highest complete tick already evaluated
+}
+
+func (st *sloState) threshold() float64 {
+	if st.slo.Burn > 0 {
+		return st.slo.Burn
+	}
+	return DefaultBurnThreshold
+}
+
+// record feeds one sample into the SLO's aggregates.
+func (st *sloState) record(d time.Duration, failed bool, tick int64, tid TraceID) {
+	st.lat.Observe(d, tick)
+	if failed {
+		st.errs.Add(1, tick)
+	}
+	st.total.Inc()
+	if failed || (st.slo.P99 > 0 && d > st.slo.P99) {
+		st.bad.Inc()
+		if tid != 0 {
+			st.exemplar.Store(uint64(tid))
+		}
+	}
+}
+
+// burn computes the burn rate over one latency snapshot + error count.
+func (st *sloState) burnRate(h HistogramSnapshot, errs uint64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	var burn float64
+	if st.slo.P99 > 0 {
+		var badLat uint64
+		for i := st.targetBucket + 1; i < NumBuckets; i++ {
+			badLat += h.Buckets[i]
+		}
+		burn = float64(badLat) / float64(h.Count) / latencyBudget
+	}
+	if st.slo.MaxErrRate > 0 {
+		if eb := float64(errs) / float64(h.Count) / st.slo.MaxErrRate; eb > burn {
+			burn = eb
+		}
+	}
+	return burn
+}
+
+// sloSet is the immutable op → state index built at Observer construction.
+type sloSet struct {
+	states map[string]*sloState
+	list   []*sloState // declaration order, for deterministic export
+}
+
+func newSLOSet(slos []SLO) *sloSet {
+	if len(slos) == 0 {
+		return nil
+	}
+	ss := &sloSet{states: make(map[string]*sloState, len(slos))}
+	for _, s := range slos {
+		if s.Op == "" || ss.states[s.Op] != nil {
+			continue
+		}
+		st := &sloState{slo: s, targetBucket: bucketFor(s.P99)}
+		ss.states[s.Op] = st
+		ss.list = append(ss.list, st)
+	}
+	return ss
+}
+
+func (ss *sloSet) state(op string) *sloState {
+	if ss == nil {
+		return nil
+	}
+	return ss.states[op]
+}
+
+// evalSLO runs the burn-rate evaluation for st when tick has advanced past
+// the last evaluated complete window. Called from RecordOp; the CAS
+// guarantees each complete window is judged once even under concurrent
+// recorders.
+func (o *Observer) evalSLO(st *sloState, tick int64) {
+	done := tick - 1 // the newest complete window
+	if done < 0 {
+		return
+	}
+	last := st.lastEval.Load()
+	if done <= last || !st.lastEval.CompareAndSwap(last, done) {
+		return
+	}
+	fast := st.lat.Window(done, 1)
+	slow := st.lat.Window(done, NumWindows)
+	burnFast := st.burnRate(fast, st.errs.Window(done, 1))
+	burnSlow := st.burnRate(slow, st.errs.Window(done, NumWindows))
+	thr := st.threshold()
+	switch {
+	case !st.firing.Load() && fast.Count > 0 && burnFast >= thr && burnSlow >= thr:
+		st.firing.Store(true)
+		o.Inc(SLOFired)
+		o.eventWithTrace(EvSLOFired,
+			fmt.Sprintf("op=%s burn_fast=%.1f burn_slow=%.1f threshold=%.1f p99_target=%v",
+				st.slo.Op, burnFast, burnSlow, thr, st.slo.P99),
+			TraceID(st.exemplar.Load()))
+	case st.firing.Load() && fast.Count > 0 && burnFast < 1.0:
+		st.firing.Store(false)
+		o.Inc(SLOResolved)
+		o.eventWithTrace(EvSLOResolved,
+			fmt.Sprintf("op=%s burn_fast=%.1f threshold=%.1f", st.slo.Op, burnFast, thr),
+			TraceID(st.exemplar.Load()))
+	}
+}
+
+// SLOStatus is the exported state of one SLO, served at /slo.
+type SLOStatus struct {
+	Op            string        `json:"op"`
+	P99Target     time.Duration `json:"p99_target_ns"`
+	MaxErrRate    float64       `json:"max_err_rate,omitempty"`
+	BurnThreshold float64       `json:"burn_threshold"`
+	Firing        bool          `json:"firing"`
+	BurnFast      float64       `json:"burn_fast"`
+	BurnSlow      float64       `json:"burn_slow"`
+	WindowP99     time.Duration `json:"window_p99_ns"`
+	WindowCount   uint64        `json:"window_count"`
+	WindowErrors  uint64        `json:"window_errors"`
+	// BudgetUsed is the fraction of the lifetime error budget consumed:
+	// bad samples over permitted bad samples. 1.0 means the budget is
+	// exactly spent; above 1.0 the SLO has been violated over the
+	// process's lifetime.
+	BudgetUsed float64 `json:"budget_used"`
+	Exemplar   string  `json:"exemplar_trace_id,omitempty"`
+}
+
+// SLOStatus exports every declared SLO's current state, in declaration
+// order. Burn rates are computed over the windows ending at the last
+// complete tick, matching what the alert evaluation saw. Empty when the
+// Observer is nil or declares no SLOs.
+func (o *Observer) SLOStatus() []SLOStatus {
+	if o == nil || o.slos == nil {
+		return nil
+	}
+	done := o.curTick.Load() - 1
+	var out []SLOStatus
+	for _, st := range o.slos.list {
+		fast := st.lat.Window(done, 1)
+		slow := st.lat.Window(done, NumWindows)
+		s := SLOStatus{
+			Op:            st.slo.Op,
+			P99Target:     st.slo.P99,
+			MaxErrRate:    st.slo.MaxErrRate,
+			BurnThreshold: st.threshold(),
+			Firing:        st.firing.Load(),
+			BurnFast:      st.burnRate(fast, st.errs.Window(done, 1)),
+			BurnSlow:      st.burnRate(slow, st.errs.Window(done, NumWindows)),
+			WindowP99:     slow.Quantile(0.99),
+			WindowCount:   slow.Count,
+			WindowErrors:  st.errs.Window(done, NumWindows),
+		}
+		if total := st.total.Load(); total > 0 {
+			s.BudgetUsed = float64(st.bad.Load()) / (float64(total) * latencyBudget)
+		}
+		if id := st.exemplar.Load(); id != 0 {
+			s.Exemplar = TraceID(id).String()
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// SLOFiring reports whether any declared SLO is currently in the firing
+// state (false on a nil Observer).
+func (o *Observer) SLOFiring() bool {
+	if o == nil || o.slos == nil {
+		return false
+	}
+	for _, st := range o.slos.list {
+		if st.firing.Load() {
+			return true
+		}
+	}
+	return false
+}

@@ -72,9 +72,10 @@ const NumStages = int(numStages)
 // value — starting and marking one allocates nothing — and the zero Span
 // (from a nil Observer) ignores every call without reading the clock.
 type Span struct {
-	o    *Observer
-	last time.Time
-	hop  *Hop
+	o     *Observer
+	start time.Time
+	last  time.Time
+	hop   *Hop
 }
 
 // Span begins a span now. On a nil Observer it returns the zero Span and
@@ -83,7 +84,9 @@ func (o *Observer) Span() Span {
 	if o == nil {
 		return Span{}
 	}
-	return Span{o: o, last: o.now()}
+	now := o.now()
+	o.tickAt(now)
+	return Span{o: o, start: now, last: now}
 }
 
 // SpanWith begins a span whose marks additionally accumulate into the hop's
@@ -93,20 +96,35 @@ func (o *Observer) SpanWith(h *Hop) Span {
 	if o == nil {
 		return Span{}
 	}
-	return Span{o: o, last: o.now(), hop: h}
+	now := o.now()
+	o.tickAt(now)
+	return Span{o: o, start: now, last: now, hop: h}
 }
 
 // Mark records the duration since the span's previous mark into stage st
-// and restarts the span clock.
+// and restarts the span clock. Each mark also advances the Observer's
+// window tick, keeping the clock-free recording paths current.
 func (s *Span) Mark(st Stage) {
 	if s.o == nil {
 		return
 	}
 	now := s.o.now()
+	s.o.tickAt(now)
 	d := now.Sub(s.last)
 	s.o.ObserveStage(st, d)
 	s.hop.observe(st, d)
 	s.last = now
+}
+
+// Total returns the span's duration from its start through its most recent
+// mark, without reading a clock (0 on the zero Span) — the per-call
+// latency the instrumentation layer feeds into RecordOp after the final
+// stage mark.
+func (s *Span) Total() time.Duration {
+	if s.o == nil {
+		return 0
+	}
+	return s.last.Sub(s.start)
 }
 
 // Restart resets the span clock without recording — for skipping a stage

@@ -199,10 +199,12 @@ func (o *Observer) StartHop(role string) *Hop {
 	if o == nil || o.rec == nil {
 		return nil
 	}
+	now := o.now()
+	o.tickAt(now)
 	return &Hop{
 		node:   o.node,
 		role:   role,
-		start:  o.now(),
+		start:  now,
 		stages: make([]StageSpan, 0, 8),
 	}
 }
@@ -235,4 +237,21 @@ func (o *Observer) Event(kind EventKind, detail string) {
 		return
 	}
 	o.rec.addEvent(Event{At: o.now(), Node: o.node, Kind: kind, Name: kind.String(), Detail: detail})
+}
+
+// eventWithTrace journals an event carrying a trace exemplar (the SLO
+// fire/resolve path). Unlike Event it stamps the journal entry with the
+// trace ID of a request that exhibits the condition, so the event links
+// into the flight recorder's rings.
+func (o *Observer) eventWithTrace(kind EventKind, detail string, tid TraceID) {
+	if o == nil || o.rec == nil {
+		// No recorder: the transition still counted via the SLOFired /
+		// SLOResolved counters; there is just no journal to write to.
+		return
+	}
+	ev := Event{At: o.now(), Node: o.node, Kind: kind, Name: kind.String(), Detail: detail}
+	if tid != 0 {
+		ev.Trace = tid.String()
+	}
+	o.rec.addEvent(ev)
 }

@@ -158,6 +158,15 @@ func (p *Pool[E, B]) call(ctx context.Context, req *core.Envelope, retry bool) (
 	// all attempts — retried stages simply appear once per attempt.
 	req, hop := core.BeginClientTrace(p.obs, req)
 	ctx = obs.ContextWithHop(ctx, hop)
+	// The pool owns the logical call, so the dimensional sample is recorded
+	// here — once, spanning every retry attempt — rather than per attempt in
+	// the engine (CallPayload/CallStream deliberately do not record).
+	var op string
+	var t0 time.Time
+	if p.obs.Dimensional() {
+		op = core.OpName(req)
+		t0 = p.obs.Now()
+	}
 	var resp *core.Envelope
 	var payload *core.Payload
 	defer func() {
@@ -197,6 +206,9 @@ func (p *Pool[E, B]) call(ctx context.Context, req *core.Envelope, retry bool) (
 		return err
 	})
 	p.obs.FinishHop(hop, err)
+	if op != "" {
+		p.obs.RecordOp(op, obs.RoleClient, p.obs.Since(t0), err != nil, hop.Context().ID)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -217,6 +229,12 @@ func (p *Pool[E, B]) SendOnce(ctx context.Context, req *core.Envelope) error {
 func (p *Pool[E, B]) send(ctx context.Context, req *core.Envelope, retry bool) error {
 	req, hop := core.BeginClientTrace(p.obs, req)
 	ctx = obs.ContextWithHop(ctx, hop)
+	var op string
+	var t0 time.Time
+	if p.obs.Dimensional() {
+		op = core.OpName(req)
+		t0 = p.obs.Now()
+	}
 	var payload *core.Payload
 	defer func() {
 		if payload != nil {
@@ -236,6 +254,9 @@ func (p *Pool[E, B]) send(ctx context.Context, req *core.Envelope, retry bool) e
 		return eng.SendPayload(actx, payload)
 	})
 	p.obs.FinishHop(hop, err)
+	if op != "" {
+		p.obs.RecordOp(op, obs.RoleClient, p.obs.Since(t0), err != nil, hop.Context().ID)
+	}
 	return err
 }
 
